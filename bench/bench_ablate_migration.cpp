@@ -1,0 +1,69 @@
+// Ablation: demand migration speed.
+//
+// The paper finds victim traffic unchanged because users migrate to
+// surviving booters within days (booter A was back in 3). This sweep
+// disables migration entirely (no booter absorbs the demand: seized
+// services' users simply stop) and compares against the paper's world,
+// showing the condition under which a takedown WOULD have been visible in
+// victim-bound traffic.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/takedown.hpp"
+#include "util/table.hpp"
+
+using namespace booterscope;
+
+int main() {
+  bench::print_header("Ablation: demand migration",
+                      "When would the takedown have protected victims?");
+
+  const sim::Internet internet{sim::InternetConfig{}};
+  util::Table table({"world", "victim traffic wt30", "victim red30",
+                     "attacks/day red30"});
+
+  struct World {
+    std::string name;
+    bool migration;
+  };
+  const World worlds[] = {
+      {"paper: demand migrates to survivors", true},
+      {"no migration: seized demand evaporates", false},
+  };
+
+  for (const World& world : worlds) {
+    sim::LandscapeConfig config;
+    config.start = util::Timestamp::parse("2018-10-15").value();
+    config.days = 100;
+    config.takedown = util::Timestamp::parse("2018-12-19").value();
+    config.attacks_per_day = 150.0;
+    config.demand_migration = world.migration;
+    const auto result = sim::run_landscape(internet, config);
+
+    const auto victim_metrics = core::takedown_metrics(
+        core::daily_packets_from_reflectors(result.ixp.store.flows(), {},
+                                            config.start, config.days),
+        *config.takedown);
+    stats::BinnedSeries attacks_daily(config.start, util::Duration::days(1),
+                                      static_cast<std::size_t>(config.days));
+    for (const auto& attack : result.attacks) attacks_daily.add(attack.start, 1.0);
+    const auto demand_metrics =
+        core::takedown_metrics(attacks_daily, *config.takedown);
+
+    table.row()
+        .add(world.name)
+        .add(victim_metrics.wt30.significant ? "SIGNIFICANT drop"
+                                             : "no significant change")
+        .add(util::format_double(victim_metrics.wt30.reduction * 100.0, 0) + "%")
+        .add(util::format_double(demand_metrics.wt30.reduction * 100.0, 0) + "%");
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nReading: with the migration the paper observed (booter A returned\n"
+      "in 3 days), victim traffic is statistically unchanged. Only if the\n"
+      "seized services' demand had nowhere to go would the takedown have\n"
+      "shown up at the victims — the counterfactual behind the paper's\n"
+      "conclusion about seizing front-ends only.\n";
+  return 0;
+}

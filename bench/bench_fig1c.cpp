@@ -1,0 +1,93 @@
+// Fig. 1(c): overlap of NTP reflector sets across the 16 self-attacks —
+// stable lists with moderate churn, a sudden full list switch (booter B,
+// 2018-06-13), same-day reuse, cross-booter sharing, and VIP/non-VIP list
+// identity.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/overlap.hpp"
+#include "util/table.hpp"
+
+using namespace booterscope;
+
+int main() {
+  bench::print_header("Figure 1(c)", "Overlap of NTP reflectors over time");
+
+  bench::SelfAttackWorld world;
+  const auto campaign = bench::SelfAttackWorld::campaign();
+  const auto results = world.run_campaign();
+
+  std::vector<core::AttackReflectorSet> sets;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (r.spec.vector != net::AmpVector::kNtp) continue;
+    core::AttackReflectorSet set;
+    set.label = r.spec.label + " " + r.spec.start.date_string().substr(2);
+    set.booter = world.services()[r.spec.booter_index].profile().name;
+    set.when = r.spec.start;
+    set.reflectors = r.reflector_ips_observed;
+    sets.push_back(std::move(set));
+  }
+
+  const auto analysis = core::analyze_overlap(sets);
+  std::cout << "Jaccard overlap matrix (" << sets.size()
+            << " NTP self-attacks, chronological):\n\n";
+  // Compact matrix print with row indices.
+  std::printf("    %*s", 30, "");
+  for (std::size_t j = 0; j < sets.size(); ++j) std::printf("  %2zu ", j);
+  std::printf("\n");
+  for (std::size_t i = 0; i < analysis.jaccard.size(); ++i) {
+    std::printf("%2zu  %-30s", i, analysis.labels[i].c_str());
+    for (std::size_t j = 0; j < analysis.jaccard[i].size(); ++j) {
+      std::printf(" %.2f", analysis.jaccard[i][j]);
+    }
+    std::printf("\n");
+  }
+
+  // VIP vs. non-VIP same-day pair (booter B on 2018-07-11).
+  double vip_overlap = 0.0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < sets.size(); ++j) {
+      const bool same_day =
+          sets[i].when.date_string() == sets[j].when.date_string();
+      const bool vip_pair =
+          (analysis.labels[i].find("VIP") != std::string::npos) !=
+          (analysis.labels[j].find("VIP") != std::string::npos);
+      if (same_day && vip_pair && sets[i].booter == "B" &&
+          sets[j].booter == "B") {
+        vip_overlap = analysis.jaccard[i][j];
+      }
+    }
+  }
+
+  // The sudden list switch: B's last pre-jump vs. first post-jump attack.
+  double jump_overlap = 1.0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = 0; j < sets.size(); ++j) {
+      if (sets[i].booter != "B" || sets[j].booter != "B") continue;
+      if (sets[i].when.date_string() == "2018-06-12" &&
+          sets[j].when.date_string() == "2018-06-13") {
+        jump_overlap = std::min(jump_overlap, analysis.jaccard[i][j]);
+      }
+    }
+  }
+
+  bench::print_comparisons({
+      {"same-day same-booter overlap", "high (mark 3)",
+       util::format_double(analysis.same_booter_short_term, 2) + " mean Jaccard"},
+      {"same-booter churn over weeks", "~30% over two weeks (mark 1)",
+       util::format_double(analysis.same_booter_long_term, 2) + " mean Jaccard"},
+      {"sudden new reflector set (B, 06-12 to 06-13)", "overlap collapses",
+       util::format_double(jump_overlap, 2) + " Jaccard across the switch"},
+      {"cross-booter overlap", "occasional (mark 4)",
+       "mean " + util::format_double(analysis.cross_booter, 3) + ", max " +
+           util::format_double(analysis.cross_booter_max, 3)},
+      {"VIP vs non-VIP reflector sets", "identical sets, higher pps",
+       util::format_double(vip_overlap, 2) + " Jaccard (same day)"},
+      {"distinct reflectors vs global pool", "868 used vs ~9M available",
+       std::to_string(analysis.total_distinct_reflectors) +
+           " used vs 90K simulated pool (same ~1:10000 ratio class)"},
+  });
+  return 0;
+}

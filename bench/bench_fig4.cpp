@@ -1,0 +1,119 @@
+// Fig. 4: daily packets to reflector ports around the takedown, with the
+// paper's wt30/wt40 significance tests and red30/red40 reduction ratios —
+// and the control: victim-bound reflection traffic shows NO significant
+// reduction.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/takedown.hpp"
+#include "util/sparkline.hpp"
+#include "util/table.hpp"
+
+using namespace booterscope;
+
+namespace {
+
+void print_series(const stats::BinnedSeries& daily, const std::string& name,
+                  util::Timestamp takedown) {
+  std::cout << name << " — daily packets ('│' marks the takedown):\n  "
+            << util::sparkline_with_marker(daily.values(),
+                                           daily.bin_index(takedown))
+            << "\n";
+  util::Table table({"date", "packets/day"});
+  for (std::size_t bin = 0; bin < daily.bin_count(); bin += 14) {
+    table.row()
+        .add(daily.bin_start(bin).date_string())
+        .add(util::format_count(daily.at(bin)));
+  }
+  table.print(std::cout, 2);
+}
+
+std::string metric_string(const core::TakedownMetrics& m) {
+  return std::string("wt30=") + (m.wt30.significant ? "True" : "False") +
+         " red30=" + util::format_double(m.wt30.reduction * 100.0, 2) +
+         "% wt40=" + (m.wt40.significant ? "True" : "False") +
+         " red40=" + util::format_double(m.wt40.reduction * 100.0, 2) + "%";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 4",
+                      "Traffic to reflectors before/after the takedown");
+
+  bench::LandscapeWorld world;
+  const auto& cfg = world.result.config;
+  const util::Timestamp takedown = *cfg.takedown;
+
+  struct Panel {
+    std::string name;
+    const flow::FlowList* flows;
+    std::uint16_t port;
+    bool print_full;
+  };
+  const Panel panels[] = {
+      {"packets memcached dst port — IXP", &world.result.ixp.store.flows(),
+       net::ports::kMemcached, true},
+      {"packets NTP dst port — tier-2 ISP", &world.result.tier2.store.flows(),
+       net::ports::kNtp, true},
+      {"packets DNS dst port — tier-2 ISP", &world.result.tier2.store.flows(),
+       net::ports::kDns, true},
+      {"packets NTP dst port — IXP", &world.result.ixp.store.flows(),
+       net::ports::kNtp, false},
+      {"packets memcached dst port — tier-2 ISP",
+       &world.result.tier2.store.flows(), net::ports::kMemcached, false},
+      {"packets DNS dst port — IXP", &world.result.ixp.store.flows(),
+       net::ports::kDns, false},
+  };
+
+  std::vector<bench::Comparison> comparisons;
+  for (const Panel& panel : panels) {
+    const auto daily = core::daily_packets_to_port(*panel.flows, panel.port,
+                                                   cfg.start, cfg.days);
+    const auto metrics = core::takedown_metrics(daily, takedown);
+    if (panel.print_full) {
+      print_series(daily, panel.name, takedown);
+      std::cout << "  " << metric_string(metrics) << "\n\n";
+    } else {
+      std::cout << panel.name << ": " << metric_string(metrics) << "\n\n";
+    }
+  }
+
+  // Control: victim-bound amplified traffic (from reflectors).
+  const auto victim_daily = core::daily_packets_from_reflectors(
+      world.result.ixp.store.flows(), {}, cfg.start, cfg.days);
+  const auto victim_metrics = core::takedown_metrics(victim_daily, takedown);
+  std::cout << "control: packets FROM reflectors to victims — IXP: "
+            << metric_string(victim_metrics) << "\n";
+
+  auto fmt = [](const core::TakedownMetrics& m) {
+    return std::string(m.wt30.significant ? "sig, " : "not sig, ") + "red30 " +
+           util::format_double(m.wt30.reduction * 100.0, 1) + "%";
+  };
+  const auto m_mc_ixp = core::takedown_metrics(
+      core::daily_packets_to_port(world.result.ixp.store.flows(),
+                                  net::ports::kMemcached, cfg.start, cfg.days),
+      takedown);
+  const auto m_ntp_t2 = core::takedown_metrics(
+      core::daily_packets_to_port(world.result.tier2.store.flows(),
+                                  net::ports::kNtp, cfg.start, cfg.days),
+      takedown);
+  const auto m_dns_t2 = core::takedown_metrics(
+      core::daily_packets_to_port(world.result.tier2.store.flows(),
+                                  net::ports::kDns, cfg.start, cfg.days),
+      takedown);
+  const auto m_dns_ixp = core::takedown_metrics(
+      core::daily_packets_to_port(world.result.ixp.store.flows(),
+                                  net::ports::kDns, cfg.start, cfg.days),
+      takedown);
+
+  bench::print_comparisons({
+      {"memcached to reflectors, IXP", "sig, red30 22.50%", fmt(m_mc_ixp)},
+      {"NTP to reflectors, tier-2", "sig, red30 39.68%", fmt(m_ntp_t2)},
+      {"DNS to reflectors, tier-2", "sig, red30 81.63%", fmt(m_dns_t2)},
+      {"DNS to reflectors, IXP", "no reduction found", fmt(m_dns_ixp)},
+      {"reflector-to-victim traffic", "no significant reduction",
+       fmt(victim_metrics)},
+  });
+  return 0;
+}

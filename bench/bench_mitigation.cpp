@@ -1,0 +1,117 @@
+// Intervention comparison: what actually helps victims?
+//
+// The paper concludes that seizing booter front-ends does not reduce
+// victim-bound traffic and calls for "additional efforts to shut down or
+// block open reflectors". This bench puts the three interventions side by
+// side on the same 100-day world:
+//   1. the FBI-style domain takedown (demand migrates, §5),
+//   2. progressive reflector remediation (the paper's recommendation),
+//   3. IXP blackholing (protects the fabric by sacrificing the victim).
+#include <iostream>
+
+#include "common.hpp"
+#include "core/mitigation.hpp"
+#include "core/takedown.hpp"
+#include "util/table.hpp"
+
+using namespace booterscope;
+
+namespace {
+
+sim::LandscapeConfig base_config() {
+  sim::LandscapeConfig config;
+  config.start = util::Timestamp::parse("2018-10-15").value();
+  config.days = 100;
+  config.takedown = std::nullopt;
+  config.attacks_per_day = 150.0;
+  return config;
+}
+
+struct Row {
+  std::string name;
+  std::string victim_effect;
+  std::string notes;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Intervention comparison",
+                      "Domain seizure vs reflector remediation vs blackholing");
+
+  const sim::Internet internet{sim::InternetConfig{}};
+  const util::Timestamp event = util::Timestamp::parse("2018-12-01").value();
+  std::vector<Row> rows;
+
+  auto victim_metrics = [&](const sim::LandscapeResult& result) {
+    return core::takedown_metrics(
+        core::daily_packets_from_reflectors(result.ixp.store.flows(), {},
+                                            result.config.start,
+                                            result.config.days),
+        event);
+  };
+  auto fmt = [](const core::TakedownMetrics& m) {
+    return std::string(m.wt30.significant ? "SIGNIFICANT, to "
+                                          : "not significant, ") +
+           util::format_double(m.wt30.reduction * 100.0, 0) + "%";
+  };
+
+  // 1. Domain takedown.
+  {
+    auto config = base_config();
+    config.takedown = event;
+    const auto result = sim::run_landscape(internet, config);
+    rows.push_back({"domain takedown (15 of 30 booters)",
+                    fmt(victim_metrics(result)),
+                    "demand migrates within days (§5)"});
+  }
+
+  // 2. Reflector remediation, two rollout speeds.
+  for (const double per_day : {0.01, 0.04}) {
+    auto config = base_config();
+    config.remediation_start = event;
+    config.remediation_per_day = per_day;
+    const auto result = sim::run_landscape(internet, config);
+    rows.push_back(
+        {"reflector remediation, " +
+             util::format_double(per_day * 100.0, 0) + "%/day",
+         fmt(victim_metrics(result)),
+         "amplification capacity itself shrinks"});
+  }
+
+  // 3. IXP blackholing on the unmitigated world.
+  {
+    const auto result = sim::run_landscape(internet, base_config());
+    core::BlackholePolicy policy;
+    policy.trigger_gbps = 5.0;
+    const auto entries =
+        core::plan_blackholes(result.ixp.store.flows(), policy);
+    const auto outcome =
+        core::apply_blackholes(result.ixp.store.flows(), entries);
+    rows.push_back(
+        {"IXP blackholing (>5 Gbps trigger)",
+         util::format_double(outcome.drop_share() * 100.0, 0) +
+             "% of attack volume dropped at the fabric",
+         std::to_string(outcome.announcements) + " announcements, " +
+             std::to_string(outcome.victims) + " victims blackholed, " +
+             util::format_double(outcome.victim_blackout_minutes / 60.0, 0) +
+             " victim-hours offline"});
+  }
+
+  util::Table table({"intervention", "victim-bound attack traffic", "notes"});
+  for (const Row& row : rows) {
+    table.row().add(row.name).add(row.victim_effect).add(row.notes);
+  }
+  table.print(std::cout);
+
+  bench::print_comparisons({
+      {"front-end seizure protects victims", "no (paper's core finding)",
+       "reproduced: not significant"},
+      {"blocking open reflectors", "recommended by the paper's conclusion",
+       "remediation produces the significant victim-side drop the seizure "
+       "could not"},
+      {"blackholing", "operator stop-gap (completes the victim's DoS)",
+       "drops volume at the fabric at the cost of victim reachability"},
+  });
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "common.hpp"
+
+#include <algorithm>
+
+namespace booterscope::bench {
+
+void print_header(const std::string& experiment_id, const std::string& title) {
+  std::cout << "==========================================================\n"
+            << experiment_id << " — " << title << "\n"
+            << "DDoS Hide & Seek (IMC'19) reproduction — booterscope\n"
+            << "==========================================================\n\n";
+}
+
+void print_comparisons(const std::vector<Comparison>& rows) {
+  util::Table table({"quantity", "paper", "measured"});
+  for (const auto& row : rows) {
+    table.row().add(row.quantity).add(row.paper).add(row.measured);
+  }
+  std::cout << "\nPaper vs. measured (shape comparison; absolute numbers are\n"
+               "scaled, see DESIGN.md):\n";
+  table.print(std::cout, 2);
+}
+
+SelfAttackWorld::SelfAttackWorld() : internet_(sim::InternetConfig{}) {
+  pools_.reserve(net::kAllVectors.size());
+  std::unordered_map<net::AmpVector, const sim::ReflectorPool*> pool_ptrs;
+  const std::uint32_t populations[] = {90'000, 200'000, 25'000, 8'000};
+  for (std::size_t i = 0; i < net::kAllVectors.size(); ++i) {
+    pools_.emplace_back(net::kAllVectors[i], populations[i]);
+  }
+  for (const auto& pool : pools_) pool_ptrs.emplace(pool.vector(), &pool);
+
+  util::Rng rng(2018);
+  util::Rng booter_rng = rng.fork("booters");
+  for (const auto& profile : sim::table1_booters()) {
+    services_.emplace_back(profile, pool_ptrs, booter_rng.fork(profile.name));
+  }
+  lab_.emplace(internet_, services_, rng.fork("lab"));
+}
+
+net::Asn SelfAttackWorld::transit_asn() const noexcept {
+  return internet_.topology().node(internet_.transit_provider()).asn;
+}
+
+std::vector<SelfAttackWorld::CampaignEntry> SelfAttackWorld::campaign() {
+  using net::AmpVector;
+  struct Row {
+    const char* label;
+    const char* date;
+    int hour;
+    std::size_t booter;
+    AmpVector vector;
+    bool vip;
+    bool transit;
+    std::uint32_t reflectors;
+    bool fig1a;
+  };
+  // Chronological campaign; dates align with Table 1's purchase windows
+  // (A: Apr+Aug, B: Jun-Sep, C: Apr-May, D: May) and straddle booter B's
+  // reflector-list switch on 2018-06-13 (Fig. 1(c) mark (1)).
+  static constexpr Row kRows[] = {
+      {"booter C NTP", "2018-04-12", 14, 2, AmpVector::kNtp, false, true, 250, true},
+      {"booter A NTP", "2018-04-25", 15, 0, AmpVector::kNtp, false, true, 350, true},
+      {"booter C NTP (no transit)", "2018-05-02", 13, 2, AmpVector::kNtp, false,
+       false, 250, true},
+      {"booter D NTP", "2018-05-16", 16, 3, AmpVector::kNtp, false, true, 280, true},
+      {"booter B NTP 1", "2018-06-05", 14, 1, AmpVector::kNtp, false, true, 380, true},
+      {"booter B NTP 2", "2018-06-12", 11, 1, AmpVector::kNtp, false, true, 380, true},
+      {"booter B NTP 2b", "2018-06-12", 16, 1, AmpVector::kNtp, false, true, 380,
+       false},
+      {"booter B NTP 3", "2018-06-13", 15, 1, AmpVector::kNtp, false, true, 380,
+       false},
+      {"booter B CLDAP", "2018-06-20", 12, 1, AmpVector::kCldap, false, true, 3800,
+       true},
+      {"booter B memcached", "2018-07-03", 14, 1, AmpVector::kMemcached, false,
+       true, 200, true},
+      {"booter B NTP (no transit)", "2018-07-11", 10, 1, AmpVector::kNtp, false,
+       false, 380, true},
+      {"booter B NTP VIP", "2018-09-05", 15, 1, AmpVector::kNtp, true, true, 380,
+       false},
+      {"booter B memcached VIP", "2018-07-12", 14, 1, AmpVector::kMemcached, true,
+       true, 200, false},
+      {"booter A NTP (no transit)", "2018-08-08", 13, 0, AmpVector::kNtp, false,
+       false, 350, true},
+      {"booter B NTP 4", "2018-08-22", 15, 1, AmpVector::kNtp, false, true, 380,
+       false},
+      {"booter B NTP 5", "2018-09-05", 12, 1, AmpVector::kNtp, false, true, 380,
+       false},
+  };
+
+  std::vector<CampaignEntry> entries;
+  entries.reserve(std::size(kRows));
+  std::uint32_t target_index = 0;
+  for (const Row& row : kRows) {
+    CampaignEntry entry;
+    entry.fig1a = row.fig1a;
+    entry.spec.label = row.label;
+    entry.spec.booter_index = row.booter;
+    entry.spec.vector = row.vector;
+    entry.spec.vip = row.vip;
+    entry.spec.transit_enabled = row.transit;
+    entry.spec.start = util::Timestamp::parse(row.date).value() +
+                       util::Duration::hours(row.hour);
+    entry.spec.duration = util::Duration::minutes(5);
+    entry.spec.reflector_count = row.reflectors;
+    entry.spec.target_index = target_index++;
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CampaignEntry& a, const CampaignEntry& b) {
+              return a.spec.start < b.spec.start;
+            });
+  return entries;
+}
+
+std::vector<sim::SelfAttackResult> SelfAttackWorld::run_campaign() {
+  std::vector<sim::SelfAttackResult> results;
+  for (const CampaignEntry& entry : campaign()) {
+    results.push_back(lab_->run(entry.spec));
+  }
+  return results;
+}
+
+}  // namespace booterscope::bench

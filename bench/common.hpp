@@ -1,0 +1,75 @@
+// Shared harness for the per-figure bench binaries.
+//
+// Each bench binary reproduces one table or figure of the paper: it builds
+// the synthetic Internet, runs the relevant experiment, prints the same
+// rows/series the paper reports, and appends a paper-vs-measured
+// comparison. Everything is deterministic for the default seeds.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/booter.hpp"
+#include "sim/internet.hpp"
+#include "sim/landscape.hpp"
+#include "sim/selfattack.hpp"
+#include "util/table.hpp"
+
+namespace booterscope::bench {
+
+/// Prints the standard bench header naming the figure being reproduced.
+void print_header(const std::string& experiment_id, const std::string& title);
+
+/// One paper-vs-measured comparison row.
+struct Comparison {
+  std::string quantity;
+  std::string paper;
+  std::string measured;
+};
+void print_comparisons(const std::vector<Comparison>& rows);
+
+/// The world shared by the self-attack benches: Internet + the four
+/// purchased booters of Table 1 wired to reflector pools.
+class SelfAttackWorld {
+ public:
+  SelfAttackWorld();
+
+  [[nodiscard]] const sim::Internet& internet() const noexcept { return internet_; }
+  [[nodiscard]] sim::SelfAttackLab& lab() noexcept { return *lab_; }
+  [[nodiscard]] const std::vector<sim::BooterService>& services() const noexcept {
+    return services_;
+  }
+  [[nodiscard]] net::Asn transit_asn() const noexcept;
+
+  /// The paper's measurement campaign (April - September 2018): 16
+  /// attacks, chronologically ordered. The first 10 entries marked
+  /// `fig1a` are the non-VIP runs of Fig. 1(a); the VIP runs of Fig. 1(b)
+  /// are flagged `vip`.
+  struct CampaignEntry {
+    sim::SelfAttackSpec spec;
+    bool fig1a = false;
+  };
+  [[nodiscard]] static std::vector<CampaignEntry> campaign();
+
+  /// Runs all campaign entries in chronological order.
+  [[nodiscard]] std::vector<sim::SelfAttackResult> run_campaign();
+
+ private:
+  sim::Internet internet_;
+  std::vector<sim::ReflectorPool> pools_;
+  std::vector<sim::BooterService> services_;
+  std::optional<sim::SelfAttackLab> lab_;
+};
+
+/// The landscape world shared by the §4/§5 benches (one full 122-day run).
+struct LandscapeWorld {
+  sim::Internet internet;
+  sim::LandscapeResult result;
+
+  LandscapeWorld()
+      : internet(sim::InternetConfig{}),
+        result(sim::run_landscape(internet, sim::paper_landscape_config())) {}
+};
+
+}  // namespace booterscope::bench

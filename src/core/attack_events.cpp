@@ -1,0 +1,109 @@
+#include "core/attack_events.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/descriptive.hpp"
+
+namespace booterscope::core {
+
+namespace {
+
+struct MinuteBin {
+  double bytes = 0.0;
+  std::unordered_set<std::uint32_t> sources;
+};
+
+}  // namespace
+
+std::vector<AttackEvent> extract_events(const flow::FlowList& flows,
+                                        const EventExtractorConfig& config) {
+  // Per victim: ordered minute bins.
+  std::unordered_map<net::Ipv4Addr, std::map<std::int64_t, MinuteBin>> victims;
+  const std::int64_t bin_ns = config.bin.total_nanos();
+  for (const flow::FlowRecord& f : flows) {
+    if (!is_reflection_flow(f, config.optimistic)) continue;
+    auto& bins = victims[f.dst];
+    const std::int64_t first_bin = f.first.floor_to(config.bin).nanos() / bin_ns;
+    const std::int64_t last_bin = f.last.floor_to(config.bin).nanos() / bin_ns;
+    const double bytes_per_bin =
+        f.scaled_bytes() / static_cast<double>(last_bin - first_bin + 1);
+    for (std::int64_t bin = first_bin; bin <= last_bin; ++bin) {
+      MinuteBin& minute = bins[bin];
+      minute.bytes += bytes_per_bin;
+      minute.sources.insert(f.src.value());
+    }
+  }
+
+  const std::int64_t max_gap_bins =
+      std::max<std::int64_t>(1, config.max_gap.total_nanos() / bin_ns);
+  const double bin_seconds = config.bin.as_seconds();
+
+  std::vector<AttackEvent> events;
+  for (auto& [victim, bins] : victims) {
+    AttackEvent current;
+    std::unordered_set<std::uint32_t> sources;
+    std::int64_t previous_bin = 0;
+    bool open = false;
+
+    auto close = [&]() {
+      if (!open) return;
+      current.unique_sources = static_cast<std::uint32_t>(sources.size());
+      if (current.active_minutes >= config.min_active_minutes) {
+        events.push_back(current);
+      }
+      sources.clear();
+      open = false;
+    };
+
+    for (const auto& [bin, minute] : bins) {
+      if (open && bin - previous_bin > max_gap_bins) close();
+      if (!open) {
+        current = AttackEvent{};
+        current.victim = victim;
+        current.start = util::Timestamp::from_nanos(bin * bin_ns);
+        open = true;
+      }
+      current.end = util::Timestamp::from_nanos((bin + 1) * bin_ns);
+      const double gbps = minute.bytes * 8.0 / bin_seconds / 1e9;
+      current.peak_gbps = std::max(current.peak_gbps, gbps);
+      current.total_gbit += minute.bytes * 8.0 / 1e9;
+      current.max_sources_per_minute =
+          std::max(current.max_sources_per_minute,
+                   static_cast<std::uint32_t>(minute.sources.size()));
+      ++current.active_minutes;
+      sources.insert(minute.sources.begin(), minute.sources.end());
+      previous_bin = bin;
+    }
+    close();
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const AttackEvent& a, const AttackEvent& b) {
+              if (a.victim != b.victim) return a.victim < b.victim;
+              return a.start < b.start;
+            });
+  return events;
+}
+
+EventStats summarize_events(const std::vector<AttackEvent>& events,
+                            const ConservativeFilterConfig& filter) {
+  EventStats stats;
+  stats.count = events.size();
+  std::vector<double> durations;
+  std::vector<double> peaks;
+  for (const AttackEvent& event : events) {
+    durations.push_back(
+        static_cast<double>(event.duration().total_seconds()) / 60.0);
+    peaks.push_back(event.peak_gbps);
+    stats.max_peak_gbps = std::max(stats.max_peak_gbps, event.peak_gbps);
+    stats.conservative_count += event.conservative(filter) ? 1u : 0u;
+  }
+  stats.median_duration_minutes = stats::median(durations);
+  stats.median_peak_gbps = stats::median(peaks);
+  return stats;
+}
+
+}  // namespace booterscope::core

@@ -1,0 +1,70 @@
+// Attack-event extraction: segments per-victim reflection traffic into
+// discrete attack events.
+//
+// The paper reports "the number of attacks observed" (§5, Fig. 5 counts
+// systems under attack per hour). Counting *events* rather than victim
+// hours requires segmenting each victim's minute-level timeline: an event
+// starts when classified traffic appears, absorbs gaps shorter than
+// `max_gap`, and ends otherwise. Event-level statistics (duration, peak,
+// amplifier count) also feed the landscape characterization and the
+// honeypot attribution pipeline (core/attribution.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "flow/record.hpp"
+#include "net/ipv4.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::core {
+
+struct AttackEvent {
+  net::Ipv4Addr victim;
+  util::Timestamp start;  // first active minute
+  util::Timestamp end;    // exclusive end of the last active minute
+  double peak_gbps = 0.0;
+  double total_gbit = 0.0;
+  std::uint32_t max_sources_per_minute = 0;
+  std::uint32_t unique_sources = 0;
+  std::uint32_t active_minutes = 0;
+
+  [[nodiscard]] util::Duration duration() const noexcept { return end - start; }
+  /// Conservative-filter verdict at event granularity.
+  [[nodiscard]] bool conservative(
+      const ConservativeFilterConfig& filter = {}) const noexcept {
+    return peak_gbps > filter.min_peak_gbps &&
+           unique_sources > filter.min_amplifiers;
+  }
+};
+
+struct EventExtractorConfig {
+  OptimisticFilterConfig optimistic;
+  util::Duration bin = util::Duration::minutes(1);
+  /// Silence longer than this ends the event (the paper's booter attacks
+  /// run minutes; brief sampling gaps must not split one attack in two).
+  util::Duration max_gap = util::Duration::minutes(5);
+  /// Events shorter than this are dropped as noise (single sampled
+  /// packets from scans).
+  std::uint32_t min_active_minutes = 1;
+};
+
+/// Extracts events from a flow set (any order). Events are returned
+/// ordered by (victim, start).
+[[nodiscard]] std::vector<AttackEvent> extract_events(
+    const flow::FlowList& flows, const EventExtractorConfig& config = {});
+
+/// Summary statistics over a set of events.
+struct EventStats {
+  std::size_t count = 0;
+  double median_duration_minutes = 0.0;
+  double median_peak_gbps = 0.0;
+  double max_peak_gbps = 0.0;
+  std::size_t conservative_count = 0;
+};
+[[nodiscard]] EventStats summarize_events(
+    const std::vector<AttackEvent>& events,
+    const ConservativeFilterConfig& filter = {});
+
+}  // namespace booterscope::core

@@ -1,0 +1,141 @@
+#include "core/attribution.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace booterscope::core {
+
+std::vector<HoneypotAttack> group_observations(
+    const std::vector<sim::HoneypotObservation>& log,
+    util::Duration merge_gap) {
+  // Bucket by (victim, vector), then merge time-adjacent observations.
+  struct Key {
+    std::uint32_t victim;
+    net::AmpVector vector;
+    bool operator<(const Key& other) const noexcept {
+      if (victim != other.victim) return victim < other.victim;
+      return vector < other.vector;
+    }
+  };
+  std::map<Key, std::vector<const sim::HoneypotObservation*>> buckets;
+  for (const auto& observation : log) {
+    buckets[Key{observation.victim.value(), observation.vector}].push_back(
+        &observation);
+  }
+
+  std::vector<HoneypotAttack> attacks;
+  for (auto& [key, observations] : buckets) {
+    std::sort(observations.begin(), observations.end(),
+              [](const auto* a, const auto* b) { return a->start < b->start; });
+    HoneypotAttack current;
+    util::Timestamp current_end;
+    bool open = false;
+    auto close = [&]() {
+      if (open) attacks.push_back(current);
+      open = false;
+    };
+    for (const auto* observation : observations) {
+      if (open && observation->start > current_end + merge_gap) close();
+      if (!open) {
+        current = HoneypotAttack{};
+        current.victim = observation->victim;
+        current.vector = observation->vector;
+        current.start = observation->start;
+        current.truth_booter = observation->truth_booter;
+        current_end = observation->start + observation->duration;
+        open = true;
+      }
+      current.honeypots.insert(observation->honeypot);
+      current_end =
+          std::max(current_end, observation->start + observation->duration);
+      current.duration = current_end - current.start;
+    }
+    close();
+  }
+  std::sort(attacks.begin(), attacks.end(),
+            [](const HoneypotAttack& a, const HoneypotAttack& b) {
+              return a.start < b.start;
+            });
+  return attacks;
+}
+
+std::vector<BooterFingerprint> build_fingerprints(
+    const std::vector<std::pair<std::string, HoneypotAttack>>& labeled) {
+  std::vector<BooterFingerprint> fingerprints;
+  for (const auto& [name, attack] : labeled) {
+    auto it = std::find_if(fingerprints.begin(), fingerprints.end(),
+                           [&name = name](const BooterFingerprint& fp) {
+                             return fp.booter == name;
+                           });
+    if (it == fingerprints.end()) {
+      fingerprints.push_back(BooterFingerprint{name, {}});
+      it = std::prev(fingerprints.end());
+    }
+    it->honeypots.insert(attack.honeypots.begin(), attack.honeypots.end());
+  }
+  return fingerprints;
+}
+
+Attribution attribute(const HoneypotAttack& attack,
+                      const std::vector<BooterFingerprint>& fingerprints,
+                      double min_confidence) {
+  Attribution result;
+  if (attack.honeypots.empty()) return result;
+
+  // Distinctiveness weights: honeypots shared by many fingerprints (public
+  // amplifier lists) are nearly uninformative.
+  std::unordered_map<std::uint32_t, double> weight;
+  for (const std::uint32_t honeypot : attack.honeypots) {
+    std::size_t frequency = 0;
+    for (const BooterFingerprint& fp : fingerprints) {
+      frequency += fp.honeypots.contains(honeypot) ? 1u : 0u;
+    }
+    weight[honeypot] =
+        frequency == 0 ? 0.0
+                       : 1.0 / (static_cast<double>(frequency) *
+                                static_cast<double>(frequency));
+  }
+  double total_weight = 0.0;
+  for (const auto& [honeypot, w] : weight) {
+    total_weight += w > 0.0 ? w : 1.0;  // unseen honeypots count against
+  }
+  if (total_weight <= 0.0) return result;
+
+  for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+    double covered = 0.0;
+    for (const std::uint32_t honeypot : attack.honeypots) {
+      if (fingerprints[i].honeypots.contains(honeypot)) {
+        covered += weight[honeypot];
+      }
+    }
+    const double confidence = covered / total_weight;
+    if (confidence > result.confidence) {
+      result.confidence = confidence;
+      result.fingerprint = i;
+    }
+  }
+  if (result.confidence < min_confidence) result.fingerprint.reset();
+  return result;
+}
+
+AttributionReport evaluate_attribution(
+    const std::vector<HoneypotAttack>& attacks,
+    const std::vector<BooterFingerprint>& fingerprints,
+    const std::vector<std::string>& truth_names, double min_confidence) {
+  AttributionReport report;
+  report.attacks = attacks.size();
+  for (const HoneypotAttack& attack : attacks) {
+    const Attribution attribution =
+        attribute(attack, fingerprints, min_confidence);
+    if (!attribution.fingerprint) continue;
+    ++report.attributed;
+    const std::string& guessed = fingerprints[*attribution.fingerprint].booter;
+    if (attack.truth_booter < truth_names.size() &&
+        truth_names[attack.truth_booter] == guessed) {
+      ++report.correct;
+    }
+  }
+  return report;
+}
+
+}  // namespace booterscope::core

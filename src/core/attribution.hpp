@@ -1,0 +1,93 @@
+// Linking amplification attacks to booter services via honeypot sightings
+// (after Krupp et al., RAID 2017 — reference [31] of the paper).
+//
+// Idea: each booter maintains its own amplifier list; the subset of
+// *honeypots* an attack tasks is therefore a fingerprint of the list that
+// launched it. Self-attacks (purchased, hence labeled) train per-booter
+// fingerprints; wild attacks are attributed to the booter whose
+// fingerprint best covers their honeypot set, or left unattributed when
+// no fingerprint matches well enough.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/protocol.hpp"
+#include "sim/honeypot.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::core {
+
+/// One attack as reconstructed from honeypot observations only.
+struct HoneypotAttack {
+  net::Ipv4Addr victim;
+  net::AmpVector vector = net::AmpVector::kNtp;
+  util::Timestamp start;
+  util::Duration duration;
+  std::unordered_set<std::uint32_t> honeypots;
+  /// Ground truth for evaluation (not used by attribution itself).
+  std::size_t truth_booter = 0;
+};
+
+/// Groups raw observations into attacks: same victim + vector, observation
+/// windows overlapping or within `merge_gap` of each other.
+[[nodiscard]] std::vector<HoneypotAttack> group_observations(
+    const std::vector<sim::HoneypotObservation>& log,
+    util::Duration merge_gap = util::Duration::minutes(10));
+
+struct BooterFingerprint {
+  std::string booter;
+  std::unordered_set<std::uint32_t> honeypots;  // union over labeled attacks
+};
+
+/// Builds fingerprints from labeled attacks (e.g. the self-attack
+/// campaign): attacks with the same label are merged.
+[[nodiscard]] std::vector<BooterFingerprint> build_fingerprints(
+    const std::vector<std::pair<std::string, HoneypotAttack>>& labeled);
+
+struct Attribution {
+  /// Index into the fingerprint vector; nullopt = unattributed.
+  std::optional<std::size_t> fingerprint;
+  /// Overlap coefficient |attack ∩ fingerprint| / |attack|.
+  double confidence = 0.0;
+};
+
+/// Attributes one attack. Honeypots are weighted by distinctiveness
+/// (inverse fingerprint frequency): amplifiers from shared public lists
+/// appear in many booters' fingerprints and carry little signal, while a
+/// honeypot only one booter ever tasked is near-conclusive. The
+/// fingerprint with the largest weighted coverage of the attack's
+/// honeypot set wins if it reaches `min_confidence`.
+[[nodiscard]] Attribution attribute(
+    const HoneypotAttack& attack,
+    const std::vector<BooterFingerprint>& fingerprints,
+    double min_confidence = 0.5);
+
+/// End-to-end evaluation against ground truth.
+struct AttributionReport {
+  std::size_t attacks = 0;
+  std::size_t attributed = 0;
+  std::size_t correct = 0;           // attributed to the true booter
+  [[nodiscard]] double coverage() const noexcept {
+    return attacks == 0 ? 0.0
+                        : static_cast<double>(attributed) /
+                              static_cast<double>(attacks);
+  }
+  [[nodiscard]] double precision() const noexcept {
+    return attributed == 0 ? 0.0
+                           : static_cast<double>(correct) /
+                                 static_cast<double>(attributed);
+  }
+};
+
+/// `truth_names[i]` is the booter name for truth index i.
+[[nodiscard]] AttributionReport evaluate_attribution(
+    const std::vector<HoneypotAttack>& attacks,
+    const std::vector<BooterFingerprint>& fingerprints,
+    const std::vector<std::string>& truth_names, double min_confidence = 0.5);
+
+}  // namespace booterscope::core

@@ -1,0 +1,95 @@
+#include "core/mitigation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <limits>
+#include <unordered_map>
+
+namespace booterscope::core {
+
+std::vector<BlackholeEntry> plan_blackholes(const flow::FlowList& flows,
+                                            const BlackholePolicy& policy) {
+  // Per victim: one-minute bins of classified reflection bytes (scaled).
+  const util::Duration bin = util::Duration::minutes(1);
+  const std::int64_t bin_ns = bin.total_nanos();
+  std::unordered_map<net::Ipv4Addr, std::map<std::int64_t, double>> victims;
+  for (const flow::FlowRecord& f : flows) {
+    if (!is_reflection_flow(f, policy.optimistic)) continue;
+    auto& bins = victims[f.dst];
+    const std::int64_t first_bin = f.first.floor_to(bin).nanos() / bin_ns;
+    const std::int64_t last_bin = f.last.floor_to(bin).nanos() / bin_ns;
+    const double bytes_per_bin =
+        f.scaled_bytes() / static_cast<double>(last_bin - first_bin + 1);
+    for (std::int64_t b = first_bin; b <= last_bin; ++b) {
+      bins[b] += bytes_per_bin;
+    }
+  }
+
+  const double trigger_bytes_per_minute =
+      policy.trigger_gbps * 1e9 / 8.0 * 60.0;
+  std::vector<BlackholeEntry> entries;
+  for (const auto& [victim, bins] : victims) {
+    util::Timestamp covered_until = util::Timestamp::from_nanos(
+        std::numeric_limits<std::int64_t>::min());
+    for (const auto& [b, bytes] : bins) {
+      if (bytes < trigger_bytes_per_minute) continue;
+      const util::Timestamp minute = util::Timestamp::from_nanos(b * bin_ns);
+      if (minute < covered_until) continue;  // already blackholed
+      BlackholeEntry entry;
+      entry.victim = victim;
+      entry.active_from = minute + policy.reaction;
+      entry.active_until = entry.active_from + policy.hold;
+      covered_until = entry.active_until;
+      entries.push_back(entry);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const BlackholeEntry& a, const BlackholeEntry& b) {
+              return a.active_from < b.active_from;
+            });
+  return entries;
+}
+
+BlackholeOutcome apply_blackholes(const flow::FlowList& flows,
+                                  const std::vector<BlackholeEntry>& entries,
+                                  const OptimisticFilterConfig& optimistic,
+                                  flow::FlowList* residual) {
+  BlackholeOutcome outcome;
+  outcome.announcements = entries.size();
+
+  std::unordered_map<net::Ipv4Addr, std::vector<const BlackholeEntry*>>
+      by_victim;
+  for (const BlackholeEntry& entry : entries) {
+    by_victim[entry.victim].push_back(&entry);
+    outcome.victim_blackout_minutes += static_cast<double>(
+        (entry.active_until - entry.active_from).total_minutes());
+  }
+  outcome.victims = by_victim.size();
+
+  auto covered = [&](net::Ipv4Addr victim, util::Timestamp t) {
+    const auto it = by_victim.find(victim);
+    if (it == by_victim.end()) return false;
+    for (const BlackholeEntry* entry : it->second) {
+      if (t >= entry->active_from && t < entry->active_until) return true;
+    }
+    return false;
+  };
+
+  for (const flow::FlowRecord& f : flows) {
+    const bool attack = is_reflection_flow(f, optimistic);
+    // A flow is dropped if its midpoint falls inside an active window
+    // (minute-scale flows; exact partial overlap is below bin resolution).
+    const util::Timestamp midpoint =
+        f.first + (f.last - f.first) / 2;
+    const bool dropped = covered(f.dst, midpoint);
+    if (attack) {
+      const double gbit = f.scaled_bytes() * 8.0 / 1e9;
+      (dropped ? outcome.attack_gbit_dropped : outcome.attack_gbit_passed) +=
+          gbit;
+    }
+    if (!dropped && residual != nullptr) residual->push_back(f);
+  }
+  return outcome;
+}
+
+}  // namespace booterscope::core

@@ -1,0 +1,71 @@
+// Operator-side DDoS mitigation: remotely-triggered blackholing (RTBH).
+//
+// The paper's IXP (like DE-CIX in reality) offers blackholing: a member
+// announces a /32 for the victim with a blackhole community and the fabric
+// drops all traffic to it — sacrificing the victim's reachability to
+// protect links and the rest of the network. Together with the simulator's
+// reflector-remediation rollout (sim/landscape.hpp) this lets the
+// `bench_mitigation` experiment compare interventions the paper's
+// conclusion argues about: seizing front-ends vs. cleaning up reflectors
+// vs. operator-side blackholing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "flow/record.hpp"
+#include "net/ipv4.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::core {
+
+struct BlackholePolicy {
+  OptimisticFilterConfig optimistic;
+  /// A victim whose classified reflection traffic exceeds this rate in a
+  /// one-minute bin gets blackholed.
+  double trigger_gbps = 5.0;
+  /// Detection + BGP propagation delay before the blackhole takes effect.
+  util::Duration reaction = util::Duration::minutes(5);
+  /// How long the /32 announcement is kept up after triggering.
+  util::Duration hold = util::Duration::hours(2);
+};
+
+struct BlackholeEntry {
+  net::Ipv4Addr victim;
+  util::Timestamp active_from;
+  util::Timestamp active_until;
+};
+
+/// Scans flows and plans blackhole announcements per the policy. A victim
+/// re-triggers after a hold expires if the attack persists.
+[[nodiscard]] std::vector<BlackholeEntry> plan_blackholes(
+    const flow::FlowList& flows, const BlackholePolicy& policy);
+
+struct BlackholeOutcome {
+  std::size_t announcements = 0;
+  std::size_t victims = 0;
+  /// Attack volume removed from the fabric while blackholes were active.
+  double attack_gbit_dropped = 0.0;
+  /// Attack volume that still went through (before triggers / below
+  /// threshold / other victims).
+  double attack_gbit_passed = 0.0;
+  /// Collateral: ALL traffic to a blackholed victim is dropped, including
+  /// its legitimate traffic — this counts the victim-minutes of blackout.
+  double victim_blackout_minutes = 0.0;
+
+  [[nodiscard]] double drop_share() const noexcept {
+    const double total = attack_gbit_dropped + attack_gbit_passed;
+    return total > 0.0 ? attack_gbit_dropped / total : 0.0;
+  }
+};
+
+/// Applies planned blackholes to a flow set: classified reflection flows
+/// to a blackholed victim inside an active window are dropped. Returns
+/// the outcome; `residual` (if non-null) receives the surviving flows.
+[[nodiscard]] BlackholeOutcome apply_blackholes(
+    const flow::FlowList& flows, const std::vector<BlackholeEntry>& entries,
+    const OptimisticFilterConfig& optimistic = {},
+    flow::FlowList* residual = nullptr);
+
+}  // namespace booterscope::core

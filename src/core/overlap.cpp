@@ -1,0 +1,66 @@
+#include "core/overlap.hpp"
+
+#include <algorithm>
+
+namespace booterscope::core {
+
+OverlapAnalysis analyze_overlap(const std::vector<AttackReflectorSet>& sets,
+                                util::Duration short_term) {
+  OverlapAnalysis analysis;
+  const std::size_t n = sets.size();
+  analysis.labels.reserve(n);
+  std::unordered_set<std::uint32_t> all;
+  for (const auto& set : sets) {
+    analysis.labels.push_back(set.label);
+    all.insert(set.reflectors.begin(), set.reflectors.end());
+  }
+  analysis.total_distinct_reflectors = all.size();
+
+  analysis.jaccard.assign(n, std::vector<double>(n, 0.0));
+  double same_short_sum = 0.0;
+  std::size_t same_short_count = 0;
+  double same_long_sum = 0.0;
+  std::size_t same_long_count = 0;
+  double cross_sum = 0.0;
+  std::size_t cross_count = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    analysis.jaccard[i][i] = sets[i].reflectors.empty() ? 0.0 : 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double value =
+          stats::jaccard(sets[i].reflectors, sets[j].reflectors);
+      analysis.jaccard[i][j] = value;
+      analysis.jaccard[j][i] = value;
+      if (sets[i].booter == sets[j].booter) {
+        const util::Duration gap = sets[i].when < sets[j].when
+                                       ? sets[j].when - sets[i].when
+                                       : sets[i].when - sets[j].when;
+        if (gap <= short_term) {
+          same_short_sum += value;
+          ++same_short_count;
+        } else {
+          same_long_sum += value;
+          ++same_long_count;
+        }
+      } else {
+        cross_sum += value;
+        ++cross_count;
+        analysis.cross_booter_max = std::max(analysis.cross_booter_max, value);
+      }
+    }
+  }
+  if (same_short_count > 0) {
+    analysis.same_booter_short_term =
+        same_short_sum / static_cast<double>(same_short_count);
+  }
+  if (same_long_count > 0) {
+    analysis.same_booter_long_term =
+        same_long_sum / static_cast<double>(same_long_count);
+  }
+  if (cross_count > 0) {
+    analysis.cross_booter = cross_sum / static_cast<double>(cross_count);
+  }
+  return analysis;
+}
+
+}  // namespace booterscope::core

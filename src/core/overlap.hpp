@@ -1,0 +1,48 @@
+// Reflector-set overlap analysis across self-attacks (§3.2, Fig. 1(c)).
+//
+// Computes the pairwise overlap matrix of the reflector sets observed in a
+// series of attacks and extracts the findings the paper reads off it:
+// stable same-booter lists with moderate churn, sudden full list switches,
+// same-day reuse, cross-booter sharing, and the total distinct reflector
+// count vs. the global amplifier population.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "stats/setops.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::core {
+
+struct AttackReflectorSet {
+  std::string label;    // e.g. "B NTP 18-06-12"
+  std::string booter;   // booter name for same/cross-booter grouping
+  util::Timestamp when;
+  std::unordered_set<std::uint32_t> reflectors;  // observed source IPs
+};
+
+struct OverlapAnalysis {
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> jaccard;  // symmetric, diagonal 1
+  std::size_t total_distinct_reflectors = 0;
+
+  /// Mean Jaccard of same-booter pairs within `within` of each other.
+  double same_booter_short_term = 0.0;
+  /// Mean Jaccard of same-booter pairs further apart than `within`.
+  double same_booter_long_term = 0.0;
+  /// Mean Jaccard across different booters.
+  double cross_booter = 0.0;
+  /// Maximum cross-booter overlap (paper: reflectors "occasionally overlap
+  /// between booter services").
+  double cross_booter_max = 0.0;
+};
+
+/// `short_term` bounds the "same day / adjacent attacks" pair distance.
+[[nodiscard]] OverlapAnalysis analyze_overlap(
+    const std::vector<AttackReflectorSet>& sets,
+    util::Duration short_term = util::Duration::days(2));
+
+}  // namespace booterscope::core

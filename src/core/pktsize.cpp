@@ -1,0 +1,31 @@
+#include "core/pktsize.hpp"
+
+namespace booterscope::core {
+
+namespace {
+
+[[nodiscard]] bool on_port(const flow::FlowRecord& f, std::uint16_t port) noexcept {
+  return f.proto == net::IpProto::kUdp &&
+         (f.src_port == port || f.dst_port == port);
+}
+
+}  // namespace
+
+stats::Histogram packet_size_distribution(std::span<const flow::FlowRecord> flows,
+                                          const PacketSizeConfig& config) {
+  stats::Histogram histogram(config.histogram_lo, config.histogram_hi,
+                             config.bins);
+  for (const flow::FlowRecord& f : flows) {
+    if (!on_port(f, config.service_port) || f.packets == 0) continue;
+    histogram.add(f.mean_packet_size(),
+                  static_cast<std::uint64_t>(f.scaled_packets()));
+  }
+  return histogram;
+}
+
+double share_below(std::span<const flow::FlowRecord> flows, double threshold,
+                   const PacketSizeConfig& config) {
+  return packet_size_distribution(flows, config).mass_below(threshold);
+}
+
+}  // namespace booterscope::core

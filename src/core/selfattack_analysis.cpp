@@ -1,0 +1,77 @@
+#include "core/selfattack_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace booterscope::core {
+
+CaptureAnalysis analyze_capture(const flow::FlowList& capture,
+                                net::Ipv4Addr target, net::Asn transit_asn) {
+  CaptureAnalysis analysis;
+
+  struct SecondState {
+    double bytes = 0.0;
+    std::unordered_set<std::uint32_t> reflectors;
+    std::unordered_set<std::uint32_t> peers;
+  };
+  std::map<std::int64_t, SecondState> seconds;
+  std::unordered_set<std::uint32_t> all_reflectors;
+  std::unordered_set<std::uint32_t> all_peers;
+  double transit_bytes = 0.0;
+  double total_bytes = 0.0;
+  std::unordered_map<std::uint32_t, double> peering_bytes_by_peer;
+
+  for (const flow::FlowRecord& f : capture) {
+    if (f.dst != target) continue;
+    const std::int64_t first_s = f.first.seconds();
+    const std::int64_t last_s = std::max(f.last.seconds(), first_s);
+    const double bytes_per_second =
+        f.scaled_bytes() / static_cast<double>(last_s - first_s + 1);
+    for (std::int64_t s = first_s; s <= last_s; ++s) {
+      SecondState& state = seconds[s];
+      state.bytes += bytes_per_second;
+      state.reflectors.insert(f.src.value());
+      state.peers.insert(f.peer_asn.number());
+    }
+    all_reflectors.insert(f.src.value());
+    all_peers.insert(f.peer_asn.number());
+    total_bytes += f.scaled_bytes();
+    if (f.peer_asn == transit_asn) {
+      transit_bytes += f.scaled_bytes();
+    } else {
+      peering_bytes_by_peer[f.peer_asn.number()] += f.scaled_bytes();
+    }
+  }
+
+  analysis.per_second.reserve(seconds.size());
+  double sum_mbps = 0.0;
+  for (const auto& [second, state] : seconds) {
+    CaptureSecond sample;
+    sample.second = util::Timestamp::from_seconds(second);
+    sample.mbps = state.bytes * 8.0 / 1e6;
+    sample.reflectors = static_cast<std::uint32_t>(state.reflectors.size());
+    sample.peer_ases = static_cast<std::uint32_t>(state.peers.size());
+    analysis.peak_mbps = std::max(analysis.peak_mbps, sample.mbps);
+    sum_mbps += sample.mbps;
+    analysis.per_second.push_back(sample);
+  }
+  if (!analysis.per_second.empty()) {
+    analysis.mean_mbps = sum_mbps / static_cast<double>(analysis.per_second.size());
+  }
+  analysis.unique_reflectors = static_cast<std::uint32_t>(all_reflectors.size());
+  analysis.unique_peer_ases = static_cast<std::uint32_t>(all_peers.size());
+  analysis.transit_share = total_bytes > 0.0 ? transit_bytes / total_bytes : 0.0;
+
+  double peering_total = 0.0;
+  double peering_top = 0.0;
+  for (const auto& [peer, bytes] : peering_bytes_by_peer) {
+    peering_total += bytes;
+    peering_top = std::max(peering_top, bytes);
+  }
+  analysis.top_peer_share_of_peering =
+      peering_total > 0.0 ? peering_top / peering_total : 0.0;
+  return analysis;
+}
+
+}  // namespace booterscope::core

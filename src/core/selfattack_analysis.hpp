@@ -1,0 +1,46 @@
+// Post-mortem analysis of a self-attack capture (§3.2, Fig. 1(a,b)).
+//
+// Works purely on the captured flow records of the measurement AS — the
+// same information the authors had — and derives the per-second received
+// volume, the number of distinct reflectors, the number of adjacent ASes
+// handing traffic over, and the transit/peering handover split.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "flow/record.hpp"
+#include "net/asn.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::core {
+
+struct CaptureSecond {
+  util::Timestamp second;
+  double mbps = 0.0;
+  std::uint32_t reflectors = 0;
+  std::uint32_t peer_ases = 0;
+};
+
+struct CaptureAnalysis {
+  std::vector<CaptureSecond> per_second;
+  std::uint32_t unique_reflectors = 0;
+  std::uint32_t unique_peer_ases = 0;
+  double peak_mbps = 0.0;
+  double mean_mbps = 0.0;
+  /// Byte share received from the given transit AS vs. everything else.
+  double transit_share = 0.0;
+  /// Byte share of the single largest contributing peer AS among the
+  /// peering (non-transit) traffic — the paper reports one member carrying
+  /// 45.55% of VIP NTP peering traffic and 33.58% of the Memcached attack.
+  double top_peer_share_of_peering = 0.0;
+};
+
+/// Analyzes capture flows toward a single target. `transit_asn` identifies
+/// the transit provider's handover; everything else is IXP peering.
+[[nodiscard]] CaptureAnalysis analyze_capture(const flow::FlowList& capture,
+                                              net::Ipv4Addr target,
+                                              net::Asn transit_asn);
+
+}  // namespace booterscope::core

@@ -1,0 +1,88 @@
+#include "core/takedown.hpp"
+
+#include <map>
+
+#include "core/victims.hpp"
+
+namespace booterscope::core {
+
+stats::BinnedSeries daily_packets_to_port(const flow::FlowList& flows,
+                                          std::uint16_t service_port,
+                                          util::Timestamp start, int days) {
+  stats::BinnedSeries series(start, util::Duration::days(1),
+                             static_cast<std::size_t>(days));
+  for (const flow::FlowRecord& f : flows) {
+    if (!is_to_reflector_flow(f, service_port)) continue;
+    series.add(f.first, f.scaled_packets());
+  }
+  return series;
+}
+
+stats::BinnedSeries daily_packets_from_reflectors(
+    const flow::FlowList& flows, const OptimisticFilterConfig& filter,
+    util::Timestamp start, int days) {
+  stats::BinnedSeries series(start, util::Duration::days(1),
+                             static_cast<std::size_t>(days));
+  for (const flow::FlowRecord& f : flows) {
+    if (!is_reflection_flow(f, filter)) continue;
+    series.add(f.first, f.scaled_packets());
+  }
+  return series;
+}
+
+stats::BinnedSeries hourly_attacked_systems(const flow::FlowList& flows,
+                                            const ConservativeFilterConfig& filter,
+                                            util::Timestamp start, int days) {
+  // One aggregator per hour; flows are attributed to the hour of their
+  // start (attack flows in this pipeline are minute-scale).
+  std::map<std::int64_t, VictimAggregator> hours;
+  const VictimAggregatorConfig aggregator_config{filter,
+                                                 util::Duration::minutes(1)};
+  for (const flow::FlowRecord& f : flows) {
+    if (!is_reflection_flow(f, filter.optimistic)) continue;
+    const std::int64_t hour = f.first.floor_to(util::Duration::hours(1)).nanos();
+    auto [it, inserted] = hours.try_emplace(hour, aggregator_config);
+    it->second.add(f);
+  }
+
+  stats::BinnedSeries series(start, util::Duration::hours(1),
+                             static_cast<std::size_t>(days) * 24);
+  for (const auto& [hour_ns, aggregator] : hours) {
+    std::uint64_t attacked = 0;
+    for (const VictimSummary& summary : aggregator.summarize()) {
+      if (summary.verdict.conservative()) ++attacked;
+    }
+    series.add(util::Timestamp::from_nanos(hour_ns),
+               static_cast<double>(attacked));
+  }
+  return series;
+}
+
+namespace {
+
+[[nodiscard]] WindowMetrics window_metrics(const stats::BinnedSeries& daily,
+                                           util::Timestamp event, int days,
+                                           double alpha) {
+  WindowMetrics metrics;
+  metrics.window_days = days;
+  const stats::EventWindows windows = stats::windows_around(daily, event, days);
+  metrics.welch = stats::welch_t_test(windows.before, windows.after);
+  metrics.significant = metrics.welch.significant_reduction(alpha);
+  metrics.reduction = metrics.welch.reduction_ratio();
+  return metrics;
+}
+
+}  // namespace
+
+TakedownMetrics takedown_metrics(const stats::BinnedSeries& daily,
+                                 util::Timestamp event, double alpha) {
+  return TakedownMetrics{window_metrics(daily, event, 30, alpha),
+                         window_metrics(daily, event, 40, alpha)};
+}
+
+TakedownMetrics takedown_metrics_rebinned(const stats::BinnedSeries& series,
+                                          util::Timestamp event, double alpha) {
+  return takedown_metrics(series.rebin(util::Duration::days(1)), event, alpha);
+}
+
+}  // namespace booterscope::core

@@ -1,0 +1,69 @@
+#include "core/victims.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace booterscope::core {
+
+bool VictimAggregator::add(const flow::FlowRecord& f) {
+  if (!is_reflection_flow(f, config_.filter.optimistic)) return false;
+
+  VictimState& state = victims_[f.dst];
+  const std::int64_t bin_ns = config_.bin.total_nanos();
+  const std::int64_t first_bin = f.first.floor_to(config_.bin).nanos() / bin_ns;
+  const std::int64_t last_bin = f.last.floor_to(config_.bin).nanos() / bin_ns;
+  const auto span = static_cast<double>(last_bin - first_bin + 1);
+  const double bytes_per_bin = f.scaled_bytes() / span;
+  for (std::int64_t bin = first_bin; bin <= last_bin; ++bin) {
+    MinuteBin& minute = state.minutes[bin];
+    minute.bytes += bytes_per_bin;
+    minute.sources.insert(f.src.value());
+  }
+  state.all_sources.insert(f.src.value());
+  state.scaled_packets += static_cast<std::uint64_t>(f.scaled_packets());
+  if (!state.any || f.first < state.first_seen) state.first_seen = f.first;
+  if (!state.any || f.last > state.last_seen) state.last_seen = f.last;
+  state.any = true;
+  return true;
+}
+
+std::vector<VictimSummary> VictimAggregator::summarize() const {
+  std::vector<VictimSummary> result;
+  result.reserve(victims_.size());
+  const double bin_seconds = config_.bin.as_seconds();
+  for (const auto& [destination, state] : victims_) {
+    VictimSummary summary;
+    summary.destination = destination;
+    for (const auto& [bin, minute] : state.minutes) {
+      summary.max_gbps_per_minute = std::max(
+          summary.max_gbps_per_minute, minute.bytes * 8.0 / bin_seconds / 1e9);
+      summary.max_sources_per_minute =
+          std::max(summary.max_sources_per_minute,
+                   static_cast<std::uint32_t>(minute.sources.size()));
+    }
+    summary.unique_sources =
+        static_cast<std::uint32_t>(state.all_sources.size());
+    summary.total_scaled_packets = state.scaled_packets;
+    summary.first_seen = state.first_seen;
+    summary.last_seen = state.last_seen;
+    summary.verdict.passes_rate =
+        summary.max_gbps_per_minute > config_.filter.min_peak_gbps;
+    summary.verdict.passes_amplifiers =
+        summary.unique_sources > config_.filter.min_amplifiers;
+    result.push_back(summary);
+  }
+  return result;
+}
+
+VictimAggregator::Reduction VictimAggregator::reduction() const {
+  Reduction result;
+  for (const VictimSummary& summary : summarize()) {
+    ++result.total;
+    if (summary.verdict.passes_rate) ++result.pass_rate_only;
+    if (summary.verdict.passes_amplifiers) ++result.pass_amplifiers_only;
+    if (summary.verdict.conservative()) ++result.pass_both;
+  }
+  return result;
+}
+
+}  // namespace booterscope::core

@@ -1,0 +1,104 @@
+// Per-destination (victim) aggregation of reflection traffic (§4,
+// Fig. 2(b) and 2(c)).
+//
+// For every destination of optimistically-classified NTP reflection
+// traffic, accumulates one-minute bins of scaled traffic volume and the
+// set of distinct amplification sources, then summarizes:
+//   - max Gbps over any one-minute bin,
+//   - max distinct sources within any one-minute bin,
+//   - total unique sources across the observation,
+// and evaluates the conservative filter rules.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "flow/record.hpp"
+#include "net/ipv4.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::core {
+
+struct VictimSummary {
+  net::Ipv4Addr destination;
+  double max_gbps_per_minute = 0.0;
+  std::uint32_t max_sources_per_minute = 0;
+  std::uint32_t unique_sources = 0;
+  std::uint64_t total_scaled_packets = 0;
+  util::Timestamp first_seen;
+  util::Timestamp last_seen;
+  DestinationVerdict verdict;
+};
+
+struct VictimAggregatorConfig {
+  ConservativeFilterConfig filter;
+  util::Duration bin = util::Duration::minutes(1);
+};
+
+/// Streaming aggregator: feed reflection flows (any order), then summarize.
+class VictimAggregator {
+ public:
+  explicit VictimAggregator(VictimAggregatorConfig config = {}) noexcept
+      : config_(config) {}
+
+  /// Accounts a flow if it passes the optimistic filter; returns whether it
+  /// was accepted. Bytes are attributed evenly across the minutes the flow
+  /// spans; the source counts toward every spanned minute.
+  bool add(const flow::FlowRecord& f);
+
+  /// Number of destinations currently tracked (the paper's "311K
+  /// destinations receiving NTP reflection traffic").
+  [[nodiscard]] std::size_t destination_count() const noexcept {
+    return victims_.size();
+  }
+
+  /// Final per-victim summaries (order unspecified).
+  [[nodiscard]] std::vector<VictimSummary> summarize() const;
+
+  /// Destinations surviving the conservative filter, and the paper's
+  /// reduction statistics for rule (a) only / rule (b) only / both.
+  struct Reduction {
+    std::size_t total = 0;
+    std::size_t pass_rate_only = 0;       // rule (a)
+    std::size_t pass_amplifiers_only = 0; // rule (b)
+    std::size_t pass_both = 0;
+    [[nodiscard]] double reduction_both() const noexcept {
+      return total == 0 ? 0.0
+                        : 1.0 - static_cast<double>(pass_both) /
+                                    static_cast<double>(total);
+    }
+    [[nodiscard]] double reduction_rate_only() const noexcept {
+      return total == 0 ? 0.0
+                        : 1.0 - static_cast<double>(pass_rate_only) /
+                                    static_cast<double>(total);
+    }
+    [[nodiscard]] double reduction_amplifiers_only() const noexcept {
+      return total == 0 ? 0.0
+                        : 1.0 - static_cast<double>(pass_amplifiers_only) /
+                                    static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] Reduction reduction() const;
+
+ private:
+  struct MinuteBin {
+    double bytes = 0.0;  // scaled
+    std::unordered_set<std::uint32_t> sources;
+  };
+  struct VictimState {
+    std::unordered_map<std::int64_t, MinuteBin> minutes;
+    std::unordered_set<std::uint32_t> all_sources;
+    std::uint64_t scaled_packets = 0;
+    util::Timestamp first_seen;
+    util::Timestamp last_seen;
+    bool any = false;
+  };
+
+  VictimAggregatorConfig config_;
+  std::unordered_map<net::Ipv4Addr, VictimState> victims_;
+};
+
+}  // namespace booterscope::core

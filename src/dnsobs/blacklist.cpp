@@ -1,0 +1,89 @@
+#include "dnsobs/blacklist.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace booterscope::dnsobs {
+
+std::optional<std::size_t> Blacklist::find(std::string_view domain) const {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].domain == domain) return i;
+  }
+  return std::nullopt;
+}
+
+Blacklist generate_blacklist(const Observatory& observatory,
+                             util::Timestamp start, util::Timestamp end) {
+  Blacklist blacklist;
+  blacklist.generated_at = end;
+
+  std::unordered_map<std::size_t, BlacklistEntry> by_domain;
+  util::Timestamp last_week = start;
+  for (util::Timestamp week = start; week < end;
+       week += util::Duration::days(7)) {
+    last_week = week;
+    for (const std::size_t index : observatory.keyword_hits_at(week)) {
+      // "Manual verification": drop the keyword false positives.
+      if (!observatory.domains()[index].is_booter) continue;
+      auto [it, inserted] = by_domain.try_emplace(index);
+      BlacklistEntry& entry = it->second;
+      if (inserted) {
+        entry.domain = observatory.domains()[index].name;
+        entry.first_seen = week;
+      }
+      entry.last_seen = week;
+      ++entry.weeks_seen;
+    }
+  }
+  for (auto& [index, entry] : by_domain) {
+    entry.online = entry.last_seen == last_week;
+    blacklist.entries.push_back(std::move(entry));
+  }
+  std::sort(blacklist.entries.begin(), blacklist.entries.end(),
+            [](const BlacklistEntry& a, const BlacklistEntry& b) {
+              if (a.first_seen != b.first_seen) return a.first_seen < b.first_seen;
+              return a.domain < b.domain;
+            });
+  return blacklist;
+}
+
+BlacklistDelta diff_weeks(const Observatory& observatory,
+                          util::Timestamp week_a, util::Timestamp week_b) {
+  auto verified = [&](util::Timestamp week) {
+    std::unordered_set<std::size_t> result;
+    for (const std::size_t index : observatory.keyword_hits_at(week)) {
+      if (observatory.domains()[index].is_booter) result.insert(index);
+    }
+    return result;
+  };
+  const auto a = verified(week_a);
+  const auto b = verified(week_b);
+  BlacklistDelta delta;
+  for (const std::size_t index : b) {
+    if (!a.contains(index)) {
+      delta.appeared.push_back(observatory.domains()[index].name);
+    }
+  }
+  for (const std::size_t index : a) {
+    if (!b.contains(index)) {
+      delta.disappeared.push_back(observatory.domains()[index].name);
+    }
+  }
+  std::sort(delta.appeared.begin(), delta.appeared.end());
+  std::sort(delta.disappeared.begin(), delta.disappeared.end());
+  return delta;
+}
+
+std::string to_csv(const Blacklist& blacklist) {
+  std::string csv = "domain,first_seen,last_seen,online,weeks_seen\n";
+  for (const BlacklistEntry& entry : blacklist.entries) {
+    csv += entry.domain + "," + entry.first_seen.date_string() + "," +
+           entry.last_seen.date_string() + "," +
+           (entry.online ? "yes" : "no") + "," +
+           std::to_string(entry.weeks_seen) + "\n";
+  }
+  return csv;
+}
+
+}  // namespace booterscope::dnsobs

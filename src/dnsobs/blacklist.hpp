@@ -1,0 +1,59 @@
+// Booter blacklist generation (after Santanna et al., CNSM 2016 —
+// reference [46], the source the paper selects its booters from).
+//
+// The blacklist pipeline: weekly zone crawls → keyword candidates →
+// verification → a dated list of booter domains with first/last-seen
+// weeks. The paper uses exactly such a list (plus Alexa ranks) to pick
+// the four booters of Table 1 and to identify the 58 domains of Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnsobs/observatory.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::dnsobs {
+
+struct BlacklistEntry {
+  std::string domain;
+  util::Timestamp first_seen;  // first weekly crawl that verified it
+  util::Timestamp last_seen;   // most recent crawl it was still live
+  bool online = false;         // live at the final crawl
+  std::uint32_t weeks_seen = 0;
+};
+
+struct Blacklist {
+  util::Timestamp generated_at;
+  std::vector<BlacklistEntry> entries;
+
+  [[nodiscard]] std::size_t online_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& entry : entries) count += entry.online ? 1u : 0u;
+    return count;
+  }
+  [[nodiscard]] std::optional<std::size_t> find(std::string_view domain) const;
+};
+
+/// Runs weekly crawls over [start, end) against the observatory, verifying
+/// keyword hits with ground truth (standing in for the paper's manual
+/// verification step), and assembles the dated blacklist.
+[[nodiscard]] Blacklist generate_blacklist(const Observatory& observatory,
+                                           util::Timestamp start,
+                                           util::Timestamp end);
+
+/// Week-over-week delta — the "rise and fall of booter websites" (§2).
+struct BlacklistDelta {
+  std::vector<std::string> appeared;
+  std::vector<std::string> disappeared;
+};
+[[nodiscard]] BlacklistDelta diff_weeks(const Observatory& observatory,
+                                        util::Timestamp week_a,
+                                        util::Timestamp week_b);
+
+/// CSV rendering: domain,first_seen,last_seen,online,weeks_seen.
+[[nodiscard]] std::string to_csv(const Blacklist& blacklist);
+
+}  // namespace booterscope::dnsobs

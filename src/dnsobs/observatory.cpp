@@ -1,0 +1,217 @@
+#include "dnsobs/observatory.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/hash.hpp"
+
+namespace booterscope::dnsobs {
+
+namespace {
+
+constexpr std::array<std::string_view, 6> kKeywords = {
+    "booter", "stresser", "stressor", "ddos", "ipstress", "stress-test"};
+
+constexpr std::array<std::string_view, 16> kPrefixes = {
+    "quantum", "titanium", "critical", "mega",  "dark",  "insta",
+    "net",     "power",    "vip",      "turbo", "cyber", "storm",
+    "rage",    "apex",     "nova",     "ultra"};
+
+constexpr std::array<std::string_view, 3> kCores = {"stresser", "booter",
+                                                    "ddos"};
+
+constexpr std::array<std::string_view, 3> kTlds = {".com", ".net", ".org"};
+
+// Benign sites that the keyword search also hits — the reason the paper
+// needed manual verification of every match.
+constexpr std::array<std::string_view, 8> kFalsePositiveStems = {
+    "stress-test-equipment", "booter-seat-store", "ddos-protection-guide",
+    "stresser-relief-yoga",  "carbooter-parts",   "ipstress-research",
+    "booterang-sports",      "antistresser-spa"};
+
+constexpr util::SipKey kRankKey{0x616c6578612d726bULL, 0x626f6f7465727363ULL};
+
+/// Deterministic per-(domain, day) noise in [0, 1).
+[[nodiscard]] double daily_noise(std::size_t domain_index,
+                                 util::Timestamp day) noexcept {
+  const std::uint64_t h = util::siphash24(
+      kRankKey, (static_cast<std::uint64_t>(domain_index) << 32) ^
+                    static_cast<std::uint64_t>(day.seconds() / 86'400));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool matches_booter_keywords(std::string_view domain) noexcept {
+  for (const std::string_view keyword : kKeywords) {
+    if (domain.find(keyword) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+ObservatoryConfig paper_observatory_config() {
+  ObservatoryConfig config;
+  config.window_start = util::Timestamp::parse("2016-08-01").value();
+  config.window_end = util::Timestamp::parse("2019-05-01").value();
+  config.takedown = util::Timestamp::parse("2018-12-19").value();
+  return config;
+}
+
+Observatory::Observatory(const ObservatoryConfig& config) : config_(config) {
+  util::Rng rng(config.seed);
+  const double window_days = static_cast<double>(
+      (config.window_end - config.window_start).total_days());
+
+  // Booter domains, appearing at an accelerating pace over the window (the
+  // paper observes the population growing over time).
+  for (std::size_t i = 0; i < config.booter_domains; ++i) {
+    DomainRecord record;
+    const std::string_view prefix = kPrefixes[rng.bounded(kPrefixes.size())];
+    const std::string_view core = kCores[rng.bounded(kCores.size())];
+    const std::string_view tld = kTlds[rng.bounded(kTlds.size())];
+    record.name = std::string(prefix) + "-" + std::string(core) +
+                  std::to_string(i) + std::string(tld);
+    record.is_booter = true;
+    // sqrt-skewed arrival: more births late in the window.
+    const double arrival = std::pow(rng.uniform(), 0.6) * window_days * 0.85;
+    record.registered =
+        config.window_start +
+        util::Duration::days(static_cast<std::int64_t>(arrival));
+    record.active_from = record.registered + util::Duration::days(
+                                                 rng.range(3, 30));
+    record.popularity = rng.uniform(0.25, 1.0);
+    domains_.push_back(std::move(record));
+  }
+
+  // Mark the seized services: the takedown hit *popular* booters that were
+  // live well before the operation.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    if (domains_[i].active_from + util::Duration::days(120) < config.takedown) {
+      candidates.push_back(i);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [this](std::size_t a, std::size_t b) {
+              return domains_[a].popularity > domains_[b].popularity;
+            });
+  // Seize high-but-not-top popularity domains (the paper: seized domains
+  // rank high "but not the highest among all booter domains").
+  std::size_t seized_count = 0;
+  for (std::size_t slot = 2;
+       slot < candidates.size() && seized_count < config.seized_domains;
+       ++slot, ++seized_count) {
+    DomainRecord& record = domains_[candidates[slot]];
+    record.seized = true;
+    record.seized_on = config.takedown;
+  }
+
+  // Booter A's spare domain: registered in June 2018, idle until the
+  // takedown, live (and ranked) days later with the predecessor's users.
+  resurrected_ = candidates[2];
+  DomainRecord successor;
+  successor.name = "rebooted-" + domains_[resurrected_].name;
+  successor.is_booter = true;
+  successor.registered = util::Timestamp::parse("2018-06-15").value();
+  successor.active_from = config.takedown + util::Duration::days(2);
+  successor.popularity = domains_[resurrected_].popularity;
+  successor_ = domains_.size();
+  domains_[resurrected_].successor = successor_;
+  domains_.push_back(std::move(successor));
+
+  // Keyword false positives: benign domains the crawl flags.
+  for (std::size_t i = 0; i < config.keyword_false_positives; ++i) {
+    DomainRecord record;
+    record.name =
+        std::string(kFalsePositiveStems[i % kFalsePositiveStems.size()]) +
+        (i >= kFalsePositiveStems.size() ? std::to_string(i) : "") +
+        std::string(kTlds[rng.bounded(kTlds.size())]);
+    record.is_booter = false;
+    record.registered =
+        config.window_start +
+        util::Duration::days(
+            static_cast<std::int64_t>(rng.uniform() * window_days * 0.5));
+    record.active_from = record.registered;
+    record.popularity = rng.uniform(0.0, 0.4);
+    domains_.push_back(std::move(record));
+  }
+}
+
+std::vector<std::size_t> Observatory::live_at(util::Timestamp t) const {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    const DomainRecord& d = domains_[i];
+    if (t < d.active_from) continue;
+    if (d.seized_on && t >= *d.seized_on) continue;  // seizure banner page
+    result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<std::size_t> Observatory::keyword_hits_at(util::Timestamp t) const {
+  std::vector<std::size_t> result;
+  for (const std::size_t i : live_at(t)) {
+    if (matches_booter_keywords(domains_[i].name)) result.push_back(i);
+  }
+  return result;
+}
+
+std::optional<std::uint32_t> Observatory::alexa_rank(std::size_t domain_index,
+                                                     util::Timestamp day) const {
+  const DomainRecord& d = domains_[domain_index];
+  if (day < d.active_from && !(d.seized_on && day >= *d.seized_on)) {
+    return std::nullopt;
+  }
+
+  // Effective popularity: ramps up over ~200 days of operation, decays
+  // after a seizure with occasional press-driven spikes (seized domains
+  // "occasionally still appear in the top 1M").
+  double effective = 0.0;
+  if (day >= d.active_from) {
+    const double age_days =
+        static_cast<double>((day - d.active_from).total_days());
+    const double ramp = std::min(1.0, (age_days + 5.0) / 200.0);
+    effective = d.popularity * ramp;
+  }
+  if (d.seized_on && day >= *d.seized_on) {
+    const double gone_days =
+        static_cast<double>((day - *d.seized_on).total_days());
+    effective *= std::exp(-gone_days / 20.0);
+    if (daily_noise(domain_index ^ 0x5eed, day) < 0.06) {
+      effective += 0.25;  // press report spike
+    }
+  }
+  // Successor domains inherit demand instantly: fast ramp instead.
+  if (d.registered < d.active_from &&
+      (d.active_from - d.registered).total_days() > 90 && day >= d.active_from) {
+    const double age_days =
+        static_cast<double>((day - d.active_from).total_days());
+    effective = d.popularity * std::min(1.0, age_days / 2.0);
+  }
+
+  const double noise = 0.85 + 0.3 * daily_noise(domain_index, day);
+  const double exponent = 6.6 - 4.8 * effective * noise;
+  if (exponent > 6.0) return std::nullopt;  // outside the Top 1M
+  const double rank = std::pow(10.0, std::max(1.0, exponent));
+  return static_cast<std::uint32_t>(rank);
+}
+
+std::optional<std::uint32_t> Observatory::median_monthly_rank(
+    std::size_t domain_index, util::Timestamp month_start) const {
+  const util::CivilDate date = month_start.date();
+  std::vector<double> ranks;
+  for (unsigned day = 1; day <= 31; ++day) {
+    const util::CivilDate probe{date.year, date.month, day};
+    const util::Timestamp t = util::Timestamp::from_date(probe);
+    if (t.date().month != date.month) break;  // month rollover
+    if (const auto rank = alexa_rank(domain_index, t)) {
+      ranks.push_back(static_cast<double>(*rank));
+    }
+  }
+  if (ranks.empty()) return std::nullopt;
+  std::sort(ranks.begin(), ranks.end());
+  return static_cast<std::uint32_t>(ranks[ranks.size() / 2]);
+}
+
+}  // namespace booterscope::dnsobs

@@ -1,0 +1,97 @@
+// DNS & HTTPS observatory: booter website discovery and Alexa rank series.
+//
+// The paper (§2, §5.1) crawls all .com/.net/.org zones weekly, identifies
+// booter websites by keyword matching plus manual verification, and tracks
+// their Alexa Top-1M ranks; 58 booter domains were identified, 15 of which
+// were seized on 2018-12-19, and one seized booter (A) re-appeared under a
+// pre-registered spare domain that entered the Top-1M three days later.
+// We generate a synthetic domain universe with those dynamics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::dnsobs {
+
+/// Keywords the paper's discovery pipeline matches (following Santanna et
+/// al.'s booter blacklist methodology).
+[[nodiscard]] bool matches_booter_keywords(std::string_view domain) noexcept;
+
+struct DomainRecord {
+  std::string name;
+  bool is_booter = false;   // ground truth (the paper's manual verification)
+  bool seized = false;      // part of the December 2018 operation
+  util::Timestamp registered;
+  util::Timestamp active_from;  // website goes live (spare domains idle first)
+  std::optional<util::Timestamp> seized_on;
+  /// Spare-domain successor: if the operator re-registers, the replacement
+  /// domain's index in the observatory (booter A's new domain).
+  std::optional<std::size_t> successor;
+
+  /// Rank quality in [0, 1]; larger = more popular. Drives the Alexa walk.
+  double popularity = 0.0;
+};
+
+struct ObservatoryConfig {
+  std::uint64_t seed = 11;
+  util::Timestamp window_start;   // default 2016-08-01
+  util::Timestamp window_end;     // default 2019-05-01
+  util::Timestamp takedown;       // default 2018-12-19
+  std::size_t booter_domains = 58;
+  std::size_t seized_domains = 15;
+  /// Benign domains that *also* match the keyword search (to exercise the
+  /// manual-verification step, e.g. stress-management sites).
+  std::size_t keyword_false_positives = 23;
+};
+
+[[nodiscard]] ObservatoryConfig paper_observatory_config();
+
+class Observatory {
+ public:
+  explicit Observatory(const ObservatoryConfig& config);
+
+  [[nodiscard]] const std::vector<DomainRecord>& domains() const noexcept {
+    return domains_;
+  }
+  [[nodiscard]] const ObservatoryConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Domains whose website is live in the week containing `t` (the weekly
+  /// crawl view). Indices into domains().
+  [[nodiscard]] std::vector<std::size_t> live_at(util::Timestamp t) const;
+
+  /// Keyword-matched candidates among live domains — the crawl's raw hit
+  /// list, before manual verification.
+  [[nodiscard]] std::vector<std::size_t> keyword_hits_at(util::Timestamp t) const;
+
+  /// Daily Alexa global rank of a domain, if inside the Top 1M that day.
+  [[nodiscard]] std::optional<std::uint32_t> alexa_rank(std::size_t domain_index,
+                                                        util::Timestamp day) const;
+
+  /// Median Alexa rank over the month containing `month_start` (only days
+  /// with a Top-1M rank contribute). std::nullopt when never ranked.
+  [[nodiscard]] std::optional<std::uint32_t> median_monthly_rank(
+      std::size_t domain_index, util::Timestamp month_start) const;
+
+  /// The seized booter whose spare domain took over after the takedown
+  /// (booter A), as (seized index, successor index).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> resurrected_pair()
+      const noexcept {
+    return {resurrected_, successor_};
+  }
+
+ private:
+  ObservatoryConfig config_;
+  std::vector<DomainRecord> domains_;
+  std::size_t resurrected_ = 0;
+  std::size_t successor_ = 0;
+};
+
+}  // namespace booterscope::dnsobs

@@ -1,0 +1,22 @@
+#include "flow/anonymize.hpp"
+
+namespace booterscope::flow {
+
+net::Ipv4Addr PrefixPreservingAnonymizer::anonymize(
+    net::Ipv4Addr addr) const noexcept {
+  const std::uint32_t input = addr.value();
+  std::uint32_t flips = 0;
+  // Bit i (from the top) flips according to a PRF of the i leading bits.
+  // Encoding the prefix as (prefix bits << shift) | length makes the empty
+  // prefix and equal-valued prefixes of different lengths distinct inputs.
+  for (unsigned i = 0; i < 32; ++i) {
+    const std::uint32_t prefix = i == 0 ? 0 : input >> (32 - i);
+    const std::uint64_t domain =
+        (static_cast<std::uint64_t>(prefix) << 6) | i;
+    const std::uint64_t prf = util::siphash24(key_, domain);
+    flips = (flips << 1) | static_cast<std::uint32_t>(prf & 1);
+  }
+  return net::Ipv4Addr{input ^ flips};
+}
+
+}  // namespace booterscope::flow

@@ -1,0 +1,85 @@
+#include "flow/collector.hpp"
+
+#include <algorithm>
+
+namespace booterscope::flow {
+
+void FlowCollector::export_entry(const net::FiveTuple& key, const Entry& entry,
+                                 FlowList& out) {
+  (void)key;
+  out.push_back(entry.flow);
+  ++exported_;
+}
+
+void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
+  auto [it, inserted] = cache_.try_emplace(packet.tuple);
+  Entry& entry = it->second;
+  if (inserted) {
+    FlowRecord& f = entry.flow;
+    f.src = packet.tuple.src;
+    f.dst = packet.tuple.dst;
+    f.src_port = packet.tuple.src_port;
+    f.dst_port = packet.tuple.dst_port;
+    f.proto = packet.tuple.proto;
+    f.first = packet.time;
+    f.last = packet.time;
+    f.src_asn = packet.src_asn;
+    f.dst_asn = packet.dst_asn;
+    f.peer_asn = packet.peer_asn;
+    f.direction = packet.direction;
+    f.sampling_rate = config_.sampling_rate;
+  } else {
+    // Inactive timeout: silence since the last packet chops the flow.
+    if (packet.time - entry.flow.last >= config_.inactive_timeout ||
+        packet.time - entry.flow.first >= config_.active_timeout) {
+      export_entry(it->first, entry, out);
+      FlowRecord& f = entry.flow;
+      f.packets = 0;
+      f.bytes = 0;
+      f.first = packet.time;
+      f.last = packet.time;
+      f.peer_asn = packet.peer_asn;
+      f.direction = packet.direction;
+    }
+  }
+  entry.flow.packets += packet.count;
+  entry.flow.bytes += static_cast<std::uint64_t>(packet.wire_bytes) * packet.count;
+  entry.flow.last = std::max(entry.flow.last, packet.time);
+
+  if (cache_.size() > config_.max_entries) {
+    // Memory pressure: force-expire the stalest entries (full scan; rare).
+    std::vector<std::pair<util::Timestamp, net::FiveTuple>> by_age;
+    by_age.reserve(cache_.size());
+    for (const auto& [key, e] : cache_) by_age.emplace_back(e.flow.last, key);
+    std::sort(by_age.begin(), by_age.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::size_t to_evict = cache_.size() - config_.max_entries / 2;
+    for (std::size_t i = 0; i < to_evict && i < by_age.size(); ++i) {
+      const auto found = cache_.find(by_age[i].second);
+      if (found == cache_.end()) continue;
+      export_entry(found->first, found->second, out);
+      cache_.erase(found);
+      ++forced_evictions_;
+    }
+  }
+}
+
+void FlowCollector::expire(util::Timestamp now, FlowList& out) {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const FlowRecord& f = it->second.flow;
+    if (now - f.last >= config_.inactive_timeout ||
+        now - f.first >= config_.active_timeout) {
+      export_entry(it->first, it->second, out);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowCollector::drain(FlowList& out) {
+  for (const auto& [key, entry] : cache_) export_entry(key, entry, out);
+  cache_.clear();
+}
+
+}  // namespace booterscope::flow

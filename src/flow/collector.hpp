@@ -1,0 +1,82 @@
+// Packet-to-flow aggregation with active/inactive timeouts, modelling the
+// flow cache of a router or IXP exporter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/record.hpp"
+#include "net/five_tuple.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::flow {
+
+/// A single observed packet, pre-sampling. This is the interchange type
+/// between the traffic simulator and the flow layer.
+struct PacketObservation {
+  util::Timestamp time;
+  net::FiveTuple tuple;
+  std::uint32_t wire_bytes = 0;
+  /// How many identical packets this observation stands for. The simulator
+  /// batches per-second packet trains; samplers decide per packet.
+  std::uint64_t count = 1;
+  net::Asn src_asn;
+  net::Asn dst_asn;
+  net::Asn peer_asn;
+  Direction direction = Direction::kIngress;
+};
+
+struct CollectorConfig {
+  /// Flow is exported if it has been active longer than this (long flows are
+  /// chopped so collectors see fresh counters).
+  util::Duration active_timeout = util::Duration::minutes(2);
+  /// Flow is exported after this much silence.
+  util::Duration inactive_timeout = util::Duration::seconds(15);
+  /// Exported counters are marked with this sampling rate (set by the
+  /// sampler in front of the collector; 1 = unsampled).
+  std::uint32_t sampling_rate = 1;
+  /// Cache capacity; exceeding it force-expires the least recently used
+  /// entries (models exporter memory pressure).
+  std::size_t max_entries = 1 << 20;
+};
+
+/// Aggregates packets into flow records.
+///
+/// Usage: call observe() in non-decreasing time order, periodically call
+/// expire(now) — both return newly exported flows; call drain() at the end.
+class FlowCollector {
+ public:
+  explicit FlowCollector(CollectorConfig config) noexcept : config_(config) {}
+
+  /// Accounts one packet observation; may evict expired or LRU entries.
+  /// Exported flows are appended to `out`.
+  void observe(const PacketObservation& packet, FlowList& out);
+
+  /// Expires all entries that have timed out as of `now`.
+  void expire(util::Timestamp now, FlowList& out);
+
+  /// Exports everything still cached (end of measurement).
+  void drain(FlowList& out);
+
+  [[nodiscard]] std::size_t active_flows() const noexcept { return cache_.size(); }
+  [[nodiscard]] std::uint64_t exported_flows() const noexcept { return exported_; }
+  [[nodiscard]] std::uint64_t forced_evictions() const noexcept {
+    return forced_evictions_;
+  }
+
+ private:
+  struct Entry {
+    FlowRecord flow;
+  };
+
+  void export_entry(const net::FiveTuple& key, const Entry& entry, FlowList& out);
+
+  CollectorConfig config_;
+  std::unordered_map<net::FiveTuple, Entry> cache_;
+  std::uint64_t exported_ = 0;
+  std::uint64_t forced_evictions_ = 0;
+};
+
+}  // namespace booterscope::flow

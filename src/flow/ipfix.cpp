@@ -1,0 +1,237 @@
+#include "flow/ipfix.hpp"
+
+#include "util/byteio.hpp"
+
+namespace booterscope::flow::ipfix {
+
+namespace {
+
+[[nodiscard]] std::uint64_t read_uint(util::ByteReader& r,
+                                      std::uint16_t length) noexcept {
+  // IPFIX encodes unsigned integers big-endian with reduced-size encoding.
+  std::uint64_t value = 0;
+  for (std::uint16_t i = 0; i < length; ++i) {
+    value = (value << 8) | r.u8();
+  }
+  return value;
+}
+
+void write_uint(util::ByteWriter& w, std::uint64_t value, std::uint16_t length) {
+  for (int shift = (length - 1) * 8; shift >= 0; shift -= 8) {
+    w.u8(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+[[nodiscard]] std::uint64_t field_value(const FlowRecord& f, std::uint16_t ie_id) {
+  switch (static_cast<Ie>(ie_id)) {
+    case Ie::kOctetDeltaCount: return f.bytes;
+    case Ie::kPacketDeltaCount: return f.packets;
+    case Ie::kProtocolIdentifier: return static_cast<std::uint64_t>(f.proto);
+    case Ie::kSourceTransportPort: return f.src_port;
+    case Ie::kSourceIpv4Address: return f.src.value();
+    case Ie::kDestinationTransportPort: return f.dst_port;
+    case Ie::kDestinationIpv4Address: return f.dst.value();
+    case Ie::kBgpSourceAsNumber: return f.src_asn.number();
+    case Ie::kBgpDestinationAsNumber: return f.dst_asn.number();
+    case Ie::kFlowDirection:
+      return f.direction == Direction::kIngress ? 0 : 1;
+    case Ie::kBgpNextAdjacentAsNumber: return f.peer_asn.number();
+    case Ie::kFlowStartMilliseconds:
+      return static_cast<std::uint64_t>(f.first.millis());
+    case Ie::kFlowEndMilliseconds:
+      return static_cast<std::uint64_t>(f.last.millis());
+    case Ie::kSamplingPacketInterval: return f.sampling_rate;
+  }
+  return 0;
+}
+
+void apply_field(FlowRecord& f, std::uint16_t ie_id, std::uint64_t value) {
+  switch (static_cast<Ie>(ie_id)) {
+    case Ie::kOctetDeltaCount: f.bytes = value; break;
+    case Ie::kPacketDeltaCount: f.packets = value; break;
+    case Ie::kProtocolIdentifier:
+      f.proto = static_cast<net::IpProto>(value);
+      break;
+    case Ie::kSourceTransportPort:
+      f.src_port = static_cast<std::uint16_t>(value);
+      break;
+    case Ie::kSourceIpv4Address:
+      f.src = net::Ipv4Addr{static_cast<std::uint32_t>(value)};
+      break;
+    case Ie::kDestinationTransportPort:
+      f.dst_port = static_cast<std::uint16_t>(value);
+      break;
+    case Ie::kDestinationIpv4Address:
+      f.dst = net::Ipv4Addr{static_cast<std::uint32_t>(value)};
+      break;
+    case Ie::kBgpSourceAsNumber:
+      f.src_asn = net::Asn{static_cast<std::uint32_t>(value)};
+      break;
+    case Ie::kBgpDestinationAsNumber:
+      f.dst_asn = net::Asn{static_cast<std::uint32_t>(value)};
+      break;
+    case Ie::kFlowDirection:
+      f.direction = value == 0 ? Direction::kIngress : Direction::kEgress;
+      break;
+    case Ie::kBgpNextAdjacentAsNumber:
+      f.peer_asn = net::Asn{static_cast<std::uint32_t>(value)};
+      break;
+    case Ie::kFlowStartMilliseconds:
+      f.first = util::Timestamp::from_nanos(
+          static_cast<std::int64_t>(value) * 1'000'000);
+      break;
+    case Ie::kFlowEndMilliseconds:
+      f.last = util::Timestamp::from_nanos(
+          static_cast<std::int64_t>(value) * 1'000'000);
+      break;
+    case Ie::kSamplingPacketInterval:
+      f.sampling_rate = static_cast<std::uint32_t>(value);
+      break;
+  }
+}
+
+}  // namespace
+
+const Template& canonical_template() {
+  static const Template kTemplate{
+      kFirstDataSetId,
+      {
+          {static_cast<std::uint16_t>(Ie::kSourceIpv4Address), 4},
+          {static_cast<std::uint16_t>(Ie::kDestinationIpv4Address), 4},
+          {static_cast<std::uint16_t>(Ie::kSourceTransportPort), 2},
+          {static_cast<std::uint16_t>(Ie::kDestinationTransportPort), 2},
+          {static_cast<std::uint16_t>(Ie::kProtocolIdentifier), 1},
+          {static_cast<std::uint16_t>(Ie::kPacketDeltaCount), 8},
+          {static_cast<std::uint16_t>(Ie::kOctetDeltaCount), 8},
+          {static_cast<std::uint16_t>(Ie::kFlowStartMilliseconds), 8},
+          {static_cast<std::uint16_t>(Ie::kFlowEndMilliseconds), 8},
+          {static_cast<std::uint16_t>(Ie::kBgpSourceAsNumber), 4},
+          {static_cast<std::uint16_t>(Ie::kBgpDestinationAsNumber), 4},
+          {static_cast<std::uint16_t>(Ie::kBgpNextAdjacentAsNumber), 4},
+          {static_cast<std::uint16_t>(Ie::kFlowDirection), 1},
+          {static_cast<std::uint16_t>(Ie::kSamplingPacketInterval), 4},
+      }};
+  return kTemplate;
+}
+
+std::vector<std::uint8_t> encode_message(std::span<const FlowRecord> flows,
+                                         std::uint32_t observation_domain,
+                                         std::uint32_t sequence,
+                                         util::Timestamp export_time) {
+  const Template& tmpl = canonical_template();
+  std::vector<std::uint8_t> buffer;
+  util::ByteWriter w(buffer);
+
+  // Message header; length patched at the end.
+  w.u16(kIpfixVersion);
+  const std::size_t length_offset = buffer.size();
+  w.u16(0);
+  w.u32(static_cast<std::uint32_t>(export_time.seconds()));
+  w.u32(sequence);
+  w.u32(observation_domain);
+
+  // Template set.
+  const std::size_t template_set_offset = buffer.size();
+  w.u16(kTemplateSetId);
+  w.u16(0);  // patched
+  w.u16(tmpl.id);
+  w.u16(static_cast<std::uint16_t>(tmpl.fields.size()));
+  for (const auto& field : tmpl.fields) {
+    w.u16(field.ie_id);
+    w.u16(field.length);
+  }
+  w.patch_u16(template_set_offset + 2,
+              static_cast<std::uint16_t>(buffer.size() - template_set_offset));
+
+  // Data set.
+  if (!flows.empty()) {
+    const std::size_t data_set_offset = buffer.size();
+    w.u16(tmpl.id);
+    w.u16(0);  // patched
+    for (const FlowRecord& f : flows) {
+      for (const auto& field : tmpl.fields) {
+        write_uint(w, field_value(f, field.ie_id), field.length);
+      }
+    }
+    w.patch_u16(data_set_offset + 2,
+                static_cast<std::uint16_t>(buffer.size() - data_set_offset));
+  }
+
+  w.patch_u16(length_offset, static_cast<std::uint16_t>(buffer.size()));
+  return buffer;
+}
+
+std::optional<MessageDecoder::Result> MessageDecoder::decode(
+    std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  const std::uint16_t version = r.u16();
+  const std::uint16_t message_length = r.u16();
+  if (!r.ok() || version != kIpfixVersion || message_length > data.size() ||
+      message_length < kMessageHeaderBytes) {
+    return std::nullopt;
+  }
+
+  Result result;
+  result.export_time = util::Timestamp::from_seconds(r.u32());
+  result.sequence = r.u32();
+  result.observation_domain = r.u32();
+
+  while (r.ok() && r.position() + 4 <= message_length) {
+    const std::uint16_t set_id = r.u16();
+    const std::uint16_t set_length = r.u16();
+    if (set_length < 4 || r.position() + set_length - 4 > message_length) {
+      return std::nullopt;
+    }
+    const std::size_t set_end = r.position() + set_length - 4;
+
+    if (set_id == kTemplateSetId) {
+      // One or more template records.
+      while (r.position() + 4 <= set_end) {
+        Template tmpl;
+        tmpl.id = r.u16();
+        const std::uint16_t field_count = r.u16();
+        if (tmpl.id < kFirstDataSetId) return std::nullopt;
+        tmpl.fields.reserve(field_count);
+        for (std::uint16_t i = 0; i < field_count; ++i) {
+          TemplateField field;
+          field.ie_id = r.u16();
+          field.length = r.u16();
+          if (!r.ok() || field.length == 0 || field.length > 8) {
+            return std::nullopt;  // variable-length/unsupported widths
+          }
+          tmpl.fields.push_back(field);
+        }
+        templates_[TemplateKey{result.observation_domain, tmpl.id}] = tmpl;
+        ++result.templates_seen;
+      }
+    } else if (set_id >= kFirstDataSetId) {
+      const auto it =
+          templates_.find(TemplateKey{result.observation_domain, set_id});
+      if (it == templates_.end()) {
+        ++result.skipped_sets;
+        if (!r.skip(set_end - r.position())) return std::nullopt;
+      } else {
+        const Template& tmpl = it->second;
+        const std::size_t record_bytes = tmpl.record_bytes();
+        if (record_bytes == 0) return std::nullopt;
+        while (set_end - r.position() >= record_bytes) {
+          FlowRecord f;
+          for (const auto& field : tmpl.fields) {
+            apply_field(f, field.ie_id, read_uint(r, field.length));
+          }
+          if (!r.ok()) return std::nullopt;
+          result.records.push_back(f);
+        }
+        // Remaining bytes inside the set are padding per RFC 7011 §3.3.1.
+        if (!r.skip(set_end - r.position())) return std::nullopt;
+      }
+    } else {
+      // Options templates (id 3) and reserved sets: skip.
+      if (!r.skip(set_end - r.position())) return std::nullopt;
+    }
+  }
+  if (!r.ok()) return std::nullopt;
+  return result;
+}
+
+}  // namespace booterscope::flow::ipfix

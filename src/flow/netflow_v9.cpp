@@ -1,0 +1,219 @@
+#include "flow/netflow_v9.hpp"
+
+#include <algorithm>
+
+#include "util/byteio.hpp"
+
+namespace booterscope::flow::v9 {
+
+namespace {
+
+// v9 field types used by the canonical template (RFC 3954 §8).
+enum Fields : std::uint16_t {
+  kInBytes = 1,
+  kInPkts = 2,
+  kProtocol = 4,
+  kL4SrcPort = 7,
+  kIpv4SrcAddr = 8,
+  kL4DstPort = 11,
+  kIpv4DstAddr = 12,
+  kSrcAs = 16,
+  kDstAs = 17,
+  kLastSwitched = 21,   // SysUptime ms
+  kFirstSwitched = 22,  // SysUptime ms
+};
+
+struct CanonicalField {
+  std::uint16_t type;
+  std::uint16_t length;
+};
+
+constexpr CanonicalField kCanonical[] = {
+    {kIpv4SrcAddr, 4}, {kIpv4DstAddr, 4}, {kL4SrcPort, 2}, {kL4DstPort, 2},
+    {kProtocol, 1},    {kInPkts, 4},      {kInBytes, 4},   {kFirstSwitched, 4},
+    {kLastSwitched, 4}, {kSrcAs, 4},      {kDstAs, 4},
+};
+constexpr std::uint16_t kTemplateId = 260;
+
+[[nodiscard]] std::uint32_t uptime_ms(util::Timestamp t,
+                                      util::Timestamp boot) noexcept {
+  const std::int64_t ms = (t - boot).total_millis();
+  return ms < 0 ? 0 : static_cast<std::uint32_t>(ms);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_v9(std::span<const FlowRecord> flows,
+                                    const ExportConfig& config,
+                                    std::uint32_t sequence,
+                                    util::Timestamp export_time) {
+  std::vector<std::uint8_t> buffer;
+  util::ByteWriter w(buffer);
+
+  // Header. "count" is the number of records (template + data records).
+  w.u16(kVersion);
+  w.u16(static_cast<std::uint16_t>(1 + flows.size()));
+  w.u32(uptime_ms(export_time, config.boot_time));
+  w.u32(static_cast<std::uint32_t>(export_time.seconds()));
+  w.u32(sequence);
+  w.u32(config.source_id);
+
+  // Template flowset.
+  const std::size_t template_offset = buffer.size();
+  w.u16(kTemplateFlowsetId);
+  w.u16(0);  // length patched
+  w.u16(kTemplateId);
+  w.u16(static_cast<std::uint16_t>(std::size(kCanonical)));
+  for (const CanonicalField& field : kCanonical) {
+    w.u16(field.type);
+    w.u16(field.length);
+  }
+  w.patch_u16(template_offset + 2,
+              static_cast<std::uint16_t>(buffer.size() - template_offset));
+
+  // Data flowset.
+  if (!flows.empty()) {
+    const std::size_t data_offset = buffer.size();
+    w.u16(kTemplateId);
+    w.u16(0);  // length patched
+    for (const FlowRecord& f : flows) {
+      w.u32(f.src.value());
+      w.u32(f.dst.value());
+      w.u16(f.src_port);
+      w.u16(f.dst_port);
+      w.u8(static_cast<std::uint8_t>(f.proto));
+      w.u32(static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(f.packets, 0xffffffffULL)));
+      w.u32(static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(f.bytes, 0xffffffffULL)));
+      w.u32(uptime_ms(f.first, config.boot_time));
+      w.u32(uptime_ms(f.last, config.boot_time));
+      w.u32(f.src_asn.number());
+      w.u32(f.dst_asn.number());
+    }
+    // Pad to a 32-bit boundary per RFC 3954 (record size 33 B is odd).
+    while ((buffer.size() - data_offset) % 4 != 0) w.u8(0);
+    w.patch_u16(data_offset + 2,
+                static_cast<std::uint16_t>(buffer.size() - data_offset));
+  }
+  return buffer;
+}
+
+std::optional<Packet> Decoder::decode(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  if (r.u16() != kVersion) return std::nullopt;
+  const std::uint16_t count = r.u16();
+  Packet packet;
+  packet.sys_uptime_ms = r.u32();
+  packet.export_time = util::Timestamp::from_seconds(r.u32());
+  packet.sequence = r.u32();
+  packet.source_id = r.u32();
+  if (!r.ok()) return std::nullopt;
+
+  std::uint16_t records_seen = 0;
+  while (r.ok() && r.remaining() >= 4 && records_seen < count) {
+    const std::uint16_t flowset_id = r.u16();
+    const std::uint16_t flowset_length = r.u16();
+    if (flowset_length < 4 ||
+        static_cast<std::size_t>(flowset_length) - 4 > r.remaining()) {
+      return std::nullopt;
+    }
+    const std::size_t flowset_end = r.position() + flowset_length - 4;
+
+    if (flowset_id == kTemplateFlowsetId) {
+      while (r.position() + 4 <= flowset_end) {
+        Template tmpl;
+        tmpl.id = r.u16();
+        const std::uint16_t field_count = r.u16();
+        if (tmpl.id < kFirstDataFlowsetId) return std::nullopt;
+        for (std::uint16_t i = 0; i < field_count; ++i) {
+          Field field;
+          field.type = r.u16();
+          field.length = r.u16();
+          if (!r.ok() || field.length == 0 || field.length > 8) {
+            return std::nullopt;
+          }
+          tmpl.record_bytes += field.length;
+          tmpl.fields.push_back(field);
+        }
+        if (tmpl.record_bytes == 0) return std::nullopt;
+        templates_[Key{packet.source_id, tmpl.id}] = tmpl;
+        ++packet.templates_seen;
+        ++records_seen;
+      }
+    } else if (flowset_id >= kFirstDataFlowsetId) {
+      const auto it = templates_.find(Key{packet.source_id, flowset_id});
+      if (it == templates_.end()) {
+        ++packet.skipped_flowsets;
+        if (!r.skip(flowset_end - r.position())) return std::nullopt;
+        // Unknown how many records were skipped; count the flowset as one.
+        ++records_seen;
+      } else {
+        const Template& tmpl = it->second;
+        while (flowset_end - r.position() >= tmpl.record_bytes &&
+               records_seen < count) {
+          FlowRecord f;
+          f.sampling_rate = sampling_rate_;
+          for (const Field& field : tmpl.fields) {
+            std::uint64_t value = 0;
+            for (std::uint16_t b = 0; b < field.length; ++b) {
+              value = (value << 8) | r.u8();
+            }
+            switch (field.type) {
+              case kIpv4SrcAddr:
+                f.src = net::Ipv4Addr{static_cast<std::uint32_t>(value)};
+                break;
+              case kIpv4DstAddr:
+                f.dst = net::Ipv4Addr{static_cast<std::uint32_t>(value)};
+                break;
+              case kL4SrcPort:
+                f.src_port = static_cast<std::uint16_t>(value);
+                break;
+              case kL4DstPort:
+                f.dst_port = static_cast<std::uint16_t>(value);
+                break;
+              case kProtocol:
+                f.proto = static_cast<net::IpProto>(value);
+                break;
+              case kInPkts:
+                f.packets = value;
+                break;
+              case kInBytes:
+                f.bytes = value;
+                break;
+              case kFirstSwitched:
+                f.first = boot_time_ + util::Duration::millis(
+                                           static_cast<std::int64_t>(value));
+                break;
+              case kLastSwitched:
+                f.last = boot_time_ + util::Duration::millis(
+                                          static_cast<std::int64_t>(value));
+                break;
+              case kSrcAs:
+                f.src_asn = net::Asn{static_cast<std::uint32_t>(value)};
+                break;
+              case kDstAs:
+                f.dst_asn = net::Asn{static_cast<std::uint32_t>(value)};
+                break;
+              default:
+                break;  // unknown field: skipped by length above
+            }
+          }
+          if (!r.ok()) return std::nullopt;
+          packet.records.push_back(f);
+          ++records_seen;
+        }
+        if (!r.skip(flowset_end - r.position())) return std::nullopt;  // pad
+      }
+    } else {
+      // Options templates (id 1) and reserved flowsets: skip whole set.
+      ++packet.skipped_flowsets;
+      if (!r.skip(flowset_end - r.position())) return std::nullopt;
+      ++records_seen;
+    }
+  }
+  if (!r.ok()) return std::nullopt;
+  return packet;
+}
+
+}  // namespace booterscope::flow::v9

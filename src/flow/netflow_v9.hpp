@@ -1,0 +1,89 @@
+// NetFlow v9 wire codec (RFC 3954) — the template-based predecessor of
+// IPFIX, still the most common ISP export format in the study's era.
+//
+// Differences from IPFIX handled here: 20-byte header carrying a record
+// count and SysUptime, template flowsets use id 0 (not 2), timestamps are
+// IE 21/22 (Last/FirstSwitched, SysUptime-relative milliseconds), and the
+// message length is implied by the record count rather than a length
+// field. Shares the information-element numbering with flow/ipfix.hpp
+// below IE 128.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/record.hpp"
+
+namespace booterscope::flow::v9 {
+
+inline constexpr std::uint16_t kVersion = 9;
+inline constexpr std::uint16_t kTemplateFlowsetId = 0;
+inline constexpr std::uint16_t kFirstDataFlowsetId = 256;
+inline constexpr std::size_t kHeaderBytes = 20;
+
+struct ExportConfig {
+  /// SysUptime epoch: FirstSwitched/LastSwitched are offsets from this.
+  util::Timestamp boot_time;
+  std::uint32_t source_id = 0;
+  std::uint32_t sampling_rate = 1;  // stamped on decoded records
+};
+
+struct Packet {
+  util::Timestamp export_time;  // unix_secs (second resolution)
+  std::uint32_t sys_uptime_ms = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t source_id = 0;
+  FlowList records;
+  std::uint32_t templates_seen = 0;
+  std::uint32_t skipped_flowsets = 0;
+};
+
+/// Encodes flows as one v9 export packet: template flowset + data flowset.
+[[nodiscard]] std::vector<std::uint8_t> encode_v9(
+    std::span<const FlowRecord> flows, const ExportConfig& config,
+    std::uint32_t sequence, util::Timestamp export_time);
+
+/// Stateful decoder with a per-source-id template cache.
+class Decoder {
+ public:
+  explicit Decoder(util::Timestamp boot_time,
+                   std::uint32_t sampling_rate = 1) noexcept
+      : boot_time_(boot_time), sampling_rate_(sampling_rate) {}
+
+  [[nodiscard]] std::optional<Packet> decode(
+      std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::size_t cached_template_count() const noexcept {
+    return templates_.size();
+  }
+
+ private:
+  struct Field {
+    std::uint16_t type = 0;
+    std::uint16_t length = 0;
+  };
+  struct Template {
+    std::uint16_t id = 0;
+    std::vector<Field> fields;
+    std::size_t record_bytes = 0;
+  };
+  struct Key {
+    std::uint32_t source_id;
+    std::uint16_t template_id;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return (static_cast<std::size_t>(k.source_id) << 16) ^ k.template_id;
+    }
+  };
+
+  util::Timestamp boot_time_;
+  std::uint32_t sampling_rate_;
+  std::unordered_map<Key, Template, KeyHash> templates_;
+};
+
+}  // namespace booterscope::flow::v9

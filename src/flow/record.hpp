@@ -1,0 +1,71 @@
+// The flow record schema shared by every vantage point.
+//
+// This mirrors what the paper's data sets contain: 5-tuple, packet/byte
+// counters, timestamps, adjacent (peer) AS, and the sampling rate of the
+// exporter. No payload is ever represented.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/five_tuple.hpp"
+#include "net/ipv4.hpp"
+#include "net/protocol.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::flow {
+
+/// Direction relative to the observing network.
+enum class Direction : std::uint8_t {
+  kIngress,  // entering the observer (tier-1 data is ingress-only)
+  kEgress,   // leaving the observer
+};
+
+struct FlowRecord {
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  net::IpProto proto = net::IpProto::kUdp;
+
+  /// Counters as exported (i.e. post-sampling; multiply by `sampling_rate`
+  /// to estimate the original traffic).
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+
+  util::Timestamp first;
+  util::Timestamp last;
+
+  net::Asn src_asn;   // origin AS of the source prefix
+  net::Asn dst_asn;   // origin AS of the destination prefix
+  net::Asn peer_asn;  // adjacent AS that handed the traffic over
+
+  Direction direction = Direction::kIngress;
+  /// 1-in-N packet sampling applied by the exporter (1 = unsampled).
+  std::uint32_t sampling_rate = 1;
+
+  [[nodiscard]] net::FiveTuple key() const noexcept {
+    return {src, dst, src_port, dst_port, proto};
+  }
+  /// Estimated original packet count (counter * sampling rate).
+  [[nodiscard]] double scaled_packets() const noexcept {
+    return static_cast<double>(packets) * sampling_rate;
+  }
+  [[nodiscard]] double scaled_bytes() const noexcept {
+    return static_cast<double>(bytes) * sampling_rate;
+  }
+  /// Average wire size of packets in this flow.
+  [[nodiscard]] double mean_packet_size() const noexcept {
+    return packets == 0 ? 0.0
+                        : static_cast<double>(bytes) / static_cast<double>(packets);
+  }
+  [[nodiscard]] util::Duration active_time() const noexcept { return last - first; }
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
+};
+
+using FlowList = std::vector<FlowRecord>;
+
+}  // namespace booterscope::flow

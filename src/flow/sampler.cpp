@@ -1,0 +1,29 @@
+#include "flow/sampler.hpp"
+
+#include <cmath>
+
+namespace booterscope::flow {
+
+std::uint64_t ProbabilisticSampler::sample(std::uint64_t count) {
+  if (n_ == 1) return count;
+  const double p = 1.0 / static_cast<double>(n_);
+  const double mean = static_cast<double>(count) * p;
+  if (mean > 64.0) {
+    // Normal approximation to Binomial(count, p).
+    const double stddev = std::sqrt(mean * (1.0 - p));
+    const double draw = util::normal(rng_, mean, stddev);
+    if (draw <= 0.0) return 0;
+    const auto kept = static_cast<std::uint64_t>(std::llround(draw));
+    return kept > count ? count : kept;
+  }
+  if (count > 512) {
+    // Moderate batch, small mean: Poisson approximation.
+    const std::uint64_t kept = util::poisson(rng_, mean);
+    return kept > count ? count : kept;
+  }
+  std::uint64_t kept = 0;
+  for (std::uint64_t i = 0; i < count; ++i) kept += rng_.chance(p) ? 1u : 0u;
+  return kept;
+}
+
+}  // namespace booterscope::flow

@@ -1,0 +1,94 @@
+// Packet sampling in front of a flow collector.
+//
+// The IXP data set is sampled IPFIX; sampling bias is the reason the paper
+// (§3.2) warns that IXP-observed attack volumes underestimate true sizes.
+// Two standard strategies are provided:
+//   - systematic count-based (every Nth packet), and
+//   - uniform probabilistic (each packet kept with probability 1/N).
+#pragma once
+
+#include <cstdint>
+
+#include "flow/collector.hpp"
+#include "util/rng.hpp"
+
+namespace booterscope::flow {
+
+/// Interface over both sampling strategies; samplers are cheap value types.
+class PacketSampler {
+ public:
+  virtual ~PacketSampler() = default;
+
+  /// How many of `count` offered identical packets are sampled.
+  [[nodiscard]] virtual std::uint64_t sample(std::uint64_t count) = 0;
+  [[nodiscard]] virtual std::uint32_t rate() const noexcept = 0;
+};
+
+/// Keeps every Nth packet (deterministic systematic sampling).
+class SystematicSampler final : public PacketSampler {
+ public:
+  explicit SystematicSampler(std::uint32_t one_in_n) noexcept
+      : n_(one_in_n == 0 ? 1 : one_in_n) {}
+
+  [[nodiscard]] std::uint64_t sample(std::uint64_t count) override {
+    // Advance the phase by `count`; every crossing of a multiple of n keeps
+    // one packet.
+    const std::uint64_t kept = (phase_ + count) / n_;
+    phase_ = (phase_ + count) % n_;
+    return kept;
+  }
+  [[nodiscard]] std::uint32_t rate() const noexcept override { return n_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t phase_ = 0;
+};
+
+/// Keeps each packet independently with probability 1/N. For large batches
+/// the binomial draw is approximated by a normal; exact Bernoulli runs are
+/// used below the threshold.
+class ProbabilisticSampler final : public PacketSampler {
+ public:
+  ProbabilisticSampler(std::uint32_t one_in_n, util::Rng rng) noexcept
+      : n_(one_in_n == 0 ? 1 : one_in_n), rng_(rng) {}
+
+  [[nodiscard]] std::uint64_t sample(std::uint64_t count) override;
+  [[nodiscard]] std::uint32_t rate() const noexcept override { return n_; }
+
+ private:
+  std::uint32_t n_;
+  util::Rng rng_;
+};
+
+/// A sampler feeding a collector: the standard exporter arrangement.
+class SampledCollector {
+ public:
+  SampledCollector(CollectorConfig config, std::uint32_t one_in_n,
+                   util::Rng rng) noexcept
+      : sampler_(one_in_n, rng), collector_(patch(config, one_in_n)) {}
+
+  void observe(PacketObservation packet, FlowList& out) {
+    const std::uint64_t kept = sampler_.sample(packet.count);
+    if (kept == 0) return;
+    packet.count = kept;
+    collector_.observe(packet, out);
+  }
+  void expire(util::Timestamp now, FlowList& out) { collector_.expire(now, out); }
+  void drain(FlowList& out) { collector_.drain(out); }
+
+  [[nodiscard]] const FlowCollector& collector() const noexcept {
+    return collector_;
+  }
+
+ private:
+  [[nodiscard]] static CollectorConfig patch(CollectorConfig config,
+                                             std::uint32_t one_in_n) noexcept {
+    config.sampling_rate = one_in_n == 0 ? 1 : one_in_n;
+    return config;
+  }
+
+  ProbabilisticSampler sampler_;
+  FlowCollector collector_;
+};
+
+}  // namespace booterscope::flow

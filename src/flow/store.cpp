@@ -1,0 +1,139 @@
+#include "flow/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "net/protocol.hpp"
+#include "util/byteio.hpp"
+
+namespace booterscope::flow {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42534631;  // "BSF1"
+constexpr std::size_t kRecordBytes = 4 + 4 + 2 + 2 + 1 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 1 + 4;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+FlowStore FlowStore::filter(
+    const std::function<bool(const FlowRecord&)>& pred) const {
+  FlowList result;
+  for (const FlowRecord& f : flows_) {
+    if (pred(f)) result.push_back(f);
+  }
+  return FlowStore{std::move(result)};
+}
+
+FlowStore FlowStore::to_port(std::uint16_t dst_port) const {
+  return filter([dst_port](const FlowRecord& f) {
+    return f.proto == net::IpProto::kUdp && f.dst_port == dst_port;
+  });
+}
+
+FlowStore FlowStore::from_port(std::uint16_t src_port) const {
+  return filter([src_port](const FlowRecord& f) {
+    return f.proto == net::IpProto::kUdp && f.src_port == src_port;
+  });
+}
+
+void FlowStore::sort_by_time() {
+  std::sort(flows_.begin(), flows_.end(),
+            [](const FlowRecord& a, const FlowRecord& b) {
+              return a.first < b.first;
+            });
+}
+
+double FlowStore::total_scaled_packets() const noexcept {
+  double total = 0.0;
+  for (const FlowRecord& f : flows_) total += f.scaled_packets();
+  return total;
+}
+
+double FlowStore::total_scaled_bytes() const noexcept {
+  double total = 0.0;
+  for (const FlowRecord& f : flows_) total += f.scaled_bytes();
+  return total;
+}
+
+std::vector<std::uint8_t> serialize_flows(std::span<const FlowRecord> flows) {
+  std::vector<std::uint8_t> buffer;
+  buffer.reserve(12 + flows.size() * kRecordBytes);
+  util::ByteWriter w(buffer);
+  w.u32(kMagic);
+  w.u64(flows.size());
+  for (const FlowRecord& f : flows) {
+    w.u32(f.src.value());
+    w.u32(f.dst.value());
+    w.u16(f.src_port);
+    w.u16(f.dst_port);
+    w.u8(static_cast<std::uint8_t>(f.proto));
+    w.u64(f.packets);
+    w.u64(f.bytes);
+    w.u64(static_cast<std::uint64_t>(f.first.nanos()));
+    w.u64(static_cast<std::uint64_t>(f.last.nanos()));
+    w.u32(f.src_asn.number());
+    w.u32(f.dst_asn.number());
+    w.u32(f.peer_asn.number());
+    w.u8(f.direction == Direction::kIngress ? 0 : 1);
+    w.u32(f.sampling_rate);
+  }
+  return buffer;
+}
+
+std::optional<FlowList> deserialize_flows(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  if (r.u32() != kMagic) return std::nullopt;
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || r.remaining() < count * kRecordBytes) return std::nullopt;
+  FlowList flows;
+  flows.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FlowRecord f;
+    f.src = net::Ipv4Addr{r.u32()};
+    f.dst = net::Ipv4Addr{r.u32()};
+    f.src_port = r.u16();
+    f.dst_port = r.u16();
+    f.proto = static_cast<net::IpProto>(r.u8());
+    f.packets = r.u64();
+    f.bytes = r.u64();
+    f.first = util::Timestamp::from_nanos(static_cast<std::int64_t>(r.u64()));
+    f.last = util::Timestamp::from_nanos(static_cast<std::int64_t>(r.u64()));
+    f.src_asn = net::Asn{r.u32()};
+    f.dst_asn = net::Asn{r.u32()};
+    f.peer_asn = net::Asn{r.u32()};
+    f.direction = r.u8() == 0 ? Direction::kIngress : Direction::kEgress;
+    f.sampling_rate = r.u32();
+    if (!r.ok()) return std::nullopt;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+bool write_flow_file(const std::string& path, std::span<const FlowRecord> flows) {
+  const FilePtr file{std::fopen(path.c_str(), "wb")};
+  if (!file) return false;
+  const auto bytes = serialize_flows(flows);
+  return std::fwrite(bytes.data(), 1, bytes.size(), file.get()) == bytes.size();
+}
+
+std::optional<FlowList> read_flow_file(const std::string& path) {
+  const FilePtr file{std::fopen(path.c_str(), "rb")};
+  if (!file) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t read_count = 0;
+  while ((read_count = std::fread(chunk, 1, sizeof chunk, file.get())) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + read_count);
+  }
+  return deserialize_flows(bytes);
+}
+
+}  // namespace booterscope::flow

@@ -1,0 +1,69 @@
+// In-memory flow data sets and a compact binary on-disk format.
+//
+// A FlowStore is what a vantage point hands to the analysis layer: a bag of
+// flow records plus convenience filters. The on-disk format ("BSF1") is a
+// straight big-endian serialization of FlowRecord for persisting simulated
+// traces between runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flow/record.hpp"
+
+namespace booterscope::flow {
+
+class FlowStore {
+ public:
+  FlowStore() = default;
+  explicit FlowStore(FlowList flows) noexcept : flows_(std::move(flows)) {}
+
+  void add(const FlowRecord& flow) { flows_.push_back(flow); }
+  void add(const FlowList& flows) {
+    flows_.insert(flows_.end(), flows.begin(), flows.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return flows_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return flows_.empty(); }
+  [[nodiscard]] const FlowList& flows() const noexcept { return flows_; }
+  [[nodiscard]] FlowList& flows() noexcept { return flows_; }
+
+  /// Records matching a predicate.
+  [[nodiscard]] FlowStore filter(
+      const std::function<bool(const FlowRecord&)>& pred) const;
+
+  /// UDP flows with the given destination port (the paper's reflector-bound
+  /// traffic selector for Fig. 4).
+  [[nodiscard]] FlowStore to_port(std::uint16_t dst_port) const;
+  /// UDP flows with the given source port (reflector-to-victim traffic).
+  [[nodiscard]] FlowStore from_port(std::uint16_t src_port) const;
+
+  /// Sorts by flow start time (analyses assume chronological order).
+  void sort_by_time();
+
+  /// Total scaled packets / bytes across all records.
+  [[nodiscard]] double total_scaled_packets() const noexcept;
+  [[nodiscard]] double total_scaled_bytes() const noexcept;
+
+ private:
+  FlowList flows_;
+};
+
+/// Serializes a flow list to the BSF1 binary format.
+[[nodiscard]] std::vector<std::uint8_t> serialize_flows(
+    std::span<const FlowRecord> flows);
+
+/// Deserializes BSF1 bytes; std::nullopt on bad magic/truncation.
+[[nodiscard]] std::optional<FlowList> deserialize_flows(
+    std::span<const std::uint8_t> data);
+
+/// Writes/reads BSF1 files. Returns false / nullopt on I/O failure.
+[[nodiscard]] bool write_flow_file(const std::string& path,
+                                   std::span<const FlowRecord> flows);
+[[nodiscard]] std::optional<FlowList> read_flow_file(const std::string& path);
+
+}  // namespace booterscope::flow

@@ -1,0 +1,34 @@
+// Autonomous system numbers as a strong type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace booterscope::net {
+
+/// A 32-bit AS number. Asn{0} is reserved and used as "unknown".
+class Asn {
+ public:
+  constexpr Asn() noexcept = default;
+  explicit constexpr Asn(std::uint32_t number) noexcept : number_(number) {}
+
+  [[nodiscard]] constexpr std::uint32_t number() const noexcept { return number_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return number_ != 0; }
+  [[nodiscard]] std::string to_string() const { return "AS" + std::to_string(number_); }
+
+  constexpr auto operator<=>(const Asn&) const noexcept = default;
+
+ private:
+  std::uint32_t number_ = 0;
+};
+
+}  // namespace booterscope::net
+
+template <>
+struct std::hash<booterscope::net::Asn> {
+  std::size_t operator()(booterscope::net::Asn asn) const noexcept {
+    return static_cast<std::size_t>(asn.number()) * 0x9e3779b97f4a7c15ULL;
+  }
+};

@@ -1,0 +1,37 @@
+// The classic transport five-tuple used as a flow key.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "net/ipv4.hpp"
+#include "net/protocol.hpp"
+#include "util/hash.hpp"
+
+namespace booterscope::net {
+
+struct FiveTuple {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kUdp;
+
+  constexpr auto operator<=>(const FiveTuple&) const noexcept = default;
+};
+
+}  // namespace booterscope::net
+
+template <>
+struct std::hash<booterscope::net::FiveTuple> {
+  std::size_t operator()(const booterscope::net::FiveTuple& t) const noexcept {
+    using booterscope::util::hash_combine;
+    std::size_t seed = std::hash<booterscope::net::Ipv4Addr>{}(t.src);
+    seed = hash_combine(seed, std::hash<booterscope::net::Ipv4Addr>{}(t.dst));
+    seed = hash_combine(seed, (static_cast<std::size_t>(t.src_port) << 24) |
+                                  (static_cast<std::size_t>(t.dst_port) << 8) |
+                                  static_cast<std::size_t>(t.proto));
+    return seed;
+  }
+};

@@ -1,0 +1,51 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace booterscope::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* const end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned part = 0;
+    const auto [ptr, ec] = std::from_chars(cursor, end, part);
+    if (ec != std::errc{} || part > 255 || ptr == cursor) return std::nullopt;
+    value = (value << 8) | part;
+    cursor = ptr;
+    if (octet < 3) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+  }
+  if (cursor != end) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "%u.%u.%u.%u", value_ >> 24,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buffer;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  const std::string_view len_text = text.substr(slash + 1);
+  const char* const end = len_text.data() + len_text.size();
+  const auto [ptr, ec] = std::from_chars(len_text.data(), end, length);
+  if (ec != std::errc{} || ptr != end || length > 32) return std::nullopt;
+  return Prefix{*addr, length};
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace booterscope::net

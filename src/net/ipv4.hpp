@@ -1,0 +1,91 @@
+// IPv4 addresses and CIDR prefixes as strong value types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace booterscope::net {
+
+/// An IPv4 address. Stored host-order; wire codecs convert explicitly.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  explicit constexpr Ipv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1").
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 203.0.113.0/24. The network address is canonicalized
+/// (host bits zeroed) on construction.
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+  constexpr Prefix(Ipv4Addr network, unsigned length) noexcept
+      : length_(length > 32 ? 32 : length),
+        network_(Ipv4Addr{network.value() & mask_bits(length_)}) {}
+
+  /// Parses "a.b.c.d/len".
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr Ipv4Addr network() const noexcept { return network_; }
+  [[nodiscard]] constexpr unsigned length() const noexcept { return length_; }
+  [[nodiscard]] constexpr std::uint32_t netmask() const noexcept {
+    return mask_bits(length_);
+  }
+  /// Number of addresses covered (2^(32-length)).
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Addr addr) const noexcept {
+    return (addr.value() & netmask()) == network_.value();
+  }
+  [[nodiscard]] constexpr bool contains(Prefix other) const noexcept {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+
+  /// The i-th address inside the prefix (i < size()).
+  [[nodiscard]] constexpr Ipv4Addr at(std::uint64_t i) const noexcept {
+    return Ipv4Addr{network_.value() + static_cast<std::uint32_t>(i)};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix&) const noexcept = default;
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t mask_bits(unsigned length) noexcept {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+  unsigned length_ = 0;
+  Ipv4Addr network_{};
+};
+
+}  // namespace booterscope::net
+
+template <>
+struct std::hash<booterscope::net::Ipv4Addr> {
+  std::size_t operator()(booterscope::net::Ipv4Addr addr) const noexcept {
+    // Fibonacci scrambling: addresses are often sequential in simulations.
+    return static_cast<std::size_t>(addr.value()) * 0x9e3779b97f4a7c15ULL;
+  }
+};

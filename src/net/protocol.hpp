@@ -1,0 +1,116 @@
+// Transport protocols, well-known ports, and DDoS amplification vectors.
+//
+// The amplification-vector metadata (ports, reply sizes, bandwidth
+// amplification factors) is the calibration backbone of the simulator; the
+// values are taken from the paper (§3/§4) and Rossow's "Amplification Hell"
+// (NDSS 2014) where the paper does not report them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace booterscope::net {
+
+/// IP protocol numbers (IANA).
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(IpProto proto) noexcept {
+  switch (proto) {
+    case IpProto::kIcmp: return "ICMP";
+    case IpProto::kTcp: return "TCP";
+    case IpProto::kUdp: return "UDP";
+  }
+  return "?";
+}
+
+/// UDP ports of protocols relevant to the study.
+namespace ports {
+inline constexpr std::uint16_t kDns = 53;
+inline constexpr std::uint16_t kNtp = 123;
+inline constexpr std::uint16_t kCldap = 389;
+inline constexpr std::uint16_t kMemcached = 11211;
+inline constexpr std::uint16_t kSsdp = 1900;
+inline constexpr std::uint16_t kChargen = 19;
+}  // namespace ports
+
+/// Amplification vectors exercised in the paper.
+enum class AmpVector : std::uint8_t {
+  kNtp,        // monlist; the paper's primary vector
+  kDns,        // ANY / large TXT responses
+  kCldap,      // connectionless LDAP searchRequest
+  kMemcached,  // stats / get of large values
+};
+
+inline constexpr std::array<AmpVector, 4> kAllVectors = {
+    AmpVector::kNtp, AmpVector::kDns, AmpVector::kCldap, AmpVector::kMemcached};
+
+[[nodiscard]] constexpr std::string_view to_string(AmpVector v) noexcept {
+  switch (v) {
+    case AmpVector::kNtp: return "NTP";
+    case AmpVector::kDns: return "DNS";
+    case AmpVector::kCldap: return "CLDAP";
+    case AmpVector::kMemcached: return "Memcached";
+  }
+  return "?";
+}
+
+/// Static per-vector calibration data.
+struct VectorProfile {
+  AmpVector vector;
+  std::uint16_t service_port;       // reflector-side UDP port
+  std::uint16_t request_bytes;      // spoofed trigger request size (UDP payload + headers)
+  std::uint16_t reply_bytes_lo;     // amplified reply packet size range on the wire
+  std::uint16_t reply_bytes_hi;
+  double replies_per_request;       // packets out per trigger packet in
+  double benign_share;              // fraction of wild inter-domain traffic on this
+                                    //   port that is legitimate (drives Fig. 4 red%)
+  /// Fraction of a booter's trigger capacity its attack scripts actually
+  /// drive for this vector. Memcached's enormous amplification is heavily
+  /// throttled by booter frontends (and its amplifier base is mitigated
+  /// fast, §3.2 takeaway), which is why the paper's memcached attacks are
+  /// far below the theoretical factor.
+  double trigger_scale;
+};
+
+/// Profile lookup; values justified in DESIGN.md §5.
+[[nodiscard]] constexpr VectorProfile profile(AmpVector v) noexcept {
+  switch (v) {
+    case AmpVector::kNtp:
+      // monlist: 234-byte request, 100 x ~482-486-byte UDP payloads
+      // (486/490 bytes on the wire per the paper's self-attacks).
+      return {AmpVector::kNtp, ports::kNtp, 50, 486, 490, 100.0, 0.54, 1.0};
+    case AmpVector::kDns:
+      // ANY amplification; responses vary 512..1490 bytes, a few packets.
+      return {AmpVector::kDns, ports::kDns, 80, 512, 1490, 4.0, 0.90, 1.0};
+    case AmpVector::kCldap:
+      // searchRequest -> ~1450-byte responses, ~4 packets per request
+      // (BAF ~60-70, Rossow NDSS'14).
+      return {AmpVector::kCldap, ports::kCldap, 90, 1400, 1500, 4.0, 0.05, 1.0};
+    case AmpVector::kMemcached:
+      // stats/get: huge multi-packet responses; AS-internal daemon, so
+      // essentially no legitimate inter-domain traffic on 11211.
+      return {AmpVector::kMemcached, ports::kMemcached, 60, 1400, 1500, 350.0,
+              0.02, 0.045};
+  }
+  return {AmpVector::kNtp, ports::kNtp, 50, 486, 490, 100.0, 0.54, 1.0};
+}
+
+[[nodiscard]] constexpr std::optional<AmpVector> vector_for_port(
+    std::uint16_t port) noexcept {
+  switch (port) {
+    case ports::kNtp: return AmpVector::kNtp;
+    case ports::kDns: return AmpVector::kDns;
+    case ports::kCldap: return AmpVector::kCldap;
+    case ports::kMemcached: return AmpVector::kMemcached;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace booterscope::net

@@ -1,0 +1,102 @@
+#include "pcap/packet.hpp"
+
+#include "util/byteio.hpp"
+
+namespace booterscope::pcap {
+
+namespace {
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while ((sum >> 16) != 0) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::vector<std::uint8_t> encode_packet(const Packet& packet) {
+  std::vector<std::uint8_t> buffer;
+  buffer.reserve(packet.wire_bytes());
+  util::ByteWriter w(buffer);
+
+  // Ethernet II.
+  w.bytes(packet.dst_mac);
+  w.bytes(packet.src_mac);
+  w.u16(kEtherTypeIpv4);
+
+  // IPv4 (no options). Checksum patched after the header is complete.
+  const std::size_t ip_offset = buffer.size();
+  const auto total_length = static_cast<std::uint16_t>(
+      kIpv4HeaderBytes + kUdpHeaderBytes + packet.payload_bytes);
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(0);     // DSCP/ECN
+  w.u16(total_length);
+  w.u16(0);       // identification
+  w.u16(0x4000);  // flags: DF
+  w.u8(packet.ttl);
+  w.u8(static_cast<std::uint8_t>(net::IpProto::kUdp));
+  const std::size_t checksum_offset = buffer.size();
+  w.u16(0);  // checksum placeholder
+  w.u32(packet.src_ip.value());
+  w.u32(packet.dst_ip.value());
+  const std::uint16_t checksum = internet_checksum(
+      std::span{buffer}.subspan(ip_offset, kIpv4HeaderBytes));
+  w.patch_u16(checksum_offset, checksum);
+
+  // UDP. Checksum 0 = not computed (valid for UDP over IPv4).
+  w.u16(packet.src_port);
+  w.u16(packet.dst_port);
+  w.u16(static_cast<std::uint16_t>(kUdpHeaderBytes + packet.payload_bytes));
+  w.u16(0);
+
+  buffer.resize(buffer.size() + packet.payload_bytes, 0);
+  return buffer;
+}
+
+std::optional<Packet> decode_packet(std::span<const std::uint8_t> frame,
+                                    util::Timestamp time) {
+  util::ByteReader r(frame);
+  Packet packet;
+  packet.time = time;
+  if (!r.bytes(packet.dst_mac) || !r.bytes(packet.src_mac)) return std::nullopt;
+  if (r.u16() != kEtherTypeIpv4) return std::nullopt;
+
+  const std::size_t ip_offset = r.position();
+  const std::uint8_t version_ihl = r.u8();
+  if (version_ihl != 0x45) return std::nullopt;  // IPv4 without options only
+  (void)r.u8();  // DSCP/ECN
+  const std::uint16_t total_length = r.u16();
+  (void)r.u16();  // identification
+  (void)r.u16();  // flags/fragment offset
+  packet.ttl = r.u8();
+  const std::uint8_t proto = r.u8();
+  (void)r.u16();  // header checksum (validated below over the whole header)
+  packet.src_ip = net::Ipv4Addr{r.u32()};
+  packet.dst_ip = net::Ipv4Addr{r.u32()};
+  if (!r.ok() || proto != static_cast<std::uint8_t>(net::IpProto::kUdp)) {
+    return std::nullopt;
+  }
+  if (frame.size() < ip_offset + kIpv4HeaderBytes) return std::nullopt;
+  if (internet_checksum(frame.subspan(ip_offset, kIpv4HeaderBytes)) != 0) {
+    return std::nullopt;  // checksum over header incl. stored checksum must be 0
+  }
+  if (total_length < kIpv4HeaderBytes + kUdpHeaderBytes) return std::nullopt;
+
+  packet.src_port = r.u16();
+  packet.dst_port = r.u16();
+  const std::uint16_t udp_length = r.u16();
+  (void)r.u16();  // UDP checksum
+  if (!r.ok() || udp_length < kUdpHeaderBytes) return std::nullopt;
+  packet.payload_bytes = static_cast<std::uint16_t>(udp_length - kUdpHeaderBytes);
+  if (r.remaining() < packet.payload_bytes) return std::nullopt;
+  return packet;
+}
+
+}  // namespace booterscope::pcap

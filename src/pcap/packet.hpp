@@ -1,0 +1,65 @@
+// Wire packets: Ethernet II / IPv4 / UDP header encode & decode.
+//
+// The self-attack observatory (§3.1) captures raw packets at the
+// measurement AS; this module provides the packet representation and the
+// header codecs used to serialize them into pcap files. Payloads are opaque
+// length-only fill — the study never inspects payload.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+#include "net/ipv4.hpp"
+#include "net/protocol.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::pcap {
+
+inline constexpr std::size_t kEthernetHeaderBytes = 14;
+inline constexpr std::size_t kIpv4HeaderBytes = 20;  // no options
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+inline constexpr std::size_t kMinWireBytes =
+    kEthernetHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes;
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+/// A decoded (or to-be-encoded) UDP-over-IPv4 packet.
+struct Packet {
+  util::Timestamp time;
+  MacAddr src_mac{};
+  MacAddr dst_mac{};
+  net::Ipv4Addr src_ip;
+  net::Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = 64;
+  /// UDP payload length in bytes (content is zero fill).
+  std::uint16_t payload_bytes = 0;
+
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return kMinWireBytes + payload_bytes;
+  }
+  [[nodiscard]] net::FiveTuple tuple() const noexcept {
+    return {src_ip, dst_ip, src_port, dst_port, net::IpProto::kUdp};
+  }
+};
+
+/// RFC 1071 Internet checksum over a byte span (odd lengths padded).
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// Serializes Ethernet + IPv4 + UDP headers + zero payload. The IPv4 header
+/// checksum is computed; the UDP checksum is emitted as 0 (legal for IPv4).
+[[nodiscard]] std::vector<std::uint8_t> encode_packet(const Packet& packet);
+
+/// Parses a frame produced by encode_packet (or any UDP/IPv4/EthII frame
+/// without IP options). Returns std::nullopt for non-IPv4, non-UDP,
+/// truncated, or checksum-corrupt frames.
+[[nodiscard]] std::optional<Packet> decode_packet(
+    std::span<const std::uint8_t> frame, util::Timestamp time);
+
+}  // namespace booterscope::pcap

@@ -1,0 +1,104 @@
+#include "pcap/pcap_file.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/byteio.hpp"
+
+namespace booterscope::pcap {
+
+namespace {
+
+// Classic pcap is written in the *writer's* byte order; we fix big-endian
+// and rely on the magic number for readers to detect it, as the format
+// intends. ByteWriter/ByteReader are big-endian already.
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_pcap(std::span<const Packet> packets,
+                                      std::uint32_t snap_len) {
+  std::vector<std::uint8_t> buffer;
+  util::ByteWriter w(buffer);
+  w.u32(kPcapMagic);
+  w.u16(2);  // version major
+  w.u16(4);  // version minor
+  w.u32(0);  // thiszone
+  w.u32(0);  // sigfigs
+  w.u32(snap_len);
+  w.u32(kLinkTypeEthernet);
+
+  for (const Packet& packet : packets) {
+    const auto frame = encode_packet(packet);
+    const auto captured = static_cast<std::uint32_t>(
+        frame.size() > snap_len ? snap_len : frame.size());
+    const std::int64_t ns = packet.time.nanos();
+    w.u32(static_cast<std::uint32_t>(ns / 1'000'000'000));
+    w.u32(static_cast<std::uint32_t>((ns % 1'000'000'000) / 1'000));
+    w.u32(captured);
+    w.u32(static_cast<std::uint32_t>(frame.size()));
+    w.bytes(std::span{frame}.first(captured));
+  }
+  return buffer;
+}
+
+std::optional<PcapParseResult> decode_pcap(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  if (r.u32() != kPcapMagic) return std::nullopt;
+  (void)r.u16();  // version major
+  (void)r.u16();  // version minor
+  (void)r.u32();  // thiszone
+  (void)r.u32();  // sigfigs
+  (void)r.u32();  // snaplen
+  if (r.u32() != kLinkTypeEthernet) return std::nullopt;
+  if (!r.ok()) return std::nullopt;
+
+  PcapParseResult result;
+  while (r.remaining() >= kPcapRecordHeaderBytes) {
+    const std::uint32_t ts_sec = r.u32();
+    const std::uint32_t ts_usec = r.u32();
+    const std::uint32_t captured = r.u32();
+    (void)r.u32();  // original length
+    if (!r.ok() || r.remaining() < captured) return std::nullopt;
+    const util::Timestamp time = util::Timestamp::from_nanos(
+        static_cast<std::int64_t>(ts_sec) * 1'000'000'000 +
+        static_cast<std::int64_t>(ts_usec) * 1'000);
+    const std::size_t frame_offset = r.position();
+    if (!r.skip(captured)) return std::nullopt;
+    const auto packet =
+        decode_packet(data.subspan(frame_offset, captured), time);
+    if (packet) {
+      result.packets.push_back(*packet);
+    } else {
+      ++result.skipped;
+    }
+  }
+  return result;
+}
+
+bool write_pcap_file(const std::string& path, std::span<const Packet> packets) {
+  const FilePtr file{std::fopen(path.c_str(), "wb")};
+  if (!file) return false;
+  const auto bytes = encode_pcap(packets);
+  return std::fwrite(bytes.data(), 1, bytes.size(), file.get()) == bytes.size();
+}
+
+std::optional<PcapParseResult> read_pcap_file(const std::string& path) {
+  const FilePtr file{std::fopen(path.c_str(), "rb")};
+  if (!file) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t read_count = 0;
+  while ((read_count = std::fread(chunk, 1, sizeof chunk, file.get())) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + read_count);
+  }
+  return decode_pcap(bytes);
+}
+
+}  // namespace booterscope::pcap

@@ -1,0 +1,44 @@
+// Classic libpcap file format (magic 0xa1b2c3d4, microsecond timestamps).
+//
+// Self-attack captures can be persisted as standard .pcap files readable by
+// tcpdump/wireshark, and previously written files can be replayed into the
+// analysis pipeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pcap/packet.hpp"
+
+namespace booterscope::pcap {
+
+inline constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+inline constexpr std::size_t kPcapFileHeaderBytes = 24;
+inline constexpr std::size_t kPcapRecordHeaderBytes = 16;
+
+/// Serializes packets into a pcap byte stream (file header + records).
+/// `snap_len` truncates captured bytes like a real capture would.
+[[nodiscard]] std::vector<std::uint8_t> encode_pcap(
+    std::span<const Packet> packets, std::uint32_t snap_len = 65535);
+
+/// Parses a pcap byte stream produced by encode_pcap (or any Ethernet-
+/// linktype classic pcap). Frames that fail UDP/IPv4 decoding are skipped
+/// and counted in `skipped`.
+struct PcapParseResult {
+  std::vector<Packet> packets;
+  std::uint64_t skipped = 0;
+};
+[[nodiscard]] std::optional<PcapParseResult> decode_pcap(
+    std::span<const std::uint8_t> data);
+
+/// File convenience wrappers.
+[[nodiscard]] bool write_pcap_file(const std::string& path,
+                                   std::span<const Packet> packets);
+[[nodiscard]] std::optional<PcapParseResult> read_pcap_file(
+    const std::string& path);
+
+}  // namespace booterscope::pcap

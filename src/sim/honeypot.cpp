@@ -1,0 +1,31 @@
+#include "sim/honeypot.hpp"
+
+namespace booterscope::sim {
+
+HoneypotDeployment::HoneypotDeployment(
+    const std::unordered_map<net::AmpVector, ReflectorPool>& pools,
+    std::uint32_t count_per_vector, double public_head_share, util::Rng rng) {
+  for (const auto& [vector, pool] : pools) {
+    std::unordered_set<ReflectorId>& set = ids_[vector];
+    const auto public_count = static_cast<std::uint32_t>(
+        public_head_share * count_per_vector);
+    util::Rng vector_rng = rng.fork(to_string(vector));
+    // Public-head honeypots: adopted via shared amplifier lists.
+    auto head = pool.sample_public(public_count, 2'000, vector_rng);
+    set.insert(head.begin(), head.end());
+    // The rest sit in the general population, found by booter scanning.
+    while (set.size() < count_per_vector &&
+           set.size() < pool.population()) {
+      set.insert(static_cast<ReflectorId>(vector_rng.bounded(pool.population())));
+    }
+  }
+}
+
+const std::unordered_set<ReflectorId>& HoneypotDeployment::ids(
+    net::AmpVector vector) const {
+  static const std::unordered_set<ReflectorId> kEmpty;
+  const auto it = ids_.find(vector);
+  return it == ids_.end() ? kEmpty : it->second;
+}
+
+}  // namespace booterscope::sim

@@ -1,0 +1,69 @@
+// Amplification honeypots (AmpPot-style).
+//
+// The paper's lineage of work runs honeypots that pose as open amplifiers:
+// booters adopt them into their reflector lists, and every attack then
+// leaks its spoofed trigger stream to the honeypot operator. Krämer et
+// al. (RAID'15) monitor attacks this way; Krupp et al. (RAID'17) link the
+// observed attacks back to specific booters. This module deploys
+// honeypots into the reflector pools; sim/landscape.cpp emits an
+// observation whenever a booter tasks one in an attack, and
+// core/attribution.hpp reproduces the linkage analysis.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/protocol.hpp"
+#include "sim/reflector.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::sim {
+
+/// One attack seen from one honeypot: the spoofed "source" is the victim.
+struct HoneypotObservation {
+  net::AmpVector vector = net::AmpVector::kNtp;
+  ReflectorId honeypot = 0;
+  net::Ipv4Addr victim;
+  util::Timestamp start;
+  util::Duration duration;
+  double trigger_pps = 0.0;
+  /// Ground-truth booter index (never available to the analysis; carried
+  /// for evaluating attribution accuracy).
+  std::size_t truth_booter = 0;
+};
+
+/// The deployed honeypot fleet: per protocol, which pool ids are ours.
+class HoneypotDeployment {
+ public:
+  HoneypotDeployment() = default;
+
+  /// Deploys `count` honeypots per vector into pools of the given
+  /// populations. A share of them is seeded into the public list head,
+  /// where booters building lists from pastebin dumps will adopt them
+  /// quickly (the AmpPot experience).
+  HoneypotDeployment(
+      const std::unordered_map<net::AmpVector, ReflectorPool>& pools,
+      std::uint32_t count_per_vector, double public_head_share, util::Rng rng);
+
+  [[nodiscard]] bool is_honeypot(net::AmpVector vector,
+                                 ReflectorId id) const noexcept {
+    const auto it = ids_.find(vector);
+    return it != ids_.end() && it->second.contains(id);
+  }
+  [[nodiscard]] const std::unordered_set<ReflectorId>& ids(
+      net::AmpVector vector) const;
+  [[nodiscard]] std::size_t total() const noexcept {
+    std::size_t count = 0;
+    for (const auto& [vector, set] : ids_) count += set.size();
+    return count;
+  }
+
+ private:
+  std::unordered_map<net::AmpVector, std::unordered_set<ReflectorId>> ids_;
+};
+
+}  // namespace booterscope::sim

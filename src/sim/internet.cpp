@@ -1,0 +1,239 @@
+#include "sim/internet.hpp"
+
+#include <cassert>
+
+#include "util/hash.hpp"
+
+namespace booterscope::sim {
+
+namespace {
+
+using net::Asn;
+using net::Ipv4Addr;
+using net::Prefix;
+using topo::AsId;
+using topo::AsRole;
+
+constexpr util::SipKey kHostKey{0x626f6f7465727363ULL, 0x6f70652d686f7374ULL};
+
+}  // namespace
+
+Internet::Internet(const InternetConfig& config) : config_(config) {
+  util::Rng rng(config.seed);
+  util::Rng wiring_rng = rng.fork("wiring");
+
+  std::uint32_t next_asn = 100;
+  std::uint32_t next_prefix_block = 0x0a00;  // 10.0.0.0 onwards, /16 blocks
+
+  auto next_prefix16 = [&next_prefix_block]() {
+    const Prefix prefix{
+        Ipv4Addr{static_cast<std::uint32_t>(next_prefix_block) << 16}, 16};
+    ++next_prefix_block;
+    return prefix;
+  };
+
+  // Tier-1 clique.
+  std::vector<AsId> tier1s;
+  for (std::size_t i = 0; i < config.tier1_count; ++i) {
+    tier1s.push_back(topology_.add_as(Asn{next_asn++},
+                                      "T1-" + std::to_string(i),
+                                      AsRole::kTier1, {next_prefix16()}));
+  }
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+      topology_.add_peering(tier1s[i], tier1s[j], 1000.0);
+    }
+  }
+  tier1_vantage_ = tier1s.front();
+
+  // Tier-2 regionals: customers of 1-2 tier-1s; some bilateral peerings.
+  std::vector<AsId> tier2s;
+  for (std::size_t i = 0; i < config.tier2_count; ++i) {
+    const AsId id = topology_.add_as(Asn{next_asn++},
+                                     "T2-" + std::to_string(i),
+                                     AsRole::kTier2, {next_prefix16()});
+    tier2s.push_back(id);
+    topology_.add_customer_provider(
+        id, tier1s[wiring_rng.bounded(tier1s.size())], 400.0);
+    if (wiring_rng.chance(0.6)) {
+      AsId second = tier1s[wiring_rng.bounded(tier1s.size())];
+      // A second, distinct upstream when the draw collides.
+      if (topology_.adjacency(id).providers.front().first == second) {
+        second = tier1s[(wiring_rng.bounded(tier1s.size()) + 1) % tier1s.size()];
+      }
+      if (topology_.adjacency(id).providers.front().first != second) {
+        topology_.add_customer_provider(id, second, 400.0);
+      }
+    }
+  }
+  for (std::size_t i = 0; i + 1 < tier2s.size(); i += 3) {
+    topology_.add_peering(tier2s[i], tier2s[i + 1], 200.0);
+  }
+  tier2_vantage_ = tier2s.front();
+
+  // Content networks: customers of a tier-1 or tier-2.
+  std::vector<AsId>& contents = contents_;
+  for (std::size_t i = 0; i < config.content_count; ++i) {
+    const AsId id = topology_.add_as(Asn{next_asn++},
+                                     "CDN-" + std::to_string(i),
+                                     AsRole::kContent, {next_prefix16()});
+    contents.push_back(id);
+    if (wiring_rng.chance(0.5)) {
+      topology_.add_customer_provider(
+          id, tier1s[wiring_rng.bounded(tier1s.size())], 400.0);
+    } else {
+      topology_.add_customer_provider(
+          id, tier2s[wiring_rng.bounded(tier2s.size())], 200.0);
+    }
+  }
+
+  // IXP membership: a slice of tier-2s, all content networks, some stubs.
+  // The tier-2 vantage itself is NOT at the exchange: the paper's tier-2
+  // ISP data set and the IXP data set are disjoint views.
+  for (std::size_t i = 1; i <= config.tier2_members && i < tier2s.size(); ++i) {
+    topology_.node(tier2s[i]).ixp_member = true;
+  }
+  for (const AsId id : contents) topology_.node(id).ixp_member = true;
+
+  // Stub ASes. A configurable share hangs under IXP-member tier-2s so the
+  // member/non-member cone split matches the paper's transit dominance.
+  std::vector<AsId> member_tier2s;
+  for (const AsId id : tier2s) {
+    if (topology_.node(id).ixp_member) member_tier2s.push_back(id);
+  }
+  std::vector<AsId> non_member_tier2s;
+  for (const AsId id : tier2s) {
+    if (!topology_.node(id).ixp_member) non_member_tier2s.push_back(id);
+  }
+  for (std::size_t i = 0; i < config.stub_count; ++i) {
+    const AsId id = topology_.add_as(Asn{next_asn++},
+                                     "STUB-" + std::to_string(i),
+                                     AsRole::kStub, {next_prefix16()});
+    stubs_.push_back(id);
+    const bool under_member = wiring_rng.chance(config.stub_under_member_share);
+    const AsId provider =
+        under_member
+            ? member_tier2s[wiring_rng.bounded(member_tier2s.size())]
+            : non_member_tier2s[wiring_rng.bounded(non_member_tier2s.size())];
+    topology_.add_customer_provider(id, provider, 100.0);
+    if (wiring_rng.chance(0.15)) {
+      const AsId backup = tier2s[wiring_rng.bounded(tier2s.size())];
+      if (backup != provider) topology_.add_customer_provider(id, backup, 100.0);
+    }
+  }
+  // Direct stub members (e.g. hosting companies present at the exchange).
+  for (std::size_t i = 0; i < config.stub_members && i < stubs_.size(); ++i) {
+    topology_.node(stubs_[i * 3 % stubs_.size()]).ixp_member = true;
+  }
+
+  // The measurement AS: /24, one transit link to an IXP-member tier-2, and
+  // multilateral peering at the route server (added below with everyone).
+  measurement_prefix_ = Prefix{Ipv4Addr{203, 0, 113, 0}, 24};
+  measurement_as_ = topology_.add_as(Asn{64500}, "MEASUREMENT",
+                                     AsRole::kMeasurement,
+                                     {measurement_prefix_}, true);
+  transit_provider_ = member_tier2s.back();
+  transit_link_ = topology_.add_customer_provider(
+      measurement_as_, transit_provider_, config.measurement_port_gbps);
+
+  // Bilateral sessions over the fabric between established members (the
+  // measurement AS stays multilateral-only, as in §3.1).
+  members_ = topology_.ixp_members();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    for (std::size_t j = i + 1; j < members_.size(); ++j) {
+      // The measurement AS peers multilaterally only (§3.1).
+      if (members_[i] == measurement_as_ || members_[j] == measurement_as_) {
+        continue;
+      }
+      if (wiring_rng.chance(config.member_bilateral_share)) {
+        topology_.add_peering(members_[i], members_[j], 100.0,
+                              /*via_fabric=*/true);
+      }
+    }
+  }
+
+  // Route server: full multilateral mesh over all members.
+  topo::connect_route_server(topology_, members_, 100.0);
+
+  // Member policy flags.
+  for (const AsId member : members_) {
+    if (member == measurement_as_) continue;
+    topology_.node(member).rs_low_pref =
+        wiring_rng.chance(config.member_rs_low_pref_share);
+  }
+
+  // Eyeball stubs under the tier-2 vantage (open-resolver concentration).
+  for (const AsId stub : stubs_) {
+    for (const auto& [provider, link] : topology_.adjacency(stub).providers) {
+      if (provider == tier2_vantage_) {
+        tier2_cone_stubs_.push_back(stub);
+        break;
+      }
+    }
+  }
+  if (tier2_cone_stubs_.empty()) tier2_cone_stubs_ = stubs_;
+
+  // Routing snapshots with and without the measurement transit link.
+  router_.emplace(topology_);
+  topology_.set_link_enabled(transit_link_, false);
+  router_no_transit_.emplace(topology_);
+  topology_.set_link_enabled(transit_link_, true);
+}
+
+Internet::Host Internet::stub_host(std::uint64_t salt) const noexcept {
+  const std::uint64_t digest = util::siphash24(kHostKey, salt);
+  const AsId as = stubs_[digest % stubs_.size()];
+  const net::Prefix prefix = topology_.node(as).prefixes.front();
+  // Skip network and broadcast addresses.
+  const std::uint64_t host_index = 1 + (digest >> 32) % (prefix.size() - 2);
+  return Host{as, prefix.at(host_index)};
+}
+
+Internet::Host Internet::reflector_host(net::AmpVector vector,
+                                        ReflectorId id) const noexcept {
+  const std::uint64_t salt = (static_cast<std::uint64_t>(vector) << 40) ^
+                             (0xA000000000ULL + id);
+  // Open DNS resolvers are largely CPE devices in consumer eyeball
+  // networks; concentrate 60% of them in the tier-2 vantage's cone. (This
+  // is what makes the takedown's DNS dip measurable at the tier-2 ISP but
+  // invisible at the IXP, §5.2.)
+  if (vector == net::AmpVector::kDns) {
+    const std::uint64_t digest = util::siphash24(kHostKey, salt);
+    if (digest % 10 < 6) {
+      const AsId as = tier2_cone_stubs_[(digest >> 8) % tier2_cone_stubs_.size()];
+      const net::Prefix prefix = topology_.node(as).prefixes.front();
+      const std::uint64_t host_index = 1 + (digest >> 32) % (prefix.size() - 2);
+      return Host{as, prefix.at(host_index)};
+    }
+  }
+  return stub_host(salt);
+}
+
+Internet::Host Internet::victim_host(std::uint32_t victim_index) const noexcept {
+  return stub_host(0xB00000000000ULL + victim_index);
+}
+
+Internet::Host Internet::booter_backend(std::size_t booter_index) const noexcept {
+  return stub_host(0xC00000000000ULL + booter_index);
+}
+
+Internet::Host Internet::client_host(std::uint64_t client_index) const noexcept {
+  return stub_host(0xD00000000000ULL + client_index);
+}
+
+Internet::Host Internet::content_host(std::uint64_t index) const noexcept {
+  const std::uint64_t digest =
+      util::siphash24(kHostKey, 0xE00000000000ULL + index);
+  const AsId as = contents_[digest % contents_.size()];
+  const net::Prefix prefix = topology_.node(as).prefixes.front();
+  const std::uint64_t host_index = 1 + (digest >> 32) % (prefix.size() - 2);
+  return Host{as, prefix.at(host_index)};
+}
+
+net::Ipv4Addr Internet::measurement_target(
+    std::uint32_t attack_index) const noexcept {
+  // One fresh host address per attack, cycling through the /24.
+  return measurement_prefix_.at(1 + attack_index % (measurement_prefix_.size() - 2));
+}
+
+}  // namespace booterscope::sim

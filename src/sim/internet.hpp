@@ -1,0 +1,127 @@
+// Synthetic Internet factory: builds the AS topology hosting the study.
+//
+// The generated world contains: a clique of tier-1 transit providers,
+// tier-2 regional ISPs (one of which is the tier-2 vantage point), content
+// networks, a large set of stub ASes (hosting reflectors, victims, booter
+// backends, and benign clients), one IXP whose route server meshes all
+// members, and the paper's measurement AS — a /24 announced over one
+// transit link and multilateral peering, mirroring §3.1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "sim/reflector.hpp"
+#include "topo/graph.hpp"
+#include "topo/ixp.hpp"
+#include "topo/routing.hpp"
+#include "util/rng.hpp"
+
+namespace booterscope::sim {
+
+struct InternetConfig {
+  std::uint64_t seed = 42;
+  std::size_t tier1_count = 4;
+  std::size_t tier2_count = 16;
+  std::size_t content_count = 12;
+  std::size_t stub_count = 240;
+  /// Fraction of stubs whose (first) provider is an IXP member.
+  double stub_under_member_share = 0.25;
+  /// Fraction of IXP members that install route-server routes below
+  /// transit routes (drives the no-transit peer-count increase, §3.2).
+  double member_rs_low_pref_share = 0.65;
+  /// Tier-2s that join the IXP.
+  std::size_t tier2_members = 13;
+  /// Stubs that join the IXP directly (besides content networks).
+  std::size_t stub_members = 48;
+  /// Probability two members run a bilateral session over the fabric (in
+  /// addition to the route server). Bilateral routes carry normal peer
+  /// preference, so fabric traffic between established members is common
+  /// even where route-server routes are deprioritized.
+  double member_bilateral_share = 0.8;
+  /// Capacity of the measurement AS's physical interface (10GE in §3.1).
+  double measurement_port_gbps = 10.0;
+};
+
+/// The built world: topology + routers + entity-to-host mapping.
+class Internet {
+ public:
+  explicit Internet(const InternetConfig& config);
+
+  [[nodiscard]] const topo::Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] topo::Topology& topology() noexcept { return topology_; }
+
+  /// Routing with the measurement AS transit link up (the default world).
+  [[nodiscard]] const topo::Router& router() const noexcept { return *router_; }
+  /// Routing with the measurement transit link disabled ("no transit").
+  [[nodiscard]] const topo::Router& router_no_transit() const noexcept {
+    return *router_no_transit_;
+  }
+
+  [[nodiscard]] topo::AsId measurement_as() const noexcept { return measurement_as_; }
+  [[nodiscard]] topo::AsId transit_provider() const noexcept {
+    return transit_provider_;
+  }
+  [[nodiscard]] std::size_t measurement_transit_link() const noexcept {
+    return transit_link_;
+  }
+  [[nodiscard]] net::Prefix measurement_prefix() const noexcept {
+    return measurement_prefix_;
+  }
+  [[nodiscard]] topo::AsId tier1_vantage() const noexcept { return tier1_vantage_; }
+  [[nodiscard]] topo::AsId tier2_vantage() const noexcept { return tier2_vantage_; }
+  [[nodiscard]] const std::vector<topo::AsId>& stubs() const noexcept {
+    return stubs_;
+  }
+  [[nodiscard]] const std::vector<topo::AsId>& content_ases() const noexcept {
+    return contents_;
+  }
+  [[nodiscard]] const std::vector<topo::AsId>& ixp_members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] const InternetConfig& config() const noexcept { return config_; }
+
+  /// Deterministic host addresses for simulation entities. Every entity
+  /// lives in a stub AS; the mapping is stable across runs with one seed.
+  struct Host {
+    topo::AsId as = topo::kInvalidAs;
+    net::Ipv4Addr ip;
+  };
+  [[nodiscard]] Host reflector_host(net::AmpVector vector,
+                                    ReflectorId id) const noexcept;
+  [[nodiscard]] Host victim_host(std::uint32_t victim_index) const noexcept;
+  [[nodiscard]] Host booter_backend(std::size_t booter_index) const noexcept;
+  [[nodiscard]] Host client_host(std::uint64_t client_index) const noexcept;
+  /// A host inside a content network (big DNS resolvers/CDNs that peer at
+  /// the IXP — used to place benign DNS infrastructure realistically).
+  [[nodiscard]] Host content_host(std::uint64_t index) const noexcept;
+  /// A fresh target inside the measurement /24 (the paper isolates each
+  /// self-attack on a new address of the prefix).
+  [[nodiscard]] net::Ipv4Addr measurement_target(std::uint32_t attack_index)
+      const noexcept;
+
+ private:
+  [[nodiscard]] Host stub_host(std::uint64_t salt) const noexcept;
+
+  InternetConfig config_;
+  topo::Topology topology_;
+  std::optional<topo::Router> router_;
+  std::optional<topo::Router> router_no_transit_;
+  topo::AsId measurement_as_ = topo::kInvalidAs;
+  topo::AsId transit_provider_ = topo::kInvalidAs;
+  std::size_t transit_link_ = 0;
+  net::Prefix measurement_prefix_;
+  topo::AsId tier1_vantage_ = topo::kInvalidAs;
+  topo::AsId tier2_vantage_ = topo::kInvalidAs;
+  std::vector<topo::AsId> stubs_;
+  std::vector<topo::AsId> contents_;
+  std::vector<topo::AsId> members_;
+  /// Stubs homed (at least partly) under the tier-2 vantage: consumer
+  /// eyeball networks where open DNS resolvers (CPE gear) concentrate.
+  std::vector<topo::AsId> tier2_cone_stubs_;
+};
+
+}  // namespace booterscope::sim

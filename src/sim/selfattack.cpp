@@ -1,0 +1,189 @@
+#include "sim/selfattack.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace booterscope::sim {
+
+namespace {
+
+/// How a reflector's traffic arrives at the measurement AS.
+enum class ArrivalKind : std::uint8_t { kUnreachable, kTransit, kPeering };
+
+struct ReflectorPlan {
+  ReflectorId id = 0;
+  Internet::Host host;
+  ArrivalKind arrival = ArrivalKind::kUnreachable;
+  net::Asn handover_asn;  // adjacent AS delivering the traffic
+  double pps = 0.0;       // victim-side amplified packet rate
+};
+
+}  // namespace
+
+double SelfAttackResult::peak_mbps() const noexcept {
+  double peak = 0.0;
+  for (const auto& s : per_second) peak = std::max(peak, s.mbps_offered);
+  return peak;
+}
+
+double SelfAttackResult::mean_mbps() const noexcept {
+  if (per_second.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : per_second) sum += s.mbps_offered;
+  return sum / static_cast<double>(per_second.size());
+}
+
+double SelfAttackResult::transit_share() const noexcept {
+  double transit = 0.0;
+  double total = 0.0;
+  for (const auto& s : per_second) {
+    transit += s.mbps_via_transit;
+    total += s.mbps_via_transit + s.mbps_via_peering;
+  }
+  return total > 0.0 ? transit / total : 0.0;
+}
+
+std::uint32_t SelfAttackResult::max_peer_ases() const noexcept {
+  std::uint32_t peak = 0;
+  for (const auto& s : per_second) peak = std::max(peak, s.peer_ases);
+  return peak;
+}
+
+std::uint32_t SelfAttackResult::max_reflectors_observed() const noexcept {
+  std::uint32_t peak = 0;
+  for (const auto& s : per_second) peak = std::max(peak, s.reflectors_observed);
+  return peak;
+}
+
+SelfAttackResult SelfAttackLab::run(const SelfAttackSpec& spec) {
+  assert(spec.booter_index < services_->size());
+  BooterService& booter = (*services_)[spec.booter_index];
+  const net::VectorProfile vector_profile = net::profile(spec.vector);
+  util::Rng rng = rng_.fork(spec.label);
+
+  SelfAttackResult result;
+  result.spec = spec;
+  result.target = internet_->measurement_target(spec.target_index);
+
+  booter.advance_to(spec.start);
+  const std::vector<ReflectorId> tasked =
+      booter.attack_reflectors(spec.vector, spec.reflector_count);
+  result.reflectors_tasked.insert(tasked.begin(), tasked.end());
+
+  const topo::Router& router =
+      spec.transit_enabled ? internet_->router() : internet_->router_no_transit();
+  const topo::AsId target_as = internet_->measurement_as();
+
+  // Plan each reflector: route classification and per-reflector rate.
+  const double total_pps =
+      (spec.vip ? booter.profile().vip_pps : booter.profile().basic_pps) *
+      vector_profile.replies_per_request * vector_profile.trigger_scale;
+  std::vector<ReflectorPlan> plans;
+  plans.reserve(tasked.size());
+  double weight_sum = 0.0;
+  for (const ReflectorId id : tasked) {
+    ReflectorPlan plan;
+    plan.id = id;
+    plan.host = internet_->reflector_host(spec.vector, id);
+    const topo::Route* last_hop = nullptr;
+    if (router.reachable(plan.host.as, target_as)) {
+      // Walk to the final hop into the measurement AS.
+      topo::AsId cursor = plan.host.as;
+      while (cursor != target_as) {
+        last_hop = &router.route(cursor, target_as);
+        cursor = last_hop->next_hop;
+      }
+    }
+    if (last_hop == nullptr) {
+      plan.arrival = ArrivalKind::kUnreachable;
+    } else {
+      const topo::Link& link = internet_->topology().link(last_hop->via_link);
+      plan.arrival = link.kind == topo::LinkKind::kIxpMultilateral
+                         ? ArrivalKind::kPeering
+                         : ArrivalKind::kTransit;
+      // The adjacent AS is the other end of the final link.
+      const topo::AsId neighbor = link.a == target_as ? link.b : link.a;
+      plan.handover_asn = internet_->topology().node(neighbor).asn;
+    }
+    // Reflector capacities differ (uplinks, NTP daemon versions): lognormal
+    // weights make a few amplifiers dominate, as observed in the wild.
+    plan.pps = util::lognormal(rng, 0.0, 0.8);
+    weight_sum += plan.pps;
+    plans.push_back(plan);
+  }
+  for (auto& plan : plans) plan.pps = plan.pps / weight_sum * total_pps;
+
+  // Per-second delivery with ramp-up, noise, interface cap and BGP flap.
+  const auto seconds = static_cast<std::size_t>(spec.duration.total_seconds());
+  result.per_second.resize(seconds);
+  topo::BgpFlapMonitor flap(topo::FlapConfig{
+      internet_->config().measurement_port_gbps, 0.95,
+      util::Duration::seconds(90), util::Duration::seconds(45)});
+
+  flow::FlowCollector collector(flow::CollectorConfig{
+      util::Duration::minutes(2), util::Duration::seconds(15), 1, 1 << 20});
+
+  const double interface_gbps = internet_->config().measurement_port_gbps;
+  for (std::size_t sec = 0; sec < seconds; ++sec) {
+    SecondSample& sample = result.per_second[sec];
+    const util::Timestamp now = spec.start + util::Duration::seconds(
+                                                 static_cast<std::int64_t>(sec));
+    // Booters ramp attacks up over the first seconds.
+    const double ramp = std::min(1.0, (static_cast<double>(sec) + 1.0) / 8.0);
+
+    std::unordered_set<std::uint32_t> peers_this_second;
+    double offered_bits = 0.0;
+    double transit_bits = 0.0;
+    double peering_bits = 0.0;
+
+    for (const ReflectorPlan& plan : plans) {
+      if (plan.arrival == ArrivalKind::kUnreachable) continue;
+      if (plan.arrival == ArrivalKind::kTransit && !flap.session_up()) continue;
+      const double expected = plan.pps * ramp * rng.uniform(0.85, 1.15);
+      const std::uint64_t packets = util::poisson(rng, expected);
+      if (packets == 0) continue;
+      const auto size = static_cast<std::uint32_t>(rng.range(
+          vector_profile.reply_bytes_lo, vector_profile.reply_bytes_hi));
+      const double bits = static_cast<double>(packets) * size * 8.0;
+      offered_bits += bits;
+      if (plan.arrival == ArrivalKind::kTransit) {
+        transit_bits += bits;
+      } else {
+        peering_bits += bits;
+      }
+      ++sample.reflectors_observed;
+      peers_this_second.insert(plan.handover_asn.number());
+      result.reflector_ips_observed.insert(plan.host.ip.value());
+
+      flow::PacketObservation observation;
+      observation.time = now;
+      observation.tuple = net::FiveTuple{plan.host.ip, result.target,
+                                         vector_profile.service_port,
+                                         static_cast<std::uint16_t>(
+                                             1024 + (plan.id % 50000)),
+                                         net::IpProto::kUdp};
+      observation.wire_bytes = size;
+      observation.count = packets;
+      observation.src_asn = internet_->topology().node(plan.host.as).asn;
+      observation.dst_asn =
+          internet_->topology().node(internet_->measurement_as()).asn;
+      observation.peer_asn = plan.handover_asn;
+      observation.direction = flow::Direction::kIngress;
+      collector.observe(observation, result.capture);
+    }
+
+    sample.mbps_offered = offered_bits / 1e6;
+    sample.mbps_via_transit = transit_bits / 1e6;
+    sample.mbps_via_peering = peering_bits / 1e6;
+    sample.mbps_delivered = std::min(offered_bits, interface_gbps * 1e9) / 1e6;
+    sample.peer_ases = static_cast<std::uint32_t>(peers_this_second.size());
+    sample.transit_session_up =
+        flap.offered_load(now, offered_bits / 1e9);
+  }
+  collector.drain(result.capture);
+  result.transit_flaps = flap.flap_count();
+  return result;
+}
+
+}  // namespace booterscope::sim

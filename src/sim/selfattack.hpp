@@ -1,0 +1,89 @@
+// The §3 self-attack experiments: purchased booter attacks against the
+// measurement AS, captured packet-level at the observatory.
+//
+// Each run produces per-second traffic/reflector/peer series (Fig. 1(a,b)),
+// the ground-truth and observed reflector sets (Fig. 1(c)), the
+// transit/peering handover split, and an unsampled flow capture for the
+// post-mortem analysis in core/selfattack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "flow/collector.hpp"
+#include "net/protocol.hpp"
+#include "sim/booter.hpp"
+#include "sim/internet.hpp"
+#include "topo/flap.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::sim {
+
+struct SelfAttackSpec {
+  std::string label;           // e.g. "booter B NTP 1"
+  std::size_t booter_index = 0;
+  net::AmpVector vector = net::AmpVector::kNtp;
+  bool vip = false;
+  bool transit_enabled = true;  // false reproduces the "no transit" runs
+  util::Timestamp start;
+  util::Duration duration = util::Duration::minutes(5);
+  /// Amplifiers the booter tasks (capped by its current list size).
+  std::uint32_t reflector_count = 300;
+  /// Index into the measurement /24 (each attack targets a fresh address).
+  std::uint32_t target_index = 0;
+};
+
+/// One second of the received attack as measured at the observatory.
+struct SecondSample {
+  double mbps_offered = 0.0;    // arriving at the IXP platform (pre-cap)
+  double mbps_delivered = 0.0;  // after the 10GE interface cap
+  double mbps_via_transit = 0.0;
+  double mbps_via_peering = 0.0;
+  std::uint32_t reflectors_observed = 0;
+  std::uint32_t peer_ases = 0;  // distinct adjacent ASes handing over
+  bool transit_session_up = true;
+};
+
+struct SelfAttackResult {
+  SelfAttackSpec spec;
+  net::Ipv4Addr target;
+  std::vector<SecondSample> per_second;
+
+  /// Reflectors the booter tasked (ground truth) and those whose traffic
+  /// reached the observatory (what a victim can measure).
+  std::unordered_set<ReflectorId> reflectors_tasked;
+  std::unordered_set<std::uint32_t> reflector_ips_observed;
+
+  /// Unsampled flow records of the capture (measurement-AS view).
+  flow::FlowList capture;
+
+  int transit_flaps = 0;
+
+  [[nodiscard]] double peak_mbps() const noexcept;
+  [[nodiscard]] double mean_mbps() const noexcept;
+  /// Byte-weighted share of traffic received over the transit link.
+  [[nodiscard]] double transit_share() const noexcept;
+  [[nodiscard]] std::uint32_t max_peer_ases() const noexcept;
+  [[nodiscard]] std::uint32_t max_reflectors_observed() const noexcept;
+};
+
+class SelfAttackLab {
+ public:
+  /// `services` must outlive the lab. Packet rates, list policies and
+  /// amplification profiles come from each booter's profile.
+  SelfAttackLab(const Internet& internet, std::vector<BooterService>& services,
+                util::Rng rng) noexcept
+      : internet_(&internet), services_(&services), rng_(rng) {}
+
+  [[nodiscard]] SelfAttackResult run(const SelfAttackSpec& spec);
+
+ private:
+  const Internet* internet_;
+  std::vector<BooterService>* services_;
+  util::Rng rng_;
+};
+
+}  // namespace booterscope::sim

@@ -1,0 +1,59 @@
+// Descriptive statistics: streaming moments (Welford) and order statistics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace booterscope::stats {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel Welford combination).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Quantile with linear interpolation between order statistics
+/// (type-7 / NumPy default). q in [0, 1]. Sorts a copy; for repeated
+/// queries sort once and use quantile_sorted.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Same, but requires `sorted` to be ascending.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+[[nodiscard]] double median(std::span<const double> values);
+
+[[nodiscard]] double mean_of(std::span<const double> values) noexcept;
+
+}  // namespace booterscope::stats

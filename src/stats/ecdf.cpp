@@ -1,0 +1,95 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace booterscope::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const noexcept {
+  return quantile_sorted(sorted_, q);
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> result;
+  if (sorted_.empty() || points == 0) return result;
+  result.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1 ? hi
+                    : lo + (hi - lo) * static_cast<double>(i) /
+                          static_cast<double>(points - 1);
+    result.emplace_back(x, at(x));
+  }
+  return result;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0) {}
+
+std::size_t Histogram::bin_for(double x) const noexcept {
+  if (x < lo_) return 0;
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  return bin >= counts_.size() ? counts_.size() - 1 : bin;
+}
+
+void Histogram::add(double x, std::uint64_t weight) noexcept {
+  counts_[bin_for(x)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_center(std::size_t bin) const noexcept {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::pdf(std::size_t bin) const noexcept {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_[bin]) /
+                           static_cast<double>(total_);
+}
+
+double Histogram::cdf(std::size_t bin) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i <= bin && i < counts_.size(); ++i) acc += counts_[i];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double Histogram::mass_below(double x) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double upper = lo_ + static_cast<double>(i + 1) * width_;
+    if (upper <= x) {
+      acc += counts_[i];
+    } else {
+      // Pro-rate the straddling bin.
+      const double lower = lo_ + static_cast<double>(i) * width_;
+      if (x > lower) {
+        const double frac = (x - lower) / width_;
+        acc += static_cast<std::uint64_t>(
+            std::llround(frac * static_cast<double>(counts_[i])));
+      }
+      break;
+    }
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+}  // namespace booterscope::stats

@@ -1,0 +1,66 @@
+// Empirical distribution functions and fixed-width histograms, used for the
+// packet-size distribution of Fig. 2(a) and the per-victim CDFs of Fig. 2(c).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace booterscope::stats {
+
+/// Empirical CDF over a sample. Built once; O(log n) evaluation.
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const noexcept;
+  /// Inverse CDF (quantile), q in [0, 1].
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] std::size_t sample_count() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+  /// Evaluates the CDF at `points` evenly spaced values across the sample
+  /// range, returning (x, F(x)) pairs — the series a plotted CDF shows.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values are clamped to
+/// the first/last bin so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept {
+    return counts_[bin];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Midpoint of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  /// Probability mass of a bin (count / total).
+  [[nodiscard]] double pdf(std::size_t bin) const noexcept;
+  /// Cumulative mass of bins [0, bin].
+  [[nodiscard]] double cdf(std::size_t bin) const noexcept;
+  /// Fraction of total mass strictly below x.
+  [[nodiscard]] double mass_below(double x) const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t bin_for(double x) const noexcept;
+
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace booterscope::stats

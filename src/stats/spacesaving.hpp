@@ -1,0 +1,121 @@
+// Space-Saving heavy-hitter sketch (Metwally, Agrawal, El Abbadi 2005).
+//
+// The paper's vantage points see hundreds of billions of flows; finding
+// the top attack victims cannot rely on holding per-destination state for
+// every IP. Space-Saving tracks the top-K keys of a weighted stream in
+// O(K) memory with a deterministic over-estimation bound: for every
+// monitored key, true_count <= estimate <= true_count + max_error, and any
+// key with true count above N/K is guaranteed to be monitored.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace booterscope::stats {
+
+template <typename Key>
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Adds `weight` to `key`'s counter, evicting the current minimum when
+  /// the sketch is full (the newcomer inherits the minimum as its error).
+  void add(const Key& key, double weight = 1.0) {
+    total_ += weight;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->count += weight;
+      bubble_up(it->second);
+      return;
+    }
+    if (index_.size() < capacity_) {
+      // Insert keeping entries_ ascending by count.
+      auto pos = entries_.begin();
+      while (pos != entries_.end() && pos->count < weight) ++pos;
+      const auto entry = entries_.insert(pos, Entry{key, weight, 0.0});
+      index_.emplace(key, entry);
+      return;
+    }
+    // Replace the minimum (front of the sorted list).
+    auto victim = entries_.begin();
+    index_.erase(victim->key);
+    const double floor = victim->count;
+    victim->key = key;
+    victim->error = floor;
+    victim->count = floor + weight;
+    index_.emplace(key, victim);
+    bubble_up(victim);
+  }
+
+  struct HeavyHitter {
+    Key key;
+    double estimate = 0.0;   // upper bound on the true count
+    double error = 0.0;      // estimate - error <= true count
+    [[nodiscard]] double guaranteed() const noexcept {
+      return estimate - error;
+    }
+  };
+
+  /// The monitored keys, largest estimate first.
+  [[nodiscard]] std::vector<HeavyHitter> top(std::size_t k) const {
+    std::vector<HeavyHitter> result;
+    result.reserve(std::min(k, entries_.size()));
+    for (auto it = entries_.rbegin();
+         it != entries_.rend() && result.size() < k; ++it) {
+      result.push_back(HeavyHitter{it->key, it->count, it->error});
+    }
+    return result;
+  }
+
+  /// Keys whose *guaranteed* count exceeds `phi * total` — true heavy
+  /// hitters with no false negatives above the threshold.
+  [[nodiscard]] std::vector<HeavyHitter> guaranteed_hitters(double phi) const {
+    std::vector<HeavyHitter> result;
+    const double threshold = phi * total_;
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->count - it->error > threshold) {
+        result.push_back(HeavyHitter{it->key, it->count, it->error});
+      }
+    }
+    return result;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+  /// Worst-case over-estimation of any monitored key.
+  [[nodiscard]] double max_error() const noexcept {
+    double worst = 0.0;
+    for (const Entry& entry : entries_) worst = std::max(worst, entry.error);
+    return worst;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    double count = 0.0;
+    double error = 0.0;
+  };
+  using EntryIt = typename std::list<Entry>::iterator;
+
+  /// Keeps entries_ sorted ascending by count (list is nearly sorted, so
+  /// incremental bubbling is O(1) amortized for skewed streams).
+  void bubble_up(EntryIt entry) {
+    auto next = std::next(entry);
+    while (next != entries_.end() && next->count < entry->count) ++next;
+    if (next != std::next(entry)) {
+      entries_.splice(next, entries_, entry);
+    }
+  }
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // ascending by count
+  std::unordered_map<Key, EntryIt> index_;
+  double total_ = 0.0;
+};
+
+}  // namespace booterscope::stats

@@ -1,0 +1,61 @@
+#include "stats/timeseries.hpp"
+
+#include <cassert>
+
+namespace booterscope::stats {
+
+BinnedSeries::BinnedSeries(util::Timestamp start, util::Duration bin_width,
+                           std::size_t bin_count)
+    : start_(start), width_(bin_width), values_(bin_count, 0.0) {
+  assert(bin_width.total_nanos() > 0);
+}
+
+std::size_t BinnedSeries::bin_index(util::Timestamp t) const noexcept {
+  const std::int64_t offset = (t - start_).total_nanos();
+  if (offset < 0) return npos;
+  const auto bin = static_cast<std::size_t>(offset / width_.total_nanos());
+  return bin < values_.size() ? bin : npos;
+}
+
+void BinnedSeries::add(util::Timestamp t, double value) noexcept {
+  const std::size_t bin = bin_index(t);
+  if (bin == npos) {
+    ++dropped_;
+    return;
+  }
+  values_[bin] += value;
+}
+
+std::vector<double> BinnedSeries::window(util::Timestamp from,
+                                         util::Timestamp to) const {
+  std::vector<double> result;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const util::Timestamp t = bin_start(i);
+    if (t >= from && t < to) result.push_back(values_[i]);
+  }
+  return result;
+}
+
+BinnedSeries BinnedSeries::rebin(util::Duration coarser) const {
+  assert(coarser.total_nanos() % width_.total_nanos() == 0);
+  const auto factor =
+      static_cast<std::size_t>(coarser.total_nanos() / width_.total_nanos());
+  const std::size_t new_count = (values_.size() + factor - 1) / factor;
+  BinnedSeries result(start_, coarser, new_count);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    result.add_to_bin(i / factor, values_[i]);
+  }
+  return result;
+}
+
+EventWindows windows_around(const BinnedSeries& series, util::Timestamp event,
+                            int days) {
+  EventWindows windows;
+  const util::Timestamp event_day = event.floor_to(util::Duration::days(1));
+  windows.before = series.window(event_day - util::Duration::days(days), event_day);
+  windows.after = series.window(event_day + util::Duration::days(1),
+                                event_day + util::Duration::days(days + 1));
+  return windows;
+}
+
+}  // namespace booterscope::stats

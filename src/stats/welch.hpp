@@ -1,0 +1,44 @@
+// Welch's unequal-variances t-test, as used by the paper's takedown
+// analysis (§5.2): one-tailed comparison of daily packet sums before vs.
+// after the seizure, significance at p = 0.05.
+#pragma once
+
+#include <span>
+
+namespace booterscope::stats {
+
+/// Regularized incomplete beta function I_x(a, b), computed with the
+/// continued-fraction expansion (Lentz's method). Domain: a, b > 0,
+/// x in [0, 1]. Accuracy ~1e-12, sufficient for p-values.
+[[nodiscard]] double incomplete_beta(double a, double b, double x) noexcept;
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double df) noexcept;
+
+/// Result of a Welch test.
+struct WelchResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// One-tailed p-value for H1: mean(before) > mean(after).
+  double p_value_greater = 1.0;
+  /// Two-tailed p-value.
+  double p_value_two_sided = 1.0;
+  double mean_before = 0.0;
+  double mean_after = 0.0;
+
+  /// The paper's wtXX metric: is the *reduction* significant at `alpha`?
+  [[nodiscard]] bool significant_reduction(double alpha = 0.05) const noexcept {
+    return p_value_greater < alpha;
+  }
+  /// The paper's redXX metric: daily mean after / before, as a fraction.
+  [[nodiscard]] double reduction_ratio() const noexcept {
+    return mean_before != 0.0 ? mean_after / mean_before : 0.0;
+  }
+};
+
+/// Welch's t-test between two samples. Returns a default (p = 1) result when
+/// either sample has fewer than two observations or both variances are zero.
+[[nodiscard]] WelchResult welch_t_test(std::span<const double> before,
+                                       std::span<const double> after) noexcept;
+
+}  // namespace booterscope::stats

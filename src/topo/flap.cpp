@@ -1,0 +1,41 @@
+#include "topo/flap.hpp"
+
+namespace booterscope::topo {
+
+bool BgpFlapMonitor::offered_load(util::Timestamp now, double gbps) noexcept {
+  const bool overloaded =
+      gbps >= config_.saturation_threshold * config_.capacity_gbps;
+
+  if (up_) {
+    if (overloaded) {
+      if (!saturated_) {
+        saturated_ = true;
+        saturated_since_ = now;
+      } else if (now - saturated_since_ >= config_.hold_time) {
+        // Hold timer expired under sustained saturation: session drops.
+        up_ = false;
+        down_since_ = now;
+        calm_ = false;
+        ++flaps_;
+      }
+    } else {
+      saturated_ = false;
+    }
+  } else {
+    // Down: wait for the interface to calm down, then re-establish.
+    if (overloaded) {
+      calm_ = false;
+    } else {
+      if (!calm_) {
+        calm_ = true;
+        calm_since_ = now;
+      } else if (now - calm_since_ >= config_.reestablish_delay) {
+        up_ = true;
+        saturated_ = false;
+      }
+    }
+  }
+  return up_;
+}
+
+}  // namespace booterscope::topo

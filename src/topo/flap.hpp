@@ -1,0 +1,48 @@
+// BGP session flap under interface saturation.
+//
+// During the paper's VIP NTP self-attack (Fig. 1(b)) the 10GE measurement
+// interface saturated and the BGP session to the transit provider flapped,
+// collapsing the attack traffic mid-measurement. This state machine models
+// that: sustained utilization above a threshold starves BGP keepalives
+// until the hold timer expires; the session then stays down while the
+// interface remains saturated and needs a re-establishment delay once
+// traffic drops.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace booterscope::topo {
+
+struct FlapConfig {
+  double capacity_gbps = 10.0;
+  /// Utilization fraction above which keepalives start being lost.
+  double saturation_threshold = 0.95;
+  /// BGP hold time: saturation must persist this long to kill the session.
+  util::Duration hold_time = util::Duration::seconds(90);
+  /// Time to re-establish the session after utilization drops.
+  util::Duration reestablish_delay = util::Duration::seconds(30);
+};
+
+class BgpFlapMonitor {
+ public:
+  explicit BgpFlapMonitor(FlapConfig config) noexcept : config_(config) {}
+
+  /// Feed the per-interval offered load; returns whether the session is up
+  /// *during* this interval. Call with non-decreasing timestamps.
+  bool offered_load(util::Timestamp now, double gbps) noexcept;
+
+  [[nodiscard]] bool session_up() const noexcept { return up_; }
+  [[nodiscard]] int flap_count() const noexcept { return flaps_; }
+
+ private:
+  FlapConfig config_;
+  bool up_ = true;
+  bool saturated_ = false;
+  util::Timestamp saturated_since_;
+  util::Timestamp down_since_;
+  util::Timestamp calm_since_;
+  bool calm_ = false;
+  int flaps_ = 0;
+};
+
+}  // namespace booterscope::topo

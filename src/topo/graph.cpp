@@ -1,0 +1,85 @@
+#include "topo/graph.hpp"
+
+#include <cassert>
+
+namespace booterscope::topo {
+
+AsId Topology::add_as(net::Asn asn, std::string name, AsRole role,
+                      std::vector<net::Prefix> prefixes, bool ixp_member) {
+  assert(!by_asn_.contains(asn));
+  const auto id = static_cast<AsId>(nodes_.size());
+  nodes_.push_back(AsNode{asn, std::move(name), role, std::move(prefixes),
+                          ixp_member});
+  adjacency_.emplace_back();
+  by_asn_.emplace(asn, id);
+  return id;
+}
+
+std::size_t Topology::add_link(Link link) {
+  assert(link.a < nodes_.size() && link.b < nodes_.size() && link.a != link.b);
+  const std::size_t index = links_.size();
+  links_.push_back(link);
+  switch (link.kind) {
+    case LinkKind::kCustomerProvider:
+      adjacency_[link.a].providers.emplace_back(link.b, index);
+      adjacency_[link.b].customers.emplace_back(link.a, index);
+      break;
+    case LinkKind::kPeerBilateral:
+    case LinkKind::kIxpMultilateral:
+      adjacency_[link.a].peers.emplace_back(link.b, index);
+      adjacency_[link.b].peers.emplace_back(link.a, index);
+      break;
+  }
+  return index;
+}
+
+std::size_t Topology::add_customer_provider(AsId customer, AsId provider,
+                                            double capacity_gbps) {
+  return add_link(
+      Link{customer, provider, LinkKind::kCustomerProvider, capacity_gbps, true});
+}
+
+std::size_t Topology::add_peering(AsId a, AsId b, double capacity_gbps,
+                                  bool via_fabric) {
+  return add_link(
+      Link{a, b, LinkKind::kPeerBilateral, capacity_gbps, true, via_fabric});
+}
+
+std::size_t Topology::add_ixp_peering(AsId a, AsId b, double capacity_gbps) {
+  assert(nodes_[a].ixp_member && nodes_[b].ixp_member);
+  return add_link(
+      Link{a, b, LinkKind::kIxpMultilateral, capacity_gbps, true, true});
+}
+
+std::optional<AsId> Topology::find(net::Asn asn) const noexcept {
+  const auto it = by_asn_.find(asn);
+  if (it == by_asn_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<AsId> Topology::origin_of(net::Ipv4Addr addr) const noexcept {
+  // Linear longest-prefix match; topologies here are hundreds of ASes with a
+  // handful of prefixes each, so an O(prefixes) scan beats trie overhead.
+  std::optional<AsId> best;
+  unsigned best_length = 0;
+  for (AsId id = 0; id < nodes_.size(); ++id) {
+    for (const net::Prefix& prefix : nodes_[id].prefixes) {
+      if (prefix.contains(addr) &&
+          (!best || prefix.length() > best_length)) {
+        best = id;
+        best_length = prefix.length();
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<AsId> Topology::ixp_members() const {
+  std::vector<AsId> members;
+  for (AsId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].ixp_member) members.push_back(id);
+  }
+  return members;
+}
+
+}  // namespace booterscope::topo

@@ -1,0 +1,138 @@
+// AS-level topology: autonomous systems, business relationships, and one
+// Internet exchange point with a route server.
+//
+// This is the substrate under both the self-attack observatory (§3: a
+// measurement AS with a transit link and multilateral peering at an IXP)
+// and the three vantage points of §4/§5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/ipv4.hpp"
+
+namespace booterscope::topo {
+
+/// Dense index of an AS inside a Topology (stable after insertion).
+using AsId = std::uint32_t;
+inline constexpr AsId kInvalidAs = static_cast<AsId>(-1);
+
+enum class AsRole : std::uint8_t {
+  kTier1,        // global transit, peers with other tier-1s, no providers
+  kTier2,        // regional transit: buys from tier-1, sells to stubs
+  kStub,         // edge network (eyeballs, enterprises, reflector hosts)
+  kContent,      // content/cloud network, peers widely
+  kMeasurement,  // the paper's experimental AS
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AsRole role) noexcept {
+  switch (role) {
+    case AsRole::kTier1: return "tier-1";
+    case AsRole::kTier2: return "tier-2";
+    case AsRole::kStub: return "stub";
+    case AsRole::kContent: return "content";
+    case AsRole::kMeasurement: return "measurement";
+  }
+  return "?";
+}
+
+enum class LinkKind : std::uint8_t {
+  kCustomerProvider,  // a = customer, b = provider (transit)
+  kPeerBilateral,     // settlement-free private peering
+  kIxpMultilateral,   // peering via the IXP route server (crosses the fabric)
+};
+
+struct Link {
+  AsId a = kInvalidAs;
+  AsId b = kInvalidAs;
+  LinkKind kind = LinkKind::kPeerBilateral;
+  double capacity_gbps = 100.0;
+  bool enabled = true;
+  /// True when the link physically rides the IXP switching fabric — all
+  /// kIxpMultilateral links do, and so do bilateral sessions between
+  /// members established over the exchange. The IXP vantage point sees
+  /// exactly the traffic on fabric links.
+  bool via_fabric = false;
+
+  [[nodiscard]] bool on_ixp_fabric() const noexcept {
+    return via_fabric || kind == LinkKind::kIxpMultilateral;
+  }
+};
+
+struct AsNode {
+  net::Asn asn;
+  std::string name;
+  AsRole role = AsRole::kStub;
+  std::vector<net::Prefix> prefixes;
+  bool ixp_member = false;
+  /// Member policy: treat route-server routes with lower preference than
+  /// transit (common in practice — multilateral routes are best-effort).
+  /// Such members reach route-server peers through their own transit while
+  /// it exists, which is why disabling the measurement AS's transit link
+  /// *increases* the number of peers handing over traffic (§3.2, Fig. 1(a)).
+  bool rs_low_pref = false;
+};
+
+/// Mutable AS graph. Links are added once; the Router snapshots the enabled
+/// set when computing tables, so experiments (e.g. "no transit") toggle a
+/// link and recompute.
+class Topology {
+ public:
+  AsId add_as(net::Asn asn, std::string name, AsRole role,
+              std::vector<net::Prefix> prefixes, bool ixp_member = false);
+
+  /// Adds a transit link; `customer` pays `provider`.
+  std::size_t add_customer_provider(AsId customer, AsId provider,
+                                    double capacity_gbps = 100.0);
+  std::size_t add_peering(AsId a, AsId b, double capacity_gbps = 100.0,
+                          bool via_fabric = false);
+  /// Adds a route-server (multilateral) peering; both must be IXP members.
+  std::size_t add_ixp_peering(AsId a, AsId b, double capacity_gbps = 100.0);
+
+  void set_link_enabled(std::size_t link_index, bool enabled) noexcept {
+    links_[link_index].enabled = enabled;
+  }
+
+  [[nodiscard]] std::size_t as_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] const AsNode& node(AsId id) const noexcept { return nodes_[id]; }
+  [[nodiscard]] AsNode& node(AsId id) noexcept { return nodes_[id]; }
+  [[nodiscard]] const Link& link(std::size_t index) const noexcept {
+    return links_[index];
+  }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
+
+  [[nodiscard]] std::optional<AsId> find(net::Asn asn) const noexcept;
+
+  /// Longest-prefix-match origin lookup for an address.
+  [[nodiscard]] std::optional<AsId> origin_of(net::Ipv4Addr addr) const noexcept;
+
+  /// All IXP members.
+  [[nodiscard]] std::vector<AsId> ixp_members() const;
+
+  /// Adjacency for the Router: (neighbor, link index) per relationship seen
+  /// from each side.
+  struct Adjacency {
+    std::vector<std::pair<AsId, std::size_t>> customers;  // we are provider
+    std::vector<std::pair<AsId, std::size_t>> providers;  // we are customer
+    std::vector<std::pair<AsId, std::size_t>> peers;      // bilateral + multilateral
+  };
+  [[nodiscard]] const Adjacency& adjacency(AsId id) const noexcept {
+    return adjacency_[id];
+  }
+
+ private:
+  std::size_t add_link(Link link);
+
+  std::vector<AsNode> nodes_;
+  std::vector<Link> links_;
+  std::vector<Adjacency> adjacency_;
+  std::unordered_map<net::Asn, AsId> by_asn_;
+};
+
+}  // namespace booterscope::topo

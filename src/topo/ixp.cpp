@@ -1,0 +1,34 @@
+#include "topo/ixp.hpp"
+
+namespace booterscope::topo {
+
+std::vector<std::size_t> connect_route_server(Topology& topology,
+                                              const std::vector<AsId>& members,
+                                              double port_capacity_gbps) {
+  std::vector<std::size_t> created;
+  created.reserve(members.size() * (members.size() - 1) / 2);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      created.push_back(topology.add_ixp_peering(members[i], members[j],
+                                                 port_capacity_gbps));
+    }
+  }
+  return created;
+}
+
+std::optional<FabricCrossing> fabric_crossing(const Topology& topology,
+                                              const Router& router, AsId from,
+                                              AsId to) {
+  if (!router.reachable(from, to)) return std::nullopt;
+  AsId cursor = from;
+  while (cursor != to) {
+    const Route& r = router.route(cursor, to);
+    if (topology.link(r.via_link).on_ixp_fabric()) {
+      return FabricCrossing{cursor, r.next_hop, r.via_link};
+    }
+    cursor = r.next_hop;
+  }
+  return std::nullopt;
+}
+
+}  // namespace booterscope::topo

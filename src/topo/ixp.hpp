@@ -1,0 +1,36 @@
+// IXP fabric view: route-server membership and fabric-crossing detection.
+//
+// The IXP vantage point only sees traffic that traverses the exchange
+// fabric, i.e. hops over multilateral (route-server) peering links — this is
+// exactly why the paper notes IXP-observed attack sizes underestimate true
+// volumes when transit links carry the bulk (§3.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "topo/routing.hpp"
+
+namespace booterscope::topo {
+
+/// A hop over the IXP fabric: which member handed the packet to which.
+struct FabricCrossing {
+  AsId from = kInvalidAs;
+  AsId to = kInvalidAs;
+  std::size_t link_index = static_cast<std::size_t>(-1);
+};
+
+/// The route server: wires every member pair with a multilateral peering.
+/// Returns the link indices created (members.size() choose 2).
+std::vector<std::size_t> connect_route_server(Topology& topology,
+                                              const std::vector<AsId>& members,
+                                              double port_capacity_gbps = 100.0);
+
+/// Finds the first IXP-fabric hop (route-server or bilateral-over-fabric)
+/// on the path from `from` to `to`, if any. (A valley-free path crosses at
+/// most one peering link, so "first" is "the" crossing.)
+[[nodiscard]] std::optional<FabricCrossing> fabric_crossing(
+    const Topology& topology, const Router& router, AsId from, AsId to);
+
+}  // namespace booterscope::topo

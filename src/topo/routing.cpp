@@ -1,0 +1,142 @@
+#include "topo/routing.hpp"
+
+#include <cassert>
+#include <deque>
+#include <queue>
+
+namespace booterscope::topo {
+
+namespace {
+
+/// Does `candidate` replace `current` among candidates of the same source
+/// rank? (Shorter path, then lower next-hop ASN.)
+[[nodiscard]] bool better_same_rank(const Topology& topology,
+                                    const Route& current,
+                                    std::uint16_t candidate_length,
+                                    AsId candidate_hop) noexcept {
+  if (candidate_length != current.path_length) {
+    return candidate_length < current.path_length;
+  }
+  return topology.node(candidate_hop).asn < topology.node(current.next_hop).asn;
+}
+
+}  // namespace
+
+Router::Router(const Topology& topology) : as_count_(topology.as_count()) {
+  tables_.resize(as_count_);
+  for (AsId dest = 0; dest < as_count_; ++dest) {
+    tables_[dest].assign(as_count_, Route{});
+    compute_destination(topology, dest);
+  }
+}
+
+void Router::compute_destination(const Topology& topology, AsId dest) {
+  std::vector<Route>& table = tables_[dest];
+  table[dest] = Route{RouteSource::kSelf, dest, static_cast<std::size_t>(-1), 0};
+
+  // Stage 1: customer routes climb provider edges, BFS by path length.
+  std::deque<AsId> queue{dest};
+  while (!queue.empty()) {
+    const AsId x = queue.front();
+    queue.pop_front();
+    const std::uint16_t next_length =
+        static_cast<std::uint16_t>(table[x].path_length + 1);
+    for (const auto& [provider, link_index] : topology.adjacency(x).providers) {
+      if (!topology.link(link_index).enabled) continue;
+      Route& current = table[provider];
+      if (current.source == RouteSource::kNone) {
+        current = Route{RouteSource::kCustomer, x, link_index, next_length};
+        queue.push_back(provider);
+      } else if (current.source == RouteSource::kCustomer &&
+                 better_same_rank(topology, current, next_length, x)) {
+        // Same BFS level tie-break; no re-queue needed (lengths equal).
+        current.next_hop = x;
+        current.via_link = link_index;
+        current.path_length = next_length;
+      }
+    }
+  }
+
+  // Stage 2: peer routes cross one (bilateral or route-server) peer edge
+  // from an AS with a customer/self route. Members with rs_low_pref install
+  // route-server routes below provider rank.
+  for (AsId x = 0; x < as_count_; ++x) {
+    for (const auto& [peer, link_index] : topology.adjacency(x).peers) {
+      if (!topology.link(link_index).enabled) continue;
+      const Route& peer_route = table[peer];
+      if (peer_route.source != RouteSource::kSelf &&
+          peer_route.source != RouteSource::kCustomer) {
+        continue;
+      }
+      const bool low_pref =
+          topology.link(link_index).kind == LinkKind::kIxpMultilateral &&
+          topology.node(x).rs_low_pref;
+      const RouteSource rank =
+          low_pref ? RouteSource::kPeerLowPref : RouteSource::kPeer;
+      const auto length = static_cast<std::uint16_t>(peer_route.path_length + 1);
+      Route& current = table[x];
+      if (rank < current.source ||
+          (rank == current.source &&
+           better_same_rank(topology, current, length, peer))) {
+        current = Route{rank, peer, link_index, length};
+      }
+    }
+  }
+
+  // Stage 3: provider routes descend customer edges (Dijkstra order so a
+  // parent's final best length is settled before it relaxes its customers).
+  using QueueEntry = std::pair<std::uint16_t, AsId>;  // (length, as)
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
+  for (AsId x = 0; x < as_count_; ++x) {
+    if (table[x].reachable()) heap.emplace(table[x].path_length, x);
+  }
+  while (!heap.empty()) {
+    const auto [length, x] = heap.top();
+    heap.pop();
+    if (length != table[x].path_length) continue;  // stale entry
+    const auto next_length = static_cast<std::uint16_t>(length + 1);
+    for (const auto& [customer, link_index] : topology.adjacency(x).customers) {
+      if (!topology.link(link_index).enabled) continue;
+      Route& current = table[customer];
+      const bool accept =
+          RouteSource::kProvider < current.source ||
+          (current.source == RouteSource::kProvider &&
+           (next_length < current.path_length ||
+            (next_length == current.path_length &&
+             better_same_rank(topology, current, next_length, x))));
+      if (accept) {
+        current = Route{RouteSource::kProvider, x, link_index, next_length};
+        heap.emplace(next_length, customer);
+      }
+    }
+  }
+}
+
+std::vector<AsId> Router::path(AsId from, AsId to) const {
+  std::vector<AsId> result;
+  if (!reachable(from, to)) return result;
+  AsId cursor = from;
+  result.push_back(cursor);
+  while (cursor != to) {
+    const Route& r = route(cursor, to);
+    assert(r.reachable());
+    cursor = r.next_hop;
+    result.push_back(cursor);
+    assert(result.size() <= as_count_ + 1);  // loop-free by construction
+  }
+  return result;
+}
+
+std::vector<std::size_t> Router::link_path(AsId from, AsId to) const {
+  std::vector<std::size_t> result;
+  if (!reachable(from, to)) return result;
+  AsId cursor = from;
+  while (cursor != to) {
+    const Route& r = route(cursor, to);
+    result.push_back(r.via_link);
+    cursor = r.next_hop;
+  }
+  return result;
+}
+
+}  // namespace booterscope::topo

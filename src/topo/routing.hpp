@@ -1,0 +1,74 @@
+// Gao-Rexford policy routing over a Topology.
+//
+// Routes are computed per destination AS with the standard three-stage
+// propagation that models BGP export policies:
+//   1. customer routes climb customer->provider edges (everyone exports
+//      customer routes to everyone),
+//   2. peer routes cross a single peer edge into the customer cone,
+//   3. provider routes descend provider->customer edges.
+// Preference: customer > peer > provider, then shortest AS path, then
+// lowest next-hop ASN (deterministic tie-break). The resulting next-hop
+// graph is loop-free by construction and all paths are valley-free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace booterscope::topo {
+
+/// Route preference rank, most preferred first. kPeerLowPref models IXP
+/// members that install route-server routes below their transit routes.
+enum class RouteSource : std::uint8_t {
+  kSelf = 0,
+  kCustomer = 1,
+  kPeer = 2,
+  kProvider = 3,
+  kPeerLowPref = 4,
+  kNone = 5,
+};
+
+struct Route {
+  RouteSource source = RouteSource::kNone;
+  AsId next_hop = kInvalidAs;
+  std::size_t via_link = static_cast<std::size_t>(-1);
+  std::uint16_t path_length = 0;  // AS hops to the destination
+
+  [[nodiscard]] bool reachable() const noexcept {
+    return source != RouteSource::kNone;
+  }
+};
+
+/// Immutable snapshot of best routes for every (source, destination) pair.
+/// Rebuild after toggling links (e.g. the "no transit" experiment).
+class Router {
+ public:
+  explicit Router(const Topology& topology);
+
+  [[nodiscard]] const Route& route(AsId from, AsId to) const noexcept {
+    return tables_[to][from];
+  }
+  [[nodiscard]] bool reachable(AsId from, AsId to) const noexcept {
+    return route(from, to).reachable();
+  }
+
+  /// Full AS path from `from` to `to`, inclusive of both ends. Empty when
+  /// unreachable.
+  [[nodiscard]] std::vector<AsId> path(AsId from, AsId to) const;
+
+  /// The links traversed by path(from, to), in order.
+  [[nodiscard]] std::vector<std::size_t> link_path(AsId from, AsId to) const;
+
+  [[nodiscard]] std::size_t as_count() const noexcept { return as_count_; }
+
+ private:
+  void compute_destination(const Topology& topology, AsId dest);
+
+  std::size_t as_count_;
+  // tables_[dest][src] — grouping by destination matches the computation.
+  std::vector<std::vector<Route>> tables_;
+};
+
+}  // namespace booterscope::topo

@@ -1,0 +1,64 @@
+#include "topo/traffic_matrix.hpp"
+
+#include <algorithm>
+
+namespace booterscope::topo {
+
+bool TrafficMatrix::add_demand(AsId src, AsId dst, double bps, bool attack) {
+  if (!router_->reachable(src, dst)) return false;
+  AsId cursor = src;
+  while (cursor != dst) {
+    const Route& route = router_->route(cursor, dst);
+    load_bps_[route.via_link] += bps;
+    if (attack) attack_bps_[route.via_link] += bps;
+    cursor = route.next_hop;
+  }
+  return true;
+}
+
+void TrafficMatrix::clear() {
+  std::fill(load_bps_.begin(), load_bps_.end(), 0.0);
+  std::fill(attack_bps_.begin(), attack_bps_.end(), 0.0);
+}
+
+std::vector<TrafficMatrix::CongestedLink> TrafficMatrix::congested(
+    double threshold) const {
+  std::vector<CongestedLink> result;
+  for (std::size_t i = 0; i < load_bps_.size(); ++i) {
+    const double utilization = link_utilization(i);
+    if (utilization < threshold) continue;
+    CongestedLink entry;
+    entry.link = i;
+    entry.utilization = utilization;
+    entry.attack_share =
+        load_bps_[i] > 0.0 ? attack_bps_[i] / load_bps_[i] : 0.0;
+    const Link& link = topology_->link(i);
+    const char* kind = "transit";
+    if (link.kind == LinkKind::kPeerBilateral) kind = "peer";
+    if (link.kind == LinkKind::kIxpMultilateral) kind = "route-server";
+    entry.description = topology_->node(link.a).asn.to_string() + " -- " +
+                        topology_->node(link.b).asn.to_string() + " (" + kind +
+                        ", " + std::to_string(static_cast<int>(link.capacity_gbps)) +
+                        " Gbps)";
+    result.push_back(std::move(entry));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const CongestedLink& a, const CongestedLink& b) {
+              return a.utilization > b.utilization;
+            });
+  return result;
+}
+
+double TrafficMatrix::total_attack_link_bps() const noexcept {
+  double total = 0.0;
+  for (const double bps : attack_bps_) total += bps;
+  return total;
+}
+
+std::size_t TrafficMatrix::links_touched_by_attacks() const noexcept {
+  std::size_t count = 0;
+  for (const double bps : attack_bps_) count += bps > 0.0 ? 1 : 0;
+  return count;
+}
+
+}  // namespace booterscope::topo

@@ -1,0 +1,73 @@
+// Link-level traffic accounting: routes demand volumes onto the topology
+// and reports per-link utilization.
+//
+// The paper motivates booter measurement with the *collateral* damage of
+// amplification attacks: beyond the victim, attack traffic "congests
+// backbone peering links" and disturbs inter-domain infrastructure (§1,
+// §3 takeaway). This module quantifies that: feed it (src AS, dst AS,
+// bps) demands, and it accumulates load on every traversed link, flags
+// links above a utilization threshold, and reports how much *unrelated*
+// traffic shares those links.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "topo/routing.hpp"
+
+namespace booterscope::topo {
+
+class TrafficMatrix {
+ public:
+  /// `topology` and `router` must outlive the matrix.
+  TrafficMatrix(const Topology& topology, const Router& router)
+      : topology_(&topology),
+        router_(&router),
+        load_bps_(topology.link_count(), 0.0),
+        attack_bps_(topology.link_count(), 0.0) {}
+
+  /// Routes `bps` of demand from src to dst, adding it to every traversed
+  /// link. `attack` tags the volume so collateral shares can be reported.
+  /// Returns false (and accounts nothing) when dst is unreachable.
+  bool add_demand(AsId src, AsId dst, double bps, bool attack = false);
+
+  void clear();
+
+  [[nodiscard]] double link_load_bps(std::size_t link) const noexcept {
+    return load_bps_[link];
+  }
+  [[nodiscard]] double link_attack_bps(std::size_t link) const noexcept {
+    return attack_bps_[link];
+  }
+  [[nodiscard]] double link_utilization(std::size_t link) const noexcept {
+    const double capacity = topology_->link(link).capacity_gbps * 1e9;
+    return capacity > 0.0 ? load_bps_[link] / capacity : 0.0;
+  }
+
+  struct CongestedLink {
+    std::size_t link = 0;
+    double utilization = 0.0;
+    double attack_share = 0.0;  // fraction of the load that is attack traffic
+    std::string description;    // "AS100 -- AS200 (peer, 100 Gbps)"
+  };
+
+  /// Links whose utilization meets/exceeds `threshold`, most loaded first.
+  [[nodiscard]] std::vector<CongestedLink> congested(double threshold = 0.8) const;
+
+  /// Total attack bytes/s crossing any link (each hop counted — the
+  /// "amplification" of damage across the infrastructure).
+  [[nodiscard]] double total_attack_link_bps() const noexcept;
+
+  /// Number of distinct links carrying any attack traffic.
+  [[nodiscard]] std::size_t links_touched_by_attacks() const noexcept;
+
+ private:
+  const Topology* topology_;
+  const Router* router_;
+  std::vector<double> load_bps_;
+  std::vector<double> attack_bps_;
+};
+
+}  // namespace booterscope::topo

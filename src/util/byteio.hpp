@@ -1,0 +1,109 @@
+// Explicit big-endian byte readers/writers for wire-format codecs.
+//
+// NetFlow v5, IPFIX and the IPv4/UDP headers are all network byte order.
+// These helpers make every codec's endianness explicit and bounds-checked.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace booterscope::util {
+
+/// Appends big-endian integers to a growable byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) noexcept : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+    out_->push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+  /// Overwrites a previously written 16-bit field (e.g. a length patched
+  /// after the payload is known). `offset` indexes the underlying buffer.
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    (*out_)[offset] = static_cast<std::uint8_t>(v >> 8);
+    (*out_)[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_->size(); }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Reads big-endian integers from a byte span. All reads are bounds-checked;
+/// after any failed read, ok() is false and subsequent reads return 0.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    if (!check(1)) return 0;
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() noexcept {
+    if (!check(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    const auto high = u16();
+    const auto low = u16();
+    return (static_cast<std::uint32_t>(high) << 16) | low;
+  }
+  [[nodiscard]] std::uint64_t u64() noexcept {
+    const auto high = u32();
+    const auto low = u32();
+    return (static_cast<std::uint64_t>(high) << 32) | low;
+  }
+  /// Copies `n` raw bytes; on under-run, fails and fills nothing.
+  [[nodiscard]] bool bytes(std::span<std::uint8_t> out) noexcept {
+    if (!check(out.size())) return false;
+    std::memcpy(out.data(), data_.data() + pos_, out.size());
+    pos_ += out.size();
+    return true;
+  }
+  [[nodiscard]] bool skip(std::size_t n) noexcept {
+    if (!check(n)) return false;
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  [[nodiscard]] bool check(std::size_t n) noexcept {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace booterscope::util

@@ -1,0 +1,80 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace booterscope::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const auto equals = body.find('=');
+    if (equals != std::string_view::npos) {
+      options_.emplace(std::string(body.substr(0, equals)),
+                       std::string(body.substr(equals + 1)));
+      continue;
+    }
+    // "--key value" when the next token is not itself an option.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      options_.emplace(std::string(body), argv[i + 1]);
+      ++i;
+    } else {
+      options_.emplace(std::string(body), "");
+    }
+  }
+}
+
+bool CliArgs::has_flag(std::string_view name) const {
+  return options_.contains(std::string(name));
+}
+
+std::optional<std::string> CliArgs::value(std::string_view name) const {
+  const auto it = options_.find(std::string(name));
+  if (it == options_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::value_or(std::string_view name, std::string fallback) const {
+  return value(name).value_or(std::move(fallback));
+}
+
+std::int64_t CliArgs::int_or(std::string_view name, std::int64_t fallback) const {
+  const auto text = value(name);
+  if (!text) return fallback;
+  std::int64_t result = fallback;
+  const char* const end = text->data() + text->size();
+  const auto [ptr, ec] = std::from_chars(text->data(), end, result);
+  return ec == std::errc{} && ptr == end ? result : fallback;
+}
+
+double CliArgs::double_or(std::string_view name, double fallback) const {
+  const auto text = value(name);
+  if (!text) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double result = std::stod(*text, &consumed);
+    return consumed == text->size() ? result : fallback;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+std::vector<std::string> CliArgs::unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> result;
+  for (const auto& [key, value] : options_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      result.push_back(key);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace booterscope::util

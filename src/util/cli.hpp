@@ -1,0 +1,45 @@
+// Minimal command-line parsing for the examples and bench binaries.
+//
+// Supports `--flag`, `--key value`, `--key=value` and positional
+// arguments. No external dependencies, no global state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace booterscope::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+  [[nodiscard]] bool has_flag(std::string_view name) const;
+  [[nodiscard]] std::optional<std::string> value(std::string_view name) const;
+  [[nodiscard]] std::string value_or(std::string_view name,
+                                     std::string fallback) const;
+  [[nodiscard]] std::int64_t int_or(std::string_view name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double double_or(std::string_view name, double fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Options that were supplied but never queried — typo detection.
+  [[nodiscard]] std::vector<std::string> unknown(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::unordered_map<std::string, std::string> options_;  // "" = bare flag
+  std::vector<std::string> positional_;
+};
+
+}  // namespace booterscope::util

@@ -1,0 +1,86 @@
+#include "util/hash.hpp"
+
+#include <array>
+
+namespace booterscope::util {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  constexpr void round() noexcept {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+
+  constexpr void compress(std::uint64_t m) noexcept {
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t finalize() noexcept {
+    v2 ^= 0xff;
+    round();
+    round();
+    round();
+    round();
+    return v0 ^ v1 ^ v2 ^ v3;
+  }
+};
+
+[[nodiscard]] constexpr SipState init_state(SipKey key) noexcept {
+  return SipState{key.k0 ^ 0x736f6d6570736575ULL, key.k1 ^ 0x646f72616e646f6dULL,
+                  key.k0 ^ 0x6c7967656e657261ULL, key.k1 ^ 0x7465646279746573ULL};
+}
+
+[[nodiscard]] std::uint64_t load_le(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    word |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return word;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(SipKey key, std::span<const std::uint8_t> data) noexcept {
+  SipState state = init_state(key);
+  const std::size_t full_blocks = data.size() / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    state.compress(load_le(data.subspan(i * 8, 8)));
+  }
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t last = static_cast<std::uint64_t>(data.size() & 0xff) << 56;
+  last |= load_le(data.subspan(full_blocks * 8));
+  state.compress(last);
+  return state.finalize();
+}
+
+std::uint64_t siphash24(SipKey key, std::uint64_t value) noexcept {
+  std::array<std::uint8_t, 8> bytes{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return siphash24(key, std::span<const std::uint8_t>{bytes});
+}
+
+}  // namespace booterscope::util

@@ -1,0 +1,35 @@
+// Keyed and unkeyed hashing primitives.
+//
+// SipHash-2-4 serves as the keyed PRF for the prefix-preserving address
+// anonymizer (flow/anonymize.hpp) — the same construction Crypto-PAn uses
+// with AES, but dependency-free. hash_combine supports unordered containers
+// keyed on composite flow keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace booterscope::util {
+
+/// 128-bit key for SipHash.
+struct SipKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+};
+
+/// SipHash-2-4 of an arbitrary byte string (reference algorithm,
+/// little-endian message loading as specified).
+[[nodiscard]] std::uint64_t siphash24(SipKey key,
+                                      std::span<const std::uint8_t> data) noexcept;
+
+/// SipHash-2-4 of a single 64-bit value (common fast path).
+[[nodiscard]] std::uint64_t siphash24(SipKey key, std::uint64_t value) noexcept;
+
+/// Boost-style hash combining.
+[[nodiscard]] constexpr std::size_t hash_combine(std::size_t seed,
+                                                 std::size_t value) noexcept {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace booterscope::util

@@ -1,0 +1,133 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace booterscope::util {
+
+namespace {
+
+/// FNV-1a over a string, for label-derived streams.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Rng Rng::fork(std::uint64_t stream) noexcept {
+  // Mix parent output with the stream id so forks of forks stay independent.
+  std::uint64_t sm = (*this)() ^ (stream * 0xda942042e4dd58b5ULL);
+  return Rng{splitmix64(sm)};
+}
+
+Rng Rng::fork(std::string_view label) noexcept { return fork(fnv1a(label)); }
+
+std::uint64_t Rng::bounded(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method on the high 64 bits of a 128-bit
+  // product; the rejection loop removes modulo bias.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+  using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+  std::uint64_t x = (*this)();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double exponential(Rng& rng, double rate) noexcept {
+  // 1 - uniform() is in (0, 1], so the log argument is never 0.
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+double normal(Rng& rng) noexcept {
+  // Box-Muller; discards the second variate for statelessness.
+  const double u1 = 1.0 - rng.uniform();  // (0, 1]
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double normal(Rng& rng, double mean, double stddev) noexcept {
+  return mean + stddev * normal(rng);
+}
+
+double lognormal(Rng& rng, double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * normal(rng));
+}
+
+double pareto(Rng& rng, double x_min, double alpha) noexcept {
+  return x_min / std::pow(1.0 - rng.uniform(), 1.0 / alpha);
+}
+
+double bounded_pareto(Rng& rng, double x_min, double cap, double alpha) noexcept {
+  // Inverse-CDF of the truncated Pareto; exact, no rejection loop.
+  const double l_a = std::pow(x_min, alpha);
+  const double h_a = std::pow(cap, alpha);
+  const double u = rng.uniform();
+  return std::pow(-(u * h_a - u * l_a - h_a) / (h_a * l_a), -1.0 / alpha);
+}
+
+std::uint64_t poisson(Rng& rng, double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double draw = normal(rng, mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(draw));
+  }
+  // Knuth's product-of-uniforms method.
+  const double limit = std::exp(-mean);
+  std::uint64_t count = 0;
+  double product = rng.uniform();
+  while (product > limit) {
+    ++count;
+    product *= rng.uniform();
+  }
+  return count;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) noexcept
+    : n_(n == 0 ? 1 : n), s_(s) {
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n_) + 0.5);
+  threshold_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::h(double x) const noexcept {
+  // Antiderivative of x^-s (handles s == 1 as log).
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inv(double x) const noexcept {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  // Rejection-inversion (Hörmann & Derflinger 1996); expected <2 iterations.
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double k_d = static_cast<double>(k);
+    if (k_d - x <= threshold_ || u >= h(k_d + 0.5) - std::pow(k_d, -s_)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace booterscope::util

@@ -1,0 +1,138 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomness in booterscope flows from a single 64-bit seed through
+// xoshiro256** generators. Child generators are derived with splitmix64 so
+// that independent subsystems (booters, background traffic, topology) do not
+// perturb each other's streams when one of them draws more numbers.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace booterscope::util {
+
+/// splitmix64 step; used for seeding and stream derivation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child generator. `stream` distinguishes children
+  /// of the same parent; `label` lets call sites derive stable streams by
+  /// name so adding a new consumer does not shift existing streams.
+  [[nodiscard]] Rng fork(std::uint64_t stream) noexcept;
+  [[nodiscard]] Rng fork(std::string_view label) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    // 53 random mantissa bits.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method; unbiased. bound == 0 returns 0.
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Exponential variate with the given rate (mean 1/rate). rate must be > 0.
+[[nodiscard]] double exponential(Rng& rng, double rate) noexcept;
+
+/// Standard normal variate (Box-Muller, one value per call).
+[[nodiscard]] double normal(Rng& rng) noexcept;
+
+/// Normal variate with explicit mean and standard deviation.
+[[nodiscard]] double normal(Rng& rng, double mean, double stddev) noexcept;
+
+/// Log-normal variate where the *underlying* normal has (mu, sigma).
+[[nodiscard]] double lognormal(Rng& rng, double mu, double sigma) noexcept;
+
+/// Pareto (type I) variate with scale x_min > 0 and shape alpha > 0.
+[[nodiscard]] double pareto(Rng& rng, double x_min, double alpha) noexcept;
+
+/// Pareto variate truncated to [x_min, cap] by resampling via inverse CDF.
+[[nodiscard]] double bounded_pareto(Rng& rng, double x_min, double cap,
+                                    double alpha) noexcept;
+
+/// Poisson variate. Uses Knuth's method for small means and normal
+/// approximation (rounded, clamped at 0) for mean > 64.
+[[nodiscard]] std::uint64_t poisson(Rng& rng, double mean) noexcept;
+
+/// Samples an index in [0, n) with probability proportional to
+/// 1 / (i + 1)^s — a Zipf distribution over ranks. O(1) via rejection
+/// sampling (Jason Crease / Devroye method). n must be >= 1.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s) noexcept;
+
+  [[nodiscard]] std::uint64_t operator()(Rng& rng) const noexcept;
+  [[nodiscard]] std::uint64_t size() const noexcept { return n_; }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+
+ private:
+  [[nodiscard]] double h(double x) const noexcept;        // integral of x^-s
+  [[nodiscard]] double h_inv(double x) const noexcept;    // inverse of h
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;       // h(1.5) - 1
+  double h_n_;        // h(n + 0.5)
+  double threshold_;  // acceptance shortcut bound
+};
+
+}  // namespace booterscope::util

@@ -1,0 +1,69 @@
+#include "util/sparkline.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace booterscope::util {
+
+namespace {
+
+constexpr const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+
+/// Buckets `values` into at most `width` averaged cells; returns the
+/// bucketed series and the bucket index of original index `mark` via out
+/// parameter (SIZE_MAX disables tracking).
+std::vector<double> bucketize(std::span<const double> values, std::size_t width,
+                              std::size_t mark, std::size_t& mark_bucket) {
+  std::vector<double> buckets;
+  if (values.empty() || width == 0) return buckets;
+  const std::size_t cells = std::min(width, values.size());
+  buckets.reserve(cells);
+  mark_bucket = static_cast<std::size_t>(-1);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    const std::size_t lo = cell * values.size() / cells;
+    const std::size_t hi = std::max(lo + 1, (cell + 1) * values.size() / cells);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += values[i];
+    buckets.push_back(sum / static_cast<double>(hi - lo));
+    if (mark >= lo && mark < hi) mark_bucket = cell;
+  }
+  return buckets;
+}
+
+std::string render(const std::vector<double>& buckets,
+                   std::size_t mark_bucket) {
+  if (buckets.empty()) return {};
+  const auto [lo_it, hi_it] = std::minmax_element(buckets.begin(), buckets.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double range = hi - lo;
+  std::string result;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    std::size_t level = 3;  // flat series at half height
+    if (range > 0.0) {
+      level = static_cast<std::size_t>((buckets[i] - lo) / range * 7.0 + 0.5);
+      level = std::min<std::size_t>(level, 7);
+    }
+    result += kBlocks[level];
+    if (i == mark_bucket) result += "│";
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string sparkline(std::span<const double> values, std::size_t width) {
+  std::size_t unused = 0;
+  return render(bucketize(values, width, static_cast<std::size_t>(-1), unused),
+                static_cast<std::size_t>(-1));
+}
+
+std::string sparkline_with_marker(std::span<const double> values,
+                                  std::size_t mark_index, std::size_t width) {
+  std::size_t mark_bucket = 0;
+  const auto buckets = bucketize(values, width, mark_index, mark_bucket);
+  return render(buckets, mark_bucket);
+}
+
+}  // namespace booterscope::util

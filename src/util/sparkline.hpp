@@ -1,0 +1,25 @@
+// Unicode sparklines for terminal output of time series.
+//
+// The figure benches print the paper's daily/hourly series; a sparkline
+// row makes the takedown dip (or its absence) visible at a glance.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace booterscope::util {
+
+/// Renders values as a row of block characters (▁▂▃▄▅▆▇█), scaled to
+/// [min, max] of the data. Empty input gives an empty string; flat series
+/// render at half height. When `values.size() > width`, consecutive values
+/// are averaged into `width` buckets.
+[[nodiscard]] std::string sparkline(std::span<const double> values,
+                                    std::size_t width = 80);
+
+/// Same, but with a marker (│) inserted after bucket index `mark` — used
+/// to flag the takedown date inside a series.
+[[nodiscard]] std::string sparkline_with_marker(std::span<const double> values,
+                                                std::size_t mark_index,
+                                                std::size_t width = 80);
+
+}  // namespace booterscope::util

@@ -1,0 +1,132 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace booterscope::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(std::string_view cell) {
+  if (rows_.empty()) row();
+  rows_.back().emplace_back(cell);
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+
+void Table::print(std::ostream& out, int indent) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << pad;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string_view cell = c < cells.size() ? cells[c] : std::string_view{};
+      out << cell;
+      if (c + 1 < widths.size()) {
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << pad << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const bool needs_quotes =
+          cell.find_first_of(",\"\n") != std::string::npos;
+      if (needs_quotes) {
+        out << '"';
+        for (const char ch : cell) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cell;
+      }
+      if (c + 1 < cells.size()) out << ',';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string Table::to_string(int indent) const {
+  std::ostringstream out;
+  print(out, indent);
+  return out.str();
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string format_bps(double bits_per_second) {
+  const char* unit = "bps";
+  double v = bits_per_second;
+  if (v >= 1e9) {
+    v /= 1e9;
+    unit = "Gbps";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    unit = "Mbps";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    unit = "Kbps";
+  }
+  return format_double(v, 2) + " " + unit;
+}
+
+std::string format_count(double count) {
+  const char* unit = "";
+  double v = count;
+  if (v >= 1e9) {
+    v /= 1e9;
+    unit = "B";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    unit = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    unit = "K";
+  }
+  return format_double(v, v == static_cast<std::int64_t>(v) && *unit == '\0' ? 0 : 2) +
+         unit;
+}
+
+}  // namespace booterscope::util

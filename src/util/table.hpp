@@ -1,0 +1,56 @@
+// Aligned ASCII tables and CSV output for experiment reports.
+//
+// Every bench binary prints its figure/table through this so the output is
+// uniform and machine-extractable (`--csv` style reuse).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace booterscope::util {
+
+/// Column-aligned table with an optional title. Cells are strings; numeric
+/// convenience overloads format with sensible defaults.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string_view cell);
+  Table& add(const char* cell) { return add(std::string_view{cell}); }
+  Table& add(double value, int precision = 2);
+  Table& add(std::int64_t value);
+  Table& add(std::uint64_t value);
+  Table& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  Table& add(bool value) { return add(std::string_view{value ? "yes" : "no"}); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+
+  /// Renders with padded columns, a header rule, and `indent` leading spaces.
+  void print(std::ostream& out, int indent = 0) const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::string to_string(int indent = 0) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (printf "%.*f").
+[[nodiscard]] std::string format_double(double value, int precision);
+
+/// Human-readable bit rate, e.g. "1.44 Gbps" from bits per second.
+[[nodiscard]] std::string format_bps(double bits_per_second);
+
+/// Human-readable count, e.g. "1.2M", "834B".
+[[nodiscard]] std::string format_count(double count);
+
+}  // namespace booterscope::util

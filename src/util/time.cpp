@@ -1,0 +1,72 @@
+#include "util/time.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace booterscope::util {
+
+namespace {
+
+[[nodiscard]] std::optional<int> parse_int(std::string_view text) noexcept {
+  int value = 0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+Duration Duration::seconds_f(double s) noexcept {
+  return Duration::nanos(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::optional<Timestamp> Timestamp::parse(std::string_view text) noexcept {
+  // "YYYY-MM-DD" with optional "THH:MM:SS" suffix (trailing 'Z' tolerated).
+  if (text.size() >= 1 && text.back() == 'Z') text.remove_suffix(1);
+  if (text.size() < 10 || text[4] != '-' || text[7] != '-') return std::nullopt;
+  const auto year = parse_int(text.substr(0, 4));
+  const auto month = parse_int(text.substr(5, 2));
+  const auto day = parse_int(text.substr(8, 2));
+  if (!year || !month || !day) return std::nullopt;
+  if (*month < 1 || *month > 12 || *day < 1 || *day > 31) return std::nullopt;
+
+  std::int64_t extra_seconds = 0;
+  if (text.size() > 10) {
+    if (text.size() != 19 || text[10] != 'T' || text[13] != ':' || text[16] != ':') {
+      return std::nullopt;
+    }
+    const auto hour = parse_int(text.substr(11, 2));
+    const auto minute = parse_int(text.substr(14, 2));
+    const auto second = parse_int(text.substr(17, 2));
+    if (!hour || !minute || !second) return std::nullopt;
+    if (*hour > 23 || *minute > 59 || *second > 60) return std::nullopt;
+    extra_seconds = *hour * 3'600 + *minute * 60 + *second;
+  }
+
+  const CivilDate date{*year, static_cast<unsigned>(*month),
+                       static_cast<unsigned>(*day)};
+  return Timestamp::from_seconds(days_from_civil(date) * 86'400 + extra_seconds);
+}
+
+std::string Timestamp::date_string() const {
+  const CivilDate d = date();
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%04d-%02u-%02u", d.year, d.month, d.day);
+  return buffer;
+}
+
+std::string Timestamp::iso_string() const {
+  const CivilDate d = date();
+  const std::int64_t sod = ((seconds() % 86'400) + 86'400) % 86'400;
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%04d-%02u-%02uT%02lld:%02lld:%02lldZ",
+                d.year, d.month, d.day,
+                static_cast<long long>(sod / 3'600),
+                static_cast<long long>(sod % 3'600 / 60),
+                static_cast<long long>(sod % 60));
+  return buffer;
+}
+
+}  // namespace booterscope::util

@@ -1,0 +1,179 @@
+// Simulation time: fixed-width UTC timestamps and durations.
+//
+// The study spans months of traffic, and the analysis bins flows into
+// minutes, hours and days. We use explicit integer nanoseconds since the
+// Unix epoch (UTC, no leap seconds) rather than std::chrono system clocks so
+// that simulated time is decoupled from wall time and trivially serializable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace booterscope::util {
+
+/// Signed span of time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t n) noexcept {
+    return Duration{n};
+  }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t n) noexcept {
+    return Duration{n * 1'000};
+  }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t n) noexcept {
+    return Duration{n * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t n) noexcept {
+    return Duration{n * 1'000'000'000};
+  }
+  [[nodiscard]] static constexpr Duration minutes(std::int64_t n) noexcept {
+    return seconds(n * 60);
+  }
+  [[nodiscard]] static constexpr Duration hours(std::int64_t n) noexcept {
+    return seconds(n * 3'600);
+  }
+  [[nodiscard]] static constexpr Duration days(std::int64_t n) noexcept {
+    return seconds(n * 86'400);
+  }
+  /// Fractional seconds, rounded to the nearest nanosecond.
+  [[nodiscard]] static Duration seconds_f(double s) noexcept;
+
+  [[nodiscard]] constexpr std::int64_t total_nanos() const noexcept { return ns_; }
+  [[nodiscard]] constexpr std::int64_t total_micros() const noexcept { return ns_ / 1'000; }
+  [[nodiscard]] constexpr std::int64_t total_millis() const noexcept { return ns_ / 1'000'000; }
+  [[nodiscard]] constexpr std::int64_t total_seconds() const noexcept { return ns_ / 1'000'000'000; }
+  [[nodiscard]] constexpr std::int64_t total_minutes() const noexcept { return total_seconds() / 60; }
+  [[nodiscard]] constexpr std::int64_t total_hours() const noexcept { return total_seconds() / 3'600; }
+  [[nodiscard]] constexpr std::int64_t total_days() const noexcept { return total_seconds() / 86'400; }
+  [[nodiscard]] constexpr double as_seconds() const noexcept {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+
+  constexpr Duration operator+(Duration other) const noexcept { return Duration{ns_ + other.ns_}; }
+  constexpr Duration operator-(Duration other) const noexcept { return Duration{ns_ - other.ns_}; }
+  constexpr Duration operator-() const noexcept { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const noexcept { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const noexcept { return Duration{ns_ / k}; }
+  constexpr Duration& operator+=(Duration other) noexcept { ns_ += other.ns_; return *this; }
+  constexpr Duration& operator-=(Duration other) noexcept { ns_ -= other.ns_; return *this; }
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Calendar date (proleptic Gregorian, UTC).
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  // 1-12
+  unsigned day = 1;    // 1-31
+
+  constexpr auto operator<=>(const CivilDate&) const noexcept = default;
+};
+
+/// Point in time: nanoseconds since 1970-01-01T00:00:00Z.
+class Timestamp {
+ public:
+  constexpr Timestamp() noexcept = default;
+
+  [[nodiscard]] static constexpr Timestamp from_nanos(std::int64_t ns) noexcept {
+    return Timestamp{ns};
+  }
+  [[nodiscard]] static constexpr Timestamp from_seconds(std::int64_t s) noexcept {
+    return Timestamp{s * 1'000'000'000};
+  }
+  /// Midnight UTC of the given calendar date.
+  [[nodiscard]] static constexpr Timestamp from_date(CivilDate date) noexcept;
+  /// Parses "YYYY-MM-DD" or "YYYY-MM-DDTHH:MM:SS" (UTC).
+  [[nodiscard]] static std::optional<Timestamp> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr std::int64_t nanos() const noexcept { return ns_; }
+  [[nodiscard]] constexpr std::int64_t seconds() const noexcept { return ns_ / 1'000'000'000; }
+  [[nodiscard]] constexpr std::int64_t millis() const noexcept { return ns_ / 1'000'000; }
+
+  [[nodiscard]] constexpr CivilDate date() const noexcept;
+  /// Hour of day in [0, 24).
+  [[nodiscard]] constexpr int hour_of_day() const noexcept {
+    return static_cast<int>((seconds() % 86'400 + 86'400) % 86'400 / 3'600);
+  }
+  /// Day of week, 0 = Monday ... 6 = Sunday.
+  [[nodiscard]] constexpr int weekday() const noexcept {
+    const std::int64_t days = floor_div(seconds(), 86'400);
+    return static_cast<int>(((days + 3) % 7 + 7) % 7);  // 1970-01-01 was Thursday
+  }
+
+  /// Truncates toward negative infinity to a multiple of `bin`.
+  [[nodiscard]] constexpr Timestamp floor_to(Duration bin) const noexcept {
+    const std::int64_t b = bin.total_nanos();
+    return Timestamp{floor_div(ns_, b) * b};
+  }
+
+  /// "YYYY-MM-DD" (date part only).
+  [[nodiscard]] std::string date_string() const;
+  /// "YYYY-MM-DDTHH:MM:SSZ".
+  [[nodiscard]] std::string iso_string() const;
+
+  constexpr auto operator<=>(const Timestamp&) const noexcept = default;
+
+  constexpr Timestamp operator+(Duration d) const noexcept { return Timestamp{ns_ + d.total_nanos()}; }
+  constexpr Timestamp operator-(Duration d) const noexcept { return Timestamp{ns_ - d.total_nanos()}; }
+  constexpr Duration operator-(Timestamp other) const noexcept {
+    return Duration::nanos(ns_ - other.ns_);
+  }
+  constexpr Timestamp& operator+=(Duration d) noexcept { ns_ += d.total_nanos(); return *this; }
+  constexpr Timestamp& operator-=(Duration d) noexcept { ns_ -= d.total_nanos(); return *this; }
+
+ private:
+  explicit constexpr Timestamp(std::int64_t ns) noexcept : ns_(ns) {}
+
+  [[nodiscard]] static constexpr std::int64_t floor_div(std::int64_t a,
+                                                        std::int64_t b) noexcept {
+    std::int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+    return q;
+  }
+
+  std::int64_t ns_ = 0;
+};
+
+/// Days since the epoch for a civil date (Howard Hinnant's algorithm).
+[[nodiscard]] constexpr std::int64_t days_from_civil(CivilDate date) noexcept {
+  const int y = date.year - (date.month <= 2 ? 1 : 0);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - static_cast<int>(era) * 400);
+  const unsigned doy =
+      (153 * (date.month + (date.month > 2 ? -3u : 9u)) + 2) / 5 + date.day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146'097 + static_cast<std::int64_t>(doe) - 719'468;
+}
+
+/// Inverse of days_from_civil.
+[[nodiscard]] constexpr CivilDate civil_from_days(std::int64_t z) noexcept {
+  z += 719'468;
+  const std::int64_t era = (z >= 0 ? z : z - 146'096) / 146'097;
+  const auto doe = static_cast<unsigned>(z - era * 146'097);
+  const unsigned yoe = (doe - doe / 1'460 + doe / 36'524 - doe / 146'096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  return CivilDate{static_cast<int>(y + (m <= 2 ? 1 : 0)), m, d};
+}
+
+constexpr Timestamp Timestamp::from_date(CivilDate date) noexcept {
+  return Timestamp::from_seconds(days_from_civil(date) * 86'400);
+}
+
+constexpr CivilDate Timestamp::date() const noexcept {
+  return civil_from_days(floor_div(seconds(), 86'400));
+}
+
+}  // namespace booterscope::util

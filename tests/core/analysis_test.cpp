@@ -1,0 +1,164 @@
+// Tests for core/pktsize, core/selfattack_analysis and core/overlap.
+#include <gtest/gtest.h>
+
+#include "core/overlap.hpp"
+#include "core/pktsize.hpp"
+#include "core/selfattack_analysis.hpp"
+
+namespace booterscope::core {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+flow::FlowRecord ntp_flow(std::uint32_t src, std::uint32_t pkt_size,
+                          std::uint64_t packets, bool reply = true) {
+  flow::FlowRecord f;
+  f.src = net::Ipv4Addr{src};
+  f.dst = net::Ipv4Addr{0xC0000207};
+  if (reply) {
+    f.src_port = net::ports::kNtp;
+    f.dst_port = 5000;
+  } else {
+    f.src_port = 5000;
+    f.dst_port = net::ports::kNtp;
+  }
+  f.proto = net::IpProto::kUdp;
+  f.packets = packets;
+  f.bytes = packets * pkt_size;
+  f.first = Timestamp::parse("2018-11-01").value();
+  f.last = f.first + Duration::seconds(10);
+  return f;
+}
+
+TEST(PacketSize, WeightsByPackets) {
+  flow::FlowList flows;
+  flows.push_back(ntp_flow(1, 90, 54));
+  flows.push_back(ntp_flow(2, 488, 46));
+  EXPECT_NEAR(share_below(flows, 200.0), 0.54, 1e-9);
+  const auto histogram = packet_size_distribution(flows);
+  EXPECT_EQ(histogram.total(), 100u);
+}
+
+TEST(PacketSize, CountsBothDirections) {
+  flow::FlowList flows;
+  flows.push_back(ntp_flow(1, 90, 10, /*reply=*/true));
+  flows.push_back(ntp_flow(2, 90, 10, /*reply=*/false));
+  EXPECT_EQ(packet_size_distribution(flows).total(), 20u);
+}
+
+TEST(PacketSize, IgnoresOtherPorts) {
+  flow::FlowList flows;
+  auto f = ntp_flow(1, 490, 10);
+  f.src_port = 80;
+  f.dst_port = 81;
+  flows.push_back(f);
+  EXPECT_EQ(packet_size_distribution(flows).total(), 0u);
+}
+
+TEST(PacketSize, ScalesBySamplingRate) {
+  flow::FlowList flows;
+  auto f = ntp_flow(1, 490, 3);
+  f.sampling_rate = 1000;
+  flows.push_back(f);
+  EXPECT_EQ(packet_size_distribution(flows).total(), 3000u);
+}
+
+// --- selfattack_analysis ---
+
+flow::FlowRecord capture_flow(std::uint32_t reflector, net::Ipv4Addr target,
+                              net::Asn peer, std::uint64_t packets,
+                              Timestamp first, Duration span) {
+  flow::FlowRecord f;
+  f.src = net::Ipv4Addr{reflector};
+  f.dst = target;
+  f.src_port = net::ports::kNtp;
+  f.dst_port = 6000;
+  f.proto = net::IpProto::kUdp;
+  f.packets = packets;
+  f.bytes = packets * 490;
+  f.first = first;
+  f.last = first + span;
+  f.peer_asn = peer;
+  return f;
+}
+
+TEST(CaptureAnalysis, TransitShareAndPeers) {
+  const net::Ipv4Addr target{0xCB007101};
+  const net::Asn transit{1000};
+  const net::Asn member_a{2000};
+  const net::Asn member_b{2001};
+  const Timestamp t = Timestamp::parse("2018-07-11T15:00:00").value();
+
+  flow::FlowList capture;
+  capture.push_back(capture_flow(1, target, transit, 800, t, Duration::seconds(9)));
+  capture.push_back(capture_flow(2, target, member_a, 150, t, Duration::seconds(9)));
+  capture.push_back(capture_flow(3, target, member_b, 50, t, Duration::seconds(9)));
+  // A flow toward another destination must be ignored.
+  capture.push_back(capture_flow(4, net::Ipv4Addr{42}, transit, 999, t,
+                                 Duration::seconds(9)));
+
+  const auto analysis = analyze_capture(capture, target, transit);
+  EXPECT_EQ(analysis.unique_reflectors, 3u);
+  EXPECT_EQ(analysis.unique_peer_ases, 3u);
+  EXPECT_NEAR(analysis.transit_share, 0.8, 1e-9);
+  EXPECT_NEAR(analysis.top_peer_share_of_peering, 0.75, 1e-9);
+  ASSERT_EQ(analysis.per_second.size(), 10u);
+  // 1000 packets * 490 B * 8 spread over 10 seconds.
+  EXPECT_NEAR(analysis.per_second[0].mbps, 1000.0 * 490 * 8 / 10 / 1e6, 1e-6);
+  EXPECT_EQ(analysis.per_second[0].reflectors, 3u);
+  EXPECT_NEAR(analysis.mean_mbps, analysis.peak_mbps, 1e-6);  // flat series
+}
+
+TEST(CaptureAnalysis, EmptyCapture) {
+  const auto analysis =
+      analyze_capture({}, net::Ipv4Addr{1}, net::Asn{1});
+  EXPECT_EQ(analysis.unique_reflectors, 0u);
+  EXPECT_DOUBLE_EQ(analysis.peak_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(analysis.transit_share, 0.0);
+}
+
+// --- overlap ---
+
+AttackReflectorSet make_set(const std::string& label, const std::string& booter,
+                            const char* date,
+                            std::initializer_list<std::uint32_t> ids) {
+  AttackReflectorSet set;
+  set.label = label;
+  set.booter = booter;
+  set.when = Timestamp::parse(date).value();
+  set.reflectors = ids;
+  return set;
+}
+
+TEST(Overlap, GroupsPairsByBooterAndTime) {
+  std::vector<AttackReflectorSet> sets;
+  sets.push_back(make_set("B1", "B", "2018-06-12", {1, 2, 3, 4}));
+  sets.push_back(make_set("B2", "B", "2018-06-12", {1, 2, 3, 4}));      // same day
+  sets.push_back(make_set("B3", "B", "2018-07-12", {5, 6, 7, 8}));      // post switch
+  sets.push_back(make_set("C1", "C", "2018-06-12", {4, 9, 10, 11}));    // cross
+
+  const auto analysis = analyze_overlap(sets);
+  EXPECT_EQ(analysis.total_distinct_reflectors, 11u);
+  EXPECT_DOUBLE_EQ(analysis.same_booter_short_term, 1.0);  // B1 vs B2
+  EXPECT_DOUBLE_EQ(analysis.same_booter_long_term, 0.0);   // B1/B2 vs B3
+  // Cross pairs: (B1,C1): 1/7, (B2,C1): 1/7, (B3,C1): 0.
+  EXPECT_NEAR(analysis.cross_booter, (1.0 / 7 + 1.0 / 7 + 0.0) / 3, 1e-9);
+  EXPECT_NEAR(analysis.cross_booter_max, 1.0 / 7, 1e-9);
+  // Matrix symmetry + unit diagonal.
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(analysis.jaccard[i][i], 1.0);
+    for (std::size_t j = 0; j < sets.size(); ++j) {
+      EXPECT_DOUBLE_EQ(analysis.jaccard[i][j], analysis.jaccard[j][i]);
+    }
+  }
+}
+
+TEST(Overlap, EmptyInput) {
+  const auto analysis = analyze_overlap({});
+  EXPECT_TRUE(analysis.labels.empty());
+  EXPECT_EQ(analysis.total_distinct_reflectors, 0u);
+}
+
+}  // namespace
+}  // namespace booterscope::core

@@ -1,0 +1,144 @@
+#include "core/attack_events.hpp"
+
+#include <gtest/gtest.h>
+
+namespace booterscope::core {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+flow::FlowRecord reflection(net::Ipv4Addr src, net::Ipv4Addr dst,
+                            Timestamp first, Duration span,
+                            std::uint64_t packets = 10'000) {
+  flow::FlowRecord f;
+  f.src = src;
+  f.dst = dst;
+  f.src_port = net::ports::kNtp;
+  f.dst_port = 5555;
+  f.proto = net::IpProto::kUdp;
+  f.packets = packets;
+  f.bytes = packets * 490;
+  f.first = first;
+  f.last = first + span;
+  return f;
+}
+
+TEST(AttackEvents, SingleContiguousEvent) {
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  flow::FlowList flows;
+  for (int minute = 0; minute < 6; ++minute) {
+    flows.push_back(reflection(net::Ipv4Addr{1}, net::Ipv4Addr{9},
+                               t + Duration::minutes(minute),
+                               Duration::seconds(59)));
+  }
+  const auto events = extract_events(flows);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start, t);
+  EXPECT_EQ(events[0].duration().total_minutes(), 6);
+  EXPECT_EQ(events[0].active_minutes, 6u);
+  EXPECT_EQ(events[0].unique_sources, 1u);
+}
+
+TEST(AttackEvents, ShortGapsAreAbsorbed) {
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  flow::FlowList flows;
+  flows.push_back(reflection(net::Ipv4Addr{1}, net::Ipv4Addr{9}, t,
+                             Duration::seconds(59)));
+  // 4-minute gap (max_gap default 5 min): same event.
+  flows.push_back(reflection(net::Ipv4Addr{1}, net::Ipv4Addr{9},
+                             t + Duration::minutes(5), Duration::seconds(59)));
+  const auto events = extract_events(flows);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].active_minutes, 2u);
+  EXPECT_EQ(events[0].duration().total_minutes(), 6);
+}
+
+TEST(AttackEvents, LongGapsSplitEvents) {
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  flow::FlowList flows;
+  flows.push_back(reflection(net::Ipv4Addr{1}, net::Ipv4Addr{9}, t,
+                             Duration::seconds(59)));
+  flows.push_back(reflection(net::Ipv4Addr{2}, net::Ipv4Addr{9},
+                             t + Duration::minutes(30), Duration::seconds(59)));
+  const auto events = extract_events(flows);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].unique_sources, 1u);
+  EXPECT_EQ(events[1].start, t + Duration::minutes(30));
+}
+
+TEST(AttackEvents, PerVictimSeparation) {
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  flow::FlowList flows;
+  flows.push_back(reflection(net::Ipv4Addr{1}, net::Ipv4Addr{9}, t,
+                             Duration::seconds(59)));
+  flows.push_back(reflection(net::Ipv4Addr{1}, net::Ipv4Addr{10}, t,
+                             Duration::seconds(59)));
+  const auto events = extract_events(flows);
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(AttackEvents, BenignFlowsIgnored) {
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  flow::FlowList flows;
+  auto benign = reflection(net::Ipv4Addr{1}, net::Ipv4Addr{9}, t,
+                           Duration::seconds(59));
+  benign.bytes = benign.packets * 90;  // small NTP
+  flows.push_back(benign);
+  EXPECT_TRUE(extract_events(flows).empty());
+}
+
+TEST(AttackEvents, PeakAndSources) {
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  flow::FlowList flows;
+  // Minute 0: 12 sources at combined ~2.4 Gbps; minute 1: 1 source, weak.
+  const std::uint64_t heavy = 2'400'000'000ULL / 8 / 490 * 60 / 12;
+  for (std::uint32_t s = 0; s < 12; ++s) {
+    flows.push_back(reflection(net::Ipv4Addr{100 + s}, net::Ipv4Addr{9}, t,
+                               Duration::seconds(59), heavy));
+  }
+  flows.push_back(reflection(net::Ipv4Addr{200}, net::Ipv4Addr{9},
+                             t + Duration::minutes(1), Duration::seconds(59),
+                             100));
+  const auto events = extract_events(flows);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(events[0].peak_gbps, 2.4, 0.05);
+  EXPECT_EQ(events[0].max_sources_per_minute, 12u);
+  EXPECT_EQ(events[0].unique_sources, 13u);
+  EXPECT_TRUE(events[0].conservative());
+}
+
+TEST(AttackEvents, MinActiveMinutesFilter) {
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  flow::FlowList flows;
+  flows.push_back(reflection(net::Ipv4Addr{1}, net::Ipv4Addr{9}, t,
+                             Duration::seconds(10)));
+  EventExtractorConfig config;
+  config.min_active_minutes = 2;
+  EXPECT_TRUE(extract_events(flows, config).empty());
+  config.min_active_minutes = 1;
+  EXPECT_EQ(extract_events(flows, config).size(), 1u);
+}
+
+TEST(AttackEvents, SummaryStatistics) {
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  flow::FlowList flows;
+  // Three events with different durations on different victims.
+  for (int v = 0; v < 3; ++v) {
+    for (int minute = 0; minute <= v * 2; ++minute) {
+      flows.push_back(reflection(net::Ipv4Addr{1},
+                                 net::Ipv4Addr{static_cast<std::uint32_t>(50 + v)},
+                                 t + Duration::minutes(minute),
+                                 Duration::seconds(59)));
+    }
+  }
+  const auto events = extract_events(flows);
+  ASSERT_EQ(events.size(), 3u);
+  const auto stats = summarize_events(events);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.median_duration_minutes, 3.0);  // 1, 3, 5 minutes
+  EXPECT_GT(stats.max_peak_gbps, 0.0);
+}
+
+}  // namespace
+}  // namespace booterscope::core

@@ -1,0 +1,169 @@
+#include "core/victims.hpp"
+
+#include <gtest/gtest.h>
+
+namespace booterscope::core {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+flow::FlowRecord reflection_flow(net::Ipv4Addr src, net::Ipv4Addr dst,
+                                 std::uint64_t packets, std::uint32_t pkt_size,
+                                 Timestamp first, Duration span,
+                                 std::uint32_t sampling = 1) {
+  flow::FlowRecord f;
+  f.src = src;
+  f.dst = dst;
+  f.src_port = net::ports::kNtp;
+  f.dst_port = 5555;
+  f.proto = net::IpProto::kUdp;
+  f.packets = packets;
+  f.bytes = packets * pkt_size;
+  f.first = first;
+  f.last = first + span;
+  f.sampling_rate = sampling;
+  return f;
+}
+
+TEST(Classify, OptimisticFilter) {
+  const Timestamp t = Timestamp::parse("2018-11-01").value();
+  const auto attack = reflection_flow(net::Ipv4Addr{1}, net::Ipv4Addr{2}, 10,
+                                      490, t, Duration::seconds(10));
+  EXPECT_TRUE(is_reflection_flow(attack));
+
+  auto benign = attack;
+  benign.bytes = benign.packets * 90;  // small NTP packets
+  EXPECT_FALSE(is_reflection_flow(benign));
+
+  auto wrong_port = attack;
+  wrong_port.src_port = 8080;
+  EXPECT_FALSE(is_reflection_flow(wrong_port));
+
+  auto tcp = attack;
+  tcp.proto = net::IpProto::kTcp;
+  EXPECT_FALSE(is_reflection_flow(tcp));
+}
+
+TEST(Classify, ToReflectorFilter) {
+  flow::FlowRecord f;
+  f.proto = net::IpProto::kUdp;
+  f.dst_port = net::ports::kNtp;
+  EXPECT_TRUE(is_to_reflector_flow(f, net::ports::kNtp));
+  EXPECT_FALSE(is_to_reflector_flow(f, net::ports::kMemcached));
+  f.proto = net::IpProto::kTcp;
+  EXPECT_FALSE(is_to_reflector_flow(f, net::ports::kNtp));
+}
+
+TEST(VictimAggregator, RejectsNonReflectionFlows) {
+  VictimAggregator aggregator;
+  const Timestamp t = Timestamp::parse("2018-11-01").value();
+  auto benign = reflection_flow(net::Ipv4Addr{1}, net::Ipv4Addr{2}, 10, 90, t,
+                                Duration::seconds(1));
+  EXPECT_FALSE(aggregator.add(benign));
+  EXPECT_EQ(aggregator.destination_count(), 0u);
+}
+
+TEST(VictimAggregator, PeakGbpsComputation) {
+  VictimAggregator aggregator;
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  // 153k packets of 490 bytes within one minute = 1 Gbps sustained.
+  const std::uint64_t packets = 1'000'000'000ULL / 8 / 490 * 60 / 1;
+  EXPECT_TRUE(aggregator.add(reflection_flow(
+      net::Ipv4Addr{1}, net::Ipv4Addr{9}, packets, 490, t,
+      Duration::seconds(59))));
+  const auto summaries = aggregator.summarize();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_NEAR(summaries[0].max_gbps_per_minute, 1.0, 0.01);
+  EXPECT_EQ(summaries[0].unique_sources, 1u);
+  EXPECT_FALSE(summaries[0].verdict.passes_rate);  // needs strictly > 1 Gbps
+}
+
+TEST(VictimAggregator, SamplingScalesVolume) {
+  VictimAggregator aggregator;
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  // Same 1 Gbps, but observed through 1/1000 sampling.
+  const std::uint64_t packets = 1'000'000'000ULL / 8 / 490 * 60 / 1000;
+  EXPECT_TRUE(aggregator.add(reflection_flow(
+      net::Ipv4Addr{1}, net::Ipv4Addr{9}, packets, 490, t,
+      Duration::seconds(59), 1000)));
+  const auto summaries = aggregator.summarize();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_NEAR(summaries[0].max_gbps_per_minute, 1.0, 0.01);
+}
+
+TEST(VictimAggregator, MultiMinuteFlowSpreadsBytes) {
+  VictimAggregator aggregator;
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  // 10-minute flow: per-minute peak is one tenth of the total.
+  EXPECT_TRUE(aggregator.add(reflection_flow(
+      net::Ipv4Addr{1}, net::Ipv4Addr{9}, 1'000'000, 490, t,
+      Duration::seconds(599))));
+  const auto summaries = aggregator.summarize();
+  ASSERT_EQ(summaries.size(), 1u);
+  const double total_gbits = 1'000'000.0 * 490 * 8 / 1e9;
+  EXPECT_NEAR(summaries[0].max_gbps_per_minute, total_gbits / 10 / 60, 1e-3);
+}
+
+TEST(VictimAggregator, CountsDistinctSourcesPerMinuteAndOverall) {
+  VictimAggregator aggregator;
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  const net::Ipv4Addr victim{9};
+  // 12 sources in minute 0, 5 different ones in minute 2.
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    aggregator.add(reflection_flow(net::Ipv4Addr{100 + i}, victim, 10, 490, t,
+                                   Duration::seconds(30)));
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    aggregator.add(reflection_flow(net::Ipv4Addr{200 + i}, victim, 10, 490,
+                                   t + Duration::minutes(2),
+                                   Duration::seconds(30)));
+  }
+  const auto summaries = aggregator.summarize();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].max_sources_per_minute, 12u);
+  EXPECT_EQ(summaries[0].unique_sources, 17u);
+  EXPECT_TRUE(summaries[0].verdict.passes_amplifiers);  // > 10 sources
+}
+
+TEST(VictimAggregator, ConservativeFilterNeedsBothRules) {
+  VictimAggregator aggregator;
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  // Victim A: high rate, few sources.
+  const std::uint64_t heavy = 2'000'000'000ULL / 8 / 490 * 60;
+  aggregator.add(reflection_flow(net::Ipv4Addr{1}, net::Ipv4Addr{50}, heavy,
+                                 490, t, Duration::seconds(59)));
+  // Victim B: many sources, low rate.
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    aggregator.add(reflection_flow(net::Ipv4Addr{100 + i}, net::Ipv4Addr{51},
+                                   100, 490, t, Duration::seconds(59)));
+  }
+  // Victim C: both.
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    aggregator.add(reflection_flow(net::Ipv4Addr{200 + i}, net::Ipv4Addr{52},
+                                   heavy / 20, 490, t, Duration::seconds(59)));
+  }
+  const auto reduction = aggregator.reduction();
+  EXPECT_EQ(reduction.total, 3u);
+  EXPECT_EQ(reduction.pass_rate_only, 2u);        // A and C
+  EXPECT_EQ(reduction.pass_amplifiers_only, 2u);  // B and C
+  EXPECT_EQ(reduction.pass_both, 1u);             // C only
+  EXPECT_NEAR(reduction.reduction_both(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(VictimAggregator, TracksFirstAndLastSeen) {
+  VictimAggregator aggregator;
+  const Timestamp t = Timestamp::parse("2018-11-01T10:00:00").value();
+  aggregator.add(reflection_flow(net::Ipv4Addr{1}, net::Ipv4Addr{9}, 10, 490,
+                                 t + Duration::minutes(5), Duration::seconds(10)));
+  aggregator.add(reflection_flow(net::Ipv4Addr{1}, net::Ipv4Addr{9}, 10, 490, t,
+                                 Duration::seconds(10)));
+  const auto summaries = aggregator.summarize();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].first_seen, t);
+  EXPECT_EQ(summaries[0].last_seen,
+            t + Duration::minutes(5) + Duration::seconds(10));
+}
+
+}  // namespace
+}  // namespace booterscope::core

@@ -1,0 +1,113 @@
+#include "dnsobs/blacklist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace booterscope::dnsobs {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+class BlacklistTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    observatory_ = new Observatory(paper_observatory_config());
+    const auto& config = observatory_->config();
+    blacklist_ = new Blacklist(generate_blacklist(
+        *observatory_, config.window_start, config.window_end));
+  }
+  static void TearDownTestSuite() {
+    delete blacklist_;
+    delete observatory_;
+  }
+  static Observatory* observatory_;
+  static Blacklist* blacklist_;
+};
+
+Observatory* BlacklistTest::observatory_ = nullptr;
+Blacklist* BlacklistTest::blacklist_ = nullptr;
+
+TEST_F(BlacklistTest, ContainsOnlyVerifiedBooters) {
+  // False positives (benign keyword matches) never make the list.
+  for (const auto& entry : blacklist_->entries) {
+    bool found_as_booter = false;
+    for (const auto& domain : observatory_->domains()) {
+      if (domain.name == entry.domain) {
+        found_as_booter = domain.is_booter;
+        break;
+      }
+    }
+    EXPECT_TRUE(found_as_booter) << entry.domain;
+  }
+}
+
+TEST_F(BlacklistTest, CoversTheObservedBooterPopulation) {
+  // Every booter whose website was live during the window for at least a
+  // week appears (58 domains + the successor).
+  EXPECT_GE(blacklist_->entries.size(), 50u);
+  EXPECT_LE(blacklist_->entries.size(),
+            observatory_->config().booter_domains + 1);
+}
+
+TEST_F(BlacklistTest, SeizedDomainsGoOffline) {
+  const auto& config = observatory_->config();
+  std::size_t offline_after_takedown = 0;
+  for (const auto& entry : blacklist_->entries) {
+    if (entry.online) continue;
+    if (entry.last_seen >= config.takedown - Duration::days(8) &&
+        entry.last_seen <= config.takedown + Duration::days(1)) {
+      ++offline_after_takedown;
+    }
+  }
+  // The 15 seizures dominate the late die-off.
+  EXPECT_GE(offline_after_takedown, 10u);
+}
+
+TEST_F(BlacklistTest, FirstSeenOrderingAndWeekCounts) {
+  for (std::size_t i = 1; i < blacklist_->entries.size(); ++i) {
+    EXPECT_LE(blacklist_->entries[i - 1].first_seen,
+              blacklist_->entries[i].first_seen);
+  }
+  for (const auto& entry : blacklist_->entries) {
+    EXPECT_GE(entry.weeks_seen, 1u);
+    EXPECT_LE(entry.first_seen, entry.last_seen);
+  }
+}
+
+TEST_F(BlacklistTest, FindByDomain) {
+  ASSERT_FALSE(blacklist_->entries.empty());
+  const auto& name = blacklist_->entries.front().domain;
+  const auto index = blacklist_->find(name);
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(blacklist_->entries[*index].domain, name);
+  EXPECT_FALSE(blacklist_->find("not-a-domain.example").has_value());
+}
+
+TEST_F(BlacklistTest, CsvRendering) {
+  const std::string csv = to_csv(*blacklist_);
+  EXPECT_EQ(csv.substr(0, 6), "domain");
+  // Header + one line per entry.
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, blacklist_->entries.size() + 1);
+}
+
+TEST_F(BlacklistTest, WeeklyDiffShowsTakedown) {
+  const auto& config = observatory_->config();
+  const auto delta = diff_weeks(*observatory_,
+                                config.takedown - Duration::days(5),
+                                config.takedown + Duration::days(2));
+  // The 15 seized domains disappear; the successor appears.
+  EXPECT_GE(delta.disappeared.size(), 14u);
+  bool successor_appeared = false;
+  const auto [seized, successor] = observatory_->resurrected_pair();
+  for (const auto& name : delta.appeared) {
+    successor_appeared |= name == observatory_->domains()[successor].name;
+  }
+  EXPECT_TRUE(successor_appeared);
+}
+
+}  // namespace
+}  // namespace booterscope::dnsobs

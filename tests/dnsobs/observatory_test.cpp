@@ -1,0 +1,193 @@
+#include "dnsobs/observatory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace booterscope::dnsobs {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+class ObservatoryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    observatory_ = new Observatory(paper_observatory_config());
+  }
+  static void TearDownTestSuite() {
+    delete observatory_;
+    observatory_ = nullptr;
+  }
+  static Observatory* observatory_;
+};
+
+Observatory* ObservatoryTest::observatory_ = nullptr;
+
+TEST(KeywordMatcher, MatchesBooterTerms) {
+  EXPECT_TRUE(matches_booter_keywords("quantum-stresser.net"));
+  EXPECT_TRUE(matches_booter_keywords("critical-booter.com"));
+  EXPECT_TRUE(matches_booter_keywords("best-ddos-service.org"));
+  EXPECT_FALSE(matches_booter_keywords("example.com"));
+  EXPECT_FALSE(matches_booter_keywords("boots-and-shoes.com"));
+}
+
+TEST(KeywordMatcher, FalsePositivesExist) {
+  // The reason the paper verified each hit manually.
+  EXPECT_TRUE(matches_booter_keywords("stresser-relief-yoga.com"));
+  EXPECT_TRUE(matches_booter_keywords("carbooter-parts.net"));
+}
+
+TEST_F(ObservatoryTest, DomainCountsMatchConfig) {
+  const auto& config = observatory_->config();
+  std::size_t booters = 0;
+  std::size_t seized = 0;
+  for (const auto& d : observatory_->domains()) {
+    booters += d.is_booter ? 1u : 0u;
+    seized += d.seized ? 1u : 0u;
+  }
+  // 58 identified + booter A's successor.
+  EXPECT_EQ(booters, config.booter_domains + 1);
+  EXPECT_EQ(seized, config.seized_domains);
+}
+
+TEST_F(ObservatoryTest, SeizedDomainsDieAtTakedown) {
+  const auto& config = observatory_->config();
+  const auto before = observatory_->live_at(config.takedown - Duration::days(7));
+  const auto after = observatory_->live_at(config.takedown + Duration::days(7));
+  std::size_t seized_before = 0;
+  for (const std::size_t i : before) {
+    seized_before += observatory_->domains()[i].seized ? 1u : 0u;
+  }
+  std::size_t seized_after = 0;
+  for (const std::size_t i : after) {
+    seized_after += observatory_->domains()[i].seized ? 1u : 0u;
+  }
+  EXPECT_EQ(seized_before, config.seized_domains);
+  EXPECT_EQ(seized_after, 0u);
+}
+
+TEST_F(ObservatoryTest, KeywordHitsIncludeFalsePositives) {
+  const auto& config = observatory_->config();
+  const auto hits =
+      observatory_->keyword_hits_at(config.takedown - Duration::days(7));
+  std::size_t benign = 0;
+  for (const std::size_t i : hits) {
+    benign += observatory_->domains()[i].is_booter ? 0u : 1u;
+  }
+  EXPECT_GT(benign, 0u);
+  // All generated booter names match the keyword search.
+  std::size_t live_booters = 0;
+  for (const std::size_t i :
+       observatory_->live_at(config.takedown - Duration::days(7))) {
+    live_booters += observatory_->domains()[i].is_booter ? 1u : 0u;
+  }
+  EXPECT_EQ(hits.size() - benign, live_booters);
+}
+
+TEST_F(ObservatoryTest, BooterPopulationGrowsOverTime) {
+  const auto& config = observatory_->config();
+  const auto early = observatory_->live_at(config.window_start + Duration::days(60));
+  const auto late = observatory_->live_at(config.takedown - Duration::days(1));
+  EXPECT_GT(late.size(), early.size() * 2);
+}
+
+TEST_F(ObservatoryTest, RanksImproveAsDomainsMature) {
+  const auto& config = observatory_->config();
+  // Averaged over all early booters, year-one ranks beat month-one ranks.
+  double young_sum = 0.0;
+  double mature_sum = 0.0;
+  int counted = 0;
+  for (std::size_t i = 0; i < observatory_->domains().size(); ++i) {
+    const auto& d = observatory_->domains()[i];
+    if (!d.is_booter || d.seized) continue;
+    if (d.active_from > config.window_start + Duration::days(200)) continue;
+    const auto young =
+        observatory_->median_monthly_rank(i, d.active_from + Duration::days(35));
+    const auto mature = observatory_->median_monthly_rank(
+        i, d.active_from + Duration::days(365));
+    if (!young || !mature) continue;
+    young_sum += *young;
+    mature_sum += *mature;
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LT(mature_sum / counted, young_sum / counted);
+}
+
+TEST_F(ObservatoryTest, SuccessorEntersTop1MThreeDaysAfterSeizure) {
+  const auto& config = observatory_->config();
+  const auto [seized, successor] = observatory_->resurrected_pair();
+  const auto& new_domain = observatory_->domains()[successor];
+  // Registered months before, idle until the takedown.
+  EXPECT_LT(new_domain.registered, config.takedown - Duration::days(150));
+  EXPECT_GT(new_domain.active_from, config.takedown);
+  // Not ranked before the takedown.
+  EXPECT_FALSE(observatory_
+                   ->alexa_rank(successor, config.takedown - Duration::days(30))
+                   .has_value());
+  // Ranked within a week after.
+  bool ranked = false;
+  for (int day = 0; day <= 7; ++day) {
+    ranked |= observatory_
+                  ->alexa_rank(successor, config.takedown + Duration::days(day))
+                  .has_value();
+  }
+  EXPECT_TRUE(ranked);
+  // The predecessor was seized.
+  EXPECT_TRUE(observatory_->domains()[seized].seized);
+  EXPECT_EQ(observatory_->domains()[seized].successor, successor);
+}
+
+TEST_F(ObservatoryTest, SeizedRanksDecayButSpikeOccasionally) {
+  const auto& config = observatory_->config();
+  const auto [seized, successor] = observatory_->resurrected_pair();
+  (void)successor;
+  // Long after the seizure the domain is mostly unranked...
+  int ranked_days = 0;
+  for (int day = 60; day < 120; ++day) {
+    ranked_days += observatory_
+                       ->alexa_rank(seized, config.takedown + Duration::days(day))
+                       .has_value()
+                       ? 1
+                       : 0;
+  }
+  // ...but press-report spikes keep it occasionally visible.
+  EXPECT_LT(ranked_days, 30);
+}
+
+TEST_F(ObservatoryTest, MedianMonthlyRankIsMedianOfDailyRanks) {
+  const auto& config = observatory_->config();
+  const auto [seized, successor] = observatory_->resurrected_pair();
+  (void)successor;
+  const Timestamp month = Timestamp::parse("2018-10-01").value();
+  const auto median = observatory_->median_monthly_rank(seized, month);
+  ASSERT_TRUE(median.has_value());
+  // The median must be bracketed by the daily extremes.
+  std::uint32_t lo = 2'000'000;
+  std::uint32_t hi = 0;
+  for (int day = 1; day <= 31; ++day) {
+    const auto rank = observatory_->alexa_rank(
+        seized, month + Duration::days(day - 1));
+    if (!rank) continue;
+    lo = std::min(lo, *rank);
+    hi = std::max(hi, *rank);
+  }
+  EXPECT_GE(*median, lo);
+  EXPECT_LE(*median, hi);
+  (void)config;
+}
+
+TEST_F(ObservatoryTest, RanksAreWithinTop1M) {
+  for (std::size_t i = 0; i < observatory_->domains().size(); ++i) {
+    for (int day = 0; day < 800; day += 50) {
+      const auto rank = observatory_->alexa_rank(
+          i, observatory_->config().window_start + Duration::days(day));
+      if (rank) {
+        EXPECT_GE(*rank, 1u);
+        EXPECT_LE(*rank, 1'000'000u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace booterscope::dnsobs

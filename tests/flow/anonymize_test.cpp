@@ -1,0 +1,102 @@
+#include "flow/anonymize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace booterscope::flow {
+namespace {
+
+constexpr util::SipKey kKey{0x1111222233334444ULL, 0x5555666677778888ULL};
+
+/// Length of the longest common prefix of two addresses.
+unsigned lcp(net::Ipv4Addr a, net::Ipv4Addr b) {
+  const std::uint32_t diff = a.value() ^ b.value();
+  if (diff == 0) return 32;
+  return static_cast<unsigned>(__builtin_clz(diff));
+}
+
+TEST(Anonymizer, Deterministic) {
+  const PrefixPreservingAnonymizer anon(kKey);
+  const net::Ipv4Addr addr{192, 0, 2, 55};
+  EXPECT_EQ(anon.anonymize(addr), anon.anonymize(addr));
+}
+
+TEST(Anonymizer, KeyDependence) {
+  const PrefixPreservingAnonymizer a(kKey);
+  const PrefixPreservingAnonymizer b(util::SipKey{1, 2});
+  const net::Ipv4Addr addr{192, 0, 2, 55};
+  EXPECT_NE(a.anonymize(addr), b.anonymize(addr));
+}
+
+TEST(Anonymizer, PrefixPreservationProperty) {
+  // Core Crypto-PAn guarantee: anonymized addresses share exactly as many
+  // leading bits as the originals. Checked over random pairs with
+  // deliberately varied common-prefix lengths.
+  const PrefixPreservingAnonymizer anon(kKey);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto base = static_cast<std::uint32_t>(rng());
+    const auto shared_bits = static_cast<unsigned>(rng.bounded(33));
+    std::uint32_t other = static_cast<std::uint32_t>(rng());
+    if (shared_bits == 32) {
+      other = base;
+    } else {
+      const std::uint32_t mask =
+          shared_bits == 0 ? 0 : ~std::uint32_t{0} << (32 - shared_bits);
+      other = (base & mask) | (other & ~mask);
+      // Force the first differing bit to actually differ.
+      other ^= std::uint32_t{1} << (31 - shared_bits);
+    }
+    const net::Ipv4Addr a{base};
+    const net::Ipv4Addr b{other};
+    ASSERT_EQ(lcp(anon.anonymize(a), anon.anonymize(b)), lcp(a, b))
+        << a.to_string() << " vs " << b.to_string();
+  }
+}
+
+TEST(Anonymizer, InjectiveOnSample) {
+  const PrefixPreservingAnonymizer anon(kKey);
+  std::unordered_set<std::uint32_t> outputs;
+  util::Rng rng(7);
+  std::unordered_set<std::uint32_t> inputs;
+  while (inputs.size() < 20'000) inputs.insert(static_cast<std::uint32_t>(rng()));
+  for (const std::uint32_t input : inputs) {
+    outputs.insert(anon.anonymize(net::Ipv4Addr{input}).value());
+  }
+  EXPECT_EQ(outputs.size(), inputs.size());
+}
+
+TEST(Anonymizer, ActuallyChangesAddresses) {
+  const PrefixPreservingAnonymizer anon(kKey);
+  util::Rng rng(13);
+  int unchanged = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const net::Ipv4Addr addr{static_cast<std::uint32_t>(rng())};
+    unchanged += anon.anonymize(addr) == addr ? 1 : 0;
+  }
+  EXPECT_LT(unchanged, 2);
+}
+
+TEST(Anonymizer, FlowRecordInPlace) {
+  const PrefixPreservingAnonymizer anon(kKey);
+  FlowRecord f;
+  f.src = net::Ipv4Addr{10, 1, 2, 3};
+  f.dst = net::Ipv4Addr{10, 1, 9, 9};
+  f.src_port = 123;
+  f.packets = 42;
+  FlowRecord original = f;
+  anon.anonymize(f);
+  EXPECT_NE(f.src, original.src);
+  EXPECT_NE(f.dst, original.dst);
+  // Ports and counters survive (the paper's data sets keep them).
+  EXPECT_EQ(f.src_port, original.src_port);
+  EXPECT_EQ(f.packets, original.packets);
+  // Src and dst shared a /16; anonymized versions still share exactly /16.
+  EXPECT_EQ(lcp(f.src, f.dst), lcp(original.src, original.dst));
+}
+
+}  // namespace
+}  // namespace booterscope::flow

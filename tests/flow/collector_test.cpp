@@ -1,0 +1,131 @@
+#include "flow/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace booterscope::flow {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+PacketObservation packet(Timestamp t, std::uint16_t src_port = 123,
+                         std::uint32_t bytes = 490, std::uint64_t count = 1) {
+  PacketObservation p;
+  p.time = t;
+  p.tuple = net::FiveTuple{net::Ipv4Addr{10, 0, 0, 1}, net::Ipv4Addr{10, 0, 0, 2},
+                           src_port, 4444, net::IpProto::kUdp};
+  p.wire_bytes = bytes;
+  p.count = count;
+  p.src_asn = net::Asn{100};
+  p.dst_asn = net::Asn{200};
+  p.peer_asn = net::Asn{300};
+  return p;
+}
+
+CollectorConfig config() {
+  CollectorConfig c;
+  c.active_timeout = Duration::minutes(2);
+  c.inactive_timeout = Duration::seconds(15);
+  c.sampling_rate = 10;
+  return c;
+}
+
+TEST(FlowCollector, AggregatesSameTuple) {
+  FlowCollector collector(config());
+  FlowList out;
+  const Timestamp t0 = Timestamp::parse("2018-06-01T10:00:00").value();
+  collector.observe(packet(t0), out);
+  collector.observe(packet(t0 + Duration::seconds(1), 123, 490, 3), out);
+  collector.observe(packet(t0 + Duration::seconds(2)), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(collector.active_flows(), 1u);
+  collector.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].packets, 5u);
+  EXPECT_EQ(out[0].bytes, 5u * 490);
+  EXPECT_EQ(out[0].first, t0);
+  EXPECT_EQ(out[0].last, t0 + Duration::seconds(2));
+  EXPECT_EQ(out[0].sampling_rate, 10u);
+  EXPECT_EQ(out[0].peer_asn, net::Asn{300});
+}
+
+TEST(FlowCollector, DistinctTuplesSeparateFlows) {
+  FlowCollector collector(config());
+  FlowList out;
+  const Timestamp t0 = Timestamp::parse("2018-06-01T10:00:00").value();
+  collector.observe(packet(t0, 123), out);
+  collector.observe(packet(t0, 124), out);
+  EXPECT_EQ(collector.active_flows(), 2u);
+}
+
+TEST(FlowCollector, InactiveTimeoutChopsFlow) {
+  FlowCollector collector(config());
+  FlowList out;
+  const Timestamp t0 = Timestamp::parse("2018-06-01T10:00:00").value();
+  collector.observe(packet(t0), out);
+  // Silence longer than the inactive timeout: the next packet exports the
+  // old flow and starts a fresh one.
+  collector.observe(packet(t0 + Duration::seconds(20)), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].packets, 1u);
+  collector.drain(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].first, t0 + Duration::seconds(20));
+}
+
+TEST(FlowCollector, ActiveTimeoutChopsLongFlow) {
+  FlowCollector collector(config());
+  FlowList out;
+  const Timestamp t0 = Timestamp::parse("2018-06-01T10:00:00").value();
+  // One packet per second for 130 seconds: the active timeout (120 s)
+  // forces an export mid-stream.
+  for (int s = 0; s <= 130; ++s) {
+    collector.observe(packet(t0 + Duration::seconds(s)), out);
+  }
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].packets, 120u);
+}
+
+TEST(FlowCollector, ExpireFlushesIdleFlows) {
+  FlowCollector collector(config());
+  FlowList out;
+  const Timestamp t0 = Timestamp::parse("2018-06-01T10:00:00").value();
+  collector.observe(packet(t0), out);
+  collector.expire(t0 + Duration::seconds(10), out);
+  EXPECT_TRUE(out.empty());  // not yet idle long enough
+  collector.expire(t0 + Duration::seconds(16), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(collector.active_flows(), 0u);
+}
+
+TEST(FlowCollector, ForcedEvictionUnderMemoryPressure) {
+  CollectorConfig small = config();
+  small.max_entries = 100;
+  FlowCollector collector(small);
+  FlowList out;
+  const Timestamp t0 = Timestamp::parse("2018-06-01T10:00:00").value();
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    PacketObservation p = packet(t0 + Duration::millis(i));
+    p.tuple.src = net::Ipv4Addr{i + 1};
+    collector.observe(p, out);
+  }
+  EXPECT_GT(collector.forced_evictions(), 0u);
+  EXPECT_LE(collector.active_flows(), 101u);
+  collector.drain(out);
+  // No packet may be lost: exports + drained == 200 observations.
+  std::uint64_t packets = 0;
+  for (const FlowRecord& f : out) packets += f.packets;
+  EXPECT_EQ(packets, 200u);
+}
+
+TEST(FlowCollector, CountsExportedFlows) {
+  FlowCollector collector(config());
+  FlowList out;
+  const Timestamp t0 = Timestamp::parse("2018-06-01T10:00:00").value();
+  collector.observe(packet(t0), out);
+  collector.drain(out);
+  EXPECT_EQ(collector.exported_flows(), 1u);
+}
+
+}  // namespace
+}  // namespace booterscope::flow

@@ -1,0 +1,148 @@
+#include "flow/netflow_v9.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace booterscope::flow::v9 {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+ExportConfig test_config() {
+  ExportConfig config;
+  config.boot_time = Timestamp::parse("2018-12-01").value();
+  config.source_id = 5;
+  config.sampling_rate = 1000;
+  return config;
+}
+
+FlowRecord make_flow(util::Rng& rng, Timestamp base) {
+  FlowRecord f;
+  f.src = net::Ipv4Addr{static_cast<std::uint32_t>(rng())};
+  f.dst = net::Ipv4Addr{static_cast<std::uint32_t>(rng())};
+  f.src_port = static_cast<std::uint16_t>(rng.bounded(65536));
+  f.dst_port = static_cast<std::uint16_t>(rng.bounded(65536));
+  f.proto = net::IpProto::kUdp;
+  f.packets = rng.bounded(1 << 20) + 1;
+  f.bytes = f.packets * 490;
+  f.first = base + Duration::millis(static_cast<std::int64_t>(rng.bounded(100'000)));
+  f.last = f.first + Duration::seconds(12);
+  f.src_asn = net::Asn{static_cast<std::uint32_t>(rng.bounded(400'000))};
+  f.dst_asn = net::Asn{static_cast<std::uint32_t>(rng.bounded(400'000))};
+  return f;
+}
+
+TEST(NetflowV9, RoundTripPreservesCanonicalFields) {
+  const auto config = test_config();
+  util::Rng rng(1);
+  FlowList flows;
+  for (int i = 0; i < 40; ++i) flows.push_back(make_flow(rng, config.boot_time));
+  const Timestamp export_time = config.boot_time + Duration::minutes(7);
+  const auto packet_bytes = encode_v9(flows, config, 123, export_time);
+
+  Decoder decoder(config.boot_time, config.sampling_rate);
+  const auto packet = decoder.decode(packet_bytes);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->sequence, 123u);
+  EXPECT_EQ(packet->source_id, 5u);
+  EXPECT_EQ(packet->export_time.seconds(), export_time.seconds());
+  EXPECT_EQ(packet->templates_seen, 1u);
+  ASSERT_EQ(packet->records.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowRecord& in = flows[i];
+    const FlowRecord& out = packet->records[i];
+    EXPECT_EQ(out.src, in.src);
+    EXPECT_EQ(out.dst, in.dst);
+    EXPECT_EQ(out.src_port, in.src_port);
+    EXPECT_EQ(out.dst_port, in.dst_port);
+    EXPECT_EQ(out.proto, in.proto);
+    EXPECT_EQ(out.packets, in.packets);
+    EXPECT_EQ(out.bytes, in.bytes);
+    EXPECT_EQ(out.first.millis(), in.first.millis());
+    EXPECT_EQ(out.last.millis(), in.last.millis());
+    // v9 carries full 32-bit ASNs (unlike v5).
+    EXPECT_EQ(out.src_asn, in.src_asn);
+    EXPECT_EQ(out.dst_asn, in.dst_asn);
+    EXPECT_EQ(out.sampling_rate, 1000u);
+  }
+}
+
+TEST(NetflowV9, DataFlowsetIsPaddedTo32Bits) {
+  const auto config = test_config();
+  util::Rng rng(2);
+  const FlowList flows = {make_flow(rng, config.boot_time)};
+  const auto packet_bytes = encode_v9(flows, config, 0, config.boot_time);
+  EXPECT_EQ(packet_bytes.size() % 4, 0u);
+  Decoder decoder(config.boot_time);
+  const auto packet = decoder.decode(packet_bytes);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->records.size(), 1u);
+}
+
+TEST(NetflowV9, TemplateCacheSurvivesAcrossPackets) {
+  const auto config = test_config();
+  util::Rng rng(3);
+  const FlowList flows = {make_flow(rng, config.boot_time)};
+  const auto first = encode_v9(flows, config, 0, config.boot_time);
+  Decoder decoder(config.boot_time);
+  ASSERT_TRUE(decoder.decode(first).has_value());
+  EXPECT_EQ(decoder.cached_template_count(), 1u);
+  // A second packet from another source id creates a second cache entry.
+  ExportConfig other = config;
+  other.source_id = 6;
+  ASSERT_TRUE(decoder.decode(encode_v9(flows, other, 0, config.boot_time))
+                  .has_value());
+  EXPECT_EQ(decoder.cached_template_count(), 2u);
+}
+
+TEST(NetflowV9, UnknownTemplateSkipped) {
+  const auto config = test_config();
+  util::Rng rng(4);
+  const FlowList flows = {make_flow(rng, config.boot_time)};
+  auto packet_bytes = encode_v9(flows, config, 0, config.boot_time);
+  // Strip the template flowset (starts at byte 20, length at offset 22).
+  const std::size_t template_length =
+      (static_cast<std::size_t>(packet_bytes[22]) << 8) | packet_bytes[23];
+  std::vector<std::uint8_t> without(packet_bytes.begin(),
+                                    packet_bytes.begin() + kHeaderBytes);
+  without.insert(without.end(),
+                 packet_bytes.begin() +
+                     static_cast<std::ptrdiff_t>(kHeaderBytes + template_length),
+                 packet_bytes.end());
+  Decoder decoder(config.boot_time);
+  const auto packet = decoder.decode(without);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_TRUE(packet->records.empty());
+  EXPECT_EQ(packet->skipped_flowsets, 1u);
+}
+
+TEST(NetflowV9, RejectsWrongVersionAndTruncation) {
+  const auto config = test_config();
+  util::Rng rng(5);
+  const FlowList flows = {make_flow(rng, config.boot_time)};
+  auto packet_bytes = encode_v9(flows, config, 0, config.boot_time);
+  auto bad_version = packet_bytes;
+  bad_version[1] = 5;
+  Decoder decoder(config.boot_time);
+  EXPECT_FALSE(decoder.decode(bad_version).has_value());
+
+  auto truncated = packet_bytes;
+  truncated.resize(truncated.size() - 6);
+  EXPECT_FALSE(decoder.decode(truncated).has_value());
+}
+
+TEST(NetflowV9, HeaderCountsTemplateAndDataRecords) {
+  const auto config = test_config();
+  util::Rng rng(6);
+  FlowList flows;
+  for (int i = 0; i < 7; ++i) flows.push_back(make_flow(rng, config.boot_time));
+  const auto packet_bytes = encode_v9(flows, config, 0, config.boot_time);
+  const std::uint16_t count =
+      static_cast<std::uint16_t>((packet_bytes[2] << 8) | packet_bytes[3]);
+  EXPECT_EQ(count, 8u);  // 1 template + 7 data records
+}
+
+}  // namespace
+}  // namespace booterscope::flow::v9

@@ -1,0 +1,96 @@
+#include "flow/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace booterscope::flow {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+TEST(SystematicSampler, ExactLongRunRate) {
+  SystematicSampler sampler(100);
+  std::uint64_t kept = 0;
+  for (int i = 0; i < 100'000; ++i) kept += sampler.sample(1);
+  EXPECT_EQ(kept, 1000u);
+  EXPECT_EQ(sampler.rate(), 100u);
+}
+
+TEST(SystematicSampler, BatchesPreserveTotals) {
+  // Feeding the same total in different batch sizes keeps the same count.
+  SystematicSampler a(7);
+  SystematicSampler b(7);
+  std::uint64_t kept_a = 0;
+  std::uint64_t kept_b = 0;
+  for (int i = 0; i < 700; ++i) kept_a += a.sample(1);
+  kept_b += b.sample(700);
+  EXPECT_EQ(kept_a, 100u);
+  EXPECT_EQ(kept_b, 100u);
+}
+
+TEST(SystematicSampler, RateOneKeepsEverything) {
+  SystematicSampler sampler(1);
+  EXPECT_EQ(sampler.sample(12345), 12345u);
+  SystematicSampler zero(0);  // clamped to 1
+  EXPECT_EQ(zero.sample(10), 10u);
+}
+
+TEST(ProbabilisticSampler, UnbiasedAcrossRegimes) {
+  // The sampler has three internal regimes (Bernoulli loop, Poisson
+  // approximation, normal approximation); all must be unbiased.
+  for (const std::uint64_t batch : {1ULL, 600ULL, 5'000'000ULL}) {
+    ProbabilisticSampler sampler(1000, util::Rng(42));
+    std::uint64_t kept = 0;
+    std::uint64_t offered = 0;
+    const int iterations = batch == 1 ? 2'000'000 : (batch == 600 ? 5'000 : 50);
+    for (int i = 0; i < iterations; ++i) {
+      kept += sampler.sample(batch);
+      offered += batch;
+    }
+    const double rate = static_cast<double>(kept) / static_cast<double>(offered);
+    EXPECT_NEAR(rate, 1e-3, 1e-4) << "batch " << batch;
+  }
+}
+
+TEST(ProbabilisticSampler, NeverExceedsOffered) {
+  ProbabilisticSampler sampler(2, util::Rng(7));
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t offered = static_cast<std::uint64_t>(i % 50) + 1;
+    EXPECT_LE(sampler.sample(offered), offered);
+  }
+}
+
+TEST(SampledCollector, StampsSamplingRate) {
+  SampledCollector collector(CollectorConfig{}, 100, util::Rng(3));
+  FlowList out;
+  const Timestamp t0 = Timestamp::parse("2018-06-01").value();
+  PacketObservation p;
+  p.time = t0;
+  p.tuple = net::FiveTuple{net::Ipv4Addr{1, 2, 3, 4}, net::Ipv4Addr{5, 6, 7, 8},
+                           123, 999, net::IpProto::kUdp};
+  p.wire_bytes = 490;
+  p.count = 100'000;
+  collector.observe(p, out);
+  collector.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].sampling_rate, 100u);
+  // Scaled packets estimate the original count.
+  EXPECT_NEAR(out[0].scaled_packets(), 100'000.0, 10'000.0);
+}
+
+TEST(SampledCollector, ZeroSampledPacketsProduceNoFlow) {
+  SampledCollector collector(CollectorConfig{}, 1'000'000, util::Rng(4));
+  FlowList out;
+  PacketObservation p;
+  p.time = Timestamp::parse("2018-06-01").value();
+  p.tuple = net::FiveTuple{net::Ipv4Addr{1}, net::Ipv4Addr{2}, 123, 999,
+                           net::IpProto::kUdp};
+  p.wire_bytes = 100;
+  p.count = 1;
+  collector.observe(p, out);
+  collector.drain(out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace booterscope::flow

@@ -1,0 +1,120 @@
+#include "flow/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "net/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace booterscope::flow {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+FlowRecord make_flow(util::Rng& rng) {
+  FlowRecord f;
+  f.src = net::Ipv4Addr{static_cast<std::uint32_t>(rng())};
+  f.dst = net::Ipv4Addr{static_cast<std::uint32_t>(rng())};
+  f.src_port = static_cast<std::uint16_t>(rng.bounded(65536));
+  f.dst_port = static_cast<std::uint16_t>(rng.bounded(65536));
+  f.proto = net::IpProto::kUdp;
+  f.packets = rng.bounded(1000) + 1;
+  f.bytes = f.packets * 490;
+  f.first = Timestamp::from_seconds(static_cast<std::int64_t>(rng.bounded(1'000'000)));
+  f.last = f.first + Duration::seconds(10);
+  f.src_asn = net::Asn{static_cast<std::uint32_t>(rng.bounded(65000))};
+  f.dst_asn = net::Asn{static_cast<std::uint32_t>(rng.bounded(65000))};
+  f.peer_asn = net::Asn{static_cast<std::uint32_t>(rng.bounded(65000))};
+  f.direction = rng.chance(0.5) ? Direction::kIngress : Direction::kEgress;
+  f.sampling_rate = 10'000;
+  return f;
+}
+
+TEST(FlowStore, SerializationRoundTrip) {
+  util::Rng rng(1);
+  FlowList flows;
+  for (int i = 0; i < 200; ++i) flows.push_back(make_flow(rng));
+  const auto bytes = serialize_flows(flows);
+  const auto decoded = deserialize_flows(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ((*decoded)[i], flows[i]) << i;
+  }
+}
+
+TEST(FlowStore, DeserializeRejectsBadMagic) {
+  util::Rng rng(2);
+  auto bytes = serialize_flows(FlowList{make_flow(rng)});
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(deserialize_flows(bytes).has_value());
+}
+
+TEST(FlowStore, DeserializeRejectsTruncation) {
+  util::Rng rng(3);
+  auto bytes = serialize_flows(FlowList{make_flow(rng), make_flow(rng)});
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(deserialize_flows(bytes).has_value());
+}
+
+TEST(FlowStore, FileRoundTrip) {
+  util::Rng rng(4);
+  FlowList flows;
+  for (int i = 0; i < 50; ++i) flows.push_back(make_flow(rng));
+  const std::string path = "/tmp/booterscope_store_test.bsf";
+  ASSERT_TRUE(write_flow_file(path, flows));
+  const auto decoded = read_flow_file(path);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, flows);
+  std::remove(path.c_str());
+}
+
+TEST(FlowStore, ReadMissingFileFails) {
+  EXPECT_FALSE(read_flow_file("/tmp/definitely-not-there.bsf").has_value());
+}
+
+TEST(FlowStore, PortFilters) {
+  util::Rng rng(5);
+  FlowStore store;
+  for (int i = 0; i < 100; ++i) store.add(make_flow(rng));
+  FlowRecord ntp_bound = make_flow(rng);
+  ntp_bound.dst_port = net::ports::kNtp;
+  store.add(ntp_bound);
+  FlowRecord ntp_reply = make_flow(rng);
+  ntp_reply.src_port = net::ports::kNtp;
+  store.add(ntp_reply);
+
+  const FlowStore to = store.to_port(net::ports::kNtp);
+  for (const auto& f : to.flows()) EXPECT_EQ(f.dst_port, net::ports::kNtp);
+  EXPECT_GE(to.size(), 1u);
+  const FlowStore from = store.from_port(net::ports::kNtp);
+  for (const auto& f : from.flows()) EXPECT_EQ(f.src_port, net::ports::kNtp);
+  EXPECT_GE(from.size(), 1u);
+}
+
+TEST(FlowStore, SortByTime) {
+  util::Rng rng(6);
+  FlowStore store;
+  for (int i = 0; i < 100; ++i) store.add(make_flow(rng));
+  store.sort_by_time();
+  for (std::size_t i = 1; i < store.size(); ++i) {
+    EXPECT_LE(store.flows()[i - 1].first, store.flows()[i].first);
+  }
+}
+
+TEST(FlowStore, ScaledTotals) {
+  FlowRecord f;
+  f.packets = 3;
+  f.bytes = 300;
+  f.sampling_rate = 100;
+  FlowStore store;
+  store.add(f);
+  store.add(f);
+  EXPECT_DOUBLE_EQ(store.total_scaled_packets(), 600.0);
+  EXPECT_DOUBLE_EQ(store.total_scaled_bytes(), 60'000.0);
+}
+
+}  // namespace
+}  // namespace booterscope::flow

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "net/asn.hpp"
+#include "net/five_tuple.hpp"
+#include "net/ipv4.hpp"
+#include "net/protocol.hpp"
+
+namespace booterscope::net {
+namespace {
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  const auto addr = Ipv4Addr::parse("192.0.2.55");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->value(), 0xC0000237u);
+  EXPECT_EQ(addr->to_string(), "192.0.2.55");
+  EXPECT_EQ(Ipv4Addr(10, 1, 2, 3).to_string(), "10.1.2.3");
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.256").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1..3.4").has_value());
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  const Prefix prefix{Ipv4Addr{192, 0, 2, 55}, 24};
+  EXPECT_EQ(prefix.network().to_string(), "192.0.2.0");
+  EXPECT_EQ(prefix.length(), 24u);
+  EXPECT_EQ(prefix.to_string(), "192.0.2.0/24");
+}
+
+TEST(Prefix, ContainsAddressesAndPrefixes) {
+  const Prefix p24 = Prefix::parse("203.0.113.0/24").value();
+  EXPECT_TRUE(p24.contains(Ipv4Addr{203, 0, 113, 1}));
+  EXPECT_TRUE(p24.contains(Ipv4Addr{203, 0, 113, 255}));
+  EXPECT_FALSE(p24.contains(Ipv4Addr{203, 0, 114, 1}));
+  const Prefix p16 = Prefix::parse("203.0.0.0/16").value();
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p24.contains(p24));
+}
+
+TEST(Prefix, SizeAndIndexing) {
+  const Prefix p24 = Prefix::parse("203.0.113.0/24").value();
+  EXPECT_EQ(p24.size(), 256u);
+  EXPECT_EQ(p24.at(0).to_string(), "203.0.113.0");
+  EXPECT_EQ(p24.at(255).to_string(), "203.0.113.255");
+  const Prefix p0 = Prefix{Ipv4Addr{}, 0};
+  EXPECT_EQ(p0.size(), 1ULL << 32);
+  EXPECT_TRUE(p0.contains(Ipv4Addr{255, 255, 255, 255}));
+  const Prefix p32 = Prefix::parse("10.0.0.1/32").value();
+  EXPECT_EQ(p32.size(), 1u);
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/x").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0/8").has_value());
+}
+
+TEST(Asn, Basics) {
+  const Asn asn{64500};
+  EXPECT_TRUE(asn.valid());
+  EXPECT_EQ(asn.to_string(), "AS64500");
+  EXPECT_FALSE(Asn{}.valid());
+  EXPECT_LT(Asn{1}, Asn{2});
+}
+
+TEST(FiveTuple, EqualityAndHash) {
+  const FiveTuple a{Ipv4Addr{1}, Ipv4Addr{2}, 123, 456, IpProto::kUdp};
+  FiveTuple b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::hash<FiveTuple>{}(a), std::hash<FiveTuple>{}(b));
+  b.src_port = 124;
+  EXPECT_NE(a, b);
+  b = a;
+  b.proto = IpProto::kTcp;
+  EXPECT_NE(a, b);
+}
+
+TEST(Protocol, VectorProfilesAreConsistent) {
+  for (const AmpVector vector : kAllVectors) {
+    const VectorProfile p = profile(vector);
+    EXPECT_EQ(p.vector, vector);
+    EXPECT_GT(p.service_port, 0);
+    EXPECT_LE(p.reply_bytes_lo, p.reply_bytes_hi);
+    EXPECT_GT(p.replies_per_request, 0.0);
+    EXPECT_GE(p.benign_share, 0.0);
+    EXPECT_LE(p.benign_share, 1.0);
+    EXPECT_GT(p.trigger_scale, 0.0);
+    EXPECT_LE(p.trigger_scale, 1.0);
+    EXPECT_EQ(vector_for_port(p.service_port), vector);
+  }
+}
+
+TEST(Protocol, NtpProfileMatchesPaper) {
+  const VectorProfile ntp = profile(AmpVector::kNtp);
+  EXPECT_EQ(ntp.service_port, 123);
+  // monlist replies observed at 486/490 bytes (98.62% of packets, §4).
+  EXPECT_EQ(ntp.reply_bytes_lo, 486);
+  EXPECT_EQ(ntp.reply_bytes_hi, 490);
+  EXPECT_NEAR(ntp.benign_share, 0.54, 1e-9);
+}
+
+TEST(Protocol, PortLookup) {
+  EXPECT_EQ(vector_for_port(123), AmpVector::kNtp);
+  EXPECT_EQ(vector_for_port(53), AmpVector::kDns);
+  EXPECT_EQ(vector_for_port(389), AmpVector::kCldap);
+  EXPECT_EQ(vector_for_port(11211), AmpVector::kMemcached);
+  EXPECT_FALSE(vector_for_port(80).has_value());
+}
+
+TEST(Protocol, ToString) {
+  EXPECT_EQ(to_string(AmpVector::kNtp), "NTP");
+  EXPECT_EQ(to_string(AmpVector::kMemcached), "Memcached");
+  EXPECT_EQ(to_string(IpProto::kUdp), "UDP");
+}
+
+}  // namespace
+}  // namespace booterscope::net

@@ -1,0 +1,111 @@
+#include "pcap/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace booterscope::pcap {
+namespace {
+
+Packet make_packet(util::Rng& rng) {
+  Packet p;
+  p.time = util::Timestamp::from_nanos(
+      static_cast<std::int64_t>(rng.bounded(1'000'000'000)) * 1000);
+  for (auto& b : p.src_mac) b = static_cast<std::uint8_t>(rng.bounded(256));
+  for (auto& b : p.dst_mac) b = static_cast<std::uint8_t>(rng.bounded(256));
+  p.src_ip = net::Ipv4Addr{static_cast<std::uint32_t>(rng())};
+  p.dst_ip = net::Ipv4Addr{static_cast<std::uint32_t>(rng())};
+  p.src_port = static_cast<std::uint16_t>(rng.bounded(65536));
+  p.dst_port = static_cast<std::uint16_t>(rng.bounded(65536));
+  p.ttl = static_cast<std::uint8_t>(rng.bounded(255) + 1);
+  p.payload_bytes = static_cast<std::uint16_t>(rng.bounded(1400));
+  return p;
+}
+
+TEST(InternetChecksum, Rfc1071Example) {
+  // RFC 1071 worked example: 0001 f203 f4f5 f6f7 -> checksum 0x220d.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthPadded) {
+  const std::vector<std::uint8_t> data = {0xab};
+  // 0xab00 -> complement 0x54ff.
+  EXPECT_EQ(internet_checksum(data), 0x54ff);
+}
+
+TEST(InternetChecksum, ChecksummedHeaderSumsToZero) {
+  util::Rng rng(1);
+  const auto frame = encode_packet(make_packet(rng));
+  // IPv4 header starts after the 14-byte Ethernet header.
+  EXPECT_EQ(internet_checksum(
+                std::span{frame}.subspan(kEthernetHeaderBytes, kIpv4HeaderBytes)),
+            0);
+}
+
+TEST(Packet, WireSizeMatchesEncoding) {
+  util::Rng rng(2);
+  const Packet p = make_packet(rng);
+  EXPECT_EQ(encode_packet(p).size(), p.wire_bytes());
+}
+
+TEST(Packet, RoundTripsFields) {
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Packet p = make_packet(rng);
+    const auto frame = encode_packet(p);
+    const auto decoded = decode_packet(frame, p.time);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->src_mac, p.src_mac);
+    EXPECT_EQ(decoded->dst_mac, p.dst_mac);
+    EXPECT_EQ(decoded->src_ip, p.src_ip);
+    EXPECT_EQ(decoded->dst_ip, p.dst_ip);
+    EXPECT_EQ(decoded->src_port, p.src_port);
+    EXPECT_EQ(decoded->dst_port, p.dst_port);
+    EXPECT_EQ(decoded->ttl, p.ttl);
+    EXPECT_EQ(decoded->payload_bytes, p.payload_bytes);
+    EXPECT_EQ(decoded->tuple(), p.tuple());
+  }
+}
+
+TEST(Packet, DetectsCorruptedIpHeader) {
+  util::Rng rng(4);
+  const Packet p = make_packet(rng);
+  auto frame = encode_packet(p);
+  frame[kEthernetHeaderBytes + 8] ^= 0x01;  // flip a TTL bit
+  EXPECT_FALSE(decode_packet(frame, p.time).has_value());
+}
+
+TEST(Packet, RejectsNonIpv4EtherType) {
+  util::Rng rng(5);
+  auto frame = encode_packet(make_packet(rng));
+  frame[12] = 0x86;  // IPv6 ethertype 0x86dd
+  frame[13] = 0xdd;
+  EXPECT_FALSE(decode_packet(frame, {}).has_value());
+}
+
+TEST(Packet, RejectsTruncatedFrame) {
+  util::Rng rng(6);
+  auto frame = encode_packet(make_packet(rng));
+  frame.resize(kEthernetHeaderBytes + 10);
+  EXPECT_FALSE(decode_packet(frame, {}).has_value());
+}
+
+TEST(Packet, RejectsNonUdp) {
+  util::Rng rng(7);
+  const Packet p = make_packet(rng);
+  auto frame = encode_packet(p);
+  frame[kEthernetHeaderBytes + 9] = 6;  // TCP
+  // Fix the checksum so only the protocol check can reject.
+  frame[kEthernetHeaderBytes + 10] = 0;
+  frame[kEthernetHeaderBytes + 11] = 0;
+  const std::uint16_t checksum = internet_checksum(
+      std::span{frame}.subspan(kEthernetHeaderBytes, kIpv4HeaderBytes));
+  frame[kEthernetHeaderBytes + 10] = static_cast<std::uint8_t>(checksum >> 8);
+  frame[kEthernetHeaderBytes + 11] = static_cast<std::uint8_t>(checksum);
+  EXPECT_FALSE(decode_packet(frame, {}).has_value());
+}
+
+}  // namespace
+}  // namespace booterscope::pcap

@@ -1,0 +1,92 @@
+#include "pcap/pcap_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace booterscope::pcap {
+namespace {
+
+std::vector<Packet> make_packets(int count, util::Rng& rng) {
+  std::vector<Packet> packets;
+  for (int i = 0; i < count; ++i) {
+    Packet p;
+    p.time = util::Timestamp::from_nanos(1'500'000'000'000'000'000LL +
+                                         i * 1'000'000LL);
+    p.src_ip = net::Ipv4Addr{static_cast<std::uint32_t>(rng())};
+    p.dst_ip = net::Ipv4Addr{203, 0, 113, 7};
+    p.src_port = 123;
+    p.dst_port = static_cast<std::uint16_t>(1024 + i);
+    p.payload_bytes = static_cast<std::uint16_t>(rng.bounded(500));
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+TEST(PcapFile, HeaderLayout) {
+  const auto bytes = encode_pcap({});
+  ASSERT_EQ(bytes.size(), kPcapFileHeaderBytes);
+  EXPECT_EQ(bytes[0], 0xa1);
+  EXPECT_EQ(bytes[1], 0xb2);
+  EXPECT_EQ(bytes[2], 0xc3);
+  EXPECT_EQ(bytes[3], 0xd4);
+}
+
+TEST(PcapFile, RoundTrip) {
+  util::Rng rng(1);
+  const auto packets = make_packets(50, rng);
+  const auto bytes = encode_pcap(packets);
+  const auto decoded = decode_pcap(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->skipped, 0u);
+  ASSERT_EQ(decoded->packets.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(decoded->packets[i].src_ip, packets[i].src_ip);
+    EXPECT_EQ(decoded->packets[i].dst_port, packets[i].dst_port);
+    EXPECT_EQ(decoded->packets[i].payload_bytes, packets[i].payload_bytes);
+    // Microsecond timestamp resolution in classic pcap.
+    EXPECT_EQ(decoded->packets[i].time.nanos() / 1000,
+              packets[i].time.nanos() / 1000);
+  }
+}
+
+TEST(PcapFile, SnapLenTruncationCountsSkipped) {
+  util::Rng rng(2);
+  auto packets = make_packets(5, rng);
+  for (auto& p : packets) p.payload_bytes = 1000;
+  // Snap below the UDP payload: frames become undecodable and are skipped.
+  const auto bytes = encode_pcap(packets, 60);
+  const auto decoded = decode_pcap(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->packets.size(), 0u);
+  EXPECT_EQ(decoded->skipped, 5u);
+}
+
+TEST(PcapFile, RejectsBadMagic) {
+  auto bytes = encode_pcap({});
+  bytes[0] = 0x00;
+  EXPECT_FALSE(decode_pcap(bytes).has_value());
+}
+
+TEST(PcapFile, RejectsTruncatedRecord) {
+  util::Rng rng(3);
+  auto bytes = encode_pcap(make_packets(2, rng));
+  bytes.resize(bytes.size() - 5);
+  EXPECT_FALSE(decode_pcap(bytes).has_value());
+}
+
+TEST(PcapFile, FileRoundTrip) {
+  util::Rng rng(4);
+  const auto packets = make_packets(20, rng);
+  const std::string path = "/tmp/booterscope_pcap_test.pcap";
+  ASSERT_TRUE(write_pcap_file(path, packets));
+  const auto decoded = read_pcap_file(path);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->packets.size(), packets.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace booterscope::pcap

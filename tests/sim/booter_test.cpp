@@ -1,0 +1,129 @@
+#include "sim/booter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace booterscope::sim {
+namespace {
+
+using net::AmpVector;
+using util::Duration;
+using util::Timestamp;
+
+std::unordered_map<AmpVector, const ReflectorPool*> pool_map(
+    const std::vector<ReflectorPool>& pools) {
+  std::unordered_map<AmpVector, const ReflectorPool*> result;
+  for (const auto& pool : pools) result.emplace(pool.vector(), &pool);
+  return result;
+}
+
+std::vector<ReflectorPool> make_pools() {
+  std::vector<ReflectorPool> pools;
+  for (const auto vector : net::kAllVectors) pools.emplace_back(vector, 50'000);
+  return pools;
+}
+
+TEST(BooterCatalog, Table1Contents) {
+  const auto booters = table1_booters();
+  ASSERT_EQ(booters.size(), 4u);
+  EXPECT_EQ(booters[0].name, "A");
+  EXPECT_TRUE(booters[0].seized);
+  EXPECT_TRUE(booters[1].seized);
+  EXPECT_FALSE(booters[2].seized);
+  EXPECT_FALSE(booters[3].seized);
+  EXPECT_DOUBLE_EQ(booters[0].price_basic_usd, 8.00);
+  EXPECT_DOUBLE_EQ(booters[0].price_vip_usd, 250.00);
+  EXPECT_DOUBLE_EQ(booters[1].price_basic_usd, 19.83);
+  EXPECT_DOUBLE_EQ(booters[1].price_vip_usd, 178.84);
+  // A and B offer all four vectors; C and D offer NTP + DNS.
+  for (const auto vector : net::kAllVectors) {
+    EXPECT_TRUE(booters[0].offers(vector));
+    EXPECT_TRUE(booters[1].offers(vector));
+  }
+  EXPECT_TRUE(booters[2].offers(AmpVector::kNtp));
+  EXPECT_TRUE(booters[2].offers(AmpVector::kDns));
+  EXPECT_FALSE(booters[2].offers(AmpVector::kMemcached));
+  // Only A resurrects after the takedown.
+  EXPECT_TRUE(booters[0].resurrect_after.has_value());
+  EXPECT_FALSE(booters[1].resurrect_after.has_value());
+  // VIP packet rates exceed basic ones (the paper: 5.3M vs 2.2M pps).
+  for (const auto& b : booters) EXPECT_GT(b.vip_pps, b.basic_pps);
+}
+
+TEST(BooterCatalog, MarketGeneration) {
+  util::Rng rng(1);
+  const auto market = market_booters(26, 13, rng);
+  EXPECT_EQ(market.size(), 30u);
+  std::size_t seized = 0;
+  double seized_weight = 0.0;
+  double total_weight = 0.0;
+  for (const auto& booter : market) {
+    seized += booter.seized ? 1 : 0;
+    total_weight += booter.market_weight;
+    if (booter.seized) seized_weight += booter.market_weight;
+    EXPECT_TRUE(booter.offers(AmpVector::kNtp));
+  }
+  EXPECT_EQ(seized, 15u);  // the FBI operation's 15 services
+  // Seized booters were the popular ones.
+  EXPECT_GT(seized_weight / total_weight, 0.5);
+}
+
+TEST(BooterService, ActiveStateAroundTakedown) {
+  const auto pools = make_pools();
+  const auto map = pool_map(pools);
+  const auto profiles = table1_booters();
+  const Timestamp takedown = Timestamp::parse("2018-12-19").value();
+
+  BooterService a(profiles[0], map, util::Rng(1));  // seized, resurrects +3d
+  BooterService b(profiles[1], map, util::Rng(2));  // seized, gone
+  BooterService c(profiles[2], map, util::Rng(3));  // untouched
+
+  const Timestamp before = takedown - Duration::days(5);
+  const Timestamp after = takedown + Duration::days(1);
+  const Timestamp later = takedown + Duration::days(5);
+
+  EXPECT_TRUE(a.active_at(before, takedown));
+  EXPECT_FALSE(a.active_at(after, takedown));
+  EXPECT_TRUE(a.active_at(later, takedown));  // back under a new domain
+
+  EXPECT_TRUE(b.active_at(before, takedown));
+  EXPECT_FALSE(b.active_at(after, takedown));
+  EXPECT_FALSE(b.active_at(later, takedown));
+
+  EXPECT_TRUE(c.active_at(after, takedown));
+  // No takedown scheduled: everyone is active.
+  EXPECT_TRUE(b.active_at(later, std::nullopt));
+}
+
+TEST(BooterService, AttackReflectorsComeFromOwnList) {
+  const auto pools = make_pools();
+  const auto map = pool_map(pools);
+  BooterService service(table1_booters()[1], map, util::Rng(4));
+  service.advance_to(Timestamp::parse("2018-06-01").value());
+  const auto reflectors = service.attack_reflectors(AmpVector::kNtp, 200);
+  EXPECT_EQ(reflectors.size(), 200u);
+  const ReflectorList* list = service.list(AmpVector::kNtp);
+  ASSERT_NE(list, nullptr);
+  const auto members = list->as_set();
+  for (const ReflectorId id : reflectors) EXPECT_TRUE(members.contains(id));
+}
+
+TEST(BooterService, UnofferedVectorYieldsNothing) {
+  const auto pools = make_pools();
+  const auto map = pool_map(pools);
+  BooterService service(table1_booters()[2], map, util::Rng(5));  // C: NTP+DNS
+  EXPECT_TRUE(service.attack_reflectors(AmpVector::kMemcached, 100).empty());
+  EXPECT_EQ(service.list(AmpVector::kMemcached), nullptr);
+}
+
+TEST(BooterService, CldapListsAreMuchLarger) {
+  const auto pools = make_pools();
+  const auto map = pool_map(pools);
+  BooterService service(table1_booters()[1], map, util::Rng(6));
+  const auto ntp = service.attack_reflectors(AmpVector::kNtp, 10'000);
+  const auto cldap = service.attack_reflectors(AmpVector::kCldap, 10'000);
+  // §3.2: the CLDAP attack used 3519 reflectors vs hundreds for NTP.
+  EXPECT_GE(cldap.size(), ntp.size() * 8);
+}
+
+}  // namespace
+}  // namespace booterscope::sim

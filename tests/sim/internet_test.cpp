@@ -1,0 +1,169 @@
+#include "sim/internet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace booterscope::sim {
+namespace {
+
+using topo::AsId;
+
+class InternetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = new Internet(InternetConfig{}); }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static Internet* world_;
+};
+
+Internet* InternetTest::world_ = nullptr;
+
+TEST_F(InternetTest, SizesMatchConfig) {
+  const InternetConfig& config = world_->config();
+  EXPECT_EQ(world_->stubs().size(), config.stub_count);
+  EXPECT_EQ(world_->content_ases().size(), config.content_count);
+  EXPECT_EQ(world_->topology().as_count(),
+            config.tier1_count + config.tier2_count + config.content_count +
+                config.stub_count + 1);
+}
+
+TEST_F(InternetTest, PrefixesAreDisjoint) {
+  std::unordered_set<std::uint32_t> networks;
+  for (AsId id = 0; id < world_->topology().as_count(); ++id) {
+    for (const auto& prefix : world_->topology().node(id).prefixes) {
+      EXPECT_TRUE(networks.insert(prefix.network().value()).second)
+          << prefix.to_string();
+    }
+  }
+}
+
+TEST_F(InternetTest, EveryStubReachesTheMeasurementAsWithTransit) {
+  for (const AsId stub : world_->stubs()) {
+    EXPECT_TRUE(world_->router().reachable(stub, world_->measurement_as()));
+    EXPECT_TRUE(world_->router().reachable(world_->measurement_as(), stub));
+  }
+}
+
+TEST_F(InternetTest, NoTransitReducesReachability) {
+  std::size_t reachable_without_transit = 0;
+  for (const AsId stub : world_->stubs()) {
+    if (world_->router_no_transit().reachable(stub, world_->measurement_as())) {
+      ++reachable_without_transit;
+    }
+  }
+  // Without the transit link and a full table, only member cones reach the
+  // /24 (§3.2): strictly fewer stubs, but not zero.
+  EXPECT_LT(reachable_without_transit, world_->stubs().size());
+  EXPECT_GT(reachable_without_transit, world_->stubs().size() / 5);
+}
+
+TEST_F(InternetTest, TransitDominatesMeasurementBoundTraffic) {
+  // Count last-hop arrival kinds over all stubs (unweighted).
+  std::size_t transit = 0;
+  std::size_t fabric = 0;
+  const AsId target = world_->measurement_as();
+  for (const AsId stub : world_->stubs()) {
+    AsId cursor = stub;
+    const topo::Route* last = nullptr;
+    while (cursor != target) {
+      last = &world_->router().route(cursor, target);
+      cursor = last->next_hop;
+    }
+    ASSERT_NE(last, nullptr);
+    if (world_->topology().link(last->via_link).kind ==
+        topo::LinkKind::kIxpMultilateral) {
+      ++fabric;
+    } else {
+      ++transit;
+    }
+  }
+  const double transit_share =
+      static_cast<double>(transit) / static_cast<double>(transit + fabric);
+  // The paper measured 80.81% of NTP attack traffic via transit.
+  EXPECT_GT(transit_share, 0.65);
+  EXPECT_LT(transit_share, 0.95);
+}
+
+TEST_F(InternetTest, MeasurementHasNoBilateralPeerings) {
+  // §3.1: multilateral peering + one transit link only.
+  const auto& adjacency = world_->topology().adjacency(world_->measurement_as());
+  EXPECT_EQ(adjacency.providers.size(), 1u);
+  for (const auto& [peer, link] : adjacency.peers) {
+    EXPECT_EQ(world_->topology().link(link).kind,
+              topo::LinkKind::kIxpMultilateral);
+  }
+}
+
+TEST_F(InternetTest, HostsLieInsideTheirAsPrefix) {
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const auto host = world_->victim_host(i);
+    const auto& prefixes = world_->topology().node(host.as).prefixes;
+    bool contained = false;
+    for (const auto& prefix : prefixes) contained |= prefix.contains(host.ip);
+    EXPECT_TRUE(contained);
+  }
+  const auto reflector = world_->reflector_host(net::AmpVector::kNtp, 42);
+  bool contained = false;
+  for (const auto& prefix : world_->topology().node(reflector.as).prefixes) {
+    contained |= prefix.contains(reflector.ip);
+  }
+  EXPECT_TRUE(contained);
+}
+
+TEST_F(InternetTest, HostMappingIsDeterministic) {
+  const Internet other{InternetConfig{}};
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(world_->victim_host(i).ip, other.victim_host(i).ip);
+    EXPECT_EQ(world_->reflector_host(net::AmpVector::kDns, i).ip,
+              other.reflector_host(net::AmpVector::kDns, i).ip);
+  }
+}
+
+TEST_F(InternetTest, DnsReflectorsConcentrateInTier2Cone) {
+  // 60% of DNS reflectors live under the tier-2 vantage (open CPE
+  // resolvers in eyeball space); NTP reflectors are spread uniformly.
+  auto in_t2_cone = [&](topo::AsId as) {
+    for (const auto& [provider, link] : world_->topology().adjacency(as).providers) {
+      if (provider == world_->tier2_vantage()) return true;
+    }
+    return false;
+  };
+  int dns_in_cone = 0;
+  int ntp_in_cone = 0;
+  constexpr int kSamples = 2000;
+  for (std::uint32_t i = 0; i < kSamples; ++i) {
+    dns_in_cone += in_t2_cone(world_->reflector_host(net::AmpVector::kDns, i).as);
+    ntp_in_cone += in_t2_cone(world_->reflector_host(net::AmpVector::kNtp, i).as);
+  }
+  EXPECT_GT(dns_in_cone, kSamples / 2);
+  // NTP reflectors follow the uniform stub distribution; DNS reflectors
+  // must be clearly over-represented relative to them.
+  EXPECT_GT(dns_in_cone, 2 * ntp_in_cone);
+}
+
+TEST_F(InternetTest, MeasurementTargetsCycleThroughPrefix) {
+  const auto prefix = world_->measurement_prefix();
+  std::unordered_set<std::uint32_t> targets;
+  for (std::uint32_t i = 0; i < 254; ++i) {
+    const auto target = world_->measurement_target(i);
+    EXPECT_TRUE(prefix.contains(target));
+    targets.insert(target.value());
+  }
+  EXPECT_EQ(targets.size(), 254u);  // one fresh IP per attack
+}
+
+TEST_F(InternetTest, TierVantagesHaveExpectedRoles) {
+  EXPECT_EQ(world_->topology().node(world_->tier1_vantage()).role,
+            topo::AsRole::kTier1);
+  EXPECT_EQ(world_->topology().node(world_->tier2_vantage()).role,
+            topo::AsRole::kTier2);
+  // The tier-2 vantage is not at the exchange (disjoint data sets).
+  EXPECT_FALSE(world_->topology().node(world_->tier2_vantage()).ixp_member);
+  EXPECT_TRUE(world_->topology().node(world_->measurement_as()).ixp_member);
+}
+
+}  // namespace
+}  // namespace booterscope::sim

@@ -1,0 +1,209 @@
+#include "sim/landscape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/takedown.hpp"
+
+namespace booterscope::sim {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+/// Shrunk scenario for test speed: 90 days, takedown on day 48, enough for
+/// the ±40-day windows of the analysis.
+LandscapeConfig small_config() {
+  LandscapeConfig config;
+  config.start = Timestamp::parse("2018-11-01").value();
+  config.days = 90;
+  config.takedown = Timestamp::parse("2018-12-19").value();
+  config.attacks_per_day = 80.0;
+  config.victim_population = 5'000;
+  return config;
+}
+
+class LandscapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    internet_ = new Internet(InternetConfig{});
+    result_ = new LandscapeResult(run_landscape(*internet_, small_config()));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete internet_;
+  }
+  static Internet* internet_;
+  static LandscapeResult* result_;
+};
+
+Internet* LandscapeTest::internet_ = nullptr;
+LandscapeResult* LandscapeTest::result_ = nullptr;
+
+TEST_F(LandscapeTest, ProducesTrafficAtAllVantagePoints) {
+  EXPECT_GT(result_->ixp.store.size(), 10'000u);
+  EXPECT_GT(result_->tier1.store.size(), 10'000u);
+  EXPECT_GT(result_->tier2.store.size(), 10'000u);
+  EXPECT_GT(result_->attacks.size(), 4'000u);
+}
+
+TEST_F(LandscapeTest, FlowsAreWithinTheStudyWindow) {
+  const Timestamp start = result_->config.start;
+  const Timestamp end = start + Duration::days(result_->config.days);
+  for (const auto& f : result_->ixp.store.flows()) {
+    ASSERT_GE(f.first, start);
+    ASSERT_LT(f.first, end);
+  }
+}
+
+TEST_F(LandscapeTest, SamplingRatesAreStamped) {
+  for (const auto& f : result_->ixp.store.flows()) {
+    ASSERT_EQ(f.sampling_rate, result_->config.ixp_sampling);
+  }
+  ASSERT_FALSE(result_->tier2.store.empty());
+  EXPECT_EQ(result_->tier2.store.flows().front().sampling_rate,
+            result_->config.tier2_sampling);
+}
+
+TEST_F(LandscapeTest, GroundTruthAttacksAreWellFormed) {
+  for (const auto& attack : result_->attacks) {
+    ASSERT_GT(attack.victim_gbps, 0.0);
+    ASSERT_GE(attack.reflector_count, 3u);
+    ASSERT_LE(attack.reflector_count, 19'000u);
+    ASSERT_GE(attack.duration.total_seconds(), 60);
+    ASSERT_LE(attack.duration.total_seconds(), 3'600);
+    ASSERT_LT(attack.booter_index, result_->market.size());
+  }
+}
+
+TEST_F(LandscapeTest, NtpDominatesTheAttackMix) {
+  std::size_t ntp = 0;
+  for (const auto& attack : result_->attacks) {
+    ntp += attack.vector == net::AmpVector::kNtp ? 1 : 0;
+  }
+  const double share =
+      static_cast<double>(ntp) / static_cast<double>(result_->attacks.size());
+  EXPECT_NEAR(share, result_->config.share_ntp, 0.03);
+}
+
+TEST_F(LandscapeTest, NoSeizedBooterAttacksAfterTakedownUnlessResurrected) {
+  const Timestamp takedown = *result_->config.takedown;
+  for (const auto& attack : result_->attacks) {
+    if (attack.start <= takedown) continue;
+    const BooterProfile& booter = result_->market[attack.booter_index];
+    if (!booter.seized) continue;
+    // Only booter A (resurrect_after = 3 days) may appear, and only after
+    // its new domain went live.
+    ASSERT_TRUE(booter.resurrect_after.has_value()) << booter.name;
+    ASSERT_GE(attack.start, takedown + *booter.resurrect_after);
+  }
+}
+
+TEST_F(LandscapeTest, DemandMigratesInsteadOfDisappearing) {
+  // Daily attack counts before vs. after the takedown: no significant drop
+  // (users move to surviving booters).
+  const Timestamp takedown = *result_->config.takedown;
+  stats::BinnedSeries daily(result_->config.start, Duration::days(1),
+                            static_cast<std::size_t>(result_->config.days));
+  for (const auto& attack : result_->attacks) daily.add(attack.start, 1.0);
+  const auto metrics = core::takedown_metrics(daily, takedown);
+  EXPECT_FALSE(metrics.wt30.significant);
+  EXPECT_GT(metrics.wt30.reduction, 0.85);
+}
+
+TEST_F(LandscapeTest, TakedownCutsReflectorBoundNtpTraffic) {
+  const Timestamp takedown = *result_->config.takedown;
+  const auto daily = core::daily_packets_to_port(
+      result_->ixp.store.flows(), net::ports::kNtp, result_->config.start,
+      result_->config.days);
+  const auto metrics = core::takedown_metrics(daily, takedown);
+  EXPECT_TRUE(metrics.wt30.significant);
+  EXPECT_LT(metrics.wt30.reduction, 0.75);
+  EXPECT_GT(metrics.wt30.reduction, 0.1);
+}
+
+TEST_F(LandscapeTest, VictimBoundTrafficUnaffected) {
+  const Timestamp takedown = *result_->config.takedown;
+  const auto daily = core::daily_packets_from_reflectors(
+      result_->ixp.store.flows(), {}, result_->config.start,
+      result_->config.days);
+  const auto metrics = core::takedown_metrics(daily, takedown);
+  EXPECT_FALSE(metrics.wt30.significant);
+  EXPECT_FALSE(metrics.wt40.significant);
+}
+
+TEST_F(LandscapeTest, NtpSourcePortTrafficIsBimodal) {
+  // Flows with source port 123 are either amplified monlist replies
+  // (486-490 bytes) or benign NTP responses (<200 bytes) — nothing in
+  // between. This is the mechanism behind Fig. 2(a)'s bimodality.
+  std::size_t attack_flows = 0;
+  std::size_t benign_flows = 0;
+  for (const auto& f : result_->ixp.store.flows()) {
+    if (f.src_port != net::ports::kNtp || f.proto != net::IpProto::kUdp) {
+      continue;
+    }
+    const double size = f.mean_packet_size();
+    if (size > 200.0) {
+      ASSERT_GE(size, 480.0);
+      ASSERT_LE(size, 495.0);
+      ++attack_flows;
+    } else {
+      ++benign_flows;
+    }
+  }
+  EXPECT_GT(attack_flows, 1'000u);
+  EXPECT_GT(benign_flows, 100u);
+}
+
+TEST_F(LandscapeTest, DeterministicForSameSeed) {
+  const LandscapeResult again = run_landscape(*internet_, small_config());
+  EXPECT_EQ(again.ixp.store.size(), result_->ixp.store.size());
+  EXPECT_EQ(again.attacks.size(), result_->attacks.size());
+  ASSERT_FALSE(again.ixp.store.empty());
+  EXPECT_EQ(again.ixp.store.flows().front(), result_->ixp.store.flows().front());
+  EXPECT_EQ(again.ixp.store.flows().back(), result_->ixp.store.flows().back());
+}
+
+TEST_F(LandscapeTest, SeedChangesOutput) {
+  LandscapeConfig other = small_config();
+  other.seed = 999;
+  const LandscapeResult again = run_landscape(*internet_, other);
+  EXPECT_NE(again.ixp.store.size(), result_->ixp.store.size());
+}
+
+TEST(LandscapeWindows, VantageWindowsFilterExports) {
+  Internet internet{InternetConfig{}};
+  LandscapeConfig config;
+  config.start = Timestamp::parse("2018-11-01").value();
+  config.days = 40;
+  config.takedown = std::nullopt;
+  config.attacks_per_day = 40.0;
+  config.tier1_window = LandscapeConfig::Window{
+      Timestamp::parse("2018-11-10").value(),
+      Timestamp::parse("2018-11-20").value()};
+  const auto result = run_landscape(internet, config);
+  ASSERT_FALSE(result.tier1.store.empty());
+  for (const auto& f : result.tier1.store.flows()) {
+    ASSERT_GE(f.first, config.tier1_window->start);
+    ASSERT_LT(f.first, config.tier1_window->end);
+  }
+  // The unwindowed vantages still cover the whole span.
+  bool before_window = false;
+  for (const auto& f : result.ixp.store.flows()) {
+    before_window |= f.first < config.tier1_window->start;
+  }
+  EXPECT_TRUE(before_window);
+}
+
+TEST(LandscapePaperConfig, MatchesStudyParameters) {
+  const LandscapeConfig config = paper_landscape_config();
+  EXPECT_EQ(config.start.date_string(), "2018-09-30");
+  EXPECT_EQ(config.days, 122);
+  ASSERT_TRUE(config.takedown.has_value());
+  EXPECT_EQ(config.takedown->date_string(), "2018-12-19");
+  ASSERT_TRUE(config.tier1_window.has_value());
+  EXPECT_EQ(config.tier1_window->start.date_string(), "2018-12-12");
+  EXPECT_EQ(config.ixp_window->start.date_string(), "2018-10-27");
+}
+
+}  // namespace
+}  // namespace booterscope::sim

@@ -1,0 +1,119 @@
+#include "sim/reflector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/setops.hpp"
+
+namespace booterscope::sim {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+TEST(ReflectorPool, SampleDistinctAndInRange) {
+  const ReflectorPool pool(net::AmpVector::kNtp, 1000);
+  util::Rng rng(1);
+  const auto sample = pool.sample(200, rng);
+  EXPECT_EQ(sample.size(), 200u);
+  std::unordered_set<ReflectorId> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 200u);
+  for (const ReflectorId id : sample) EXPECT_LT(id, 1000u);
+}
+
+TEST(ReflectorPool, SampleCappedAtPopulation) {
+  const ReflectorPool pool(net::AmpVector::kNtp, 50);
+  util::Rng rng(2);
+  EXPECT_EQ(pool.sample(200, rng).size(), 50u);
+}
+
+TEST(ReflectorPool, PublicSampleFromHead) {
+  const ReflectorPool pool(net::AmpVector::kNtp, 100'000);
+  util::Rng rng(3);
+  const auto sample = pool.sample_public(100, 500, rng);
+  for (const ReflectorId id : sample) EXPECT_LT(id, 500u);
+}
+
+ListPolicy no_public_policy() {
+  ListPolicy policy;
+  policy.public_share = 0.0;
+  return policy;
+}
+
+TEST(ReflectorList, StableWithoutChurn) {
+  const ReflectorPool pool(net::AmpVector::kNtp, 10'000);
+  ListPolicy policy = no_public_policy();
+  policy.daily_churn = 0.0;
+  ReflectorList list(pool, 300, policy, util::Rng(4));
+  const Timestamp t0 = Timestamp::parse("2018-04-01").value();
+  list.advance_to(t0);
+  const auto before = list.as_set();
+  list.advance_to(t0 + Duration::days(60));
+  EXPECT_EQ(list.as_set(), before);
+}
+
+TEST(ReflectorList, ChurnRateMatchesPolicy) {
+  const ReflectorPool pool(net::AmpVector::kNtp, 100'000);
+  ListPolicy policy = no_public_policy();
+  policy.daily_churn = 0.3 / 14.0;  // the paper's ~30% over two weeks
+  ReflectorList list(pool, 400, policy, util::Rng(5));
+  const Timestamp t0 = Timestamp::parse("2018-04-01").value();
+  list.advance_to(t0);
+  const auto before = list.as_set();
+  list.advance_to(t0 + Duration::days(14));
+  const auto after = list.as_set();
+  const double retained =
+      static_cast<double>(stats::intersection_size(before, after)) /
+      static_cast<double>(before.size());
+  EXPECT_NEAR(retained, 0.74, 0.06);  // (1 - 0.0214)^14 ~ 0.74
+}
+
+TEST(ReflectorList, JumpResamplesEntireList) {
+  const ReflectorPool pool(net::AmpVector::kNtp, 100'000);
+  ListPolicy policy = no_public_policy();
+  policy.daily_churn = 0.0;
+  policy.has_jump = true;
+  policy.jump_at = Timestamp::parse("2018-06-13").value();
+  ReflectorList list(pool, 380, policy, util::Rng(6));
+  list.advance_to(Timestamp::parse("2018-06-12").value());
+  const auto before = list.as_set();
+  list.advance_to(Timestamp::parse("2018-06-13T12:00:00").value());
+  const auto after = list.as_set();
+  EXPECT_EQ(after.size(), before.size());
+  const double overlap =
+      static_cast<double>(stats::intersection_size(before, after)) /
+      static_cast<double>(before.size());
+  EXPECT_LT(overlap, 0.05);
+  // The jump happens once; no further resampling afterwards.
+  list.advance_to(Timestamp::parse("2018-07-01").value());
+  EXPECT_EQ(list.as_set(), after);
+}
+
+TEST(ReflectorList, SelectIsDeterministicPrefix) {
+  const ReflectorPool pool(net::AmpVector::kNtp, 10'000);
+  ReflectorList list(pool, 300, no_public_policy(), util::Rng(7));
+  const auto a = list.select(100);
+  const auto b = list.select(100);
+  EXPECT_EQ(a, b);  // same-day attacks reuse the same reflectors (§3.2)
+  const auto all = list.select(1000);
+  EXPECT_EQ(all.size(), 300u);  // capped at list size
+  // select(100) is a prefix of select(300).
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], all[i]);
+}
+
+TEST(ReflectorList, PublicShareCreatesCrossListOverlap) {
+  const ReflectorPool pool(net::AmpVector::kNtp, 100'000);
+  ListPolicy shared;
+  shared.public_share = 0.5;
+  shared.public_list_size = 400;
+  ReflectorList list_a(pool, 300, shared, util::Rng(8));
+  ReflectorList list_b(pool, 300, shared, util::Rng(9));
+  const double with_sharing = stats::jaccard(list_a.as_set(), list_b.as_set());
+
+  ReflectorList solo_a(pool, 300, no_public_policy(), util::Rng(10));
+  ReflectorList solo_b(pool, 300, no_public_policy(), util::Rng(11));
+  const double without_sharing = stats::jaccard(solo_a.as_set(), solo_b.as_set());
+  EXPECT_GT(with_sharing, without_sharing * 5);
+}
+
+}  // namespace
+}  // namespace booterscope::sim

@@ -1,0 +1,178 @@
+#include "sim/selfattack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/selfattack_analysis.hpp"
+
+namespace booterscope::sim {
+namespace {
+
+using net::AmpVector;
+using util::Duration;
+using util::Timestamp;
+
+class SelfAttackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    internet_ = new Internet(InternetConfig{});
+    pools_ = new std::vector<ReflectorPool>();
+    for (const auto vector : net::kAllVectors) {
+      pools_->emplace_back(vector, 60'000);
+    }
+    std::unordered_map<AmpVector, const ReflectorPool*> map;
+    for (const auto& pool : *pools_) map.emplace(pool.vector(), &pool);
+    services_ = new std::vector<BooterService>();
+    util::Rng rng(100);
+    for (const auto& profile : table1_booters()) {
+      services_->emplace_back(profile, map, rng.fork(profile.name));
+    }
+    lab_ = new SelfAttackLab(*internet_, *services_, rng.fork("lab"));
+  }
+  static void TearDownTestSuite() {
+    delete lab_;
+    delete services_;
+    delete pools_;
+    delete internet_;
+  }
+
+  static SelfAttackSpec base_spec(const std::string& label) {
+    SelfAttackSpec spec;
+    spec.label = label;
+    spec.booter_index = 1;  // booter B
+    spec.vector = AmpVector::kNtp;
+    spec.start = Timestamp::parse("2018-06-20T14:00:00").value();
+    spec.duration = Duration::minutes(3);
+    spec.reflector_count = 380;
+    spec.target_index = 5;
+    return spec;
+  }
+
+  static Internet* internet_;
+  static std::vector<ReflectorPool>* pools_;
+  static std::vector<BooterService>* services_;
+  static SelfAttackLab* lab_;
+};
+
+Internet* SelfAttackTest::internet_ = nullptr;
+std::vector<ReflectorPool>* SelfAttackTest::pools_ = nullptr;
+std::vector<BooterService>* SelfAttackTest::services_ = nullptr;
+SelfAttackLab* SelfAttackTest::lab_ = nullptr;
+
+TEST_F(SelfAttackTest, ProducesExpectedSeriesLength) {
+  const auto result = lab_->run(base_spec("series"));
+  EXPECT_EQ(result.per_second.size(), 180u);
+  EXPECT_EQ(result.reflectors_tasked.size(), 380u);
+  EXPECT_FALSE(result.capture.empty());
+}
+
+TEST_F(SelfAttackTest, VolumeMatchesBooterRate) {
+  const auto result = lab_->run(base_spec("volume"));
+  const auto& profile = (*services_)[1].profile();
+  const double expected_mbps =
+      profile.basic_pps * 100.0 * 488 * 8 / 1e6;  // amplified NTP
+  EXPECT_NEAR(result.peak_mbps(), expected_mbps, expected_mbps * 0.15);
+}
+
+TEST_F(SelfAttackTest, VipOutpacesBasicWithSameReflectors) {
+  auto basic = base_spec("vip-compare-basic");
+  auto vip = base_spec("vip-compare-vip");
+  vip.vip = true;
+  vip.target_index = 6;
+  const auto basic_result = lab_->run(basic);
+  const auto vip_result = lab_->run(vip);
+  EXPECT_GT(vip_result.peak_mbps(), basic_result.peak_mbps() * 1.5);
+  // Same reflector list (the paper's VIP finding).
+  EXPECT_EQ(vip_result.reflectors_tasked, basic_result.reflectors_tasked);
+}
+
+TEST_F(SelfAttackTest, NoTransitReducesVolumeAndRaisesPeers) {
+  auto with_transit = base_spec("transit-on");
+  auto without = base_spec("transit-off");
+  without.transit_enabled = false;
+  without.target_index = 7;
+  const auto on = lab_->run(with_transit);
+  const auto off = lab_->run(without);
+  EXPECT_LT(off.peak_mbps(), on.peak_mbps() * 0.75);
+  EXPECT_GT(off.max_peer_ases(), on.max_peer_ases());
+  EXPECT_LT(off.transit_share(), 0.05);
+  EXPECT_GT(on.transit_share(), 0.6);
+}
+
+TEST_F(SelfAttackTest, CaptureAgreesWithLiveSeries) {
+  const auto result = lab_->run(base_spec("capture-consistency"));
+  const auto analysis = core::analyze_capture(
+      result.capture, result.target,
+      internet_->topology().node(internet_->transit_provider()).asn);
+  EXPECT_NEAR(analysis.peak_mbps, result.peak_mbps(),
+              result.peak_mbps() * 0.1);
+  EXPECT_NEAR(analysis.transit_share, result.transit_share(), 0.05);
+  EXPECT_EQ(analysis.unique_reflectors, result.reflector_ips_observed.size());
+}
+
+TEST_F(SelfAttackTest, VipNtpSaturationFlapsTransit) {
+  auto spec = base_spec("vip-flap");
+  spec.vip = true;
+  spec.duration = Duration::minutes(5);
+  spec.target_index = 8;
+  const auto result = lab_->run(spec);
+  // ~20 Gbps against a 10GE port must trip the hold timer at least once.
+  EXPECT_GT(result.peak_mbps(), 10'000.0);
+  EXPECT_GE(result.transit_flaps, 1);
+  // After the flap, some seconds show the transit session down and traffic
+  // reduced to the peering share.
+  bool saw_down_second = false;
+  for (const auto& second : result.per_second) {
+    if (!second.transit_session_up && second.mbps_via_transit == 0.0) {
+      saw_down_second = true;
+    }
+  }
+  EXPECT_TRUE(saw_down_second);
+}
+
+TEST_F(SelfAttackTest, DeliveredIsCappedByInterface) {
+  auto spec = base_spec("cap");
+  spec.vip = true;
+  spec.target_index = 9;
+  const auto result = lab_->run(spec);
+  for (const auto& second : result.per_second) {
+    EXPECT_LE(second.mbps_delivered, 10'000.0 + 1e-6);
+  }
+}
+
+TEST_F(SelfAttackTest, TargetsAreIsolatedPerAttack) {
+  auto first = base_spec("target-a");
+  auto second = base_spec("target-b");
+  second.target_index = first.target_index + 1;
+  const auto a = lab_->run(first);
+  const auto b = lab_->run(second);
+  EXPECT_NE(a.target, b.target);
+  for (const auto& f : a.capture) EXPECT_EQ(f.dst, a.target);
+}
+
+TEST_F(SelfAttackTest, DeterministicAcrossFreshWorlds) {
+  // Rebuilding the whole lab from the same seeds reproduces a run exactly.
+  auto build_and_run = [] {
+    Internet internet{InternetConfig{}};
+    std::vector<ReflectorPool> pools;
+    for (const auto vector : net::kAllVectors) pools.emplace_back(vector, 60'000);
+    std::unordered_map<AmpVector, const ReflectorPool*> map;
+    for (const auto& pool : pools) map.emplace(pool.vector(), &pool);
+    std::vector<BooterService> services;
+    util::Rng rng(100);
+    for (const auto& profile : table1_booters()) {
+      services.emplace_back(profile, map, rng.fork(profile.name));
+    }
+    SelfAttackLab lab(internet, services, rng.fork("lab"));
+    return lab.run(base_spec("determinism"));
+  };
+  const auto a = build_and_run();
+  const auto b = build_and_run();
+  ASSERT_EQ(a.per_second.size(), b.per_second.size());
+  for (std::size_t i = 0; i < a.per_second.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.per_second[i].mbps_offered, b.per_second[i].mbps_offered);
+  }
+  EXPECT_EQ(a.reflectors_tasked, b.reflectors_tasked);
+}
+
+}  // namespace
+}  // namespace booterscope::sim

@@ -1,0 +1,111 @@
+// Vector-specific self-attack behaviour (§3.2's cross-vector findings).
+#include <gtest/gtest.h>
+
+#include "core/selfattack_analysis.hpp"
+#include "sim/selfattack.hpp"
+
+namespace booterscope::sim {
+namespace {
+
+using net::AmpVector;
+using util::Duration;
+using util::Timestamp;
+
+class VectorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    internet_ = new Internet(InternetConfig{});
+    pools_ = new std::vector<ReflectorPool>();
+    for (const auto vector : net::kAllVectors) {
+      pools_->emplace_back(vector, 60'000);
+    }
+    std::unordered_map<AmpVector, const ReflectorPool*> map;
+    for (const auto& pool : *pools_) map.emplace(pool.vector(), &pool);
+    services_ = new std::vector<BooterService>();
+    util::Rng rng(321);
+    for (const auto& profile : table1_booters()) {
+      services_->emplace_back(profile, map, rng.fork(profile.name));
+    }
+    lab_ = new SelfAttackLab(*internet_, *services_, rng.fork("lab"));
+  }
+  static void TearDownTestSuite() {
+    delete lab_;
+    delete services_;
+    delete pools_;
+    delete internet_;
+  }
+
+  static SelfAttackResult run(AmpVector vector, std::uint32_t reflectors,
+                              std::uint32_t target) {
+    SelfAttackSpec spec;
+    spec.label = std::string("vector-") + std::string(to_string(vector));
+    spec.booter_index = 1;  // booter B offers all four
+    spec.vector = vector;
+    spec.start = Timestamp::parse("2018-07-01T12:00:00").value();
+    spec.duration = Duration::minutes(2);
+    spec.reflector_count = reflectors;
+    spec.target_index = target;
+    return lab_->run(spec);
+  }
+
+  static Internet* internet_;
+  static std::vector<ReflectorPool>* pools_;
+  static std::vector<BooterService>* services_;
+  static SelfAttackLab* lab_;
+};
+
+Internet* VectorTest::internet_ = nullptr;
+std::vector<ReflectorPool>* VectorTest::pools_ = nullptr;
+std::vector<BooterService>* VectorTest::services_ = nullptr;
+SelfAttackLab* VectorTest::lab_ = nullptr;
+
+TEST_F(VectorTest, NtpIsTheMostPotentVector) {
+  // §3.2 takeaway: "NTP-based amplification attacks provide the most
+  // potent and reliable type of booter attacks".
+  const auto ntp = run(AmpVector::kNtp, 380, 10);
+  const auto dns = run(AmpVector::kDns, 380, 11);
+  const auto cldap = run(AmpVector::kCldap, 3800, 12);
+  EXPECT_GT(ntp.peak_mbps(), dns.peak_mbps());
+  EXPECT_GT(ntp.peak_mbps(), cldap.peak_mbps());
+}
+
+TEST_F(VectorTest, CldapUsesFarMoreReflectors) {
+  const auto ntp = run(AmpVector::kNtp, 10'000, 13);
+  const auto cldap = run(AmpVector::kCldap, 10'000, 14);
+  EXPECT_GE(cldap.reflectors_tasked.size(), ntp.reflectors_tasked.size() * 8);
+}
+
+TEST_F(VectorTest, PacketSizesMatchVectorProfiles) {
+  for (const AmpVector vector :
+       {AmpVector::kNtp, AmpVector::kCldap, AmpVector::kMemcached}) {
+    const auto result = run(vector, 200, 20 + static_cast<std::uint32_t>(vector));
+    const auto profile = net::profile(vector);
+    for (const auto& f : result.capture) {
+      ASSERT_GE(f.mean_packet_size(), profile.reply_bytes_lo - 1.0);
+      ASSERT_LE(f.mean_packet_size(), profile.reply_bytes_hi + 1.0);
+      ASSERT_EQ(f.src_port, profile.service_port);
+    }
+  }
+}
+
+TEST_F(VectorTest, MemcachedIsThrottledBelowTheory) {
+  // Memcached's raw amplification (x350 packets) would dwarf everything;
+  // booters throttle it (trigger_scale), so it lands near NTP levels
+  // rather than 50x above.
+  const auto ntp = run(AmpVector::kNtp, 200, 30);
+  const auto memcached = run(AmpVector::kMemcached, 200, 31);
+  EXPECT_LT(memcached.peak_mbps(), ntp.peak_mbps() * 2.0);
+  EXPECT_GT(memcached.peak_mbps(), 100.0);
+}
+
+TEST_F(VectorTest, CapturesCarryVectorServicePort) {
+  const auto dns = run(AmpVector::kDns, 300, 40);
+  ASSERT_FALSE(dns.capture.empty());
+  for (const auto& f : dns.capture) {
+    ASSERT_EQ(f.src_port, net::ports::kDns);
+    ASSERT_EQ(f.proto, net::IpProto::kUdp);
+  }
+}
+
+}  // namespace
+}  // namespace booterscope::sim

@@ -1,0 +1,107 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace booterscope::stats {
+namespace {
+
+TEST(Ecdf, StepValues) {
+  Ecdf ecdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.at(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  Ecdf ecdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(ecdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.at(1.9), 0.0);
+}
+
+TEST(Ecdf, UnsortedInputIsSorted) {
+  Ecdf ecdf({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(ecdf.at(1.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 5.0);
+}
+
+TEST(Ecdf, EmptySample) {
+  Ecdf ecdf({});
+  EXPECT_DOUBLE_EQ(ecdf.at(1.0), 0.0);
+  EXPECT_EQ(ecdf.sample_count(), 0u);
+  EXPECT_TRUE(ecdf.curve(5).empty());
+}
+
+TEST(Ecdf, CurveIsMonotone) {
+  Ecdf ecdf({1.0, 4.0, 9.0, 16.0, 25.0});
+  const auto curve = ecdf.curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Histogram, BinningAndTotals) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(5.0);
+  h.add(15.0, 3);
+  h.add(95.0);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 3u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_DOUBLE_EQ(h.pdf(1), 0.6);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 10.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-3.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, CdfAccumulates) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(2.5);
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.cdf(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cdf(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.cdf(3), 1.0);
+}
+
+TEST(Histogram, MassBelowInterpolatesStraddlingBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(4.5, 100);  // all mass in bin [4, 5)
+  EXPECT_DOUBLE_EQ(h.mass_below(4.0), 0.0);
+  EXPECT_NEAR(h.mass_below(4.5), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(h.mass_below(5.0), 1.0);
+}
+
+TEST(Histogram, MassBelowMatchesPaperThresholdUseCase) {
+  // NTP-style bimodal mixture: 54 small packets, 46 large.
+  Histogram h(0.0, 1520.0, 152);
+  h.add(90.0, 54);
+  h.add(488.0, 46);
+  EXPECT_NEAR(h.mass_below(200.0), 0.54, 1e-9);
+}
+
+TEST(Histogram, EmptyHistogram) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.pdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(4), 0.0);
+  EXPECT_DOUBLE_EQ(h.mass_below(5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace booterscope::stats

@@ -1,0 +1,115 @@
+#include "stats/spacesaving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace booterscope::stats {
+namespace {
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving<std::string> sketch(10);
+  sketch.add("a", 5);
+  sketch.add("b", 3);
+  sketch.add("a", 2);
+  const auto top = sketch.top(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_DOUBLE_EQ(top[0].estimate, 7.0);
+  EXPECT_DOUBLE_EQ(top[0].error, 0.0);
+  EXPECT_EQ(top[1].key, "b");
+  EXPECT_DOUBLE_EQ(sketch.total_weight(), 10.0);
+}
+
+TEST(SpaceSaving, EvictsMinimumAndInheritsError) {
+  SpaceSaving<int> sketch(2);
+  sketch.add(1, 10);
+  sketch.add(2, 1);
+  sketch.add(3, 1);  // evicts key 2 (count 1): key 3 estimate = 2, error = 1
+  const auto top = sketch.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1);
+  EXPECT_EQ(top[1].key, 3);
+  EXPECT_DOUBLE_EQ(top[1].estimate, 2.0);
+  EXPECT_DOUBLE_EQ(top[1].error, 1.0);
+  EXPECT_DOUBLE_EQ(top[1].guaranteed(), 1.0);
+}
+
+TEST(SpaceSaving, OverestimationBoundHolds) {
+  // Property: true_count <= estimate <= true_count + max_error.
+  util::Rng rng(1);
+  util::ZipfSampler zipf(5'000, 1.1);
+  SpaceSaving<std::uint64_t> sketch(64);
+  std::map<std::uint64_t, double> truth;
+  for (int i = 0; i < 200'000; ++i) {
+    const std::uint64_t key = zipf(rng);
+    sketch.add(key);
+    truth[key] += 1.0;
+  }
+  for (const auto& hitter : sketch.top(64)) {
+    const double true_count = truth[hitter.key];
+    ASSERT_GE(hitter.estimate + 1e-9, true_count);
+    ASSERT_LE(hitter.estimate - hitter.error - 1e-9, true_count);
+  }
+}
+
+TEST(SpaceSaving, TopKeysOfSkewedStreamAreFound) {
+  util::Rng rng(2);
+  util::ZipfSampler zipf(100'000, 1.2);
+  SpaceSaving<std::uint64_t> sketch(256);
+  for (int i = 0; i < 500'000; ++i) sketch.add(zipf(rng));
+  const auto top = sketch.top(10);
+  ASSERT_EQ(top.size(), 10u);
+  // The Zipf head must be monitored (ranks 0..9 dominate the stream).
+  std::unordered_set<std::uint64_t> keys;
+  for (const auto& hitter : top) keys.insert(hitter.key);
+  for (std::uint64_t rank = 0; rank < 5; ++rank) {
+    EXPECT_TRUE(keys.contains(rank)) << "rank " << rank;
+  }
+  // Sorted descending.
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].estimate, top[i].estimate);
+  }
+}
+
+TEST(SpaceSaving, GuaranteedHittersHaveNoFalseNegatives) {
+  // Any key with frequency > total/capacity is guaranteed monitored; a key
+  // with 30% of the stream must appear in guaranteed_hitters(0.2).
+  util::Rng rng(3);
+  SpaceSaving<int> sketch(32);
+  for (int i = 0; i < 100'000; ++i) {
+    if (rng.chance(0.3)) {
+      sketch.add(777);
+    } else {
+      sketch.add(static_cast<int>(rng.bounded(10'000)));
+    }
+  }
+  const auto hitters = sketch.guaranteed_hitters(0.2);
+  ASSERT_FALSE(hitters.empty());
+  EXPECT_EQ(hitters[0].key, 777);
+}
+
+TEST(SpaceSaving, WeightedUpdates) {
+  SpaceSaving<int> sketch(4);
+  sketch.add(1, 100.0);
+  sketch.add(2, 0.5);
+  sketch.add(2, 0.25);
+  EXPECT_DOUBLE_EQ(sketch.top(1)[0].estimate, 100.0);
+  EXPECT_DOUBLE_EQ(sketch.total_weight(), 100.75);
+}
+
+TEST(SpaceSaving, CapacityZeroClampedToOne) {
+  SpaceSaving<int> sketch(0);
+  sketch.add(1);
+  sketch.add(2);
+  EXPECT_EQ(sketch.capacity(), 1u);
+  EXPECT_EQ(sketch.size(), 1u);
+}
+
+}  // namespace
+}  // namespace booterscope::stats

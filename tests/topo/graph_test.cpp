@@ -1,0 +1,155 @@
+#include "topo/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/flap.hpp"
+#include "topo/ixp.hpp"
+#include "topo/routing.hpp"
+
+namespace booterscope::topo {
+namespace {
+
+using net::Asn;
+using net::Ipv4Addr;
+using net::Prefix;
+
+TEST(Topology, AddAndFind) {
+  Topology topo;
+  const AsId id = topo.add_as(Asn{64500}, "test", AsRole::kMeasurement,
+                              {Prefix{Ipv4Addr{203, 0, 113, 0}, 24}}, true);
+  EXPECT_EQ(topo.as_count(), 1u);
+  EXPECT_EQ(topo.find(Asn{64500}), id);
+  EXPECT_FALSE(topo.find(Asn{1}).has_value());
+  EXPECT_TRUE(topo.node(id).ixp_member);
+}
+
+TEST(Topology, AdjacencyBothSides) {
+  Topology topo;
+  const AsId customer = topo.add_as(Asn{1}, "c", AsRole::kStub, {});
+  const AsId provider = topo.add_as(Asn{2}, "p", AsRole::kTier2, {});
+  const AsId peer = topo.add_as(Asn{3}, "x", AsRole::kTier2, {});
+  topo.add_customer_provider(customer, provider);
+  topo.add_peering(provider, peer);
+  EXPECT_EQ(topo.adjacency(customer).providers.size(), 1u);
+  EXPECT_EQ(topo.adjacency(provider).customers.size(), 1u);
+  EXPECT_EQ(topo.adjacency(provider).peers.size(), 1u);
+  EXPECT_EQ(topo.adjacency(peer).peers.size(), 1u);
+  EXPECT_TRUE(topo.adjacency(customer).peers.empty());
+}
+
+TEST(Topology, OriginOfLongestPrefixMatch) {
+  Topology topo;
+  const AsId coarse = topo.add_as(Asn{1}, "coarse", AsRole::kTier2,
+                                  {Prefix{Ipv4Addr{10, 0, 0, 0}, 8}});
+  const AsId fine = topo.add_as(Asn{2}, "fine", AsRole::kStub,
+                                {Prefix{Ipv4Addr{10, 1, 0, 0}, 16}});
+  EXPECT_EQ(topo.origin_of(Ipv4Addr{10, 1, 2, 3}), fine);
+  EXPECT_EQ(topo.origin_of(Ipv4Addr{10, 2, 2, 3}), coarse);
+  EXPECT_FALSE(topo.origin_of(Ipv4Addr{192, 168, 0, 1}).has_value());
+}
+
+TEST(Topology, FabricFlags) {
+  Topology topo;
+  const AsId a = topo.add_as(Asn{1}, "a", AsRole::kContent, {}, true);
+  const AsId b = topo.add_as(Asn{2}, "b", AsRole::kContent, {}, true);
+  const std::size_t bilateral = topo.add_peering(a, b, 10.0, false);
+  const std::size_t fabric_bilateral = topo.add_peering(a, b, 10.0, true);
+  const std::size_t multilateral = topo.add_ixp_peering(a, b);
+  EXPECT_FALSE(topo.link(bilateral).on_ixp_fabric());
+  EXPECT_TRUE(topo.link(fabric_bilateral).on_ixp_fabric());
+  EXPECT_TRUE(topo.link(multilateral).on_ixp_fabric());
+}
+
+TEST(RouteServer, MeshesAllMemberPairs) {
+  Topology topo;
+  std::vector<AsId> members;
+  for (int i = 0; i < 5; ++i) {
+    members.push_back(topo.add_as(Asn{static_cast<std::uint32_t>(i + 1)},
+                                  "m" + std::to_string(i), AsRole::kContent, {},
+                                  true));
+  }
+  const auto links = connect_route_server(topo, members);
+  EXPECT_EQ(links.size(), 10u);  // 5 choose 2
+  for (const std::size_t index : links) {
+    EXPECT_EQ(topo.link(index).kind, LinkKind::kIxpMultilateral);
+  }
+}
+
+TEST(FabricCrossing, DetectedOnRouteServerPath) {
+  Topology topo;
+  const AsId a = topo.add_as(Asn{1}, "a", AsRole::kTier2, {}, true);
+  const AsId b = topo.add_as(Asn{2}, "b", AsRole::kTier2, {}, true);
+  const AsId sa = topo.add_as(Asn{3}, "sa", AsRole::kStub, {});
+  const AsId sb = topo.add_as(Asn{4}, "sb", AsRole::kStub, {});
+  topo.add_customer_provider(sa, a);
+  topo.add_customer_provider(sb, b);
+  topo.add_ixp_peering(a, b);
+  const Router router(topo);
+  const auto crossing = fabric_crossing(topo, router, sa, sb);
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_EQ(crossing->from, a);
+  EXPECT_EQ(crossing->to, b);
+  EXPECT_FALSE(fabric_crossing(topo, router, sa, a).has_value());
+}
+
+TEST(BgpFlap, DropsAfterSustainedSaturationAndRecovers) {
+  FlapConfig config;
+  config.capacity_gbps = 10.0;
+  config.saturation_threshold = 0.95;
+  config.hold_time = util::Duration::seconds(90);
+  config.reestablish_delay = util::Duration::seconds(30);
+  BgpFlapMonitor monitor(config);
+
+  util::Timestamp t = util::Timestamp::parse("2018-07-11T15:00:00").value();
+  // 60 seconds of saturation: not yet enough to kill the session.
+  for (int s = 0; s < 60; ++s) {
+    EXPECT_TRUE(monitor.offered_load(t, 20.0));
+    t += util::Duration::seconds(1);
+  }
+  // 40 more seconds: hold timer (90 s) expires.
+  bool went_down = false;
+  for (int s = 0; s < 40; ++s) {
+    went_down |= !monitor.offered_load(t, 20.0);
+    t += util::Duration::seconds(1);
+  }
+  EXPECT_TRUE(went_down);
+  EXPECT_FALSE(monitor.session_up());
+  EXPECT_EQ(monitor.flap_count(), 1);
+
+  // Load disappears; session re-establishes after the delay.
+  for (int s = 0; s < 40; ++s) {
+    monitor.offered_load(t, 1.0);
+    t += util::Duration::seconds(1);
+  }
+  EXPECT_TRUE(monitor.session_up());
+}
+
+TEST(BgpFlap, BriefSpikesDoNotFlap) {
+  BgpFlapMonitor monitor(FlapConfig{});
+  util::Timestamp t = util::Timestamp::parse("2018-07-11T15:00:00").value();
+  for (int s = 0; s < 300; ++s) {
+    const double load = (s % 30 < 10) ? 20.0 : 2.0;  // bursts under hold time
+    EXPECT_TRUE(monitor.offered_load(t, load));
+    t += util::Duration::seconds(1);
+  }
+  EXPECT_EQ(monitor.flap_count(), 0);
+}
+
+TEST(BgpFlap, StaysDownUnderPersistentOverload) {
+  FlapConfig config;
+  config.hold_time = util::Duration::seconds(10);
+  config.reestablish_delay = util::Duration::seconds(5);
+  BgpFlapMonitor monitor(config);
+  util::Timestamp t = util::Timestamp::parse("2018-07-11T15:00:00").value();
+  int up_seconds = 0;
+  for (int s = 0; s < 120; ++s) {
+    up_seconds += monitor.offered_load(t, 50.0) ? 1 : 0;
+    t += util::Duration::seconds(1);
+  }
+  EXPECT_FALSE(monitor.session_up());
+  EXPECT_LT(up_seconds, 15);
+  EXPECT_EQ(monitor.flap_count(), 1);
+}
+
+}  // namespace
+}  // namespace booterscope::topo

@@ -1,0 +1,91 @@
+#include "topo/traffic_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace booterscope::topo {
+namespace {
+
+using net::Asn;
+
+struct Chain {
+  Topology topo;
+  AsId a, b, c;  // a -> b -> c transit chain
+  std::size_t link_ab = 0, link_bc = 0;
+
+  Chain() {
+    a = topo.add_as(Asn{1}, "a", AsRole::kStub, {});
+    b = topo.add_as(Asn{2}, "b", AsRole::kTier2, {});
+    c = topo.add_as(Asn{3}, "c", AsRole::kStub, {});
+    link_ab = topo.add_customer_provider(a, b, 10.0);
+    link_bc = topo.add_customer_provider(c, b, 10.0);
+  }
+};
+
+TEST(TrafficMatrix, AccumulatesAlongPath) {
+  Chain chain;
+  const Router router(chain.topo);
+  TrafficMatrix matrix(chain.topo, router);
+  EXPECT_TRUE(matrix.add_demand(chain.a, chain.c, 2e9));
+  EXPECT_TRUE(matrix.add_demand(chain.a, chain.c, 3e9, /*attack=*/true));
+  EXPECT_DOUBLE_EQ(matrix.link_load_bps(chain.link_ab), 5e9);
+  EXPECT_DOUBLE_EQ(matrix.link_load_bps(chain.link_bc), 5e9);
+  EXPECT_DOUBLE_EQ(matrix.link_attack_bps(chain.link_ab), 3e9);
+  EXPECT_DOUBLE_EQ(matrix.link_utilization(chain.link_ab), 0.5);
+  EXPECT_EQ(matrix.links_touched_by_attacks(), 2u);
+  EXPECT_DOUBLE_EQ(matrix.total_attack_link_bps(), 6e9);
+}
+
+TEST(TrafficMatrix, UnreachableDemandIsRejected) {
+  Chain chain;
+  const AsId isolated = chain.topo.add_as(Asn{9}, "x", AsRole::kStub, {});
+  const Router router(chain.topo);
+  TrafficMatrix matrix(chain.topo, router);
+  EXPECT_FALSE(matrix.add_demand(chain.a, isolated, 1e9));
+  EXPECT_DOUBLE_EQ(matrix.link_load_bps(chain.link_ab), 0.0);
+}
+
+TEST(TrafficMatrix, CongestedLinksSortedAndDescribed) {
+  Chain chain;
+  const Router router(chain.topo);
+  TrafficMatrix matrix(chain.topo, router);
+  // b -> c only loads the bc link; a -> c loads both.
+  EXPECT_TRUE(matrix.add_demand(chain.b, chain.c, 4e9));
+  EXPECT_TRUE(matrix.add_demand(chain.a, chain.c, 5e9, true));
+  const auto congested = matrix.congested(0.8);
+  ASSERT_EQ(congested.size(), 1u);
+  EXPECT_EQ(congested[0].link, chain.link_bc);
+  EXPECT_DOUBLE_EQ(congested[0].utilization, 0.9);
+  EXPECT_NEAR(congested[0].attack_share, 5.0 / 9.0, 1e-9);
+  EXPECT_NE(congested[0].description.find("AS2"), std::string::npos);
+  EXPECT_NE(congested[0].description.find("transit"), std::string::npos);
+}
+
+TEST(TrafficMatrix, CongestedSortsByUtilization) {
+  Topology topo;
+  const AsId hub = topo.add_as(Asn{1}, "hub", AsRole::kTier2, {});
+  const AsId x = topo.add_as(Asn{2}, "x", AsRole::kStub, {});
+  const AsId y = topo.add_as(Asn{3}, "y", AsRole::kStub, {});
+  const std::size_t lx = topo.add_customer_provider(x, hub, 10.0);
+  const std::size_t ly = topo.add_customer_provider(y, hub, 10.0);
+  const Router router(topo);
+  TrafficMatrix matrix(topo, router);
+  EXPECT_TRUE(matrix.add_demand(hub, x, 9e9));
+  EXPECT_TRUE(matrix.add_demand(hub, y, 9.5e9));
+  const auto congested = matrix.congested(0.8);
+  ASSERT_EQ(congested.size(), 2u);
+  EXPECT_EQ(congested[0].link, ly);
+  EXPECT_EQ(congested[1].link, lx);
+}
+
+TEST(TrafficMatrix, ClearResets) {
+  Chain chain;
+  const Router router(chain.topo);
+  TrafficMatrix matrix(chain.topo, router);
+  EXPECT_TRUE(matrix.add_demand(chain.a, chain.c, 1e9, true));
+  matrix.clear();
+  EXPECT_DOUBLE_EQ(matrix.link_load_bps(chain.link_ab), 0.0);
+  EXPECT_EQ(matrix.links_touched_by_attacks(), 0u);
+}
+
+}  // namespace
+}  // namespace booterscope::topo

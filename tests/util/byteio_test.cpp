@@ -1,0 +1,80 @@
+#include "util/byteio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace booterscope::util {
+namespace {
+
+TEST(ByteWriter, BigEndianLayout) {
+  std::vector<std::uint8_t> buffer;
+  ByteWriter w(buffer);
+  w.u16(0x0102);
+  w.u32(0x03040506);
+  w.u64(0x0708090a0b0c0d0eULL);
+  const std::vector<std::uint8_t> expected = {0x01, 0x02, 0x03, 0x04, 0x05,
+                                              0x06, 0x07, 0x08, 0x09, 0x0a,
+                                              0x0b, 0x0c, 0x0d, 0x0e};
+  EXPECT_EQ(buffer, expected);
+}
+
+TEST(ByteWriter, PatchU16) {
+  std::vector<std::uint8_t> buffer;
+  ByteWriter w(buffer);
+  w.u16(0);
+  w.u32(0xdeadbeef);
+  w.patch_u16(0, static_cast<std::uint16_t>(buffer.size()));
+  EXPECT_EQ(buffer[0], 0x00);
+  EXPECT_EQ(buffer[1], 0x06);
+}
+
+TEST(ByteReader, RoundTripsAllWidths) {
+  std::vector<std::uint8_t> buffer;
+  ByteWriter w(buffer);
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0x89abcdef);
+  w.u64(0x1122334455667788ULL);
+  ByteReader r(buffer);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0x89abcdefu);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, UnderrunSetsFailureAndSticks) {
+  const std::vector<std::uint8_t> buffer = {0x01};
+  ByteReader r(buffer);
+  EXPECT_EQ(r.u16(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads keep failing even though one byte remains.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, SkipAndPosition) {
+  const std::vector<std::uint8_t> buffer = {1, 2, 3, 4, 5};
+  ByteReader r(buffer);
+  EXPECT_TRUE(r.skip(2));
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_FALSE(r.skip(10));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, BytesCopy) {
+  const std::vector<std::uint8_t> buffer = {9, 8, 7, 6};
+  ByteReader r(buffer);
+  std::array<std::uint8_t, 3> out{};
+  EXPECT_TRUE(r.bytes(out));
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(out[2], 7);
+  std::array<std::uint8_t, 2> too_many{};
+  EXPECT_FALSE(r.bytes(too_many));
+}
+
+}  // namespace
+}  // namespace booterscope::util

@@ -1,0 +1,57 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace booterscope::util {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> args(argv);
+  return CliArgs(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, PositionalAndProgram) {
+  const auto args = parse({"tool", "gen", "extra"});
+  EXPECT_EQ(args.program(), "tool");
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "gen");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Cli, KeyValueForms) {
+  const auto args = parse({"tool", "--out", "x.bsf", "--days=7", "--verbose"});
+  EXPECT_EQ(args.value("out"), "x.bsf");
+  EXPECT_EQ(args.int_or("days", 0), 7);
+  EXPECT_TRUE(args.has_flag("verbose"));
+  EXPECT_FALSE(args.value("verbose").has_value());
+  EXPECT_FALSE(args.has_flag("missing"));
+}
+
+TEST(Cli, Fallbacks) {
+  const auto args = parse({"tool", "--rate", "1.5", "--bad", "xyz"});
+  EXPECT_DOUBLE_EQ(args.double_or("rate", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(args.double_or("missing", 2.5), 2.5);
+  EXPECT_EQ(args.int_or("bad", 42), 42);
+  EXPECT_EQ(args.value_or("missing", "dflt"), "dflt");
+}
+
+TEST(Cli, FlagFollowedByOption) {
+  const auto args = parse({"tool", "--dry-run", "--out", "f"});
+  EXPECT_TRUE(args.has_flag("dry-run"));
+  EXPECT_EQ(args.value("out"), "f");
+}
+
+TEST(Cli, UnknownDetection) {
+  const auto args = parse({"tool", "--out", "f", "--typo", "x"});
+  const auto unknown = args.unknown({"out", "in"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Cli, NegativeNumbersAsValues) {
+  const auto args = parse({"tool", "--offset", "-5"});
+  EXPECT_EQ(args.int_or("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace booterscope::util

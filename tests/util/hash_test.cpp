@@ -1,0 +1,62 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <unordered_set>
+#include <vector>
+
+namespace booterscope::util {
+namespace {
+
+/// Official SipHash-2-4 test vectors (Aumasson & Bernstein reference
+/// implementation): key = 00..0f, message = 00, 01, ... of growing length.
+TEST(SipHash, ReferenceVectors) {
+  const SipKey key{0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+  const std::array<std::uint64_t, 9> expected = {
+      0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+      0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+      0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL, 0x93f5f5799a932462ULL,
+  };
+  std::vector<std::uint8_t> message;
+  for (std::size_t len = 0; len < expected.size(); ++len) {
+    EXPECT_EQ(siphash24(key, std::span<const std::uint8_t>{message}),
+              expected[len])
+        << "message length " << len;
+    message.push_back(static_cast<std::uint8_t>(len));
+  }
+}
+
+TEST(SipHash, U64FastPathMatchesByteVersion) {
+  const SipKey key{0x1234, 0x5678};
+  for (const std::uint64_t value : {0ULL, 1ULL, 0xdeadbeefULL,
+                                    0xffffffffffffffffULL}) {
+    std::array<std::uint8_t, 8> bytes{};
+    for (std::size_t i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+    EXPECT_EQ(siphash24(key, value),
+              siphash24(key, std::span<const std::uint8_t>{bytes}));
+  }
+}
+
+TEST(SipHash, KeySeparation) {
+  const SipKey a{1, 2};
+  const SipKey b{1, 3};
+  EXPECT_NE(siphash24(a, 42ULL), siphash24(b, 42ULL));
+}
+
+TEST(SipHash, NoEasyCollisions) {
+  const SipKey key{7, 9};
+  std::unordered_set<std::uint64_t> digests;
+  for (std::uint64_t i = 0; i < 10'000; ++i) digests.insert(siphash24(key, i));
+  EXPECT_EQ(digests.size(), 10'000u);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+}  // namespace
+}  // namespace booterscope::util

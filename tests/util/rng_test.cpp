@@ -1,0 +1,231 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+namespace booterscope::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  // A fork taken at the same parent state is identical...
+  Rng parent1(7);
+  Rng parent2(7);
+  Rng child1 = parent1.fork(1);
+  Rng child2 = parent2.fork(1);
+  EXPECT_EQ(child1(), child2());
+  // ...and different stream ids give different children.
+  Rng parent3(7);
+  Rng child3 = parent3.fork(2);
+  Rng parent4(7);
+  Rng child4 = parent4.fork(1);
+  EXPECT_NE(child3(), child4());
+}
+
+TEST(Rng, ForkByLabelStable) {
+  Rng a(3);
+  Rng b(3);
+  EXPECT_EQ(a.fork("alpha")(), b.fork("alpha")());
+  Rng c(3);
+  Rng d(3);
+  EXPECT_NE(c.fork("alpha")(), d.fork("beta")());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedIsUnbiased) {
+  Rng rng(13);
+  constexpr std::uint64_t kBound = 7;
+  std::array<int, kBound> counts{};
+  constexpr int kDraws = 140'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 7.0, kDraws / 7.0 * 0.05);
+  }
+}
+
+TEST(Rng, BoundedZeroAndOne) {
+  Rng rng(1);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Distributions, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) sum += exponential(rng, 2.0);
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Distributions, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = normal(rng, 3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Distributions, LognormalMedian) {
+  Rng rng(29);
+  std::vector<double> draws;
+  for (int i = 0; i < 50'001; ++i) draws.push_back(lognormal(rng, 1.0, 0.5));
+  std::nth_element(draws.begin(), draws.begin() + 25'000, draws.end());
+  EXPECT_NEAR(draws[25'000], std::exp(1.0), 0.1);
+}
+
+TEST(Distributions, ParetoTail) {
+  Rng rng(31);
+  constexpr double kAlpha = 1.5;
+  constexpr double kMin = 2.0;
+  int above = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = pareto(rng, kMin, kAlpha);
+    ASSERT_GE(x, kMin);
+    above += x > 4.0 ? 1 : 0;
+  }
+  // P(X > 4) = (2/4)^1.5 = 0.3536
+  EXPECT_NEAR(static_cast<double>(above) / kDraws, 0.3536, 0.01);
+}
+
+TEST(Distributions, BoundedParetoRespectsBounds) {
+  Rng rng(37);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = bounded_pareto(rng, 3.0, 9000.0, 1.0);
+    ASSERT_GE(x, 3.0);
+    ASSERT_LE(x, 9000.0);
+  }
+}
+
+TEST(Distributions, BoundedParetoMatchesTruncatedCdf) {
+  Rng rng(41);
+  constexpr double kAlpha = 1.2;
+  constexpr double kMin = 1.0;
+  constexpr double kCap = 100.0;
+  int below10 = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    below10 += bounded_pareto(rng, kMin, kCap, kAlpha) <= 10.0 ? 1 : 0;
+  }
+  // Truncated CDF at 10: (1 - (L/x)^a) / (1 - (L/H)^a)
+  const double expected = (1.0 - std::pow(kMin / 10.0, kAlpha)) /
+                          (1.0 - std::pow(kMin / kCap, kAlpha));
+  EXPECT_NEAR(static_cast<double>(below10) / kDraws, expected, 0.005);
+}
+
+TEST(Distributions, PoissonSmallMean) {
+  Rng rng(43);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto x = static_cast<double>(poisson(rng, 3.5));
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, 3.5, 0.03);
+  EXPECT_NEAR(sq / kDraws - mean * mean, 3.5, 0.1);  // variance == mean
+}
+
+TEST(Distributions, PoissonLargeMeanNormalApprox) {
+  Rng rng(47);
+  double sum = 0.0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(poisson(rng, 500.0));
+  EXPECT_NEAR(sum / kDraws, 500.0, 2.0);
+}
+
+TEST(Distributions, PoissonZeroMean) {
+  Rng rng(1);
+  EXPECT_EQ(poisson(rng, 0.0), 0u);
+  EXPECT_EQ(poisson(rng, -1.0), 0u);
+}
+
+TEST(Zipf, RankZeroMostLikely) {
+  Rng rng(53);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200'000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(Zipf, MatchesTheoreticalHeadProbability) {
+  Rng rng(59);
+  constexpr std::uint64_t kN = 100;
+  constexpr double kS = 1.2;
+  ZipfSampler zipf(kN, kS);
+  double harmonic = 0.0;
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    harmonic += std::pow(static_cast<double>(k), -kS);
+  }
+  constexpr int kDraws = 300'000;
+  int rank0 = 0;
+  for (int i = 0; i < kDraws; ++i) rank0 += zipf(rng) == 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(rank0) / kDraws, 1.0 / harmonic, 0.01);
+}
+
+TEST(Zipf, AllRanksReachable) {
+  Rng rng(61);
+  ZipfSampler zipf(5, 0.8);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 20'000; ++i) seen.insert(zipf(rng));
+  EXPECT_EQ(seen.size(), 5u);
+  for (const auto rank : seen) EXPECT_LT(rank, 5u);
+}
+
+}  // namespace
+}  // namespace booterscope::util

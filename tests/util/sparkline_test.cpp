@@ -1,0 +1,60 @@
+#include "util/sparkline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace booterscope::util {
+namespace {
+
+TEST(Sparkline, EmptyInput) {
+  EXPECT_EQ(sparkline({}), "");
+}
+
+TEST(Sparkline, ExtremesUseFullRange) {
+  const std::vector<double> values = {0.0, 1.0};
+  const std::string line = sparkline(values);
+  EXPECT_EQ(line, "▁█");
+}
+
+TEST(Sparkline, FlatSeriesRendersMidBlocks) {
+  const std::vector<double> values = {5.0, 5.0, 5.0};
+  const std::string line = sparkline(values);
+  EXPECT_EQ(line, "▄▄▄");
+}
+
+TEST(Sparkline, MonotoneSeriesIsMonotone) {
+  std::vector<double> values;
+  for (int i = 0; i < 8; ++i) values.push_back(i);
+  const std::string line = sparkline(values);
+  EXPECT_EQ(line, "▁▂▃▄▅▆▇█");
+}
+
+TEST(Sparkline, BucketsLongSeries) {
+  std::vector<double> values(800, 1.0);
+  const std::string line = sparkline(values, 40);
+  // 40 cells, each a 3-byte UTF-8 block.
+  EXPECT_EQ(line.size(), 40u * 3u);
+}
+
+TEST(Sparkline, MarkerInserted) {
+  const std::vector<double> values = {1, 2, 3, 4};
+  const std::string line = sparkline_with_marker(values, 1, 10);
+  EXPECT_NE(line.find("│"), std::string::npos);
+  // Marker sits after the second cell.
+  const std::string expected = std::string("▁▃│▆█");
+  EXPECT_EQ(line, expected);
+}
+
+TEST(Sparkline, TakedownStepIsVisible) {
+  // A 100/40 step function must show high blocks then low blocks.
+  std::vector<double> values;
+  for (int i = 0; i < 30; ++i) values.push_back(100.0);
+  for (int i = 0; i < 30; ++i) values.push_back(40.0);
+  const std::string line = sparkline(values, 60);
+  EXPECT_EQ(line.substr(0, 3), "█");
+  EXPECT_EQ(line.substr(line.size() - 3), "▁");
+}
+
+}  // namespace
+}  // namespace booterscope::util

@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace booterscope::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.row().add("a").add(std::int64_t{1});
+  table.row().add("long-name").add(std::int64_t{22});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name       value"), std::string::npos);
+  EXPECT_NE(text.find("long-name  22"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table table({"a", "b", "c"});
+  EXPECT_EQ(table.column_count(), 3u);
+  EXPECT_EQ(table.row_count(), 0u);
+  table.row().add("1").add("2").add("3");
+  table.row().add("4");
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, FormatsNumbers) {
+  Table table({"x"});
+  table.row().add(3.14159, 2);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_EQ(text.find("3.142"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"name", "note"});
+  table.row().add("a,b").add("say \"hi\"");
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table table({"x", "y"});
+  table.row().add("1").add("2");
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, IndentApplied) {
+  Table table({"h"});
+  table.row().add("v");
+  std::ostringstream out;
+  table.print(out, 4);
+  EXPECT_EQ(out.str().substr(0, 5), "    h");
+}
+
+TEST(Format, Bps) {
+  EXPECT_EQ(format_bps(1'440'000'000.0), "1.44 Gbps");
+  EXPECT_EQ(format_bps(20'000'000.0), "20.00 Mbps");
+  EXPECT_EQ(format_bps(1'500.0), "1.50 Kbps");
+  EXPECT_EQ(format_bps(12.0), "12.00 bps");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(834e9), "834.00B");
+  EXPECT_EQ(format_count(6.6e9), "6.60B");
+  EXPECT_EQ(format_count(1'500'000.0), "1.50M");
+  EXPECT_EQ(format_count(2'300.0), "2.30K");
+  EXPECT_EQ(format_count(42.0), "42");
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace booterscope::util

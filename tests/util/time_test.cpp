@@ -1,0 +1,129 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace booterscope::util {
+namespace {
+
+TEST(CivilDate, EpochIsDayZero) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(days_from_civil({1970, 1, 2}), 1);
+  EXPECT_EQ(days_from_civil({1969, 12, 31}), -1);
+}
+
+TEST(CivilDate, KnownDates) {
+  EXPECT_EQ(days_from_civil({2000, 3, 1}), 11017);
+  EXPECT_EQ(days_from_civil({2018, 12, 19}), 17884);
+}
+
+TEST(CivilDate, RoundTripsOverDecades) {
+  // Property: civil_from_days(days_from_civil(d)) == d for every day
+  // across leap years and century boundaries.
+  for (std::int64_t day = days_from_civil({1999, 1, 1});
+       day <= days_from_civil({2025, 12, 31}); ++day) {
+    const CivilDate date = civil_from_days(day);
+    ASSERT_EQ(days_from_civil(date), day)
+        << date.year << "-" << date.month << "-" << date.day;
+    ASSERT_GE(date.month, 1u);
+    ASSERT_LE(date.month, 12u);
+    ASSERT_GE(date.day, 1u);
+    ASSERT_LE(date.day, 31u);
+  }
+}
+
+TEST(CivilDate, LeapYearHandling) {
+  EXPECT_EQ(civil_from_days(days_from_civil({2000, 2, 29})),
+            (CivilDate{2000, 2, 29}));
+  EXPECT_EQ(days_from_civil({2000, 3, 1}) - days_from_civil({2000, 2, 28}), 2);
+  // 1900 is not a leap year.
+  EXPECT_EQ(days_from_civil({1900, 3, 1}) - days_from_civil({1900, 2, 28}), 1);
+}
+
+TEST(Duration, Factories) {
+  EXPECT_EQ(Duration::seconds(1).total_nanos(), 1'000'000'000);
+  EXPECT_EQ(Duration::minutes(2).total_seconds(), 120);
+  EXPECT_EQ(Duration::hours(1).total_minutes(), 60);
+  EXPECT_EQ(Duration::days(2).total_hours(), 48);
+  EXPECT_EQ(Duration::millis(1500).total_seconds(), 1);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).as_seconds(), 1.5);
+  EXPECT_EQ(Duration::seconds_f(0.25).total_millis(), 250);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration d = Duration::seconds(90) - Duration::minutes(1);
+  EXPECT_EQ(d.total_seconds(), 30);
+  EXPECT_EQ((d * 4).total_minutes(), 2);
+  EXPECT_EQ((-d).total_seconds(), -30);
+  EXPECT_LT(Duration::seconds(1), Duration::seconds(2));
+}
+
+TEST(Timestamp, ParseDateOnly) {
+  const auto t = Timestamp::parse("2018-12-19");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->date(), (CivilDate{2018, 12, 19}));
+  EXPECT_EQ(t->seconds() % 86'400, 0);
+}
+
+TEST(Timestamp, ParseDateTime) {
+  const auto t = Timestamp::parse("2018-12-19T13:45:30");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->hour_of_day(), 13);
+  EXPECT_EQ(t->seconds() % 60, 30);
+  EXPECT_EQ(t->iso_string(), "2018-12-19T13:45:30Z");
+}
+
+TEST(Timestamp, ParseRejectsMalformed) {
+  EXPECT_FALSE(Timestamp::parse("").has_value());
+  EXPECT_FALSE(Timestamp::parse("2018").has_value());
+  EXPECT_FALSE(Timestamp::parse("2018/12/19").has_value());
+  EXPECT_FALSE(Timestamp::parse("2018-13-01").has_value());
+  EXPECT_FALSE(Timestamp::parse("2018-00-01").has_value());
+  EXPECT_FALSE(Timestamp::parse("2018-12-32").has_value());
+  EXPECT_FALSE(Timestamp::parse("2018-12-19T25:00:00").has_value());
+  EXPECT_FALSE(Timestamp::parse("2018-12-19 13:00:00").has_value());
+  EXPECT_FALSE(Timestamp::parse("abcd-12-19").has_value());
+}
+
+TEST(Timestamp, ParseFormatsRoundTrip) {
+  const char* const kDates[] = {"2016-08-01", "2018-02-28", "2020-02-29",
+                                "2019-12-31"};
+  for (const char* date : kDates) {
+    const auto t = Timestamp::parse(date);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->date_string(), date);
+  }
+}
+
+TEST(Timestamp, FloorToDay) {
+  const auto t = Timestamp::parse("2018-12-19T13:45:30").value();
+  EXPECT_EQ(t.floor_to(Duration::days(1)),
+            Timestamp::parse("2018-12-19").value());
+  EXPECT_EQ(t.floor_to(Duration::hours(1)),
+            Timestamp::parse("2018-12-19T13:00:00").value());
+  EXPECT_EQ(t.floor_to(Duration::minutes(1)),
+            Timestamp::parse("2018-12-19T13:45:00").value());
+}
+
+TEST(Timestamp, FloorToNegativeTimes) {
+  // Pre-epoch timestamps floor toward negative infinity, not toward zero.
+  const Timestamp t = Timestamp::from_seconds(-1);
+  EXPECT_EQ(t.floor_to(Duration::days(1)),
+            Timestamp::from_seconds(-86'400));
+}
+
+TEST(Timestamp, Weekday) {
+  // 2018-12-19 was a Wednesday (0 = Monday).
+  EXPECT_EQ(Timestamp::parse("2018-12-19")->weekday(), 2);
+  EXPECT_EQ(Timestamp::parse("2018-12-22")->weekday(), 5);  // Saturday
+  EXPECT_EQ(Timestamp::parse("1970-01-01")->weekday(), 3);  // Thursday
+}
+
+TEST(Timestamp, Arithmetic) {
+  const auto t = Timestamp::parse("2018-12-19").value();
+  EXPECT_EQ((t + Duration::days(3)).date_string(), "2018-12-22");
+  EXPECT_EQ((t - Duration::days(19)).date_string(), "2018-11-30");
+  EXPECT_EQ(((t + Duration::hours(5)) - t).total_hours(), 5);
+}
+
+}  // namespace
+}  // namespace booterscope::util
