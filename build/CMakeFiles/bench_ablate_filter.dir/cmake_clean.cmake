@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_filter.dir/bench/bench_ablate_filter.cpp.o"
+  "CMakeFiles/bench_ablate_filter.dir/bench/bench_ablate_filter.cpp.o.d"
+  "bench/bench_ablate_filter"
+  "bench/bench_ablate_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_honeypots.dir/bench/bench_ablate_honeypots.cpp.o"
+  "CMakeFiles/bench_ablate_honeypots.dir/bench/bench_ablate_honeypots.cpp.o.d"
+  "bench/bench_ablate_honeypots"
+  "bench/bench_ablate_honeypots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_honeypots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_migration.dir/bench/bench_ablate_migration.cpp.o"
+  "CMakeFiles/bench_ablate_migration.dir/bench/bench_ablate_migration.cpp.o.d"
+  "bench/bench_ablate_migration"
+  "bench/bench_ablate_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_sampling.dir/bench/bench_ablate_sampling.cpp.o"
+  "CMakeFiles/bench_ablate_sampling.dir/bench/bench_ablate_sampling.cpp.o.d"
+  "bench/bench_ablate_sampling"
+  "bench/bench_ablate_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

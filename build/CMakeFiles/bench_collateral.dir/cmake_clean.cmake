@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collateral.dir/bench/bench_collateral.cpp.o"
+  "CMakeFiles/bench_collateral.dir/bench/bench_collateral.cpp.o.d"
+  "bench/bench_collateral"
+  "bench/bench_collateral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collateral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

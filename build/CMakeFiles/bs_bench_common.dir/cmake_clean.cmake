@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/bs_bench_common.dir/bench/common.cpp.o.d"
+  "libbs_bench_common.a"
+  "libbs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

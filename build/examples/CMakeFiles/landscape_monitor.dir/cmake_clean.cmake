@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landscape_monitor.dir/landscape_monitor.cpp.o"
+  "CMakeFiles/landscape_monitor.dir/landscape_monitor.cpp.o.d"
+  "landscape_monitor"
+  "landscape_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landscape_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfattack_lab.dir/selfattack_lab.cpp.o"
+  "CMakeFiles/selfattack_lab.dir/selfattack_lab.cpp.o.d"
+  "selfattack_lab"
+  "selfattack_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfattack_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

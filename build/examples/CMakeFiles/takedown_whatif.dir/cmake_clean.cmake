@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/takedown_whatif.dir/takedown_whatif.cpp.o"
+  "CMakeFiles/takedown_whatif.dir/takedown_whatif.cpp.o.d"
+  "takedown_whatif"
+  "takedown_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/takedown_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

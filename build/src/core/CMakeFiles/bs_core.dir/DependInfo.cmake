@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack_events.cpp" "src/core/CMakeFiles/bs_core.dir/attack_events.cpp.o" "gcc" "src/core/CMakeFiles/bs_core.dir/attack_events.cpp.o.d"
+  "/root/repo/src/core/attribution.cpp" "src/core/CMakeFiles/bs_core.dir/attribution.cpp.o" "gcc" "src/core/CMakeFiles/bs_core.dir/attribution.cpp.o.d"
+  "/root/repo/src/core/mitigation.cpp" "src/core/CMakeFiles/bs_core.dir/mitigation.cpp.o" "gcc" "src/core/CMakeFiles/bs_core.dir/mitigation.cpp.o.d"
+  "/root/repo/src/core/overlap.cpp" "src/core/CMakeFiles/bs_core.dir/overlap.cpp.o" "gcc" "src/core/CMakeFiles/bs_core.dir/overlap.cpp.o.d"
+  "/root/repo/src/core/pktsize.cpp" "src/core/CMakeFiles/bs_core.dir/pktsize.cpp.o" "gcc" "src/core/CMakeFiles/bs_core.dir/pktsize.cpp.o.d"
+  "/root/repo/src/core/selfattack_analysis.cpp" "src/core/CMakeFiles/bs_core.dir/selfattack_analysis.cpp.o" "gcc" "src/core/CMakeFiles/bs_core.dir/selfattack_analysis.cpp.o.d"
+  "/root/repo/src/core/takedown.cpp" "src/core/CMakeFiles/bs_core.dir/takedown.cpp.o" "gcc" "src/core/CMakeFiles/bs_core.dir/takedown.cpp.o.d"
+  "/root/repo/src/core/victims.cpp" "src/core/CMakeFiles/bs_core.dir/victims.cpp.o" "gcc" "src/core/CMakeFiles/bs_core.dir/victims.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/bs_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_core.dir/attack_events.cpp.o"
+  "CMakeFiles/bs_core.dir/attack_events.cpp.o.d"
+  "CMakeFiles/bs_core.dir/attribution.cpp.o"
+  "CMakeFiles/bs_core.dir/attribution.cpp.o.d"
+  "CMakeFiles/bs_core.dir/mitigation.cpp.o"
+  "CMakeFiles/bs_core.dir/mitigation.cpp.o.d"
+  "CMakeFiles/bs_core.dir/overlap.cpp.o"
+  "CMakeFiles/bs_core.dir/overlap.cpp.o.d"
+  "CMakeFiles/bs_core.dir/pktsize.cpp.o"
+  "CMakeFiles/bs_core.dir/pktsize.cpp.o.d"
+  "CMakeFiles/bs_core.dir/selfattack_analysis.cpp.o"
+  "CMakeFiles/bs_core.dir/selfattack_analysis.cpp.o.d"
+  "CMakeFiles/bs_core.dir/takedown.cpp.o"
+  "CMakeFiles/bs_core.dir/takedown.cpp.o.d"
+  "CMakeFiles/bs_core.dir/victims.cpp.o"
+  "CMakeFiles/bs_core.dir/victims.cpp.o.d"
+  "libbs_core.a"
+  "libbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_dnsobs.dir/blacklist.cpp.o"
+  "CMakeFiles/bs_dnsobs.dir/blacklist.cpp.o.d"
+  "CMakeFiles/bs_dnsobs.dir/observatory.cpp.o"
+  "CMakeFiles/bs_dnsobs.dir/observatory.cpp.o.d"
+  "libbs_dnsobs.a"
+  "libbs_dnsobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_dnsobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/anonymize.cpp" "src/flow/CMakeFiles/bs_flow.dir/anonymize.cpp.o" "gcc" "src/flow/CMakeFiles/bs_flow.dir/anonymize.cpp.o.d"
+  "/root/repo/src/flow/collector.cpp" "src/flow/CMakeFiles/bs_flow.dir/collector.cpp.o" "gcc" "src/flow/CMakeFiles/bs_flow.dir/collector.cpp.o.d"
+  "/root/repo/src/flow/ipfix.cpp" "src/flow/CMakeFiles/bs_flow.dir/ipfix.cpp.o" "gcc" "src/flow/CMakeFiles/bs_flow.dir/ipfix.cpp.o.d"
+  "/root/repo/src/flow/netflow_v5.cpp" "src/flow/CMakeFiles/bs_flow.dir/netflow_v5.cpp.o" "gcc" "src/flow/CMakeFiles/bs_flow.dir/netflow_v5.cpp.o.d"
+  "/root/repo/src/flow/netflow_v9.cpp" "src/flow/CMakeFiles/bs_flow.dir/netflow_v9.cpp.o" "gcc" "src/flow/CMakeFiles/bs_flow.dir/netflow_v9.cpp.o.d"
+  "/root/repo/src/flow/sampler.cpp" "src/flow/CMakeFiles/bs_flow.dir/sampler.cpp.o" "gcc" "src/flow/CMakeFiles/bs_flow.dir/sampler.cpp.o.d"
+  "/root/repo/src/flow/store.cpp" "src/flow/CMakeFiles/bs_flow.dir/store.cpp.o" "gcc" "src/flow/CMakeFiles/bs_flow.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/bs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_flow.dir/anonymize.cpp.o"
+  "CMakeFiles/bs_flow.dir/anonymize.cpp.o.d"
+  "CMakeFiles/bs_flow.dir/collector.cpp.o"
+  "CMakeFiles/bs_flow.dir/collector.cpp.o.d"
+  "CMakeFiles/bs_flow.dir/ipfix.cpp.o"
+  "CMakeFiles/bs_flow.dir/ipfix.cpp.o.d"
+  "CMakeFiles/bs_flow.dir/netflow_v5.cpp.o"
+  "CMakeFiles/bs_flow.dir/netflow_v5.cpp.o.d"
+  "CMakeFiles/bs_flow.dir/netflow_v9.cpp.o"
+  "CMakeFiles/bs_flow.dir/netflow_v9.cpp.o.d"
+  "CMakeFiles/bs_flow.dir/sampler.cpp.o"
+  "CMakeFiles/bs_flow.dir/sampler.cpp.o.d"
+  "CMakeFiles/bs_flow.dir/store.cpp.o"
+  "CMakeFiles/bs_flow.dir/store.cpp.o.d"
+  "libbs_flow.a"
+  "libbs_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

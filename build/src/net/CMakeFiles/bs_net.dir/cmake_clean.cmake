@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_net.dir/ipv4.cpp.o"
+  "CMakeFiles/bs_net.dir/ipv4.cpp.o.d"
+  "libbs_net.a"
+  "libbs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_pcap.dir/packet.cpp.o"
+  "CMakeFiles/bs_pcap.dir/packet.cpp.o.d"
+  "CMakeFiles/bs_pcap.dir/pcap_file.cpp.o"
+  "CMakeFiles/bs_pcap.dir/pcap_file.cpp.o.d"
+  "libbs_pcap.a"
+  "libbs_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

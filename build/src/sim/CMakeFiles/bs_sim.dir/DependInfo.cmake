@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/booter.cpp" "src/sim/CMakeFiles/bs_sim.dir/booter.cpp.o" "gcc" "src/sim/CMakeFiles/bs_sim.dir/booter.cpp.o.d"
+  "/root/repo/src/sim/honeypot.cpp" "src/sim/CMakeFiles/bs_sim.dir/honeypot.cpp.o" "gcc" "src/sim/CMakeFiles/bs_sim.dir/honeypot.cpp.o.d"
+  "/root/repo/src/sim/internet.cpp" "src/sim/CMakeFiles/bs_sim.dir/internet.cpp.o" "gcc" "src/sim/CMakeFiles/bs_sim.dir/internet.cpp.o.d"
+  "/root/repo/src/sim/landscape.cpp" "src/sim/CMakeFiles/bs_sim.dir/landscape.cpp.o" "gcc" "src/sim/CMakeFiles/bs_sim.dir/landscape.cpp.o.d"
+  "/root/repo/src/sim/reflector.cpp" "src/sim/CMakeFiles/bs_sim.dir/reflector.cpp.o" "gcc" "src/sim/CMakeFiles/bs_sim.dir/reflector.cpp.o.d"
+  "/root/repo/src/sim/selfattack.cpp" "src/sim/CMakeFiles/bs_sim.dir/selfattack.cpp.o" "gcc" "src/sim/CMakeFiles/bs_sim.dir/selfattack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/bs_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/bs_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/bs_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_sim.dir/booter.cpp.o"
+  "CMakeFiles/bs_sim.dir/booter.cpp.o.d"
+  "CMakeFiles/bs_sim.dir/honeypot.cpp.o"
+  "CMakeFiles/bs_sim.dir/honeypot.cpp.o.d"
+  "CMakeFiles/bs_sim.dir/internet.cpp.o"
+  "CMakeFiles/bs_sim.dir/internet.cpp.o.d"
+  "CMakeFiles/bs_sim.dir/landscape.cpp.o"
+  "CMakeFiles/bs_sim.dir/landscape.cpp.o.d"
+  "CMakeFiles/bs_sim.dir/reflector.cpp.o"
+  "CMakeFiles/bs_sim.dir/reflector.cpp.o.d"
+  "CMakeFiles/bs_sim.dir/selfattack.cpp.o"
+  "CMakeFiles/bs_sim.dir/selfattack.cpp.o.d"
+  "libbs_sim.a"
+  "libbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

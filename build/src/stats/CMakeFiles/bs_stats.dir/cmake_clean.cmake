@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/bs_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/bs_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/bs_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/bs_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/bs_stats.dir/timeseries.cpp.o.d"
+  "CMakeFiles/bs_stats.dir/welch.cpp.o"
+  "CMakeFiles/bs_stats.dir/welch.cpp.o.d"
+  "libbs_stats.a"
+  "libbs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

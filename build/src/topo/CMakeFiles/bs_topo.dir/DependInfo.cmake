@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/flap.cpp" "src/topo/CMakeFiles/bs_topo.dir/flap.cpp.o" "gcc" "src/topo/CMakeFiles/bs_topo.dir/flap.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "src/topo/CMakeFiles/bs_topo.dir/graph.cpp.o" "gcc" "src/topo/CMakeFiles/bs_topo.dir/graph.cpp.o.d"
+  "/root/repo/src/topo/ixp.cpp" "src/topo/CMakeFiles/bs_topo.dir/ixp.cpp.o" "gcc" "src/topo/CMakeFiles/bs_topo.dir/ixp.cpp.o.d"
+  "/root/repo/src/topo/routing.cpp" "src/topo/CMakeFiles/bs_topo.dir/routing.cpp.o" "gcc" "src/topo/CMakeFiles/bs_topo.dir/routing.cpp.o.d"
+  "/root/repo/src/topo/traffic_matrix.cpp" "src/topo/CMakeFiles/bs_topo.dir/traffic_matrix.cpp.o" "gcc" "src/topo/CMakeFiles/bs_topo.dir/traffic_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/bs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_topo.dir/flap.cpp.o"
+  "CMakeFiles/bs_topo.dir/flap.cpp.o.d"
+  "CMakeFiles/bs_topo.dir/graph.cpp.o"
+  "CMakeFiles/bs_topo.dir/graph.cpp.o.d"
+  "CMakeFiles/bs_topo.dir/ixp.cpp.o"
+  "CMakeFiles/bs_topo.dir/ixp.cpp.o.d"
+  "CMakeFiles/bs_topo.dir/routing.cpp.o"
+  "CMakeFiles/bs_topo.dir/routing.cpp.o.d"
+  "CMakeFiles/bs_topo.dir/traffic_matrix.cpp.o"
+  "CMakeFiles/bs_topo.dir/traffic_matrix.cpp.o.d"
+  "libbs_topo.a"
+  "libbs_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_util.dir/cli.cpp.o"
+  "CMakeFiles/bs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/bs_util.dir/hash.cpp.o"
+  "CMakeFiles/bs_util.dir/hash.cpp.o.d"
+  "CMakeFiles/bs_util.dir/rng.cpp.o"
+  "CMakeFiles/bs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bs_util.dir/sparkline.cpp.o"
+  "CMakeFiles/bs_util.dir/sparkline.cpp.o.d"
+  "CMakeFiles/bs_util.dir/table.cpp.o"
+  "CMakeFiles/bs_util.dir/table.cpp.o.d"
+  "CMakeFiles/bs_util.dir/time.cpp.o"
+  "CMakeFiles/bs_util.dir/time.cpp.o.d"
+  "libbs_util.a"
+  "libbs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

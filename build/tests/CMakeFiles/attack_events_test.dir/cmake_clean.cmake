@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_events_test.dir/core/attack_events_test.cpp.o"
+  "CMakeFiles/attack_events_test.dir/core/attack_events_test.cpp.o.d"
+  "attack_events_test"
+  "attack_events_test.pdb"
+  "attack_events_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

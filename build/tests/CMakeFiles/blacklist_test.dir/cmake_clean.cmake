@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blacklist_test.dir/dnsobs/blacklist_test.cpp.o"
+  "CMakeFiles/blacklist_test.dir/dnsobs/blacklist_test.cpp.o.d"
+  "blacklist_test"
+  "blacklist_test.pdb"
+  "blacklist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blacklist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

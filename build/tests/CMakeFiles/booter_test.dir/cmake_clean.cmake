@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/booter_test.dir/sim/booter_test.cpp.o"
+  "CMakeFiles/booter_test.dir/sim/booter_test.cpp.o.d"
+  "booter_test"
+  "booter_test.pdb"
+  "booter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/booter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

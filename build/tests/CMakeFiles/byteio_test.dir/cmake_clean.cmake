@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byteio_test.dir/util/byteio_test.cpp.o"
+  "CMakeFiles/byteio_test.dir/util/byteio_test.cpp.o.d"
+  "byteio_test"
+  "byteio_test.pdb"
+  "byteio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byteio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/cli_test.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/cli_test.dir/util/cli_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnsobs/CMakeFiles/bs_dnsobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bs_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/bs_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/bs_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_test.dir/sim/internet_test.cpp.o"
+  "CMakeFiles/internet_test.dir/sim/internet_test.cpp.o.d"
+  "internet_test"
+  "internet_test.pdb"
+  "internet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfix_test.dir/flow/ipfix_test.cpp.o"
+  "CMakeFiles/ipfix_test.dir/flow/ipfix_test.cpp.o.d"
+  "ipfix_test"
+  "ipfix_test.pdb"
+  "ipfix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

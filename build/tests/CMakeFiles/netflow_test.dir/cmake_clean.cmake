@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflow_test.dir/flow/netflow_test.cpp.o"
+  "CMakeFiles/netflow_test.dir/flow/netflow_test.cpp.o.d"
+  "netflow_test"
+  "netflow_test.pdb"
+  "netflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

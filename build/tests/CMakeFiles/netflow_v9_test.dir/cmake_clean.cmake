@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflow_v9_test.dir/flow/netflow_v9_test.cpp.o"
+  "CMakeFiles/netflow_v9_test.dir/flow/netflow_v9_test.cpp.o.d"
+  "netflow_v9_test"
+  "netflow_v9_test.pdb"
+  "netflow_v9_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflow_v9_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

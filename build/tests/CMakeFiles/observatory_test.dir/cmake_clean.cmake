@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observatory_test.dir/dnsobs/observatory_test.cpp.o"
+  "CMakeFiles/observatory_test.dir/dnsobs/observatory_test.cpp.o.d"
+  "observatory_test"
+  "observatory_test.pdb"
+  "observatory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observatory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_file_test.dir/pcap/pcap_file_test.cpp.o"
+  "CMakeFiles/pcap_file_test.dir/pcap/pcap_file_test.cpp.o.d"
+  "pcap_file_test"
+  "pcap_file_test.pdb"
+  "pcap_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflector_test.dir/sim/reflector_test.cpp.o"
+  "CMakeFiles/reflector_test.dir/sim/reflector_test.cpp.o.d"
+  "reflector_test"
+  "reflector_test.pdb"
+  "reflector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfattack_test.dir/sim/selfattack_test.cpp.o"
+  "CMakeFiles/selfattack_test.dir/sim/selfattack_test.cpp.o.d"
+  "selfattack_test"
+  "selfattack_test.pdb"
+  "selfattack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfattack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for selfattack_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfattack_vectors_test.dir/sim/selfattack_vectors_test.cpp.o"
+  "CMakeFiles/selfattack_vectors_test.dir/sim/selfattack_vectors_test.cpp.o.d"
+  "selfattack_vectors_test"
+  "selfattack_vectors_test.pdb"
+  "selfattack_vectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfattack_vectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

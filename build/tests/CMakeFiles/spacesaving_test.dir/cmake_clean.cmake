@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacesaving_test.dir/stats/spacesaving_test.cpp.o"
+  "CMakeFiles/spacesaving_test.dir/stats/spacesaving_test.cpp.o.d"
+  "spacesaving_test"
+  "spacesaving_test.pdb"
+  "spacesaving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacesaving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkline_test.dir/util/sparkline_test.cpp.o"
+  "CMakeFiles/sparkline_test.dir/util/sparkline_test.cpp.o.d"
+  "sparkline_test"
+  "sparkline_test.pdb"
+  "sparkline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_matrix_test.dir/topo/traffic_matrix_test.cpp.o"
+  "CMakeFiles/traffic_matrix_test.dir/topo/traffic_matrix_test.cpp.o.d"
+  "traffic_matrix_test"
+  "traffic_matrix_test.pdb"
+  "traffic_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

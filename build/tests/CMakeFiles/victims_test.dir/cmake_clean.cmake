@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/victims_test.dir/core/victims_test.cpp.o"
+  "CMakeFiles/victims_test.dir/core/victims_test.cpp.o.d"
+  "victims_test"
+  "victims_test.pdb"
+  "victims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/victims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/welch_test.dir/stats/welch_test.cpp.o"
+  "CMakeFiles/welch_test.dir/stats/welch_test.cpp.o.d"
+  "welch_test"
+  "welch_test.pdb"
+  "welch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/welch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
