@@ -84,5 +84,6 @@ int main() {
        "survivors shrink ~10x from optimistic set; recall bounded by "
        "sampling"},
   });
+  world.write_observability("ablate_filter");
   return 0;
 }

@@ -40,5 +40,6 @@ int main() {
        "bimodal; " + util::format_double(monlist_mass * 100.0, 1) +
            "% mass in 480-500B monlist bins"},
   });
+  world.write_observability("fig2a");
   return 0;
 }

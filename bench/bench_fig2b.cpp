@@ -115,5 +115,6 @@ int main() {
            util::format_double(reduction.reduction_amplifiers_only() * 100.0, 0) +
            "%)"},
   });
+  world.write_observability("fig2b");
   return 0;
 }

@@ -82,5 +82,6 @@ int main() {
        util::format_double(vantages[0].gbps.at(0.1) * 100.0, 0) +
            "% of IXP targets below 0.1 Gbps"},
   });
+  world.write_observability("fig2c");
   return 0;
 }

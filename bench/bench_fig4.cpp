@@ -115,5 +115,6 @@ int main() {
       {"reflector-to-victim traffic", "no significant reduction",
        fmt(victim_metrics)},
   });
+  world.write_observability("fig4");
   return 0;
 }

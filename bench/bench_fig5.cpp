@@ -62,5 +62,6 @@ int main() {
       {"conclusion", "takedown does not reduce number of attacked systems",
        "reproduced: no significant change in attacked-system counts"},
   });
+  world.write_observability("fig5");
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/exposition.hpp"
 
 namespace booterscope::bench {
 
@@ -19,6 +22,58 @@ void print_comparisons(const std::vector<Comparison>& rows) {
   std::cout << "\nPaper vs. measured (shape comparison; absolute numbers are\n"
                "scaled, see DESIGN.md):\n";
   table.print(std::cout, 2);
+}
+
+void write_observability(const std::string& experiment_id,
+                         const sim::LandscapeConfig& config,
+                         const obs::StageTracer* tracer) {
+  obs::RunManifest manifest("bench");
+  manifest.set_experiment(experiment_id);
+  manifest.set_seed(config.seed);
+  manifest.add_config("start", config.start.date_string());
+  manifest.add_config("days", static_cast<std::uint64_t>(config.days));
+  if (config.takedown) {
+    manifest.add_config("takedown", config.takedown->date_string());
+  }
+  manifest.add_config("attacks_per_day", config.attacks_per_day);
+  manifest.add_config("ixp_sampling",
+                      static_cast<std::uint64_t>(config.ixp_sampling));
+  manifest.add_config("tier1_sampling",
+                      static_cast<std::uint64_t>(config.tier1_sampling));
+  manifest.add_config("tier2_sampling",
+                      static_cast<std::uint64_t>(config.tier2_sampling));
+  manifest.add_config("demand_migration",
+                      config.demand_migration ? "true" : "false");
+
+  const obs::MetricsRegistry& registry = obs::metrics();
+  manifest.add_accounting(
+      "landscape_offered_packets",
+      registry.counter_total("booterscope_landscape_offered_packets_total"));
+  manifest.add_accounting(
+      "landscape_sampled_packets",
+      registry.counter_total("booterscope_landscape_sampled_packets_total"));
+  manifest.add_accounting(
+      "landscape_flows",
+      registry.counter_total("booterscope_landscape_flows_total"));
+  manifest.add_accounting(
+      "collector_exported_flows",
+      registry.counter_total("booterscope_collector_exported_flows_total"));
+  manifest.add_accounting(
+      "collector_lru_evictions",
+      obs::metrics()
+          .counter("booterscope_collector_exported_flows_total",
+                   {{"reason", "lru_eviction"}})
+          .value());
+
+  const std::string stem = "OBS_" + experiment_id;
+  if (!manifest.write(stem + ".manifest.json", tracer, &obs::metrics())) {
+    std::cerr << "warning: could not write " << stem << ".manifest.json\n";
+  }
+  const std::string prometheus = obs::to_prometheus(obs::metrics());
+  if (std::FILE* file = std::fopen((stem + ".prom").c_str(), "wb")) {
+    std::fwrite(prometheus.data(), 1, prometheus.size(), file);
+    std::fclose(file);
+  }
 }
 
 SelfAttackWorld::SelfAttackWorld() : internet_(sim::InternetConfig{}) {

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "sim/booter.hpp"
 #include "sim/internet.hpp"
 #include "sim/landscape.hpp"
@@ -62,14 +64,28 @@ class SelfAttackWorld {
   std::optional<sim::SelfAttackLab> lab_;
 };
 
+/// Writes the observability record of a landscape run next to the bench
+/// output: OBS_<id>.manifest.json (RunManifest: seed, config, git describe,
+/// stage table, drop/eviction accounting) and OBS_<id>.prom (Prometheus
+/// text). This is what makes a bench's printed numbers attributable later.
+void write_observability(const std::string& experiment_id,
+                         const sim::LandscapeConfig& config,
+                         const obs::StageTracer* tracer);
+
 /// The landscape world shared by the §4/§5 benches (one full 122-day run).
 struct LandscapeWorld {
   sim::Internet internet;
+  obs::StageTracer tracer;
   sim::LandscapeResult result;
 
   LandscapeWorld()
       : internet(sim::InternetConfig{}),
-        result(sim::run_landscape(internet, sim::paper_landscape_config())) {}
+        result(sim::run_landscape(internet, sim::paper_landscape_config(),
+                                  &tracer)) {}
+
+  void write_observability(const std::string& experiment_id) const {
+    bench::write_observability(experiment_id, result.config, &tracer);
+  }
 };
 
 }  // namespace booterscope::bench

@@ -1,17 +1,27 @@
 // Landscape monitor: an operator-style tool that watches a vantage point's
 // flow export, classifies NTP reflection attacks with the paper's filters,
-// and prints an attack blotter plus top-victim statistics.
+// and prints an attack blotter plus top-victim statistics. The run is fully
+// instrumented: per-day metric sparklines, a timed stage tree, a Prometheus
+// metrics dump, and a RunManifest written next to the output.
 //
 //   $ ./examples/landscape_monitor [days]
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/pktsize.hpp"
 #include "core/victims.hpp"
+#include "flow/sampler.hpp"
+#include "obs/exposition.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "stats/spacesaving.hpp"
 #include "sim/internet.hpp"
 #include "sim/landscape.hpp"
+#include "util/sparkline.hpp"
 #include "util/table.hpp"
 
 using namespace booterscope;
@@ -20,13 +30,14 @@ int main(int argc, char** argv) {
   const int days = argc > 1 ? std::max(3, std::atoi(argv[1])) : 14;
 
   // Simulate a few weeks of inter-domain traffic at the IXP.
+  obs::StageTracer tracer;
   const sim::Internet internet{sim::InternetConfig{}};
   sim::LandscapeConfig config;
   config.start = util::Timestamp::parse("2018-11-01").value();
   config.days = days;
   config.takedown = std::nullopt;
   config.attacks_per_day = 150.0;
-  const auto landscape = sim::run_landscape(internet, config);
+  const auto landscape = sim::run_landscape(internet, config, &tracer);
   std::cout << "Simulated " << days << " days: "
             << util::format_count(static_cast<double>(landscape.ixp.store.size()))
             << " sampled IXP flow records, " << landscape.attacks.size()
@@ -43,8 +54,14 @@ int main(int argc, char** argv) {
 
   // Victim aggregation with the conservative filter.
   core::VictimAggregator aggregator;
-  for (const auto& f : landscape.ixp.store.flows()) aggregator.add(f);
-  auto victims = aggregator.summarize();
+  std::vector<core::VictimSummary> victims;
+  {
+    obs::StageTimer timer(&tracer, "classification");
+    timer.add_items_in(landscape.ixp.store.size());
+    for (const auto& f : landscape.ixp.store.flows()) aggregator.add(f);
+    victims = aggregator.summarize();
+    timer.add_items_out(victims.size());
+  }
   std::sort(victims.begin(), victims.end(),
             [](const core::VictimSummary& a, const core::VictimSummary& b) {
               return a.max_gbps_per_minute > b.max_gbps_per_minute;
@@ -115,6 +132,106 @@ int main(int argc, char** argv) {
                          static_cast<double>(qualifying),
                      1)
               << "%).\n";
+  }
+
+  // ── Observability readout ─────────────────────────────────────────────
+  // Per-day view of what the vantage recorded.
+  std::vector<double> daily_records(static_cast<std::size_t>(days), 0.0);
+  std::vector<double> daily_gbytes(static_cast<std::size_t>(days), 0.0);
+  for (const auto& f : landscape.ixp.store.flows()) {
+    const auto day = (f.first - config.start).total_days();
+    if (day < 0 || day >= days) continue;
+    daily_records[static_cast<std::size_t>(day)] += 1.0;
+    daily_gbytes[static_cast<std::size_t>(day)] += f.scaled_bytes() / 1e9;
+  }
+  std::cout << "\nPer-day IXP export (" << days << " days):\n"
+            << "  records  " << util::sparkline(daily_records, 60) << "\n"
+            << "  volume   " << util::sparkline(daily_gbytes, 60) << "\n";
+
+  // Replay the IXP export through a deliberately small sampled flow cache —
+  // the exporter an operator would actually run. The tight max_entries
+  // exercises every export reason (timeout chops, LRU pressure, drain).
+  flow::FlowList replayed = landscape.ixp.store.flows();
+  std::sort(replayed.begin(), replayed.end(),
+            [](const flow::FlowRecord& a, const flow::FlowRecord& b) {
+              return a.first < b.first;
+            });
+  flow::CollectorConfig exporter_config;
+  exporter_config.max_entries = 1024;
+  flow::SampledCollector exporter(exporter_config, 4, util::Rng(99));
+  flow::FlowList exported;
+  {
+    obs::StageTimer timer(&tracer, "exporter_replay");
+    timer.add_items_in(replayed.size());
+    util::Timestamp next_expire = config.start;
+    for (const auto& f : replayed) {
+      while (f.first >= next_expire) {
+        exporter.expire(next_expire, exported);
+        next_expire += util::Duration::hours(6);
+      }
+      flow::PacketObservation p;
+      p.time = f.first;
+      p.tuple = f.key();
+      p.wire_bytes = static_cast<std::uint32_t>(f.mean_packet_size());
+      p.count = f.packets;
+      p.src_asn = f.src_asn;
+      p.dst_asn = f.dst_asn;
+      p.peer_asn = f.peer_asn;
+      p.direction = f.direction;
+      exporter.observe(p, exported);
+      timer.add_bytes(f.bytes);
+    }
+    exporter.drain(exported);
+    timer.add_items_out(exported.size());
+  }
+  const flow::CollectorStats& stats = exporter.collector().stats();
+  std::cout << "\nExporter replay (1-in-4 sampling, "
+            << exporter_config.max_entries << "-entry cache):\n";
+  util::Table reasons({"export reason", "flows", "packets"});
+  for (std::size_t i = 0; i < flow::kExportReasonCount; ++i) {
+    reasons.row()
+        .add(std::string(flow::to_string(static_cast<flow::ExportReason>(i))))
+        .add(stats.exported_flows[i])
+        .add(stats.exported_packets[i]);
+  }
+  reasons.print(std::cout, 2);
+  const std::uint64_t accounted = exporter.sampled_out_packets() +
+                                  stats.total_exported_packets() +
+                                  stats.cached_packets;
+  std::cout << "  conservation: " << exporter.offered_packets()
+            << " offered == " << exporter.sampled_out_packets()
+            << " sampled out + " << stats.total_exported_packets()
+            << " exported + " << stats.cached_packets << " cached — "
+            << (accounted == exporter.offered_packets() ? "holds" : "VIOLATED")
+            << "\n";
+
+  std::cout << "\nStage tree:\n" << tracer.render();
+
+  std::cout << "\n# Prometheus exposition\n"
+            << obs::to_prometheus(obs::metrics());
+
+  obs::RunManifest manifest("landscape_monitor");
+  manifest.set_experiment("landscape_monitor");
+  manifest.set_seed(config.seed);
+  manifest.add_config("start", config.start.date_string());
+  manifest.add_config("days", static_cast<std::uint64_t>(days));
+  manifest.add_config("attacks_per_day", config.attacks_per_day);
+  manifest.add_config("replay_sampling", std::uint64_t{4});
+  manifest.add_config("replay_max_entries",
+                      static_cast<std::uint64_t>(exporter_config.max_entries));
+  manifest.add_accounting("replay_offered_packets", exporter.offered_packets());
+  manifest.add_accounting("replay_sampled_out_packets",
+                          exporter.sampled_out_packets());
+  for (std::size_t i = 0; i < flow::kExportReasonCount; ++i) {
+    manifest.add_accounting(
+        "replay_exported_packets_" +
+            std::string(flow::to_string(static_cast<flow::ExportReason>(i))),
+        stats.exported_packets[i]);
+  }
+  manifest.add_accounting("replay_cached_packets", stats.cached_packets);
+  const char* manifest_path = "OBS_landscape_monitor.manifest.json";
+  if (manifest.write(manifest_path, &tracer, &obs::metrics())) {
+    std::cout << "\nRunManifest written to " << manifest_path << "\n";
   }
   return 0;
 }

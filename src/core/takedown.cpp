@@ -3,18 +3,40 @@
 #include <map>
 
 #include "core/victims.hpp"
+#include "obs/metrics.hpp"
 
 namespace booterscope::core {
+
+namespace {
+
+/// One series-construction pass over a flow list: counts scanned and
+/// selected flows per series kind so a shifted wtN/redN can be traced to
+/// its input population.
+void count_series_pass(std::string_view kind, std::size_t scanned,
+                       std::size_t selected) {
+  obs::MetricsRegistry& registry = obs::metrics();
+  const obs::Labels labels{{"kind", std::string(kind)}};
+  registry.counter("booterscope_takedown_series_built_total", labels).inc();
+  registry.counter("booterscope_takedown_scanned_flows_total", labels)
+      .add(scanned);
+  registry.counter("booterscope_takedown_selected_flows_total", labels)
+      .add(selected);
+}
+
+}  // namespace
 
 stats::BinnedSeries daily_packets_to_port(const flow::FlowList& flows,
                                           std::uint16_t service_port,
                                           util::Timestamp start, int days) {
   stats::BinnedSeries series(start, util::Duration::days(1),
                              static_cast<std::size_t>(days));
+  std::size_t selected = 0;
   for (const flow::FlowRecord& f : flows) {
     if (!is_to_reflector_flow(f, service_port)) continue;
     series.add(f.first, f.scaled_packets());
+    ++selected;
   }
+  count_series_pass("to_port", flows.size(), selected);
   return series;
 }
 
@@ -23,10 +45,13 @@ stats::BinnedSeries daily_packets_from_reflectors(
     util::Timestamp start, int days) {
   stats::BinnedSeries series(start, util::Duration::days(1),
                              static_cast<std::size_t>(days));
+  std::size_t selected = 0;
   for (const flow::FlowRecord& f : flows) {
     if (!is_reflection_flow(f, filter)) continue;
     series.add(f.first, f.scaled_packets());
+    ++selected;
   }
+  count_series_pass("from_reflectors", flows.size(), selected);
   return series;
 }
 
@@ -38,12 +63,15 @@ stats::BinnedSeries hourly_attacked_systems(const flow::FlowList& flows,
   std::map<std::int64_t, VictimAggregator> hours;
   const VictimAggregatorConfig aggregator_config{filter,
                                                  util::Duration::minutes(1)};
+  std::size_t selected = 0;
   for (const flow::FlowRecord& f : flows) {
     if (!is_reflection_flow(f, filter.optimistic)) continue;
     const std::int64_t hour = f.first.floor_to(util::Duration::hours(1)).nanos();
     auto [it, inserted] = hours.try_emplace(hour, aggregator_config);
     it->second.add(f);
+    ++selected;
   }
+  count_series_pass("attacked_systems", flows.size(), selected);
 
   stats::BinnedSeries series(start, util::Duration::hours(1),
                              static_cast<std::size_t>(days) * 24);
@@ -76,6 +104,7 @@ namespace {
 
 TakedownMetrics takedown_metrics(const stats::BinnedSeries& daily,
                                  util::Timestamp event, double alpha) {
+  obs::metrics().counter("booterscope_takedown_metrics_computed_total").inc();
   return TakedownMetrics{window_metrics(daily, event, 30, alpha),
                          window_metrics(daily, event, 40, alpha)};
 }

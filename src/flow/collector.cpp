@@ -4,11 +4,46 @@
 
 namespace booterscope::flow {
 
-void FlowCollector::export_entry(const net::FiveTuple& key, const Entry& entry,
+std::string_view to_string(ExportReason reason) noexcept {
+  switch (reason) {
+    case ExportReason::kActiveTimeout: return "active_timeout";
+    case ExportReason::kInactiveTimeout: return "inactive_timeout";
+    case ExportReason::kLruEviction: return "lru_eviction";
+    case ExportReason::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
+FlowCollector::FlowCollector(CollectorConfig config) : config_(config) {
+  obs::MetricsRegistry& registry = obs::metrics();
+  observed_packets_metric_ =
+      &registry.counter("booterscope_collector_observed_packets_total");
+  observed_bytes_metric_ =
+      &registry.counter("booterscope_collector_observed_bytes_total");
+  for (std::size_t i = 0; i < kExportReasonCount; ++i) {
+    const obs::Labels labels{
+        {"reason", std::string(to_string(static_cast<ExportReason>(i)))}};
+    exported_flows_metric_[i] = &registry.counter(
+        "booterscope_collector_exported_flows_total", labels);
+    exported_packets_metric_[i] = &registry.counter(
+        "booterscope_collector_exported_packets_total", labels);
+  }
+  cache_entries_metric_ = &registry.gauge("booterscope_collector_cache_entries");
+}
+
+void FlowCollector::export_entry(const Entry& entry, ExportReason reason,
                                  FlowList& out) {
-  (void)key;
   out.push_back(entry.flow);
-  ++exported_;
+  const auto index = static_cast<std::size_t>(reason);
+  stats_.exported_flows[index] += 1;
+  stats_.exported_packets[index] += entry.flow.packets;
+  stats_.cached_packets -= entry.flow.packets;
+  exported_flows_metric_[index]->inc();
+  exported_packets_metric_[index]->add(entry.flow.packets);
+}
+
+void FlowCollector::update_cache_gauge() noexcept {
+  cache_entries_metric_->set(static_cast<double>(cache_.size()));
 }
 
 void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
@@ -30,9 +65,13 @@ void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
     f.sampling_rate = config_.sampling_rate;
   } else {
     // Inactive timeout: silence since the last packet chops the flow.
-    if (packet.time - entry.flow.last >= config_.inactive_timeout ||
-        packet.time - entry.flow.first >= config_.active_timeout) {
-      export_entry(it->first, entry, out);
+    const bool inactive =
+        packet.time - entry.flow.last >= config_.inactive_timeout;
+    if (inactive || packet.time - entry.flow.first >= config_.active_timeout) {
+      export_entry(entry,
+                   inactive ? ExportReason::kInactiveTimeout
+                            : ExportReason::kActiveTimeout,
+                   out);
       FlowRecord& f = entry.flow;
       f.packets = 0;
       f.bytes = 0;
@@ -45,6 +84,13 @@ void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
   entry.flow.packets += packet.count;
   entry.flow.bytes += static_cast<std::uint64_t>(packet.wire_bytes) * packet.count;
   entry.flow.last = std::max(entry.flow.last, packet.time);
+  stats_.observed_packets += packet.count;
+  stats_.observed_bytes +=
+      static_cast<std::uint64_t>(packet.wire_bytes) * packet.count;
+  stats_.cached_packets += packet.count;
+  observed_packets_metric_->add(packet.count);
+  observed_bytes_metric_->add(static_cast<std::uint64_t>(packet.wire_bytes) *
+                              packet.count);
 
   if (cache_.size() > config_.max_entries) {
     // Memory pressure: force-expire the stalest entries (full scan; rare).
@@ -57,29 +103,36 @@ void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
     for (std::size_t i = 0; i < to_evict && i < by_age.size(); ++i) {
       const auto found = cache_.find(by_age[i].second);
       if (found == cache_.end()) continue;
-      export_entry(found->first, found->second, out);
+      export_entry(found->second, ExportReason::kLruEviction, out);
       cache_.erase(found);
-      ++forced_evictions_;
     }
+    update_cache_gauge();
   }
 }
 
 void FlowCollector::expire(util::Timestamp now, FlowList& out) {
   for (auto it = cache_.begin(); it != cache_.end();) {
     const FlowRecord& f = it->second.flow;
-    if (now - f.last >= config_.inactive_timeout ||
-        now - f.first >= config_.active_timeout) {
-      export_entry(it->first, it->second, out);
+    const bool inactive = now - f.last >= config_.inactive_timeout;
+    if (inactive || now - f.first >= config_.active_timeout) {
+      export_entry(it->second,
+                   inactive ? ExportReason::kInactiveTimeout
+                            : ExportReason::kActiveTimeout,
+                   out);
       it = cache_.erase(it);
     } else {
       ++it;
     }
   }
+  update_cache_gauge();
 }
 
 void FlowCollector::drain(FlowList& out) {
-  for (const auto& [key, entry] : cache_) export_entry(key, entry, out);
+  for (const auto& [key, entry] : cache_) {
+    export_entry(entry, ExportReason::kDrain, out);
+  }
   cache_.clear();
+  update_cache_gauge();
 }
 
 }  // namespace booterscope::flow

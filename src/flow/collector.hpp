@@ -2,13 +2,16 @@
 // flow cache of a router or IXP exporter.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "flow/record.hpp"
 #include "net/five_tuple.hpp"
+#include "obs/metrics.hpp"
 #include "util/time.hpp"
 
 namespace booterscope::flow {
@@ -42,13 +45,55 @@ struct CollectorConfig {
   std::size_t max_entries = 1 << 20;
 };
 
+/// Why a flow record left the cache. LRU evictions are the silent-data-loss
+/// case the paper's exporters suffer under memory pressure — they were
+/// previously folded into the export count and invisible to callers.
+enum class ExportReason : std::uint8_t {
+  kActiveTimeout,    // chopped: active longer than active_timeout
+  kInactiveTimeout,  // idle longer than inactive_timeout
+  kLruEviction,      // force-expired under max_entries pressure
+  kDrain,            // end-of-measurement flush
+};
+inline constexpr std::size_t kExportReasonCount = 4;
+
+[[nodiscard]] std::string_view to_string(ExportReason reason) noexcept;
+
+/// Per-collector accounting, exact (not sampled). The invariant
+///   observed_packets == total exported_packets + cached_packets
+/// holds after every observe()/expire()/drain() call; the conservation
+/// integration test asserts it over a full landscape replay.
+struct CollectorStats {
+  std::uint64_t observed_packets = 0;  // post-sampler packets accepted
+  std::uint64_t observed_bytes = 0;
+  std::array<std::uint64_t, kExportReasonCount> exported_flows{};
+  std::array<std::uint64_t, kExportReasonCount> exported_packets{};
+  std::uint64_t cached_packets = 0;  // packets in not-yet-exported entries
+
+  [[nodiscard]] std::uint64_t exported_flows_for(ExportReason r) const noexcept {
+    return exported_flows[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] std::uint64_t exported_packets_for(ExportReason r) const noexcept {
+    return exported_packets[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] std::uint64_t total_exported_flows() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : exported_flows) total += n;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_exported_packets() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : exported_packets) total += n;
+    return total;
+  }
+};
+
 /// Aggregates packets into flow records.
 ///
 /// Usage: call observe() in non-decreasing time order, periodically call
 /// expire(now) — both return newly exported flows; call drain() at the end.
 class FlowCollector {
  public:
-  explicit FlowCollector(CollectorConfig config) noexcept : config_(config) {}
+  explicit FlowCollector(CollectorConfig config);
 
   /// Accounts one packet observation; may evict expired or LRU entries.
   /// Exported flows are appended to `out`.
@@ -61,9 +106,12 @@ class FlowCollector {
   void drain(FlowList& out);
 
   [[nodiscard]] std::size_t active_flows() const noexcept { return cache_.size(); }
-  [[nodiscard]] std::uint64_t exported_flows() const noexcept { return exported_; }
+  [[nodiscard]] const CollectorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t exported_flows() const noexcept {
+    return stats_.total_exported_flows();
+  }
   [[nodiscard]] std::uint64_t forced_evictions() const noexcept {
-    return forced_evictions_;
+    return stats_.exported_flows_for(ExportReason::kLruEviction);
   }
 
  private:
@@ -71,12 +119,19 @@ class FlowCollector {
     FlowRecord flow;
   };
 
-  void export_entry(const net::FiveTuple& key, const Entry& entry, FlowList& out);
+  void export_entry(const Entry& entry, ExportReason reason, FlowList& out);
+  void update_cache_gauge() noexcept;
 
   CollectorConfig config_;
   std::unordered_map<net::FiveTuple, Entry> cache_;
-  std::uint64_t exported_ = 0;
-  std::uint64_t forced_evictions_ = 0;
+  CollectorStats stats_;
+  // Global registry series shared by all collector instances; resolved once
+  // at construction so the per-packet cost is one relaxed atomic add.
+  obs::Counter* observed_packets_metric_;
+  obs::Counter* observed_bytes_metric_;
+  std::array<obs::Counter*, kExportReasonCount> exported_flows_metric_;
+  std::array<obs::Counter*, kExportReasonCount> exported_packets_metric_;
+  obs::Gauge* cache_entries_metric_;
 };
 
 }  // namespace booterscope::flow

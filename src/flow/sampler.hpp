@@ -61,14 +61,27 @@ class ProbabilisticSampler final : public PacketSampler {
 };
 
 /// A sampler feeding a collector: the standard exporter arrangement.
+///
+/// Keeps exact offered/kept packet accounting so a replayed trace satisfies
+/// the conservation identity
+///   offered == sampled_out + collector-exported(by reason) + still cached.
 class SampledCollector {
  public:
   SampledCollector(CollectorConfig config, std::uint32_t one_in_n,
-                   util::Rng rng) noexcept
-      : sampler_(one_in_n, rng), collector_(patch(config, one_in_n)) {}
+                   util::Rng rng)
+      : sampler_(one_in_n, rng),
+        collector_(patch(config, one_in_n)),
+        offered_metric_(&obs::metrics().counter(
+            "booterscope_sampler_offered_packets_total")),
+        kept_metric_(&obs::metrics().counter(
+            "booterscope_sampler_kept_packets_total")) {}
 
   void observe(PacketObservation packet, FlowList& out) {
     const std::uint64_t kept = sampler_.sample(packet.count);
+    offered_packets_ += packet.count;
+    kept_packets_ += kept;
+    offered_metric_->add(packet.count);
+    kept_metric_->add(kept);
     if (kept == 0) return;
     packet.count = kept;
     collector_.observe(packet, out);
@@ -78,6 +91,18 @@ class SampledCollector {
 
   [[nodiscard]] const FlowCollector& collector() const noexcept {
     return collector_;
+  }
+  /// Packets offered to the sampler (pre-sampling).
+  [[nodiscard]] std::uint64_t offered_packets() const noexcept {
+    return offered_packets_;
+  }
+  /// Packets that survived sampling and reached the collector.
+  [[nodiscard]] std::uint64_t kept_packets() const noexcept {
+    return kept_packets_;
+  }
+  /// Packets the sampler dropped (the paper's 1-in-N loss).
+  [[nodiscard]] std::uint64_t sampled_out_packets() const noexcept {
+    return offered_packets_ - kept_packets_;
   }
 
  private:
@@ -89,6 +114,10 @@ class SampledCollector {
 
   ProbabilisticSampler sampler_;
   FlowCollector collector_;
+  std::uint64_t offered_packets_ = 0;
+  std::uint64_t kept_packets_ = 0;
+  obs::Counter* offered_metric_;
+  obs::Counter* kept_metric_;
 };
 
 }  // namespace booterscope::flow

@@ -5,9 +5,20 @@
 #include <memory>
 
 #include "net/protocol.hpp"
+#include "obs/metrics.hpp"
 #include "util/byteio.hpp"
 
 namespace booterscope::flow {
+
+namespace detail {
+
+void count_store_added(std::size_t n) noexcept {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_store_added_flows_total");
+  counter.add(n);
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -64,6 +75,9 @@ double FlowStore::total_scaled_bytes() const noexcept {
 }
 
 std::vector<std::uint8_t> serialize_flows(std::span<const FlowRecord> flows) {
+  obs::metrics()
+      .counter("booterscope_store_serialized_flows_total")
+      .add(flows.size());
   std::vector<std::uint8_t> buffer;
   buffer.reserve(12 + flows.size() * kRecordBytes);
   util::ByteWriter w(buffer);
@@ -89,10 +103,18 @@ std::vector<std::uint8_t> serialize_flows(std::span<const FlowRecord> flows) {
 }
 
 std::optional<FlowList> deserialize_flows(std::span<const std::uint8_t> data) {
+  static obs::Counter& bad_input =
+      obs::metrics().counter("booterscope_store_deserialize_failures_total");
   util::ByteReader r(data);
-  if (r.u32() != kMagic) return std::nullopt;
+  if (r.u32() != kMagic) {
+    bad_input.inc();
+    return std::nullopt;
+  }
   const std::uint64_t count = r.u64();
-  if (!r.ok() || r.remaining() < count * kRecordBytes) return std::nullopt;
+  if (!r.ok() || r.remaining() < count * kRecordBytes) {
+    bad_input.inc();
+    return std::nullopt;
+  }
   FlowList flows;
   flows.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -111,9 +133,15 @@ std::optional<FlowList> deserialize_flows(std::span<const std::uint8_t> data) {
     f.peer_asn = net::Asn{r.u32()};
     f.direction = r.u8() == 0 ? Direction::kIngress : Direction::kEgress;
     f.sampling_rate = r.u32();
-    if (!r.ok()) return std::nullopt;
+    if (!r.ok()) {
+      bad_input.inc();
+      return std::nullopt;
+    }
     flows.push_back(f);
   }
+  obs::metrics()
+      .counter("booterscope_store_deserialized_flows_total")
+      .add(flows.size());
   return flows;
 }
 

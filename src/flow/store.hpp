@@ -17,14 +17,24 @@
 
 namespace booterscope::flow {
 
+namespace detail {
+/// Bumps the global booterscope_store_added_flows_total counter; out of
+/// line so the header does not pull in the registry.
+void count_store_added(std::size_t n) noexcept;
+}  // namespace detail
+
 class FlowStore {
  public:
   FlowStore() = default;
   explicit FlowStore(FlowList flows) noexcept : flows_(std::move(flows)) {}
 
-  void add(const FlowRecord& flow) { flows_.push_back(flow); }
+  void add(const FlowRecord& flow) {
+    flows_.push_back(flow);
+    detail::count_store_added(1);
+  }
   void add(const FlowList& flows) {
     flows_.insert(flows_.end(), flows.begin(), flows.end());
+    detail::count_store_added(flows.size());
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return flows_.size(); }

@@ -1,0 +1,168 @@
+#include "obs/exposition.hpp"
+
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace booterscope::obs {
+
+namespace {
+
+/// `{key="value",...}` or empty when there are no labels. `extra` appends
+/// one more label (used for histogram `le`).
+[[nodiscard]] std::string prometheus_labels(const Labels& labels,
+                                            std::string_view extra_key = {},
+                                            std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](std::string_view key, std::string_view value) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key;
+    out += "=\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out += "\"";
+  };
+  for (const Label& label : labels) append(label.key, label.value);
+  if (!extra_key.empty()) append(extra_key, extra_value);
+  out.push_back('}');
+  return out;
+}
+
+void append_type_header(std::string& out, std::string_view* last_family,
+                        std::string_view name, std::string_view type) {
+  if (*last_family == name) return;
+  *last_family = name;
+  out += "# TYPE ";
+  out += name;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+[[nodiscard]] std::string labels_json(const Labels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json_string(labels[i].key);
+    out.push_back(':');
+    out += json_string(labels[i].value);
+  }
+  out.push_back('}');
+  return out;
+}
+
+void append_stage_json(std::string& out, const StageNode& node) {
+  out += "{\"name\":" + json_string(node.name);
+  out += ",\"wall_seconds\":" + json_number(node.wall_seconds());
+  out += ",\"calls\":" + json_number(node.calls);
+  out += ",\"items_in\":" + json_number(node.items_in);
+  out += ",\"items_out\":" + json_number(node.items_out);
+  out += ",\"bytes\":" + json_number(node.bytes);
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    append_stage_json(out, *node.children[i]);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  std::string_view last_family;
+  for (const auto& series : registry.counters()) {
+    append_type_header(out, &last_family, series.name, "counter");
+    out += series.name + prometheus_labels(series.labels) + " " +
+           std::to_string(series.metric->value()) + "\n";
+  }
+  last_family = {};
+  for (const auto& series : registry.gauges()) {
+    append_type_header(out, &last_family, series.name, "gauge");
+    out += series.name + prometheus_labels(series.labels) + " " +
+           json_number(series.metric->value()) + "\n";
+  }
+  last_family = {};
+  for (const auto& series : registry.histograms()) {
+    append_type_header(out, &last_family, series.name, "histogram");
+    const Histogram& histogram = *series.metric;
+    const auto counts = histogram.bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
+      cumulative += counts[i];
+      out += series.name + "_bucket" +
+             prometheus_labels(series.labels, "le",
+                               json_number(histogram.bounds()[i])) +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    cumulative += counts.back();
+    out += series.name + "_bucket" +
+           prometheus_labels(series.labels, "le", "+Inf") + " " +
+           std::to_string(cumulative) + "\n";
+    out += series.name + "_sum" + prometheus_labels(series.labels) + " " +
+           json_number(histogram.sum()) + "\n";
+    out += series.name + "_count" + prometheus_labels(series.labels) + " " +
+           std::to_string(cumulative) + "\n";
+  }
+  return out;
+}
+
+std::string metrics_json(const MetricsRegistry& registry) {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& series : registry.counters()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":" + json_string(series.name) +
+           ",\"labels\":" + labels_json(series.labels) +
+           ",\"value\":" + json_number(series.metric->value()) + "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& series : registry.gauges()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":" + json_string(series.name) +
+           ",\"labels\":" + labels_json(series.labels) +
+           ",\"value\":" + json_number(series.metric->value()) + "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& series : registry.histograms()) {
+    if (!first) out.push_back(',');
+    first = false;
+    const Histogram& histogram = *series.metric;
+    const auto counts = histogram.bucket_counts();
+    out += "{\"name\":" + json_string(series.name) +
+           ",\"labels\":" + labels_json(series.labels) + ",\"buckets\":[";
+    for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += "{\"le\":" + json_number(histogram.bounds()[i]) +
+             ",\"count\":" + json_number(counts[i]) + "}";
+    }
+    if (!histogram.bounds().empty()) out.push_back(',');
+    out += "{\"le\":null,\"count\":" + json_number(counts.back()) + "}";
+    out += "],\"sum\":" + json_number(histogram.sum()) +
+           ",\"count\":" + json_number(histogram.count()) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string stages_json(const StageTracer& tracer) {
+  std::string out = "[";
+  const StageNode& root = tracer.root();
+  for (std::size_t i = 0; i < root.children.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    append_stage_json(out, *root.children[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace booterscope::obs

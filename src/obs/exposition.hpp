@@ -1,0 +1,24 @@
+// Exposition sinks: Prometheus text format and JSON snapshots of a
+// MetricsRegistry, plus the JSON form of a stage trace. These are what a
+// bench or example writes next to its results so a metrics dump is always
+// attributable to a run.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace booterscope::obs {
+
+/// Prometheus text exposition format (one `# TYPE` header per family,
+/// histogram rendered as cumulative `_bucket{le=...}` / `_sum` / `_count`).
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// JSON object {"counters": [...], "gauges": [...], "histograms": [...]}.
+[[nodiscard]] std::string metrics_json(const MetricsRegistry& registry);
+
+/// JSON array of stages, depth-first with nested "children".
+[[nodiscard]] std::string stages_json(const StageTracer& tracer);
+
+}  // namespace booterscope::obs

@@ -1,0 +1,64 @@
+// Minimal JSON emission helpers shared by the obs sinks. Emission only —
+// the library never parses JSON, so there is no reader here.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace booterscope::obs {
+
+/// JSON string literal (quotes included) with control/quote escaping.
+[[nodiscard]] inline std::string json_string(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Shortest round-trippable decimal for a double; non-finite values become
+/// null (JSON has no inf/nan).
+[[nodiscard]] inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  double parsed = 0.0;
+  if (std::sscanf(buffer, "%lf", &parsed) == 1 && parsed == v) {
+    // Prefer the shortest representation that still round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof shorter, "%.*g", precision, v);
+      if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
+        return shorter;
+      }
+    }
+  }
+  return buffer;
+}
+
+[[nodiscard]] inline std::string json_number(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+}  // namespace booterscope::obs

@@ -1,0 +1,77 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "obs/exposition.hpp"
+#include "obs/json.hpp"
+
+#ifndef BOOTERSCOPE_GIT_DESCRIBE
+#define BOOTERSCOPE_GIT_DESCRIBE "unknown"
+#endif
+
+namespace booterscope::obs {
+
+std::string_view build_git_describe() noexcept {
+  return BOOTERSCOPE_GIT_DESCRIBE;
+}
+
+void RunManifest::add_config(std::string_view key, std::string_view value) {
+  config_.emplace_back(std::string(key), std::string(value));
+}
+
+void RunManifest::add_config(std::string_view key, std::uint64_t value) {
+  config_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void RunManifest::add_config(std::string_view key, double value) {
+  config_.emplace_back(std::string(key), json_number(value));
+}
+
+void RunManifest::add_accounting(std::string_view key, std::uint64_t value) {
+  accounting_.emplace_back(std::string(key), value);
+}
+
+std::string RunManifest::to_json(const StageTracer* tracer,
+                                 const MetricsRegistry* registry) const {
+  std::string out = "{\"tool\":" + json_string(tool_);
+  if (!experiment_.empty()) {
+    out += ",\"experiment\":" + json_string(experiment_);
+  }
+  out += ",\"seed\":" + json_number(seed_);
+  out += ",\"git_describe\":" + json_string(build_git_describe());
+  out += ",\"config\":{";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json_string(config_[i].first) + ":" + json_string(config_[i].second);
+  }
+  out += "},\"accounting\":{";
+  for (std::size_t i = 0; i < accounting_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json_string(accounting_[i].first) + ":" +
+           json_number(accounting_[i].second);
+  }
+  out += "},\"stages\":";
+  out += tracer != nullptr ? stages_json(*tracer) : "[]";
+  out += ",\"metrics\":";
+  out += registry != nullptr ? metrics_json(*registry)
+                             : "{\"counters\":[],\"gauges\":[],\"histograms\":[]}";
+  out += "}";
+  return out;
+}
+
+bool RunManifest::write(const std::string& path, const StageTracer* tracer,
+                        const MetricsRegistry* registry) const {
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  const std::unique_ptr<std::FILE, FileCloser> file{
+      std::fopen(path.c_str(), "wb")};
+  if (!file) return false;
+  const std::string body = to_json(tracer, registry);
+  return std::fwrite(body.data(), 1, body.size(), file.get()) == body.size();
+}
+
+}  // namespace booterscope::obs

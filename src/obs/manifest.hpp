@@ -1,0 +1,64 @@
+// RunManifest: the attribution record written next to every result.
+//
+// A manifest answers "what exactly produced this file": seed, config
+// values, build identity (git describe), the timed stage tree, the metric
+// snapshot, and an explicit accounting block for the conservation identity
+//   packets observed == sampled-out + exported(by reason) + still cached
+// so that when a takedown metric moves between runs, the responsible stage
+// is in the record, not in someone's memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace booterscope::obs {
+
+/// The git describe string baked into the library at configure time
+/// ("unknown" when built outside a git checkout).
+[[nodiscard]] std::string_view build_git_describe() noexcept;
+
+class RunManifest {
+ public:
+  explicit RunManifest(std::string tool) : tool_(std::move(tool)) {}
+
+  void set_seed(std::uint64_t seed) noexcept { seed_ = seed; }
+  /// Free-form run identity, e.g. the bench's experiment id ("fig4").
+  void set_experiment(std::string id) { experiment_ = std::move(id); }
+
+  /// Flattened config key/value pairs, in insertion order.
+  void add_config(std::string_view key, std::string_view value);
+  void add_config(std::string_view key, std::uint64_t value);
+  void add_config(std::string_view key, double value);
+
+  /// Accounting entries (drop/eviction/conservation numbers). Kept separate
+  /// from config so readers can diff "what went in" vs "where it went".
+  void add_accounting(std::string_view key, std::uint64_t value);
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+  accounting() const noexcept {
+    return accounting_;
+  }
+
+  /// Full JSON document. Either pointer may be null; the corresponding
+  /// section is then emitted empty.
+  [[nodiscard]] std::string to_json(const StageTracer* tracer,
+                                    const MetricsRegistry* registry) const;
+
+  /// Writes to_json() to `path`; false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path, const StageTracer* tracer,
+                           const MetricsRegistry* registry) const;
+
+ private:
+  std::string tool_;
+  std::string experiment_;
+  std::uint64_t seed_ = 0;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::uint64_t>> accounting_;
+};
+
+}  // namespace booterscope::obs

@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace booterscope::obs {
+
+std::size_t Counter::shard_index() noexcept {
+  // One shard per thread, fixed at first use; hashing the thread id spreads
+  // pool threads across the cache lines.
+  thread_local const std::size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return index;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::percentile(double p) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0 || bounds_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target || i + 1 == counts.size()) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      if (counts[i] == 0) return upper;
+      const double within =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+std::vector<double> Histogram::linear_bounds(double start, double width,
+                                             std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry::Key MetricsRegistry::make_key(std::string_view name,
+                                               Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return Key{std::string(name), std::move(labels)};
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[make_key(name, std::move(labels))];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[make_key(name, std::move(labels))];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds,
+                                      Labels labels) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[make_key(name, std::move(labels))];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, counter] : counters_) {
+    if (key.name == name) total += counter->value();
+  }
+  return total;
+}
+
+std::vector<MetricsRegistry::Series<Counter>> MetricsRegistry::counters()
+    const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Series<Counter>> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    out.push_back({key.name, key.labels, counter.get()});
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::Series<Gauge>> MetricsRegistry::gauges() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Series<Gauge>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [key, gauge] : gauges_) {
+    out.push_back({key.name, key.labels, gauge.get()});
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::Series<Histogram>> MetricsRegistry::histograms()
+    const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Series<Histogram>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [key, histogram] : histograms_) {
+    out.push_back({key.name, key.labels, histogram.get()});
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace booterscope::obs

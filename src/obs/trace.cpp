@@ -1,0 +1,96 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace booterscope::obs {
+
+namespace {
+
+[[nodiscard]] std::string format_wall(std::uint64_t nanos) {
+  char buffer[32];
+  const double seconds = static_cast<double>(nanos) / 1e9;
+  if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buffer, sizeof buffer, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.1f us", seconds * 1e6);
+  }
+  return buffer;
+}
+
+void flatten_into(const StageNode& node, int depth,
+                  std::vector<StageTracer::FlatStage>& out) {
+  for (const auto& child : node.children) {
+    out.push_back({child.get(), depth});
+    flatten_into(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+StageTracer::StageTracer() : root_(std::make_unique<StageNode>()) {
+  root_->name = "run";
+  current_ = root_.get();
+}
+
+StageNode* StageTracer::enter(std::string_view name) {
+  for (const auto& child : current_->children) {
+    if (child->name == name) {
+      current_ = child.get();
+      return current_;
+    }
+  }
+  auto node = std::make_unique<StageNode>();
+  node->name = std::string(name);
+  node->parent = current_;
+  current_->children.push_back(std::move(node));
+  current_ = current_->children.back().get();
+  return current_;
+}
+
+void StageTracer::leave(StageNode* node, std::uint64_t wall_nanos) noexcept {
+  node->wall_nanos += wall_nanos;
+  ++node->calls;
+  if (node->parent != nullptr) current_ = node->parent;
+}
+
+std::vector<StageTracer::FlatStage> StageTracer::flatten() const {
+  std::vector<FlatStage> out;
+  flatten_into(*root_, 0, out);
+  return out;
+}
+
+std::string StageTracer::render() const {
+  std::ostringstream out;
+  for (const FlatStage& stage : flatten()) {
+    const StageNode& node = *stage.node;
+    out << std::string(static_cast<std::size_t>(stage.depth) * 2, ' ')
+        << node.name << "  " << format_wall(node.wall_nanos) << "  calls="
+        << node.calls;
+    if (node.items_in > 0) out << " in=" << node.items_in;
+    if (node.items_out > 0) out << " out=" << node.items_out;
+    if (node.bytes > 0) out << " bytes=" << node.bytes;
+    out << "\n";
+  }
+  return out.str();
+}
+
+StageTimer::StageTimer(StageTracer* tracer, std::string_view name)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  node_ = tracer_->enter(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+StageTimer::~StageTimer() {
+  if (tracer_ == nullptr || node_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  tracer_->leave(node_, static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                elapsed)
+                                .count()));
+}
+
+}  // namespace booterscope::obs

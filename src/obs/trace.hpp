@@ -1,0 +1,98 @@
+// Stage tracing: a flame-style tree of timed pipeline stages.
+//
+// Each stage records wall time, call count, items in/out and bytes, so a
+// run can answer "where did the packets go and how long did each hop take"
+// — landscape generation → sampler → collector → store → classification →
+// takedown analysis. Timers are RAII and nest: a StageTimer opened while
+// another is live on the same tracer becomes its child.
+//
+// A StageTracer is owned by one driver (a bench, an example, a test) and is
+// not thread-safe; cross-thread event counting belongs to MetricsRegistry.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace booterscope::obs {
+
+/// Aggregated numbers for one stage in the tree. Re-entering a stage with
+/// the same name under the same parent accumulates into one node.
+struct StageNode {
+  std::string name;
+  std::uint64_t wall_nanos = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t items_in = 0;
+  std::uint64_t items_out = 0;
+  std::uint64_t bytes = 0;
+  StageNode* parent = nullptr;
+  std::vector<std::unique_ptr<StageNode>> children;
+
+  [[nodiscard]] double wall_seconds() const noexcept {
+    return static_cast<double>(wall_nanos) / 1e9;
+  }
+};
+
+class StageTracer {
+ public:
+  StageTracer();
+  StageTracer(const StageTracer&) = delete;
+  StageTracer& operator=(const StageTracer&) = delete;
+
+  /// The synthetic root; real stages are its descendants.
+  [[nodiscard]] const StageNode& root() const noexcept { return *root_; }
+
+  /// Depth-first flattened view (root excluded), for tabular export.
+  struct FlatStage {
+    const StageNode* node = nullptr;
+    int depth = 0;
+  };
+  [[nodiscard]] std::vector<FlatStage> flatten() const;
+
+  /// Indented text rendering of the stage tree, one line per stage:
+  /// name, wall time, calls, items in/out, bytes.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  friend class StageTimer;
+
+  StageNode* enter(std::string_view name);
+  void leave(StageNode* node, std::uint64_t wall_nanos) noexcept;
+
+  std::unique_ptr<StageNode> root_;
+  StageNode* current_ = nullptr;
+};
+
+/// RAII span over one stage execution. Null-tracer-safe so instrumented
+/// library code can take an optional `StageTracer*` and stay zero-cost when
+/// nobody is watching.
+class StageTimer {
+ public:
+  StageTimer(StageTracer* tracer, std::string_view name);
+  StageTimer(StageTracer& tracer, std::string_view name)
+      : StageTimer(&tracer, name) {}
+  ~StageTimer();
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  void add_items_in(std::uint64_t n) noexcept {
+    if (node_ != nullptr) node_->items_in += n;
+  }
+  void add_items_out(std::uint64_t n) noexcept {
+    if (node_ != nullptr) node_->items_out += n;
+  }
+  void add_bytes(std::uint64_t n) noexcept {
+    if (node_ != nullptr) node_->bytes += n;
+  }
+
+ private:
+  StageTracer* tracer_;
+  StageNode* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace booterscope::obs

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "util/byteio.hpp"
 
 namespace booterscope::pcap {
@@ -20,6 +21,29 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+// Capture-loss accounting: replayed captures feed the analysis pipeline, so
+// frames dropped here must show up in the run's metrics, not vanish.
+obs::Counter& decoded_packets_metric() {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_pcap_decoded_packets_total");
+  return counter;
+}
+obs::Counter& malformed_packets_metric() {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_pcap_malformed_packets_total");
+  return counter;
+}
+obs::Counter& truncated_streams_metric() {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_pcap_truncated_streams_total");
+  return counter;
+}
+obs::Counter& snapped_frames_metric() {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_pcap_snaplen_truncated_frames_total");
+  return counter;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_pcap(std::span<const Packet> packets,
@@ -36,6 +60,7 @@ std::vector<std::uint8_t> encode_pcap(std::span<const Packet> packets,
 
   for (const Packet& packet : packets) {
     const auto frame = encode_packet(packet);
+    if (frame.size() > snap_len) snapped_frames_metric().inc();
     const auto captured = static_cast<std::uint32_t>(
         frame.size() > snap_len ? snap_len : frame.size());
     const std::int64_t ns = packet.time.nanos();
@@ -50,14 +75,19 @@ std::vector<std::uint8_t> encode_pcap(std::span<const Packet> packets,
 
 std::optional<PcapParseResult> decode_pcap(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
-  if (r.u32() != kPcapMagic) return std::nullopt;
+  if (r.u32() != kPcapMagic) {
+    truncated_streams_metric().inc();
+    return std::nullopt;
+  }
   (void)r.u16();  // version major
   (void)r.u16();  // version minor
   (void)r.u32();  // thiszone
   (void)r.u32();  // sigfigs
   (void)r.u32();  // snaplen
-  if (r.u32() != kLinkTypeEthernet) return std::nullopt;
-  if (!r.ok()) return std::nullopt;
+  if (r.u32() != kLinkTypeEthernet || !r.ok()) {
+    truncated_streams_metric().inc();
+    return std::nullopt;
+  }
 
   PcapParseResult result;
   while (r.remaining() >= kPcapRecordHeaderBytes) {
@@ -65,20 +95,28 @@ std::optional<PcapParseResult> decode_pcap(std::span<const std::uint8_t> data) {
     const std::uint32_t ts_usec = r.u32();
     const std::uint32_t captured = r.u32();
     (void)r.u32();  // original length
-    if (!r.ok() || r.remaining() < captured) return std::nullopt;
+    if (!r.ok() || r.remaining() < captured) {
+      truncated_streams_metric().inc();
+      return std::nullopt;
+    }
     const util::Timestamp time = util::Timestamp::from_nanos(
         static_cast<std::int64_t>(ts_sec) * 1'000'000'000 +
         static_cast<std::int64_t>(ts_usec) * 1'000);
     const std::size_t frame_offset = r.position();
-    if (!r.skip(captured)) return std::nullopt;
+    if (!r.skip(captured)) {
+      truncated_streams_metric().inc();
+      return std::nullopt;
+    }
     const auto packet =
         decode_packet(data.subspan(frame_offset, captured), time);
     if (packet) {
       result.packets.push_back(*packet);
     } else {
       ++result.skipped;
+      malformed_packets_metric().inc();
     }
   }
+  decoded_packets_metric().add(result.packets.size());
   return result;
 }
 

@@ -1,10 +1,12 @@
 #include "sim/landscape.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "topo/ixp.hpp"
 #include "util/hash.hpp"
 
@@ -74,6 +76,32 @@ class PathClassifier {
   std::unordered_map<std::uint64_t, PathView> cache_;
 };
 
+/// Per-vantage emit/drop accounting in the global registry. `offered` is
+/// pre-sampling truth on visible in-window paths; `sampled` is what the
+/// vantage exported; their gap is the sampler loss the paper's §3.2 caveat
+/// is about.
+struct VantageMetrics {
+  obs::Counter* flows;
+  obs::Counter* offered_packets;
+  obs::Counter* sampled_packets;
+  obs::Counter* zero_sample_drops;  // emits whose Poisson draw came up 0
+  obs::Counter* window_drops;       // emits outside the vantage's window
+
+  explicit VantageMetrics(const char* vantage) {
+    obs::MetricsRegistry& registry = obs::metrics();
+    const obs::Labels labels{{"vantage", vantage}};
+    flows = &registry.counter("booterscope_landscape_flows_total", labels);
+    offered_packets =
+        &registry.counter("booterscope_landscape_offered_packets_total", labels);
+    sampled_packets =
+        &registry.counter("booterscope_landscape_sampled_packets_total", labels);
+    zero_sample_drops = &registry.counter(
+        "booterscope_landscape_zero_sample_drops_total", labels);
+    window_drops =
+        &registry.counter("booterscope_landscape_window_drops_total", labels);
+  }
+};
+
 /// Mutable generation context shared by the traffic components.
 struct Context {
   const Internet* internet;
@@ -83,6 +111,11 @@ struct Context {
   flow::FlowList ixp_flows;
   flow::FlowList tier1_flows;
   flow::FlowList tier2_flows;
+  VantageMetrics ixp_metrics{"ixp"};
+  VantageMetrics tier1_metrics{"tier1"};
+  VantageMetrics tier2_metrics{"tier2"};
+  obs::Counter* unreachable_drops =
+      &obs::metrics().counter("booterscope_landscape_unreachable_drops_total");
 
   explicit Context(const Internet& net, const LandscapeConfig& cfg,
                    util::Rng context_rng)
@@ -94,7 +127,10 @@ struct Context {
             std::uint64_t true_packets, std::uint32_t packet_bytes,
             util::Timestamp first, util::Timestamp last) {
     const PathView& pv = classifier.view(src_as, dst_as);
-    if (!pv.reachable) return;
+    if (!pv.reachable) {
+      unreachable_drops->inc();
+      return;
+    }
     const topo::Topology& topology = internet->topology();
     auto make_record = [&](const Visibility& vis, std::uint32_t sampling) {
       flow::FlowRecord f;
@@ -115,21 +151,34 @@ struct Context {
     };
     auto push = [&](flow::FlowList& out, const Visibility& vis,
                     std::uint32_t sampling,
-                    const std::optional<LandscapeConfig::Window>& window) {
+                    const std::optional<LandscapeConfig::Window>& window,
+                    VantageMetrics& metrics) {
       if (!vis.visible) return;
-      if (window && !window->contains(first)) return;
+      if (window && !window->contains(first)) {
+        metrics.window_drops->inc();
+        return;
+      }
+      metrics.offered_packets->add(true_packets);
       const double expected =
           static_cast<double>(true_packets) / static_cast<double>(sampling);
       const std::uint64_t sampled = util::poisson(rng, expected);
-      if (sampled == 0) return;
+      if (sampled == 0) {
+        metrics.zero_sample_drops->inc();
+        return;
+      }
       flow::FlowRecord f = make_record(vis, sampling);
       f.packets = sampled;
       f.bytes = sampled * packet_bytes;
       out.push_back(f);
+      metrics.flows->inc();
+      metrics.sampled_packets->add(sampled);
     };
-    push(ixp_flows, pv.ixp, config->ixp_sampling, config->ixp_window);
-    push(tier1_flows, pv.tier1, config->tier1_sampling, config->tier1_window);
-    push(tier2_flows, pv.tier2, config->tier2_sampling, config->tier2_window);
+    push(ixp_flows, pv.ixp, config->ixp_sampling, config->ixp_window,
+         ixp_metrics);
+    push(tier1_flows, pv.tier1, config->tier1_sampling, config->tier1_window,
+         tier1_metrics);
+    push(tier2_flows, pv.tier2, config->tier2_sampling, config->tier2_window,
+         tier2_metrics);
   }
 };
 
@@ -540,8 +589,38 @@ LandscapeConfig paper_landscape_config() {
   return config;
 }
 
+namespace {
+
+/// Flows and bytes appended to the three vantage lists by one stage.
+struct EmitDelta {
+  std::array<std::size_t, 3> offsets;
+
+  explicit EmitDelta(const Context& ctx)
+      : offsets{ctx.ixp_flows.size(), ctx.tier1_flows.size(),
+                ctx.tier2_flows.size()} {}
+
+  void record(const Context& ctx, obs::StageTimer& timer) const {
+    const flow::FlowList* lists[] = {&ctx.ixp_flows, &ctx.tier1_flows,
+                                     &ctx.tier2_flows};
+    std::uint64_t flows = 0;
+    std::uint64_t bytes = 0;
+    for (std::size_t v = 0; v < 3; ++v) {
+      flows += lists[v]->size() - offsets[v];
+      for (std::size_t i = offsets[v]; i < lists[v]->size(); ++i) {
+        bytes += (*lists[v])[i].bytes;
+      }
+    }
+    timer.add_items_out(flows);
+    timer.add_bytes(bytes);
+  }
+};
+
+}  // namespace
+
 LandscapeResult run_landscape(const Internet& internet,
-                              const LandscapeConfig& config) {
+                              const LandscapeConfig& config,
+                              obs::StageTracer* tracer) {
+  obs::StageTimer landscape_timer(tracer, "landscape");
   LandscapeResult result;
   result.config = config;
 
@@ -576,17 +655,43 @@ LandscapeResult run_landscape(const Internet& internet,
           : HoneypotDeployment();
 
   Context ctx(internet, config, rng.fork("context"));
-  generate_attack_traffic(ctx, market, pools, honeypots, result.attacks,
-                          result.honeypot_log);
-  generate_maintenance_traffic(ctx, market, config.takedown);
-  generate_benign_traffic(ctx, pools);
+  {
+    obs::StageTimer timer(tracer, "attack_traffic");
+    const EmitDelta delta(ctx);
+    generate_attack_traffic(ctx, market, pools, honeypots, result.attacks,
+                            result.honeypot_log);
+    timer.add_items_in(result.attacks.size());
+    delta.record(ctx, timer);
+  }
+  {
+    obs::StageTimer timer(tracer, "maintenance_traffic");
+    const EmitDelta delta(ctx);
+    generate_maintenance_traffic(ctx, market, config.takedown);
+    delta.record(ctx, timer);
+  }
+  {
+    obs::StageTimer timer(tracer, "benign_traffic");
+    const EmitDelta delta(ctx);
+    generate_benign_traffic(ctx, pools);
+    delta.record(ctx, timer);
+  }
+  obs::metrics()
+      .counter("booterscope_landscape_attacks_total")
+      .add(result.attacks.size());
 
-  result.ixp.store = flow::FlowStore{std::move(ctx.ixp_flows)};
-  result.ixp.sampling_rate = config.ixp_sampling;
-  result.tier1.store = flow::FlowStore{std::move(ctx.tier1_flows)};
-  result.tier1.sampling_rate = config.tier1_sampling;
-  result.tier2.store = flow::FlowStore{std::move(ctx.tier2_flows)};
-  result.tier2.sampling_rate = config.tier2_sampling;
+  {
+    obs::StageTimer timer(tracer, "store_build");
+    timer.add_items_in(ctx.ixp_flows.size() + ctx.tier1_flows.size() +
+                       ctx.tier2_flows.size());
+    result.ixp.store = flow::FlowStore{std::move(ctx.ixp_flows)};
+    result.ixp.sampling_rate = config.ixp_sampling;
+    result.tier1.store = flow::FlowStore{std::move(ctx.tier1_flows)};
+    result.tier1.sampling_rate = config.tier1_sampling;
+    result.tier2.store = flow::FlowStore{std::move(ctx.tier2_flows)};
+    result.tier2.sampling_rate = config.tier2_sampling;
+    timer.add_items_out(result.ixp.store.size() + result.tier1.store.size() +
+                        result.tier2.store.size());
+  }
   return result;
 }
 

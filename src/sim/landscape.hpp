@@ -25,6 +25,7 @@
 
 #include "flow/store.hpp"
 #include "net/protocol.hpp"
+#include "obs/trace.hpp"
 #include "sim/booter.hpp"
 #include "sim/honeypot.hpp"
 #include "sim/internet.hpp"
@@ -179,9 +180,13 @@ struct LandscapeResult {
   std::vector<HoneypotObservation> honeypot_log;
 };
 
-/// Runs the full simulation. Deterministic for a given config.
+/// Runs the full simulation. Deterministic for a given config. When a
+/// `tracer` is passed, the generation stages (attack / maintenance / benign
+/// traffic, store build) are timed into it with item and byte counts;
+/// per-vantage emit/drop counters always go to the global obs registry.
 [[nodiscard]] LandscapeResult run_landscape(const Internet& internet,
-                                            const LandscapeConfig& config);
+                                            const LandscapeConfig& config,
+                                            obs::StageTracer* tracer = nullptr);
 
 /// Config with the paper's study window (Sep 30 2018 - Jan 30 2019,
 /// takedown Dec 19 2018).

@@ -1,0 +1,141 @@
+// Unit tests for stage tracing (StageTimer nesting, re-entry accumulation,
+// flatten/render) and the RunManifest JSON document.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/exposition.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace booterscope::obs {
+namespace {
+
+TEST(StageTimer, NestsAndAccumulatesOnReentry) {
+  StageTracer tracer;
+  {
+    StageTimer outer(&tracer, "landscape");
+    outer.add_items_in(10);
+    {
+      StageTimer inner(&tracer, "sampler");
+      inner.add_items_out(3);
+      inner.add_bytes(100);
+    }
+    {
+      StageTimer inner(&tracer, "sampler");  // same name: same node
+      inner.add_items_out(4);
+      inner.add_bytes(50);
+    }
+    outer.add_items_out(7);
+  }
+  const StageNode& root = tracer.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const StageNode& landscape = *root.children[0];
+  EXPECT_EQ(landscape.name, "landscape");
+  EXPECT_EQ(landscape.calls, 1u);
+  EXPECT_EQ(landscape.items_in, 10u);
+  EXPECT_EQ(landscape.items_out, 7u);
+  ASSERT_EQ(landscape.children.size(), 1u);
+  const StageNode& sampler = *landscape.children[0];
+  EXPECT_EQ(sampler.name, "sampler");
+  EXPECT_EQ(sampler.calls, 2u);
+  EXPECT_EQ(sampler.items_out, 7u);
+  EXPECT_EQ(sampler.bytes, 150u);
+  EXPECT_EQ(sampler.parent, &landscape);
+}
+
+TEST(StageTimer, RecordsWallTime) {
+  StageTracer tracer;
+  {
+    StageTimer timer(&tracer, "sleep");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  EXPECT_GT(tracer.root().children[0]->wall_nanos, 0u);
+  EXPECT_GT(tracer.root().children[0]->wall_seconds(), 0.0);
+}
+
+TEST(StageTimer, NullTracerIsSafe) {
+  StageTimer timer(nullptr, "nothing");
+  timer.add_items_in(1);
+  timer.add_items_out(1);
+  timer.add_bytes(1);
+}
+
+TEST(StageTracer, FlattenIsDepthFirstWithDepths) {
+  StageTracer tracer;
+  {
+    StageTimer a(&tracer, "a");
+    { StageTimer b(&tracer, "b"); }
+  }
+  { StageTimer c(&tracer, "c"); }
+  const auto flat = tracer.flatten();
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat[0].node->name, "a");
+  EXPECT_EQ(flat[0].depth, 0);
+  EXPECT_EQ(flat[1].node->name, "b");
+  EXPECT_EQ(flat[1].depth, 1);
+  EXPECT_EQ(flat[2].node->name, "c");
+  EXPECT_EQ(flat[2].depth, 0);
+}
+
+TEST(StageTracer, RenderMentionsEveryStage) {
+  StageTracer tracer;
+  {
+    StageTimer a(&tracer, "collect");
+    StageTimer b(&tracer, "classify");
+  }
+  const std::string text = tracer.render();
+  EXPECT_NE(text.find("collect"), std::string::npos);
+  EXPECT_NE(text.find("classify"), std::string::npos);
+  EXPECT_NE(text.find("calls=1"), std::string::npos);
+}
+
+TEST(RunManifest, JsonCarriesIdentityConfigAndAccounting) {
+  StageTracer tracer;
+  { StageTimer t(&tracer, "stage_one"); }
+  MetricsRegistry registry;
+  registry.counter("events_total").add(9);
+
+  RunManifest manifest("unit_test");
+  manifest.set_experiment("figX");
+  manifest.set_seed(42);
+  manifest.add_config("days", std::uint64_t{14});
+  manifest.add_config("rate", 0.5);
+  manifest.add_config("mode", "replay");
+  manifest.add_accounting("offered", 100);
+  manifest.add_accounting("dropped", 40);
+
+  const std::string json = manifest.to_json(&tracer, &registry);
+  EXPECT_NE(json.find("\"tool\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"experiment\":\"figX\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"git_describe\":"), std::string::npos);
+  EXPECT_NE(json.find("\"days\":\"14\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"replay\""), std::string::npos);
+  EXPECT_NE(json.find("\"offered\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage_one\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_total\""), std::string::npos);
+
+  ASSERT_EQ(manifest.accounting().size(), 2u);
+  EXPECT_EQ(manifest.accounting()[0].first, "offered");
+  EXPECT_EQ(manifest.accounting()[0].second, 100u);
+}
+
+TEST(RunManifest, NullSectionsAreEmptyNotMissing) {
+  const RunManifest manifest("bare");
+  const std::string json = manifest.to_json(nullptr, nullptr);
+  EXPECT_NE(json.find("\"stages\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":[]"), std::string::npos);
+}
+
+TEST(RunManifest, BuildGitDescribeIsNonEmpty) {
+  EXPECT_FALSE(build_git_describe().empty());
+}
+
+}  // namespace
+}  // namespace booterscope::obs
