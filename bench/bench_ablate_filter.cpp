@@ -13,11 +13,12 @@
 
 using namespace booterscope;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Ablation: classification thresholds",
                       "Optimistic & conservative filter parameter sweep");
 
-  bench::LandscapeWorld world;
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  bench::LandscapeWorld world(options);
   const auto& flows = world.result.ixp.store.flows();
 
   // Ground truth: NTP attack victims with clearly-qualifying attacks.

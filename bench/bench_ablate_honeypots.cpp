@@ -15,10 +15,12 @@
 
 using namespace booterscope;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Ablation: honeypots",
                       "Attack visibility and booter attribution vs fleet size");
 
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  exec::ThreadPool pool(options.threads);
   const sim::Internet internet{sim::InternetConfig{}};
   util::Table table({"honeypots/vector", "attacks seen", "visibility",
                      "attributed", "precision"});
@@ -30,7 +32,7 @@ int main() {
     config.takedown = std::nullopt;
     config.attacks_per_day = 150.0;
     config.honeypots_per_vector = fleet;
-    const auto result = sim::run_landscape(internet, config);
+    const auto result = sim::run_landscape_parallel(internet, config, pool);
 
     const auto attacks = core::group_observations(result.honeypot_log);
 

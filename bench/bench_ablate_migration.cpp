@@ -14,10 +14,12 @@
 
 using namespace booterscope;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Ablation: demand migration",
                       "When would the takedown have protected victims?");
 
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  exec::ThreadPool pool(options.threads);
   const sim::Internet internet{sim::InternetConfig{}};
   util::Table table({"world", "victim traffic wt30", "victim red30",
                      "attacks/day red30"});
@@ -38,7 +40,7 @@ int main() {
     config.takedown = util::Timestamp::parse("2018-12-19").value();
     config.attacks_per_day = 150.0;
     config.demand_migration = world.migration;
-    const auto result = sim::run_landscape(internet, config);
+    const auto result = sim::run_landscape_parallel(internet, config, pool);
 
     const auto victim_metrics = core::takedown_metrics(
         core::daily_packets_from_reflectors(result.ixp.store.flows(), {},

@@ -14,10 +14,12 @@
 
 using namespace booterscope;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Ablation: sampling rate",
                       "Effect of 1-in-N packet sampling on the analysis");
 
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  exec::ThreadPool pool(options.threads);
   const sim::Internet internet{sim::InternetConfig{}};
   util::Table table({"sampling", "IXP flow records", "NTP destinations",
                      "wt30 (NTP to reflectors)", "red30",
@@ -30,7 +32,7 @@ int main() {
     config.ixp_window.reset();
     config.attacks_per_day = 150.0;
     config.ixp_sampling = sampling;
-    const auto result = sim::run_landscape(internet, config);
+    const auto result = sim::run_landscape_parallel(internet, config, pool);
 
     core::VictimAggregator aggregator;
     for (const auto& f : result.ixp.store.flows()) aggregator.add(f);

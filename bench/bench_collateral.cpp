@@ -15,7 +15,9 @@
 
 using namespace booterscope;
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const bench::RunOptions options =
+      bench::parse_run_options(argc, argv);
   bench::print_header("Collateral analysis",
                       "Attack traffic load on inter-domain links");
 

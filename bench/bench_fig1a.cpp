@@ -10,7 +10,9 @@
 
 using namespace booterscope;
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const bench::RunOptions options =
+      bench::parse_run_options(argc, argv);
   bench::print_header("Figure 1(a)", "Self-attacks by paid non-VIP services");
 
   bench::SelfAttackWorld world;

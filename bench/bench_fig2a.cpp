@@ -8,10 +8,11 @@
 
 using namespace booterscope;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Figure 2(a)", "CDF/PDF of NTP packet sizes (IXP data)");
 
-  bench::LandscapeWorld world;
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  bench::LandscapeWorld world(options);
   const auto& flows = world.result.ixp.store.flows();
   const auto histogram = core::packet_size_distribution(flows);
 

@@ -50,11 +50,12 @@ VantageStats analyze(const std::string& name, const flow::FlowList& flows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Figure 2(b)",
                       "Reflection traffic and sources per destination IP");
 
-  bench::LandscapeWorld world;
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  bench::LandscapeWorld world(options);
   const VantageStats all[] = {
       analyze("IXP", world.result.ixp.store.flows()),
       analyze("Tier-1 ISP", world.result.tier1.store.flows()),

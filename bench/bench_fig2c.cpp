@@ -33,11 +33,12 @@ VantageCdfs build(const std::string& name, const flow::FlowList& flows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Figure 2(c)",
                       "CDFs of reflectors and peak Gbps per destination");
 
-  bench::LandscapeWorld world;
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  bench::LandscapeWorld world(options);
   std::vector<VantageCdfs> vantages;
   vantages.push_back(build("IXP", world.result.ixp.store.flows()));
   vantages.push_back(build("Tier-1", world.result.tier1.store.flows()));

@@ -37,11 +37,12 @@ std::string metric_string(const core::TakedownMetrics& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Figure 4",
                       "Traffic to reflectors before/after the takedown");
 
-  bench::LandscapeWorld world;
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  bench::LandscapeWorld world(options);
   const auto& cfg = world.result.config;
   const util::Timestamp takedown = *cfg.takedown;
 
@@ -69,7 +70,7 @@ int main() {
   std::vector<bench::Comparison> comparisons;
   for (const Panel& panel : panels) {
     const auto daily = core::daily_packets_to_port(*panel.flows, panel.port,
-                                                   cfg.start, cfg.days);
+                                                   cfg.start, cfg.days, &world.pool);
     const auto metrics = core::takedown_metrics(daily, takedown);
     if (panel.print_full) {
       print_series(daily, panel.name, takedown);
@@ -81,7 +82,7 @@ int main() {
 
   // Control: victim-bound amplified traffic (from reflectors).
   const auto victim_daily = core::daily_packets_from_reflectors(
-      world.result.ixp.store.flows(), {}, cfg.start, cfg.days);
+      world.result.ixp.store.flows(), {}, cfg.start, cfg.days, &world.pool);
   const auto victim_metrics = core::takedown_metrics(victim_daily, takedown);
   std::cout << "control: packets FROM reflectors to victims — IXP: "
             << metric_string(victim_metrics) << "\n";
@@ -92,19 +93,19 @@ int main() {
   };
   const auto m_mc_ixp = core::takedown_metrics(
       core::daily_packets_to_port(world.result.ixp.store.flows(),
-                                  net::ports::kMemcached, cfg.start, cfg.days),
+                                  net::ports::kMemcached, cfg.start, cfg.days, &world.pool),
       takedown);
   const auto m_ntp_t2 = core::takedown_metrics(
       core::daily_packets_to_port(world.result.tier2.store.flows(),
-                                  net::ports::kNtp, cfg.start, cfg.days),
+                                  net::ports::kNtp, cfg.start, cfg.days, &world.pool),
       takedown);
   const auto m_dns_t2 = core::takedown_metrics(
       core::daily_packets_to_port(world.result.tier2.store.flows(),
-                                  net::ports::kDns, cfg.start, cfg.days),
+                                  net::ports::kDns, cfg.start, cfg.days, &world.pool),
       takedown);
   const auto m_dns_ixp = core::takedown_metrics(
       core::daily_packets_to_port(world.result.ixp.store.flows(),
-                                  net::ports::kDns, cfg.start, cfg.days),
+                                  net::ports::kDns, cfg.start, cfg.days, &world.pool),
       takedown);
 
   bench::print_comparisons({

@@ -9,15 +9,16 @@
 
 using namespace booterscope;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Figure 5", "Systems under NTP DDoS attack per hour");
 
-  bench::LandscapeWorld world;
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  bench::LandscapeWorld world(options);
   const auto& cfg = world.result.config;
   const util::Timestamp takedown = *cfg.takedown;
 
   const auto hourly = core::hourly_attacked_systems(
-      world.result.ixp.store.flows(), {}, cfg.start, cfg.days);
+      world.result.ixp.store.flows(), {}, cfg.start, cfg.days, &world.pool);
   const auto daily = hourly.rebin(util::Duration::days(1));
   const auto metrics = core::takedown_metrics(daily, takedown);
 

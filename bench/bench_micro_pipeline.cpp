@@ -4,6 +4,7 @@
 // not paper reproductions.
 #include <benchmark/benchmark.h>
 
+#include "core/takedown.hpp"
 #include "core/victims.hpp"
 #include "flow/anonymize.hpp"
 #include "flow/collector.hpp"
@@ -12,8 +13,10 @@
 #include "stats/welch.hpp"
 #include "topo/routing.hpp"
 #include "sim/internet.hpp"
+#include "sim/landscape_parallel.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -165,6 +168,64 @@ void BM_WelchTest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WelchTest);
+
+// Parallel-pipeline scaling benchmarks. The Arg is the worker count, so
+// CI can assert the speedup ratio between the Arg(1) and Arg(4) rows of
+// the same benchmark; every Arg produces identical bytes (DESIGN.md §9).
+
+void BM_PoolParallelFor(benchmark::State& state) {
+  exec::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint64_t> sums(1024, 0);
+  for (auto _ : state) {
+    pool.parallel_for(sums.size(), [&](std::size_t i) {
+      std::uint64_t h = i;
+      for (int k = 0; k < 4096; ++k) {
+        h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+      }
+      sums[i] = h;
+    });
+    benchmark::DoNotOptimize(sums.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(sums.size()));
+}
+BENCHMARK(BM_PoolParallelFor)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_ParallelDailySeries(benchmark::State& state) {
+  const auto flows = make_flows(200'000, 11);
+  exec::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const util::Timestamp start = util::Timestamp::parse("2018-12-19").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::daily_packets_to_port(
+        flows, net::ports::kNtp, start, 1, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(flows.size()));
+}
+BENCHMARK(BM_ParallelDailySeries)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ParallelLandscape(benchmark::State& state) {
+  const sim::Internet internet{sim::InternetConfig{}};
+  sim::LandscapeConfig config;
+  config.start = util::Timestamp::parse("2018-11-01").value();
+  config.days = 8;
+  config.takedown = std::nullopt;
+  config.attacks_per_day = 60.0;
+  config.ixp_window.reset();
+  config.tier1_window.reset();
+  config.tier2_window.reset();
+  exec::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto result = sim::run_landscape_parallel(internet, config, pool);
+    benchmark::DoNotOptimize(result.ixp.store.flows().size());
+  }
+  state.SetItemsProcessed(state.iterations() * config.days);
+}
+BENCHMARK(BM_ParallelLandscape)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
 
 void BM_RouterBuild(benchmark::State& state) {
   // Full policy-routing table computation for the default world (273 ASes

@@ -35,10 +35,12 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Intervention comparison",
                       "Domain seizure vs reflector remediation vs blackholing");
 
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  exec::ThreadPool pool(options.threads);
   const sim::Internet internet{sim::InternetConfig{}};
   const util::Timestamp event = util::Timestamp::parse("2018-12-01").value();
   std::vector<Row> rows;
@@ -60,7 +62,7 @@ int main() {
   {
     auto config = base_config();
     config.takedown = event;
-    const auto result = sim::run_landscape(internet, config);
+    const auto result = sim::run_landscape_parallel(internet, config, pool);
     rows.push_back({"domain takedown (15 of 30 booters)",
                     fmt(victim_metrics(result)),
                     "demand migrates within days (§5)"});
@@ -71,7 +73,7 @@ int main() {
     auto config = base_config();
     config.remediation_start = event;
     config.remediation_per_day = per_day;
-    const auto result = sim::run_landscape(internet, config);
+    const auto result = sim::run_landscape_parallel(internet, config, pool);
     rows.push_back(
         {"reflector remediation, " +
              util::format_double(per_day * 100.0, 0) + "%/day",
@@ -81,7 +83,7 @@ int main() {
 
   // 3. IXP blackholing on the unmitigated world.
   {
-    const auto result = sim::run_landscape(internet, base_config());
+    const auto result = sim::run_landscape_parallel(internet, base_config(), pool);
     core::BlackholePolicy policy;
     policy.trigger_gbps = 5.0;
     const auto entries =

@@ -9,7 +9,9 @@
 
 using namespace booterscope;
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const bench::RunOptions options =
+      bench::parse_run_options(argc, argv);
   bench::print_header("Table 1", "Booters used to attack the measurement AS");
 
   util::Table table({"Booter", "Seized", "NTP", "DNS", "CLDAP", "mcache",

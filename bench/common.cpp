@@ -2,10 +2,62 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 
 #include "obs/exposition.hpp"
 
 namespace booterscope::bench {
+
+RunOptions parse_run_options(int argc, char** argv) {
+  RunOptions options;
+  const auto usage = [&](const std::string& why) {
+    std::cerr << argv[0] << ": " << why << "\nusage: " << argv[0]
+              << " [--threads N] [--days N] [--attacks-per-day X]"
+                 " [--seed N]\n";
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) usage("missing value for " + flag);
+    const std::string value = argv[++i];
+    try {
+      if (flag == "--threads") {
+        options.threads = static_cast<std::size_t>(std::stoull(value));
+      } else if (flag == "--days") {
+        options.days = std::stoi(value);
+      } else if (flag == "--attacks-per-day") {
+        options.attacks_per_day = std::stod(value);
+      } else if (flag == "--seed") {
+        options.seed = std::stoull(value);
+      } else {
+        usage("unknown flag " + flag);
+      }
+    } catch (const std::exception&) {
+      usage("bad value for " + flag);
+    }
+  }
+  return options;
+}
+
+sim::LandscapeConfig apply_run_options(sim::LandscapeConfig config,
+                                       const RunOptions& options) {
+  if (options.seed != 0) config.seed = options.seed;
+  if (options.attacks_per_day > 0.0) {
+    config.attacks_per_day = options.attacks_per_day;
+  }
+  if (options.days > 0) {
+    config.days = options.days;
+    // Keep a before/after split worth analyzing: takedown 2/3 through the
+    // shrunk window, and every vantage observing the whole run.
+    config.takedown =
+        config.start + util::Duration::days(options.days * 2 / 3);
+    config.ixp_window.reset();
+    config.tier1_window.reset();
+    config.tier2_window.reset();
+  }
+  return config;
+}
 
 void print_header(const std::string& experiment_id, const std::string& title) {
   std::cout << "==========================================================\n"
@@ -26,10 +78,12 @@ void print_comparisons(const std::vector<Comparison>& rows) {
 
 void write_observability(const std::string& experiment_id,
                          const sim::LandscapeConfig& config,
-                         const obs::StageTracer* tracer) {
+                         const obs::StageTracer* tracer,
+                         std::size_t threads) {
   obs::RunManifest manifest("bench");
   manifest.set_experiment(experiment_id);
   manifest.set_seed(config.seed);
+  manifest.add_config("threads", static_cast<std::uint64_t>(threads));
   manifest.add_config("start", config.start.date_string());
   manifest.add_config("days", static_cast<std::uint64_t>(config.days));
   if (config.takedown) {
@@ -64,6 +118,33 @@ void write_observability(const std::string& experiment_id,
           .counter("booterscope_collector_exported_flows_total",
                    {{"reason", "lru_eviction"}})
           .value());
+
+  // Per-vantage conservation: every emitted (visible) packet batch either
+  // fell outside the vantage window, sampled to zero, or became a flow.
+  // CI fails a bench run on any `balanced:false` here, so an accounting
+  // leak in the emit path cannot ship silently. (Metrics-disabled builds
+  // read all counters as 0, which balances trivially.)
+  obs::MetricsRegistry& mutable_registry = obs::metrics();
+  for (const char* vantage : {"ixp", "tier1", "tier2"}) {
+    const obs::Labels labels{{"vantage", vantage}};
+    const std::uint64_t emits =
+        mutable_registry.counter("booterscope_landscape_emits_total", labels)
+            .value();
+    const std::uint64_t window_drops =
+        mutable_registry
+            .counter("booterscope_landscape_window_drops_total", labels)
+            .value();
+    const std::uint64_t zero_sample_drops =
+        mutable_registry
+            .counter("booterscope_landscape_zero_sample_drops_total", labels)
+            .value();
+    const std::uint64_t flows =
+        mutable_registry.counter("booterscope_landscape_flows_total", labels)
+            .value();
+    manifest.add_conservation(std::string("landscape_emits_") + vantage,
+                              emits,
+                              window_drops + zero_sample_drops + flows);
+  }
 
   const std::string stem = "OBS_" + experiment_id;
   if (!manifest.write(stem + ".manifest.json", tracer, &obs::metrics())) {

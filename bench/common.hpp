@@ -6,6 +6,8 @@
 // comparison. Everything is deterministic for the default seeds.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,13 +17,38 @@
 #include "sim/booter.hpp"
 #include "sim/internet.hpp"
 #include "sim/landscape.hpp"
+#include "sim/landscape_parallel.hpp"
 #include "sim/selfattack.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace booterscope::bench {
 
 /// Prints the standard bench header naming the figure being reproduced.
 void print_header(const std::string& experiment_id, const std::string& title);
+
+/// Command-line options shared by the bench binaries:
+///   --threads N          worker threads for the parallel drivers (default 1)
+///   --days N             shrink the landscape window to N days (CI smoke)
+///   --attacks-per-day X  override attack demand (CI smoke)
+///   --seed N             override the master seed
+/// Defaults reproduce the paper figures; any --threads value produces the
+/// same bytes (DESIGN.md §9), so the flags only trade wall-clock and scale.
+struct RunOptions {
+  std::size_t threads = 1;
+  int days = 0;                  // 0 = paper window (122 days)
+  double attacks_per_day = 0.0;  // 0 = config default
+  std::uint64_t seed = 0;        // 0 = config default
+};
+
+/// Parses the flags above; exits with a usage message on anything unknown.
+[[nodiscard]] RunOptions parse_run_options(int argc, char** argv);
+
+/// Applies RunOptions overrides to a landscape config. Shrinking the window
+/// (--days) moves the takedown to 2/3 through it and clears the per-vantage
+/// observation windows so every vantage sees the whole (tiny) run.
+[[nodiscard]] sim::LandscapeConfig apply_run_options(
+    sim::LandscapeConfig config, const RunOptions& options);
 
 /// One paper-vs-measured comparison row.
 struct Comparison {
@@ -70,21 +97,28 @@ class SelfAttackWorld {
 /// text). This is what makes a bench's printed numbers attributable later.
 void write_observability(const std::string& experiment_id,
                          const sim::LandscapeConfig& config,
-                         const obs::StageTracer* tracer);
+                         const obs::StageTracer* tracer,
+                         std::size_t threads = 1);
 
-/// The landscape world shared by the §4/§5 benches (one full 122-day run).
+/// The landscape world shared by the §4/§5 benches (one full 122-day run,
+/// sharded by day over the pool — byte-identical for every --threads N).
 struct LandscapeWorld {
   sim::Internet internet;
   obs::StageTracer tracer;
+  exec::ThreadPool pool;  // declared before result: result's ctor uses it
   sim::LandscapeResult result;
 
-  LandscapeWorld()
+  explicit LandscapeWorld(const RunOptions& options = {})
       : internet(sim::InternetConfig{}),
-        result(sim::run_landscape(internet, sim::paper_landscape_config(),
-                                  &tracer)) {}
+        pool(options.threads),
+        result(sim::run_landscape_parallel(
+            internet,
+            apply_run_options(sim::paper_landscape_config(), options), pool,
+            &tracer)) {}
 
   void write_observability(const std::string& experiment_id) const {
-    bench::write_observability(experiment_id, result.config, &tracer);
+    bench::write_observability(experiment_id, result.config, &tracer,
+                               pool.size());
   }
 };
 

@@ -1,0 +1,115 @@
+#include "exec/vantage_pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "flow/sampler.hpp"
+#include "obs/metrics.hpp"
+
+namespace booterscope::exec {
+
+namespace {
+
+/// Replay order: (first, five-tuple). A pure function of the record set,
+/// so the chain consumes its sampler stream in the same sequence no matter
+/// which worker runs it or how the producer ordered the list.
+void sort_for_replay(flow::FlowList& flows) {
+  std::sort(flows.begin(), flows.end(),
+            [](const flow::FlowRecord& a, const flow::FlowRecord& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.key() < b.key();
+            });
+}
+
+void run_chain(const VantageChainSpec& spec, std::size_t index,
+               VantageChainOutput& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out.name = spec.name;
+
+  flow::FlowList replay = *spec.input;
+  sort_for_replay(replay);
+
+  flow::SampledCollector exporter(
+      spec.collector, spec.sampling,
+      util::Rng::split(spec.sampler_seed, "sampler", index));
+  if (!replay.empty()) {
+    util::Timestamp next_expire =
+        replay.front().first.floor_to(spec.expire_every) + spec.expire_every;
+    for (const flow::FlowRecord& f : replay) {
+      while (f.first >= next_expire) {
+        exporter.expire(next_expire, out.exported);
+        next_expire += spec.expire_every;
+      }
+      flow::PacketObservation p;
+      p.time = f.first;
+      p.tuple = f.key();
+      p.wire_bytes = static_cast<std::uint32_t>(f.mean_packet_size());
+      p.count = f.packets;
+      p.src_asn = f.src_asn;
+      p.dst_asn = f.dst_asn;
+      p.peer_asn = f.peer_asn;
+      p.direction = f.direction;
+      exporter.observe(p, out.exported);
+    }
+  }
+  exporter.drain(out.exported);
+
+  out.offered_packets = exporter.offered_packets();
+  out.sampled_out_packets = exporter.sampled_out_packets();
+  out.stats = exporter.collector().stats();
+  out.worker = ThreadPool::current_worker();
+  out.wall_nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+std::vector<VantageChainOutput> run_vantage_chains(
+    const std::vector<VantageChainSpec>& specs, ThreadPool& pool,
+    obs::StageTracer* tracer) {
+  obs::StageTimer timer(tracer, "vantage_chains");
+  std::vector<VantageChainOutput> outputs(specs.size());
+  pool.parallel_for(specs.size(),
+                    [&](std::size_t i) { run_chain(specs[i], i, outputs[i]); });
+
+  obs::Counter& chains_metric =
+      obs::metrics().counter("booterscope_exec_vantage_chains_total");
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    chains_metric.inc();
+    timer.add_items_in(specs[i].input != nullptr ? specs[i].input->size() : 0);
+    timer.add_items_out(outputs[i].exported.size());
+    if (tracer != nullptr) {
+      tracer->add_completed("chain:" + outputs[i].name, outputs[i].worker,
+                            outputs[i].wall_nanos, 1,
+                            specs[i].input != nullptr ? specs[i].input->size()
+                                                      : 0,
+                            outputs[i].exported.size(), 0);
+    }
+  }
+  return outputs;
+}
+
+flow::FlowList merge_exports_by_time(
+    const std::vector<VantageChainOutput>& outputs) {
+  std::size_t total = 0;
+  for (const VantageChainOutput& out : outputs) total += out.exported.size();
+  flow::FlowList merged;
+  merged.reserve(total);
+  // Concatenate in chain (spec) order, then stable-sort: the sort key is
+  // (first, five-tuple) and stability resolves remaining ties by chain
+  // order. Both inputs and order are thread-count independent.
+  for (const VantageChainOutput& out : outputs) {
+    merged.insert(merged.end(), out.exported.begin(), out.exported.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const flow::FlowRecord& a, const flow::FlowRecord& b) {
+                     if (a.first != b.first) return a.first < b.first;
+                     return a.key() < b.key();
+                   });
+  return merged;
+}
+
+}  // namespace booterscope::exec

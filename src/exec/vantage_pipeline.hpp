@@ -1,0 +1,68 @@
+// Multi-vantage flow collection on the thread pool.
+//
+// The paper's measurement has three independent exporters (IXP, tier-1,
+// tier-2 ISP), each a sampler → flow-cache → store chain over its own
+// packet feed. The chains never share state, so each runs complete on one
+// pool worker; outputs land in index-addressed slots and are merged with a
+// deterministic ordered merge afterwards. Determinism contract (DESIGN.md
+// §9): replay order is (first, five-tuple)-sorted, sampler streams come
+// from util::Rng::split on the chain's seed — never from thread identity —
+// so any pool size, including 1, produces identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/collector.hpp"
+#include "flow/record.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::exec {
+
+/// One vantage's exporter chain: which flows it sees and how it samples,
+/// caches and expires them.
+struct VantageChainSpec {
+  std::string name;  // "ixp" / "tier1" / ... — used for stage labels
+  /// Simulator truth for this vantage; not owned, must outlive the run.
+  const flow::FlowList* input = nullptr;
+  flow::CollectorConfig collector;
+  std::uint32_t sampling = 1;  // probabilistic 1-in-N in front of the cache
+  /// Seed of the chain's sampler stream (split per chain index, so two
+  /// chains with the same seed still sample independently).
+  std::uint64_t sampler_seed = 0;
+  /// Cadence of collector expiry sweeps during the replay.
+  util::Duration expire_every = util::Duration::hours(6);
+};
+
+/// What one chain produced, plus its exact accounting and attribution.
+struct VantageChainOutput {
+  std::string name;
+  flow::FlowList exported;
+  std::uint64_t offered_packets = 0;
+  std::uint64_t sampled_out_packets = 0;
+  flow::CollectorStats stats;
+  int worker = -1;  // pool worker that ran the chain (attribution only)
+  std::uint64_t wall_nanos = 0;
+};
+
+/// Runs every chain on the pool (one worker each) and returns outputs in
+/// spec order. Each chain sorts its input by (first, five-tuple), replays
+/// it through the sampler and collector with periodic expiry, then drains.
+/// The conservation identity
+///   offered == sampled_out + exported (by reason) + cached(== 0 after drain)
+/// holds for every output.
+[[nodiscard]] std::vector<VantageChainOutput> run_vantage_chains(
+    const std::vector<VantageChainSpec>& specs, ThreadPool& pool,
+    obs::StageTracer* tracer = nullptr);
+
+/// Deterministic ordered merge of per-chain exports into one time-ordered
+/// list for the takedown time-series: sorted by (first, five-tuple), with
+/// chain order (spec index) breaking remaining ties. Stable for any pool
+/// size because the inputs already are.
+[[nodiscard]] flow::FlowList merge_exports_by_time(
+    const std::vector<VantageChainOutput>& outputs);
+
+}  // namespace booterscope::exec

@@ -98,7 +98,12 @@ void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
     by_age.reserve(cache_.size());
     for (const auto& [key, e] : cache_) by_age.emplace_back(e.flow.last, key);
     std::sort(by_age.begin(), by_age.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+              [](const auto& a, const auto& b) {
+                // Tuple tie-break: equal-age entries otherwise evict in
+                // hash-map order, which varies across runs and platforms.
+                return a.first != b.first ? a.first < b.first
+                                          : a.second < b.second;
+              });
     const std::size_t to_evict = cache_.size() - config_.max_entries / 2;
     for (std::size_t i = 0; i < to_evict && i < by_age.size(); ++i) {
       const auto found = cache_.find(by_age[i].second);
@@ -111,25 +116,43 @@ void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
 }
 
 void FlowCollector::expire(util::Timestamp now, FlowList& out) {
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    const FlowRecord& f = it->second.flow;
-    const bool inactive = now - f.last >= config_.inactive_timeout;
-    if (inactive || now - f.first >= config_.active_timeout) {
-      export_entry(it->second,
-                   inactive ? ExportReason::kInactiveTimeout
-                            : ExportReason::kActiveTimeout,
-                   out);
-      it = cache_.erase(it);
-    } else {
-      ++it;
+  // Batch exports are emitted in five-tuple order, not hash-map order: the
+  // map's iteration order depends on the library, reservation history and
+  // insertion sequence, so exporting in it made byte-compared outputs
+  // differ across platforms (and across thread counts once collectors run
+  // on pool workers).
+  std::vector<const net::FiveTuple*> expired;
+  for (const auto& [key, entry] : cache_) {
+    const FlowRecord& f = entry.flow;
+    if (now - f.last >= config_.inactive_timeout ||
+        now - f.first >= config_.active_timeout) {
+      expired.push_back(&key);
     }
+  }
+  std::sort(expired.begin(), expired.end(),
+            [](const net::FiveTuple* a, const net::FiveTuple* b) {
+              return *a < *b;
+            });
+  for (const net::FiveTuple* key : expired) {
+    const auto it = cache_.find(*key);
+    const bool inactive = now - it->second.flow.last >= config_.inactive_timeout;
+    export_entry(it->second,
+                 inactive ? ExportReason::kInactiveTimeout
+                          : ExportReason::kActiveTimeout,
+                 out);
+    cache_.erase(it);
   }
   update_cache_gauge();
 }
 
 void FlowCollector::drain(FlowList& out) {
-  for (const auto& [key, entry] : cache_) {
-    export_entry(entry, ExportReason::kDrain, out);
+  std::vector<std::pair<const net::FiveTuple*, const Entry*>> remaining;
+  remaining.reserve(cache_.size());
+  for (const auto& [key, entry] : cache_) remaining.emplace_back(&key, &entry);
+  std::sort(remaining.begin(), remaining.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  for (const auto& [key, entry] : remaining) {
+    export_entry(*entry, ExportReason::kDrain, out);
   }
   cache_.clear();
   update_cache_gauge();

@@ -99,10 +99,12 @@ class FlowCollector {
   /// Exported flows are appended to `out`.
   void observe(const PacketObservation& packet, FlowList& out);
 
-  /// Expires all entries that have timed out as of `now`.
+  /// Expires all entries that have timed out as of `now`, exported in
+  /// five-tuple order (deterministic across platforms and runs).
   void expire(util::Timestamp now, FlowList& out);
 
-  /// Exports everything still cached (end of measurement).
+  /// Exports everything still cached (end of measurement), in five-tuple
+  /// order — never in hash-map iteration order.
   void drain(FlowList& out);
 
   [[nodiscard]] std::size_t active_flows() const noexcept { return cache_.size(); }

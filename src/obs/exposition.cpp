@@ -63,6 +63,7 @@ void append_stage_json(std::string& out, const StageNode& node) {
   out += ",\"items_in\":" + json_number(node.items_in);
   out += ",\"items_out\":" + json_number(node.items_out);
   out += ",\"bytes\":" + json_number(node.bytes);
+  out += ",\"worker\":" + std::to_string(node.worker);
   out += ",\"children\":[";
   for (std::size_t i = 0; i < node.children.size(); ++i) {
     if (i > 0) out.push_back(',');

@@ -32,6 +32,11 @@ void RunManifest::add_accounting(std::string_view key, std::uint64_t value) {
   accounting_.emplace_back(std::string(key), value);
 }
 
+void RunManifest::add_conservation(std::string_view name, std::uint64_t lhs,
+                                   std::uint64_t rhs) {
+  conservation_.push_back(Conservation{std::string(name), lhs, rhs});
+}
+
 std::string RunManifest::to_json(const StageTracer* tracer,
                                  const MetricsRegistry* registry) const {
   std::string out = "{\"tool\":" + json_string(tool_);
@@ -51,7 +56,18 @@ std::string RunManifest::to_json(const StageTracer* tracer,
     out += json_string(accounting_[i].first) + ":" +
            json_number(accounting_[i].second);
   }
-  out += "},\"stages\":";
+  out += "},\"conservation\":[";
+  for (std::size_t i = 0; i < conservation_.size(); ++i) {
+    const Conservation& c = conservation_[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":" + json_string(c.name);
+    out += ",\"lhs\":" + json_number(c.lhs);
+    out += ",\"rhs\":" + json_number(c.rhs);
+    out += ",\"balanced\":";
+    out += c.balanced() ? "true" : "false";
+    out.push_back('}');
+  }
+  out += "],\"stages\":";
   out += tracer != nullptr ? stages_json(*tracer) : "[]";
   out += ",\"metrics\":";
   out += registry != nullptr ? metrics_json(*registry)

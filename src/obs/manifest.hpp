@@ -44,6 +44,22 @@ class RunManifest {
     return accounting_;
   }
 
+  /// One conservation identity `name: lhs == rhs`, rendered with an
+  /// explicit `balanced` flag so CI can fail a run on any imbalance
+  /// without re-deriving which accounting keys form which identity.
+  struct Conservation {
+    std::string name;
+    std::uint64_t lhs = 0;
+    std::uint64_t rhs = 0;
+    [[nodiscard]] bool balanced() const noexcept { return lhs == rhs; }
+  };
+  void add_conservation(std::string_view name, std::uint64_t lhs,
+                        std::uint64_t rhs);
+  [[nodiscard]] const std::vector<Conservation>& conservation()
+      const noexcept {
+    return conservation_;
+  }
+
   /// Full JSON document. Either pointer may be null; the corresponding
   /// section is then emitted empty.
   [[nodiscard]] std::string to_json(const StageTracer* tracer,
@@ -59,6 +75,7 @@ class RunManifest {
   std::uint64_t seed_ = 0;
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<std::pair<std::string, std::uint64_t>> accounting_;
+  std::vector<Conservation> conservation_;
 };
 
 }  // namespace booterscope::obs

@@ -56,6 +56,32 @@ void StageTracer::leave(StageNode* node, std::uint64_t wall_nanos) noexcept {
   if (node->parent != nullptr) current_ = node->parent;
 }
 
+void StageTracer::add_completed(std::string_view name, int worker,
+                                std::uint64_t wall_nanos, std::uint64_t calls,
+                                std::uint64_t items_in, std::uint64_t items_out,
+                                std::uint64_t bytes) {
+  StageNode* node = nullptr;
+  for (const auto& child : current_->children) {
+    if (child->name == name && child->worker == worker) {
+      node = child.get();
+      break;
+    }
+  }
+  if (node == nullptr) {
+    auto fresh = std::make_unique<StageNode>();
+    fresh->name = std::string(name);
+    fresh->worker = worker;
+    fresh->parent = current_;
+    current_->children.push_back(std::move(fresh));
+    node = current_->children.back().get();
+  }
+  node->wall_nanos += wall_nanos;
+  node->calls += calls;
+  node->items_in += items_in;
+  node->items_out += items_out;
+  node->bytes += bytes;
+}
+
 std::vector<StageTracer::FlatStage> StageTracer::flatten() const {
   std::vector<FlatStage> out;
   flatten_into(*root_, 0, out);
@@ -67,8 +93,9 @@ std::string StageTracer::render() const {
   for (const FlatStage& stage : flatten()) {
     const StageNode& node = *stage.node;
     out << std::string(static_cast<std::size_t>(stage.depth) * 2, ' ')
-        << node.name << "  " << format_wall(node.wall_nanos) << "  calls="
-        << node.calls;
+        << node.name;
+    if (node.worker >= 0) out << " [w" << node.worker << "]";
+    out << "  " << format_wall(node.wall_nanos) << "  calls=" << node.calls;
     if (node.items_in > 0) out << " in=" << node.items_in;
     if (node.items_out > 0) out << " out=" << node.items_out;
     if (node.bytes > 0) out << " bytes=" << node.bytes;

@@ -28,6 +28,9 @@ struct StageNode {
   std::uint64_t items_in = 0;
   std::uint64_t items_out = 0;
   std::uint64_t bytes = 0;
+  /// Pool worker that executed this stage, or -1 when it ran on the
+  /// tracer's own thread. Attribution only — never drives behavior.
+  int worker = -1;
   StageNode* parent = nullptr;
   std::vector<std::unique_ptr<StageNode>> children;
 
@@ -53,8 +56,18 @@ class StageTracer {
   [[nodiscard]] std::vector<FlatStage> flatten() const;
 
   /// Indented text rendering of the stage tree, one line per stage:
-  /// name, wall time, calls, items in/out, bytes.
+  /// name, wall time, calls, items in/out, bytes (and [wN] attribution).
   [[nodiscard]] std::string render() const;
+
+  /// Records one completed, externally-timed span as a child of the
+  /// current stage — how parallel drivers merge per-worker work that ran
+  /// off the tracer's thread (the tracer itself is single-threaded; call
+  /// this after the pool has quiesced). Spans with the same (name, worker)
+  /// accumulate into one node; `worker` -1 means unattributed.
+  void add_completed(std::string_view name, int worker,
+                     std::uint64_t wall_nanos, std::uint64_t calls,
+                     std::uint64_t items_in, std::uint64_t items_out,
+                     std::uint64_t bytes);
 
  private:
   friend class StageTimer;

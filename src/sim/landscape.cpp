@@ -7,183 +7,129 @@
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
+#include "sim/landscape_detail.hpp"
 #include "topo/ixp.hpp"
 #include "util/hash.hpp"
 
 namespace booterscope::sim {
 
-namespace {
+namespace detail {
 
 using net::AmpVector;
 using topo::AsId;
 
-/// Per-vantage view of one (src AS, dst AS) unidirectional path.
-struct Visibility {
-  bool visible = false;
-  net::Asn peer;  // adjacent AS handing traffic into the vantage network
-};
+const PathView& PathClassifier::view(AsId src, AsId dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(key, classify(src, dst)).first->second;
+}
 
-struct PathView {
-  Visibility ixp;
-  Visibility tier1;
-  Visibility tier2;
-  bool reachable = false;
-};
-
-/// Caches vantage visibility per (src, dst) AS pair.
-class PathClassifier {
- public:
-  explicit PathClassifier(const Internet& internet) : internet_(&internet) {}
-
-  const PathView& view(AsId src, AsId dst) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(src) << 32) | dst;
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-    return cache_.emplace(key, classify(src, dst)).first->second;
-  }
-
- private:
-  PathView classify(AsId src, AsId dst) const {
-    PathView result;
-    const topo::Router& router = internet_->router();
-    if (!router.reachable(src, dst)) return result;
-    result.reachable = true;
-    const auto path = router.path(src, dst);
-    const topo::Topology& topology = internet_->topology();
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      const topo::Route& hop = router.route(path[i], dst);
-      if (topology.link(hop.via_link).on_ixp_fabric() && !result.ixp.visible) {
-        result.ixp.visible = true;
-        result.ixp.peer = topology.node(path[i]).asn;
-      }
+PathView PathClassifier::classify(AsId src, AsId dst) const {
+  PathView result;
+  const topo::Router& router = internet_->router();
+  if (!router.reachable(src, dst)) return result;
+  result.reachable = true;
+  const auto path = router.path(src, dst);
+  const topo::Topology& topology = internet_->topology();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const topo::Route& hop = router.route(path[i], dst);
+    if (topology.link(hop.via_link).on_ixp_fabric() && !result.ixp.visible) {
+      result.ixp.visible = true;
+      result.ixp.peer = topology.node(path[i]).asn;
     }
-    for (std::size_t i = 0; i < path.size(); ++i) {
-      if (path[i] == internet_->tier1_vantage() && i > 0) {
-        result.tier1.visible = true;  // ingress-only data set
-        result.tier1.peer = topology.node(path[i - 1]).asn;
-      }
-      if (path[i] == internet_->tier2_vantage()) {
-        result.tier2.visible = true;  // ingress + egress data set
-        const std::size_t adjacent = i > 0 ? i - 1 : (path.size() > 1 ? 1 : 0);
-        result.tier2.peer = topology.node(path[adjacent]).asn;
-      }
+  }
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == internet_->tier1_vantage() && i > 0) {
+      result.tier1.visible = true;  // ingress-only data set
+      result.tier1.peer = topology.node(path[i - 1]).asn;
     }
-    return result;
+    if (path[i] == internet_->tier2_vantage()) {
+      result.tier2.visible = true;  // ingress + egress data set
+      const std::size_t adjacent = i > 0 ? i - 1 : (path.size() > 1 ? 1 : 0);
+      result.tier2.peer = topology.node(path[adjacent]).asn;
+    }
   }
+  return result;
+}
 
-  const Internet* internet_;
-  std::unordered_map<std::uint64_t, PathView> cache_;
-};
+VantageMetrics::VantageMetrics(const char* vantage) {
+  obs::MetricsRegistry& registry = obs::metrics();
+  const obs::Labels labels{{"vantage", vantage}};
+  emits = &registry.counter("booterscope_landscape_emits_total", labels);
+  flows = &registry.counter("booterscope_landscape_flows_total", labels);
+  offered_packets =
+      &registry.counter("booterscope_landscape_offered_packets_total", labels);
+  sampled_packets =
+      &registry.counter("booterscope_landscape_sampled_packets_total", labels);
+  zero_sample_drops = &registry.counter(
+      "booterscope_landscape_zero_sample_drops_total", labels);
+  window_drops =
+      &registry.counter("booterscope_landscape_window_drops_total", labels);
+}
 
-/// Per-vantage emit/drop accounting in the global registry. `offered` is
-/// pre-sampling truth on visible in-window paths; `sampled` is what the
-/// vantage exported; their gap is the sampler loss the paper's §3.2 caveat
-/// is about.
-struct VantageMetrics {
-  obs::Counter* flows;
-  obs::Counter* offered_packets;
-  obs::Counter* sampled_packets;
-  obs::Counter* zero_sample_drops;  // emits whose Poisson draw came up 0
-  obs::Counter* window_drops;       // emits outside the vantage's window
-
-  explicit VantageMetrics(const char* vantage) {
-    obs::MetricsRegistry& registry = obs::metrics();
-    const obs::Labels labels{{"vantage", vantage}};
-    flows = &registry.counter("booterscope_landscape_flows_total", labels);
-    offered_packets =
-        &registry.counter("booterscope_landscape_offered_packets_total", labels);
-    sampled_packets =
-        &registry.counter("booterscope_landscape_sampled_packets_total", labels);
-    zero_sample_drops = &registry.counter(
-        "booterscope_landscape_zero_sample_drops_total", labels);
-    window_drops =
-        &registry.counter("booterscope_landscape_window_drops_total", labels);
+void Context::emit(AsId src_as, net::Ipv4Addr src, AsId dst_as,
+                   net::Ipv4Addr dst, std::uint16_t src_port,
+                   std::uint16_t dst_port, std::uint64_t true_packets,
+                   std::uint32_t packet_bytes, util::Timestamp first,
+                   util::Timestamp last) {
+  const PathView& pv = classifier.view(src_as, dst_as);
+  if (!pv.reachable) {
+    unreachable_drops->inc();
+    return;
   }
-};
-
-/// Mutable generation context shared by the traffic components.
-struct Context {
-  const Internet* internet;
-  const LandscapeConfig* config;
-  PathClassifier classifier;
-  util::Rng rng;
-  flow::FlowList ixp_flows;
-  flow::FlowList tier1_flows;
-  flow::FlowList tier2_flows;
-  VantageMetrics ixp_metrics{"ixp"};
-  VantageMetrics tier1_metrics{"tier1"};
-  VantageMetrics tier2_metrics{"tier2"};
-  obs::Counter* unreachable_drops =
-      &obs::metrics().counter("booterscope_landscape_unreachable_drops_total");
-
-  explicit Context(const Internet& net, const LandscapeConfig& cfg,
-                   util::Rng context_rng)
-      : internet(&net), config(&cfg), classifier(net), rng(context_rng) {}
-
-  /// Emits one sampled flow record to every vantage that sees the path.
-  void emit(AsId src_as, net::Ipv4Addr src, AsId dst_as, net::Ipv4Addr dst,
-            std::uint16_t src_port, std::uint16_t dst_port,
-            std::uint64_t true_packets, std::uint32_t packet_bytes,
-            util::Timestamp first, util::Timestamp last) {
-    const PathView& pv = classifier.view(src_as, dst_as);
-    if (!pv.reachable) {
-      unreachable_drops->inc();
+  const topo::Topology& topology = internet->topology();
+  auto make_record = [&](const Visibility& vis, std::uint32_t sampling) {
+    flow::FlowRecord f;
+    f.src = src;
+    f.dst = dst;
+    f.src_port = src_port;
+    f.dst_port = dst_port;
+    f.proto = net::IpProto::kUdp;
+    f.bytes = 0;  // set by caller path below
+    f.first = first;
+    f.last = last;
+    f.src_asn = topology.node(src_as).asn;
+    f.dst_asn = topology.node(dst_as).asn;
+    f.peer_asn = vis.peer;
+    f.direction = flow::Direction::kIngress;
+    f.sampling_rate = sampling;
+    return f;
+  };
+  auto push = [&](flow::FlowList& out, const Visibility& vis,
+                  std::uint32_t sampling,
+                  const std::optional<LandscapeConfig::Window>& window,
+                  VantageMetrics& metrics) {
+    if (!vis.visible) return;
+    metrics.emits->inc();
+    if (window && !window->contains(first)) {
+      metrics.window_drops->inc();
       return;
     }
-    const topo::Topology& topology = internet->topology();
-    auto make_record = [&](const Visibility& vis, std::uint32_t sampling) {
-      flow::FlowRecord f;
-      f.src = src;
-      f.dst = dst;
-      f.src_port = src_port;
-      f.dst_port = dst_port;
-      f.proto = net::IpProto::kUdp;
-      f.bytes = 0;  // set by caller path below
-      f.first = first;
-      f.last = last;
-      f.src_asn = topology.node(src_as).asn;
-      f.dst_asn = topology.node(dst_as).asn;
-      f.peer_asn = vis.peer;
-      f.direction = flow::Direction::kIngress;
-      f.sampling_rate = sampling;
-      return f;
-    };
-    auto push = [&](flow::FlowList& out, const Visibility& vis,
-                    std::uint32_t sampling,
-                    const std::optional<LandscapeConfig::Window>& window,
-                    VantageMetrics& metrics) {
-      if (!vis.visible) return;
-      if (window && !window->contains(first)) {
-        metrics.window_drops->inc();
-        return;
-      }
-      metrics.offered_packets->add(true_packets);
-      const double expected =
-          static_cast<double>(true_packets) / static_cast<double>(sampling);
-      const std::uint64_t sampled = util::poisson(rng, expected);
-      if (sampled == 0) {
-        metrics.zero_sample_drops->inc();
-        return;
-      }
-      flow::FlowRecord f = make_record(vis, sampling);
-      f.packets = sampled;
-      f.bytes = sampled * packet_bytes;
-      out.push_back(f);
-      metrics.flows->inc();
-      metrics.sampled_packets->add(sampled);
-    };
-    push(ixp_flows, pv.ixp, config->ixp_sampling, config->ixp_window,
-         ixp_metrics);
-    push(tier1_flows, pv.tier1, config->tier1_sampling, config->tier1_window,
-         tier1_metrics);
-    push(tier2_flows, pv.tier2, config->tier2_sampling, config->tier2_window,
-         tier2_metrics);
-  }
-};
+    metrics.offered_packets->add(true_packets);
+    const double expected =
+        static_cast<double>(true_packets) / static_cast<double>(sampling);
+    const std::uint64_t sampled = util::poisson(rng, expected);
+    if (sampled == 0) {
+      metrics.zero_sample_drops->inc();
+      return;
+    }
+    flow::FlowRecord f = make_record(vis, sampling);
+    f.packets = sampled;
+    f.bytes = sampled * packet_bytes;
+    out.push_back(f);
+    metrics.flows->inc();
+    metrics.sampled_packets->add(sampled);
+  };
+  push(ixp_flows, pv.ixp, config->ixp_sampling, config->ixp_window,
+       ixp_metrics);
+  push(tier1_flows, pv.tier1, config->tier1_sampling, config->tier1_window,
+       tier1_metrics);
+  push(tier2_flows, pv.tier2, config->tier2_sampling, config->tier2_window,
+       tier2_metrics);
+}
 
-/// Demand seasonality: weekday x hour-of-day multiplier, mean ~1.
-[[nodiscard]] double seasonality(util::Timestamp t) noexcept {
+double seasonality(util::Timestamp t) noexcept {
   const int weekday = t.weekday();           // 0 = Monday
   const int hour = t.hour_of_day();
   const double weekly = weekday >= 5 ? 1.15 : 0.94;  // weekends slightly up
@@ -193,8 +139,7 @@ struct Context {
   return weekly * diurnal;
 }
 
-[[nodiscard]] AmpVector draw_vector(const LandscapeConfig& config,
-                                    util::Rng& rng) {
+AmpVector draw_vector(const LandscapeConfig& config, util::Rng& rng) {
   const double u = rng.uniform();
   if (u < config.share_ntp) return AmpVector::kNtp;
   if (u < config.share_ntp + config.share_dns) return AmpVector::kDns;
@@ -203,6 +148,8 @@ struct Context {
   }
   return AmpVector::kMemcached;
 }
+
+namespace {
 
 /// Is this reflector remediated (no longer amplifying) at time t?
 /// Deterministic per (vector, id): each reflector has a fixed remediation
@@ -224,25 +171,47 @@ struct Context {
   return position < remediated_share;
 }
 
-/// Stable pseudo-random ephemeral port for an entity pair.
-[[nodiscard]] std::uint16_t ephemeral_port(std::uint64_t salt) noexcept {
+}  // namespace
+
+std::uint16_t ephemeral_port(std::uint64_t salt) noexcept {
   constexpr util::SipKey kPortKey{0x706f727473616c74ULL, 0x65706865'6d6572ULL};
   return static_cast<std::uint16_t>(
       1024 + util::siphash24(kPortKey, salt) % 60000);
 }
 
-struct MarketRuntime {
-  std::vector<BooterProfile> profiles;
-  std::vector<BooterService> services;
-  std::vector<Internet::Host> backends;
-};
+ReflectorPools build_pools(const LandscapeConfig& config) {
+  return ReflectorPools{
+      {AmpVector::kNtp, ReflectorPool(AmpVector::kNtp, config.ntp_population)},
+      {AmpVector::kDns, ReflectorPool(AmpVector::kDns, config.dns_population)},
+      {AmpVector::kCldap,
+       ReflectorPool(AmpVector::kCldap, config.cldap_population)},
+      {AmpVector::kMemcached,
+       ReflectorPool(AmpVector::kMemcached, config.memcached_population)},
+  };
+}
 
-/// Picks an active booter offering `vector`, weighted by market share.
-/// Returns profiles.size() when no booter qualifies.
-[[nodiscard]] std::size_t pick_booter(const MarketRuntime& market,
-                                      AmpVector vector, util::Timestamp t,
-                                      std::optional<util::Timestamp> takedown,
-                                      util::Rng& rng) {
+MarketRuntime build_market(const Internet& internet,
+                           const LandscapeConfig& config,
+                           const ReflectorPools& pools,
+                           util::Rng& market_rng) {
+  std::unordered_map<AmpVector, const ReflectorPool*> pool_ptrs;
+  for (const auto& [vector, pool] : pools) pool_ptrs.emplace(vector, &pool);
+
+  MarketRuntime market;
+  market.profiles =
+      market_booters(config.extra_booters, config.extra_seized, market_rng);
+  for (std::size_t i = 0; i < market.profiles.size(); ++i) {
+    market.services.emplace_back(market.profiles[i], pool_ptrs,
+                                 market_rng.fork(market.profiles[i].name));
+    market.backends.push_back(internet.booter_backend(i));
+  }
+  return market;
+}
+
+std::size_t pick_booter(const MarketRuntime& market, AmpVector vector,
+                        util::Timestamp t,
+                        std::optional<util::Timestamp> takedown,
+                        util::Rng& rng) {
   double total = 0.0;
   for (std::size_t i = 0; i < market.services.size(); ++i) {
     const auto& svc = market.services[i];
@@ -262,17 +231,17 @@ struct MarketRuntime {
 }
 
 void generate_attack_traffic(Context& ctx, MarketRuntime& market,
-                             const std::unordered_map<AmpVector, ReflectorPool>& pools,
+                             const ReflectorPools& pools,
                              const HoneypotDeployment& honeypots,
+                             util::Timestamp from, util::Timestamp to,
+                             util::Timestamp horizon, util::Rng rng,
                              std::vector<AttackRecord>& ground_truth,
                              std::vector<HoneypotObservation>& honeypot_log) {
   const LandscapeConfig& cfg = *ctx.config;
   const Internet& internet = *ctx.internet;
-  util::Rng rng = ctx.rng.fork("attacks");
   util::ZipfSampler victim_sampler(cfg.victim_population, cfg.victim_zipf);
 
-  const util::Timestamp end = cfg.start + util::Duration::days(cfg.days);
-  for (util::Timestamp hour = cfg.start; hour < end;
+  for (util::Timestamp hour = from; hour < to;
        hour += util::Duration::hours(1)) {
     const double rate = cfg.attacks_per_day / 24.0 * seasonality(hour);
     const std::uint64_t launches = util::poisson(rng, rate);
@@ -381,7 +350,7 @@ void generate_attack_traffic(Context& ctx, MarketRuntime& market,
       for (std::int64_t minute = 0; minute < minutes; ++minute) {
         const util::Timestamp bin_start =
             start + util::Duration::minutes(minute);
-        if (bin_start >= end) break;  // attack runs past the study window
+        if (bin_start >= horizon) break;  // attack runs past the study window
         const double ramp = std::min(1.0, (static_cast<double>(minute) + 1.0));
         const double noise = rng.uniform(0.9, 1.1);
         const double seconds_in_bin = std::min<double>(
@@ -421,65 +390,59 @@ void generate_attack_traffic(Context& ctx, MarketRuntime& market,
   }
 }
 
-void generate_maintenance_traffic(Context& ctx, MarketRuntime& market,
-                                  std::optional<util::Timestamp> takedown) {
+void generate_maintenance_booter_day(Context& ctx, MarketRuntime& market,
+                                     std::size_t booter_index,
+                                     util::Timestamp day,
+                                     std::optional<util::Timestamp> takedown,
+                                     util::Rng& rng) {
   const LandscapeConfig& cfg = *ctx.config;
   const Internet& internet = *ctx.internet;
-  util::Rng rng = ctx.rng.fork("maintenance");
-  const util::Timestamp end = cfg.start + util::Duration::days(cfg.days);
-
-  for (util::Timestamp day = cfg.start; day < end;
-       day += util::Duration::days(1)) {
-    for (std::size_t b = 0; b < market.services.size(); ++b) {
-      BooterService& booter = market.services[b];
-      // Maintenance runs only while the service operates.
-      if (!booter.active_at(day + util::Duration::hours(12), takedown)) continue;
-      booter.advance_to(day);
-      const Internet::Host& backend = market.backends[b];
-      // Backends reschedule scans irregularly: day-to-day volume noise.
-      const double day_noise = util::lognormal(rng, 0.0, 0.15);
-      for (const AmpVector vector : booter.profile().vectors) {
-        const ReflectorList* list = booter.list(vector);
-        if (list == nullptr || list->current().empty()) continue;
-        const net::VectorProfile vp = net::profile(vector);
-        // Backend-dependent intensity (profiles vary around 2000 pkts/
-        // reflector/day) on top of the calibrated per-vector base.
-        const double backend_factor =
-            booter.profile().maintenance_pkts_per_reflector_day / 2000.0;
-        const double daily_packets = cfg.maintenance_base(vector) *
-                                     booter.profile().market_weight *
-                                     backend_factor * day_noise *
-                                     cfg.maintenance_scale;
-        // Spread the day's polling over per-reflector flows; emitting a
-        // bounded number of (backend -> reflector) flows keeps record
-        // counts sane while preserving packet totals.
-        const std::size_t flows =
-            std::min<std::size_t>(list->current().size(), 48);
-        const double packets_per_flow =
-            daily_packets / static_cast<double>(flows);
-        for (std::size_t i = 0; i < flows; ++i) {
-          const ReflectorId id =
-              list->current()[rng.bounded(list->current().size())];
-          const Internet::Host host = internet.reflector_host(vector, id);
-          const util::Timestamp first =
-              day + util::Duration::seconds_f(rng.uniform(0.0, 43'200.0));
-          ctx.emit(backend.as, backend.ip, host.as, host.ip,
-                   ephemeral_port(backend.ip.value() ^ id), vp.service_port,
-                   static_cast<std::uint64_t>(packets_per_flow),
-                   vp.request_bytes, first,
-                   first + util::Duration::hours(6));
-        }
-      }
+  BooterService& booter = market.services[booter_index];
+  // Maintenance runs only while the service operates.
+  if (!booter.active_at(day + util::Duration::hours(12), takedown)) return;
+  booter.advance_to(day);
+  const Internet::Host& backend = market.backends[booter_index];
+  // Backends reschedule scans irregularly: day-to-day volume noise.
+  const double day_noise = util::lognormal(rng, 0.0, 0.15);
+  for (const AmpVector vector : booter.profile().vectors) {
+    const ReflectorList* list = booter.list(vector);
+    if (list == nullptr || list->current().empty()) continue;
+    const net::VectorProfile vp = net::profile(vector);
+    // Backend-dependent intensity (profiles vary around 2000 pkts/
+    // reflector/day) on top of the calibrated per-vector base.
+    const double backend_factor =
+        booter.profile().maintenance_pkts_per_reflector_day / 2000.0;
+    const double daily_packets = cfg.maintenance_base(vector) *
+                                 booter.profile().market_weight *
+                                 backend_factor * day_noise *
+                                 cfg.maintenance_scale;
+    // Spread the day's polling over per-reflector flows; emitting a
+    // bounded number of (backend -> reflector) flows keeps record
+    // counts sane while preserving packet totals.
+    const std::size_t flows =
+        std::min<std::size_t>(list->current().size(), 48);
+    const double packets_per_flow =
+        daily_packets / static_cast<double>(flows);
+    for (std::size_t i = 0; i < flows; ++i) {
+      const ReflectorId id =
+          list->current()[rng.bounded(list->current().size())];
+      const Internet::Host host = internet.reflector_host(vector, id);
+      const util::Timestamp first =
+          day + util::Duration::seconds_f(rng.uniform(0.0, 43'200.0));
+      ctx.emit(backend.as, backend.ip, host.as, host.ip,
+               ephemeral_port(backend.ip.value() ^ id), vp.service_port,
+               static_cast<std::uint64_t>(packets_per_flow),
+               vp.request_bytes, first,
+               first + util::Duration::hours(6));
     }
   }
 }
 
-void generate_benign_traffic(Context& ctx,
-                             const std::unordered_map<AmpVector, ReflectorPool>& pools) {
+void generate_benign_traffic(Context& ctx, const ReflectorPools& pools,
+                             util::Timestamp from, util::Timestamp to,
+                             util::Rng rng) {
   const LandscapeConfig& cfg = *ctx.config;
   const Internet& internet = *ctx.internet;
-  util::Rng rng = ctx.rng.fork("benign");
-  const util::Timestamp end = cfg.start + util::Duration::days(cfg.days);
 
   struct Component {
     AmpVector vector;
@@ -492,8 +455,7 @@ void generate_benign_traffic(Context& ctx,
       {AmpVector::kMemcached, cfg.benign_memcached_pps},
   };
 
-  for (util::Timestamp day = cfg.start; day < end;
-       day += util::Duration::days(1)) {
+  for (util::Timestamp day = from; day < to; day += util::Duration::days(1)) {
     const double season = 0.9 + 0.2 * seasonality(day + util::Duration::hours(14));
     for (const Component& component : components) {
       // Real inter-domain baselines wobble day to day; without this, even
@@ -570,6 +532,29 @@ void generate_benign_traffic(Context& ctx,
   }
 }
 
+}  // namespace detail
+
+namespace {
+
+using net::AmpVector;
+
+/// Serial maintenance: one RNG stream threaded through every (day, booter)
+/// cell in order, reproducing the pre-refactor draw sequence exactly.
+void generate_maintenance_traffic(detail::Context& ctx,
+                                  detail::MarketRuntime& market,
+                                  std::optional<util::Timestamp> takedown,
+                                  util::Rng rng) {
+  const LandscapeConfig& cfg = *ctx.config;
+  const util::Timestamp end = cfg.start + util::Duration::days(cfg.days);
+  for (util::Timestamp day = cfg.start; day < end;
+       day += util::Duration::days(1)) {
+    for (std::size_t b = 0; b < market.services.size(); ++b) {
+      detail::generate_maintenance_booter_day(ctx, market, b, day, takedown,
+                                              rng);
+    }
+  }
+}
+
 }  // namespace
 
 LandscapeConfig paper_landscape_config() {
@@ -595,11 +580,11 @@ namespace {
 struct EmitDelta {
   std::array<std::size_t, 3> offsets;
 
-  explicit EmitDelta(const Context& ctx)
+  explicit EmitDelta(const detail::Context& ctx)
       : offsets{ctx.ixp_flows.size(), ctx.tier1_flows.size(),
                 ctx.tier2_flows.size()} {}
 
-  void record(const Context& ctx, obs::StageTimer& timer) const {
+  void record(const detail::Context& ctx, obs::StageTimer& timer) const {
     const flow::FlowList* lists[] = {&ctx.ixp_flows, &ctx.tier1_flows,
                                      &ctx.tier2_flows};
     std::uint64_t flows = 0;
@@ -625,26 +610,11 @@ LandscapeResult run_landscape(const Internet& internet,
   result.config = config;
 
   util::Rng rng(config.seed);
-  std::unordered_map<AmpVector, ReflectorPool> pools{
-      {AmpVector::kNtp, ReflectorPool(AmpVector::kNtp, config.ntp_population)},
-      {AmpVector::kDns, ReflectorPool(AmpVector::kDns, config.dns_population)},
-      {AmpVector::kCldap,
-       ReflectorPool(AmpVector::kCldap, config.cldap_population)},
-      {AmpVector::kMemcached,
-       ReflectorPool(AmpVector::kMemcached, config.memcached_population)},
-  };
-  std::unordered_map<AmpVector, const ReflectorPool*> pool_ptrs;
-  for (const auto& [vector, pool] : pools) pool_ptrs.emplace(vector, &pool);
+  detail::ReflectorPools pools = detail::build_pools(config);
 
-  MarketRuntime market;
   util::Rng market_rng = rng.fork("market");
-  market.profiles =
-      market_booters(config.extra_booters, config.extra_seized, market_rng);
-  for (std::size_t i = 0; i < market.profiles.size(); ++i) {
-    market.services.emplace_back(market.profiles[i], pool_ptrs,
-                                 market_rng.fork(market.profiles[i].name));
-    market.backends.push_back(internet.booter_backend(i));
-  }
+  detail::MarketRuntime market =
+      detail::build_market(internet, config, pools, market_rng);
   result.market = market.profiles;
 
   const HoneypotDeployment honeypots =
@@ -654,25 +624,30 @@ LandscapeResult run_landscape(const Internet& internet,
                                rng.fork("honeypots"))
           : HoneypotDeployment();
 
-  Context ctx(internet, config, rng.fork("context"));
+  const util::Timestamp end = config.start + util::Duration::days(config.days);
+  detail::Context ctx(internet, config, rng.fork("context"));
   {
     obs::StageTimer timer(tracer, "attack_traffic");
     const EmitDelta delta(ctx);
-    generate_attack_traffic(ctx, market, pools, honeypots, result.attacks,
-                            result.honeypot_log);
+    detail::generate_attack_traffic(ctx, market, pools, honeypots,
+                                    config.start, end, end,
+                                    ctx.rng.fork("attacks"), result.attacks,
+                                    result.honeypot_log);
     timer.add_items_in(result.attacks.size());
     delta.record(ctx, timer);
   }
   {
     obs::StageTimer timer(tracer, "maintenance_traffic");
     const EmitDelta delta(ctx);
-    generate_maintenance_traffic(ctx, market, config.takedown);
+    generate_maintenance_traffic(ctx, market, config.takedown,
+                                 ctx.rng.fork("maintenance"));
     delta.record(ctx, timer);
   }
   {
     obs::StageTimer timer(tracer, "benign_traffic");
     const EmitDelta delta(ctx);
-    generate_benign_traffic(ctx, pools);
+    detail::generate_benign_traffic(ctx, pools, config.start, end,
+                                    ctx.rng.fork("benign"));
     delta.record(ctx, timer);
   }
   obs::metrics()

@@ -1,0 +1,178 @@
+#include "sim/landscape_parallel.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/landscape_detail.hpp"
+
+namespace booterscope::sim {
+
+namespace {
+
+/// Everything one day shard produces, written into an index-addressed slot
+/// so the merge below never depends on completion order.
+struct ShardOutput {
+  flow::FlowList ixp;
+  flow::FlowList tier1;
+  flow::FlowList tier2;
+  std::vector<AttackRecord> attacks;
+  std::vector<HoneypotObservation> honeypot_log;
+  int worker = -1;              // attribution only
+  std::uint64_t wall_nanos = 0;
+};
+
+void append(flow::FlowList& out, flow::FlowList&& in) {
+  out.insert(out.end(), std::make_move_iterator(in.begin()),
+             std::make_move_iterator(in.end()));
+}
+
+}  // namespace
+
+LandscapeResult run_landscape_parallel(const Internet& internet,
+                                       const LandscapeConfig& config,
+                                       exec::ThreadPool& pool,
+                                       obs::StageTracer* tracer) {
+  obs::StageTimer landscape_timer(tracer, "landscape_parallel");
+  LandscapeResult result;
+  result.config = config;
+
+  // Shared, read-only shard inputs. Pools and the honeypot deployment are
+  // const after construction; each shard builds its own mutable market
+  // replica (below) from the same fork sequence the serial driver uses, so
+  // the replica is identical in every shard.
+  const detail::ReflectorPools pools = detail::build_pools(config);
+  {
+    util::Rng rng(config.seed);
+    util::Rng market_rng = rng.fork("market");
+    const detail::MarketRuntime market =
+        detail::build_market(internet, config, pools, market_rng);
+    result.market = market.profiles;
+  }
+  const HoneypotDeployment honeypots = [&] {
+    util::Rng rng(config.seed);
+    (void)rng.fork("market");
+    return config.honeypots_per_vector > 0
+               ? HoneypotDeployment(pools, config.honeypots_per_vector,
+                                    config.honeypot_public_share,
+                                    rng.fork("honeypots"))
+               : HoneypotDeployment();
+  }();
+
+  const auto days = static_cast<std::size_t>(config.days);
+  const util::Timestamp horizon =
+      config.start + util::Duration::days(config.days);
+  std::vector<ShardOutput> shards(days);
+
+  {
+    obs::StageTimer timer(tracer, "day_shards");
+    timer.add_items_in(days);
+    pool.parallel_for(days, [&](std::size_t d) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ShardOutput& out = shards[d];
+      const util::Timestamp day =
+          config.start + util::Duration::days(static_cast<std::int64_t>(d));
+      const util::Timestamp next = day + util::Duration::days(1);
+
+      // Market replica: same fork sequence as the serial driver, so every
+      // shard sees the same profiles and per-service list seeds. Advancing
+      // start -> day applies exactly d churn days (plus booter B's one-off
+      // list switch), making list state a pure function of the day index.
+      util::Rng seed_rng(config.seed);
+      util::Rng market_rng = seed_rng.fork("market");
+      detail::MarketRuntime market =
+          detail::build_market(internet, config, pools, market_rng);
+      for (BooterService& service : market.services) {
+        service.advance_to(config.start);
+        service.advance_to(day);
+      }
+
+      detail::Context ctx(internet, config,
+                          util::Rng::split(config.seed, "context", d));
+      detail::generate_attack_traffic(
+          ctx, market, pools, honeypots, day, next, horizon,
+          util::Rng::split(config.seed, "attacks", d), out.attacks,
+          out.honeypot_log);
+      for (std::size_t b = 0; b < market.services.size(); ++b) {
+        // Per-(day, booter) stream: the cell index packs both so adding a
+        // booter never shifts another cell's stream.
+        util::Rng cell = util::Rng::split(
+            config.seed, "maintenance",
+            (static_cast<std::uint64_t>(d) << 16) | b);
+        detail::generate_maintenance_booter_day(ctx, market, b, day,
+                                                config.takedown, cell);
+      }
+      detail::generate_benign_traffic(
+          ctx, pools, day, next, util::Rng::split(config.seed, "benign", d));
+
+      out.ixp = std::move(ctx.ixp_flows);
+      out.tier1 = std::move(ctx.tier1_flows);
+      out.tier2 = std::move(ctx.tier2_flows);
+      out.worker = exec::ThreadPool::current_worker();
+      out.wall_nanos = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    });
+    // The pool is quiet again: merge per-worker attribution into the
+    // (single-threaded) stage tree.
+    for (const ShardOutput& shard : shards) {
+      timer.add_items_out(shard.ixp.size() + shard.tier1.size() +
+                          shard.tier2.size());
+    }
+    if (tracer != nullptr) {
+      for (const ShardOutput& shard : shards) {
+        tracer->add_completed(
+            "day_shard", shard.worker, shard.wall_nanos, 1, 1,
+            shard.ixp.size() + shard.tier1.size() + shard.tier2.size(), 0);
+      }
+    }
+  }
+
+  {
+    obs::StageTimer timer(tracer, "merge");
+    flow::FlowList ixp;
+    flow::FlowList tier1;
+    flow::FlowList tier2;
+    std::size_t totals[3] = {0, 0, 0};
+    for (const ShardOutput& shard : shards) {
+      totals[0] += shard.ixp.size();
+      totals[1] += shard.tier1.size();
+      totals[2] += shard.tier2.size();
+    }
+    ixp.reserve(totals[0]);
+    tier1.reserve(totals[1]);
+    tier2.reserve(totals[2]);
+    // Day order, regardless of which worker finished when.
+    for (ShardOutput& shard : shards) {
+      append(ixp, std::move(shard.ixp));
+      append(tier1, std::move(shard.tier1));
+      append(tier2, std::move(shard.tier2));
+      result.attacks.insert(result.attacks.end(),
+                            std::make_move_iterator(shard.attacks.begin()),
+                            std::make_move_iterator(shard.attacks.end()));
+      result.honeypot_log.insert(
+          result.honeypot_log.end(),
+          std::make_move_iterator(shard.honeypot_log.begin()),
+          std::make_move_iterator(shard.honeypot_log.end()));
+    }
+    timer.add_items_in(totals[0] + totals[1] + totals[2]);
+    result.ixp.store = flow::FlowStore{std::move(ixp)};
+    result.ixp.sampling_rate = config.ixp_sampling;
+    result.tier1.store = flow::FlowStore{std::move(tier1)};
+    result.tier1.sampling_rate = config.tier1_sampling;
+    result.tier2.store = flow::FlowStore{std::move(tier2)};
+    result.tier2.sampling_rate = config.tier2_sampling;
+    timer.add_items_out(result.ixp.store.size() + result.tier1.store.size() +
+                        result.tier2.store.size());
+  }
+  obs::metrics()
+      .counter("booterscope_landscape_attacks_total")
+      .add(result.attacks.size());
+  return result;
+}
+
+}  // namespace booterscope::sim

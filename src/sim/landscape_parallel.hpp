@@ -1,0 +1,27 @@
+// Deterministic sharded landscape driver.
+//
+// run_landscape_parallel distributes the simulation across a thread pool,
+// one shard per simulated day. Every shard derives its randomness with
+// util::Rng::split(seed, label, day) — a pure function of the master seed
+// and the day index, never of thread identity — and writes its flows into
+// an index-addressed slot; slots are merged in day order afterwards. The
+// output is therefore byte-identical for every pool size, including 1
+// (DESIGN.md §9). It is intentionally a *different* deterministic output
+// than serial run_landscape, whose single sequential RNG stream cannot be
+// split across days; both drivers realize the same statistical model.
+#pragma once
+
+#include "obs/trace.hpp"
+#include "sim/internet.hpp"
+#include "sim/landscape.hpp"
+#include "util/thread_pool.hpp"
+
+namespace booterscope::sim {
+
+/// Runs the landscape simulation sharded by day over `pool`. Stage timings
+/// are merged into `tracer` (if given) with per-worker attribution.
+[[nodiscard]] LandscapeResult run_landscape_parallel(
+    const Internet& internet, const LandscapeConfig& config,
+    exec::ThreadPool& pool, obs::StageTracer* tracer = nullptr);
+
+}  // namespace booterscope::sim

@@ -26,6 +26,14 @@ void BinnedSeries::add(util::Timestamp t, double value) noexcept {
   values_[bin] += value;
 }
 
+void BinnedSeries::merge_from(const BinnedSeries& other) noexcept {
+  assert(other.start_ == start_);
+  assert(other.width_.total_nanos() == width_.total_nanos());
+  assert(other.values_.size() == values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+  dropped_ += other.dropped_;
+}
+
 std::vector<double> BinnedSeries::window(util::Timestamp from,
                                          util::Timestamp to) const {
   std::vector<double> result;

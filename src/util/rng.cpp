@@ -26,6 +26,19 @@ Rng Rng::fork(std::uint64_t stream) noexcept {
 
 Rng Rng::fork(std::string_view label) noexcept { return fork(fnv1a(label)); }
 
+Rng Rng::split(std::uint64_t seed, std::uint64_t shard) noexcept {
+  // Two full splitmix64 avalanche rounds over the (seed, shard) pair; the
+  // odd multiplier decorrelates consecutive shard indices before mixing.
+  std::uint64_t sm = seed;
+  std::uint64_t mixed = splitmix64(sm) ^ ((shard + 1) * 0xda942042e4dd58b5ULL);
+  return Rng{splitmix64(mixed)};
+}
+
+Rng Rng::split(std::uint64_t seed, std::string_view label,
+               std::uint64_t shard) noexcept {
+  return split(seed ^ fnv1a(label), shard);
+}
+
 std::uint64_t Rng::bounded(std::uint64_t bound) noexcept {
   if (bound == 0) return 0;
   // Lemire's nearly-divisionless method on the high 64 bits of a 128-bit

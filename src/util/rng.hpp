@@ -58,6 +58,18 @@ class Rng {
   [[nodiscard]] Rng fork(std::uint64_t stream) noexcept;
   [[nodiscard]] Rng fork(std::string_view label) noexcept;
 
+  /// Counter-based stream derivation for sharded parallel execution: the
+  /// returned generator is a pure function of (seed, shard) — no generator
+  /// state is consumed, unlike fork() — so shard streams can be created in
+  /// any order, from any thread, and always match. This is what makes a
+  /// sharded run independent of thread count (DESIGN.md §9).
+  [[nodiscard]] static Rng split(std::uint64_t seed, std::uint64_t shard) noexcept;
+  /// Same, with a subsystem label mixed in so different consumers of the
+  /// same (seed, shard) pair ("attacks" vs "benign" on day 12) get
+  /// independent streams.
+  [[nodiscard]] static Rng split(std::uint64_t seed, std::string_view label,
+                                 std::uint64_t shard) noexcept;
+
   /// Uniform double in [0, 1).
   [[nodiscard]] double uniform() noexcept {
     // 53 random mantissa bits.

@@ -1,0 +1,164 @@
+#include "util/thread_pool.hpp"
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+namespace booterscope::exec {
+
+namespace {
+
+/// Worker index of the current thread, set for the lifetime of the worker
+/// loop. thread_local so current_worker() costs one TLS read on hot paths.
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t count = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (count == 0) count = 1;
+
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.gauge("booterscope_exec_pool_workers")
+      .set(static_cast<double>(count));
+  queues_.reserve(count);
+  task_metrics_.reserve(count);
+  steal_metrics_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+    const obs::Labels labels{{"worker", std::to_string(i)}};
+    task_metrics_.push_back(
+        &registry.counter("booterscope_exec_tasks_total", labels));
+    steal_metrics_.push_back(
+        &registry.counter("booterscope_exec_steals_total", labels));
+  }
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const int self = tls_worker_index;
+  const std::size_t target =
+      self >= 0 && static_cast<std::size_t>(self) < queues_.size()
+          ? static_cast<std::size_t>(self)
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
+  // Own queue first, front (LIFO locality for the owner would be pop_back
+  // of locally pushed tasks; FIFO here keeps shard order roughly temporal,
+  // which keeps the classifier caches warm for adjacent days).
+  {
+    WorkerQueue& own = *queues_[index];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of a sibling's deque.
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    WorkerQueue& victim = *queues_[(index + offset) % queues_.size()];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      steal_metrics_[index]->inc();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_index = static_cast<int>(index);
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(index, task)) {
+      task();
+      task = nullptr;
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      task_metrics_[index]->inc();
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Take the sleep mutex before notifying so a waiter cannot check
+        // pending_ and block between our decrement and the notify.
+        { const std::lock_guard<std::mutex> lock(sleep_mutex_); }
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_.load(std::memory_order_acquire)) break;
+    // Re-check for work racing with the notify; wait otherwise.
+    work_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    if (stop_.load(std::memory_order_acquire)) break;
+  }
+  tls_worker_index = -1;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(sleep_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // A shared claim counter gives dynamic load balancing on top of the
+  // queues: each of size() loop tasks drains indices until none are left,
+  // so one slow shard cannot strand work behind it.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto remaining = std::make_shared<std::atomic<std::size_t>>(n);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  const std::size_t loops = std::min(n, size());
+  for (std::size_t t = 0; t < loops; ++t) {
+    // `n` must be captured by value: a straggler loop task can claim an
+    // out-of-range index *after* the final body finished and the caller
+    // returned, at which point the caller's frame (and any by-reference
+    // capture) is gone. `body` and the done-signal are only touched while
+    // at least one body is still outstanding, which the waiter outlives.
+    submit([&body, &done_mutex, &done_cv, &done, n, next, remaining] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        body(i);
+        if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          const std::lock_guard<std::mutex> lock(done_mutex);
+          done = true;
+          done_cv.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+}
+
+int ThreadPool::current_worker() noexcept { return tls_worker_index; }
+
+}  // namespace booterscope::exec

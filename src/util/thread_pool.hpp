@@ -1,0 +1,94 @@
+// booterscope::exec — deterministic parallel execution primitives.
+//
+// ThreadPool is a work-stealing pool sized for the sim→flow→analysis
+// pipeline: each worker owns a deque it pushes/pops locally, and raids the
+// back of its siblings' deques when it runs dry. Determinism is NOT the
+// pool's job — callers get it by (a) deriving per-task RNG streams from the
+// master seed with util::Rng::split (never from thread identity) and (b)
+// writing results into index-addressed slots that are merged in task order.
+// Under that contract every thread count, including 1, produces identical
+// bytes; DESIGN.md §9 spells out the model.
+//
+// Observability: each worker registers labelled series in the global
+// registry — booterscope_exec_tasks_total{worker=...} and
+// booterscope_exec_steals_total{worker=...} — so a run manifest shows how
+// work actually spread across the pool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace booterscope::exec {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues one task. Tasks submitted from a pool worker go to that
+  /// worker's own deque (depth-first, cache-friendly); off-pool submissions
+  /// are spread round-robin.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. Must be called from
+  /// off-pool (a worker waiting on its siblings would deadlock the pool).
+  void wait_idle();
+
+  /// Runs body(i) for every i in [0, n), spread across the workers, and
+  /// blocks until all are done. The calling thread only coordinates; the
+  /// pool executes. Safe for any n, including 0. Must be called off-pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Index of the executing pool worker, or -1 on a non-pool thread. Use
+  /// for *attribution* (stage trees, metric labels) only — never to derive
+  /// randomness or merge order, which must stay thread-independent.
+  [[nodiscard]] static int current_worker() noexcept;
+
+  /// Total tasks executed / steals performed since construction. Kept in
+  /// plain atomics (not the metrics registry) so they stay observable under
+  /// BOOTERSCOPE_NO_METRICS builds.
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  [[nodiscard]] bool try_pop(std::size_t index, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::vector<obs::Counter*> task_metrics_;   // per worker
+  std::vector<obs::Counter*> steal_metrics_;  // per worker
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace booterscope::exec

@@ -1,0 +1,218 @@
+// Determinism contract of the parallel pipeline (DESIGN.md §9): for a
+// fixed seed, every pool size — including 1 — produces identical bytes,
+// and the statistical verdicts of the takedown analysis agree with the
+// serial driver on the same world.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/takedown.hpp"
+#include "exec/vantage_pipeline.hpp"
+#include "obs/manifest.hpp"
+#include "sim/landscape.hpp"
+#include "sim/landscape_parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace booterscope {
+namespace {
+
+const sim::Internet& shared_internet() {
+  static const sim::Internet internet{sim::InternetConfig{}};
+  return internet;
+}
+
+sim::LandscapeConfig tiny_config() {
+  sim::LandscapeConfig config;
+  config.seed = 7;
+  config.start = util::Timestamp::parse("2018-11-01").value();
+  config.days = 10;
+  config.takedown = util::Timestamp::parse("2018-11-07").value();
+  config.attacks_per_day = 60.0;
+  config.honeypots_per_vector = 50;
+  config.ixp_window.reset();
+  config.tier1_window.reset();
+  config.tier2_window.reset();
+  return config;
+}
+
+void expect_same_attacks(const std::vector<sim::AttackRecord>& a,
+                         const std::vector<sim::AttackRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start) << i;
+    EXPECT_EQ(a[i].duration, b[i].duration) << i;
+    EXPECT_EQ(a[i].victim, b[i].victim) << i;
+    EXPECT_EQ(a[i].victim_as, b[i].victim_as) << i;
+    EXPECT_EQ(a[i].booter_index, b[i].booter_index) << i;
+    EXPECT_EQ(a[i].vector, b[i].vector) << i;
+    EXPECT_EQ(a[i].victim_gbps, b[i].victim_gbps) << i;
+    EXPECT_EQ(a[i].reflector_count, b[i].reflector_count) << i;
+  }
+}
+
+void expect_same_honeypot_log(const std::vector<sim::HoneypotObservation>& a,
+                              const std::vector<sim::HoneypotObservation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vector, b[i].vector) << i;
+    EXPECT_EQ(a[i].honeypot, b[i].honeypot) << i;
+    EXPECT_EQ(a[i].victim, b[i].victim) << i;
+    EXPECT_EQ(a[i].start, b[i].start) << i;
+    EXPECT_EQ(a[i].duration, b[i].duration) << i;
+    EXPECT_EQ(a[i].trigger_pps, b[i].trigger_pps) << i;
+    EXPECT_EQ(a[i].truth_booter, b[i].truth_booter) << i;
+  }
+}
+
+TEST(ParallelDeterminism, LandscapeIdenticalForPoolSizes128) {
+  const sim::LandscapeConfig config = tiny_config();
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool2(2);
+  exec::ThreadPool pool8(8);
+  const auto r1 = sim::run_landscape_parallel(shared_internet(), config, pool1);
+  const auto r2 = sim::run_landscape_parallel(shared_internet(), config, pool2);
+  const auto r8 = sim::run_landscape_parallel(shared_internet(), config, pool8);
+
+  ASSERT_FALSE(r1.ixp.store.flows().empty());
+  for (const auto* other : {&r2, &r8}) {
+    EXPECT_EQ(r1.ixp.store.flows(), other->ixp.store.flows());
+    EXPECT_EQ(r1.tier1.store.flows(), other->tier1.store.flows());
+    EXPECT_EQ(r1.tier2.store.flows(), other->tier2.store.flows());
+    EXPECT_EQ(r1.ixp.sampling_rate, other->ixp.sampling_rate);
+    expect_same_attacks(r1.attacks, other->attacks);
+    expect_same_honeypot_log(r1.honeypot_log, other->honeypot_log);
+  }
+}
+
+TEST(ParallelDeterminism, GoldenManifestBytesIdenticalAcrossPoolSizes) {
+  // The manifest built from the *result* (not wall-clock or worker data)
+  // must be byte-identical for every pool size.
+  const sim::LandscapeConfig config = tiny_config();
+  const auto manifest_for = [&](std::size_t threads) {
+    exec::ThreadPool pool(threads);
+    const auto result =
+        sim::run_landscape_parallel(shared_internet(), config, pool);
+    obs::RunManifest manifest("determinism_test");
+    manifest.set_experiment("golden");
+    manifest.set_seed(config.seed);
+    manifest.add_config("days", static_cast<std::uint64_t>(config.days));
+    manifest.add_config("attacks_per_day", config.attacks_per_day);
+    manifest.add_accounting("ixp_flows", result.ixp.store.flows().size());
+    manifest.add_accounting("tier1_flows", result.tier1.store.flows().size());
+    manifest.add_accounting("tier2_flows", result.tier2.store.flows().size());
+    manifest.add_accounting("attacks", result.attacks.size());
+    manifest.add_accounting("honeypot_sightings", result.honeypot_log.size());
+    manifest.add_conservation(
+        "vantage_flows",
+        result.ixp.store.flows().size() + result.tier1.store.flows().size() +
+            result.tier2.store.flows().size(),
+        result.ixp.store.flows().size() + result.tier1.store.flows().size() +
+            result.tier2.store.flows().size());
+    return manifest.to_json(nullptr, nullptr);
+  };
+  const std::string golden = manifest_for(1);
+  EXPECT_EQ(golden, manifest_for(4));
+  EXPECT_EQ(golden, manifest_for(0));  // 0 = hardware concurrency
+  EXPECT_NE(golden.find("\"balanced\":true"), std::string::npos);
+}
+
+TEST(ParallelDeterminism, SeriesBuildersIdenticalAcrossPoolSizes) {
+  exec::ThreadPool pool1(1);
+  const auto result =
+      sim::run_landscape_parallel(shared_internet(), tiny_config(), pool1);
+  const auto& flows = result.ixp.store.flows();
+  const util::Timestamp start = result.config.start;
+  const int days = result.config.days;
+
+  exec::ThreadPool pool4(4);
+  exec::ThreadPool pool8(8);
+  const auto s1 = core::daily_packets_to_port(flows, net::ports::kNtp, start,
+                                              days, &pool1);
+  const auto s4 = core::daily_packets_to_port(flows, net::ports::kNtp, start,
+                                              days, &pool4);
+  const auto s8 = core::daily_packets_to_port(flows, net::ports::kNtp, start,
+                                              days, &pool8);
+  EXPECT_EQ(s1.values(), s4.values());
+  EXPECT_EQ(s1.values(), s8.values());
+
+  // hourly_attacked_systems counts integers per hour: the parallel
+  // summarize step must be bit-identical to the serial loop.
+  const auto h_serial =
+      core::hourly_attacked_systems(flows, {}, start, days, nullptr);
+  const auto h_pool =
+      core::hourly_attacked_systems(flows, {}, start, days, &pool4);
+  EXPECT_EQ(h_serial.values(), h_pool.values());
+}
+
+TEST(ParallelDeterminism, WelchVerdictsMatchSerialDriver) {
+  // The parallel driver is a different (deterministic) realization of the
+  // same statistical model as serial run_landscape; the paper-level
+  // conclusions — the wt30/wt40 significance verdicts around the takedown
+  // — must agree between the two on the same config.
+  sim::LandscapeConfig config = tiny_config();
+  config.days = 44;
+  config.takedown = config.start + util::Duration::days(22);
+  config.attacks_per_day = 120.0;
+  config.honeypots_per_vector = 0;
+
+  const auto serial = sim::run_landscape(shared_internet(), config);
+  exec::ThreadPool pool(4);
+  const auto parallel =
+      sim::run_landscape_parallel(shared_internet(), config, pool);
+
+  const auto verdicts = [&](const sim::LandscapeResult& result) {
+    const auto daily = core::daily_packets_to_port(
+        result.ixp.store.flows(), net::ports::kNtp, config.start, config.days);
+    return core::takedown_metrics(daily, *config.takedown);
+  };
+  const auto vs = verdicts(serial);
+  const auto vp = verdicts(parallel);
+  EXPECT_EQ(vs.wt30.significant, vp.wt30.significant);
+  EXPECT_EQ(vs.wt40.significant, vp.wt40.significant);
+}
+
+TEST(ParallelDeterminism, VantageChainsIdenticalAndConserving) {
+  exec::ThreadPool pool1(1);
+  const auto result =
+      sim::run_landscape_parallel(shared_internet(), tiny_config(), pool1);
+
+  const auto make_specs = [&] {
+    std::vector<exec::VantageChainSpec> specs(3);
+    specs[0].name = "ixp";
+    specs[0].input = &result.ixp.store.flows();
+    specs[0].sampling = 10;
+    specs[1].name = "tier1";
+    specs[1].input = &result.tier1.store.flows();
+    specs[1].sampling = 4;
+    specs[2].name = "tier2";
+    specs[2].input = &result.tier2.store.flows();
+    specs[2].sampling = 1;
+    for (auto& spec : specs) spec.sampler_seed = 99;
+    return specs;
+  };
+
+  const auto specs = make_specs();
+  exec::ThreadPool pool4(4);
+  const auto out1 = exec::run_vantage_chains(specs, pool1);
+  const auto out4 = exec::run_vantage_chains(specs, pool4);
+  ASSERT_EQ(out1.size(), out4.size());
+  for (std::size_t i = 0; i < out1.size(); ++i) {
+    EXPECT_EQ(out1[i].exported, out4[i].exported) << specs[i].name;
+    EXPECT_EQ(out1[i].offered_packets, out4[i].offered_packets);
+    EXPECT_EQ(out1[i].sampled_out_packets, out4[i].sampled_out_packets);
+    // Conservation: offered == sampled_out + exported (cache empty after
+    // drain).
+    EXPECT_EQ(out1[i].offered_packets,
+              out1[i].sampled_out_packets +
+                  out1[i].stats.total_exported_packets())
+        << specs[i].name;
+    EXPECT_EQ(out1[i].stats.cached_packets, 0u);
+  }
+  EXPECT_EQ(exec::merge_exports_by_time(out1),
+            exec::merge_exports_by_time(out4));
+}
+
+}  // namespace
+}  // namespace booterscope

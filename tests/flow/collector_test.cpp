@@ -127,5 +127,53 @@ TEST(FlowCollector, CountsExportedFlows) {
   EXPECT_EQ(collector.exported_flows(), 1u);
 }
 
+TEST(FlowCollector, DrainOrderIsKeyOrderRegardlessOfInsertion) {
+  // Satellite of the parallel pipeline: exports from drain() and expire()
+  // come out in five-tuple order, a pure function of the cache *contents*,
+  // so replays that build the cache in different orders export the same
+  // byte sequence.
+  const Timestamp t0 = Timestamp::parse("2018-06-01T10:00:00").value();
+  const auto run = [&](const std::vector<std::uint32_t>& hosts) {
+    FlowCollector collector(config());
+    FlowList out;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      PacketObservation p =
+          packet(t0 + Duration::millis(static_cast<std::int64_t>(i)));
+      p.tuple.src = net::Ipv4Addr{hosts[i]};
+      collector.observe(p, out);
+    }
+    EXPECT_TRUE(out.empty());
+    collector.drain(out);
+    return out;
+  };
+  const FlowList forward = run({1, 2, 3, 4, 5, 6, 7, 8});
+  const FlowList shuffled = run({5, 2, 8, 1, 7, 3, 6, 4});
+  ASSERT_EQ(forward.size(), 8u);
+  for (std::size_t i = 0; i + 1 < forward.size(); ++i) {
+    EXPECT_LT(forward[i].key(), forward[i + 1].key());
+  }
+  // Same contents → same bytes, modulo the per-flow timestamps that encode
+  // insertion time; compare keys only.
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].key(), shuffled[i].key());
+  }
+}
+
+TEST(FlowCollector, ExpireExportsInKeyOrder) {
+  const Timestamp t0 = Timestamp::parse("2018-06-01T10:00:00").value();
+  FlowCollector collector(config());
+  FlowList out;
+  for (const std::uint32_t host : {9u, 4u, 7u, 1u}) {
+    PacketObservation p = packet(t0);
+    p.tuple.src = net::Ipv4Addr{host};
+    collector.observe(p, out);
+  }
+  collector.expire(t0 + Duration::minutes(5), out);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    EXPECT_LT(out[i].key(), out[i + 1].key());
+  }
+}
+
 }  // namespace
 }  // namespace booterscope::flow

@@ -1,0 +1,112 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace booterscope::exec {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+  ThreadPool fixed(3);
+  EXPECT_EQ(fixed.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_GE(pool.tasks_executed(), 100u);
+}
+
+TEST(ThreadPool, WaitIdleWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, ParallelForResultsIndependentOfPoolSize) {
+  // The determinism contract: index-addressed slots filled from
+  // split-by-index state are identical for every pool size.
+  const auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> slots(257, 0);
+    pool.parallel_for(slots.size(), [&](std::size_t i) {
+      std::uint64_t h = i * 0x9e3779b97f4a7c15ULL + 1;
+      for (int k = 0; k < 64; ++k) h ^= h >> 13, h *= 0xff51afd7ed558ccdULL;
+      slots[i] = h;
+    });
+    return slots;
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+}
+
+TEST(ThreadPool, NestedParallelForBodiesMaySubmit) {
+  // Bodies run on pool workers; submissions from a worker go to its own
+  // deque and still complete before wait_idle returns.
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.submit([&inner] { inner.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(inner.load(), 8);
+}
+
+TEST(ThreadPool, CurrentWorkerIsNegativeOffPoolAndValidOnPool) {
+  EXPECT_EQ(ThreadPool::current_worker(), -1);
+  ThreadPool pool(3);
+  std::vector<int> seen(64, -2);
+  pool.parallel_for(seen.size(), [&](std::size_t i) {
+    seen[i] = ThreadPool::current_worker();
+  });
+  for (const int worker : seen) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 3);
+  }
+}
+
+TEST(ThreadPool, StealCountersAccumulate) {
+  ThreadPool pool(4);
+  // Plenty of tiny tasks from off-pool round-robin: the executed counter
+  // must equal submissions; steals are workload dependent but readable.
+  constexpr int kTasks = 500;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_GE(pool.tasks_executed(), static_cast<std::uint64_t>(kTasks));
+  EXPECT_LE(pool.steals(), pool.tasks_executed());
+}
+
+}  // namespace
+}  // namespace booterscope::exec
