@@ -50,27 +50,39 @@ int main(int argc, char** argv) {
     std::string name;
     const flow::FlowList* flows;
     std::uint16_t port;
+    std::size_t vantage;
     bool print_full;
   };
   const Panel panels[] = {
       {"packets memcached dst port — IXP", &world.result.ixp.store.flows(),
-       net::ports::kMemcached, true},
+       net::ports::kMemcached, bench::LandscapeWorld::kIxp, true},
       {"packets NTP dst port — tier-2 ISP", &world.result.tier2.store.flows(),
-       net::ports::kNtp, true},
+       net::ports::kNtp, bench::LandscapeWorld::kTier2, true},
       {"packets DNS dst port — tier-2 ISP", &world.result.tier2.store.flows(),
-       net::ports::kDns, true},
+       net::ports::kDns, bench::LandscapeWorld::kTier2, true},
       {"packets NTP dst port — IXP", &world.result.ixp.store.flows(),
-       net::ports::kNtp, false},
+       net::ports::kNtp, bench::LandscapeWorld::kIxp, false},
       {"packets memcached dst port — tier-2 ISP",
-       &world.result.tier2.store.flows(), net::ports::kMemcached, false},
+       &world.result.tier2.store.flows(), net::ports::kMemcached,
+       bench::LandscapeWorld::kTier2, false},
       {"packets DNS dst port — IXP", &world.result.ixp.store.flows(),
-       net::ports::kDns, false},
+       net::ports::kDns, bench::LandscapeWorld::kIxp, false},
+  };
+
+  // Gap-aware builds: under a fault profile the series carries the fault
+  // plan's per-day coverage, so outage days are excluded from the wtN/redN
+  // windows instead of read as traffic drops.
+  auto daily_to_port = [&](const flow::FlowList& flows, std::uint16_t port,
+                           std::size_t vantage) {
+    auto daily =
+        core::daily_packets_to_port(flows, port, cfg.start, cfg.days, &world.pool);
+    world.stamp_coverage(daily, vantage);
+    return daily;
   };
 
   std::vector<bench::Comparison> comparisons;
   for (const Panel& panel : panels) {
-    const auto daily = core::daily_packets_to_port(*panel.flows, panel.port,
-                                                   cfg.start, cfg.days, &world.pool);
+    const auto daily = daily_to_port(*panel.flows, panel.port, panel.vantage);
     const auto metrics = core::takedown_metrics(daily, takedown);
     if (panel.print_full) {
       print_series(daily, panel.name, takedown);
@@ -81,8 +93,9 @@ int main(int argc, char** argv) {
   }
 
   // Control: victim-bound amplified traffic (from reflectors).
-  const auto victim_daily = core::daily_packets_from_reflectors(
+  auto victim_daily = core::daily_packets_from_reflectors(
       world.result.ixp.store.flows(), {}, cfg.start, cfg.days, &world.pool);
+  world.stamp_coverage(victim_daily, bench::LandscapeWorld::kIxp);
   const auto victim_metrics = core::takedown_metrics(victim_daily, takedown);
   std::cout << "control: packets FROM reflectors to victims — IXP: "
             << metric_string(victim_metrics) << "\n";
@@ -92,20 +105,20 @@ int main(int argc, char** argv) {
            util::format_double(m.wt30.reduction * 100.0, 1) + "%";
   };
   const auto m_mc_ixp = core::takedown_metrics(
-      core::daily_packets_to_port(world.result.ixp.store.flows(),
-                                  net::ports::kMemcached, cfg.start, cfg.days, &world.pool),
+      daily_to_port(world.result.ixp.store.flows(), net::ports::kMemcached,
+                    bench::LandscapeWorld::kIxp),
       takedown);
   const auto m_ntp_t2 = core::takedown_metrics(
-      core::daily_packets_to_port(world.result.tier2.store.flows(),
-                                  net::ports::kNtp, cfg.start, cfg.days, &world.pool),
+      daily_to_port(world.result.tier2.store.flows(), net::ports::kNtp,
+                    bench::LandscapeWorld::kTier2),
       takedown);
   const auto m_dns_t2 = core::takedown_metrics(
-      core::daily_packets_to_port(world.result.tier2.store.flows(),
-                                  net::ports::kDns, cfg.start, cfg.days, &world.pool),
+      daily_to_port(world.result.tier2.store.flows(), net::ports::kDns,
+                    bench::LandscapeWorld::kTier2),
       takedown);
   const auto m_dns_ixp = core::takedown_metrics(
-      core::daily_packets_to_port(world.result.ixp.store.flows(),
-                                  net::ports::kDns, cfg.start, cfg.days, &world.pool),
+      daily_to_port(world.result.ixp.store.flows(), net::ports::kDns,
+                    bench::LandscapeWorld::kIxp),
       takedown);
 
   bench::print_comparisons({

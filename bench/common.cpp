@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <utility>
 
 #include "obs/exposition.hpp"
 
@@ -14,7 +15,8 @@ RunOptions parse_run_options(int argc, char** argv) {
   const auto usage = [&](const std::string& why) {
     std::cerr << argv[0] << ": " << why << "\nusage: " << argv[0]
               << " [--threads N] [--days N] [--attacks-per-day X]"
-                 " [--seed N]\n";
+                 " [--seed N] [--fault-profile none|light|heavy]"
+                 " [--fault-seed N]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -30,6 +32,13 @@ RunOptions parse_run_options(int argc, char** argv) {
         options.attacks_per_day = std::stod(value);
       } else if (flag == "--seed") {
         options.seed = std::stoull(value);
+      } else if (flag == "--fault-profile") {
+        if (!fault::FaultProfile::parse(value)) {
+          usage("unknown fault profile " + value);
+        }
+        options.fault_profile = value;
+      } else if (flag == "--fault-seed") {
+        options.fault_seed = std::stoull(value);
       } else {
         usage("unknown flag " + flag);
       }
@@ -76,10 +85,46 @@ void print_comparisons(const std::vector<Comparison>& rows) {
   table.print(std::cout, 2);
 }
 
+void LandscapeWorld::apply_faults(const RunOptions& options) {
+  fault_profile_name = options.fault_profile;
+  fault_seed = options.fault_seed;
+  const std::optional<fault::FaultProfile> profile =
+      fault::FaultProfile::parse(options.fault_profile);
+  if (!profile || !profile->enabled()) return;
+  fault_plan.emplace(options.fault_seed, *profile, result.config.start,
+                     result.config.days, 3);
+
+  // Outage windows act at the store boundary: a dark exporter's flows
+  // never reach the analysis. The integrity ledger counts flow records
+  // here — offered == kept (clean) + dropped-by-outage for each vantage.
+  const std::pair<std::size_t, sim::VantageData*> vantages[] = {
+      {kIxp, &result.ixp}, {kTier1, &result.tier1}, {kTier2, &result.tier2}};
+  const char* names[] = {"ixp", "tier1", "tier2"};
+  for (const auto& [index, vantage] : vantages) {
+    flow::FlowList& flows = vantage->store.flows();
+    const std::size_t before = flows.size();
+    std::erase_if(flows, [&](const flow::FlowRecord& f) {
+      return fault_plan->out_at(index, f.first);
+    });
+    const std::uint64_t dropped =
+        static_cast<std::uint64_t>(before - flows.size());
+    integrity.offered += before;
+    integrity.dropped_by_fault += dropped;
+    integrity.decoded_clean += flows.size();
+    obs::metrics()
+        .counter("booterscope_fault_outage_dropped_flows_total",
+                 {{"vantage", names[index]}})
+        .add(dropped);
+  }
+}
+
 void write_observability(const std::string& experiment_id,
                          const sim::LandscapeConfig& config,
                          const obs::StageTracer* tracer,
-                         std::size_t threads) {
+                         std::size_t threads,
+                         const fault::IntegrityTally* integrity,
+                         const std::string& fault_profile,
+                         std::uint64_t fault_seed) {
   obs::RunManifest manifest("bench");
   manifest.set_experiment(experiment_id);
   manifest.set_seed(config.seed);
@@ -98,6 +143,8 @@ void write_observability(const std::string& experiment_id,
                       static_cast<std::uint64_t>(config.tier2_sampling));
   manifest.add_config("demand_migration",
                       config.demand_migration ? "true" : "false");
+  manifest.add_config("fault_profile", fault_profile);
+  manifest.add_config("fault_seed", fault_seed);
 
   const obs::MetricsRegistry& registry = obs::metrics();
   manifest.add_accounting(
@@ -145,6 +192,11 @@ void write_observability(const std::string& experiment_id,
                               emits,
                               window_drops + zero_sample_drops + flows);
   }
+
+  // Integrity block: the fault/degraded-operation ledger and its
+  // conservation identity, checked by CI exactly like the clean-path
+  // identities above. A fault-free run writes an all-zero (balanced) block.
+  if (integrity != nullptr) integrity->add_to_manifest(manifest);
 
   const std::string stem = "OBS_" + experiment_id;
   if (!manifest.write(stem + ".manifest.json", tracer, &obs::metrics())) {

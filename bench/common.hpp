@@ -9,9 +9,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
 #include "sim/booter.hpp"
@@ -32,13 +34,19 @@ void print_header(const std::string& experiment_id, const std::string& title);
 ///   --days N             shrink the landscape window to N days (CI smoke)
 ///   --attacks-per-day X  override attack demand (CI smoke)
 ///   --seed N             override the master seed
+///   --fault-profile P    inject faults: none | light | heavy (default none)
+///   --fault-seed N       seed of the fault schedule (default 1)
 /// Defaults reproduce the paper figures; any --threads value produces the
 /// same bytes (DESIGN.md §9), so the flags only trade wall-clock and scale.
+/// Faulted runs are equally deterministic: the fault schedule is a pure
+/// function of --fault-seed, never of thread timing.
 struct RunOptions {
   std::size_t threads = 1;
   int days = 0;                  // 0 = paper window (122 days)
   double attacks_per_day = 0.0;  // 0 = config default
   std::uint64_t seed = 0;        // 0 = config default
+  std::string fault_profile = "none";
+  std::uint64_t fault_seed = 1;
 };
 
 /// Parses the flags above; exits with a usage message on anything unknown.
@@ -98,7 +106,10 @@ class SelfAttackWorld {
 void write_observability(const std::string& experiment_id,
                          const sim::LandscapeConfig& config,
                          const obs::StageTracer* tracer,
-                         std::size_t threads = 1);
+                         std::size_t threads = 1,
+                         const fault::IntegrityTally* integrity = nullptr,
+                         const std::string& fault_profile = "none",
+                         std::uint64_t fault_seed = 0);
 
 /// The landscape world shared by the §4/§5 benches (one full 122-day run,
 /// sharded by day over the pool — byte-identical for every --threads N).
@@ -108,17 +119,45 @@ struct LandscapeWorld {
   exec::ThreadPool pool;  // declared before result: result's ctor uses it
   sim::LandscapeResult result;
 
+  /// Fault plan vantage indices (order of the three exporters).
+  static constexpr std::size_t kIxp = 0;
+  static constexpr std::size_t kTier1 = 1;
+  static constexpr std::size_t kTier2 = 2;
+
+  std::string fault_profile_name = "none";
+  std::uint64_t fault_seed = 0;
+  /// Engaged when --fault-profile is not "none": vantage outage schedule
+  /// applied to the stores, coverage source for gap-aware series.
+  std::optional<fault::FaultPlan> fault_plan;
+  /// Store-boundary integrity ledger: every flow record the simulation
+  /// offered is either kept (clean) or dropped by an outage window.
+  fault::IntegrityTally integrity;
+
   explicit LandscapeWorld(const RunOptions& options = {})
       : internet(sim::InternetConfig{}),
         pool(options.threads),
         result(sim::run_landscape_parallel(
             internet,
             apply_run_options(sim::paper_landscape_config(), options), pool,
-            &tracer)) {}
+            &tracer)) {
+    apply_faults(options);
+  }
+
+  /// Builds the fault plan from RunOptions and filters each vantage store
+  /// by its outage windows (no-op for profile "none").
+  void apply_faults(const RunOptions& options);
+
+  /// Stamps the fault plan's per-day coverage onto a daily series built
+  /// from the given vantage, enabling gap-aware takedown metrics. No-op
+  /// without a fault plan.
+  void stamp_coverage(stats::BinnedSeries& daily, std::size_t vantage) const {
+    if (fault_plan) fault_plan->apply_coverage(daily, vantage);
+  }
 
   void write_observability(const std::string& experiment_id) const {
     bench::write_observability(experiment_id, result.config, &tracer,
-                               pool.size());
+                               pool.size(), &integrity, fault_profile_name,
+                               fault_seed);
   }
 };
 

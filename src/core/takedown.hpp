@@ -54,6 +54,12 @@ struct WindowMetrics {
   stats::WelchResult welch;
   bool significant = false;  // wtN at p = 0.05
   double reduction = 0.0;    // redN (after/before daily-mean ratio)
+  /// Gap-aware accounting: days that actually entered each side of the
+  /// Welch comparison, and days excluded for insufficient coverage. For a
+  /// fully covered series, effective == window_days and excluded == 0.
+  int effective_before_days = 0;
+  int effective_after_days = 0;
+  int excluded_days = 0;
 };
 
 struct TakedownMetrics {
@@ -61,16 +67,24 @@ struct TakedownMetrics {
   WindowMetrics wt40;
 };
 
+/// Days with coverage below this fraction are excluded from the wtN/redN
+/// windows when the series carries a coverage mask — comparing a 10%-outage
+/// day's partial sum against full days would bias the verdict toward a
+/// phantom reduction.
+inline constexpr double kDefaultMinCoverage = 0.75;
+
 /// Computes wt30/red30 and wt40/red40 around `event` on a daily (or
 /// coarser-derived) series. The event day itself is excluded from both
-/// windows, matching the paper.
-[[nodiscard]] TakedownMetrics takedown_metrics(const stats::BinnedSeries& daily,
-                                               util::Timestamp event,
-                                               double alpha = 0.05);
+/// windows, matching the paper. Under-covered days (coverage mask below
+/// `min_coverage`) are excluded and reported via the effective window
+/// sizes; a series without a coverage mask is unaffected.
+[[nodiscard]] TakedownMetrics takedown_metrics(
+    const stats::BinnedSeries& daily, util::Timestamp event,
+    double alpha = 0.05, double min_coverage = kDefaultMinCoverage);
 
 /// Same but on a sub-daily series: bins are first summed to days.
 [[nodiscard]] TakedownMetrics takedown_metrics_rebinned(
     const stats::BinnedSeries& series, util::Timestamp event,
-    double alpha = 0.05);
+    double alpha = 0.05, double min_coverage = kDefaultMinCoverage);
 
 }  // namespace booterscope::core

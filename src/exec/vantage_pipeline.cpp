@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "flow/sampler.hpp"
@@ -27,22 +29,41 @@ void run_chain(const VantageChainSpec& spec, std::size_t index,
   const auto t0 = std::chrono::steady_clock::now();
   out.name = spec.name;
 
+  if (spec.input == nullptr) {
+    throw std::invalid_argument("vantage chain '" + spec.name +
+                                "' has no input");
+  }
   flow::FlowList replay = *spec.input;
   sort_for_replay(replay);
+
+  const util::Duration skew =
+      spec.fault_plan != nullptr
+          ? spec.fault_plan->clock_skew(spec.vantage_index)
+          : util::Duration{};
 
   flow::SampledCollector exporter(
       spec.collector, spec.sampling,
       util::Rng::split(spec.sampler_seed, "sampler", index));
   if (!replay.empty()) {
+    // The whole chain runs on the vantage's (possibly skewed) clock: a
+    // constant shift preserves replay order, and expiry sweeps tick on the
+    // same clock the observations carry.
     util::Timestamp next_expire =
-        replay.front().first.floor_to(spec.expire_every) + spec.expire_every;
+        (replay.front().first + skew).floor_to(spec.expire_every) +
+        spec.expire_every;
     for (const flow::FlowRecord& f : replay) {
-      while (f.first >= next_expire) {
+      if (spec.fault_plan != nullptr &&
+          spec.fault_plan->out_at(spec.vantage_index, f.first)) {
+        ++out.outage_dropped_flows;
+        continue;
+      }
+      const util::Timestamp local_time = f.first + skew;
+      while (local_time >= next_expire) {
         exporter.expire(next_expire, out.exported);
         next_expire += spec.expire_every;
       }
       flow::PacketObservation p;
-      p.time = f.first;
+      p.time = local_time;
       p.tuple = f.key();
       p.wire_bytes = static_cast<std::uint32_t>(f.mean_packet_size());
       p.count = f.packets;
@@ -72,17 +93,41 @@ std::vector<VantageChainOutput> run_vantage_chains(
     obs::StageTracer* tracer) {
   obs::StageTimer timer(tracer, "vantage_chains");
   std::vector<VantageChainOutput> outputs(specs.size());
-  pool.parallel_for(specs.size(),
-                    [&](std::size_t i) { run_chain(specs[i], i, outputs[i]); });
+  pool.parallel_for(specs.size(), [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      run_chain(specs[i], i, outputs[i]);
+    } catch (const std::exception& e) {
+      // Quarantine: one broken vantage must not take down the run. The
+      // chain's partial output is discarded (partial exports would break
+      // per-chain conservation) and the failure is recorded for the
+      // manifest's integrity block.
+      VantageChainOutput& out = outputs[i];
+      out = VantageChainOutput{};
+      out.name = specs[i].name;
+      out.quarantined = true;
+      out.error = e.what();
+      out.worker = ThreadPool::current_worker();
+      out.wall_nanos = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  });
 
   obs::Counter& chains_metric =
       obs::metrics().counter("booterscope_exec_vantage_chains_total");
+  obs::Counter& quarantined_metric =
+      obs::metrics().counter("booterscope_exec_quarantined_chains_total");
   for (std::size_t i = 0; i < outputs.size(); ++i) {
     chains_metric.inc();
+    if (outputs[i].quarantined) quarantined_metric.inc();
     timer.add_items_in(specs[i].input != nullptr ? specs[i].input->size() : 0);
     timer.add_items_out(outputs[i].exported.size());
     if (tracer != nullptr) {
-      tracer->add_completed("chain:" + outputs[i].name, outputs[i].worker,
+      tracer->add_completed((outputs[i].quarantined ? "quarantined:" : "chain:") +
+                                outputs[i].name,
+                            outputs[i].worker,
                             outputs[i].wall_nanos, 1,
                             specs[i].input != nullptr ? specs[i].input->size()
                                                       : 0,

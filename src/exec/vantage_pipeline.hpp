@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "flow/collector.hpp"
 #include "flow/record.hpp"
 #include "obs/trace.hpp"
@@ -35,6 +36,12 @@ struct VantageChainSpec {
   std::uint64_t sampler_seed = 0;
   /// Cadence of collector expiry sweeps during the replay.
   util::Duration expire_every = util::Duration::hours(6);
+  /// Optional fault schedule (not owned, must outlive the run). When set,
+  /// flows falling into this vantage's outage windows are dropped before
+  /// the sampler — the exporter was dark — and exported timestamps carry
+  /// the vantage's clock skew.
+  const fault::FaultPlan* fault_plan = nullptr;
+  std::size_t vantage_index = 0;
 };
 
 /// What one chain produced, plus its exact accounting and attribution.
@@ -46,6 +53,12 @@ struct VantageChainOutput {
   flow::CollectorStats stats;
   int worker = -1;  // pool worker that ran the chain (attribution only)
   std::uint64_t wall_nanos = 0;
+  /// Flows withheld by the fault plan's outage windows (never offered).
+  std::uint64_t outage_dropped_flows = 0;
+  /// A chain that throws is quarantined: its output is empty, `error`
+  /// carries the reason, and the run continues with the other vantages.
+  bool quarantined = false;
+  std::string error;
 };
 
 /// Runs every chain on the pool (one worker each) and returns outputs in
@@ -53,7 +66,9 @@ struct VantageChainOutput {
 /// it through the sampler and collector with periodic expiry, then drains.
 /// The conservation identity
 ///   offered == sampled_out + exported (by reason) + cached(== 0 after drain)
-/// holds for every output.
+/// holds for every output. A chain that fails (throws, or has a null
+/// input) is quarantined — marked in its output and in the stage trace —
+/// instead of taking the whole run down.
 [[nodiscard]] std::vector<VantageChainOutput> run_vantage_chains(
     const std::vector<VantageChainSpec>& specs, ThreadPool& pool,
     obs::StageTracer* tracer = nullptr);

@@ -1,6 +1,10 @@
 #include "flow/ipfix.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/byteio.hpp"
+#include "util/decode_metrics.hpp"
 
 namespace booterscope::flow::ipfix {
 
@@ -161,76 +165,191 @@ std::vector<std::uint8_t> encode_message(std::span<const FlowRecord> flows,
   return buffer;
 }
 
-std::optional<MessageDecoder::Result> MessageDecoder::decode(
+void MessageDecoder::cache_template(const TemplateKey& key, Template tmpl) {
+  const auto it = templates_.find(key);
+  if (it != templates_.end()) {
+    it->second = std::move(tmpl);  // refresh in place, keep FIFO position
+    return;
+  }
+  while (options_.max_templates > 0 &&
+         templates_.size() >= options_.max_templates &&
+         !template_order_.empty()) {
+    templates_.erase(template_order_.front());
+    template_order_.pop_front();
+    ++templates_evicted_;
+    obs::metrics()
+        .counter("booterscope_decode_template_evictions_total",
+                 {{"codec", "ipfix"}})
+        .inc();
+  }
+  templates_.emplace(key, std::move(tmpl));
+  template_order_.push_back(key);
+}
+
+bool MessageDecoder::is_duplicate(std::uint32_t domain,
+                                  std::uint32_t sequence) {
+  std::deque<std::uint32_t>& recent = recent_sequences_[domain];
+  if (std::find(recent.begin(), recent.end(), sequence) != recent.end()) {
+    ++duplicates_rejected_;
+    return true;
+  }
+  recent.push_back(sequence);
+  while (recent.size() > options_.dedup_window) recent.pop_front();
+  return false;
+}
+
+util::Result<MessageDecoder::Message> MessageDecoder::decode(
     std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
+  if (!r.has(kMessageHeaderBytes)) {
+    util::count_decode_failure("ipfix", util::DecodeError::kTruncatedHeader);
+    return util::DecodeError::kTruncatedHeader;
+  }
   const std::uint16_t version = r.u16();
   const std::uint16_t message_length = r.u16();
-  if (!r.ok() || version != kIpfixVersion || message_length > data.size() ||
-      message_length < kMessageHeaderBytes) {
-    return std::nullopt;
+  if (version != kIpfixVersion) {
+    util::count_decode_failure("ipfix", util::DecodeError::kBadVersion);
+    return util::DecodeError::kBadVersion;
+  }
+  if (message_length < kMessageHeaderBytes) {
+    // A length smaller than the header it was read from: unusable framing.
+    util::count_decode_failure("ipfix", util::DecodeError::kLengthOverflow);
+    return util::DecodeError::kLengthOverflow;
   }
 
-  Result result;
+  Message result;
   result.export_time = util::Timestamp::from_seconds(r.u32());
   result.sequence = r.u32();
   result.observation_domain = r.u32();
+  if (options_.dedup_sequences &&
+      is_duplicate(result.observation_domain, result.sequence)) {
+    util::count_decode_failure("ipfix", util::DecodeError::kDuplicateSequence);
+    return util::DecodeError::kDuplicateSequence;
+  }
 
-  while (r.ok() && r.position() + 4 <= message_length) {
+  // A message that declares more bytes than the buffer holds was truncated
+  // in flight: clamp and salvage the whole sets/records that did arrive.
+  std::size_t effective_end = message_length;
+  if (message_length > data.size()) {
+    result.damage.note(util::DecodeError::kLengthOverflow);
+    effective_end = data.size();
+  }
+
+  bool stopped_early = false;
+  while (r.ok() && r.position() + 4 <= effective_end) {
     const std::uint16_t set_id = r.u16();
     const std::uint16_t set_length = r.u16();
-    if (set_length < 4 || r.position() + set_length - 4 > message_length) {
-      return std::nullopt;
+    if (set_length < 4) {
+      // No usable length means no next-set boundary: keep what we have.
+      result.damage.note(util::DecodeError::kBadSetLength);
+      stopped_early = true;
+      break;
     }
-    const std::size_t set_end = r.position() + set_length - 4;
+    std::size_t set_end = r.position() + set_length - 4;
+    bool clamped = false;
+    if (set_end > effective_end) {
+      result.damage.note(util::DecodeError::kLengthOverflow);
+      set_end = effective_end;
+      clamped = true;
+    }
 
     if (set_id == kTemplateSetId) {
       // One or more template records.
-      while (r.position() + 4 <= set_end) {
+      while (r.ok() && r.position() + 4 <= set_end) {
         Template tmpl;
         tmpl.id = r.u16();
         const std::uint16_t field_count = r.u16();
-        if (tmpl.id < kFirstDataSetId) return std::nullopt;
+        bool tmpl_ok = tmpl.id >= kFirstDataSetId && field_count > 0;
         tmpl.fields.reserve(field_count);
-        for (std::uint16_t i = 0; i < field_count; ++i) {
+        for (std::uint16_t i = 0; r.ok() && i < field_count; ++i) {
           TemplateField field;
           field.ie_id = r.u16();
           field.length = r.u16();
-          if (!r.ok() || field.length == 0 || field.length > 8) {
-            return std::nullopt;  // variable-length/unsupported widths
+          if (field.length == 0 || field.length > 8) {
+            tmpl_ok = false;  // keep consuming fields to stay aligned
+            continue;
           }
           tmpl.fields.push_back(field);
         }
-        templates_[TemplateKey{result.observation_domain, tmpl.id}] = tmpl;
+        if (!r.ok()) break;  // truncated template, handled below
+        if (!tmpl_ok || tmpl.record_bytes() == 0) {
+          // Malformed definition: drop it, resync at the next template.
+          result.damage.note(util::DecodeError::kBadTemplate);
+          ++result.damage.resyncs;
+          continue;
+        }
+        cache_template(TemplateKey{result.observation_domain, tmpl.id},
+                       std::move(tmpl));
         ++result.templates_seen;
+      }
+      if (!r.ok() || !r.skip(set_end - r.position())) {
+        result.damage.note(util::DecodeError::kTruncatedRecord);
+        stopped_early = true;
+        break;
       }
     } else if (set_id >= kFirstDataSetId) {
       const auto it =
           templates_.find(TemplateKey{result.observation_domain, set_id});
       if (it == templates_.end()) {
+        // Late or lost template: skip the whole set, resync after it.
         ++result.skipped_sets;
-        if (!r.skip(set_end - r.position())) return std::nullopt;
+        result.damage.note(util::DecodeError::kUnknownTemplate);
+        ++result.damage.resyncs;
+        if (!r.skip(set_end - r.position())) {
+          result.damage.note(util::DecodeError::kTruncatedRecord);
+          stopped_early = true;
+          break;
+        }
       } else {
         const Template& tmpl = it->second;
         const std::size_t record_bytes = tmpl.record_bytes();
-        if (record_bytes == 0) return std::nullopt;
-        while (set_end - r.position() >= record_bytes) {
+        if (record_bytes == 0) {
+          // cache_template() refuses zero-width templates, so this is
+          // unreachable; the guard keeps a logic slip from looping forever.
+          result.damage.note(util::DecodeError::kBadTemplate);
+          if (!r.skip(set_end - r.position())) {
+            stopped_early = true;
+            break;
+          }
+          continue;
+        }
+        while (r.ok() && set_end - r.position() >= record_bytes) {
           FlowRecord f;
           for (const auto& field : tmpl.fields) {
             apply_field(f, field.ie_id, read_uint(r, field.length));
           }
-          if (!r.ok()) return std::nullopt;
+          if (!r.ok()) {
+            result.damage.note(util::DecodeError::kTruncatedRecord, 1);
+            stopped_early = true;
+            break;
+          }
           result.records.push_back(f);
         }
-        // Remaining bytes inside the set are padding per RFC 7011 §3.3.1.
-        if (!r.skip(set_end - r.position())) return std::nullopt;
+        if (stopped_early) break;
+        if (clamped && set_end > r.position()) {
+          // Leftover bytes of a clamped set are a cut-off record, not the
+          // RFC 7011 §3.3.1 padding they would be in an intact set.
+          result.damage.note(util::DecodeError::kTruncatedRecord, 1);
+        }
+        if (!r.skip(set_end - r.position())) {
+          result.damage.note(util::DecodeError::kTruncatedRecord);
+          stopped_early = true;
+          break;
+        }
       }
     } else {
       // Options templates (id 3) and reserved sets: skip.
-      if (!r.skip(set_end - r.position())) return std::nullopt;
+      ++result.skipped_sets;
+      result.damage.note(util::DecodeError::kUnknownTemplate);
+      if (!r.skip(set_end - r.position())) {
+        result.damage.note(util::DecodeError::kTruncatedRecord);
+        stopped_early = true;
+        break;
+      }
     }
   }
-  if (!r.ok()) return std::nullopt;
+  (void)stopped_early;
+  util::count_decode_damage("ipfix", result.damage);
   return result;
 }
 

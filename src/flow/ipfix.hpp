@@ -9,12 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "flow/decode_options.hpp"
 #include "flow/record.hpp"
+#include "util/result.hpp"
 
 namespace booterscope::flow::ipfix {
 
@@ -67,24 +70,39 @@ inline constexpr std::size_t kMessageHeaderBytes = 16;
     std::span<const FlowRecord> flows, std::uint32_t observation_domain,
     std::uint32_t sequence, util::Timestamp export_time);
 
-/// Stateful decoder: caches templates per observation domain and decodes
-/// data sets that reference them.
+/// Stateful decoder: caches templates (bounded, FIFO eviction) per
+/// observation domain and decodes data sets that reference them. Fatal only
+/// on unusable framing (truncated/short header, wrong version) or — when
+/// enabled — a duplicate export sequence; a truncated message body, a
+/// malformed template or an unknown data set degrades instead: whole records
+/// are salvaged and the defects tallied in the message's `damage`.
 class MessageDecoder {
  public:
-  struct Result {
+  explicit MessageDecoder(DecoderOptions options = {}) noexcept
+      : options_(options) {}
+
+  struct Message {
     util::Timestamp export_time;
     std::uint32_t sequence = 0;
     std::uint32_t observation_domain = 0;
     FlowList records;
     std::uint32_t templates_seen = 0;
     std::uint32_t skipped_sets = 0;  // data sets with no known template
+    /// Recoverable defects skipped while decoding this message.
+    util::DecodeDamage damage;
   };
+  using Result = Message;  // pre-Result-taxonomy name
 
-  /// Decodes one message; std::nullopt on malformed framing.
-  [[nodiscard]] std::optional<Result> decode(std::span<const std::uint8_t> data);
+  [[nodiscard]] util::Result<Message> decode(std::span<const std::uint8_t> data);
 
   [[nodiscard]] std::size_t cached_template_count() const noexcept {
     return templates_.size();
+  }
+  [[nodiscard]] std::uint64_t templates_evicted() const noexcept {
+    return templates_evicted_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_rejected() const noexcept {
+    return duplicates_rejected_;
   }
 
  private:
@@ -99,7 +117,17 @@ class MessageDecoder {
     }
   };
 
+  /// Caches `tmpl`, evicting the oldest cached template when full.
+  void cache_template(const TemplateKey& key, Template tmpl);
+  /// True when (domain, sequence) was already seen; records it otherwise.
+  [[nodiscard]] bool is_duplicate(std::uint32_t domain, std::uint32_t sequence);
+
+  DecoderOptions options_;
   std::unordered_map<TemplateKey, Template, TemplateKeyHash> templates_;
+  std::deque<TemplateKey> template_order_;  // FIFO eviction order
+  std::unordered_map<std::uint32_t, std::deque<std::uint32_t>> recent_sequences_;
+  std::uint64_t templates_evicted_ = 0;
+  std::uint64_t duplicates_rejected_ = 0;
 };
 
 }  // namespace booterscope::flow::ipfix

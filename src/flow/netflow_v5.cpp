@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/byteio.hpp"
+#include "util/decode_metrics.hpp"
 
 namespace booterscope::flow {
 
@@ -68,16 +69,22 @@ std::vector<std::uint8_t> encode_netflow_v5(std::span<const FlowRecord> flows,
   return buffer;
 }
 
-std::optional<NetflowV5Packet> decode_netflow_v5(
+util::Result<NetflowV5Packet> decode_netflow_v5(
     std::span<const std::uint8_t> data, util::Timestamp boot_time) {
   util::ByteReader r(data);
+  if (!r.has(kNetflowV5HeaderBytes)) {
+    util::count_decode_failure("netflow_v5", util::DecodeError::kTruncatedHeader);
+    return util::DecodeError::kTruncatedHeader;
+  }
   const std::uint16_t version = r.u16();
   const std::uint16_t count = r.u16();
-  if (!r.ok() || version != kVersion || count > kNetflowV5MaxRecords) {
-    return std::nullopt;
+  if (version != kVersion) {
+    util::count_decode_failure("netflow_v5", util::DecodeError::kBadVersion);
+    return util::DecodeError::kBadVersion;
   }
 
   NetflowV5Packet packet;
+  packet.declared_count = count;
   packet.sys_uptime_ms = r.u32();
   const std::uint32_t unix_secs = r.u32();
   const std::uint32_t unix_nsecs = r.u32();
@@ -87,16 +94,22 @@ std::optional<NetflowV5Packet> decode_netflow_v5(
   packet.engine_type = r.u8();
   packet.engine_id = r.u8();
   packet.sampling_interval = r.u16();
-  if (!r.ok() || r.remaining() < count * kNetflowV5RecordBytes) {
-    return std::nullopt;
+
+  // A count that over-claims (spec caps a PDU at 30 records, and a truncated
+  // export ends mid-record) is not fatal: salvage the whole-record prefix
+  // and account for the shortfall instead of discarding good records.
+  std::uint64_t usable = std::min<std::uint64_t>(count, kNetflowV5MaxRecords);
+  usable = std::min(usable, r.max_records(kNetflowV5RecordBytes));
+  if (usable < count) {
+    packet.damage.note(util::DecodeError::kCountMismatch, count - usable);
   }
 
   // Sampling interval: low 14 bits carry the 1-in-N rate.
   const std::uint32_t rate = std::max<std::uint32_t>(
       1, packet.sampling_interval & 0x3fff);
 
-  packet.records.reserve(count);
-  for (std::uint16_t i = 0; i < count; ++i) {
+  packet.records.reserve(static_cast<std::size_t>(usable));
+  for (std::uint64_t i = 0; i < usable; ++i) {
     FlowRecord f;
     f.src = net::Ipv4Addr{r.u32()};
     f.dst = net::Ipv4Addr{r.u32()};
@@ -121,9 +134,15 @@ std::optional<NetflowV5Packet> decode_netflow_v5(
     (void)r.u8();   // dst mask
     (void)r.u16();  // pad2
     f.sampling_rate = rate;
-    if (!r.ok()) return std::nullopt;
+    if (!r.ok()) {
+      // max_records() bounded the loop, so this is unreachable in practice;
+      // keep the guard so a logic slip degrades instead of corrupting.
+      packet.damage.note(util::DecodeError::kTruncatedRecord, usable - i);
+      break;
+    }
     packet.records.push_back(f);
   }
+  util::count_decode_damage("netflow_v5", packet.damage);
   return packet;
 }
 

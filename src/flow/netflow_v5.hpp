@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "flow/record.hpp"
+#include "util/result.hpp"
 #include "util/time.hpp"
 
 namespace booterscope::flow {
@@ -39,6 +40,11 @@ struct NetflowV5Packet {
   std::uint8_t engine_id = 0;
   std::uint16_t sampling_interval = 0;
   FlowList records;
+  /// Record count the header declared; differs from records.size() when the
+  /// PDU was truncated or over-claimed and the decoder salvaged a prefix.
+  std::uint16_t declared_count = 0;
+  /// Recoverable defects skipped while decoding this PDU.
+  util::DecodeDamage damage;
 };
 
 /// Encodes up to kNetflowV5MaxRecords flows into one PDU. Flows beyond the
@@ -48,9 +54,11 @@ struct NetflowV5Packet {
     std::span<const FlowRecord> flows, const NetflowV5ExportConfig& config,
     std::uint32_t flow_sequence, util::Timestamp export_time);
 
-/// Decodes one PDU. Returns std::nullopt on malformed input (wrong version,
-/// truncated buffer, record count mismatch).
-[[nodiscard]] std::optional<NetflowV5Packet> decode_netflow_v5(
+/// Decodes one PDU. Fatal only when the header itself is unusable
+/// (truncated header, wrong version); a record count that disagrees with the
+/// available bytes degrades instead: the whole-record prefix is salvaged and
+/// the shortfall recorded in the packet's `damage`.
+[[nodiscard]] util::Result<NetflowV5Packet> decode_netflow_v5(
     std::span<const std::uint8_t> data, util::Timestamp boot_time);
 
 /// Streaming exporter: buffers flows and emits full PDUs, maintaining the

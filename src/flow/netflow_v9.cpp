@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/byteio.hpp"
+#include "util/decode_metrics.hpp"
 
 namespace booterscope::flow::v9 {
 
@@ -99,53 +100,126 @@ std::vector<std::uint8_t> encode_v9(std::span<const FlowRecord> flows,
   return buffer;
 }
 
-std::optional<Packet> Decoder::decode(std::span<const std::uint8_t> data) {
+void Decoder::cache_template(const Key& key, Template tmpl) {
+  const auto it = templates_.find(key);
+  if (it != templates_.end()) {
+    it->second = std::move(tmpl);  // refresh in place, keep FIFO position
+    return;
+  }
+  while (options_.max_templates > 0 &&
+         templates_.size() >= options_.max_templates &&
+         !template_order_.empty()) {
+    templates_.erase(template_order_.front());
+    template_order_.pop_front();
+    ++templates_evicted_;
+    obs::metrics()
+        .counter("booterscope_decode_template_evictions_total",
+                 {{"codec", "netflow_v9"}})
+        .inc();
+  }
+  templates_.emplace(key, std::move(tmpl));
+  template_order_.push_back(key);
+}
+
+bool Decoder::is_duplicate(std::uint32_t source_id, std::uint32_t sequence) {
+  std::deque<std::uint32_t>& recent = recent_sequences_[source_id];
+  if (std::find(recent.begin(), recent.end(), sequence) != recent.end()) {
+    ++duplicates_rejected_;
+    return true;
+  }
+  recent.push_back(sequence);
+  while (recent.size() > options_.dedup_window) recent.pop_front();
+  return false;
+}
+
+util::Result<Packet> Decoder::decode(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
-  if (r.u16() != kVersion) return std::nullopt;
+  if (!r.has(kHeaderBytes)) {
+    util::count_decode_failure("netflow_v9", util::DecodeError::kTruncatedHeader);
+    return util::DecodeError::kTruncatedHeader;
+  }
+  if (r.u16() != kVersion) {
+    util::count_decode_failure("netflow_v9", util::DecodeError::kBadVersion);
+    return util::DecodeError::kBadVersion;
+  }
   const std::uint16_t count = r.u16();
   Packet packet;
   packet.sys_uptime_ms = r.u32();
   packet.export_time = util::Timestamp::from_seconds(r.u32());
   packet.sequence = r.u32();
   packet.source_id = r.u32();
-  if (!r.ok()) return std::nullopt;
+  if (options_.dedup_sequences &&
+      is_duplicate(packet.source_id, packet.sequence)) {
+    util::count_decode_failure("netflow_v9",
+                               util::DecodeError::kDuplicateSequence);
+    return util::DecodeError::kDuplicateSequence;
+  }
 
   std::uint16_t records_seen = 0;
+  bool stopped_early = false;
   while (r.ok() && r.remaining() >= 4 && records_seen < count) {
     const std::uint16_t flowset_id = r.u16();
     const std::uint16_t flowset_length = r.u16();
-    if (flowset_length < 4 ||
-        static_cast<std::size_t>(flowset_length) - 4 > r.remaining()) {
-      return std::nullopt;
+    if (flowset_length < 4) {
+      // Cannot find the next boundary without a usable length: keep what was
+      // decoded so far and stop.
+      packet.damage.note(util::DecodeError::kBadSetLength);
+      stopped_early = true;
+      break;
     }
-    const std::size_t flowset_end = r.position() + flowset_length - 4;
+    // A flowset that claims more bytes than the buffer holds is a truncated
+    // export: clamp to the buffer and salvage whole records inside.
+    std::size_t flowset_end = r.position() + flowset_length - 4;
+    if (static_cast<std::size_t>(flowset_length) - 4 > r.remaining()) {
+      packet.damage.note(util::DecodeError::kLengthOverflow);
+      flowset_end = r.position() + r.remaining();
+    }
 
     if (flowset_id == kTemplateFlowsetId) {
-      while (r.position() + 4 <= flowset_end) {
+      while (r.ok() && r.position() + 4 <= flowset_end) {
         Template tmpl;
         tmpl.id = r.u16();
         const std::uint16_t field_count = r.u16();
-        if (tmpl.id < kFirstDataFlowsetId) return std::nullopt;
-        for (std::uint16_t i = 0; i < field_count; ++i) {
+        bool tmpl_ok = tmpl.id >= kFirstDataFlowsetId && field_count > 0;
+        for (std::uint16_t i = 0; r.ok() && i < field_count; ++i) {
           Field field;
           field.type = r.u16();
           field.length = r.u16();
-          if (!r.ok() || field.length == 0 || field.length > 8) {
-            return std::nullopt;
+          if (field.length == 0 || field.length > 8) {
+            tmpl_ok = false;  // keep consuming fields to stay aligned
+            continue;
           }
           tmpl.record_bytes += field.length;
           tmpl.fields.push_back(field);
         }
-        if (tmpl.record_bytes == 0) return std::nullopt;
-        templates_[Key{packet.source_id, tmpl.id}] = tmpl;
-        ++packet.templates_seen;
+        if (!r.ok()) break;  // truncated template, handled after the loop
         ++records_seen;
+        if (!tmpl_ok || tmpl.record_bytes == 0) {
+          // Malformed definition: drop it, resync at the next template.
+          packet.damage.note(util::DecodeError::kBadTemplate);
+          ++packet.damage.resyncs;
+          continue;
+        }
+        cache_template(Key{packet.source_id, tmpl.id}, std::move(tmpl));
+        ++packet.templates_seen;
+      }
+      if (!r.ok() || !r.skip(flowset_end - r.position())) {
+        packet.damage.note(util::DecodeError::kTruncatedRecord);
+        stopped_early = true;
+        break;
       }
     } else if (flowset_id >= kFirstDataFlowsetId) {
       const auto it = templates_.find(Key{packet.source_id, flowset_id});
       if (it == templates_.end()) {
+        // Late or lost template: skip the whole flowset, resync after it.
         ++packet.skipped_flowsets;
-        if (!r.skip(flowset_end - r.position())) return std::nullopt;
+        packet.damage.note(util::DecodeError::kUnknownTemplate);
+        ++packet.damage.resyncs;
+        if (!r.skip(flowset_end - r.position())) {
+          packet.damage.note(util::DecodeError::kTruncatedRecord);
+          stopped_early = true;
+          break;
+        }
         // Unknown how many records were skipped; count the flowset as one.
         ++records_seen;
       } else {
@@ -199,20 +273,39 @@ std::optional<Packet> Decoder::decode(std::span<const std::uint8_t> data) {
                 break;  // unknown field: skipped by length above
             }
           }
-          if (!r.ok()) return std::nullopt;
+          if (!r.ok()) {
+            packet.damage.note(util::DecodeError::kTruncatedRecord, 1);
+            stopped_early = true;
+            break;
+          }
           packet.records.push_back(f);
           ++records_seen;
         }
-        if (!r.skip(flowset_end - r.position())) return std::nullopt;  // pad
+        if (stopped_early) break;
+        if (!r.skip(flowset_end - r.position())) {  // pad
+          packet.damage.note(util::DecodeError::kTruncatedRecord);
+          stopped_early = true;
+          break;
+        }
       }
     } else {
       // Options templates (id 1) and reserved flowsets: skip whole set.
       ++packet.skipped_flowsets;
-      if (!r.skip(flowset_end - r.position())) return std::nullopt;
+      if (!r.skip(flowset_end - r.position())) {
+        packet.damage.note(util::DecodeError::kTruncatedRecord);
+        stopped_early = true;
+        break;
+      }
       ++records_seen;
     }
   }
-  if (!r.ok()) return std::nullopt;
+  if ((stopped_early || !r.ok()) && records_seen < count) {
+    // Shortfall against the declared record count, if not already noted.
+    if (packet.damage.count(util::DecodeError::kCountMismatch) == 0) {
+      packet.damage.note(util::DecodeError::kCountMismatch);
+    }
+  }
+  util::count_decode_damage("netflow_v9", packet.damage);
   return packet;
 }
 

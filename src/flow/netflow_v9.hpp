@@ -10,12 +10,15 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "flow/decode_options.hpp"
 #include "flow/record.hpp"
+#include "util/result.hpp"
 
 namespace booterscope::flow::v9 {
 
@@ -39,6 +42,8 @@ struct Packet {
   FlowList records;
   std::uint32_t templates_seen = 0;
   std::uint32_t skipped_flowsets = 0;
+  /// Recoverable defects skipped while decoding this packet.
+  util::DecodeDamage damage;
 };
 
 /// Encodes flows as one v9 export packet: template flowset + data flowset.
@@ -46,18 +51,29 @@ struct Packet {
     std::span<const FlowRecord> flows, const ExportConfig& config,
     std::uint32_t sequence, util::Timestamp export_time);
 
-/// Stateful decoder with a per-source-id template cache.
+/// Stateful decoder with a bounded per-source-id template cache. Fatal only
+/// on an unusable header (truncation, wrong version) or — when enabled — a
+/// duplicate export sequence; malformed flowsets and templates inside an
+/// otherwise sound packet are skipped with the damage tallied, and decoding
+/// resyncs at the next flowset boundary.
 class Decoder {
  public:
-  explicit Decoder(util::Timestamp boot_time,
-                   std::uint32_t sampling_rate = 1) noexcept
-      : boot_time_(boot_time), sampling_rate_(sampling_rate) {}
+  explicit Decoder(util::Timestamp boot_time, std::uint32_t sampling_rate = 1,
+                   DecoderOptions options = {}) noexcept
+      : boot_time_(boot_time),
+        sampling_rate_(sampling_rate),
+        options_(options) {}
 
-  [[nodiscard]] std::optional<Packet> decode(
-      std::span<const std::uint8_t> data);
+  [[nodiscard]] util::Result<Packet> decode(std::span<const std::uint8_t> data);
 
   [[nodiscard]] std::size_t cached_template_count() const noexcept {
     return templates_.size();
+  }
+  [[nodiscard]] std::uint64_t templates_evicted() const noexcept {
+    return templates_evicted_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_rejected() const noexcept {
+    return duplicates_rejected_;
   }
 
  private:
@@ -81,9 +97,20 @@ class Decoder {
     }
   };
 
+  /// Caches `tmpl`, evicting the oldest cached template when full.
+  void cache_template(const Key& key, Template tmpl);
+  /// True when (source, sequence) was already seen; records it otherwise.
+  [[nodiscard]] bool is_duplicate(std::uint32_t source_id,
+                                  std::uint32_t sequence);
+
   util::Timestamp boot_time_;
   std::uint32_t sampling_rate_;
+  DecoderOptions options_;
   std::unordered_map<Key, Template, KeyHash> templates_;
+  std::deque<Key> template_order_;  // FIFO eviction order
+  std::unordered_map<std::uint32_t, std::deque<std::uint32_t>> recent_sequences_;
+  std::uint64_t templates_evicted_ = 0;
+  std::uint64_t duplicates_rejected_ = 0;
 };
 
 }  // namespace booterscope::flow::v9

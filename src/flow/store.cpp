@@ -1,12 +1,16 @@
 #include "flow/store.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "net/protocol.hpp"
 #include "obs/metrics.hpp"
 #include "util/byteio.hpp"
+#include "util/decode_metrics.hpp"
 
 namespace booterscope::flow {
 
@@ -31,6 +35,15 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+constexpr int kIoAttempts = 3;
+
+/// Sleeps 1ms << attempt between retries; counted so a run manifest shows
+/// how often storage flaked.
+void backoff(int attempt) {
+  obs::metrics().counter("booterscope_store_io_retries_total").inc();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+}
 
 }  // namespace
 
@@ -102,22 +115,40 @@ std::vector<std::uint8_t> serialize_flows(std::span<const FlowRecord> flows) {
   return buffer;
 }
 
-std::optional<FlowList> deserialize_flows(std::span<const std::uint8_t> data) {
+util::Result<FlowList> deserialize_flows(std::span<const std::uint8_t> data,
+                                         util::DecodeDamage* damage) {
   static obs::Counter& bad_input =
       obs::metrics().counter("booterscope_store_deserialize_failures_total");
   util::ByteReader r(data);
+  if (!r.has(4)) {
+    bad_input.inc();
+    util::count_decode_failure("store", util::DecodeError::kTruncatedHeader);
+    return util::DecodeError::kTruncatedHeader;
+  }
   if (r.u32() != kMagic) {
     bad_input.inc();
-    return std::nullopt;
+    util::count_decode_failure("store", util::DecodeError::kBadMagic);
+    return util::DecodeError::kBadMagic;
   }
   const std::uint64_t count = r.u64();
-  if (!r.ok() || r.remaining() < count * kRecordBytes) {
+  if (!r.ok()) {
     bad_input.inc();
-    return std::nullopt;
+    util::count_decode_failure("store", util::DecodeError::kTruncatedHeader);
+    return util::DecodeError::kTruncatedHeader;
+  }
+  // The declared count is attacker-controlled 64-bit input: comparing
+  // `remaining() < count * kRecordBytes` can wrap and a reserve(count) on
+  // the raw value is an allocation bomb. fits_records() divides instead,
+  // and a truncated body degrades to salvaging the whole-record prefix.
+  util::DecodeDamage local_damage;
+  std::uint64_t usable = count;
+  if (!r.fits_records(count, kRecordBytes)) {
+    usable = r.max_records(kRecordBytes);
+    local_damage.note(util::DecodeError::kCountMismatch, count - usable);
   }
   FlowList flows;
-  flows.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
+  flows.reserve(static_cast<std::size_t>(usable));
+  for (std::uint64_t i = 0; i < usable; ++i) {
     FlowRecord f;
     f.src = net::Ipv4Addr{r.u32()};
     f.dst = net::Ipv4Addr{r.u32()};
@@ -134,34 +165,56 @@ std::optional<FlowList> deserialize_flows(std::span<const std::uint8_t> data) {
     f.direction = r.u8() == 0 ? Direction::kIngress : Direction::kEgress;
     f.sampling_rate = r.u32();
     if (!r.ok()) {
-      bad_input.inc();
-      return std::nullopt;
+      // max_records() bounded the loop; degrade rather than corrupt if a
+      // logic slip ever lands here.
+      local_damage.note(util::DecodeError::kTruncatedRecord, usable - i);
+      break;
     }
     flows.push_back(f);
   }
   obs::metrics()
       .counter("booterscope_store_deserialized_flows_total")
       .add(flows.size());
+  util::count_decode_damage("store", local_damage);
+  if (damage != nullptr) damage->merge(local_damage);
   return flows;
 }
 
 bool write_flow_file(const std::string& path, std::span<const FlowRecord> flows) {
-  const FilePtr file{std::fopen(path.c_str(), "wb")};
-  if (!file) return false;
   const auto bytes = serialize_flows(flows);
-  return std::fwrite(bytes.data(), 1, bytes.size(), file.get()) == bytes.size();
+  for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
+    if (attempt > 0) backoff(attempt);
+    const FilePtr file{std::fopen(path.c_str(), "wb")};
+    if (!file) continue;
+    if (std::fwrite(bytes.data(), 1, bytes.size(), file.get()) == bytes.size()) {
+      return true;
+    }
+  }
+  obs::metrics().counter("booterscope_store_io_failures_total").inc();
+  return false;
 }
 
-std::optional<FlowList> read_flow_file(const std::string& path) {
-  const FilePtr file{std::fopen(path.c_str(), "rb")};
-  if (!file) return std::nullopt;
-  std::vector<std::uint8_t> bytes;
-  std::uint8_t chunk[1 << 16];
-  std::size_t read_count = 0;
-  while ((read_count = std::fread(chunk, 1, sizeof chunk, file.get())) > 0) {
-    bytes.insert(bytes.end(), chunk, chunk + read_count);
+util::Result<FlowList> read_flow_file(const std::string& path,
+                                      util::DecodeDamage* damage) {
+  for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
+    if (attempt > 0) backoff(attempt);
+    const FilePtr file{std::fopen(path.c_str(), "rb")};
+    if (!file) {
+      if (errno == ENOENT) break;  // missing file: retrying cannot help
+      continue;
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[1 << 16];
+    std::size_t read_count = 0;
+    while ((read_count = std::fread(chunk, 1, sizeof chunk, file.get())) > 0) {
+      bytes.insert(bytes.end(), chunk, chunk + read_count);
+    }
+    if (std::ferror(file.get()) != 0) continue;  // torn read: retry
+    return deserialize_flows(bytes, damage);
   }
-  return deserialize_flows(bytes);
+  obs::metrics().counter("booterscope_store_io_failures_total").inc();
+  util::count_decode_failure("store", util::DecodeError::kIo);
+  return util::DecodeError::kIo;
 }
 
 }  // namespace booterscope::flow

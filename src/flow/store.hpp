@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "flow/record.hpp"
+#include "util/result.hpp"
 
 namespace booterscope::flow {
 
@@ -67,13 +68,23 @@ class FlowStore {
 [[nodiscard]] std::vector<std::uint8_t> serialize_flows(
     std::span<const FlowRecord> flows);
 
-/// Deserializes BSF1 bytes; std::nullopt on bad magic/truncation.
-[[nodiscard]] std::optional<FlowList> deserialize_flows(
-    std::span<const std::uint8_t> data);
+/// Deserializes BSF1 bytes. Fatal only on a bad magic or a header too short
+/// to carry the record count; a truncated body salvages the whole-record
+/// prefix, reporting the shortfall via `damage` (when non-null) and the
+/// decode metrics. The declared 64-bit count is never trusted for
+/// allocation: it is checked against the actual byte count first.
+[[nodiscard]] util::Result<FlowList> deserialize_flows(
+    std::span<const std::uint8_t> data,
+    util::DecodeDamage* damage = nullptr);
 
-/// Writes/reads BSF1 files. Returns false / nullopt on I/O failure.
+/// Writes/reads BSF1 files, retrying transient I/O failures with capped
+/// exponential backoff (retries counted in
+/// booterscope_store_io_retries_total). write returns false when all
+/// attempts fail; read reports DecodeError::kIo (missing files are not
+/// retried).
 [[nodiscard]] bool write_flow_file(const std::string& path,
                                    std::span<const FlowRecord> flows);
-[[nodiscard]] std::optional<FlowList> read_flow_file(const std::string& path);
+[[nodiscard]] util::Result<FlowList> read_flow_file(
+    const std::string& path, util::DecodeDamage* damage = nullptr);
 
 }  // namespace booterscope::flow

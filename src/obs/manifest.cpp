@@ -37,6 +37,16 @@ void RunManifest::add_conservation(std::string_view name, std::uint64_t lhs,
   conservation_.push_back(Conservation{std::string(name), lhs, rhs});
 }
 
+void RunManifest::add_integrity(std::string_view key, std::uint64_t value) {
+  integrity_.emplace_back(std::string(key), value);
+}
+
+void RunManifest::add_integrity_conservation(std::string_view name,
+                                             std::uint64_t lhs,
+                                             std::uint64_t rhs) {
+  integrity_conservation_.push_back(Conservation{std::string(name), lhs, rhs});
+}
+
 std::string RunManifest::to_json(const StageTracer* tracer,
                                  const MetricsRegistry* registry) const {
   std::string out = "{\"tool\":" + json_string(tool_);
@@ -67,7 +77,24 @@ std::string RunManifest::to_json(const StageTracer* tracer,
     out += c.balanced() ? "true" : "false";
     out.push_back('}');
   }
-  out += "],\"stages\":";
+  out += "],\"integrity\":{\"counts\":{";
+  for (std::size_t i = 0; i < integrity_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json_string(integrity_[i].first) + ":" +
+           json_number(integrity_[i].second);
+  }
+  out += "},\"conservation\":[";
+  for (std::size_t i = 0; i < integrity_conservation_.size(); ++i) {
+    const Conservation& c = integrity_conservation_[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":" + json_string(c.name);
+    out += ",\"lhs\":" + json_number(c.lhs);
+    out += ",\"rhs\":" + json_number(c.rhs);
+    out += ",\"balanced\":";
+    out += c.balanced() ? "true" : "false";
+    out.push_back('}');
+  }
+  out += "]},\"stages\":";
   out += tracer != nullptr ? stages_json(*tracer) : "[]";
   out += ",\"metrics\":";
   out += registry != nullptr ? metrics_json(*registry)

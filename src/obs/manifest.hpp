@@ -60,6 +60,24 @@ class RunManifest {
     return conservation_;
   }
 
+  /// Integrity block: fault-injection and degraded-mode accounting, kept
+  /// apart from the clean-path accounting so a reader can tell "what the
+  /// pipeline did" from "what went wrong and how it was absorbed". Counts
+  /// are free-form keys (dropped_by_fault, decode_recovered, quarantined,
+  /// ...); integrity conservation identities are checked by CI exactly like
+  /// the top-level ones.
+  void add_integrity(std::string_view key, std::uint64_t value);
+  void add_integrity_conservation(std::string_view name, std::uint64_t lhs,
+                                  std::uint64_t rhs);
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+  integrity() const noexcept {
+    return integrity_;
+  }
+  [[nodiscard]] const std::vector<Conservation>& integrity_conservation()
+      const noexcept {
+    return integrity_conservation_;
+  }
+
   /// Full JSON document. Either pointer may be null; the corresponding
   /// section is then emitted empty.
   [[nodiscard]] std::string to_json(const StageTracer* tracer,
@@ -76,6 +94,8 @@ class RunManifest {
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<std::pair<std::string, std::uint64_t>> accounting_;
   std::vector<Conservation> conservation_;
+  std::vector<std::pair<std::string, std::uint64_t>> integrity_;
+  std::vector<Conservation> integrity_conservation_;
 };
 
 }  // namespace booterscope::obs

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/byteio.hpp"
+#include "util/decode_metrics.hpp"
 
 namespace booterscope::pcap {
 
@@ -73,20 +74,27 @@ std::vector<std::uint8_t> encode_pcap(std::span<const Packet> packets,
   return buffer;
 }
 
-std::optional<PcapParseResult> decode_pcap(std::span<const std::uint8_t> data) {
+util::Result<PcapParseResult> decode_pcap(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
+  if (!r.has(kPcapFileHeaderBytes)) {
+    truncated_streams_metric().inc();
+    util::count_decode_failure("pcap", util::DecodeError::kTruncatedHeader);
+    return util::DecodeError::kTruncatedHeader;
+  }
   if (r.u32() != kPcapMagic) {
     truncated_streams_metric().inc();
-    return std::nullopt;
+    util::count_decode_failure("pcap", util::DecodeError::kBadMagic);
+    return util::DecodeError::kBadMagic;
   }
   (void)r.u16();  // version major
   (void)r.u16();  // version minor
   (void)r.u32();  // thiszone
   (void)r.u32();  // sigfigs
   (void)r.u32();  // snaplen
-  if (r.u32() != kLinkTypeEthernet || !r.ok()) {
+  if (r.u32() != kLinkTypeEthernet) {
     truncated_streams_metric().inc();
-    return std::nullopt;
+    util::count_decode_failure("pcap", util::DecodeError::kBadVersion);
+    return util::DecodeError::kBadVersion;
   }
 
   PcapParseResult result;
@@ -95,18 +103,17 @@ std::optional<PcapParseResult> decode_pcap(std::span<const std::uint8_t> data) {
     const std::uint32_t ts_usec = r.u32();
     const std::uint32_t captured = r.u32();
     (void)r.u32();  // original length
-    if (!r.ok() || r.remaining() < captured) {
+    if (r.remaining() < captured) {
+      // Capture cut off mid-record: keep everything decoded before the cut.
       truncated_streams_metric().inc();
-      return std::nullopt;
+      result.damage.note(util::DecodeError::kTruncatedRecord, 1);
+      break;
     }
     const util::Timestamp time = util::Timestamp::from_nanos(
         static_cast<std::int64_t>(ts_sec) * 1'000'000'000 +
         static_cast<std::int64_t>(ts_usec) * 1'000);
     const std::size_t frame_offset = r.position();
-    if (!r.skip(captured)) {
-      truncated_streams_metric().inc();
-      return std::nullopt;
-    }
+    (void)r.skip(captured);  // bounds guaranteed by the check above
     const auto packet =
         decode_packet(data.subspan(frame_offset, captured), time);
     if (packet) {
@@ -116,7 +123,13 @@ std::optional<PcapParseResult> decode_pcap(std::span<const std::uint8_t> data) {
       malformed_packets_metric().inc();
     }
   }
+  if (r.remaining() > 0 && result.damage.clean()) {
+    // Trailing bytes too short to be a record header: a truncated tail.
+    truncated_streams_metric().inc();
+    result.damage.note(util::DecodeError::kTruncatedRecord, 1);
+  }
   decoded_packets_metric().add(result.packets.size());
+  util::count_decode_damage("pcap", result.damage);
   return result;
 }
 
@@ -127,9 +140,12 @@ bool write_pcap_file(const std::string& path, std::span<const Packet> packets) {
   return std::fwrite(bytes.data(), 1, bytes.size(), file.get()) == bytes.size();
 }
 
-std::optional<PcapParseResult> read_pcap_file(const std::string& path) {
+util::Result<PcapParseResult> read_pcap_file(const std::string& path) {
   const FilePtr file{std::fopen(path.c_str(), "rb")};
-  if (!file) return std::nullopt;
+  if (!file) {
+    util::count_decode_failure("pcap", util::DecodeError::kIo);
+    return util::DecodeError::kIo;
+  }
   std::vector<std::uint8_t> bytes;
   std::uint8_t chunk[1 << 16];
   std::size_t read_count = 0;

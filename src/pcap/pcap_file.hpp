@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "pcap/packet.hpp"
+#include "util/result.hpp"
 
 namespace booterscope::pcap {
 
@@ -27,18 +28,24 @@ inline constexpr std::size_t kPcapRecordHeaderBytes = 16;
 
 /// Parses a pcap byte stream produced by encode_pcap (or any Ethernet-
 /// linktype classic pcap). Frames that fail UDP/IPv4 decoding are skipped
-/// and counted in `skipped`.
+/// and counted in `skipped`. Fatal only on an unusable file header (bad
+/// magic, non-Ethernet linktype, truncated header); a stream cut off
+/// mid-record keeps every packet decoded before the cut and notes the
+/// truncation in `damage`.
 struct PcapParseResult {
   std::vector<Packet> packets;
   std::uint64_t skipped = 0;
+  /// Recoverable stream defects (truncated trailing record, ...).
+  util::DecodeDamage damage;
 };
-[[nodiscard]] std::optional<PcapParseResult> decode_pcap(
+[[nodiscard]] util::Result<PcapParseResult> decode_pcap(
     std::span<const std::uint8_t> data);
 
-/// File convenience wrappers.
+/// File convenience wrappers; read reports DecodeError::kIo on a missing or
+/// unreadable file.
 [[nodiscard]] bool write_pcap_file(const std::string& path,
                                    std::span<const Packet> packets);
-[[nodiscard]] std::optional<PcapParseResult> read_pcap_file(
+[[nodiscard]] util::Result<PcapParseResult> read_pcap_file(
     const std::string& path);
 
 }  // namespace booterscope::pcap

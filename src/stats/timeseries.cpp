@@ -1,5 +1,6 @@
 #include "stats/timeseries.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace booterscope::stats {
@@ -26,12 +27,26 @@ void BinnedSeries::add(util::Timestamp t, double value) noexcept {
   values_[bin] += value;
 }
 
+void BinnedSeries::set_coverage(std::size_t bin, double fraction) {
+  if (bin >= values_.size()) return;
+  if (coverage_.empty()) coverage_.assign(values_.size(), 1.0);
+  coverage_[bin] = fraction < 0.0 ? 0.0 : (fraction > 1.0 ? 1.0 : fraction);
+}
+
 void BinnedSeries::merge_from(const BinnedSeries& other) noexcept {
   assert(other.start_ == start_);
   assert(other.width_.total_nanos() == width_.total_nanos());
   assert(other.values_.size() == values_.size());
   for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
   dropped_ += other.dropped_;
+  // Coverage merges pessimistically: a bin is only as observed as its least
+  // observed contributor.
+  if (!other.coverage_.empty() || !coverage_.empty()) {
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      const double merged = std::min(coverage(i), other.coverage(i));
+      set_coverage(i, merged);
+    }
+  }
 }
 
 std::vector<double> BinnedSeries::window(util::Timestamp from,
@@ -53,16 +68,61 @@ BinnedSeries BinnedSeries::rebin(util::Duration coarser) const {
   for (std::size_t i = 0; i < values_.size(); ++i) {
     result.add_to_bin(i / factor, values_[i]);
   }
+  if (!coverage_.empty()) {
+    // Coarse coverage is the mean of constituent fine bins (a day with 2 of
+    // 24 hours dark is ~92% covered).
+    for (std::size_t coarse = 0; coarse < new_count; ++coarse) {
+      const std::size_t begin = coarse * factor;
+      const std::size_t end = std::min(begin + factor, values_.size());
+      double total = 0.0;
+      for (std::size_t i = begin; i < end; ++i) total += coverage_[i];
+      result.set_coverage(coarse, total / static_cast<double>(end - begin));
+    }
+  }
   return result;
 }
 
+namespace {
+
+/// Values of bins whose start lies in [from, to) and whose coverage clears
+/// `min_coverage`; bumps `excluded` for in-range bins that do not.
+[[nodiscard]] std::vector<double> covered_window(const BinnedSeries& series,
+                                                 util::Timestamp from,
+                                                 util::Timestamp to,
+                                                 double min_coverage,
+                                                 std::size_t& excluded) {
+  std::vector<double> result;
+  for (std::size_t i = 0; i < series.bin_count(); ++i) {
+    const util::Timestamp t = series.bin_start(i);
+    if (t < from || t >= to) continue;
+    if (series.coverage(i) < min_coverage) {
+      ++excluded;
+      continue;
+    }
+    result.push_back(series.at(i));
+  }
+  return result;
+}
+
+}  // namespace
+
 EventWindows windows_around(const BinnedSeries& series, util::Timestamp event,
                             int days) {
+  // min_coverage 0.0 keeps every bin: coverage is clamped to [0, 1] and the
+  // comparison is strict, so nothing is excluded.
+  return windows_around(series, event, days, 0.0);
+}
+
+EventWindows windows_around(const BinnedSeries& series, util::Timestamp event,
+                            int days, double min_coverage) {
   EventWindows windows;
   const util::Timestamp event_day = event.floor_to(util::Duration::days(1));
-  windows.before = series.window(event_day - util::Duration::days(days), event_day);
-  windows.after = series.window(event_day + util::Duration::days(1),
-                                event_day + util::Duration::days(days + 1));
+  windows.before =
+      covered_window(series, event_day - util::Duration::days(days), event_day,
+                     min_coverage, windows.before_excluded);
+  windows.after = covered_window(series, event_day + util::Duration::days(1),
+                                 event_day + util::Duration::days(days + 1),
+                                 min_coverage, windows.after_excluded);
   return windows;
 }
 

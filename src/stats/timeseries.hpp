@@ -40,6 +40,19 @@ class BinnedSeries {
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
   [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
 
+  /// Per-bin coverage mask for gap-aware analysis: the fraction of the bin
+  /// actually observed (1.0 = fully covered). A series without a mask is
+  /// fully covered; the mask is allocated on first set_coverage() call.
+  /// Vantage outages set coverage below 1 so window builders can exclude
+  /// under-covered bins instead of mistaking an outage for a traffic drop.
+  void set_coverage(std::size_t bin, double fraction);
+  [[nodiscard]] double coverage(std::size_t bin) const noexcept {
+    return coverage_.empty() ? 1.0 : coverage_[bin];
+  }
+  [[nodiscard]] bool has_coverage_mask() const noexcept {
+    return !coverage_.empty();
+  }
+
   /// Index of the bin containing `t`, or npos when out of range.
   [[nodiscard]] std::size_t bin_index(util::Timestamp t) const noexcept;
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
@@ -61,6 +74,7 @@ class BinnedSeries {
   util::Timestamp start_;
   util::Duration width_;
   std::vector<double> values_;
+  std::vector<double> coverage_;  // empty = fully covered
   std::uint64_t dropped_ = 0;
 };
 
@@ -70,11 +84,22 @@ class BinnedSeries {
 struct EventWindows {
   std::vector<double> before;
   std::vector<double> after;
+  /// Bins dropped from each side for insufficient coverage (gap-aware
+  /// builds only; zero for series without a coverage mask).
+  std::size_t before_excluded = 0;
+  std::size_t after_excluded = 0;
 };
 
 /// Extracts the paper's before/after daily windows from a daily series.
 /// `series` must have a bin width of one day.
 [[nodiscard]] EventWindows windows_around(const BinnedSeries& series,
                                           util::Timestamp event, int days);
+
+/// Gap-aware variant: bins with coverage below `min_coverage` are excluded
+/// from the windows and counted in before_excluded/after_excluded, so an
+/// outage day cannot masquerade as a traffic drop in the Welch comparison.
+[[nodiscard]] EventWindows windows_around(const BinnedSeries& series,
+                                          util::Timestamp event, int days,
+                                          double min_coverage);
 
 }  // namespace booterscope::stats

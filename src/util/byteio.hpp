@@ -34,8 +34,10 @@ class ByteWriter {
     out_->insert(out_->end(), data.begin(), data.end());
   }
   /// Overwrites a previously written 16-bit field (e.g. a length patched
-  /// after the payload is known). `offset` indexes the underlying buffer.
+  /// after the payload is known). `offset` indexes the underlying buffer;
+  /// out-of-range offsets are ignored rather than writing past the end.
   void patch_u16(std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > out_->size()) return;
     (*out_)[offset] = static_cast<std::uint8_t>(v >> 8);
     (*out_)[offset + 1] = static_cast<std::uint8_t>(v);
   }
@@ -90,6 +92,28 @@ class ByteReader {
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;
+  }
+
+  /// Non-consuming bounds probe: true when `n` more bytes can be read.
+  [[nodiscard]] bool has(std::size_t n) const noexcept {
+    return ok_ && data_.size() - pos_ >= n;
+  }
+  /// Overflow-safe check that `count` records of `record_bytes` each fit in
+  /// the remaining buffer. `count * record_bytes` on attacker-controlled
+  /// counts (e.g. the 64-bit BSF1 record count) can wrap std::size_t and
+  /// sail past a naive `remaining() < count * size` comparison — and a
+  /// subsequent reserve(count) is an allocation bomb. Always divide.
+  [[nodiscard]] bool fits_records(std::uint64_t count,
+                                  std::size_t record_bytes) const noexcept {
+    if (record_bytes == 0) return true;
+    return ok_ && count <= remaining() / record_bytes;
+  }
+  /// Largest whole record count that still fits (salvage bound for
+  /// truncated buffers).
+  [[nodiscard]] std::uint64_t max_records(std::size_t record_bytes)
+      const noexcept {
+    if (!ok_ || record_bytes == 0) return 0;
+    return remaining() / record_bytes;
   }
 
  private:

@@ -1,0 +1,52 @@
+// Registry plumbing for the DecodeError taxonomy: every fatal failure and
+// every recoverable skip a decoder performs lands in the global metrics
+// under the codec's name, so a run's integrity block (DESIGN.md §10) can be
+// assembled from counters alone.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "util/result.hpp"
+
+namespace booterscope::util {
+
+/// Counts one fatal decode failure (the whole buffer was rejected).
+inline void count_decode_failure(std::string_view codec, DecodeError e) {
+  obs::metrics()
+      .counter("booterscope_decode_failures_total",
+               {{"codec", std::string(codec)},
+                {"error", std::string(to_string(e))}})
+      .inc();
+}
+
+/// Counts the recoverable damage of one successfully decoded message.
+/// Clean messages cost one branch and no registry lookup.
+inline void count_decode_damage(std::string_view codec,
+                                const DecodeDamage& damage) {
+  if (damage.clean()) return;
+  obs::MetricsRegistry& registry = obs::metrics();
+  const obs::Labels codec_label{{"codec", std::string(codec)}};
+  registry.counter("booterscope_decode_degraded_messages_total", codec_label)
+      .inc();
+  if (damage.records_skipped > 0) {
+    registry.counter("booterscope_decode_skipped_records_total", codec_label)
+        .add(damage.records_skipped);
+  }
+  if (damage.resyncs > 0) {
+    registry.counter("booterscope_decode_resyncs_total", codec_label)
+        .add(damage.resyncs);
+  }
+  for (const DecodeError e : all_decode_errors()) {
+    const std::uint64_t n = damage.count(e);
+    if (n == 0) continue;
+    registry
+        .counter("booterscope_decode_errors_total",
+                 {{"codec", std::string(codec)},
+                  {"error", std::string(to_string(e))}})
+        .add(n);
+  }
+}
+
+}  // namespace booterscope::util

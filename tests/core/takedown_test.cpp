@@ -107,6 +107,43 @@ TEST(TakedownMetrics, RebinnedFromHourly) {
   EXPECT_NEAR(metrics.wt30.reduction, 0.4, 0.03);
 }
 
+TEST(TakedownMetrics, GapAwareVerdictSurvivesOutages) {
+  util::Rng rng(45);
+  const Timestamp start = Timestamp::parse("2018-10-01").value();
+  const Timestamp event = start + Duration::days(60);
+  stats::BinnedSeries daily(start, Duration::days(1), 120);
+  for (std::size_t d = 0; d < 120; ++d) {
+    const bool before = d < 60;
+    daily.set(d, util::normal(rng, before ? 1000.0 : 600.0, 40.0));
+  }
+  const auto clean = takedown_metrics(daily, event);
+  ASSERT_TRUE(clean.wt30.significant);
+  EXPECT_EQ(clean.wt30.excluded_days, 0);
+  EXPECT_EQ(clean.wt30.effective_before_days, 30);
+  EXPECT_EQ(clean.wt30.effective_after_days, 30);
+
+  // Vantage outage: five dark days inside the wt30 window read as zero
+  // traffic but carry zero coverage.
+  stats::BinnedSeries outaged = daily;
+  for (const std::size_t d : {35u, 45u, 55u, 65u, 75u}) {
+    outaged.set(d, 0.0);
+    outaged.set_coverage(d, 0.0);
+  }
+
+  // Naive analysis keeps the dark days (and counts their zeros).
+  const auto naive = takedown_metrics(outaged, event, 0.05, 0.0);
+  EXPECT_EQ(naive.wt30.excluded_days, 0);
+
+  // Gap-aware analysis excludes them and reproduces the clean verdict.
+  const auto aware = takedown_metrics(outaged, event);
+  EXPECT_EQ(aware.wt30.significant, clean.wt30.significant);
+  EXPECT_EQ(aware.wt40.significant, clean.wt40.significant);
+  EXPECT_NEAR(aware.wt30.reduction, clean.wt30.reduction, 0.02);
+  EXPECT_EQ(aware.wt30.excluded_days, 5);
+  EXPECT_EQ(aware.wt30.effective_before_days, 27);
+  EXPECT_EQ(aware.wt30.effective_after_days, 28);
+}
+
 TEST(HourlyAttackedSystems, CountsConservativeVictimsPerHour) {
   const Timestamp start = Timestamp::parse("2018-12-01").value();
   flow::FlowList flows;

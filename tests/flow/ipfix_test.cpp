@@ -131,17 +131,26 @@ TEST(Ipfix, RejectsWrongVersion) {
   message[0] = 0;
   message[1] = 9;
   MessageDecoder decoder;
-  EXPECT_FALSE(decoder.decode(message).has_value());
+  const auto result = decoder.decode(message);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error(), util::DecodeError::kBadVersion);
 }
 
-TEST(Ipfix, RejectsTruncatedMessage) {
+TEST(Ipfix, SalvagesTruncatedMessage) {
   util::Rng rng(6);
   FlowList flows = {make_flow(rng)};
   auto message =
       encode_message(flows, 1, 0, Timestamp::parse("2018-12-19").value());
   message.resize(message.size() - 4);  // shorter than declared length
   MessageDecoder decoder;
-  EXPECT_FALSE(decoder.decode(message).has_value());
+  const auto result = decoder.decode(message);
+  ASSERT_TRUE(result.has_value());
+  // The template set arrived intact; the lone data record was cut off.
+  EXPECT_EQ(result->templates_seen, 1u);
+  EXPECT_TRUE(result->records.empty());
+  EXPECT_EQ(result->damage.count(util::DecodeError::kLengthOverflow), 2u);
+  EXPECT_EQ(result->damage.count(util::DecodeError::kTruncatedRecord), 1u);
+  EXPECT_EQ(result->damage.records_skipped, 1u);
 }
 
 TEST(Ipfix, EmptyFlowListYieldsTemplateOnlyMessage) {

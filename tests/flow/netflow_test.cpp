@@ -82,23 +82,44 @@ TEST(NetflowV5, RejectsWrongVersion) {
   const auto config = test_config();
   auto pdu = encode_netflow_v5({}, config, 0, config.boot_time);
   pdu[1] = 9;  // version 9
-  EXPECT_FALSE(decode_netflow_v5(pdu, config.boot_time).has_value());
+  const auto decoded = decode_netflow_v5(pdu, config.boot_time);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error(), util::DecodeError::kBadVersion);
 }
 
-TEST(NetflowV5, RejectsTruncatedPdu) {
+TEST(NetflowV5, SalvagesTruncatedPdu) {
   const auto config = test_config();
   util::Rng rng(3);
-  FlowList flows = {make_flow(rng, config.boot_time)};
+  FlowList flows = {make_flow(rng, config.boot_time),
+                    make_flow(rng, config.boot_time)};
   auto pdu = encode_netflow_v5(flows, config, 0, config.boot_time);
-  pdu.resize(pdu.size() - 10);
-  EXPECT_FALSE(decode_netflow_v5(pdu, config.boot_time).has_value());
+  pdu.resize(pdu.size() - 10);  // cuts into the second record
+  const auto decoded = decode_netflow_v5(pdu, config.boot_time);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->records.size(), 1u);
+  EXPECT_EQ(decoded->declared_count, 2u);
+  EXPECT_EQ(decoded->damage.count(util::DecodeError::kCountMismatch), 1u);
+  EXPECT_EQ(decoded->damage.records_skipped, 1u);
 }
 
-TEST(NetflowV5, RejectsOversizedCount) {
+TEST(NetflowV5, OversizedCountDegradesToAvailableRecords) {
   const auto config = test_config();
   auto pdu = encode_netflow_v5({}, config, 0, config.boot_time);
-  pdu[3] = 31;  // count > kNetflowV5MaxRecords
-  EXPECT_FALSE(decode_netflow_v5(pdu, config.boot_time).has_value());
+  pdu[3] = 31;  // count > kNetflowV5MaxRecords, no record bytes present
+  const auto decoded = decode_netflow_v5(pdu, config.boot_time);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->records.empty());
+  EXPECT_EQ(decoded->damage.count(util::DecodeError::kCountMismatch), 1u);
+  EXPECT_EQ(decoded->damage.records_skipped, 31u);
+}
+
+TEST(NetflowV5, RejectsTruncatedHeader) {
+  const auto config = test_config();
+  auto pdu = encode_netflow_v5({}, config, 0, config.boot_time);
+  pdu.resize(kNetflowV5HeaderBytes - 1);
+  const auto decoded = decode_netflow_v5(pdu, config.boot_time);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error(), util::DecodeError::kTruncatedHeader);
 }
 
 TEST(NetflowV5, EncodeCapsAtMaxRecords) {

@@ -126,11 +126,21 @@ TEST(NetflowV9, RejectsWrongVersionAndTruncation) {
   auto bad_version = packet_bytes;
   bad_version[1] = 5;
   Decoder decoder(config.boot_time);
-  EXPECT_FALSE(decoder.decode(bad_version).has_value());
+  const auto bad = decoder.decode(bad_version);
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), util::DecodeError::kBadVersion);
 
+  // A packet cut off mid-record is salvaged: the template still registers
+  // and the cut is tallied rather than the whole packet being dropped.
   auto truncated = packet_bytes;
   truncated.resize(truncated.size() - 6);
-  EXPECT_FALSE(decoder.decode(truncated).has_value());
+  const auto packet = decoder.decode(truncated);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_TRUE(packet->records.empty());
+  EXPECT_FALSE(packet->damage.clean());
+  EXPECT_GT(packet->damage.count(util::DecodeError::kLengthOverflow) +
+                packet->damage.count(util::DecodeError::kTruncatedRecord),
+            0u);
 }
 
 TEST(NetflowV9, HeaderCountsTemplateAndDataRecords) {

@@ -49,14 +49,36 @@ TEST(FlowStore, DeserializeRejectsBadMagic) {
   util::Rng rng(2);
   auto bytes = serialize_flows(FlowList{make_flow(rng)});
   bytes[0] ^= 0xff;
-  EXPECT_FALSE(deserialize_flows(bytes).has_value());
+  const auto decoded = deserialize_flows(bytes);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error(), util::DecodeError::kBadMagic);
 }
 
-TEST(FlowStore, DeserializeRejectsTruncation) {
+TEST(FlowStore, DeserializeSalvagesTruncation) {
   util::Rng rng(3);
-  auto bytes = serialize_flows(FlowList{make_flow(rng), make_flow(rng)});
-  bytes.resize(bytes.size() - 1);
-  EXPECT_FALSE(deserialize_flows(bytes).has_value());
+  const FlowList flows{make_flow(rng), make_flow(rng)};
+  auto bytes = serialize_flows(flows);
+  bytes.resize(bytes.size() - 1);  // cuts one byte off the second record
+  util::DecodeDamage damage;
+  const auto decoded = deserialize_flows(bytes, &damage);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0], flows[0]);
+  EXPECT_EQ(damage.count(util::DecodeError::kCountMismatch), 1u);
+  EXPECT_EQ(damage.records_skipped, 1u);
+}
+
+TEST(FlowStore, DeserializeNeverTrustsDeclaredCount) {
+  // A header that claims 2^61 records must fail the whole-record fit check
+  // (the multiply would wrap a 64-bit size) instead of reserving memory.
+  util::Rng rng(6);
+  auto bytes = serialize_flows(FlowList{make_flow(rng)});
+  for (std::size_t i = 4; i < 12; ++i) bytes[i] = 0xff;
+  util::DecodeDamage damage;
+  const auto decoded = deserialize_flows(bytes, &damage);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->size(), 1u);  // the one real record is salvaged
+  EXPECT_EQ(damage.count(util::DecodeError::kCountMismatch), 1u);
 }
 
 TEST(FlowStore, FileRoundTrip) {
@@ -72,7 +94,9 @@ TEST(FlowStore, FileRoundTrip) {
 }
 
 TEST(FlowStore, ReadMissingFileFails) {
-  EXPECT_FALSE(read_flow_file("/tmp/definitely-not-there.bsf").has_value());
+  const auto decoded = read_flow_file("/tmp/definitely-not-there.bsf");
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error(), util::DecodeError::kIo);
 }
 
 TEST(FlowStore, PortFilters) {

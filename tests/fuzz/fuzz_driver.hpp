@@ -1,0 +1,56 @@
+// Dual-mode fuzz entry point.
+//
+// Built with clang's -fsanitize=fuzzer (the `fuzz` preset), libFuzzer
+// supplies main() and drives LLVMFuzzerTestOneInput with mutated inputs.
+// The container/CI default toolchain is GCC, which has no libFuzzer: there
+// the same harness is compiled with BOOTERSCOPE_FUZZ_STANDALONE and this
+// main() replays every file under the directories (or files) passed on the
+// command line — the committed corpus becomes a deterministic regression
+// suite, so decoder hardening never depends on having clang installed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#ifdef BOOTERSCOPE_FUZZ_STANDALONE
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(arg)) {
+      inputs.push_back(arg);
+    } else {
+      std::fprintf(stderr, "fuzz replay: no such input: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "fuzz replay: no corpus files found\n");
+    return 1;
+  }
+  for (const fs::path& path : inputs) {
+    std::ifstream file(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(file)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::printf("fuzz replay: %zu corpus inputs, no crashes\n", inputs.size());
+  return 0;
+}
+
+#endif  // BOOTERSCOPE_FUZZ_STANDALONE

@@ -1,0 +1,19 @@
+// Fuzz the pcap file decoder: header magic, per-record length fields and
+// the Ethernet/IP/UDP layer parsing behind each salvaged packet.
+#include <span>
+
+#include "fuzz_driver.hpp"
+#include "pcap/pcap_file.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace booterscope;
+  const std::span<const std::uint8_t> bytes(data, size);
+  const auto result = pcap::decode_pcap(bytes);
+  if (result.has_value()) {
+    std::uint64_t total = 0;
+    for (const auto& packet : result->packets) total += packet.payload_bytes;
+    (void)total;
+  }
+  return 0;
+}

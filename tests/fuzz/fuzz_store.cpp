@@ -1,0 +1,19 @@
+// Fuzz the BSF1 flow-store deserializer — the format we read back from our
+// own disk spools, where a torn write is the common real-world corruption.
+#include <span>
+
+#include "flow/store.hpp"
+#include "fuzz_driver.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace booterscope;
+  const std::span<const std::uint8_t> bytes(data, size);
+  const auto result = flow::deserialize_flows(bytes);
+  if (result.has_value()) {
+    std::uint64_t total = 0;
+    for (const auto& record : *result) total += record.bytes;
+    (void)total;
+  }
+  return 0;
+}

@@ -67,14 +67,19 @@ TEST(PcapFile, SnapLenTruncationCountsSkipped) {
 TEST(PcapFile, RejectsBadMagic) {
   auto bytes = encode_pcap({});
   bytes[0] = 0x00;
-  EXPECT_FALSE(decode_pcap(bytes).has_value());
+  const auto decoded = decode_pcap(bytes);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error(), util::DecodeError::kBadMagic);
 }
 
-TEST(PcapFile, RejectsTruncatedRecord) {
+TEST(PcapFile, SalvagesTruncatedRecord) {
   util::Rng rng(3);
   auto bytes = encode_pcap(make_packets(2, rng));
-  bytes.resize(bytes.size() - 5);
-  EXPECT_FALSE(decode_pcap(bytes).has_value());
+  bytes.resize(bytes.size() - 5);  // cuts into the second frame
+  const auto decoded = decode_pcap(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->packets.size(), 1u);
+  EXPECT_EQ(decoded->damage.count(util::DecodeError::kTruncatedRecord), 1u);
 }
 
 TEST(PcapFile, FileRoundTrip) {

@@ -82,5 +82,71 @@ TEST(EventWindows, TruncatedAtSeriesEdges) {
   EXPECT_EQ(windows.after.size(), 5u);    // Dec 20..24
 }
 
+TEST(BinnedSeries, CoverageDefaultsToFullWithoutMask) {
+  BinnedSeries series(day("2018-10-01"), Duration::days(1), 3);
+  EXPECT_FALSE(series.has_coverage_mask());
+  EXPECT_DOUBLE_EQ(series.coverage(0), 1.0);
+  EXPECT_DOUBLE_EQ(series.coverage(2), 1.0);
+  series.set_coverage(1, 1.5);   // clamped
+  series.set_coverage(2, -0.2);  // clamped
+  EXPECT_TRUE(series.has_coverage_mask());
+  EXPECT_DOUBLE_EQ(series.coverage(0), 1.0);
+  EXPECT_DOUBLE_EQ(series.coverage(1), 1.0);
+  EXPECT_DOUBLE_EQ(series.coverage(2), 0.0);
+}
+
+TEST(BinnedSeries, MergeFromTakesPessimisticCoverage) {
+  BinnedSeries a(day("2018-10-01"), Duration::days(1), 3);
+  BinnedSeries b(day("2018-10-01"), Duration::days(1), 3);
+  a.set(0, 10.0);
+  b.set(0, 5.0);
+  a.set_coverage(1, 0.25);
+  b.set_coverage(2, 0.5);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.at(0), 15.0);
+  // A bin is only as observed as its least observed contributor.
+  EXPECT_DOUBLE_EQ(a.coverage(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.coverage(1), 0.25);
+  EXPECT_DOUBLE_EQ(a.coverage(2), 0.5);
+}
+
+TEST(BinnedSeries, RebinAveragesCoverage) {
+  BinnedSeries hourly(day("2018-10-01"), Duration::hours(1), 48);
+  for (std::size_t i = 0; i < 48; ++i) hourly.set(i, 1.0);
+  // Day one loses 6 of 24 hours; day two is fully covered.
+  for (std::size_t i = 0; i < 6; ++i) hourly.set_coverage(i, 0.0);
+  const BinnedSeries daily = hourly.rebin(Duration::days(1));
+  ASSERT_TRUE(daily.has_coverage_mask());
+  EXPECT_DOUBLE_EQ(daily.coverage(0), 0.75);
+  EXPECT_DOUBLE_EQ(daily.coverage(1), 1.0);
+}
+
+TEST(EventWindows, GapAwareExcludesUnderCoveredDays) {
+  BinnedSeries series(day("2018-12-01"), Duration::days(1), 40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    series.set(i, static_cast<double>(i));
+  }
+  // Two outage days before the event (bins 14, 16), one after (bin 20).
+  series.set_coverage(14, 0.0);
+  series.set_coverage(16, 0.5);
+  series.set_coverage(20, 0.0);
+  const Timestamp event = day("2018-12-19") + Duration::hours(14);  // bin 18
+  const auto naive = windows_around(series, event, 5);
+  EXPECT_EQ(naive.before.size(), 5u);
+  EXPECT_EQ(naive.after.size(), 5u);
+  EXPECT_EQ(naive.before_excluded, 0);
+  EXPECT_EQ(naive.after_excluded, 0);
+
+  const auto aware = windows_around(series, event, 5, 0.75);
+  ASSERT_EQ(aware.before.size(), 3u);  // bins 13, 15, 17
+  ASSERT_EQ(aware.after.size(), 4u);   // bins 19, 21, 22, 23
+  EXPECT_EQ(aware.before_excluded, 2);
+  EXPECT_EQ(aware.after_excluded, 1);
+  EXPECT_DOUBLE_EQ(aware.before.front(), 13.0);
+  EXPECT_DOUBLE_EQ(aware.before.back(), 17.0);
+  EXPECT_DOUBLE_EQ(aware.after.front(), 19.0);
+  EXPECT_DOUBLE_EQ(aware.after.back(), 23.0);
+}
+
 }  // namespace
 }  // namespace booterscope::stats
