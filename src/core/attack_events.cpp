@@ -42,6 +42,10 @@ std::vector<AttackEvent> extract_events(const flow::FlowList& flows,
   const double bin_seconds = config.bin.as_seconds();
 
   std::vector<AttackEvent> events;
+  // Per-victim event extraction is self-contained (bins are an ordered map,
+  // all accumulators reset per victim) and events are sorted by
+  // (victim, start) before return.
+  // bslint:allow(BS004 per-victim extraction, output sorted below)
   for (auto& [victim, bins] : victims) {
     AttackEvent current;
     std::unordered_set<std::uint32_t> sources;

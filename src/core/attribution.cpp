@@ -82,10 +82,17 @@ Attribution attribute(const HoneypotAttack& attack,
   Attribution result;
   if (attack.honeypots.empty()) return result;
 
+  // Honeypot set in sorted order: the weight sums below are floating-point
+  // accumulations, and summing in hash-set iteration order would make the
+  // confidence's last bits depend on the standard library's bucket layout.
+  std::vector<std::uint32_t> sorted_honeypots(attack.honeypots.begin(),
+                                              attack.honeypots.end());
+  std::sort(sorted_honeypots.begin(), sorted_honeypots.end());
+
   // Distinctiveness weights: honeypots shared by many fingerprints (public
   // amplifier lists) are nearly uninformative.
   std::unordered_map<std::uint32_t, double> weight;
-  for (const std::uint32_t honeypot : attack.honeypots) {
+  for (const std::uint32_t honeypot : sorted_honeypots) {
     std::size_t frequency = 0;
     for (const BooterFingerprint& fp : fingerprints) {
       frequency += fp.honeypots.contains(honeypot) ? 1u : 0u;
@@ -96,14 +103,15 @@ Attribution attribute(const HoneypotAttack& attack,
                                 static_cast<double>(frequency));
   }
   double total_weight = 0.0;
-  for (const auto& [honeypot, w] : weight) {
+  for (const std::uint32_t honeypot : sorted_honeypots) {
+    const double w = weight[honeypot];
     total_weight += w > 0.0 ? w : 1.0;  // unseen honeypots count against
   }
   if (total_weight <= 0.0) return result;
 
   for (std::size_t i = 0; i < fingerprints.size(); ++i) {
     double covered = 0.0;
-    for (const std::uint32_t honeypot : attack.honeypots) {
+    for (const std::uint32_t honeypot : sorted_honeypots) {
       if (fingerprints[i].honeypots.contains(honeypot)) {
         covered += weight[honeypot];
       }

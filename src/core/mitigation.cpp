@@ -28,6 +28,9 @@ std::vector<BlackholeEntry> plan_blackholes(const flow::FlowList& flows,
   const double trigger_bytes_per_minute =
       policy.trigger_gbps * 1e9 / 8.0 * 60.0;
   std::vector<BlackholeEntry> entries;
+  // Entries are computed per victim from ordered minute bins and sorted by
+  // (active_from, victim) before return, so hash order never reaches output.
+  // bslint:allow(BS004 per-victim entries, output sorted below)
   for (const auto& [victim, bins] : victims) {
     util::Timestamp covered_until = util::Timestamp::from_nanos(
         std::numeric_limits<std::int64_t>::min());
@@ -45,7 +48,12 @@ std::vector<BlackholeEntry> plan_blackholes(const flow::FlowList& flows,
   }
   std::sort(entries.begin(), entries.end(),
             [](const BlackholeEntry& a, const BlackholeEntry& b) {
-              return a.active_from < b.active_from;
+              // Victim tie-break: two victims triggering in the same minute
+              // otherwise keep the map's hash order through the stable sort.
+              if (a.active_from != b.active_from) {
+                return a.active_from < b.active_from;
+              }
+              return a.victim < b.victim;
             });
   return entries;
 }

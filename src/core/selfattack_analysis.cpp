@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
+#include <unordered_set>
 
 namespace booterscope::core {
 
@@ -20,7 +20,10 @@ CaptureAnalysis analyze_capture(const flow::FlowList& capture,
   std::unordered_set<std::uint32_t> all_peers;
   double transit_bytes = 0.0;
   double total_bytes = 0.0;
-  std::unordered_map<std::uint32_t, double> peering_bytes_by_peer;
+  // Ordered map: the peering totals below are floating-point sums, and
+  // accumulating them in hash order would leak the library's bucket layout
+  // into top_peer_share_of_peering's last bits.
+  std::map<std::uint32_t, double> peering_bytes_by_peer;
 
   for (const flow::FlowRecord& f : capture) {
     if (f.dst != target) continue;

@@ -31,9 +31,13 @@ std::vector<VictimSummary> VictimAggregator::summarize() const {
   std::vector<VictimSummary> result;
   result.reserve(victims_.size());
   const double bin_seconds = config_.bin.as_seconds();
+  // Each summary is computed from its own victim's state alone, and the
+  // result is sorted by destination below before anything consumes it.
+  // bslint:allow(BS004 per-victim summaries, output sorted by destination)
   for (const auto& [destination, state] : victims_) {
     VictimSummary summary;
     summary.destination = destination;
+    // bslint:allow(BS004 max/size accumulation is order-independent)
     for (const auto& [bin, minute] : state.minutes) {
       summary.max_gbps_per_minute = std::max(
           summary.max_gbps_per_minute, minute.bytes * 8.0 / bin_seconds / 1e9);
@@ -52,6 +56,12 @@ std::vector<VictimSummary> VictimAggregator::summarize() const {
         summary.unique_sources > config_.filter.min_amplifiers;
     result.push_back(summary);
   }
+  // Deterministic output order: the map above iterates in hash order, which
+  // differs across standard libraries and reservation histories.
+  std::sort(result.begin(), result.end(),
+            [](const VictimSummary& a, const VictimSummary& b) {
+              return a.destination < b.destination;
+            });
   return result;
 }
 

@@ -36,6 +36,9 @@ Blacklist generate_blacklist(const Observatory& observatory,
       ++entry.weeks_seen;
     }
   }
+  // Entries are sorted by (first_seen, domain) below; the online flag is
+  // computed per entry, so the collection order here never reaches output.
+  // bslint:allow(BS004 per-entry flags, output sorted below)
   for (auto& [index, entry] : by_domain) {
     entry.online = entry.last_seen == last_week;
     blacklist.entries.push_back(std::move(entry));

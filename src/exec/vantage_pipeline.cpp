@@ -30,6 +30,10 @@ void run_chain(const VantageChainSpec& spec, std::size_t index,
   out.name = spec.name;
 
   if (spec.input == nullptr) {
+    // Caller programming error, not decode-path data: a null input is a
+    // misconfigured chain spec, and run_vantage_chains quarantines throwing
+    // chains rather than crashing the run (see PR 3's fault model).
+    // bslint:allow(BS003 config validation, quarantined by the chain runner)
     throw std::invalid_argument("vantage chain '" + spec.name +
                                 "' has no input");
   }

@@ -47,6 +47,7 @@ void FlowCollector::update_cache_gauge() noexcept {
 }
 
 void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
+  const util::ConcurrencyGuard::Scope scope(guard_, "FlowCollector::observe");
   auto [it, inserted] = cache_.try_emplace(packet.tuple);
   Entry& entry = it->second;
   if (inserted) {
@@ -96,6 +97,7 @@ void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
     // Memory pressure: force-expire the stalest entries (full scan; rare).
     std::vector<std::pair<util::Timestamp, net::FiveTuple>> by_age;
     by_age.reserve(cache_.size());
+    // bslint:allow(BS004 collected then sorted by (age, five-tuple) below)
     for (const auto& [key, e] : cache_) by_age.emplace_back(e.flow.last, key);
     std::sort(by_age.begin(), by_age.end(),
               [](const auto& a, const auto& b) {
@@ -116,12 +118,14 @@ void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
 }
 
 void FlowCollector::expire(util::Timestamp now, FlowList& out) {
+  const util::ConcurrencyGuard::Scope scope(guard_, "FlowCollector::expire");
   // Batch exports are emitted in five-tuple order, not hash-map order: the
   // map's iteration order depends on the library, reservation history and
   // insertion sequence, so exporting in it made byte-compared outputs
   // differ across platforms (and across thread counts once collectors run
   // on pool workers).
   std::vector<const net::FiveTuple*> expired;
+  // bslint:allow(BS004 collected then sorted by five-tuple below)
   for (const auto& [key, entry] : cache_) {
     const FlowRecord& f = entry.flow;
     if (now - f.last >= config_.inactive_timeout ||
@@ -146,8 +150,10 @@ void FlowCollector::expire(util::Timestamp now, FlowList& out) {
 }
 
 void FlowCollector::drain(FlowList& out) {
+  const util::ConcurrencyGuard::Scope scope(guard_, "FlowCollector::drain");
   std::vector<std::pair<const net::FiveTuple*, const Entry*>> remaining;
   remaining.reserve(cache_.size());
+  // bslint:allow(BS004 collected then sorted by five-tuple below)
   for (const auto& [key, entry] : cache_) remaining.emplace_back(&key, &entry);
   std::sort(remaining.begin(), remaining.end(),
             [](const auto& a, const auto& b) { return *a.first < *b.first; });

@@ -12,6 +12,7 @@
 #include "flow/record.hpp"
 #include "net/five_tuple.hpp"
 #include "obs/metrics.hpp"
+#include "util/annotations.hpp"
 #include "util/time.hpp"
 
 namespace booterscope::flow {
@@ -91,6 +92,12 @@ struct CollectorStats {
 ///
 /// Usage: call observe() in non-decreasing time order, periodically call
 /// expire(now) — both return newly exported flows; call drain() at the end.
+///
+/// Thread-compartmented, not locked: one owner mutates at a time, and
+/// ownership may move between pool tasks (a vantage chain hands its
+/// collector from day-shard to day-shard). Concurrent mutation would
+/// silently break the conservation invariant above, so the mutating entry
+/// points carry a util::ConcurrencyGuard tripwire that aborts instead.
 class FlowCollector {
  public:
   explicit FlowCollector(CollectorConfig config);
@@ -127,6 +134,7 @@ class FlowCollector {
   CollectorConfig config_;
   std::unordered_map<net::FiveTuple, Entry> cache_;
   CollectorStats stats_;
+  util::ConcurrencyGuard guard_;
   // Global registry series shared by all collector instances; resolved once
   // at construction so the per-packet cost is one relaxed atomic add.
   obs::Counter* observed_packets_metric_;

@@ -92,14 +92,14 @@ MetricsRegistry::Key MetricsRegistry::make_key(std::string_view name,
 }
 
 Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto& slot = counters_[make_key(name, std::move(labels))];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto& slot = gauges_[make_key(name, std::move(labels))];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -108,14 +108,14 @@ Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> upper_bounds,
                                       Labels labels) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto& slot = histograms_[make_key(name, std::move(labels))];
   if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
   return *slot;
 }
 
 std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [key, counter] : counters_) {
     if (key.name == name) total += counter->value();
@@ -125,7 +125,7 @@ std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
 
 std::vector<MetricsRegistry::Series<Counter>> MetricsRegistry::counters()
     const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<Series<Counter>> out;
   out.reserve(counters_.size());
   for (const auto& [key, counter] : counters_) {
@@ -135,7 +135,7 @@ std::vector<MetricsRegistry::Series<Counter>> MetricsRegistry::counters()
 }
 
 std::vector<MetricsRegistry::Series<Gauge>> MetricsRegistry::gauges() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<Series<Gauge>> out;
   out.reserve(gauges_.size());
   for (const auto& [key, gauge] : gauges_) {
@@ -146,7 +146,7 @@ std::vector<MetricsRegistry::Series<Gauge>> MetricsRegistry::gauges() const {
 
 std::vector<MetricsRegistry::Series<Histogram>> MetricsRegistry::histograms()
     const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<Series<Histogram>> out;
   out.reserve(histograms_.size());
   for (const auto& [key, histogram] : histograms_) {

@@ -18,11 +18,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace booterscope::obs {
 
@@ -191,10 +192,11 @@ class MetricsRegistry {
 
   [[nodiscard]] static Key make_key(std::string_view name, Labels labels);
 
-  mutable std::mutex mutex_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ BS_GUARDED_BY(mutex_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ BS_GUARDED_BY(mutex_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_
+      BS_GUARDED_BY(mutex_);
 };
 
 /// Shorthand for the global registry (the one the pipeline stages use).

@@ -36,6 +36,7 @@ StageTracer::StageTracer() : root_(std::make_unique<StageNode>()) {
 }
 
 StageNode* StageTracer::enter(std::string_view name) {
+  const util::ConcurrencyGuard::Scope scope(guard_, "StageTracer::enter");
   for (const auto& child : current_->children) {
     if (child->name == name) {
       current_ = child.get();
@@ -60,6 +61,7 @@ void StageTracer::add_completed(std::string_view name, int worker,
                                 std::uint64_t wall_nanos, std::uint64_t calls,
                                 std::uint64_t items_in, std::uint64_t items_out,
                                 std::uint64_t bytes) {
+  const util::ConcurrencyGuard::Scope scope(guard_, "StageTracer::add_completed");
   StageNode* node = nullptr;
   for (const auto& child : current_->children) {
     if (child->name == name && child->worker == worker) {

@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace booterscope::obs {
 
 /// Aggregated numbers for one stage in the tree. Re-entering a stage with
@@ -77,6 +79,9 @@ class StageTracer {
 
   std::unique_ptr<StageNode> root_;
   StageNode* current_ = nullptr;
+  // Enforces the single-owner contract above: concurrent enter()s or
+  // add_completed()s corrupt the tree silently; the tripwire aborts instead.
+  util::ConcurrencyGuard guard_;
 };
 
 /// RAII span over one stage execution. Null-tracer-safe so instrumented

@@ -147,6 +147,9 @@ bool BooterService::active_at(
 }
 
 void BooterService::advance_to(util::Timestamp now) {
+  // Each ReflectorList owns its own Rng stream, so advancing them in any
+  // order produces identical per-list states; nothing is emitted here.
+  // bslint:allow(BS004 per-list advance with independent Rng streams)
   for (auto& [vector, list] : lists_) list.advance_to(now);
 }
 

@@ -5,6 +5,9 @@ namespace booterscope::sim {
 HoneypotDeployment::HoneypotDeployment(
     const std::unordered_map<net::AmpVector, ReflectorPool>& pools,
     std::uint32_t count_per_vector, double public_head_share, util::Rng rng) {
+  // Keyed insertion into ids_: each vector's set is built independently, so
+  // the visit order cannot influence any set's final contents.
+  // bslint:allow(BS004 keyed insertion, order-independent)
   for (const auto& [vector, pool] : pools) {
     std::unordered_set<ReflectorId>& set = ids_[vector];
     const auto public_count = static_cast<std::uint32_t>(

@@ -58,6 +58,7 @@ class HoneypotDeployment {
       net::AmpVector vector) const;
   [[nodiscard]] std::size_t total() const noexcept {
     std::size_t count = 0;
+    // bslint:allow(BS004 integer sum is order-independent)
     for (const auto& [vector, set] : ids_) count += set.size();
     return count;
   }

@@ -68,6 +68,7 @@ double CliArgs::double_or(std::string_view name, double fallback) const {
 std::vector<std::string> CliArgs::unknown(
     const std::vector<std::string>& known) const {
   std::vector<std::string> result;
+  // bslint:allow(BS004 result is sorted before return)
   for (const auto& [key, value] : options_) {
     if (std::find(known.begin(), known.end(), key) == known.end()) {
       result.push_back(key);

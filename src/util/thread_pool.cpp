@@ -41,7 +41,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 ThreadPool::~ThreadPool() {
   wait_idle();
   {
-    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    const util::MutexLock lock(sleep_mutex_);
     stop_.store(true, std::memory_order_release);
   }
   work_cv_.notify_all();
@@ -56,8 +56,9 @@ void ThreadPool::submit(std::function<void()> task) {
           : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   pending_.fetch_add(1, std::memory_order_acq_rel);
   {
-    const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
-    queues_[target]->tasks.push_back(std::move(task));
+    WorkerQueue& queue = *queues_[target];
+    const util::MutexLock lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
@@ -68,7 +69,7 @@ bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
   // which keeps the classifier caches warm for adjacent days).
   {
     WorkerQueue& own = *queues_[index];
-    const std::lock_guard<std::mutex> lock(own.mutex);
+    const util::MutexLock lock(own.mutex);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.front());
       own.tasks.pop_front();
@@ -78,7 +79,7 @@ bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
   // Steal from the back of a sibling's deque.
   for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
     WorkerQueue& victim = *queues_[(index + offset) % queues_.size()];
-    const std::lock_guard<std::mutex> lock(victim.mutex);
+    const util::MutexLock lock(victim.mutex);
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
@@ -102,23 +103,23 @@ void ThreadPool::worker_loop(std::size_t index) {
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Take the sleep mutex before notifying so a waiter cannot check
         // pending_ and block between our decrement and the notify.
-        { const std::lock_guard<std::mutex> lock(sleep_mutex_); }
+        { const util::MutexLock lock(sleep_mutex_); }
         idle_cv_.notify_all();
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    const util::MutexLock lock(sleep_mutex_);
     if (stop_.load(std::memory_order_acquire)) break;
     // Re-check for work racing with the notify; wait otherwise.
-    work_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    work_cv_.wait_for(sleep_mutex_, std::chrono::milliseconds(50));
     if (stop_.load(std::memory_order_acquire)) break;
   }
   tls_worker_index = -1;
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(sleep_mutex_);
-  idle_cv_.wait(lock, [this] {
+  const util::MutexLock lock(sleep_mutex_);
+  idle_cv_.wait(sleep_mutex_, [this] {
     return pending_.load(std::memory_order_acquire) == 0;
   });
 }

@@ -16,15 +16,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/annotations.hpp"
 
 namespace booterscope::exec {
 
@@ -70,8 +69,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    util::Mutex mutex;
+    std::deque<std::function<void()>> tasks BS_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t index);
@@ -85,10 +84,13 @@ class ThreadPool {
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> stolen_{0};
+  // stop_ is atomic (read outside the lock on the hot loop) but is only
+  // *written* under sleep_mutex_ so the write and notify pair atomically
+  // with a sleeper's wait check.
   std::atomic<bool> stop_{false};
-  std::mutex sleep_mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
+  util::Mutex sleep_mutex_;
+  util::CondVar work_cv_;
+  util::CondVar idle_cv_;
 };
 
 }  // namespace booterscope::exec

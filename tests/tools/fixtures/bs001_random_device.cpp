@@ -1,0 +1,7 @@
+// Fixture: BS001 must fire exactly once, on the random_device line.
+#include <random>
+
+int roll() {
+  std::random_device entropy;  // line 5: nondeterministic seed source
+  return static_cast<int>(entropy());
+}

@@ -1,0 +1,10 @@
+// Fixture: BS002 must fire exactly once, on the memcpy line. Linted as if
+// it lived under src/flow/.
+#include <cstdint>
+#include <cstring>
+
+std::uint32_t peek(const unsigned char* data) {
+  std::uint32_t value = 0;
+  std::memcpy(&value, data, sizeof(value));  // line 8: raw byte access
+  return value;
+}

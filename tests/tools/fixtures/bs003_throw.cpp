@@ -1,0 +1,11 @@
+// Fixture: BS003 must fire exactly once, on the throw line. Linted as if it
+// lived under src/flow/ where decode paths return Result<T, DecodeError>.
+#include <cstdint>
+#include <stdexcept>
+
+std::uint8_t decode_version(std::uint8_t raw) {
+  if (raw > 9) {
+    throw std::runtime_error("bad version");  // line 8: decode path throws
+  }
+  return raw;
+}

@@ -1,0 +1,15 @@
+// Fixture: BS004 must fire exactly once, on the range-for over the
+// unordered_map. Linted as if it lived under src/.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> keys(
+    const std::unordered_map<std::string, std::uint64_t>& totals_by_name) {
+  std::vector<std::string> out;
+  for (const auto& [name, total] : totals_by_name) {  // line 11: hash order
+    out.push_back(name);
+  }
+  return out;
+}

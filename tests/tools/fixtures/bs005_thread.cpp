@@ -1,0 +1,8 @@
+// Fixture: BS005 must fire exactly once, on the std::thread line. Linted as
+// if it lived under src/ (outside util/thread_pool).
+#include <thread>
+
+void fire_and_forget() {
+  std::thread worker([] {});  // line 6: naked thread outside the pool
+  worker.join();
+}

@@ -1,0 +1,32 @@
+// Fixture: every finding here is covered by a bslint:allow — the linter
+// must report zero findings for this file.
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+int entropy_roll() {
+  // bslint:allow(BS001 fixture exercises same-line-below suppression)
+  std::random_device entropy;
+  return static_cast<int>(entropy());
+}
+
+std::uint32_t peek(const unsigned char* data) {
+  std::uint32_t value = 0;
+  std::memcpy(&value, data, sizeof(value));  // bslint:allow(BS002 fixture)
+  return value;
+}
+
+std::uint64_t sum(const std::unordered_map<int, std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  // bslint:allow(BS004 integer sum is iteration-order independent)
+  for (const auto& [key, count] : counts) total += count;
+  return total;
+}
+
+void helper_thread() {
+  // bslint:allow(BS005 fixture exercises suppression of thread spawn)
+  std::thread worker([] {});
+  worker.join();
+}

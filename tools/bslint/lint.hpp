@@ -1,0 +1,92 @@
+// bslint — booterscope's project-specific static analysis pass.
+//
+// The reproduction's headline guarantees (byte-identical output at any
+// --threads value, conservation-preserving fault injection, decoders that
+// never throw) rest on invariants no general-purpose compiler warning
+// checks: all randomness must flow through util::Rng::split, decoder byte
+// access must go through util/byteio.hpp, serialized/merged output must
+// never depend on hash-map iteration order. bslint walks the tree and
+// enforces those invariants with file:line diagnostics so a future PR
+// cannot silently reintroduce rand(), a raw reinterpret_cast read, or an
+// unordered-iteration export.
+//
+// Rules (see DESIGN.md §11 for the full rationale):
+//   BS001  banned nondeterminism primitives (std::random_device, rand,
+//          srand, C time(), std::chrono::system_clock) outside util/time
+//          and obs/manifest
+//   BS002  raw byte access (memcpy, reinterpret_cast) in decoder dirs
+//          (src/flow, src/pcap) — must go through util/byteio.hpp
+//   BS003  `throw` in decoder/chain code (src/flow, src/pcap, src/exec)
+//          that is contracted to return Result<T, DecodeError>
+//   BS004  range-for over std::unordered_map/unordered_set in src/ —
+//          unordered iteration must not feed serialized or merged output
+//   BS005  naked std::thread/std::jthread outside util/thread_pool
+//
+// Suppressions: `// bslint:allow(BSxxx reason)` on the same or preceding
+// line; `// bslint:allow-file(BSxxx reason)` anywhere suppresses the rule
+// for the whole file. Comments and string literals are stripped before
+// matching, so prose never trips a rule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace booterscope::lint {
+
+enum class Severity { kError, kWarning };
+
+[[nodiscard]] std::string_view to_string(Severity severity) noexcept;
+
+/// One rule of the table. Adding a rule is one entry here plus a matcher
+/// branch in lint.cpp — the driver, report and suppression machinery are
+/// shared.
+struct RuleInfo {
+  std::string_view id;        // "BS001"
+  Severity severity;
+  std::string_view summary;   // one-line description for --list-rules
+  std::string_view suggestion;  // remediation printed by --fix-dry-run
+};
+
+/// The static rule table, ordered by id.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+struct Finding {
+  std::string rule;      // "BS001"
+  Severity severity = Severity::kError;
+  std::string path;      // root-relative, forward slashes
+  std::size_t line = 0;  // 1-based
+  std::string message;
+  std::string excerpt;     // the offending source line, trimmed
+  std::string suggestion;  // rule remediation hint
+};
+
+/// One file to lint. `path` must be root-relative with forward slashes —
+/// rule scoping (decoder dirs, util/time allowlist) matches on it.
+/// `companion_header` optionally carries the contents of the sibling
+/// header (foo.cpp -> foo.hpp) so BS004 can resolve member declarations
+/// made in the header but iterated in the implementation file.
+struct FileInput {
+  std::string path;
+  std::string content;
+  std::string companion_header;
+};
+
+/// Lints one in-memory file. Pure: no filesystem access, deterministic
+/// output ordered by line. This is the API the golden tests drive.
+[[nodiscard]] std::vector<Finding> lint_file(const FileInput& input);
+
+/// Walks `paths` (files or directories, relative to `root`) and lints
+/// every .hpp/.h/.cpp/.cc file, resolving companion headers from disk.
+/// File order is sorted, so output is byte-stable across platforms.
+[[nodiscard]] std::vector<Finding> lint_tree(
+    const std::string& root, const std::vector<std::string>& paths);
+
+/// Renders findings as `path:line: BSxxx [severity] message` lines plus a
+/// summary. With `fix_dry_run`, each finding also prints its remediation
+/// ("would fix: ...") — a report mode, not a rewriter.
+[[nodiscard]] std::string render_report(const std::vector<Finding>& findings,
+                                        bool fix_dry_run);
+
+}  // namespace booterscope::lint
