@@ -118,5 +118,9 @@ int main(int argc, char** argv) {
 
   bench::write_observability("ablate_outage", cfg, &world.tracer, world.pool.size(),
                              &tally, "outage-sweep", fault_seed);
+  bench::write_perf_ledger("ablate_outage", cfg, &world.tracer, &world.pool,
+                           world.run_wall_nanos, world.result_items(),
+                           "outage-sweep", fault_seed);
+  bench::write_timeline("ablate_outage", world.timeline.get());
   return 0;
 }

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "obs/exposition.hpp"
+#include "obs/json.hpp"
+#include "util/time.hpp"
 
 namespace booterscope::bench {
 
@@ -16,11 +18,15 @@ RunOptions parse_run_options(int argc, char** argv) {
     std::cerr << argv[0] << ": " << why << "\nusage: " << argv[0]
               << " [--threads N] [--days N] [--attacks-per-day X]"
                  " [--seed N] [--fault-profile none|light|heavy]"
-                 " [--fault-seed N]\n";
+                 " [--fault-seed N] [--timeline]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--timeline") {  // boolean flag, no value
+      options.timeline = true;
+      continue;
+    }
     if (i + 1 >= argc) usage("missing value for " + flag);
     const std::string value = argv[++i];
     try {
@@ -83,6 +89,29 @@ void print_comparisons(const std::vector<Comparison>& rows) {
   std::cout << "\nPaper vs. measured (shape comparison; absolute numbers are\n"
                "scaled, see DESIGN.md):\n";
   table.print(std::cout, 2);
+}
+
+sim::LandscapeResult LandscapeWorld::run_timed(LandscapeWorld& world,
+                                               const RunOptions& options) {
+  if (options.timeline) {
+    world.timeline =
+        std::make_unique<obs::TimelineRecorder>(world.pool.size() + 1);
+    world.tracer.set_timeline(world.timeline.get());
+    world.pool.attach_timeline(world.timeline.get());
+  }
+  const std::int64_t t0 = util::monotonic_nanos();
+  sim::LandscapeResult result = sim::run_landscape_parallel(
+      world.internet, apply_run_options(sim::paper_landscape_config(), options),
+      world.pool, &world.tracer);
+  world.run_wall_nanos =
+      static_cast<std::uint64_t>(util::monotonic_nanos() - t0);
+  if (world.timeline) {
+    // Snapshot the exec counters as a final counter-track sample; the pool
+    // has quiesced, so this is on the sequential surface.
+    world.timeline->sample_counters(obs::metrics(), "booterscope_exec",
+                                    util::monotonic_nanos());
+  }
+  return result;
 }
 
 void LandscapeWorld::apply_faults(const RunOptions& options) {
@@ -207,6 +236,71 @@ void write_observability(const std::string& experiment_id,
     std::fwrite(prometheus.data(), 1, prometheus.size(), file);
     std::fclose(file);
   }
+}
+
+void write_perf_ledger(const std::string& experiment_id,
+                       const sim::LandscapeConfig& config,
+                       const obs::StageTracer* tracer,
+                       const exec::ThreadPool* pool,
+                       std::uint64_t run_wall_nanos, std::uint64_t items,
+                       const std::string& fault_profile,
+                       std::uint64_t fault_seed) {
+#ifndef BOOTERSCOPE_NO_METRICS
+  obs::PerfLedger ledger("bench");
+  ledger.set_experiment(experiment_id);
+  ledger.set_seed(config.seed);
+  // The comparability key benchdiff matches on. `threads` is listed but
+  // excluded from identity by the differ (it changes wall time, not bytes).
+  ledger.add_config("threads",
+                    static_cast<std::uint64_t>(pool != nullptr ? pool->size()
+                                                               : 1));
+  ledger.add_config("start", config.start.date_string());
+  ledger.add_config("days", static_cast<std::uint64_t>(config.days));
+  ledger.add_config("attacks_per_day",
+                    obs::json_number(config.attacks_per_day));
+  ledger.add_config("fault_profile", fault_profile);
+  ledger.add_config("fault_seed", fault_seed);
+  ledger.set_wall_nanos(run_wall_nanos);
+  ledger.set_items(items);
+  if (tracer != nullptr) ledger.set_stages(*tracer);
+  if (pool != nullptr) {
+    std::vector<std::uint64_t> busy;
+    busy.reserve(pool->size());
+    for (std::size_t w = 0; w < pool->size(); ++w) {
+      busy.push_back(pool->worker_busy_nanos(w));
+    }
+    ledger.set_pool_stats(pool->tasks_executed(), pool->steals(),
+                          std::move(busy));
+  }
+  ledger.capture_peak_rss();
+  const std::string path = "BENCH_" + experiment_id + ".json";
+  if (!ledger.write(path)) {
+    std::cerr << "warning: could not write " << path << "\n";
+  }
+#else
+  (void)experiment_id;
+  (void)config;
+  (void)tracer;
+  (void)pool;
+  (void)run_wall_nanos;
+  (void)items;
+  (void)fault_profile;
+  (void)fault_seed;
+#endif
+}
+
+void write_timeline(const std::string& experiment_id,
+                    const obs::TimelineRecorder* timeline) {
+#ifndef BOOTERSCOPE_NO_METRICS
+  if (timeline == nullptr) return;
+  const std::string path = "OBS_" + experiment_id + ".trace.json";
+  if (!timeline->write(path)) {
+    std::cerr << "warning: could not write " << path << "\n";
+  }
+#else
+  (void)experiment_id;
+  (void)timeline;
+#endif
 }
 
 SelfAttackWorld::SelfAttackWorld() : internet_(sim::InternetConfig{}) {

@@ -13,8 +13,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "fault/fault.hpp"
 #include "obs/manifest.hpp"
+#include "obs/perf_ledger.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/booter.hpp"
 #include "sim/internet.hpp"
@@ -36,10 +40,14 @@ void print_header(const std::string& experiment_id, const std::string& title);
 ///   --seed N             override the master seed
 ///   --fault-profile P    inject faults: none | light | heavy (default none)
 ///   --fault-seed N       seed of the fault schedule (default 1)
+///   --timeline           record a begin/end execution timeline and write it
+///                        as OBS_<id>.trace.json (Chrome trace-event format,
+///                        open in Perfetto) next to the bench output
 /// Defaults reproduce the paper figures; any --threads value produces the
 /// same bytes (DESIGN.md §9), so the flags only trade wall-clock and scale.
 /// Faulted runs are equally deterministic: the fault schedule is a pure
-/// function of --fault-seed, never of thread timing.
+/// function of --fault-seed, never of thread timing. --timeline changes
+/// what is *recorded*, never what is computed.
 struct RunOptions {
   std::size_t threads = 1;
   int days = 0;                  // 0 = paper window (122 days)
@@ -47,6 +55,7 @@ struct RunOptions {
   std::uint64_t seed = 0;        // 0 = config default
   std::string fault_profile = "none";
   std::uint64_t fault_seed = 1;
+  bool timeline = false;
 };
 
 /// Parses the flags above; exits with a usage message on anything unknown.
@@ -111,11 +120,38 @@ void write_observability(const std::string& experiment_id,
                          const std::string& fault_profile = "none",
                          std::uint64_t fault_seed = 0);
 
+/// Writes BENCH_<id>.json — the perf ledger tools/benchdiff compares
+/// against the committed baselines in bench/baselines/. `items` is the
+/// run's deterministic output count (attacks + stored flows): exact-match
+/// comparable across machines whenever the config identity matches.
+/// No-op under BOOTERSCOPE_NO_METRICS (so a metrics-free build never
+/// emits half-empty ledgers that would trip the differ).
+void write_perf_ledger(const std::string& experiment_id,
+                       const sim::LandscapeConfig& config,
+                       const obs::StageTracer* tracer,
+                       const exec::ThreadPool* pool,
+                       std::uint64_t run_wall_nanos, std::uint64_t items,
+                       const std::string& fault_profile = "none",
+                       std::uint64_t fault_seed = 0);
+
+/// Writes OBS_<id>.trace.json (Chrome trace-event JSON; open in Perfetto
+/// or chrome://tracing). No-op for a null recorder or under
+/// BOOTERSCOPE_NO_METRICS.
+void write_timeline(const std::string& experiment_id,
+                    const obs::TimelineRecorder* timeline);
+
 /// The landscape world shared by the §4/§5 benches (one full 122-day run,
 /// sharded by day over the pool — byte-identical for every --threads N).
 struct LandscapeWorld {
   sim::Internet internet;
   obs::StageTracer tracer;
+  /// Engaged by --timeline: the begin/end recorder the tracer and pool
+  /// feed. Declared before pool/result so the run (which assigns it) never
+  /// races a later default initializer.
+  std::unique_ptr<obs::TimelineRecorder> timeline;
+  /// Wall nanos of the landscape run alone (not process lifetime) — the
+  /// headline number of the perf ledger.
+  std::uint64_t run_wall_nanos = 0;
   exec::ThreadPool pool;  // declared before result: result's ctor uses it
   sim::LandscapeResult result;
 
@@ -136,10 +172,7 @@ struct LandscapeWorld {
   explicit LandscapeWorld(const RunOptions& options = {})
       : internet(sim::InternetConfig{}),
         pool(options.threads),
-        result(sim::run_landscape_parallel(
-            internet,
-            apply_run_options(sim::paper_landscape_config(), options), pool,
-            &tracer)) {
+        result(run_timed(*this, options)) {
     apply_faults(options);
   }
 
@@ -154,11 +187,30 @@ struct LandscapeWorld {
     if (fault_plan) fault_plan->apply_coverage(daily, vantage);
   }
 
+  /// Deterministic output size of the run: attacks plus stored flows per
+  /// vantage. The exact-match throughput denominator in the perf ledger.
+  [[nodiscard]] std::uint64_t result_items() const noexcept {
+    return result.attacks.size() + result.ixp.store.size() +
+           result.tier1.store.size() + result.tier2.store.size();
+  }
+
   void write_observability(const std::string& experiment_id) const {
     bench::write_observability(experiment_id, result.config, &tracer,
                                pool.size(), &integrity, fault_profile_name,
                                fault_seed);
+    bench::write_perf_ledger(experiment_id, result.config, &tracer, &pool,
+                             run_wall_nanos, result_items(),
+                             fault_profile_name, fault_seed);
+    bench::write_timeline(experiment_id, timeline.get());
   }
+
+ private:
+  /// Init helper for `result`: optionally engages the timeline (recorder
+  /// sized pool+1, attached to tracer and pool before the first task) and
+  /// times the landscape run. Runs after pool's initializer, before
+  /// apply_faults.
+  static sim::LandscapeResult run_timed(LandscapeWorld& world,
+                                        const RunOptions& options);
 };
 
 }  // namespace booterscope::bench

@@ -1,13 +1,13 @@
 #include "exec/vantage_pipeline.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <utility>
 
 #include "flow/sampler.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 
 namespace booterscope::exec {
 
@@ -26,7 +26,7 @@ void sort_for_replay(flow::FlowList& flows) {
 
 void run_chain(const VantageChainSpec& spec, std::size_t index,
                VantageChainOutput& out) {
-  const auto t0 = std::chrono::steady_clock::now();
+  out.begin_nanos = util::monotonic_nanos();
   out.name = spec.name;
 
   if (spec.input == nullptr) {
@@ -84,10 +84,7 @@ void run_chain(const VantageChainSpec& spec, std::size_t index,
   out.sampled_out_packets = exporter.sampled_out_packets();
   out.stats = exporter.collector().stats();
   out.worker = ThreadPool::current_worker();
-  out.wall_nanos = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
+  out.end_nanos = util::monotonic_nanos();
 }
 
 }  // namespace
@@ -98,7 +95,7 @@ std::vector<VantageChainOutput> run_vantage_chains(
   obs::StageTimer timer(tracer, "vantage_chains");
   std::vector<VantageChainOutput> outputs(specs.size());
   pool.parallel_for(specs.size(), [&](std::size_t i) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::int64_t t0 = util::monotonic_nanos();
     try {
       run_chain(specs[i], i, outputs[i]);
     } catch (const std::exception& e) {
@@ -112,10 +109,8 @@ std::vector<VantageChainOutput> run_vantage_chains(
       out.quarantined = true;
       out.error = e.what();
       out.worker = ThreadPool::current_worker();
-      out.wall_nanos = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count());
+      out.begin_nanos = t0;
+      out.end_nanos = util::monotonic_nanos();
     }
   });
 
@@ -129,13 +124,22 @@ std::vector<VantageChainOutput> run_vantage_chains(
     timer.add_items_in(specs[i].input != nullptr ? specs[i].input->size() : 0);
     timer.add_items_out(outputs[i].exported.size());
     if (tracer != nullptr) {
-      tracer->add_completed((outputs[i].quarantined ? "quarantined:" : "chain:") +
-                                outputs[i].name,
-                            outputs[i].worker,
-                            outputs[i].wall_nanos, 1,
-                            specs[i].input != nullptr ? specs[i].input->size()
-                                                      : 0,
-                            outputs[i].exported.size(), 0);
+      const std::string label =
+          (outputs[i].quarantined ? "quarantined:" : "chain:") +
+          outputs[i].name;
+      tracer->add_completed(
+          label, outputs[i].worker,
+          static_cast<std::uint64_t>(outputs[i].end_nanos -
+                                     outputs[i].begin_nanos),
+          1, specs[i].input != nullptr ? specs[i].input->size() : 0,
+          outputs[i].exported.size(), 0);
+      obs::TimelineRecorder* timeline = tracer->timeline();
+      if (timeline != nullptr && outputs[i].worker >= 0) {
+        // Post-quiesce hand-off into the worker's own timeline lane.
+        timeline->add_completed_span(
+            static_cast<std::size_t>(outputs[i].worker) + 1, label, "chain",
+            outputs[i].begin_nanos, outputs[i].end_nanos);
+      }
     }
   }
   return outputs;

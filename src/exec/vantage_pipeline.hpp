@@ -52,7 +52,10 @@ struct VantageChainOutput {
   std::uint64_t sampled_out_packets = 0;
   flow::CollectorStats stats;
   int worker = -1;  // pool worker that ran the chain (attribution only)
-  std::uint64_t wall_nanos = 0;
+  /// Monotonic begin/end of the chain's execution (util::monotonic_nanos),
+  /// mirrored into the worker's timeline lane after the pool quiesces.
+  std::int64_t begin_nanos = 0;
+  std::int64_t end_nanos = 0;
   /// Flows withheld by the fault plan's outage windows (never offered).
   std::uint64_t outage_dropped_flows = 0;
   /// A chain that throws is quarantined: its output is empty, `error`

@@ -21,9 +21,16 @@ namespace {
     first = false;
     out += key;
     out += "=\"";
+    // Text exposition format: label values escape backslash, quote and
+    // newline (a raw newline would split the sample across lines and break
+    // every line-oriented scraper).
     for (const char c : value) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out.push_back(c);
+      }
     }
     out += "\"";
   };

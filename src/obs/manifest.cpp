@@ -12,8 +12,35 @@
 
 namespace booterscope::obs {
 
+std::string sanitize_git_describe(std::string_view raw) {
+  std::size_t begin = 0;
+  std::size_t end = raw.size();
+  while (begin < end && (raw[begin] == ' ' || raw[begin] == '\t' ||
+                         raw[begin] == '\n' || raw[begin] == '\r')) {
+    ++begin;
+  }
+  while (end > begin && (raw[end - 1] == ' ' || raw[end - 1] == '\t' ||
+                         raw[end - 1] == '\n' || raw[end - 1] == '\r')) {
+    --end;
+  }
+  const std::string_view trimmed = raw.substr(begin, end - begin);
+  if (trimmed.empty() || trimmed.size() > 128) return "unknown";
+  for (const char c : trimmed) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '+' || c == '-' || c == '/';
+    if (!ok) return "unknown";
+  }
+  return std::string(trimmed);
+}
+
 std::string_view build_git_describe() noexcept {
-  return BOOTERSCOPE_GIT_DESCRIBE;
+  // Sanitized once: the baked macro comes from an execute_process whose
+  // failure modes (no git, shallow clone, exported tarball) must all land
+  // on the same stable "unknown", not on whatever the command printed.
+  static const std::string sanitized =
+      sanitize_git_describe(BOOTERSCOPE_GIT_DESCRIBE);
+  return sanitized;
 }
 
 void RunManifest::add_config(std::string_view key, std::string_view value) {

@@ -23,6 +23,13 @@ namespace booterscope::obs {
 /// ("unknown" when built outside a git checkout).
 [[nodiscard]] std::string_view build_git_describe() noexcept;
 
+/// Normalizes a raw describe string into a stable identity token: trims
+/// whitespace, and degrades to exactly "unknown" when the input is empty,
+/// longer than 128 bytes, or contains anything outside [A-Za-z0-9._+-/].
+/// Guarantees every manifest/ledger carries either a real describe or the
+/// one canonical fallback — never a git error message or shell noise.
+[[nodiscard]] std::string sanitize_git_describe(std::string_view raw);
+
 class RunManifest {
  public:
   explicit RunManifest(std::string tool) : tool_(std::move(tool)) {}

@@ -1,0 +1,142 @@
+#include "obs/perf_ledger.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace booterscope::obs {
+
+std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // ru_maxrss is bytes on Darwin, kilobytes on Linux/BSD.
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+#else
+  return 0;
+#endif
+}
+
+void PerfLedger::add_config(std::string_view key, std::string_view value) {
+  config_.emplace_back(std::string(key), std::string(value));
+}
+
+void PerfLedger::add_config(std::string_view key, std::uint64_t value) {
+  config_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void PerfLedger::set_stages(const StageTracer& tracer) {
+  stages_.clear();
+  for (const StageTracer::FlatStage& flat : tracer.flatten()) {
+    const StageNode& node = *flat.node;
+    Stage stage;
+    stage.name = node.name;
+    stage.depth = flat.depth;
+    stage.worker = node.worker;
+    stage.total_nanos = node.wall_nanos;
+    std::uint64_t children = 0;
+    for (const auto& child : node.children) children += child->wall_nanos;
+    // Attributed children can over-count the parent (per-worker spans
+    // overlap in wall time); clamp so self never underflows.
+    stage.self_nanos =
+        children < node.wall_nanos ? node.wall_nanos - children : 0;
+    stage.calls = node.calls;
+    stage.items_in = node.items_in;
+    stage.items_out = node.items_out;
+    stage.bytes = node.bytes;
+    stages_.push_back(std::move(stage));
+  }
+}
+
+void PerfLedger::set_pool_stats(std::uint64_t tasks, std::uint64_t steals,
+                                std::vector<std::uint64_t> busy_nanos_per_worker) {
+  pool_tasks_ = tasks;
+  pool_steals_ = steals;
+  busy_nanos_ = std::move(busy_nanos_per_worker);
+}
+
+std::string PerfLedger::to_json() const {
+  const auto seconds = [](std::uint64_t nanos) {
+    return json_number(static_cast<double>(nanos) / 1e9);
+  };
+
+  std::string out = "{\"schema\":\"booterscope-bench-ledger/1\"";
+  out += ",\"bench\":" + json_string(bench_);
+  if (!experiment_.empty()) {
+    out += ",\"experiment\":" + json_string(experiment_);
+  }
+  out += ",\"git_describe\":" + json_string(build_git_describe());
+  out += ",\"seed\":" + json_number(seed_);
+  out += ",\"config\":{";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json_string(config_[i].first) + ":" + json_string(config_[i].second);
+  }
+  out += "},\"wall_seconds\":" + seconds(wall_nanos_);
+  out += ",\"items\":" + json_number(items_);
+  const double wall = static_cast<double>(wall_nanos_) / 1e9;
+  out += ",\"items_per_second\":" +
+         (wall > 0.0 ? json_number(static_cast<double>(items_) / wall)
+                     : std::string("0"));
+  out += ",\"stages\":[";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const Stage& stage = stages_[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":" + json_string(stage.name);
+    out += ",\"depth\":" + std::to_string(stage.depth);
+    if (stage.worker >= 0) out += ",\"worker\":" + std::to_string(stage.worker);
+    out += ",\"total_seconds\":" + seconds(stage.total_nanos);
+    out += ",\"self_seconds\":" + seconds(stage.self_nanos);
+    out += ",\"calls\":" + json_number(stage.calls);
+    out += ",\"items_in\":" + json_number(stage.items_in);
+    out += ",\"items_out\":" + json_number(stage.items_out);
+    out += ",\"bytes\":" + json_number(stage.bytes);
+    out.push_back('}');
+  }
+  out += "],\"pool\":{\"workers\":" + std::to_string(busy_nanos_.size());
+  out += ",\"tasks\":" + json_number(pool_tasks_);
+  out += ",\"steals\":" + json_number(pool_steals_);
+  std::uint64_t busy_total = 0;
+  out += ",\"busy_seconds\":[";
+  for (std::size_t i = 0; i < busy_nanos_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += seconds(busy_nanos_[i]);
+    busy_total += busy_nanos_[i];
+  }
+  out += "],\"busy_seconds_total\":" + seconds(busy_total);
+  // Fraction of the pool's wall x workers capacity actually spent in tasks.
+  const double capacity = wall * static_cast<double>(busy_nanos_.size());
+  out += ",\"utilization\":" +
+         (capacity > 0.0
+              ? json_number(static_cast<double>(busy_total) / 1e9 / capacity)
+              : std::string("0"));
+  out += "},\"peak_rss_bytes\":" + json_number(peak_rss_);
+  out += "}";
+  return out;
+}
+
+bool PerfLedger::write(const std::string& path) const {
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  const std::unique_ptr<std::FILE, FileCloser> file{
+      std::fopen(path.c_str(), "wb")};
+  if (!file) return false;
+  const std::string body = to_json();
+  return std::fwrite(body.data(), 1, body.size(), file.get()) == body.size();
+}
+
+}  // namespace booterscope::obs

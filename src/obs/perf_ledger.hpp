@@ -1,0 +1,96 @@
+// PerfLedger: the machine-readable performance record of one bench run.
+//
+// A RunManifest answers "what produced this result"; the perf ledger
+// answers "how fast, and where did the time go" in a shape that
+// tools/benchdiff can compare across commits: wall time, items/s
+// throughput, the per-stage self/total breakdown, pool busy/idle
+// utilization, peak RSS, and the identity key (bench, experiment, seed,
+// config, git describe) that decides which baseline a run is comparable
+// to. Every bench writes one `BENCH_<id>.json` next to its results.
+//
+// Schema "booterscope-bench-ledger/1"; additions must stay
+// backward-readable (benchdiff ignores unknown keys).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace booterscope::obs {
+
+class StageTracer;
+
+/// Best-effort peak resident set size of this process in bytes (getrusage
+/// ru_maxrss on POSIX), or 0 where the platform offers nothing.
+[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+
+class PerfLedger {
+ public:
+  /// `bench` is the emitting binary's name ("bench_fig4", ...).
+  explicit PerfLedger(std::string bench) : bench_(std::move(bench)) {}
+
+  void set_experiment(std::string id) { experiment_ = std::move(id); }
+  void set_seed(std::uint64_t seed) noexcept { seed_ = seed; }
+
+  /// Identity config, in insertion order. benchdiff treats these as the
+  /// comparability key: runs whose configs differ (threads excluded by the
+  /// differ, which knows its name) are structural drift, not regressions.
+  void add_config(std::string_view key, std::string_view value);
+  void add_config(std::string_view key, std::uint64_t value);
+
+  /// Headline numbers. `items` is a deterministic output count (flows,
+  /// attacks) — exact-match comparable across machines when the config
+  /// identity matches; `wall_nanos` is this machine's time.
+  void set_wall_nanos(std::uint64_t nanos) noexcept { wall_nanos_ = nanos; }
+  void set_items(std::uint64_t items) noexcept { items_ = items; }
+
+  /// Per-stage breakdown copied from a quiesced tracer. `total` is the
+  /// stage's accumulated wall, `self` is total minus its children's.
+  void set_stages(const StageTracer& tracer);
+
+  /// Pool utilization: per-worker busy nanos against the run's wall time.
+  /// Taken as plain numbers (not a ThreadPool&) so obs stays independent
+  /// of exec and tests can feed synthetic shapes.
+  void set_pool_stats(std::uint64_t tasks, std::uint64_t steals,
+                      std::vector<std::uint64_t> busy_nanos_per_worker);
+
+  /// Peak RSS; call capture_peak_rss() at end of run, or set a synthetic
+  /// value in tests.
+  void set_peak_rss_bytes(std::uint64_t bytes) noexcept { peak_rss_ = bytes; }
+  void capture_peak_rss() noexcept { peak_rss_ = peak_rss_bytes(); }
+
+  /// Full JSON document (schema booterscope-bench-ledger/1).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  struct Stage {
+    std::string name;
+    int depth = 0;
+    int worker = -1;
+    std::uint64_t total_nanos = 0;
+    std::uint64_t self_nanos = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t items_in = 0;
+    std::uint64_t items_out = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  std::string bench_;
+  std::string experiment_;
+  std::uint64_t seed_ = 0;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::uint64_t wall_nanos_ = 0;
+  std::uint64_t items_ = 0;
+  std::vector<Stage> stages_;
+  std::uint64_t pool_tasks_ = 0;
+  std::uint64_t pool_steals_ = 0;
+  std::vector<std::uint64_t> busy_nanos_;
+  std::uint64_t peak_rss_ = 0;
+};
+
+}  // namespace booterscope::obs

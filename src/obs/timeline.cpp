@@ -1,0 +1,259 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace booterscope::obs {
+
+namespace {
+
+/// Lane of the calling thread. 0 (the driver lane) for any thread the pool
+/// has not tagged.
+thread_local int tls_timeline_lane = 0;
+
+#ifndef BOOTERSCOPE_NO_METRICS
+
+/// "name{key=value,...}" — the flat series id used for counter tracks.
+[[nodiscard]] std::string series_track_name(const std::string& name,
+                                            const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += labels[i].key + "=" + labels[i].value;
+  }
+  out.push_back('}');
+  return out;
+}
+
+#endif  // BOOTERSCOPE_NO_METRICS
+
+}  // namespace
+
+void set_timeline_lane(int lane) noexcept { tls_timeline_lane = lane; }
+
+int timeline_lane() noexcept { return tls_timeline_lane; }
+
+TimelineRecorder::TimelineRecorder(std::size_t lanes) {
+  if (lanes == 0) lanes = 1;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+void TimelineRecorder::append(std::size_t lane, TimelineEvent event) {
+  if (lane >= lanes_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  lanes_[lane]->events.push_back(std::move(event));
+}
+
+void TimelineRecorder::record_span(std::string_view name,
+                                   std::string_view category,
+                                   std::int64_t begin_nanos,
+                                   std::int64_t end_nanos) {
+#ifndef BOOTERSCOPE_NO_METRICS
+  TimelineEvent event;
+  event.kind = TimelineEvent::Kind::kSpan;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.begin_nanos = begin_nanos;
+  event.end_nanos = end_nanos;
+  append(static_cast<std::size_t>(tls_timeline_lane < 0 ? 0
+                                                        : tls_timeline_lane),
+         std::move(event));
+#else
+  (void)name;
+  (void)category;
+  (void)begin_nanos;
+  (void)end_nanos;
+#endif
+}
+
+void TimelineRecorder::record_instant(std::string_view name,
+                                      std::int64_t at_nanos) {
+#ifndef BOOTERSCOPE_NO_METRICS
+  TimelineEvent event;
+  event.kind = TimelineEvent::Kind::kInstant;
+  event.name = std::string(name);
+  event.category = "instant";
+  event.begin_nanos = at_nanos;
+  event.end_nanos = at_nanos;
+  append(static_cast<std::size_t>(tls_timeline_lane < 0 ? 0
+                                                        : tls_timeline_lane),
+         std::move(event));
+#else
+  (void)name;
+  (void)at_nanos;
+#endif
+}
+
+void TimelineRecorder::add_completed_span(std::size_t lane,
+                                          std::string_view name,
+                                          std::string_view category,
+                                          std::int64_t begin_nanos,
+                                          std::int64_t end_nanos) {
+#ifndef BOOTERSCOPE_NO_METRICS
+  const util::ConcurrencyGuard::Scope scope(
+      guard_, "TimelineRecorder::add_completed_span");
+  TimelineEvent event;
+  event.kind = TimelineEvent::Kind::kSpan;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.begin_nanos = begin_nanos;
+  event.end_nanos = end_nanos;
+  append(lane, std::move(event));
+#else
+  (void)lane;
+  (void)name;
+  (void)category;
+  (void)begin_nanos;
+  (void)end_nanos;
+#endif
+}
+
+void TimelineRecorder::sample_counters(const MetricsRegistry& registry,
+                                       std::string_view prefix,
+                                       std::int64_t at_nanos) {
+#ifndef BOOTERSCOPE_NO_METRICS
+  const util::ConcurrencyGuard::Scope scope(
+      guard_, "TimelineRecorder::sample_counters");
+  auto sample = [&](const std::string& name, const Labels& labels,
+                    double value) {
+    TimelineEvent event;
+    event.kind = TimelineEvent::Kind::kCounter;
+    event.name = series_track_name(name, labels);
+    event.category = "counter";
+    event.begin_nanos = at_nanos;
+    event.end_nanos = at_nanos;
+    event.value = value;
+    append(0, std::move(event));
+  };
+  for (const auto& series : registry.counters()) {
+    if (series.name.rfind(prefix, 0) != 0) continue;
+    sample(series.name, series.labels,
+           static_cast<double>(series.metric->value()));
+  }
+  for (const auto& series : registry.gauges()) {
+    if (series.name.rfind(prefix, 0) != 0) continue;
+    sample(series.name, series.labels, series.metric->value());
+  }
+#else
+  (void)registry;
+  (void)prefix;
+  (void)at_nanos;
+#endif
+}
+
+void TimelineRecorder::set_epoch_nanos(std::int64_t epoch) noexcept {
+  epoch_nanos_ = epoch;
+  epoch_set_ = true;
+}
+
+std::uint64_t TimelineRecorder::dropped() const noexcept {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::size_t TimelineRecorder::event_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane->events.size();
+  return total;
+}
+
+std::string TimelineRecorder::to_chrome_json() const {
+  const util::ConcurrencyGuard::Scope scope(guard_,
+                                            "TimelineRecorder::to_chrome_json");
+  // Merge the lanes into one deterministic order: (begin, lane, per-lane
+  // sequence). The per-lane sequence is the append order, so the merge is a
+  // pure function of the handed-off events.
+  struct Ref {
+    const TimelineEvent* event;
+    std::size_t lane;
+    std::size_t seq;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(event_count());
+  std::int64_t min_ts = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    const auto& events = lanes_[lane]->events;
+    for (std::size_t seq = 0; seq < events.size(); ++seq) {
+      refs.push_back(Ref{&events[seq], lane, seq});
+      min_ts = std::min(min_ts, events[seq].begin_nanos);
+    }
+  }
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.event->begin_nanos != b.event->begin_nanos) {
+      return a.event->begin_nanos < b.event->begin_nanos;
+    }
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.seq < b.seq;
+  });
+  const std::int64_t epoch =
+      epoch_set_ ? epoch_nanos_ : (refs.empty() ? 0 : min_ts);
+  const auto micros = [&](std::int64_t nanos) {
+    return json_number(static_cast<double>(nanos - epoch) / 1e3);
+  };
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Metadata: name the process and one track per lane so Perfetto shows
+  // "driver" / "worker N" instead of bare tids.
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"booterscope\"}}";
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    const std::string label =
+        lane == 0 ? "driver" : "worker " + std::to_string(lane - 1);
+    out += ",{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(lane) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+           json_string(label) + "}}";
+    out += ",{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(lane) +
+           ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+           std::to_string(lane) + "}}";
+  }
+  for (const Ref& ref : refs) {
+    const TimelineEvent& event = *ref.event;
+    out += ",{\"name\":" + json_string(event.name);
+    out += ",\"cat\":" + json_string(event.category);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(ref.lane);
+    out += ",\"ts\":" + micros(event.begin_nanos);
+    switch (event.kind) {
+      case TimelineEvent::Kind::kSpan:
+        out += ",\"ph\":\"X\",\"dur\":" +
+               json_number(static_cast<double>(event.end_nanos -
+                                               event.begin_nanos) /
+                           1e3);
+        break;
+      case TimelineEvent::Kind::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case TimelineEvent::Kind::kCounter:
+        out += ",\"ph\":\"C\",\"args\":{\"value\":" + json_number(event.value) +
+               "}";
+        break;
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+bool TimelineRecorder::write(const std::string& path) const {
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  const std::unique_ptr<std::FILE, FileCloser> file{
+      std::fopen(path.c_str(), "wb")};
+  if (!file) return false;
+  const std::string body = to_chrome_json();
+  return std::fwrite(body.data(), 1, body.size(), file.get()) == body.size();
+}
+
+}  // namespace booterscope::obs

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/timeline.hpp"
+#include "util/time.hpp"
+
 namespace booterscope::obs {
 
 namespace {
@@ -110,16 +113,17 @@ StageTimer::StageTimer(StageTracer* tracer, std::string_view name)
     : tracer_(tracer) {
   if (tracer_ == nullptr) return;
   node_ = tracer_->enter(name);
-  start_ = std::chrono::steady_clock::now();
+  start_nanos_ = util::monotonic_nanos();
 }
 
 StageTimer::~StageTimer() {
   if (tracer_ == nullptr || node_ == nullptr) return;
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
-  tracer_->leave(node_, static_cast<std::uint64_t>(
-                            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                elapsed)
-                                .count()));
+  const std::int64_t end_nanos = util::monotonic_nanos();
+  tracer_->leave(node_, static_cast<std::uint64_t>(end_nanos - start_nanos_));
+  if (tracer_->timeline_ != nullptr) {
+    tracer_->timeline_->record_span(node_->name, "stage", start_nanos_,
+                                    end_nanos);
+  }
 }
 
 }  // namespace booterscope::obs

@@ -10,7 +10,6 @@
 // not thread-safe; cross-thread event counting belongs to MetricsRegistry.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -20,6 +19,8 @@
 #include "util/annotations.hpp"
 
 namespace booterscope::obs {
+
+class TimelineRecorder;
 
 /// Aggregated numbers for one stage in the tree. Re-entering a stage with
 /// the same name under the same parent accumulates into one node.
@@ -71,6 +72,18 @@ class StageTracer {
                      std::uint64_t items_in, std::uint64_t items_out,
                      std::uint64_t bytes);
 
+  /// Optional begin/end timeline riding along with the aggregate tree:
+  /// when set, every StageTimer span is also recorded (with real begin/end
+  /// timestamps) into the recorder, and parallel drivers mirror their
+  /// handed-back per-worker spans there. The tracer does not own the
+  /// recorder; both share the single-owner (sequential) contract.
+  void set_timeline(TimelineRecorder* timeline) noexcept {
+    timeline_ = timeline;
+  }
+  [[nodiscard]] TimelineRecorder* timeline() const noexcept {
+    return timeline_;
+  }
+
  private:
   friend class StageTimer;
 
@@ -79,6 +92,7 @@ class StageTracer {
 
   std::unique_ptr<StageNode> root_;
   StageNode* current_ = nullptr;
+  TimelineRecorder* timeline_ = nullptr;
   // Enforces the single-owner contract above: concurrent enter()s or
   // add_completed()s corrupt the tree silently; the tripwire aborts instead.
   util::ConcurrencyGuard guard_;
@@ -110,7 +124,7 @@ class StageTimer {
  private:
   StageTracer* tracer_;
   StageNode* node_ = nullptr;
-  std::chrono::steady_clock::time_point start_;
+  std::int64_t start_nanos_ = 0;  // util::monotonic_nanos at entry
 };
 
 }  // namespace booterscope::obs

@@ -1,13 +1,14 @@
 #include "sim/landscape_parallel.hpp"
 
-#include <chrono>
 #include <cstdint>
 #include <iterator>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/landscape_detail.hpp"
+#include "util/time.hpp"
 
 namespace booterscope::sim {
 
@@ -21,8 +22,9 @@ struct ShardOutput {
   flow::FlowList tier2;
   std::vector<AttackRecord> attacks;
   std::vector<HoneypotObservation> honeypot_log;
-  int worker = -1;              // attribution only
-  std::uint64_t wall_nanos = 0;
+  int worker = -1;               // attribution only
+  std::int64_t begin_nanos = 0;  // monotonic begin/end, for the timeline
+  std::int64_t end_nanos = 0;
 };
 
 void append(flow::FlowList& out, flow::FlowList&& in) {
@@ -71,8 +73,8 @@ LandscapeResult run_landscape_parallel(const Internet& internet,
     obs::StageTimer timer(tracer, "day_shards");
     timer.add_items_in(days);
     pool.parallel_for(days, [&](std::size_t d) {
-      const auto t0 = std::chrono::steady_clock::now();
       ShardOutput& out = shards[d];
+      out.begin_nanos = util::monotonic_nanos();
       const util::Timestamp day =
           config.start + util::Duration::days(static_cast<std::int64_t>(d));
       const util::Timestamp next = day + util::Duration::days(1);
@@ -112,10 +114,7 @@ LandscapeResult run_landscape_parallel(const Internet& internet,
       out.tier1 = std::move(ctx.tier1_flows);
       out.tier2 = std::move(ctx.tier2_flows);
       out.worker = exec::ThreadPool::current_worker();
-      out.wall_nanos = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count());
+      out.end_nanos = util::monotonic_nanos();
     });
     // The pool is quiet again: merge per-worker attribution into the
     // (single-threaded) stage tree.
@@ -124,10 +123,19 @@ LandscapeResult run_landscape_parallel(const Internet& internet,
                           shard.tier2.size());
     }
     if (tracer != nullptr) {
+      obs::TimelineRecorder* timeline = tracer->timeline();
       for (const ShardOutput& shard : shards) {
         tracer->add_completed(
-            "day_shard", shard.worker, shard.wall_nanos, 1, 1,
-            shard.ixp.size() + shard.tier1.size() + shard.tier2.size(), 0);
+            "day_shard", shard.worker,
+            static_cast<std::uint64_t>(shard.end_nanos - shard.begin_nanos), 1,
+            1, shard.ixp.size() + shard.tier1.size() + shard.tier2.size(), 0);
+        if (timeline != nullptr && shard.worker >= 0) {
+          // Mirror the shard into the executing worker's timeline lane —
+          // the sequential post-quiesce hand-off (see TimelineRecorder).
+          timeline->add_completed_span(
+              static_cast<std::size_t>(shard.worker) + 1, "day_shard", "shard",
+              shard.begin_nanos, shard.end_nanos);
+        }
       }
     }
   }

@@ -4,6 +4,9 @@
 #include <memory>
 #include <string>
 
+#include "obs/timeline.hpp"
+#include "util/time.hpp"
+
 namespace booterscope::exec {
 
 namespace {
@@ -22,15 +25,20 @@ ThreadPool::ThreadPool(std::size_t threads) {
   registry.gauge("booterscope_exec_pool_workers")
       .set(static_cast<double>(count));
   queues_.reserve(count);
+  stats_.reserve(count);
   task_metrics_.reserve(count);
   steal_metrics_.reserve(count);
+  busy_metrics_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
+    stats_.push_back(std::make_unique<WorkerStats>());
     const obs::Labels labels{{"worker", std::to_string(i)}};
     task_metrics_.push_back(
         &registry.counter("booterscope_exec_tasks_total", labels));
     steal_metrics_.push_back(
         &registry.counter("booterscope_exec_steals_total", labels));
+    busy_metrics_.push_back(
+        &registry.gauge("booterscope_exec_worker_busy_seconds", labels));
   }
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -63,7 +71,9 @@ void ThreadPool::submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
-bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
+bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task,
+                         bool& stole) {
+  stole = false;
   // Own queue first, front (LIFO locality for the owner would be pop_back
   // of locally pushed tasks; FIFO here keeps shard order roughly temporal,
   // which keeps the classifier caches warm for adjacent days).
@@ -85,6 +95,7 @@ bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
       victim.tasks.pop_back();
       stolen_.fetch_add(1, std::memory_order_relaxed);
       steal_metrics_[index]->inc();
+      stole = true;
       return true;
     }
   }
@@ -93,11 +104,28 @@ bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
 
 void ThreadPool::worker_loop(std::size_t index) {
   tls_worker_index = static_cast<int>(index);
+  // Timeline lane of this worker: w+1 (lane 0 is the driver thread).
+  obs::set_timeline_lane(static_cast<int>(index) + 1);
   std::function<void()> task;
+  bool stole = false;
   for (;;) {
-    if (try_pop(index, task)) {
+    if (try_pop(index, task, stole)) {
+      // Attribution around the task is lock-free: two monotonic reads, a
+      // relaxed add on the worker's own cache line, and (only when a
+      // recorder is attached) an append into this worker's own lane.
+      obs::TimelineRecorder* timeline =
+          timeline_.load(std::memory_order_acquire);
+      const std::int64_t t0 = util::monotonic_nanos();
+      if (stole && timeline != nullptr) timeline->record_instant("steal", t0);
       task();
+      const std::int64_t t1 = util::monotonic_nanos();
       task = nullptr;
+      const std::uint64_t busy =
+          stats_[index]->busy_nanos.fetch_add(
+              static_cast<std::uint64_t>(t1 - t0), std::memory_order_relaxed) +
+          static_cast<std::uint64_t>(t1 - t0);
+      busy_metrics_[index]->set(static_cast<double>(busy) / 1e9);
+      if (timeline != nullptr) timeline->record_span("task", "task", t0, t1);
       executed_.fetch_add(1, std::memory_order_relaxed);
       task_metrics_[index]->inc();
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -114,6 +142,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     work_cv_.wait_for(sleep_mutex_, std::chrono::milliseconds(50));
     if (stop_.load(std::memory_order_acquire)) break;
   }
+  obs::set_timeline_lane(0);
   tls_worker_index = -1;
 }
 

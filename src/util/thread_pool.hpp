@@ -10,9 +10,14 @@
 // bytes; DESIGN.md §9 spells out the model.
 //
 // Observability: each worker registers labelled series in the global
-// registry — booterscope_exec_tasks_total{worker=...} and
-// booterscope_exec_steals_total{worker=...} — so a run manifest shows how
-// work actually spread across the pool.
+// registry — booterscope_exec_tasks_total{worker=...},
+// booterscope_exec_steals_total{worker=...} and the utilization gauge
+// booterscope_exec_worker_busy_seconds{worker=...} — so a run manifest
+// shows how work actually spread across the pool. When a TimelineRecorder
+// is attached, every executed task additionally records a begin/end span
+// (and every steal an instant) into the worker's own timeline lane; the
+// lane buffers are single-writer, so the hot path stays lock-free whether
+// or not anyone is watching.
 #pragma once
 
 #include <atomic>
@@ -24,6 +29,10 @@
 
 #include "obs/metrics.hpp"
 #include "util/annotations.hpp"
+
+namespace booterscope::obs {
+class TimelineRecorder;
+}  // namespace booterscope::obs
 
 namespace booterscope::exec {
 
@@ -67,19 +76,44 @@ class ThreadPool {
     return stolen_.load(std::memory_order_relaxed);
   }
 
+  /// Nanoseconds worker `index` spent executing tasks since construction.
+  /// Plain atomics like tasks/steals, so utilization stays observable under
+  /// BOOTERSCOPE_NO_METRICS; divide by a run's wall time for utilization.
+  [[nodiscard]] std::uint64_t worker_busy_nanos(std::size_t index) const noexcept {
+    return stats_[index]->busy_nanos.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches a begin/end timeline: tasks and steals start recording into
+  /// per-worker lanes (lane w+1 for worker w; size the recorder as
+  /// size() + 1). Attach while the pool is idle and keep the recorder alive
+  /// until after the last wait_idle(); detach with nullptr.
+  void attach_timeline(obs::TimelineRecorder* timeline) noexcept {
+    timeline_.store(timeline, std::memory_order_release);
+  }
+
  private:
   struct WorkerQueue {
     util::Mutex mutex;
     std::deque<std::function<void()>> tasks BS_GUARDED_BY(mutex);
   };
 
+  /// Per-worker accounting on its own cache line: only the owning worker
+  /// writes, readers (ledgers, gauges) sum with relaxed loads.
+  struct alignas(64) WorkerStats {
+    std::atomic<std::uint64_t> busy_nanos{0};
+  };
+
   void worker_loop(std::size_t index);
-  [[nodiscard]] bool try_pop(std::size_t index, std::function<void()>& task);
+  [[nodiscard]] bool try_pop(std::size_t index, std::function<void()>& task,
+                             bool& stole);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::unique_ptr<WorkerStats>> stats_;  // per worker
   std::vector<std::thread> workers_;
   std::vector<obs::Counter*> task_metrics_;   // per worker
   std::vector<obs::Counter*> steal_metrics_;  // per worker
+  std::vector<obs::Gauge*> busy_metrics_;     // per worker, busy seconds
+  std::atomic<obs::TimelineRecorder*> timeline_{nullptr};
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::uint64_t> executed_{0};

@@ -6,6 +6,7 @@
 // that simulated time is decoupled from wall time and trivially serializable.
 #pragma once
 
+#include <chrono>
 #include <compare>
 #include <cstdint>
 #include <optional>
@@ -13,6 +14,18 @@
 #include <string_view>
 
 namespace booterscope::util {
+
+/// Monotonic profiling clock: nanoseconds on std::chrono::steady_clock's
+/// arbitrary epoch. This is the ONLY sanctioned wall-ish clock read in the
+/// tree (bslint BS001 bans the nondeterministic clocks outside util/time):
+/// profiling spans, pool busy accounting and timeline events all route
+/// through here, and none of it may ever feed simulated time or results —
+/// simulation time is util::Timestamp, which never reads a clock.
+[[nodiscard]] inline std::int64_t monotonic_nanos() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Signed span of time with nanosecond resolution.
 class Duration {

@@ -1,0 +1,125 @@
+// Prometheus text-exposition conformance: parse the rendered document line
+// by line and check the invariants a real scraper relies on — one sample
+// per line, # TYPE headers once per family, cumulative histogram buckets
+// ending in +Inf == _count, and label values escaped so quotes/newlines
+// can never split a sample. Under BOOTERSCOPE_NO_METRICS the instruments
+// are inert, so the structural checks run against zero-valued series.
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace booterscope::obs {
+namespace {
+
+[[nodiscard]] std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Splits "name{labels} value" into (series, value). Samples only — callers
+/// filter out "# TYPE" comment lines first.
+[[nodiscard]] std::pair<std::string, double> parse_sample(
+    const std::string& line) {
+  const std::size_t space = line.rfind(' ');
+  EXPECT_NE(space, std::string::npos) << line;
+  return {line.substr(0, space), std::stod(line.substr(space + 1))};
+}
+
+TEST(Exposition, EverySampleLineParsesAndTypeHeadersAppearOncePerFamily) {
+  MetricsRegistry registry;
+  registry.counter("booterscope_test_total", {{"kind", "a"}}).add(3);
+  registry.counter("booterscope_test_total", {{"kind", "b"}}).add(4);
+  registry.gauge("booterscope_test_level").set(1.5);
+
+  std::map<std::string, int> type_headers;
+  std::map<std::string, double> samples;
+  for (const std::string& line : lines_of(to_prometheus(registry))) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition output";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++type_headers[line];
+      continue;
+    }
+    ASSERT_NE(line.front(), '#') << "unexpected comment: " << line;
+    const auto [series, value] = parse_sample(line);
+    samples[series] = value;
+  }
+  EXPECT_EQ(type_headers["# TYPE booterscope_test_total counter"], 1);
+  EXPECT_EQ(type_headers["# TYPE booterscope_test_level gauge"], 1);
+#ifndef BOOTERSCOPE_NO_METRICS
+  EXPECT_EQ(samples.at("booterscope_test_total{kind=\"a\"}"), 3.0);
+  EXPECT_EQ(samples.at("booterscope_test_total{kind=\"b\"}"), 4.0);
+  EXPECT_EQ(samples.at("booterscope_test_level"), 1.5);
+#endif
+}
+
+TEST(Exposition, HistogramBucketsAreCumulativeAndEndAtInf) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("booterscope_test_seconds", {1.0, 10.0});
+  histogram.observe(0.5);
+  histogram.observe(0.5);
+  histogram.observe(5.0);
+  histogram.observe(100.0);  // overflow bucket
+
+  std::vector<double> bucket_counts;
+  double sum = -1.0;
+  double count = -1.0;
+  for (const std::string& line : lines_of(to_prometheus(registry))) {
+    if (line.front() == '#') continue;
+    const auto [series, value] = parse_sample(line);
+    if (series.find("_bucket{") != std::string::npos) {
+      bucket_counts.push_back(value);
+    } else if (series.find("_sum") != std::string::npos) {
+      sum = value;
+    } else if (series.find("_count") != std::string::npos) {
+      count = value;
+    }
+  }
+  ASSERT_EQ(bucket_counts.size(), 3u);  // le=1, le=10, le=+Inf
+#ifndef BOOTERSCOPE_NO_METRICS
+  EXPECT_EQ(bucket_counts[0], 2.0);
+  EXPECT_EQ(bucket_counts[1], 3.0);
+  EXPECT_EQ(bucket_counts[2], 4.0);
+  EXPECT_DOUBLE_EQ(sum, 106.0);
+  EXPECT_EQ(count, 4.0);
+#endif
+  // Conformance invariants that hold in every build flavor: buckets are
+  // monotonically non-decreasing and +Inf equals _count.
+  for (std::size_t i = 1; i < bucket_counts.size(); ++i) {
+    EXPECT_GE(bucket_counts[i], bucket_counts[i - 1]);
+  }
+  EXPECT_EQ(bucket_counts.back(), count);
+  EXPECT_GE(sum, 0.0) << "_sum sample missing or negative";
+  // The +Inf bucket renders with the literal token, not a JSON number.
+  EXPECT_NE(to_prometheus(registry).find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(Exposition, LabelValuesEscapeQuotesBackslashesAndNewlines) {
+  MetricsRegistry registry;
+  registry.counter("booterscope_test_total",
+                   {{"path", "a\\b"}, {"note", "say \"hi\"\nbye"}});
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos) << text;
+  EXPECT_NE(text.find("note=\"say \\\"hi\\\"\\nbye\""), std::string::npos)
+      << text;
+  // The raw newline must not survive: every line still parses as a sample.
+  for (const std::string& line : lines_of(text)) {
+    if (line.front() == '#') continue;
+    const auto [series, value] = parse_sample(line);
+    EXPECT_FALSE(series.empty()) << line;
+  }
+}
+
+}  // namespace
+}  // namespace booterscope::obs

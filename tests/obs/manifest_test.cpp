@@ -1,0 +1,61 @@
+// Unit tests for RunManifest build identity: the git-describe capture must
+// degrade deterministically to the single canonical token "unknown" when
+// the tree is not a git checkout (or the configure-time capture failed),
+// never to an error message or shell noise that would fork manifest
+// identities between build environments.
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace booterscope::obs {
+namespace {
+
+TEST(GitDescribe, SanitizePassesThroughRealDescribeOutput) {
+  EXPECT_EQ(sanitize_git_describe("v1.2.3"), "v1.2.3");
+  EXPECT_EQ(sanitize_git_describe("v0.9-14-gdeadbee"), "v0.9-14-gdeadbee");
+  EXPECT_EQ(sanitize_git_describe("b55895d-dirty"), "b55895d-dirty");
+  EXPECT_EQ(sanitize_git_describe("release/2024.06+hotfix_1"),
+            "release/2024.06+hotfix_1");
+}
+
+TEST(GitDescribe, SanitizeTrimsTrailingNewline) {
+  // execute_process strips it, but a caller piping `git describe` output
+  // straight in must get the same identity.
+  EXPECT_EQ(sanitize_git_describe("abc1234\n"), "abc1234");
+  EXPECT_EQ(sanitize_git_describe("  abc1234 \r\n"), "abc1234");
+}
+
+TEST(GitDescribe, SanitizeDegradesToUnknownOutsideAGitCheckout) {
+  EXPECT_EQ(sanitize_git_describe(""), "unknown");
+  EXPECT_EQ(sanitize_git_describe("   \n"), "unknown");
+  // What a failed invocation actually prints if the exit code went
+  // unchecked — must never become a build identity.
+  EXPECT_EQ(
+      sanitize_git_describe(
+          "fatal: not a git repository (or any of the parent directories)"),
+      "unknown");
+  EXPECT_EQ(sanitize_git_describe("git: command not found"), "unknown");
+  EXPECT_EQ(sanitize_git_describe("v1;rm -rf /"), "unknown");
+  EXPECT_EQ(sanitize_git_describe(std::string(200, 'a')), "unknown");
+}
+
+TEST(GitDescribe, BuildIdentityIsSanitizedAndStable) {
+  const std::string_view first = build_git_describe();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(sanitize_git_describe(first), first)
+      << "baked describe string is not in canonical form";
+  EXPECT_EQ(build_git_describe(), first);  // stable across calls
+}
+
+TEST(GitDescribe, ManifestEmbedsTheSanitizedIdentity) {
+  RunManifest manifest("test");
+  const std::string json = manifest.to_json(nullptr, nullptr);
+  const std::string expected =
+      "\"git_describe\":\"" + std::string(build_git_describe()) + "\"";
+  EXPECT_NE(json.find(expected), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace booterscope::obs

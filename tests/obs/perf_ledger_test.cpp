@@ -1,0 +1,112 @@
+// Unit tests for PerfLedger: the BENCH_<id>.json schema contract that
+// tools/benchdiff parses on the other side — headline numbers, per-stage
+// self/total breakdown, pool utilization and peak RSS.
+#include "obs/perf_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace booterscope::obs {
+namespace {
+
+TEST(PerfLedger, EmitsTheLedgerSchemaWithIdentityAndHeadlines) {
+  PerfLedger ledger("bench_unit");
+  ledger.set_experiment("unit");
+  ledger.set_seed(42);
+  ledger.add_config("days", std::uint64_t{12});
+  ledger.add_config("fault_profile", "none");
+  ledger.set_wall_nanos(2'000'000'000);  // 2 s
+  ledger.set_items(1024);
+
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"schema\":\"booterscope-bench-ledger/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"bench_unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"experiment\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"config\":{\"days\":\"12\",\"fault_profile\":"
+                      "\"none\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"wall_seconds\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"items\":1024"), std::string::npos);
+  // 1024 items / 2 s; 512 is exactly representable and renders as plain
+  // digits under json_number's shortest-round-trip rule.
+  EXPECT_NE(json.find("\"items_per_second\":512"), std::string::npos);
+  EXPECT_NE(json.find("\"git_describe\":"), std::string::npos);
+}
+
+TEST(PerfLedger, StageBreakdownComputesSelfFromChildren) {
+  StageTracer tracer;
+  {
+    StageTimer outer(tracer, "outer");
+    { StageTimer inner(tracer, "inner"); }
+  }
+  // Overwrite the measured walls with known values through add_completed
+  // into a fresh tracer: outer 100ms total with a 30ms child leaves 70ms
+  // self; leaf self == total.
+  StageTracer fixed;
+  fixed.add_completed("outer", -1, 100'000'000, 1, 0, 0, 0);
+  {
+    // Descend into outer so the child lands underneath it.
+    StageTimer outer(fixed, "outer");
+    fixed.add_completed("inner", -1, 30'000'000, 1, 0, 0, 0);
+  }
+
+  PerfLedger ledger("bench_unit");
+  ledger.set_stages(fixed);
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\",\"depth\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"self_seconds\":0.03"), std::string::npos) << json;
+}
+
+TEST(PerfLedger, PoolStatsRenderUtilizationAgainstWall) {
+  PerfLedger ledger("bench_unit");
+  ledger.set_wall_nanos(1'000'000'000);  // 1 s wall
+  // Two workers, together busy 1.5s of the 2s capacity => 0.75.
+  ledger.set_pool_stats(64, 3, {1'000'000'000, 500'000'000});
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"pool\":{\"workers\":2,\"tasks\":64,\"steals\":3"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"busy_seconds\":[1,0.5]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"busy_seconds_total\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\":0.75"), std::string::npos);
+}
+
+TEST(PerfLedger, PeakRssIsCapturedOnPosix) {
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(peak_rss_bytes(), 0u);
+  PerfLedger ledger("bench_unit");
+  ledger.capture_peak_rss();
+  const std::string json = ledger.to_json();
+  EXPECT_EQ(json.find("\"peak_rss_bytes\":0}"), std::string::npos) << json;
+#else
+  GTEST_SKIP() << "no getrusage on this platform";
+#endif
+}
+
+TEST(PerfLedger, WriteRoundTripsToDisk) {
+  PerfLedger ledger("bench_unit");
+  ledger.set_experiment("roundtrip");
+  const std::string path =
+      testing::TempDir() + "/booterscope_perf_ledger_test.json";
+  ASSERT_TRUE(ledger.write(path));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents(1 << 12, '\0');
+  const std::size_t read =
+      std::fread(contents.data(), 1, contents.size(), file);
+  std::fclose(file);
+  contents.resize(read);
+  EXPECT_EQ(contents, ledger.to_json());
+}
+
+}  // namespace
+}  // namespace booterscope::obs

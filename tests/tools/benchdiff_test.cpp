@@ -1,0 +1,274 @@
+// Golden suite for the benchdiff engine (tools/benchdiff/diff.hpp): every
+// gate class — structural, exact, timing — proven to fire on a synthetic
+// regression and to stay quiet on legitimate variation (thread counts,
+// sub-noise-floor timings). Links the diff library directly so a failure
+// points at the gate logic, not at process plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "diff.hpp"
+#include "json_mini.hpp"
+
+namespace booterscope::benchdiff {
+namespace {
+
+struct FixtureSpec {
+  std::string experiment = "fig4";
+  std::string days = "12";
+  std::string threads = "4";
+  std::uint64_t seed = 2018;
+  double wall = 10.0;
+  std::uint64_t items = 50000;
+  double shard_stage = 8.0;
+  std::uint64_t rss = 400'000'000;
+};
+
+[[nodiscard]] std::string ledger_json(const FixtureSpec& spec) {
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "{\"schema\":\"booterscope-bench-ledger/1\",\"bench\":\"bench\","
+      "\"experiment\":\"%s\",\"git_describe\":\"unknown\",\"seed\":%llu,"
+      "\"config\":{\"threads\":\"%s\",\"days\":\"%s\","
+      "\"fault_profile\":\"none\"},"
+      "\"wall_seconds\":%g,\"items\":%llu,\"items_per_second\":%g,"
+      "\"stages\":[{\"name\":\"landscape_parallel\",\"depth\":0,"
+      "\"total_seconds\":%g,\"self_seconds\":0.5,\"calls\":1,"
+      "\"items_in\":0,\"items_out\":0,\"bytes\":0}],"
+      "\"pool\":{\"workers\":4,\"tasks\":64,\"steals\":2,"
+      "\"busy_seconds\":[1,1,1,1],\"busy_seconds_total\":4,"
+      "\"utilization\":0.5},\"peak_rss_bytes\":%llu}",
+      spec.experiment.c_str(),
+      static_cast<unsigned long long>(spec.seed), spec.threads.c_str(),
+      spec.days.c_str(), spec.wall,
+      static_cast<unsigned long long>(spec.items),
+      static_cast<double>(spec.items) / spec.wall, spec.shard_stage,
+      static_cast<unsigned long long>(spec.rss));
+  return buffer;
+}
+
+[[nodiscard]] Ledger parse_fixture(const FixtureSpec& spec) {
+  std::string error;
+  const std::optional<Ledger> ledger = parse_ledger(ledger_json(spec), &error);
+  EXPECT_TRUE(ledger) << error;
+  return *ledger;
+}
+
+TEST(BenchdiffParse, RoundTripsEveryLedgerField) {
+  FixtureSpec spec;
+  const Ledger ledger = parse_fixture(spec);
+  EXPECT_EQ(ledger.experiment, "fig4");
+  EXPECT_EQ(ledger.seed, 2018u);
+  EXPECT_EQ(ledger.config_value("days"), "12");
+  EXPECT_DOUBLE_EQ(ledger.wall_seconds, 10.0);
+  EXPECT_EQ(ledger.items, 50000u);
+  ASSERT_EQ(ledger.stages.size(), 1u);
+  EXPECT_EQ(ledger.stages[0].name, "landscape_parallel");
+  EXPECT_DOUBLE_EQ(ledger.stages[0].total_seconds, 8.0);
+  EXPECT_EQ(ledger.pool_workers, 4u);
+  EXPECT_EQ(ledger.peak_rss_bytes, 400'000'000u);
+}
+
+TEST(BenchdiffParse, RejectsMalformedJsonAndWrongSchema) {
+  std::string error;
+  EXPECT_FALSE(parse_ledger("{\"schema\":", &error));
+  EXPECT_NE(error.find("invalid JSON"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(parse_ledger("{\"schema\":\"other/9\"}", &error));
+  EXPECT_NE(error.find("unsupported schema"), std::string::npos);
+}
+
+TEST(BenchdiffGate, IdenticalLedgersPass) {
+  const Ledger base = parse_fixture({});
+  const DiffResult result = diff_ledgers(base, base, DiffOptions{});
+  EXPECT_TRUE(result.ok()) << render_report(result);
+  EXPECT_EQ(result.compared, 1);
+}
+
+TEST(BenchdiffGate, DetectsTwoXWallRegression) {
+  const Ledger base = parse_fixture({});
+  FixtureSpec slow;
+  slow.wall = 20.0;  // 2x > default 1.75x threshold
+  const DiffResult result =
+      diff_ledgers(base, parse_fixture(slow), DiffOptions{});
+  ASSERT_FALSE(result.ok()) << "2x wall regression must fail the gate";
+  bool found = false;
+  for (const Finding& finding : result.findings) {
+    if (finding.metric == "wall_seconds") {
+      found = true;
+      EXPECT_EQ(finding.kind, Finding::Kind::kTiming);
+      EXPECT_NE(finding.detail.find("2.00x"), std::string::npos)
+          << finding.detail;
+    }
+  }
+  EXPECT_TRUE(found) << render_report(result);
+}
+
+TEST(BenchdiffGate, NoiseFloorSkipsTimingOnTinyRuns) {
+  FixtureSpec tiny;
+  tiny.wall = 0.05;
+  tiny.shard_stage = 0.04;
+  FixtureSpec tiny_slow = tiny;
+  tiny_slow.wall = 0.5;  // 10x, but below the floor
+  DiffOptions options;
+  options.min_runtime_seconds = 5.0;  // CI smoke floor
+  const DiffResult result =
+      diff_ledgers(parse_fixture(tiny), parse_fixture(tiny_slow), options);
+  EXPECT_TRUE(result.ok()) << render_report(result);
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes[0].find("noise floor"), std::string::npos);
+}
+
+TEST(BenchdiffGate, ItemsMismatchFailsEvenBelowTheNoiseFloor) {
+  FixtureSpec tiny;
+  tiny.wall = 0.05;
+  FixtureSpec drifted = tiny;
+  drifted.items = tiny.items + 1;
+  DiffOptions options;
+  options.min_runtime_seconds = 5.0;
+  const DiffResult result =
+      diff_ledgers(parse_fixture(tiny), parse_fixture(drifted), options);
+  ASSERT_EQ(result.findings.size(), 1u) << render_report(result);
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kExact);
+  EXPECT_EQ(result.findings[0].metric, "items");
+}
+
+TEST(BenchdiffGate, ConfigDriftIsStructuralNotASilentSkip) {
+  FixtureSpec drifted;
+  drifted.days = "30";
+  const DiffResult result =
+      diff_ledgers(parse_fixture({}), parse_fixture(drifted), DiffOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kStructural);
+  EXPECT_EQ(result.findings[0].metric, "config.days");
+}
+
+TEST(BenchdiffGate, ThreadCountIsNotIdentity) {
+  FixtureSpec other_threads;
+  other_threads.threads = "16";
+  const DiffResult result = diff_ledgers(
+      parse_fixture({}), parse_fixture(other_threads), DiffOptions{});
+  EXPECT_TRUE(result.ok()) << render_report(result);
+  // ... but RSS is then skipped rather than compared across pool shapes.
+  bool rss_note = false;
+  for (const std::string& note : result.notes) {
+    if (note.find("RSS gate skipped") != std::string::npos) rss_note = true;
+  }
+  EXPECT_TRUE(rss_note);
+}
+
+TEST(BenchdiffGate, DetectsPerStageRegression) {
+  FixtureSpec slow_stage;
+  slow_stage.shard_stage = 24.0;  // 3x > default 2.5x stage threshold
+  const DiffResult result =
+      diff_ledgers(parse_fixture({}), parse_fixture(slow_stage), DiffOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.findings[0].metric, "stage.landscape_parallel");
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kTiming);
+}
+
+TEST(BenchdiffGate, DetectsRssRegressionAtMatchingThreads) {
+  FixtureSpec fat;
+  fat.rss = 900'000'000;  // 2.25x > default 2.0x
+  const DiffResult result =
+      diff_ledgers(parse_fixture({}), parse_fixture(fat), DiffOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.findings[0].metric, "peak_rss_bytes");
+}
+
+TEST(BenchdiffCheck, FlagsInternalInconsistency) {
+  FixtureSpec spec;
+  Ledger ledger = parse_fixture(spec);
+  EXPECT_TRUE(check_ledger(ledger).empty());
+
+  ledger.experiment.clear();
+  ledger.stages[0].self_seconds = ledger.stages[0].total_seconds + 1.0;
+  const std::vector<Finding> findings = check_ledger(ledger);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].metric, "experiment");
+  EXPECT_NE(findings[1].detail.find("self time exceeds total"),
+            std::string::npos);
+}
+
+class BenchdiffDirs : public testing::Test {
+ protected:
+  void SetUp() override {
+    base_dir_ = testing::TempDir() + "/benchdiff_base";
+    cand_dir_ = testing::TempDir() + "/benchdiff_cand";
+    std::filesystem::create_directories(base_dir_);
+    std::filesystem::create_directories(cand_dir_);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(base_dir_);
+    std::filesystem::remove_all(cand_dir_);
+  }
+  static void write_file(const std::string& path, const std::string& body) {
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+    ASSERT_TRUE(out.good()) << path;
+  }
+  std::string base_dir_;
+  std::string cand_dir_;
+};
+
+TEST_F(BenchdiffDirs, PairsLedgersByFileNameAndReportsMissing) {
+  FixtureSpec fig4;
+  FixtureSpec fig5;
+  fig5.experiment = "fig5";
+  write_file(base_dir_ + "/BENCH_fig4.json", ledger_json(fig4));
+  write_file(base_dir_ + "/BENCH_fig5.json", ledger_json(fig5));
+  write_file(cand_dir_ + "/BENCH_fig4.json", ledger_json(fig4));
+
+  DiffOptions lenient;
+  const DiffResult ok = diff_directories(base_dir_, cand_dir_, lenient);
+  EXPECT_TRUE(ok.ok()) << render_report(ok);
+  EXPECT_EQ(ok.compared, 1);
+
+  DiffOptions strict;
+  strict.require_all = true;
+  const DiffResult missing = diff_directories(base_dir_, cand_dir_, strict);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.findings[0].kind, Finding::Kind::kMissing);
+  EXPECT_EQ(missing.findings[0].experiment, "fig5");
+}
+
+TEST_F(BenchdiffDirs, MalformedCandidateIsAFinding) {
+  write_file(base_dir_ + "/BENCH_fig4.json", ledger_json({}));
+  write_file(cand_dir_ + "/BENCH_fig4.json", "{not json");
+  const DiffResult result =
+      diff_directories(base_dir_, cand_dir_, DiffOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kMalformed);
+}
+
+TEST_F(BenchdiffDirs, CheckDirectoryValidatesEveryBaseline) {
+  write_file(base_dir_ + "/BENCH_fig4.json", ledger_json({}));
+  const DiffResult good = check_directory(base_dir_);
+  EXPECT_TRUE(good.ok()) << render_report(good);
+  EXPECT_EQ(good.compared, 1);
+
+  write_file(base_dir_ + "/BENCH_broken.json", "[]");
+  const DiffResult bad = check_directory(base_dir_);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(BenchdiffReport, RendersPassAndFailTrailers) {
+  const Ledger base = parse_fixture({});
+  const std::string pass =
+      render_report(diff_ledgers(base, base, DiffOptions{}));
+  EXPECT_NE(pass.find("PASS"), std::string::npos);
+
+  FixtureSpec slow;
+  slow.wall = 100.0;
+  const std::string fail = render_report(
+      diff_ledgers(base, parse_fixture(slow), DiffOptions{}));
+  EXPECT_NE(fail.find("FAIL [timing]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace booterscope::benchdiff

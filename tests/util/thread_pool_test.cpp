@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 
 namespace booterscope::exec {
 namespace {
@@ -91,6 +96,81 @@ TEST(ThreadPool, CurrentWorkerIsNegativeOffPoolAndValidOnPool) {
     EXPECT_GE(worker, 0);
     EXPECT_LT(worker, 3);
   }
+}
+
+TEST(ThreadPool, WorkerBusyNanosAccumulateAcrossTasks) {
+  ThreadPool pool(2);
+  std::uint64_t before = 0;
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    before += pool.worker_busy_nanos(w);
+  }
+  EXPECT_EQ(before, 0u) << "busy time before any task ran";
+  pool.parallel_for(16, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  pool.wait_idle();
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    total += pool.worker_busy_nanos(w);
+  }
+  // 16 tasks of >=1ms spread over 2 workers: at least 16ms of busy time.
+  EXPECT_GE(total, 16'000'000u);
+}
+
+#ifndef BOOTERSCOPE_NO_METRICS
+TEST(ThreadPool, PerWorkerBusyGaugesAreRegisteredAndUpdated) {
+  const double baseline = obs::metrics()
+                              .gauge("booterscope_exec_worker_busy_seconds",
+                                     {{"worker", "0"}})
+                              .value();
+  ThreadPool pool(2);
+  pool.parallel_for(8, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  pool.wait_idle();
+  double updated = 0.0;
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    updated += obs::metrics()
+                   .gauge("booterscope_exec_worker_busy_seconds",
+                          {{"worker", w == 0 ? "0" : "1"}})
+                   .value();
+  }
+  EXPECT_GT(updated, baseline) << "gauges did not advance with busy time";
+}
+#endif
+
+TEST(ThreadPool, AttachedTimelineReceivesOneTaskSpanPerExecution) {
+  obs::TimelineRecorder recorder(5);  // driver + up to 4 workers
+  ThreadPool pool(4);
+  pool.attach_timeline(&recorder);
+  constexpr int kTasks = 50;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  pool.attach_timeline(nullptr);
+  EXPECT_EQ(ran.load(), kTasks);
+#ifndef BOOTERSCOPE_NO_METRICS
+  std::size_t task_spans = 0;
+  EXPECT_EQ(recorder.lane_events(0).size(), 0u) << "driver lane must be idle";
+  for (std::size_t lane = 1; lane < 5; ++lane) {
+    for (const obs::TimelineEvent& event : recorder.lane_events(lane)) {
+      if (event.kind == obs::TimelineEvent::Kind::kSpan) {
+        EXPECT_EQ(event.category, "task");
+        EXPECT_LE(event.begin_nanos, event.end_nanos);
+        ++task_spans;
+      } else {
+        EXPECT_EQ(event.kind, obs::TimelineEvent::Kind::kInstant);
+        EXPECT_EQ(event.name, "steal");
+      }
+    }
+  }
+  EXPECT_EQ(task_spans, static_cast<std::size_t>(kTasks));
+  EXPECT_EQ(recorder.dropped(), 0u);
+#else
+  EXPECT_EQ(recorder.event_count(), 0u);
+#endif
 }
 
 TEST(ThreadPool, StealCountersAccumulate) {

@@ -1,0 +1,420 @@
+#include "diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "json_mini.hpp"
+
+namespace booterscope::benchdiff {
+
+namespace {
+
+constexpr std::string_view kSchema = "booterscope-bench-ledger/1";
+
+[[nodiscard]] std::string format_seconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3fs", seconds);
+  return buffer;
+}
+
+[[nodiscard]] std::string format_ratio(double ratio) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2fx", ratio);
+  return buffer;
+}
+
+void add_finding(DiffResult& result, Finding::Kind kind,
+                 std::string experiment, std::string metric,
+                 std::string detail) {
+  result.findings.push_back(Finding{kind, std::move(experiment),
+                                    std::move(metric), std::move(detail)});
+}
+
+/// The identity an experiment must share with its baseline to be
+/// comparable. `threads` trades wall clock for parallelism without
+/// changing output bytes, so it is not identity.
+[[nodiscard]] bool identity_key(const std::string& key) {
+  return key != "threads";
+}
+
+[[nodiscard]] const Ledger::Stage* find_stage(const Ledger& ledger,
+                                              const Ledger::Stage& like) {
+  for (const Ledger::Stage& stage : ledger.stages) {
+    if (stage.name == like.name && stage.depth == like.depth) return &stage;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<std::string> Ledger::config_value(const std::string& key) const {
+  for (const auto& [k, v] : config) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<Ledger> parse_ledger(const std::string& text,
+                                   std::string* error) {
+  std::string parse_error;
+  const std::optional<JsonValue> doc = parse_json(text, &parse_error);
+  if (!doc) {
+    if (error != nullptr) *error = "invalid JSON: " + parse_error;
+    return std::nullopt;
+  }
+  if (doc->kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "document is not an object";
+    return std::nullopt;
+  }
+  const std::string schema = doc->string_or("schema", "");
+  if (schema != kSchema) {
+    if (error != nullptr) {
+      *error = "unsupported schema '" + schema + "' (want '" +
+               std::string(kSchema) + "')";
+    }
+    return std::nullopt;
+  }
+
+  Ledger ledger;
+  ledger.bench = doc->string_or("bench", "");
+  ledger.experiment = doc->string_or("experiment", "");
+  ledger.git_describe = doc->string_or("git_describe", "unknown");
+  ledger.seed = static_cast<std::uint64_t>(doc->number_or("seed", 0.0));
+  if (const JsonValue* config = doc->find("config");
+      config != nullptr && config->kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, value] : config->object) {
+      ledger.config.emplace_back(
+          key, value.kind == JsonValue::Kind::kString
+                   ? value.string
+                   : std::to_string(value.number));
+    }
+  }
+  ledger.wall_seconds = doc->number_or("wall_seconds", 0.0);
+  ledger.items = static_cast<std::uint64_t>(doc->number_or("items", 0.0));
+  ledger.items_per_second = doc->number_or("items_per_second", 0.0);
+  if (const JsonValue* stages = doc->find("stages");
+      stages != nullptr && stages->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& entry : stages->array) {
+      if (entry.kind != JsonValue::Kind::kObject) continue;
+      Ledger::Stage stage;
+      stage.name = entry.string_or("name", "");
+      stage.depth = static_cast<int>(entry.number_or("depth", 0.0));
+      stage.total_seconds = entry.number_or("total_seconds", 0.0);
+      stage.self_seconds = entry.number_or("self_seconds", 0.0);
+      stage.calls = static_cast<std::uint64_t>(entry.number_or("calls", 0.0));
+      ledger.stages.push_back(std::move(stage));
+    }
+  }
+  if (const JsonValue* pool = doc->find("pool");
+      pool != nullptr && pool->kind == JsonValue::Kind::kObject) {
+    ledger.pool_workers =
+        static_cast<std::uint64_t>(pool->number_or("workers", 0.0));
+    ledger.pool_tasks =
+        static_cast<std::uint64_t>(pool->number_or("tasks", 0.0));
+    ledger.pool_steals =
+        static_cast<std::uint64_t>(pool->number_or("steals", 0.0));
+    ledger.busy_seconds_total = pool->number_or("busy_seconds_total", 0.0);
+    ledger.utilization = pool->number_or("utilization", 0.0);
+  }
+  ledger.peak_rss_bytes =
+      static_cast<std::uint64_t>(doc->number_or("peak_rss_bytes", 0.0));
+  return ledger;
+}
+
+std::optional<Ledger> load_ledger(const std::string& path,
+                                  std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::optional<Ledger> ledger = parse_ledger(text.str(), error);
+  if (ledger) ledger->path = path;
+  return ledger;
+}
+
+std::vector<Finding> check_ledger(const Ledger& ledger) {
+  std::vector<Finding> findings;
+  const std::string id =
+      !ledger.experiment.empty()
+          ? ledger.experiment
+          : (!ledger.path.empty() ? ledger.path : std::string("<ledger>"));
+  const auto flag = [&](const std::string& metric, const std::string& detail) {
+    findings.push_back(
+        Finding{Finding::Kind::kStructural, id, metric, detail});
+  };
+
+  if (ledger.bench.empty()) flag("bench", "missing bench name");
+  if (ledger.experiment.empty()) flag("experiment", "missing experiment id");
+  if (ledger.config.empty()) flag("config", "empty config identity");
+  if (!(ledger.wall_seconds >= 0.0)) {
+    flag("wall_seconds", "negative or NaN wall time");
+  }
+  if (!(ledger.items_per_second >= 0.0)) {
+    flag("items_per_second", "negative or NaN throughput");
+  }
+  for (const Ledger::Stage& stage : ledger.stages) {
+    if (stage.name.empty()) {
+      flag("stages", "stage with empty name");
+      continue;
+    }
+    if (!(stage.total_seconds >= 0.0) || !(stage.self_seconds >= 0.0)) {
+      flag("stages", "stage '" + stage.name + "' has negative time");
+    }
+    if (stage.self_seconds > stage.total_seconds + 1e-9) {
+      flag("stages",
+           "stage '" + stage.name + "' self time exceeds total time");
+    }
+  }
+  if (ledger.utilization < 0.0) flag("pool", "negative utilization");
+  return findings;
+}
+
+DiffResult diff_ledgers(const Ledger& baseline, const Ledger& candidate,
+                        const DiffOptions& options) {
+  DiffResult result;
+  result.compared = 1;
+  const std::string id = !baseline.experiment.empty()
+                             ? baseline.experiment
+                             : baseline.path;
+
+  // Structural: the pair must describe the same experiment with the same
+  // identity config, or no other gate means anything.
+  if (baseline.experiment != candidate.experiment) {
+    add_finding(result, Finding::Kind::kStructural, id, "experiment",
+                "baseline '" + baseline.experiment + "' vs candidate '" +
+                    candidate.experiment + "'");
+    return result;
+  }
+  bool config_ok = true;
+  for (const auto& [key, value] : baseline.config) {
+    if (!identity_key(key)) continue;
+    const std::optional<std::string> other = candidate.config_value(key);
+    if (!other) {
+      add_finding(result, Finding::Kind::kStructural, id, "config." + key,
+                  "missing in candidate (baseline: '" + value + "')");
+      config_ok = false;
+    } else if (*other != value) {
+      add_finding(result, Finding::Kind::kStructural, id, "config." + key,
+                  "config drift: baseline '" + value + "' vs candidate '" +
+                      *other + "'");
+      config_ok = false;
+    }
+  }
+  for (const auto& [key, value] : candidate.config) {
+    if (!identity_key(key)) continue;
+    if (!baseline.config_value(key)) {
+      add_finding(result, Finding::Kind::kStructural, id, "config." + key,
+                  "missing in baseline (candidate: '" + value + "')");
+      config_ok = false;
+    }
+  }
+  if (baseline.seed != candidate.seed) {
+    add_finding(result, Finding::Kind::kStructural, id, "seed",
+                "baseline " + std::to_string(baseline.seed) + " vs candidate " +
+                    std::to_string(candidate.seed));
+    config_ok = false;
+  }
+  if (!config_ok) return result;  // not comparable; skip the other gates
+
+  // Exact: identical config identity => identical deterministic output,
+  // on any machine and any thread count.
+  if (baseline.items != candidate.items) {
+    add_finding(result, Finding::Kind::kExact, id, "items",
+                "deterministic output drift: baseline " +
+                    std::to_string(baseline.items) + " vs candidate " +
+                    std::to_string(candidate.items));
+  }
+
+  // Timing: only above the noise floor.
+  if (baseline.wall_seconds < options.min_runtime_seconds) {
+    result.notes.push_back(
+        id + ": timing gates skipped (baseline wall " +
+        format_seconds(baseline.wall_seconds) + " < noise floor " +
+        format_seconds(options.min_runtime_seconds) + ")");
+    return result;
+  }
+  if (candidate.wall_seconds >
+      baseline.wall_seconds * options.wall_ratio) {
+    add_finding(result, Finding::Kind::kTiming, id, "wall_seconds",
+                "wall regression: " + format_seconds(baseline.wall_seconds) +
+                    " -> " + format_seconds(candidate.wall_seconds) + " (" +
+                    format_ratio(candidate.wall_seconds /
+                                 baseline.wall_seconds) +
+                    ", threshold " + format_ratio(options.wall_ratio) + ")");
+  }
+  for (const Ledger::Stage& stage : baseline.stages) {
+    if (stage.total_seconds < options.min_runtime_seconds) continue;
+    const Ledger::Stage* other = find_stage(candidate, stage);
+    if (other == nullptr) {
+      add_finding(result, Finding::Kind::kStructural, id,
+                  "stage." + stage.name, "stage missing from candidate");
+      continue;
+    }
+    if (other->total_seconds > stage.total_seconds * options.stage_ratio) {
+      add_finding(
+          result, Finding::Kind::kTiming, id, "stage." + stage.name,
+          "stage regression: " + format_seconds(stage.total_seconds) + " -> " +
+              format_seconds(other->total_seconds) + " (" +
+              format_ratio(other->total_seconds / stage.total_seconds) +
+              ", threshold " + format_ratio(options.stage_ratio) + ")");
+    }
+  }
+  // RSS only compares like with like: a different worker count legitimately
+  // changes the high-water mark.
+  const std::optional<std::string> base_threads =
+      baseline.config_value("threads");
+  const std::optional<std::string> cand_threads =
+      candidate.config_value("threads");
+  if (baseline.peak_rss_bytes > 0 && candidate.peak_rss_bytes > 0 &&
+      base_threads && cand_threads && *base_threads == *cand_threads) {
+    const double ratio = static_cast<double>(candidate.peak_rss_bytes) /
+                         static_cast<double>(baseline.peak_rss_bytes);
+    if (ratio > options.rss_ratio) {
+      add_finding(result, Finding::Kind::kTiming, id, "peak_rss_bytes",
+                  "peak RSS regression: " +
+                      std::to_string(baseline.peak_rss_bytes) + " -> " +
+                      std::to_string(candidate.peak_rss_bytes) + " bytes (" +
+                      format_ratio(ratio) + ", threshold " +
+                      format_ratio(options.rss_ratio) + ")");
+    }
+  } else {
+    result.notes.push_back(id + ": RSS gate skipped (thread counts differ "
+                                "or RSS unavailable)");
+  }
+  return result;
+}
+
+namespace {
+
+[[nodiscard]] std::vector<std::string> ledger_files(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 + 6 &&  // "BENCH_" + ".json"
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+DiffResult diff_directories(const std::string& baseline_dir,
+                            const std::string& candidate_dir,
+                            const DiffOptions& options) {
+  DiffResult result;
+  const std::vector<std::string> baselines = ledger_files(baseline_dir);
+  if (baselines.empty()) {
+    add_finding(result, Finding::Kind::kStructural, baseline_dir, "baselines",
+                "no BENCH_*.json baselines found");
+    return result;
+  }
+  for (const std::string& name : baselines) {
+    const std::string baseline_path = baseline_dir + "/" + name;
+    const std::string candidate_path = candidate_dir + "/" + name;
+    std::string error;
+    const std::optional<Ledger> baseline =
+        load_ledger(baseline_path, &error);
+    if (!baseline) {
+      add_finding(result, Finding::Kind::kMalformed, name, "baseline", error);
+      continue;
+    }
+    if (!std::filesystem::exists(candidate_path)) {
+      if (options.require_all) {
+        add_finding(result, Finding::Kind::kMissing, baseline->experiment,
+                    "candidate", "no candidate ledger " + candidate_path);
+      } else {
+        result.notes.push_back(baseline->experiment +
+                               ": no candidate ledger, skipped");
+      }
+      continue;
+    }
+    error.clear();
+    const std::optional<Ledger> candidate =
+        load_ledger(candidate_path, &error);
+    if (!candidate) {
+      add_finding(result, Finding::Kind::kMalformed, name, "candidate", error);
+      continue;
+    }
+    DiffResult pair = diff_ledgers(*baseline, *candidate, options);
+    result.compared += pair.compared;
+    for (Finding& finding : pair.findings) {
+      result.findings.push_back(std::move(finding));
+    }
+    for (std::string& note : pair.notes) {
+      result.notes.push_back(std::move(note));
+    }
+  }
+  for (const std::string& name : ledger_files(candidate_dir)) {
+    if (std::find(baselines.begin(), baselines.end(), name) ==
+        baselines.end()) {
+      result.notes.push_back(name +
+                             ": candidate has no baseline (add one under the "
+                             "baselines directory to gate it)");
+    }
+  }
+  return result;
+}
+
+DiffResult check_directory(const std::string& dir) {
+  DiffResult result;
+  const std::vector<std::string> names = ledger_files(dir);
+  if (names.empty()) {
+    add_finding(result, Finding::Kind::kStructural, dir, "baselines",
+                "no BENCH_*.json ledgers found");
+    return result;
+  }
+  for (const std::string& name : names) {
+    std::string error;
+    const std::optional<Ledger> ledger = load_ledger(dir + "/" + name, &error);
+    if (!ledger) {
+      add_finding(result, Finding::Kind::kMalformed, name, "ledger", error);
+      continue;
+    }
+    ++result.compared;
+    for (Finding& finding : check_ledger(*ledger)) {
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  return result;
+}
+
+std::string_view to_string(Finding::Kind kind) noexcept {
+  switch (kind) {
+    case Finding::Kind::kMalformed: return "malformed";
+    case Finding::Kind::kStructural: return "structural";
+    case Finding::Kind::kExact: return "exact";
+    case Finding::Kind::kTiming: return "timing";
+    case Finding::Kind::kMissing: return "missing";
+  }
+  return "unknown";
+}
+
+std::string render_report(const DiffResult& result) {
+  std::ostringstream out;
+  for (const Finding& finding : result.findings) {
+    out << "FAIL [" << to_string(finding.kind) << "] " << finding.experiment
+        << " " << finding.metric << ": " << finding.detail << "\n";
+  }
+  for (const std::string& note : result.notes) {
+    out << "note: " << note << "\n";
+  }
+  out << "benchdiff: " << result.compared << " ledger(s) compared, "
+      << result.findings.size() << " finding(s) — "
+      << (result.ok() ? "PASS" : "FAIL") << "\n";
+  return out.str();
+}
+
+}  // namespace booterscope::benchdiff

@@ -1,0 +1,124 @@
+// benchdiff: compares perf ledgers (BENCH_<id>.json, schema
+// booterscope-bench-ledger/1) against committed baselines and fails on
+// regression. The differ runs three classes of gate:
+//
+//   structural — schema/shape problems and config drift (a candidate whose
+//     identity config differs from the baseline is not comparable; that is
+//     an error, not a silent skip);
+//   exact      — `items` is a deterministic output count, so when the
+//     config identity matches it must match to the digit on every machine;
+//   timing     — wall/stage/RSS ratios against per-metric thresholds,
+//     applied only when the baseline ran longer than the noise floor
+//     (`min_runtime_seconds`), so micro-runs on shared CI boxes cannot
+//     flake the gate. `threads` is excluded from identity (it trades wall
+//     clock, not bytes) but RSS is only compared thread-count-to-like.
+//
+// Library + thin driver split like tools/bslint, so the golden suite in
+// tests/tools exercises the engine in-process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace booterscope::benchdiff {
+
+/// In-memory view of one perf ledger.
+struct Ledger {
+  std::string path;  // where it was loaded from (reports only)
+  std::string bench;
+  std::string experiment;
+  std::string git_describe;
+  std::uint64_t seed = 0;
+  std::vector<std::pair<std::string, std::string>> config;
+  double wall_seconds = 0.0;
+  std::uint64_t items = 0;
+  double items_per_second = 0.0;
+
+  struct Stage {
+    std::string name;
+    int depth = 0;
+    double total_seconds = 0.0;
+    double self_seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+  std::vector<Stage> stages;
+
+  std::uint64_t pool_workers = 0;
+  std::uint64_t pool_tasks = 0;
+  std::uint64_t pool_steals = 0;
+  double busy_seconds_total = 0.0;
+  double utilization = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+
+  [[nodiscard]] std::optional<std::string> config_value(
+      const std::string& key) const;
+};
+
+/// Parses ledger JSON; nullopt + reason on malformed documents or a schema
+/// other than booterscope-bench-ledger/1.
+[[nodiscard]] std::optional<Ledger> parse_ledger(const std::string& text,
+                                                 std::string* error);
+
+/// parse_ledger over a file's contents (records `path` in the result).
+[[nodiscard]] std::optional<Ledger> load_ledger(const std::string& path,
+                                                std::string* error);
+
+struct DiffOptions {
+  /// Noise floor: timing/RSS gates only apply when the *baseline* wall is
+  /// at least this many seconds. CI smoke passes a high floor so tiny runs
+  /// exercise only the structural and exact gates.
+  double min_runtime_seconds = 0.1;
+  double wall_ratio = 1.75;   // candidate wall  > baseline wall  * this
+  double stage_ratio = 2.5;   // per-stage total > baseline total * this
+  double rss_ratio = 2.0;     // peak RSS        > baseline RSS   * this
+  /// Fail when a baseline has no candidate ledger (CI: every gated bench
+  /// must actually have run).
+  bool require_all = false;
+};
+
+struct Finding {
+  enum class Kind { kMalformed, kStructural, kExact, kTiming, kMissing };
+  Kind kind = Kind::kStructural;
+  std::string experiment;  // or file name when identity is unknown
+  std::string metric;
+  std::string detail;
+};
+
+struct DiffResult {
+  std::vector<Finding> findings;
+  /// Non-failing observations (skipped timing gates, extra candidates).
+  std::vector<std::string> notes;
+  int compared = 0;
+  [[nodiscard]] bool ok() const noexcept { return findings.empty(); }
+};
+
+/// Internal consistency of one ledger: required keys present, counts and
+/// times non-negative, stages well-formed. This is the `--check` mode the
+/// benchdiff_tree ctest entry runs over the committed baselines.
+[[nodiscard]] std::vector<Finding> check_ledger(const Ledger& ledger);
+
+/// All gates for one baseline/candidate pair.
+[[nodiscard]] DiffResult diff_ledgers(const Ledger& baseline,
+                                      const Ledger& candidate,
+                                      const DiffOptions& options);
+
+/// Pairs every BENCH_*.json under `baseline_dir` with the same-named file
+/// under `candidate_dir` and diffs each pair. Missing candidates are
+/// findings under require_all, notes otherwise; extra candidates are notes.
+[[nodiscard]] DiffResult diff_directories(const std::string& baseline_dir,
+                                          const std::string& candidate_dir,
+                                          const DiffOptions& options);
+
+/// --check over a directory: every BENCH_*.json must parse and pass
+/// check_ledger.
+[[nodiscard]] DiffResult check_directory(const std::string& dir);
+
+[[nodiscard]] std::string_view to_string(Finding::Kind kind) noexcept;
+
+/// Human report: one line per finding/note plus a PASS/FAIL trailer.
+[[nodiscard]] std::string render_report(const DiffResult& result);
+
+}  // namespace booterscope::benchdiff

@@ -1,0 +1,279 @@
+// Minimal JSON reader for benchdiff. The library itself only *emits* JSON
+// (src/obs/json.hpp); parsing lives here in the tool so a ledger reader bug
+// can never corrupt a run. Recursive-descent over the full value grammar,
+// with objects kept in insertion order (config identity is order-sensitive
+// in the report, though comparison is by key).
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace booterscope::benchdiff {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member named `key`, or nullptr.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string
+                                                    : std::move(fallback);
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  [[nodiscard]] std::optional<JsonValue> parse() {
+    skip_ws();
+    JsonValue value;
+    if (!parse_value(value, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void fail(const std::string& why) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = why + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected string");
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            // Ledger strings are ASCII identifiers; anything above is kept
+            // as UTF-8 of the raw code point (no surrogate pairing).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  [[nodiscard]] bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected number");
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("bad number '" + token + "'");
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of document");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!consume(':')) {
+          fail("expected ':'");
+          return false;
+        }
+        JsonValue value;
+        if (!parse_value(value, depth + 1)) return false;
+        out.object.emplace_back(std::move(key), std::move(value));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        fail("expected ',' or '}'");
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!parse_value(value, depth + 1)) return false;
+        out.array.push_back(std::move(value));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        fail("expected ',' or ']'");
+        return false;
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.string);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      if (parse_literal("true")) return true;
+      fail("bad literal");
+      return false;
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      if (parse_literal("false")) return true;
+      fail("bad literal");
+      return false;
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      if (parse_literal("null")) return true;
+      fail("bad literal");
+      return false;
+    }
+    return parse_number(out);
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses one JSON document. On failure returns nullopt and, when `error`
+/// is non-null, stores a one-line reason with the byte offset.
+[[nodiscard]] inline std::optional<JsonValue> parse_json(std::string_view text,
+                                                         std::string* error) {
+  return detail::Parser(text, error).parse();
+}
+
+}  // namespace booterscope::benchdiff

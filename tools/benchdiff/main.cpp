@@ -1,0 +1,60 @@
+// benchdiff driver. Usage:
+//
+//   benchdiff --baselines DIR [--candidates DIR] [--check]
+//             [--min-runtime S] [--wall-ratio X] [--stage-ratio X]
+//             [--rss-ratio X] [--require-all] [--quiet]
+//
+// Default mode diffs every BENCH_*.json baseline under --baselines against
+// the same-named ledger under --candidates (default: current directory)
+// and exits 1 on any finding. --check validates the baselines themselves
+// (parse + internal consistency) without needing candidates — that is the
+// `benchdiff_tree` ctest entry guarding the committed baselines. Exit 2 on
+// usage errors.
+#include <cstdio>
+#include <string>
+
+#include "util/cli.hpp"
+
+#include "diff.hpp"
+
+int main(int argc, char** argv) {
+  const booterscope::util::CliArgs args(argc, argv);
+
+  if (args.has_flag("help")) {
+    std::printf(
+        "usage: %s --baselines DIR [--candidates DIR] [--check]\n"
+        "          [--min-runtime S] [--wall-ratio X] [--stage-ratio X]\n"
+        "          [--rss-ratio X] [--require-all] [--quiet]\n",
+        args.program().c_str());
+    return 0;
+  }
+
+  const std::string baselines = args.value_or("baselines", "");
+  if (baselines.empty()) {
+    std::fprintf(stderr, "%s: --baselines DIR is required (--help for usage)\n",
+                 args.program().c_str());
+    return 2;
+  }
+
+  booterscope::benchdiff::DiffResult result;
+  if (args.has_flag("check")) {
+    result = booterscope::benchdiff::check_directory(baselines);
+  } else {
+    booterscope::benchdiff::DiffOptions options;
+    options.min_runtime_seconds =
+        args.double_or("min-runtime", options.min_runtime_seconds);
+    options.wall_ratio = args.double_or("wall-ratio", options.wall_ratio);
+    options.stage_ratio = args.double_or("stage-ratio", options.stage_ratio);
+    options.rss_ratio = args.double_or("rss-ratio", options.rss_ratio);
+    options.require_all = args.has_flag("require-all");
+    const std::string candidates = args.value_or("candidates", ".");
+    result =
+        booterscope::benchdiff::diff_directories(baselines, candidates, options);
+  }
+
+  if (!args.has_flag("quiet")) {
+    const std::string report = booterscope::benchdiff::render_report(result);
+    std::fputs(report.c_str(), stdout);
+  }
+  return result.ok() ? 0 : 1;
+}
