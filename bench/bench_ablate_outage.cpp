@@ -120,7 +120,13 @@ int main(int argc, char** argv) {
                              &tally, "outage-sweep", fault_seed);
   bench::write_perf_ledger("ablate_outage", cfg, &world.tracer, &world.pool,
                            world.run_wall_nanos, world.result_items(),
-                           "outage-sweep", fault_seed);
+                           "outage-sweep", fault_seed, world.sampler.get());
+  if (world.timeline && world.sampler) {
+    world.sampler->export_to_timeline(*world.timeline);
+  }
+  if (world.timeline && world.watchdog) {
+    world.watchdog->export_to_timeline(*world.timeline);
+  }
   bench::write_timeline("ablate_outage", world.timeline.get());
   return 0;
 }

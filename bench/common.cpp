@@ -1,9 +1,11 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "obs/exposition.hpp"
@@ -18,7 +20,9 @@ RunOptions parse_run_options(int argc, char** argv) {
     std::cerr << argv[0] << ": " << why << "\nusage: " << argv[0]
               << " [--threads N] [--days N] [--attacks-per-day X]"
                  " [--seed N] [--fault-profile none|light|heavy]"
-                 " [--fault-seed N] [--timeline]\n";
+                 " [--fault-seed N] [--timeline]"
+                 " [--sample-interval-ms N] [--serve PORT]"
+                 " [--serve-hold-ms N]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -45,6 +49,18 @@ RunOptions parse_run_options(int argc, char** argv) {
         options.fault_profile = value;
       } else if (flag == "--fault-seed") {
         options.fault_seed = std::stoull(value);
+      } else if (flag == "--sample-interval-ms") {
+        options.sample_interval_ms = std::stoi(value);
+        if (options.sample_interval_ms < 0) {
+          usage("negative value for " + flag);
+        }
+      } else if (flag == "--serve") {
+        const int port = std::stoi(value);
+        if (port < 0 || port > 65535) usage("port out of range for " + flag);
+        options.serve_port = port;
+      } else if (flag == "--serve-hold-ms") {
+        options.serve_hold_ms = std::stoi(value);
+        if (options.serve_hold_ms < 0) usage("negative value for " + flag);
       } else {
         usage("unknown flag " + flag);
       }
@@ -99,6 +115,57 @@ sim::LandscapeResult LandscapeWorld::run_timed(LandscapeWorld& world,
     world.tracer.set_timeline(world.timeline.get());
     world.pool.attach_timeline(world.timeline.get());
   }
+
+  // The live plane. All of it is an observer: the sampler reads /proc and
+  // the registry, the watchdog reads heartbeats, the server reads snapshot
+  // views — none of them touch simulation state, so engaging any
+  // combination leaves the run's bytes unchanged (DESIGN.md §13).
+  world.serve_hold_ms = options.serve_hold_ms;
+  const bool live = options.sample_interval_ms > 0 || options.serve_port >= 0;
+  if (live) {
+    world.watchdog = std::make_unique<obs::live::Watchdog>(
+        obs::live::Watchdog::Config{}, &obs::metrics());
+    exec::ThreadPool& pool = world.pool;
+    world.watchdog->watch_pool(obs::live::Watchdog::PoolProbe{
+        [&pool] { return pool.queue_depth(); },
+        [&pool] { return pool.busy_workers(); },
+        [&pool] { return pool.tasks_executed(); }});
+    world.pool.attach_heartbeat(world.watchdog->register_heartbeat(
+        "pool", util::monotonic_nanos()));
+  }
+  if (options.sample_interval_ms > 0) {
+    obs::live::ResourceSampler::Config sampler_config;
+    sampler_config.interval_nanos =
+        static_cast<std::int64_t>(options.sample_interval_ms) * 1'000'000;
+    sampler_config.counter_names = {"booterscope_landscape_flows_total",
+                                    "booterscope_exec_tasks_total"};
+    exec::ThreadPool& pool = world.pool;
+    world.sampler = std::make_unique<obs::live::ResourceSampler>(
+        std::move(sampler_config), &obs::metrics(),
+        obs::live::ResourceSampler::PoolProbe{
+            [&pool] { return pool.queue_depth(); },
+            [&pool] { return pool.busy_workers(); }},
+        world.watchdog.get());
+    world.sampler->start();
+  }
+  if (options.serve_port >= 0) {
+    obs::live::ScrapeServer::Config server_config;
+    server_config.port = static_cast<std::uint16_t>(options.serve_port);
+    world.server = std::make_unique<obs::live::ScrapeServer>(
+        server_config, &obs::metrics(), world.watchdog.get());
+    if (world.server->start()) {
+      // On stderr so stdout (the figure reproduction CI diffs byte-for-
+      // byte) stays identical with or without --serve.
+      std::cerr << "live: serving /metrics /healthz /stages on 127.0.0.1:"
+                << world.server->port() << "\n";
+      world.server->publish_stages(obs::stages_json(world.tracer));
+    } else {
+      std::cerr << "warning: could not start scrape server on port "
+                << options.serve_port << "; run continues unserved\n";
+      world.server.reset();
+    }
+  }
+
   const std::int64_t t0 = util::monotonic_nanos();
   sim::LandscapeResult result = sim::run_landscape_parallel(
       world.internet, apply_run_options(sim::paper_landscape_config(), options),
@@ -111,7 +178,26 @@ sim::LandscapeResult LandscapeWorld::run_timed(LandscapeWorld& world,
     world.timeline->sample_counters(obs::metrics(), "booterscope_exec",
                                     util::monotonic_nanos());
   }
+
+  // Post-run live bookkeeping: pin a final sample so even sub-interval runs
+  // end with a current point, then disarm the watchdog — nothing beats
+  // during the serve-hold window by design, and that silence is not a
+  // stall. The final stage tree replaces the empty pre-run snapshot.
+  if (world.sampler) world.sampler->sample_now();
+  if (world.watchdog) world.watchdog->disarm();
+  if (world.server) world.server->publish_stages(obs::stages_json(world.tracer));
   return result;
+}
+
+LandscapeWorld::~LandscapeWorld() {
+  // The heartbeat atomic lives in the watchdog, which dies before the pool
+  // (reverse declaration order); detach so no late beat can dangle.
+  pool.attach_heartbeat(nullptr);
+  if (server && server->running() && serve_hold_ms > 0) {
+    std::cerr << "live: holding " << serve_hold_ms
+              << " ms for external scrapers\n";
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_hold_ms));
+  }
 }
 
 void LandscapeWorld::apply_faults(const RunOptions& options) {
@@ -244,7 +330,8 @@ void write_perf_ledger(const std::string& experiment_id,
                        const exec::ThreadPool* pool,
                        std::uint64_t run_wall_nanos, std::uint64_t items,
                        const std::string& fault_profile,
-                       std::uint64_t fault_seed) {
+                       std::uint64_t fault_seed,
+                       const obs::live::ResourceSampler* sampler) {
 #ifndef BOOTERSCOPE_NO_METRICS
   obs::PerfLedger ledger("bench");
   ledger.set_experiment(experiment_id);
@@ -272,6 +359,26 @@ void write_perf_ledger(const std::string& experiment_id,
     ledger.set_pool_stats(pool->tasks_executed(), pool->steals(),
                           std::move(busy));
   }
+  if (sampler != nullptr) {
+    const std::vector<obs::live::ResourceSampler::Sample> samples =
+        sampler->snapshot();
+    obs::PerfLedger::ResourceSeries series;
+    series.interval_nanos = sampler->interval_nanos();
+    series.dropped = sampler->dropped();
+    series.t_seconds.reserve(samples.size());
+    series.rss_bytes.reserve(samples.size());
+    series.cpu_seconds.reserve(samples.size());
+    const std::int64_t t0 = samples.empty() ? 0 : samples.front().at_nanos;
+    for (const auto& sample : samples) {
+      series.t_seconds.push_back(
+          static_cast<double>(sample.at_nanos - t0) / 1e9);
+      series.rss_bytes.push_back(sample.rss_bytes);
+      series.cpu_seconds.push_back(sample.cpu_seconds);
+    }
+    series.rss_slope_bytes_per_second =
+        obs::live::ResourceSampler::fit_rss_slope(samples).bytes_per_second;
+    ledger.set_resource_series(std::move(series));
+  }
   ledger.capture_peak_rss();
   const std::string path = "BENCH_" + experiment_id + ".json";
   if (!ledger.write(path)) {
@@ -286,6 +393,7 @@ void write_perf_ledger(const std::string& experiment_id,
   (void)items;
   (void)fault_profile;
   (void)fault_seed;
+  (void)sampler;
 #endif
 }
 

@@ -16,6 +16,9 @@
 #include <memory>
 
 #include "fault/fault.hpp"
+#include "obs/live/resource_sampler.hpp"
+#include "obs/live/scrape_server.hpp"
+#include "obs/live/watchdog.hpp"
 #include "obs/manifest.hpp"
 #include "obs/perf_ledger.hpp"
 #include "obs/timeline.hpp"
@@ -43,11 +46,22 @@ void print_header(const std::string& experiment_id, const std::string& title);
 ///   --timeline           record a begin/end execution timeline and write it
 ///                        as OBS_<id>.trace.json (Chrome trace-event format,
 ///                        open in Perfetto) next to the bench output
+///   --sample-interval-ms N  resource sampling cadence for the live plane
+///                        (default 25; 0 disables sampling entirely)
+///   --serve PORT         serve /metrics, /healthz and /stages on
+///                        127.0.0.1:PORT while the run is alive (0 binds an
+///                        ephemeral port, printed on startup)
+///   --serve-hold-ms N    keep the process (and the scrape endpoint) alive
+///                        N ms after the outputs are written, so an external
+///                        scraper reliably catches the run (CI smoke)
 /// Defaults reproduce the paper figures; any --threads value produces the
 /// same bytes (DESIGN.md §9), so the flags only trade wall-clock and scale.
 /// Faulted runs are equally deterministic: the fault schedule is a pure
 /// function of --fault-seed, never of thread timing. --timeline changes
-/// what is *recorded*, never what is computed.
+/// what is *recorded*, never what is computed, and the live plane
+/// (sampler, watchdog, scrape server) is an observer with the same
+/// guarantee: simulation output is byte-identical with it on or off
+/// (DESIGN.md §13, pinned by tests/obs/live_determinism_test.cpp).
 struct RunOptions {
   std::size_t threads = 1;
   int days = 0;                  // 0 = paper window (122 days)
@@ -56,6 +70,9 @@ struct RunOptions {
   std::string fault_profile = "none";
   std::uint64_t fault_seed = 1;
   bool timeline = false;
+  int sample_interval_ms = 25;   // 0 = sampler off
+  int serve_port = -1;           // -1 = no scrape endpoint, 0 = ephemeral
+  int serve_hold_ms = 0;         // post-run scrape window
 };
 
 /// Parses the flags above; exits with a usage message on anything unknown.
@@ -132,7 +149,8 @@ void write_perf_ledger(const std::string& experiment_id,
                        const exec::ThreadPool* pool,
                        std::uint64_t run_wall_nanos, std::uint64_t items,
                        const std::string& fault_profile = "none",
-                       std::uint64_t fault_seed = 0);
+                       std::uint64_t fault_seed = 0,
+                       const obs::live::ResourceSampler* sampler = nullptr);
 
 /// Writes OBS_<id>.trace.json (Chrome trace-event JSON; open in Perfetto
 /// or chrome://tracing). No-op for a null recorder or under
@@ -153,6 +171,14 @@ struct LandscapeWorld {
   /// headline number of the perf ledger.
   std::uint64_t run_wall_nanos = 0;
   exec::ThreadPool pool;  // declared before result: result's ctor uses it
+  /// The live telemetry plane, engaged by --sample-interval-ms / --serve.
+  /// Declared after pool (their probes read it; reverse destruction stops
+  /// them first) and before result (run_timed, result's initializer,
+  /// engages them before the first task).
+  std::unique_ptr<obs::live::Watchdog> watchdog;
+  std::unique_ptr<obs::live::ResourceSampler> sampler;
+  std::unique_ptr<obs::live::ScrapeServer> server;
+  int serve_hold_ms = 0;
   sim::LandscapeResult result;
 
   /// Fault plan vantage indices (order of the three exporters).
@@ -175,6 +201,11 @@ struct LandscapeWorld {
         result(run_timed(*this, options)) {
     apply_faults(options);
   }
+
+  /// Detaches the pool heartbeat and honors --serve-hold-ms (keeps the
+  /// scrape endpoint alive briefly so an external scraper catches the run)
+  /// before the members stop their threads in reverse declaration order.
+  ~LandscapeWorld();
 
   /// Builds the fault plan from RunOptions and filters each vantage store
   /// by its outage windows (no-op for profile "none").
@@ -200,7 +231,11 @@ struct LandscapeWorld {
                                fault_seed);
     bench::write_perf_ledger(experiment_id, result.config, &tracer, &pool,
                              run_wall_nanos, result_items(),
-                             fault_profile_name, fault_seed);
+                             fault_profile_name, fault_seed, sampler.get());
+    // Fold the live series into the trace as counter tracks before it is
+    // written (sequential surface; the run has quiesced).
+    if (timeline && sampler) sampler->export_to_timeline(*timeline);
+    if (timeline && watchdog) watchdog->export_to_timeline(*timeline);
     bench::write_timeline(experiment_id, timeline.get());
   }
 

@@ -4,18 +4,28 @@
 // instrumented: per-day metric sparklines, a timed stage tree, a Prometheus
 // metrics dump, and a RunManifest written next to the output.
 //
-//   $ ./examples/landscape_monitor [days]
+// Live mode: --serve PORT exposes /metrics, /healthz and /stages on
+// 127.0.0.1:PORT while the monitor runs (0 binds an ephemeral port, printed
+// on stderr), and --hold-ms N keeps the endpoint up N ms after the readout
+// so a scraper can catch the final state.
+//
+//   $ ./examples/landscape_monitor [days] [--serve PORT] [--hold-ms N]
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pktsize.hpp"
 #include "core/victims.hpp"
 #include "flow/sampler.hpp"
 #include "obs/exposition.hpp"
+#include "obs/live/resource_sampler.hpp"
+#include "obs/live/scrape_server.hpp"
+#include "obs/live/watchdog.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
 #include "stats/spacesaving.hpp"
@@ -27,10 +37,46 @@
 using namespace booterscope;
 
 int main(int argc, char** argv) {
-  const int days = argc > 1 ? std::max(3, std::atoi(argv[1])) : 14;
+  int days = 14;
+  int serve_port = -1;
+  int hold_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--serve" && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else if (flag == "--hold-ms" && i + 1 < argc) {
+      hold_ms = std::max(0, std::atoi(argv[++i]));
+    } else {
+      days = std::max(3, std::atoi(argv[i]));
+    }
+  }
 
   // Simulate a few weeks of inter-domain traffic at the IXP.
   obs::StageTracer tracer;
+
+  // Live telemetry plane: sampler + watchdog always on (they are cheap
+  // observers), the scrape endpoint only with --serve. The monitor is
+  // serial, so there is no pool to probe; the watchdog simply stays
+  // healthy unless a heartbeat is registered and goes quiet.
+  obs::live::Watchdog watchdog(obs::live::Watchdog::Config{}, &obs::metrics());
+  obs::live::ResourceSampler sampler(obs::live::ResourceSampler::Config{},
+                                     &obs::metrics(),
+                                     obs::live::ResourceSampler::PoolProbe(),
+                                     &watchdog);
+  sampler.start();
+  obs::live::ScrapeServer server(
+      obs::live::ScrapeServer::Config{
+          static_cast<std::uint16_t>(serve_port > 0 ? serve_port : 0), 16},
+      &obs::metrics(), &watchdog);
+  if (serve_port >= 0) {
+    if (server.start()) {
+      std::cerr << "live: serving /metrics /healthz /stages on 127.0.0.1:"
+                << server.port() << "\n";
+    } else {
+      std::cerr << "warning: could not start scrape server on port "
+                << serve_port << "\n";
+    }
+  }
   const sim::Internet internet{sim::InternetConfig{}};
   sim::LandscapeConfig config;
   config.start = util::Timestamp::parse("2018-11-01").value();
@@ -232,6 +278,18 @@ int main(int argc, char** argv) {
   const char* manifest_path = "OBS_landscape_monitor.manifest.json";
   if (manifest.write(manifest_path, &tracer, &obs::metrics())) {
     std::cout << "\nRunManifest written to " << manifest_path << "\n";
+  }
+
+  // Final live-plane state: one last sample, the finished stage tree on
+  // /stages, and the optional scrape window before the threads stop.
+  sampler.sample_now();
+  watchdog.disarm();
+  if (server.running()) {
+    server.publish_stages(obs::stages_json(tracer));
+    if (hold_ms > 0) {
+      std::cerr << "live: holding " << hold_ms << " ms for external scrapers\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    }
   }
   return 0;
 }

@@ -1,0 +1,211 @@
+#include "obs/live/scrape_server.hpp"
+
+#include <cstddef>
+#include <utility>
+
+#include "obs/exposition.hpp"
+#include "obs/live/watchdog.hpp"
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BOOTERSCOPE_LIVE_HAVE_SOCKETS 1
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace booterscope::obs::live {
+
+namespace {
+
+/// HTTP/1.1 response with the standard scrape headers. `content_type`
+/// defaults to the Prometheus text exposition type.
+[[nodiscard]] std::string http_response(int status, std::string_view reason,
+                                        std::string_view content_type,
+                                        std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    std::string(reason) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+constexpr std::string_view kPromContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(Config config, MetricsRegistry* registry,
+                           const Watchdog* watchdog)
+    : config_(config), registry_(registry), watchdog_(watchdog) {}
+
+ScrapeServer::~ScrapeServer() { stop(); }
+
+bool ScrapeServer::start() {
+#if defined(BOOTERSCOPE_LIVE_HAVE_SOCKETS)
+  if (thread_.joinable()) return running();
+  stop_requested_.store(false, std::memory_order_release);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, config_.backlog) != 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  listening_.store(true, std::memory_order_release);
+  // bslint:allow(BS005 scrape listener is an observer thread)
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ScrapeServer::stop() {
+#if defined(BOOTERSCOPE_LIVE_HAVE_SOCKETS)
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  listening_.store(false, std::memory_order_release);
+#endif
+}
+
+void ScrapeServer::publish_stages(std::string json) {
+  const util::MutexLock lock(stages_mutex_);
+  stages_json_ = std::move(json);
+}
+
+#if defined(BOOTERSCOPE_LIVE_HAVE_SOCKETS)
+
+void ScrapeServer::serve_loop() {
+  // poll with a short timeout so a stop() request is honoured within
+  // ~100 ms without self-pipes or signals.
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void ScrapeServer::handle_connection(int client_fd) {
+  // Read until the header terminator, a small bound, or a quiet socket; a
+  // scrape request fits one segment, so this is one read in practice.
+  std::string request;
+  char buffer[2048];
+  for (int rounds = 0; rounds < 8; ++rounds) {
+    pollfd pfd{};
+    pfd.fd = client_fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 250) <= 0) break;
+    const ssize_t got = ::recv(client_fd, buffer, sizeof buffer, 0);
+    if (got <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(got));
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.size() > 8192) {
+      break;
+    }
+  }
+  const std::size_t line_end = request.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::string response = response_for(request_line);
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t wrote = ::send(client_fd, response.data() + sent,
+                                 response.size() - sent, 0);
+    if (wrote <= 0) break;
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+#else
+
+void ScrapeServer::serve_loop() {}
+void ScrapeServer::handle_connection(int) {}
+
+#endif  // BOOTERSCOPE_LIVE_HAVE_SOCKETS
+
+std::string ScrapeServer::response_for(const std::string& request_line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  // "GET /path HTTP/1.1" — method, then target up to the next space or '?'.
+  const std::size_t method_end = request_line.find(' ');
+  const std::string method = request_line.substr(0, method_end);
+  std::string path;
+  if (method_end != std::string::npos) {
+    const std::size_t path_begin = method_end + 1;
+    std::size_t path_end = request_line.find(' ', path_begin);
+    if (path_end == std::string::npos) path_end = request_line.size();
+    path = request_line.substr(path_begin, path_end - path_begin);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+  }
+  const auto count = [&](const char* route) {
+    if (registry_ != nullptr) {
+      registry_
+          ->counter("booterscope_live_scrape_requests_total",
+                    {{"path", route}})
+          .inc();
+    }
+  };
+  if (method != "GET") {
+    count("other");
+    return http_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is supported\n");
+  }
+  if (path == "/metrics") {
+    count("metrics");
+    const std::string body =
+        registry_ != nullptr ? to_prometheus(*registry_) : std::string();
+    return http_response(200, "OK", kPromContentType, body);
+  }
+  if (path == "/healthz") {
+    count("healthz");
+    const bool healthy = watchdog_ == nullptr || watchdog_->healthy();
+    return healthy
+               ? http_response(200, "OK", "text/plain", "ok\n")
+               : http_response(503, "Service Unavailable", "text/plain",
+                               "stalled\n");
+  }
+  if (path == "/stages") {
+    count("stages");
+    std::string body;
+    {
+      const util::MutexLock lock(stages_mutex_);
+      body = stages_json_;
+    }
+    return http_response(200, "OK", "application/json", body);
+  }
+  count("other");
+  return http_response(404, "Not Found", "text/plain", "unknown route\n");
+}
+
+}  // namespace booterscope::obs::live

@@ -1,0 +1,106 @@
+// booterscope::obs::live — embedded HTTP/1.1 scrape endpoint.
+//
+// The observability files (OBS_*.prom, manifests, ledgers) are post-mortem;
+// a month-scale run and the future booterscoped service need the same data
+// while alive. ScrapeServer is the smallest server that a real Prometheus
+// can scrape: one listener thread, blocking accept behind a poll() with a
+// short timeout (so stop() needs no socket tricks), one request per
+// connection, `Connection: close`. No external dependencies — raw POSIX
+// sockets, compiled out to a start()-returns-false stub elsewhere.
+//
+// Routes:
+//   /metrics  current Prometheus text exposition of the registry
+//   /healthz  200 "ok" while the attached Watchdog is healthy, 503 during a
+//             stall (no watchdog: always 200)
+//   /stages   last *published* stage tree as JSON. StageTracer is
+//             single-owner (ConcurrencyGuard), so the server never touches
+//             it: the driver publishes a rendered snapshot at safe points
+//             (run start/end) and the server serves that copy under a lock.
+//
+// Serving is an observer: every handler reads atomics, the registry's
+// locked snapshot views, or published strings — never simulation state —
+// so scraping a run cannot change its bytes (DESIGN.md §13).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "util/annotations.hpp"
+
+namespace booterscope::obs {
+class MetricsRegistry;
+}  // namespace booterscope::obs
+
+namespace booterscope::obs::live {
+
+class Watchdog;
+
+class ScrapeServer {
+ public:
+  struct Config {
+    /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back from
+    /// port() after start()).
+    std::uint16_t port = 0;
+    int backlog = 16;
+  };
+
+  /// `registry` is served at /metrics and receives
+  /// booterscope_live_scrape_requests_total; nullptr serves an empty
+  /// exposition. The watchdog (optional) backs /healthz. Both must outlive
+  /// the server.
+  explicit ScrapeServer(Config config, MetricsRegistry* registry = nullptr,
+                        const Watchdog* watchdog = nullptr);
+  ~ScrapeServer();
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// Binds, listens and starts the listener thread. False when the bind
+  /// fails or the platform has no sockets; the run proceeds unserved.
+  [[nodiscard]] bool start();
+  /// Stops the listener and joins; idempotent, called by the destructor.
+  void stop();
+  [[nodiscard]] bool running() const noexcept {
+    return listening_.load(std::memory_order_acquire);
+  }
+  /// Bound port (the ephemeral one when Config::port was 0); 0 before
+  /// start().
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return port_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes the /stages body. Driver thread, at safe points — the
+  /// server only ever serves this copy.
+  void publish_stages(std::string json);
+
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int client_fd);
+  [[nodiscard]] std::string response_for(const std::string& request_line);
+
+  const Config config_;
+  MetricsRegistry* const registry_;
+  const Watchdog* const watchdog_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> listening_{false};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+
+  mutable util::Mutex stages_mutex_;
+  std::string stages_json_ BS_GUARDED_BY(stages_mutex_) = "[]";
+
+  // Listener thread: accepts and answers scrapes, never executes pipeline
+  // work — the serving substrate booterscoped will mount.
+  // bslint:allow(BS005 scrape listener is an observer thread)
+  std::thread thread_;
+};
+
+}  // namespace booterscope::obs::live

@@ -13,10 +13,10 @@
 
 namespace booterscope::obs {
 
-std::uint64_t peak_rss_bytes() noexcept {
+std::optional<std::uint64_t> try_peak_rss_bytes() noexcept {
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return std::nullopt;
 #if defined(__APPLE__)
   // ru_maxrss is bytes on Darwin, kilobytes on Linux/BSD.
   return static_cast<std::uint64_t>(usage.ru_maxrss);
@@ -24,8 +24,12 @@ std::uint64_t peak_rss_bytes() noexcept {
   return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
 #endif
 #else
-  return 0;
+  return std::nullopt;
 #endif
+}
+
+std::uint64_t peak_rss_bytes() noexcept {
+  return try_peak_rss_bytes().value_or(0);
 }
 
 void PerfLedger::add_config(std::string_view key, std::string_view value) {
@@ -71,7 +75,7 @@ std::string PerfLedger::to_json() const {
     return json_number(static_cast<double>(nanos) / 1e9);
   };
 
-  std::string out = "{\"schema\":\"booterscope-bench-ledger/1\"";
+  std::string out = "{\"schema\":\"booterscope-bench-ledger/2\"";
   out += ",\"bench\":" + json_string(bench_);
   if (!experiment_.empty()) {
     out += ",\"experiment\":" + json_string(experiment_);
@@ -121,7 +125,37 @@ std::string PerfLedger::to_json() const {
          (capacity > 0.0
               ? json_number(static_cast<double>(busy_total) / 1e9 / capacity)
               : std::string("0"));
-  out += "},\"peak_rss_bytes\":" + json_number(peak_rss_);
+  out.push_back('}');
+  if (has_resource_series_) {
+    const ResourceSeries& series = resource_series_;
+    out += ",\"resource_series\":{\"interval_seconds\":" +
+           json_number(static_cast<double>(series.interval_nanos) / 1e9);
+    out += ",\"samples\":" + json_number(series.t_seconds.size());
+    out += ",\"dropped\":" + json_number(series.dropped);
+    out += ",\"t_seconds\":[";
+    for (std::size_t i = 0; i < series.t_seconds.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += json_number(series.t_seconds[i]);
+    }
+    out += "],\"rss_bytes\":[";
+    for (std::size_t i = 0; i < series.rss_bytes.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += json_number(series.rss_bytes[i]);
+    }
+    out += "],\"cpu_seconds\":[";
+    for (std::size_t i = 0; i < series.cpu_seconds.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += json_number(series.cpu_seconds[i]);
+    }
+    out += "],\"rss_slope_bytes_per_second\":" +
+           json_number(series.rss_slope_bytes_per_second);
+    out.push_back('}');
+  }
+  // null, not 0, when the capture failed: a reader must not mistake "no
+  // measurement" for a zero-byte process.
+  out += ",\"peak_rss_bytes\":" +
+         (peak_rss_.has_value() ? json_number(*peak_rss_)
+                                : std::string("null"));
   out += "}";
   return out;
 }

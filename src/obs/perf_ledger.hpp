@@ -4,15 +4,20 @@
 // answers "how fast, and where did the time go" in a shape that
 // tools/benchdiff can compare across commits: wall time, items/s
 // throughput, the per-stage self/total breakdown, pool busy/idle
-// utilization, peak RSS, and the identity key (bench, experiment, seed,
-// config, git describe) that decides which baseline a run is comparable
-// to. Every bench writes one `BENCH_<id>.json` next to its results.
+// utilization, peak RSS, the sampled resource trajectory, and the identity
+// key (bench, experiment, seed, config, git describe) that decides which
+// baseline a run is comparable to. Every bench writes one `BENCH_<id>.json`
+// next to its results.
 //
-// Schema "booterscope-bench-ledger/1"; additions must stay
-// backward-readable (benchdiff ignores unknown keys).
+// Schema "booterscope-bench-ledger/2"; additions must stay
+// backward-readable (benchdiff ignores unknown keys). Rev 2 over rev 1:
+// `peak_rss_bytes` is null when the measurement failed (a 0 there used to
+// masquerade as a real reading), and the optional `resource_series` block
+// carries the obs::live::ResourceSampler trajectory.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -23,8 +28,16 @@ namespace booterscope::obs {
 class StageTracer;
 
 /// Best-effort peak resident set size of this process in bytes (getrusage
-/// ru_maxrss on POSIX), or 0 where the platform offers nothing.
+/// ru_maxrss on POSIX), or 0 where the platform offers nothing. Prefer
+/// try_peak_rss_bytes(), which keeps "failed" distinguishable from a real
+/// zero-byte reading.
 [[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+
+/// peak_rss_bytes() with failure made explicit: nullopt when getrusage
+/// fails or the platform offers nothing. Ledgers serialize nullopt as JSON
+/// null so benchdiff mutes its RSS gate instead of comparing against a
+/// phantom 0-byte process.
+[[nodiscard]] std::optional<std::uint64_t> try_peak_rss_bytes() noexcept;
 
 class PerfLedger {
  public:
@@ -57,11 +70,31 @@ class PerfLedger {
                       std::vector<std::uint64_t> busy_nanos_per_worker);
 
   /// Peak RSS; call capture_peak_rss() at end of run, or set a synthetic
-  /// value in tests.
+  /// value in tests. Disengaged (the default, or after a failed capture)
+  /// serializes as null.
   void set_peak_rss_bytes(std::uint64_t bytes) noexcept { peak_rss_ = bytes; }
-  void capture_peak_rss() noexcept { peak_rss_ = peak_rss_bytes(); }
+  void clear_peak_rss() noexcept { peak_rss_.reset(); }
+  void capture_peak_rss() noexcept { peak_rss_ = try_peak_rss_bytes(); }
 
-  /// Full JSON document (schema booterscope-bench-ledger/1).
+  /// The sampled resource trajectory of the run (obs::live). The parallel
+  /// arrays share indices; `t_seconds` is relative to the first sample.
+  struct ResourceSeries {
+    std::int64_t interval_nanos = 0;
+    std::uint64_t dropped = 0;
+    std::vector<double> t_seconds;
+    std::vector<std::uint64_t> rss_bytes;
+    std::vector<double> cpu_seconds;
+    double rss_slope_bytes_per_second = 0.0;
+  };
+  void set_resource_series(ResourceSeries series) {
+    resource_series_ = std::move(series);
+    has_resource_series_ = true;
+  }
+  [[nodiscard]] bool has_resource_series() const noexcept {
+    return has_resource_series_;
+  }
+
+  /// Full JSON document (schema booterscope-bench-ledger/2).
   [[nodiscard]] std::string to_json() const;
 
   /// Writes to_json() to `path`; false on I/O failure.
@@ -90,7 +123,9 @@ class PerfLedger {
   std::uint64_t pool_tasks_ = 0;
   std::uint64_t pool_steals_ = 0;
   std::vector<std::uint64_t> busy_nanos_;
-  std::uint64_t peak_rss_ = 0;
+  std::optional<std::uint64_t> peak_rss_;
+  ResourceSeries resource_series_;
+  bool has_resource_series_ = false;
 };
 
 }  // namespace booterscope::obs

@@ -151,6 +151,27 @@ void TimelineRecorder::sample_counters(const MetricsRegistry& registry,
 #endif
 }
 
+void TimelineRecorder::add_counter_sample(std::string_view name,
+                                          std::int64_t at_nanos,
+                                          double value) {
+#ifndef BOOTERSCOPE_NO_METRICS
+  const util::ConcurrencyGuard::Scope scope(
+      guard_, "TimelineRecorder::add_counter_sample");
+  TimelineEvent event;
+  event.kind = TimelineEvent::Kind::kCounter;
+  event.name = std::string(name);
+  event.category = "counter";
+  event.begin_nanos = at_nanos;
+  event.end_nanos = at_nanos;
+  event.value = value;
+  append(0, std::move(event));
+#else
+  (void)name;
+  (void)at_nanos;
+  (void)value;
+#endif
+}
+
 void TimelineRecorder::set_epoch_nanos(std::int64_t epoch) noexcept {
   epoch_nanos_ = epoch;
   epoch_set_ = true;

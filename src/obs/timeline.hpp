@@ -92,6 +92,12 @@ class TimelineRecorder {
   void sample_counters(const MetricsRegistry& registry, std::string_view prefix,
                        std::int64_t at_nanos);
 
+  /// One point on a named counter track (lane 0) — how the live resource
+  /// series lands in the trace. Sequential surface, same contract as
+  /// sample_counters.
+  void add_counter_sample(std::string_view name, std::int64_t at_nanos,
+                          double value);
+
   /// Export timestamps are rendered relative to this epoch (microseconds).
   /// Defaults to the smallest recorded timestamp; tests pin it (e.g. 0) for
   /// byte-stable output.

@@ -117,9 +117,17 @@ void ThreadPool::worker_loop(std::size_t index) {
           timeline_.load(std::memory_order_acquire);
       const std::int64_t t0 = util::monotonic_nanos();
       if (stole && timeline != nullptr) timeline->record_instant("steal", t0);
+      stats_[index]->active.store(true, std::memory_order_relaxed);
       task();
+      stats_[index]->active.store(false, std::memory_order_relaxed);
       const std::int64_t t1 = util::monotonic_nanos();
       task = nullptr;
+      // Beat the attached liveness heartbeat (if any): each completed task
+      // is proof of forward progress for the watchdog.
+      if (std::atomic<std::int64_t>* heartbeat =
+              heartbeat_.load(std::memory_order_acquire)) {
+        heartbeat->store(t1, std::memory_order_relaxed);
+      }
       const std::uint64_t busy =
           stats_[index]->busy_nanos.fetch_add(
               static_cast<std::uint64_t>(t1 - t0), std::memory_order_relaxed) +
@@ -187,6 +195,23 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&] { return done; });
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& queue : queues_) {
+    const util::MutexLock lock(queue->mutex);
+    depth += queue->tasks.size();
+  }
+  return depth;
+}
+
+std::size_t ThreadPool::busy_workers() const noexcept {
+  std::size_t busy = 0;
+  for (const auto& stats : stats_) {
+    if (stats->active.load(std::memory_order_relaxed)) ++busy;
+  }
+  return busy;
 }
 
 int ThreadPool::current_worker() noexcept { return tls_worker_index; }

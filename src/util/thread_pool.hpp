@@ -83,12 +83,29 @@ class ThreadPool {
     return stats_[index]->busy_nanos.load(std::memory_order_relaxed);
   }
 
+  /// Tasks currently sitting in the worker deques (not yet started). Takes
+  /// each queue's mutex briefly — an observer-cadence probe (the live
+  /// sampler's tick), not a hot-path call.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Workers currently inside a task body. Relaxed reads of per-worker
+  /// flags; momentary by nature, meant for sampling.
+  [[nodiscard]] std::size_t busy_workers() const noexcept;
+
   /// Attaches a begin/end timeline: tasks and steals start recording into
   /// per-worker lanes (lane w+1 for worker w; size the recorder as
   /// size() + 1). Attach while the pool is idle and keep the recorder alive
   /// until after the last wait_idle(); detach with nullptr.
   void attach_timeline(obs::TimelineRecorder* timeline) noexcept {
     timeline_.store(timeline, std::memory_order_release);
+  }
+
+  /// Attaches a liveness heartbeat (obs::live::Watchdog::register_heartbeat
+  /// hands one out): every worker stores the task-completion timestamp into
+  /// it, so a watchdog can tell a draining pool from a wedged one. Same
+  /// lifetime contract as attach_timeline; detach with nullptr.
+  void attach_heartbeat(std::atomic<std::int64_t>* heartbeat) noexcept {
+    heartbeat_.store(heartbeat, std::memory_order_release);
   }
 
  private:
@@ -101,6 +118,7 @@ class ThreadPool {
   /// writes, readers (ledgers, gauges) sum with relaxed loads.
   struct alignas(64) WorkerStats {
     std::atomic<std::uint64_t> busy_nanos{0};
+    std::atomic<bool> active{false};  // inside a task body right now
   };
 
   void worker_loop(std::size_t index);
@@ -114,6 +132,7 @@ class ThreadPool {
   std::vector<obs::Counter*> steal_metrics_;  // per worker
   std::vector<obs::Gauge*> busy_metrics_;     // per worker, busy seconds
   std::atomic<obs::TimelineRecorder*> timeline_{nullptr};
+  std::atomic<std::atomic<std::int64_t>*> heartbeat_{nullptr};
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::uint64_t> executed_{0};

@@ -2,39 +2,28 @@
 // by line and check the invariants a real scraper relies on — one sample
 // per line, # TYPE headers once per family, cumulative histogram buckets
 // ending in +Inf == _count, and label values escaped so quotes/newlines
-// can never split a sample. Under BOOTERSCOPE_NO_METRICS the instruments
-// are inert, so the structural checks run against zero-valued series.
+// can never split a sample. The structural walk lives in
+// prom_conformance.hpp, shared with the scrape-server loopback suite so the
+// renderer and the wire format are held to one set of rules. Under
+// BOOTERSCOPE_NO_METRICS the instruments are inert, so the structural
+// checks run against zero-valued series.
 #include "obs/exposition.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "prom_conformance.hpp"
 
 namespace booterscope::obs {
 namespace {
 
-[[nodiscard]] std::vector<std::string> lines_of(const std::string& text) {
-  std::vector<std::string> lines;
-  std::istringstream stream(text);
-  std::string line;
-  while (std::getline(stream, line)) lines.push_back(line);
-  return lines;
-}
-
-/// Splits "name{labels} value" into (series, value). Samples only — callers
-/// filter out "# TYPE" comment lines first.
-[[nodiscard]] std::pair<std::string, double> parse_sample(
-    const std::string& line) {
-  const std::size_t space = line.rfind(' ');
-  EXPECT_NE(space, std::string::npos) << line;
-  return {line.substr(0, space), std::stod(line.substr(space + 1))};
-}
+using testing::expect_conformant_exposition;
+using testing::lines_of;
+using testing::parse_sample;
 
 TEST(Exposition, EverySampleLineParsesAndTypeHeadersAppearOncePerFamily) {
   MetricsRegistry registry;
@@ -42,20 +31,10 @@ TEST(Exposition, EverySampleLineParsesAndTypeHeadersAppearOncePerFamily) {
   registry.counter("booterscope_test_total", {{"kind", "b"}}).add(4);
   registry.gauge("booterscope_test_level").set(1.5);
 
-  std::map<std::string, int> type_headers;
-  std::map<std::string, double> samples;
-  for (const std::string& line : lines_of(to_prometheus(registry))) {
-    ASSERT_FALSE(line.empty()) << "blank line in exposition output";
-    if (line.rfind("# TYPE ", 0) == 0) {
-      ++type_headers[line];
-      continue;
-    }
-    ASSERT_NE(line.front(), '#') << "unexpected comment: " << line;
-    const auto [series, value] = parse_sample(line);
-    samples[series] = value;
-  }
-  EXPECT_EQ(type_headers["# TYPE booterscope_test_total counter"], 1);
-  EXPECT_EQ(type_headers["# TYPE booterscope_test_level gauge"], 1);
+  const auto [type_headers, samples] =
+      expect_conformant_exposition(to_prometheus(registry));
+  EXPECT_EQ(type_headers.at("# TYPE booterscope_test_total counter"), 1);
+  EXPECT_EQ(type_headers.at("# TYPE booterscope_test_level gauge"), 1);
 #ifndef BOOTERSCOPE_NO_METRICS
   EXPECT_EQ(samples.at("booterscope_test_total{kind=\"a\"}"), 3.0);
   EXPECT_EQ(samples.at("booterscope_test_total{kind=\"b\"}"), 4.0);

@@ -1,6 +1,7 @@
 // Unit tests for PerfLedger: the BENCH_<id>.json schema contract that
 // tools/benchdiff parses on the other side — headline numbers, per-stage
-// self/total breakdown, pool utilization and peak RSS.
+// self/total breakdown, pool utilization, nullable peak RSS and the live
+// sampler's resource_series block (schema /2).
 #include "obs/perf_ledger.hpp"
 
 #include <gtest/gtest.h>
@@ -23,7 +24,7 @@ TEST(PerfLedger, EmitsTheLedgerSchemaWithIdentityAndHeadlines) {
   ledger.set_items(1024);
 
   const std::string json = ledger.to_json();
-  EXPECT_NE(json.find("\"schema\":\"booterscope-bench-ledger/1\""),
+  EXPECT_NE(json.find("\"schema\":\"booterscope-bench-ledger/2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"bench\":\"bench_unit\""), std::string::npos);
   EXPECT_NE(json.find("\"experiment\":\"unit\""), std::string::npos);
@@ -83,13 +84,58 @@ TEST(PerfLedger, PoolStatsRenderUtilizationAgainstWall) {
 TEST(PerfLedger, PeakRssIsCapturedOnPosix) {
 #if defined(__unix__) || defined(__APPLE__)
   EXPECT_GT(peak_rss_bytes(), 0u);
+  EXPECT_TRUE(try_peak_rss_bytes().has_value());
   PerfLedger ledger("bench_unit");
   ledger.capture_peak_rss();
   const std::string json = ledger.to_json();
   EXPECT_EQ(json.find("\"peak_rss_bytes\":0}"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"peak_rss_bytes\":null"), std::string::npos) << json;
 #else
   GTEST_SKIP() << "no getrusage on this platform";
 #endif
+}
+
+TEST(PerfLedger, UncapturedPeakRssSerializesAsNullNotZero) {
+  // A failed (or never attempted) capture must be distinguishable from a
+  // genuine 0-byte measurement: benchdiff mutes its RSS gate on null but
+  // would compare against a fake 0.
+  PerfLedger ledger("bench_unit");
+  ledger.clear_peak_rss();
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"peak_rss_bytes\":null"), std::string::npos) << json;
+}
+
+TEST(PerfLedger, ResourceSeriesBlockSerializesParallelArrays) {
+  PerfLedger ledger("bench_unit");
+  PerfLedger::ResourceSeries series;
+  series.interval_nanos = 25'000'000;
+  series.dropped = 2;
+  series.t_seconds = {0.0, 0.025, 0.05};
+  series.rss_bytes = {1000, 2000, 3000};
+  series.cpu_seconds = {0.1, 0.2, 0.3};
+  series.rss_slope_bytes_per_second = 512.0;
+  ledger.set_resource_series(std::move(series));
+  ASSERT_TRUE(ledger.has_resource_series());
+
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"resource_series\":{\"interval_seconds\":0.025"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"samples\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rss_bytes\":[1000,2000,3000]"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cpu_seconds\":[0.1,0.2,0.3]"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"rss_slope_bytes_per_second\":512"),
+            std::string::npos)
+      << json;
+
+  // Without the block the key must be absent entirely (schema /2 keeps it
+  // optional so sampler-off runs stay small).
+  PerfLedger bare("bench_unit");
+  EXPECT_FALSE(bare.has_resource_series());
+  EXPECT_EQ(bare.to_json().find("resource_series"), std::string::npos);
 }
 
 TEST(PerfLedger, WriteRoundTripsToDisk) {

@@ -1,0 +1,69 @@
+// Shared Prometheus text-exposition conformance helpers. Both the unit
+// suite (exposition_test.cpp, against an in-memory registry) and the
+// loopback suite (scrape_server_test.cpp, against a real /metrics response
+// body) must hold the document to the same invariants a scraper relies on:
+// no blank lines, `# TYPE` once per family before its samples, and every
+// non-comment line parsing as `series value`. Keeping the checks in one
+// header means the wire format and the renderer cannot drift apart.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace booterscope::obs::testing {
+
+[[nodiscard]] inline std::vector<std::string> lines_of(
+    const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Splits "name{labels} value" into (series, value). Samples only — callers
+/// filter out "# TYPE" comment lines first.
+[[nodiscard]] inline std::pair<std::string, double> parse_sample(
+    const std::string& line) {
+  const std::size_t space = line.rfind(' ');
+  EXPECT_NE(space, std::string::npos) << line;
+  return {line.substr(0, space), std::stod(line.substr(space + 1))};
+}
+
+/// One parsed exposition document.
+struct ParsedExposition {
+  std::map<std::string, int> type_headers;  // full "# TYPE ..." line -> count
+  std::map<std::string, double> samples;    // "name{labels}" -> value
+};
+
+/// Parses `text` while asserting the structural conformance invariants:
+/// no blank lines, every comment is a `# TYPE` header, every other line is
+/// a parseable sample.
+[[nodiscard]] inline ParsedExposition expect_conformant_exposition(
+    const std::string& text) {
+  ParsedExposition parsed;
+  for (const std::string& line : lines_of(text)) {
+    EXPECT_FALSE(line.empty()) << "blank line in exposition output";
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u)
+          << "unexpected comment: " << line;
+      ++parsed.type_headers[line];
+      continue;
+    }
+    const auto [series, value] = parse_sample(line);
+    EXPECT_FALSE(series.empty()) << line;
+    parsed.samples[series] = value;
+  }
+  for (const auto& [header, count] : parsed.type_headers) {
+    EXPECT_EQ(count, 1) << "duplicate type header: " << header;
+  }
+  return parsed;
+}
+
+}  // namespace booterscope::obs::testing

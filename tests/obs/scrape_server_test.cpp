@@ -1,0 +1,215 @@
+// ScrapeServer loopback suite: a real client socket against a real
+// listener on 127.0.0.1, because the thing worth pinning is the wire
+// behaviour a Prometheus scraper sees — status lines, Content-Length,
+// Connection: close, and a /metrics body that passes the same conformance
+// walk as the in-memory renderer (prom_conformance.hpp). POSIX-only, like
+// the server itself; elsewhere the whole suite reduces to the
+// start()-returns-false contract.
+#include "obs/live/scrape_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/live/watchdog.hpp"
+#include "obs/metrics.hpp"
+#include "prom_conformance.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BOOTERSCOPE_TEST_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace booterscope::obs::live {
+namespace {
+
+#ifdef BOOTERSCOPE_TEST_HAVE_SOCKETS
+
+/// One raw HTTP exchange against 127.0.0.1:`port`. Reads to EOF — the
+/// server promises Connection: close — and returns the full response text.
+[[nodiscard]] std::string http_exchange(std::uint16_t port,
+                                        const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ADD_FAILURE() << "connect to 127.0.0.1:" << port << " failed";
+    ::close(fd);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+[[nodiscard]] std::string http_get(std::uint16_t port,
+                                   const std::string& path) {
+  return http_exchange(port, "GET " + path +
+                                 " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                                 "Connection: close\r\n\r\n");
+}
+
+[[nodiscard]] std::string status_line_of(const std::string& response) {
+  return response.substr(0, response.find("\r\n"));
+}
+
+[[nodiscard]] std::string body_of(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  EXPECT_NE(split, std::string::npos) << response;
+  return split == std::string::npos ? std::string() :
+                                      response.substr(split + 4);
+}
+
+/// The declared Content-Length, or npos when the header is missing.
+[[nodiscard]] std::size_t content_length_of(const std::string& response) {
+  const std::string key = "Content-Length: ";
+  const std::size_t at = response.find(key);
+  if (at == std::string::npos) return std::string::npos;
+  return static_cast<std::size_t>(
+      std::stoull(response.substr(at + key.size())));
+}
+
+TEST(ScrapeServer, MetricsRoundTripServesConformantExposition) {
+  MetricsRegistry registry;
+  registry.counter("booterscope_live_fixture_total", {{"kind", "a"}}).add(3);
+  registry.gauge("booterscope_live_fixture_depth").set(2.5);
+  ScrapeServer server(ScrapeServer::Config{0, 16}, &registry);
+  ASSERT_TRUE(server.start());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string response = http_get(server.port(), "/metrics");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_EQ(content_length_of(response), body.size());
+
+  // The response body must hold to the exact conformance rules the
+  // renderer's own unit suite enforces — shared walk, shared invariants.
+  const auto parsed = obs::testing::expect_conformant_exposition(body);
+#ifndef BOOTERSCOPE_NO_METRICS
+  EXPECT_EQ(parsed.samples.at(
+                "booterscope_live_fixture_total{kind=\"a\"}"),
+            3.0);
+  EXPECT_EQ(parsed.samples.at("booterscope_live_fixture_depth"), 2.5);
+#endif
+  EXPECT_GE(server.requests_served(), 1u);
+  server.stop();
+}
+
+TEST(ScrapeServer, HealthzFollowsWatchdogState) {
+  MetricsRegistry registry;
+  Watchdog::Config deadline;
+  deadline.stall_deadline_nanos = 1'000'000'000;
+  Watchdog watchdog(deadline, &registry);
+  std::atomic<std::int64_t>* beat = watchdog.register_heartbeat("stage", 0);
+  ScrapeServer server(ScrapeServer::Config{0, 16}, &registry, &watchdog);
+  ASSERT_TRUE(server.start());
+
+  std::string response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(body_of(response), "ok\n");
+
+  watchdog.check(5'000'000'000);  // 5s of silence against a 1s deadline
+  response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 503 Service Unavailable");
+  EXPECT_EQ(body_of(response), "stalled\n");
+
+  beat->store(5'000'000'000);
+  watchdog.check(6'000'000'000);
+  response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  server.stop();
+}
+
+TEST(ScrapeServer, StagesServesThePublishedSnapshotOnly) {
+  ScrapeServer server(ScrapeServer::Config{0, 16});
+  ASSERT_TRUE(server.start());
+
+  // Nothing published yet: the documented empty default.
+  std::string response = http_get(server.port(), "/stages");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_EQ(body_of(response), "[]");
+
+  server.publish_stages("{\"name\":\"run\",\"children\":[]}");
+  response = http_get(server.port(), "/stages");
+  EXPECT_EQ(body_of(response), "{\"name\":\"run\",\"children\":[]}");
+  server.stop();
+}
+
+TEST(ScrapeServer, UnknownRouteIs404AndNonGetIs405) {
+  ScrapeServer server(ScrapeServer::Config{0, 16});
+  ASSERT_TRUE(server.start());
+
+  std::string response = http_get(server.port(), "/bogus");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 404 Not Found");
+
+  response = http_exchange(server.port(),
+                           "POST /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                           "Content-Length: 0\r\n\r\n");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 405 Method Not Allowed");
+
+  // Query strings route like their bare path.
+  response = http_get(server.port(), "/healthz?verbose=1");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  server.stop();
+}
+
+TEST(ScrapeServer, StopIsIdempotentAndJoinsTheListener) {
+  ScrapeServer server(ScrapeServer::Config{0, 16});
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  ASSERT_TRUE(server.start());
+  EXPECT_TRUE(server.running());
+  const std::uint16_t port = server.port();
+  EXPECT_GT(port, 0);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // second stop must be a no-op
+  // The port is released: a fresh server can bind a fresh ephemeral port.
+  ScrapeServer next(ScrapeServer::Config{0, 16});
+  ASSERT_TRUE(next.start());
+  EXPECT_GT(next.port(), 0);
+  next.stop();
+}
+
+#else  // !BOOTERSCOPE_TEST_HAVE_SOCKETS
+
+TEST(ScrapeServer, StartReturnsFalseWithoutSockets) {
+  ScrapeServer server(ScrapeServer::Config{0, 16});
+  EXPECT_FALSE(server.start());
+  EXPECT_FALSE(server.running());
+}
+
+#endif
+
+}  // namespace
+}  // namespace booterscope::obs::live

@@ -133,6 +133,25 @@ TEST(Timeline, CounterEventsExportAsCounterPhase) {
 #endif
 }
 
+// The live sampler's export path: one pre-valued point per tick, appended
+// post-quiesce to lane 0 without a registry read. Same "C" phase as
+// sample_counters so Perfetto draws both under the span rows.
+TEST(Timeline, AddCounterSampleEmitsCounterTrackOnLaneZero) {
+  TimelineRecorder recorder(1);
+  recorder.set_epoch_nanos(0);
+  recorder.add_counter_sample("booterscope_live_rss_bytes", 7000, 4096.0);
+  recorder.add_counter_sample("booterscope_live_rss_bytes", 9000, 8192.0);
+  const std::string json = recorder.to_chrome_json();
+#ifndef BOOTERSCOPE_NO_METRICS
+  EXPECT_NE(json.find("booterscope_live_rss_bytes"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos) << json;
+  EXPECT_EQ(recorder.event_count(), 2u);
+#else
+  EXPECT_EQ(json.find("\"ph\":\"C\""), std::string::npos);
+#endif
+}
+
 // The determinism contract of the tentpole: the exported document is a
 // pure function of the handed-off events. Execute the same synthetic
 // workload on pools of size 1, 2 and 8, derive every timestamp from the

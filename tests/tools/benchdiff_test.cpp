@@ -59,6 +59,49 @@ struct FixtureSpec {
   return *ledger;
 }
 
+/// A schema /2 resource_series block. `samples` is the *declared* count —
+/// pass one that disagrees with the 3-element arrays to provoke the
+/// check_ledger consistency finding.
+[[nodiscard]] std::string series_block(double slope,
+                                       std::uint64_t samples = 3,
+                                       const std::string& t = "[0,1,2]") {
+  char buffer[320];
+  std::snprintf(buffer, sizeof buffer,
+                "\"resource_series\":{\"interval_seconds\":0.025,"
+                "\"samples\":%llu,\"dropped\":0,\"t_seconds\":%s,"
+                "\"rss_bytes\":[1000,2000,3000],"
+                "\"cpu_seconds\":[0.1,0.2,0.3],"
+                "\"rss_slope_bytes_per_second\":%g}",
+                static_cast<unsigned long long>(samples), t.c_str(), slope);
+  return buffer;
+}
+
+/// Upgrades a v1 fixture document to schema /2: optionally nulls the RSS
+/// (the getrusage-failed encoding) and splices in a resource_series block.
+[[nodiscard]] std::string ledger_json_v2(const FixtureSpec& spec,
+                                         bool null_rss,
+                                         const std::string& series = "") {
+  std::string json = ledger_json(spec);
+  json.replace(json.find("ledger/1"), 8, "ledger/2");
+  if (null_rss) {
+    const std::size_t at = json.find("\"peak_rss_bytes\":");
+    json = json.substr(0, at) + "\"peak_rss_bytes\":null}";
+  }
+  if (!series.empty()) {
+    json.insert(json.find("\"peak_rss_bytes\""), series + ",");
+  }
+  return json;
+}
+
+[[nodiscard]] Ledger parse_fixture_v2(const FixtureSpec& spec, bool null_rss,
+                                      const std::string& series = "") {
+  std::string error;
+  const std::optional<Ledger> ledger =
+      parse_ledger(ledger_json_v2(spec, null_rss, series), &error);
+  EXPECT_TRUE(ledger) << error;
+  return *ledger;
+}
+
 TEST(BenchdiffParse, RoundTripsEveryLedgerField) {
   FixtureSpec spec;
   const Ledger ledger = parse_fixture(spec);
@@ -72,6 +115,25 @@ TEST(BenchdiffParse, RoundTripsEveryLedgerField) {
   EXPECT_DOUBLE_EQ(ledger.stages[0].total_seconds, 8.0);
   EXPECT_EQ(ledger.pool_workers, 4u);
   EXPECT_EQ(ledger.peak_rss_bytes, 400'000'000u);
+}
+
+TEST(BenchdiffParse, SchemaTwoParsesNullRssAndResourceSeries) {
+  const Ledger ledger = parse_fixture_v2({}, true, series_block(512.0));
+  EXPECT_FALSE(ledger.peak_rss_bytes.has_value())
+      << "serialized null must not read back as a number";
+  ASSERT_TRUE(ledger.resource_series.has_value());
+  EXPECT_EQ(ledger.resource_series->samples, 3u);
+  EXPECT_EQ(ledger.resource_series->dropped, 0u);
+  EXPECT_EQ(ledger.resource_series->t_seconds.size(), 3u);
+  EXPECT_EQ(ledger.resource_series->rss_bytes.size(), 3u);
+  EXPECT_EQ(ledger.resource_series->cpu_seconds.size(), 3u);
+  EXPECT_DOUBLE_EQ(ledger.resource_series->rss_slope_bytes_per_second, 512.0);
+  EXPECT_DOUBLE_EQ(ledger.resource_series->interval_seconds, 0.025);
+
+  // A /2 ledger without the optional extras parses like a /1 one.
+  const Ledger plain = parse_fixture_v2({}, false);
+  EXPECT_EQ(plain.peak_rss_bytes, 400'000'000u);
+  EXPECT_FALSE(plain.resource_series.has_value());
 }
 
 TEST(BenchdiffParse, RejectsMalformedJsonAndWrongSchema) {
@@ -179,6 +241,99 @@ TEST(BenchdiffGate, DetectsRssRegressionAtMatchingThreads) {
       diff_ledgers(parse_fixture({}), parse_fixture(fat), DiffOptions{});
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.findings[0].metric, "peak_rss_bytes");
+}
+
+TEST(BenchdiffGate, NullRssMutesTheRssGateInsteadOfComparingZero) {
+  // Candidate could not read its own RSS: comparing against a fake 0 would
+  // either always pass (cand 0 vs base N) or always fail (base 0 treated as
+  // "unavailable"). The gate must mute, visibly.
+  const DiffResult result = diff_ledgers(
+      parse_fixture({}), parse_fixture_v2({}, true), DiffOptions{});
+  EXPECT_TRUE(result.ok()) << render_report(result);
+  bool muted = false;
+  for (const std::string& note : result.notes) {
+    if (note.find("RSS gate muted") != std::string::npos) muted = true;
+  }
+  EXPECT_TRUE(muted) << render_report(result);
+}
+
+TEST(BenchdiffGate, SlopeRegressionFiresAboveRatioPlusAllowance) {
+  // Baseline grows at 1 MB/s; threshold = 3x + 1 MiB/s = 4,048,576 B/s.
+  const Ledger base = parse_fixture_v2({}, false, series_block(1'000'000.0));
+  const Ledger leaky =
+      parse_fixture_v2({}, false, series_block(5'000'000.0));
+  const DiffResult bad = diff_ledgers(base, leaky, DiffOptions{});
+  ASSERT_FALSE(bad.ok()) << "5 MB/s vs 1 MB/s must trip the slope gate";
+  EXPECT_EQ(bad.findings[0].metric, "resource_series.rss_slope");
+  EXPECT_EQ(bad.findings[0].kind, Finding::Kind::kTiming);
+
+  const Ledger near =
+      parse_fixture_v2({}, false, series_block(4'000'000.0));
+  EXPECT_TRUE(diff_ledgers(base, near, DiffOptions{}).ok())
+      << "4 MB/s is under the 3x + allowance threshold";
+}
+
+TEST(BenchdiffGate, FlatBaselineAllowanceToleratesJitter) {
+  // A flat baseline (slope ~0, even slightly negative) must not turn sub-
+  // MiB/s allocator jitter into a failure; above the allowance it fails.
+  const Ledger flat = parse_fixture_v2({}, false, series_block(-100.0));
+  const Ledger jitter =
+      parse_fixture_v2({}, false, series_block(500'000.0));
+  EXPECT_TRUE(diff_ledgers(flat, jitter, DiffOptions{}).ok());
+
+  const Ledger leak =
+      parse_fixture_v2({}, false, series_block(2'000'000.0));
+  EXPECT_FALSE(diff_ledgers(flat, leak, DiffOptions{}).ok());
+}
+
+TEST(BenchdiffGate, SlopeGateRespectsNoiseFloorAndThreadIdentity) {
+  FixtureSpec tiny;
+  tiny.wall = 0.05;
+  const Ledger base =
+      parse_fixture_v2(tiny, false, series_block(1'000'000.0));
+  const Ledger leaky =
+      parse_fixture_v2(tiny, false, series_block(50'000'000.0));
+  DiffOptions floor;
+  floor.min_runtime_seconds = 5.0;
+  EXPECT_TRUE(diff_ledgers(base, leaky, floor).ok())
+      << "sub-floor runs must not be slope-gated";
+
+  FixtureSpec other_threads;
+  other_threads.threads = "16";
+  const Ledger wide =
+      parse_fixture_v2(other_threads, false, series_block(50'000'000.0));
+  EXPECT_TRUE(
+      diff_ledgers(parse_fixture_v2({}, false, series_block(1'000'000.0)),
+                   wide, DiffOptions{})
+          .ok())
+      << "a different pool shape legitimately changes memory behaviour";
+}
+
+TEST(BenchdiffGate, CandidateLosingTheSeriesIsStructuralDrift) {
+  const Ledger base = parse_fixture_v2({}, false, series_block(0.0));
+  const Ledger bare = parse_fixture({});  // v1: no series
+  const DiffResult result = diff_ledgers(base, bare, DiffOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kStructural);
+  EXPECT_EQ(result.findings[0].metric, "resource_series");
+
+  // The reverse — candidate gained a series — is progress, not drift.
+  EXPECT_TRUE(diff_ledgers(bare, base, DiffOptions{}).ok());
+}
+
+TEST(BenchdiffCheck, FlagsSeriesArrayMismatchAndNonMonotoneTime) {
+  const Ledger miscounted =
+      parse_fixture_v2({}, false, series_block(0.0, /*samples=*/5));
+  std::vector<Finding> findings = check_ledger(miscounted);
+  ASSERT_EQ(findings.size(), 1u) << render_report({findings, {}, 1});
+  EXPECT_NE(findings[0].detail.find("declared sample count"),
+            std::string::npos);
+
+  const Ledger unordered = parse_fixture_v2(
+      {}, false, series_block(0.0, /*samples=*/3, "[0,2,1]"));
+  findings = check_ledger(unordered);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].detail.find("monotonically"), std::string::npos);
 }
 
 TEST(BenchdiffCheck, FlagsInternalInconsistency) {

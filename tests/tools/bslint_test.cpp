@@ -29,9 +29,9 @@ std::vector<Finding> lint_fixture(const std::string& fixture,
   return lint_file({lint_path, read_fixture(fixture), ""});
 }
 
-TEST(BslintRules, TableHasFiveRulesOrderedById) {
+TEST(BslintRules, TableHasSixRulesOrderedById) {
   const std::vector<RuleInfo>& table = rules();
-  ASSERT_EQ(table.size(), 5u);
+  ASSERT_EQ(table.size(), 6u);
   for (std::size_t i = 0; i < table.size(); ++i) {
     EXPECT_EQ(table[i].id, "BS00" + std::to_string(i + 1));
     EXPECT_FALSE(table[i].summary.empty());
@@ -83,6 +83,33 @@ TEST(BslintGolden, Bs005FiresOnceOnNakedThread) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "BS005");
   EXPECT_EQ(findings[0].line, 6u);
+}
+
+TEST(BslintGolden, Bs006FiresOnceOnSuffixlessCounter) {
+  const auto findings =
+      lint_fixture("bs006_metric_name.cpp", "src/obs/fixture.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "BS006");
+  EXPECT_EQ(findings[0].line, 12u);
+  EXPECT_NE(findings[0].message.find("booterscope_fixture_events"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("unit suffix"), std::string::npos);
+}
+
+TEST(BslintScope, Bs006MetricNamesOutsideSrcAreNotLinted) {
+  const std::string code =
+      "struct R { int& counter(const char*); };\n"
+      "void f(R& r) { r.counter(\"BadName\"); }\n";
+  EXPECT_TRUE(lint_file({"bench/fixture.cpp", code, ""}).empty());
+}
+
+TEST(BslintScope, Bs006IgnoresCounterTotalReads) {
+  // counter_total( is a read of summed series, not a registration; the
+  // rule must not fire on it whatever the argument looks like.
+  const std::string code =
+      "struct R { unsigned counter_total(const char*) const; };\n"
+      "unsigned f(const R& r) { return r.counter_total(\"Whatever Name\"); }\n";
+  EXPECT_TRUE(lint_file({"src/obs/fixture.cpp", code, ""}).empty());
 }
 
 TEST(BslintGolden, SuppressedFixtureIsClean) {

@@ -1,0 +1,15 @@
+// Fixture: BS006 must fire exactly once, on the suffix-less counter.
+// Linted as if it lived under src/. The conforming registrations and the
+// suppressed charset violation must stay silent.
+struct Registry {
+  int& counter(const char* name);
+  int& gauge(const char* name);
+};
+
+void register_metrics(Registry& registry) {
+  registry.counter("booterscope_fixture_events_total");  // conforming
+  registry.gauge("booterscope_fixture_depth");           // gauges need no suffix
+  registry.counter("booterscope_fixture_events");  // line 12: counter without unit suffix
+  // bslint:allow(BS006 charset violation pinned by the suppression test)
+  registry.gauge("BooterscopeFixtureDepth");
+}

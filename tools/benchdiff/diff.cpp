@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
 #include "json_mini.hpp"
 
@@ -13,7 +14,11 @@ namespace booterscope::benchdiff {
 
 namespace {
 
-constexpr std::string_view kSchema = "booterscope-bench-ledger/1";
+// /1 ledgers predate the live telemetry plane: no resource_series, RSS
+// always a number. /2 adds the optional series and nullable RSS. Both stay
+// accepted so committed /1 baselines keep gating until regenerated.
+constexpr std::string_view kSchemaV1 = "booterscope-bench-ledger/1";
+constexpr std::string_view kSchemaV2 = "booterscope-bench-ledger/2";
 
 [[nodiscard]] std::string format_seconds(double seconds) {
   char buffer[32];
@@ -71,10 +76,11 @@ std::optional<Ledger> parse_ledger(const std::string& text,
     return std::nullopt;
   }
   const std::string schema = doc->string_or("schema", "");
-  if (schema != kSchema) {
+  if (schema != kSchemaV1 && schema != kSchemaV2) {
     if (error != nullptr) {
       *error = "unsupported schema '" + schema + "' (want '" +
-               std::string(kSchema) + "')";
+               std::string(kSchemaV1) + "' or '" + std::string(kSchemaV2) +
+               "')";
     }
     return std::nullopt;
   }
@@ -120,8 +126,38 @@ std::optional<Ledger> parse_ledger(const std::string& text,
     ledger.busy_seconds_total = pool->number_or("busy_seconds_total", 0.0);
     ledger.utilization = pool->number_or("utilization", 0.0);
   }
-  ledger.peak_rss_bytes =
-      static_cast<std::uint64_t>(doc->number_or("peak_rss_bytes", 0.0));
+  // peak_rss_bytes: number => measurement; null or absent => nullopt. A
+  // serialized null means the bench could not read its own RSS — the gate
+  // must mute rather than compare against a fabricated zero.
+  if (const JsonValue* rss = doc->find("peak_rss_bytes");
+      rss != nullptr && rss->kind == JsonValue::Kind::kNumber) {
+    ledger.peak_rss_bytes = static_cast<std::uint64_t>(rss->number);
+  }
+  if (const JsonValue* series = doc->find("resource_series");
+      series != nullptr && series->kind == JsonValue::Kind::kObject) {
+    Ledger::ResourceSeries parsed;
+    parsed.interval_seconds = series->number_or("interval_seconds", 0.0);
+    parsed.samples =
+        static_cast<std::uint64_t>(series->number_or("samples", 0.0));
+    parsed.dropped =
+        static_cast<std::uint64_t>(series->number_or("dropped", 0.0));
+    const auto numbers = [&](std::string_view key, auto& out) {
+      if (const JsonValue* arr = series->find(key);
+          arr != nullptr && arr->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& v : arr->array) {
+          if (v.kind != JsonValue::Kind::kNumber) continue;
+          using Elem = typename std::decay_t<decltype(out)>::value_type;
+          out.push_back(static_cast<Elem>(v.number));
+        }
+      }
+    };
+    numbers("t_seconds", parsed.t_seconds);
+    numbers("rss_bytes", parsed.rss_bytes);
+    numbers("cpu_seconds", parsed.cpu_seconds);
+    parsed.rss_slope_bytes_per_second =
+        series->number_or("rss_slope_bytes_per_second", 0.0);
+    ledger.resource_series = std::move(parsed);
+  }
   return ledger;
 }
 
@@ -173,6 +209,33 @@ std::vector<Finding> check_ledger(const Ledger& ledger) {
     }
   }
   if (ledger.utilization < 0.0) flag("pool", "negative utilization");
+  if (ledger.resource_series) {
+    const Ledger::ResourceSeries& series = *ledger.resource_series;
+    const std::uint64_t n = series.samples;
+    if (series.t_seconds.size() != n || series.rss_bytes.size() != n ||
+        series.cpu_seconds.size() != n) {
+      flag("resource_series",
+           "parallel arrays disagree with declared sample count " +
+               std::to_string(n) + " (t=" +
+               std::to_string(series.t_seconds.size()) + ", rss=" +
+               std::to_string(series.rss_bytes.size()) + ", cpu=" +
+               std::to_string(series.cpu_seconds.size()) + ")");
+    }
+    for (std::size_t i = 1; i < series.t_seconds.size(); ++i) {
+      if (!(series.t_seconds[i] >= series.t_seconds[i - 1])) {
+        flag("resource_series",
+             "t_seconds not monotonically non-decreasing at index " +
+                 std::to_string(i));
+        break;
+      }
+    }
+    if (!std::isfinite(series.rss_slope_bytes_per_second)) {
+      flag("resource_series", "rss_slope_bytes_per_second is not finite");
+    }
+    if (!(series.interval_seconds >= 0.0)) {
+      flag("resource_series", "negative or NaN interval_seconds");
+    }
+  }
   return findings;
 }
 
@@ -232,6 +295,16 @@ DiffResult diff_ledgers(const Ledger& baseline, const Ledger& candidate,
                     std::to_string(candidate.items));
   }
 
+  // Structural: a baseline recorded with the live sampler expects the
+  // candidate to run it too — losing the series silently would un-gate the
+  // slope check. The reverse (candidate gained a series) is progress, not
+  // drift.
+  if (baseline.resource_series && !candidate.resource_series) {
+    add_finding(result, Finding::Kind::kStructural, id, "resource_series",
+                "baseline has a resource series but candidate has none "
+                "(run with --sample-interval-ms > 0)");
+  }
+
   // Timing: only above the noise floor.
   if (baseline.wall_seconds < options.min_runtime_seconds) {
     result.notes.push_back(
@@ -272,21 +345,54 @@ DiffResult diff_ledgers(const Ledger& baseline, const Ledger& candidate,
       baseline.config_value("threads");
   const std::optional<std::string> cand_threads =
       candidate.config_value("threads");
-  if (baseline.peak_rss_bytes > 0 && candidate.peak_rss_bytes > 0 &&
-      base_threads && cand_threads && *base_threads == *cand_threads) {
-    const double ratio = static_cast<double>(candidate.peak_rss_bytes) /
-                         static_cast<double>(baseline.peak_rss_bytes);
+  const bool threads_match =
+      base_threads && cand_threads && *base_threads == *cand_threads;
+  if (!baseline.peak_rss_bytes.has_value() ||
+      !candidate.peak_rss_bytes.has_value()) {
+    result.notes.push_back(
+        id + ": RSS gate muted (peak_rss_bytes null — getrusage failed at "
+             "capture time)");
+  } else if (*baseline.peak_rss_bytes > 0 && *candidate.peak_rss_bytes > 0 &&
+             threads_match) {
+    const double ratio = static_cast<double>(*candidate.peak_rss_bytes) /
+                         static_cast<double>(*baseline.peak_rss_bytes);
     if (ratio > options.rss_ratio) {
       add_finding(result, Finding::Kind::kTiming, id, "peak_rss_bytes",
                   "peak RSS regression: " +
-                      std::to_string(baseline.peak_rss_bytes) + " -> " +
-                      std::to_string(candidate.peak_rss_bytes) + " bytes (" +
+                      std::to_string(*baseline.peak_rss_bytes) + " -> " +
+                      std::to_string(*candidate.peak_rss_bytes) + " bytes (" +
                       format_ratio(ratio) + ", threshold " +
                       format_ratio(options.rss_ratio) + ")");
     }
   } else {
     result.notes.push_back(id + ": RSS gate skipped (thread counts differ "
                                 "or RSS unavailable)");
+  }
+  // RSS growth slope: a leak is visible as sustained growth long before the
+  // high-water mark crosses rss_ratio. The 1 MiB/s allowance keeps a flat
+  // baseline (slope ~0) from flagging allocator jitter.
+  if (baseline.resource_series && candidate.resource_series &&
+      threads_match) {
+    constexpr double kSlopeAllowance = 1024.0 * 1024.0;  // 1 MiB/s
+    const double base_slope =
+        std::max(baseline.resource_series->rss_slope_bytes_per_second, 0.0);
+    const double cand_slope =
+        candidate.resource_series->rss_slope_bytes_per_second;
+    const double threshold =
+        base_slope * options.rss_slope_ratio + kSlopeAllowance;
+    if (cand_slope > threshold) {
+      char base_text[32];
+      char cand_text[32];
+      std::snprintf(base_text, sizeof base_text, "%.0f", base_slope);
+      std::snprintf(cand_text, sizeof cand_text, "%.0f", cand_slope);
+      add_finding(result, Finding::Kind::kTiming, id,
+                  "resource_series.rss_slope",
+                  "RSS growth regression: " + std::string(base_text) +
+                      " -> " + std::string(cand_text) +
+                      " bytes/s (threshold " +
+                      format_ratio(options.rss_slope_ratio) +
+                      " + 1 MiB/s allowance)");
+    }
   }
   return result;
 }

@@ -1,6 +1,6 @@
 // benchdiff: compares perf ledgers (BENCH_<id>.json, schema
-// booterscope-bench-ledger/1) against committed baselines and fails on
-// regression. The differ runs three classes of gate:
+// booterscope-bench-ledger/1 or /2) against committed baselines and fails
+// on regression. The differ runs three classes of gate:
 //
 //   structural — schema/shape problems and config drift (a candidate whose
 //     identity config differs from the baseline is not comparable; that is
@@ -12,6 +12,13 @@
 //     (`min_runtime_seconds`), so micro-runs on shared CI boxes cannot
 //     flake the gate. `threads` is excluded from identity (it trades wall
 //     clock, not bytes) but RSS is only compared thread-count-to-like.
+//
+// Schema /2 additions: `peak_rss_bytes` may be null when getrusage failed
+// (the RSS gate is then muted with a note instead of comparing a fake 0),
+// and an optional `resource_series` block carries the live sampler's RSS/
+// CPU time series. When both sides ran the sampler long enough, the RSS
+// growth slope is gated like the other timing metrics — a leak shows up as
+// a slope regression long before the high-water mark doubles.
 //
 // Library + thin driver split like tools/bslint, so the golden suite in
 // tests/tools exercises the engine in-process.
@@ -51,14 +58,29 @@ struct Ledger {
   std::uint64_t pool_steals = 0;
   double busy_seconds_total = 0.0;
   double utilization = 0.0;
-  std::uint64_t peak_rss_bytes = 0;
+  /// nullopt when the ledger recorded null (getrusage failed at capture
+  /// time) or the key is absent — distinguishable from a real measurement.
+  std::optional<std::uint64_t> peak_rss_bytes;
+
+  /// The live sampler's time series (schema /2, optional). Parallel arrays;
+  /// `samples` is the declared count the arrays must agree with.
+  struct ResourceSeries {
+    double interval_seconds = 0.0;
+    std::uint64_t samples = 0;
+    std::uint64_t dropped = 0;
+    std::vector<double> t_seconds;
+    std::vector<std::uint64_t> rss_bytes;
+    std::vector<double> cpu_seconds;
+    double rss_slope_bytes_per_second = 0.0;
+  };
+  std::optional<ResourceSeries> resource_series;
 
   [[nodiscard]] std::optional<std::string> config_value(
       const std::string& key) const;
 };
 
 /// Parses ledger JSON; nullopt + reason on malformed documents or a schema
-/// other than booterscope-bench-ledger/1.
+/// other than booterscope-bench-ledger/1 or /2.
 [[nodiscard]] std::optional<Ledger> parse_ledger(const std::string& text,
                                                  std::string* error);
 
@@ -74,6 +96,10 @@ struct DiffOptions {
   double wall_ratio = 1.75;   // candidate wall  > baseline wall  * this
   double stage_ratio = 2.5;   // per-stage total > baseline total * this
   double rss_ratio = 2.0;     // peak RSS        > baseline RSS   * this
+  /// RSS growth slope gate: candidate slope > max(baseline slope, 0) * this
+  /// + a 1 MiB/s allowance. The allowance keeps near-zero baselines from
+  /// turning allocator jitter into a failure.
+  double rss_slope_ratio = 3.0;
   /// Fail when a baseline has no candidate ledger (CI: every gated bench
   /// must actually have run).
   bool require_all = false;

@@ -2,7 +2,8 @@
 //
 //   benchdiff --baselines DIR [--candidates DIR] [--check]
 //             [--min-runtime S] [--wall-ratio X] [--stage-ratio X]
-//             [--rss-ratio X] [--require-all] [--quiet]
+//             [--rss-ratio X] [--rss-slope-ratio X] [--require-all]
+//             [--quiet]
 //
 // Default mode diffs every BENCH_*.json baseline under --baselines against
 // the same-named ledger under --candidates (default: current directory)
@@ -24,7 +25,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: %s --baselines DIR [--candidates DIR] [--check]\n"
         "          [--min-runtime S] [--wall-ratio X] [--stage-ratio X]\n"
-        "          [--rss-ratio X] [--require-all] [--quiet]\n",
+        "          [--rss-ratio X] [--rss-slope-ratio X] [--require-all]\n"
+        "          [--quiet]\n",
         args.program().c_str());
     return 0;
   }
@@ -46,6 +48,8 @@ int main(int argc, char** argv) {
     options.wall_ratio = args.double_or("wall-ratio", options.wall_ratio);
     options.stage_ratio = args.double_or("stage-ratio", options.stage_ratio);
     options.rss_ratio = args.double_or("rss-ratio", options.rss_ratio);
+    options.rss_slope_ratio =
+        args.double_or("rss-slope-ratio", options.rss_slope_ratio);
     options.require_all = args.has_flag("require-all");
     const std::string candidates = args.value_or("candidates", ".");
     result =

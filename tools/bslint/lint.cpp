@@ -41,6 +41,12 @@ const std::vector<RuleInfo> kRules = {
      "naked std::thread outside util/thread_pool",
      "submit work to exec::ThreadPool so tasks get metrics, stealing and "
      "deterministic merge slots"},
+    {"BS006", Severity::kError,
+     "Prometheus metric name breaks the exposition conventions: names must "
+     "match [a-z_:][a-z0-9_:]* and counters must end in _total, _seconds "
+     "or _bytes",
+     "rename the series to a lowercase snake_case name; counters take a "
+     "_total/_seconds/_bytes unit suffix so scrapers can infer the unit"},
 };
 
 // ---------------------------------------------------------------------------
@@ -73,6 +79,10 @@ const std::vector<RuleInfo> kRules = {
 
 [[nodiscard]] bool bs005_exempt(std::string_view path) {
   return starts_with(path, "src/util/thread_pool");
+}
+
+[[nodiscard]] bool bs006_in_scope(std::string_view path) {
+  return starts_with(path, "src/");
 }
 
 // ---------------------------------------------------------------------------
@@ -463,6 +473,56 @@ void match_line(std::string_view path, const std::string& line,
   }
 }
 
+// BS006: Prometheus metric-name conformance at registration sites.
+// Stripping is column-preserving (chars become spaces 1:1), so the call
+// shape `counter(` / `gauge(` / `histogram(` is located on the *stripped*
+// line — where string and comment contents can't fake a call — and the
+// name literal is read from the *raw* line at the same columns. Calls whose
+// first argument is not a string literal on the same line (declarations,
+// variables, wrapped lines) are out of reach by design; registration sites
+// in this tree pass the name inline.
+void match_metric_names(std::string_view path, const std::string& stripped,
+                        const std::string& raw, std::vector<Match>& out) {
+  if (!bs006_in_scope(path)) return;
+  static const std::regex kRegisterCall(R"(\b(counter|gauge|histogram)\s*\()");
+  static const std::regex kValidName(R"(^[a-z_:][a-z0-9_:]*$)");
+  const auto begin =
+      std::sregex_iterator(stripped.begin(), stripped.end(), kRegisterCall);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string kind = (*it)[1].str();
+    // Whitespace after '(' must be skipped on the RAW line: on the stripped
+    // line the literal itself is spaces, so a greedy skip there would run
+    // straight over the name.
+    std::size_t after = static_cast<std::size_t>(it->position(0)) +
+                        static_cast<std::size_t>(it->length(0));
+    while (after < raw.size() && (raw[after] == ' ' || raw[after] == '\t')) {
+      ++after;
+    }
+    if (after >= raw.size() || raw[after] != '"') continue;
+    const std::size_t name_begin = after + 1;
+    const std::size_t name_end = raw.find('"', name_begin);
+    if (name_end == std::string::npos) continue;
+    const std::string name = raw.substr(name_begin, name_end - name_begin);
+    if (!std::regex_match(name, kValidName)) {
+      out.push_back({"BS006", "metric name '" + name +
+                                  "' violates [a-z_:][a-z0-9_:]*; the "
+                                  "exposition serves names verbatim"});
+      continue;
+    }
+    const auto ends_with = [&](std::string_view suffix) {
+      return name.size() >= suffix.size() &&
+             name.compare(name.size() - suffix.size(), suffix.size(),
+                          suffix) == 0;
+    };
+    if (kind == "counter" && !ends_with("_total") && !ends_with("_seconds") &&
+        !ends_with("_bytes")) {
+      out.push_back({"BS006", "counter '" + name +
+                                  "' lacks a unit suffix; counters end in "
+                                  "_total, _seconds or _bytes"});
+    }
+  }
+}
+
 [[nodiscard]] const RuleInfo& rule_info(std::string_view id) {
   for (const RuleInfo& rule : kRules) {
     if (rule.id == id) return rule;
@@ -509,6 +569,8 @@ std::vector<Finding> lint_file(const FileInput& input) {
   for (std::size_t i = 0; i < stripped.size(); ++i) {
     std::vector<Match> matches;
     match_line(input.path, stripped[i], unordered_names, matches);
+    match_metric_names(input.path, stripped[i],
+                       i < raw.size() ? raw[i] : std::string(), matches);
     for (const Match& match : matches) {
       if (allowed.allows(match.rule, i)) continue;
       const RuleInfo& info = rule_info(match.rule);

@@ -21,6 +21,10 @@
 //   BS004  range-for over std::unordered_map/unordered_set in src/ —
 //          unordered iteration must not feed serialized or merged output
 //   BS005  naked std::thread/std::jthread outside util/thread_pool
+//   BS006  Prometheus metric names registered in src/ must match
+//          [a-z_:][a-z0-9_:]* and counters must carry a unit suffix
+//          (_total, _seconds or _bytes) — the scrape endpoint exposes
+//          these names verbatim, so conformance is a compile-tree property
 //
 // Suppressions: `// bslint:allow(BSxxx reason)` on the same or preceding
 // line; `// bslint:allow-file(BSxxx reason)` anywhere suppresses the rule
