@@ -2,9 +2,19 @@
 // paper's wt30/wt40 significance tests and red30/red40 reduction ratios —
 // and the control: victim-bound reflection traffic shows NO significant
 // reduction.
+//
+// Two engines produce the figure (pick with --stream): the materialized
+// LandscapeWorld scans the merged FlowStores per panel, the streaming
+// StreamWorld builds every panel series in one bounded-memory pass
+// (core::StreamAnalysis). Both print byte-identical stdout — CI diffs them.
+#include <array>
 #include <iostream>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "common.hpp"
+#include "core/stream_analysis.hpp"
 #include "core/takedown.hpp"
 #include "util/sparkline.hpp"
 #include "util/table.hpp"
@@ -35,67 +45,51 @@ std::string metric_string(const core::TakedownMetrics& m) {
          " red40=" + util::format_double(m.wt40.reduction * 100.0, 2) + "%";
 }
 
-}  // namespace
+/// The six to-port panels of the figure, in print order. The paper rows of
+/// print_comparisons() reference panels 0, 1, 2 and 5 by index.
+struct PanelDef {
+  const char* name;
+  std::uint16_t port;
+  std::size_t vantage;
+  bool print_full;
+};
+constexpr PanelDef kPanels[] = {
+    {"packets memcached dst port — IXP", net::ports::kMemcached,
+     flow::kVantageIxp, true},
+    {"packets NTP dst port — tier-2 ISP", net::ports::kNtp,
+     flow::kVantageTier2, true},
+    {"packets DNS dst port — tier-2 ISP", net::ports::kDns,
+     flow::kVantageTier2, true},
+    {"packets NTP dst port — IXP", net::ports::kNtp, flow::kVantageIxp,
+     false},
+    {"packets memcached dst port — tier-2 ISP", net::ports::kMemcached,
+     flow::kVantageTier2, false},
+    {"packets DNS dst port — IXP", net::ports::kDns, flow::kVantageIxp,
+     false},
+};
+constexpr std::size_t kPanelCount = std::size(kPanels);
 
-int main(int argc, char** argv) {
-  bench::print_header("Figure 4",
-                      "Traffic to reflectors before/after the takedown");
-
-  const bench::RunOptions options = bench::parse_run_options(argc, argv);
-  bench::LandscapeWorld world(options);
-  const auto& cfg = world.result.config;
-  const util::Timestamp takedown = *cfg.takedown;
-
-  struct Panel {
-    std::string name;
-    const flow::FlowList* flows;
-    std::uint16_t port;
-    std::size_t vantage;
-    bool print_full;
-  };
-  const Panel panels[] = {
-      {"packets memcached dst port — IXP", &world.result.ixp.store.flows(),
-       net::ports::kMemcached, bench::LandscapeWorld::kIxp, true},
-      {"packets NTP dst port — tier-2 ISP", &world.result.tier2.store.flows(),
-       net::ports::kNtp, bench::LandscapeWorld::kTier2, true},
-      {"packets DNS dst port — tier-2 ISP", &world.result.tier2.store.flows(),
-       net::ports::kDns, bench::LandscapeWorld::kTier2, true},
-      {"packets NTP dst port — IXP", &world.result.ixp.store.flows(),
-       net::ports::kNtp, bench::LandscapeWorld::kIxp, false},
-      {"packets memcached dst port — tier-2 ISP",
-       &world.result.tier2.store.flows(), net::ports::kMemcached,
-       bench::LandscapeWorld::kTier2, false},
-      {"packets DNS dst port — IXP", &world.result.ixp.store.flows(),
-       net::ports::kDns, bench::LandscapeWorld::kIxp, false},
-  };
-
-  // Gap-aware builds: under a fault profile the series carries the fault
-  // plan's per-day coverage, so outage days are excluded from the wtN/redN
-  // windows instead of read as traffic drops.
-  auto daily_to_port = [&](const flow::FlowList& flows, std::uint16_t port,
-                           std::size_t vantage) {
-    auto daily =
-        core::daily_packets_to_port(flows, port, cfg.start, cfg.days, &world.pool);
-    world.stamp_coverage(daily, vantage);
-    return daily;
-  };
-
-  std::vector<bench::Comparison> comparisons;
-  for (const Panel& panel : panels) {
-    const auto daily = daily_to_port(*panel.flows, panel.port, panel.vantage);
-    const auto metrics = core::takedown_metrics(daily, takedown);
-    if (panel.print_full) {
-      print_series(daily, panel.name, takedown);
-      std::cout << "  " << metric_string(metrics) << "\n\n";
+/// Prints the whole figure from the finished (coverage-stamped) series —
+/// the engine-independent half, so materialized and streaming runs share
+/// one formatter and cannot drift apart.
+void print_figure(std::span<const stats::BinnedSeries> panel_daily,
+                  const stats::BinnedSeries& victim_daily,
+                  util::Timestamp takedown) {
+  std::array<core::TakedownMetrics, kPanelCount> metrics;
+  for (std::size_t i = 0; i < kPanelCount; ++i) {
+    metrics[i] = core::takedown_metrics(panel_daily[i], takedown);
+  }
+  for (std::size_t i = 0; i < kPanelCount; ++i) {
+    if (kPanels[i].print_full) {
+      print_series(panel_daily[i], kPanels[i].name, takedown);
+      std::cout << "  " << metric_string(metrics[i]) << "\n\n";
     } else {
-      std::cout << panel.name << ": " << metric_string(metrics) << "\n\n";
+      std::cout << kPanels[i].name << ": " << metric_string(metrics[i])
+                << "\n\n";
     }
   }
 
   // Control: victim-bound amplified traffic (from reflectors).
-  auto victim_daily = core::daily_packets_from_reflectors(
-      world.result.ixp.store.flows(), {}, cfg.start, cfg.days, &world.pool);
-  world.stamp_coverage(victim_daily, bench::LandscapeWorld::kIxp);
   const auto victim_metrics = core::takedown_metrics(victim_daily, takedown);
   std::cout << "control: packets FROM reflectors to victims — IXP: "
             << metric_string(victim_metrics) << "\n";
@@ -104,31 +98,93 @@ int main(int argc, char** argv) {
     return std::string(m.wt30.significant ? "sig, " : "not sig, ") + "red30 " +
            util::format_double(m.wt30.reduction * 100.0, 1) + "%";
   };
-  const auto m_mc_ixp = core::takedown_metrics(
-      daily_to_port(world.result.ixp.store.flows(), net::ports::kMemcached,
-                    bench::LandscapeWorld::kIxp),
-      takedown);
-  const auto m_ntp_t2 = core::takedown_metrics(
-      daily_to_port(world.result.tier2.store.flows(), net::ports::kNtp,
-                    bench::LandscapeWorld::kTier2),
-      takedown);
-  const auto m_dns_t2 = core::takedown_metrics(
-      daily_to_port(world.result.tier2.store.flows(), net::ports::kDns,
-                    bench::LandscapeWorld::kTier2),
-      takedown);
-  const auto m_dns_ixp = core::takedown_metrics(
-      daily_to_port(world.result.ixp.store.flows(), net::ports::kDns,
-                    bench::LandscapeWorld::kIxp),
-      takedown);
-
   bench::print_comparisons({
-      {"memcached to reflectors, IXP", "sig, red30 22.50%", fmt(m_mc_ixp)},
-      {"NTP to reflectors, tier-2", "sig, red30 39.68%", fmt(m_ntp_t2)},
-      {"DNS to reflectors, tier-2", "sig, red30 81.63%", fmt(m_dns_t2)},
-      {"DNS to reflectors, IXP", "no reduction found", fmt(m_dns_ixp)},
+      {"memcached to reflectors, IXP", "sig, red30 22.50%", fmt(metrics[0])},
+      {"NTP to reflectors, tier-2", "sig, red30 39.68%", fmt(metrics[1])},
+      {"DNS to reflectors, tier-2", "sig, red30 81.63%", fmt(metrics[2])},
+      {"DNS to reflectors, IXP", "no reduction found", fmt(metrics[5])},
       {"reflector-to-victim traffic", "no significant reduction",
        fmt(victim_metrics)},
   });
+}
+
+int run_materialized(const bench::RunOptions& options) {
+  bench::LandscapeWorld world(options);
+  const auto& cfg = world.result.config;
+  const util::Timestamp takedown = *cfg.takedown;
+  const flow::FlowList* vantage_flows[] = {&world.result.ixp.store.flows(),
+                                           &world.result.tier1.store.flows(),
+                                           &world.result.tier2.store.flows()};
+
+  // Gap-aware builds: under a fault profile the series carries the fault
+  // plan's per-day coverage, so outage days are excluded from the wtN/redN
+  // windows instead of read as traffic drops.
+  std::vector<stats::BinnedSeries> panel_daily;
+  panel_daily.reserve(kPanelCount);
+  for (const PanelDef& panel : kPanels) {
+    auto daily = core::daily_packets_to_port(*vantage_flows[panel.vantage],
+                                             panel.port, cfg.start, cfg.days,
+                                             &world.pool);
+    world.stamp_coverage(daily, panel.vantage);
+    panel_daily.push_back(std::move(daily));
+  }
+  auto victim_daily = core::daily_packets_from_reflectors(
+      world.result.ixp.store.flows(), {}, cfg.start, cfg.days, &world.pool);
+  world.stamp_coverage(victim_daily, flow::kVantageIxp);
+
+  print_figure(panel_daily, victim_daily, takedown);
   world.write_observability("fig4");
   return 0;
+}
+
+int run_streaming(const bench::RunOptions& options) {
+  bench::StreamWorld world(options);
+  const util::Timestamp takedown = *world.config.takedown;
+
+  std::vector<core::SeriesSpec> specs;
+  specs.reserve(kPanelCount + 1);
+  for (const PanelDef& panel : kPanels) {
+    core::SeriesSpec spec;
+    spec.name = panel.name;
+    spec.vantage = panel.vantage;
+    spec.kind = core::SeriesSpec::Kind::kToPort;
+    spec.port = panel.port;
+    specs.push_back(std::move(spec));
+  }
+  core::SeriesSpec control;
+  control.name = "control: packets FROM reflectors — IXP";
+  control.vantage = flow::kVantageIxp;
+  control.kind = core::SeriesSpec::Kind::kFromReflectors;
+  specs.push_back(std::move(control));
+
+  core::StreamAnalysis analysis(world.config.start, world.config.days,
+                                std::move(specs));
+  if (world.fault_plan) {
+    analysis.set_fault_plan(&*world.fault_plan, &world.integrity);
+  }
+  world.run(analysis);
+  analysis.finish();
+
+  std::vector<stats::BinnedSeries> panel_daily;
+  panel_daily.reserve(kPanelCount);
+  for (std::size_t i = 0; i < kPanelCount; ++i) {
+    world.stamp_coverage(analysis.mutable_series(i), kPanels[i].vantage);
+    panel_daily.push_back(analysis.series(i));
+  }
+  world.stamp_coverage(analysis.mutable_series(kPanelCount),
+                       flow::kVantageIxp);
+
+  print_figure(panel_daily, analysis.series(kPanelCount), takedown);
+  world.write_observability(
+      "fig4", world.result_items(analysis.total_kept_flows()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 4",
+                      "Traffic to reflectors before/after the takedown");
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  return options.stream ? run_streaming(options) : run_materialized(options);
 }

@@ -1,24 +1,28 @@
 // Fig. 5: systems under NTP DDoS attack per hour (conservative filter) —
 // no significant reduction after the takedown.
+//
+// Like Fig. 4, the figure has two engines (pick with --stream): the
+// materialized path aggregates per-hour victims over the merged IXP store,
+// the streaming path maintains the hourly aggregators in-pass, finalizing
+// and freeing each hour at day barriers (core::StreamAnalysis). stdout is
+// byte-identical between the two.
+#include <algorithm>
 #include <iostream>
 
 #include "common.hpp"
+#include "core/stream_analysis.hpp"
 #include "core/takedown.hpp"
 #include "util/sparkline.hpp"
 #include "util/table.hpp"
 
 using namespace booterscope;
 
-int main(int argc, char** argv) {
-  bench::print_header("Figure 5", "Systems under NTP DDoS attack per hour");
+namespace {
 
-  const bench::RunOptions options = bench::parse_run_options(argc, argv);
-  bench::LandscapeWorld world(options);
-  const auto& cfg = world.result.config;
-  const util::Timestamp takedown = *cfg.takedown;
-
-  const auto hourly = core::hourly_attacked_systems(
-      world.result.ixp.store.flows(), {}, cfg.start, cfg.days, &world.pool);
+/// Prints the whole figure from the finished hourly series — shared by
+/// both engines so they cannot drift apart.
+void print_figure(const stats::BinnedSeries& hourly,
+                  util::Timestamp takedown) {
   const auto daily = hourly.rebin(util::Duration::days(1));
   const auto metrics = core::takedown_metrics(daily, takedown);
 
@@ -63,6 +67,37 @@ int main(int argc, char** argv) {
       {"conclusion", "takedown does not reduce number of attacked systems",
        "reproduced: no significant change in attacked-system counts"},
   });
+}
+
+int run_materialized(const bench::RunOptions& options) {
+  bench::LandscapeWorld world(options);
+  const auto& cfg = world.result.config;
+  const auto hourly = core::hourly_attacked_systems(
+      world.result.ixp.store.flows(), {}, cfg.start, cfg.days, &world.pool);
+  print_figure(hourly, *cfg.takedown);
   world.write_observability("fig5");
   return 0;
+}
+
+int run_streaming(const bench::RunOptions& options) {
+  bench::StreamWorld world(options);
+  core::StreamAnalysis analysis(world.config.start, world.config.days, {});
+  analysis.enable_hourly_victims(flow::kVantageIxp, {});
+  if (world.fault_plan) {
+    analysis.set_fault_plan(&*world.fault_plan, &world.integrity);
+  }
+  world.run(analysis);
+  analysis.finish();
+  print_figure(analysis.hourly_victims(), *world.config.takedown);
+  world.write_observability(
+      "fig5", world.result_items(analysis.total_kept_flows()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 5", "Systems under NTP DDoS attack per hour");
+  const bench::RunOptions options = bench::parse_run_options(argc, argv);
+  return options.stream ? run_streaming(options) : run_materialized(options);
 }

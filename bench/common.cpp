@@ -22,13 +22,17 @@ RunOptions parse_run_options(int argc, char** argv) {
                  " [--seed N] [--fault-profile none|light|heavy]"
                  " [--fault-seed N] [--timeline]"
                  " [--sample-interval-ms N] [--serve PORT]"
-                 " [--serve-hold-ms N]\n";
+                 " [--serve-hold-ms N] [--stream] [--stream-batch N]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--timeline") {  // boolean flag, no value
       options.timeline = true;
+      continue;
+    }
+    if (flag == "--stream") {  // boolean flag, no value
+      options.stream = true;
       continue;
     }
     if (i + 1 >= argc) usage("missing value for " + flag);
@@ -61,6 +65,9 @@ RunOptions parse_run_options(int argc, char** argv) {
       } else if (flag == "--serve-hold-ms") {
         options.serve_hold_ms = std::stoi(value);
         if (options.serve_hold_ms < 0) usage("negative value for " + flag);
+      } else if (flag == "--stream-batch") {
+        options.stream_batch = static_cast<std::size_t>(std::stoull(value));
+        if (options.stream_batch == 0) usage("zero value for " + flag);
       } else {
         usage("unknown flag " + flag);
       }
@@ -107,8 +114,16 @@ void print_comparisons(const std::vector<Comparison>& rows) {
   table.print(std::cout, 2);
 }
 
-sim::LandscapeResult LandscapeWorld::run_timed(LandscapeWorld& world,
-                                               const RunOptions& options) {
+namespace {
+
+/// Engages the timeline recorder and the live telemetry plane on a world
+/// (LandscapeWorld or StreamWorld — same member slots). All of it is an
+/// observer: the sampler reads /proc and the registry, the watchdog reads
+/// heartbeats, the server reads snapshot views — none of them touch
+/// simulation state, so engaging any combination leaves the run's bytes
+/// unchanged (DESIGN.md §13). Call before the first pool task.
+template <typename World>
+void engage_live_plane(World& world, const RunOptions& options) {
   if (options.timeline) {
     world.timeline =
         std::make_unique<obs::TimelineRecorder>(world.pool.size() + 1);
@@ -116,10 +131,6 @@ sim::LandscapeResult LandscapeWorld::run_timed(LandscapeWorld& world,
     world.pool.attach_timeline(world.timeline.get());
   }
 
-  // The live plane. All of it is an observer: the sampler reads /proc and
-  // the registry, the watchdog reads heartbeats, the server reads snapshot
-  // views — none of them touch simulation state, so engaging any
-  // combination leaves the run's bytes unchanged (DESIGN.md §13).
   world.serve_hold_ms = options.serve_hold_ms;
   const bool live = options.sample_interval_ms > 0 || options.serve_port >= 0;
   if (live) {
@@ -165,6 +176,47 @@ sim::LandscapeResult LandscapeWorld::run_timed(LandscapeWorld& world,
       world.server.reset();
     }
   }
+}
+
+/// Post-run bookkeeping on the same member slots: snapshot the exec
+/// counters into the timeline (the pool has quiesced, so this is on the
+/// sequential surface), pin a final resource sample so even sub-interval
+/// runs end with a current point, then disarm the watchdog — nothing beats
+/// during the serve-hold window by design, and that silence is not a
+/// stall. The final stage tree replaces the empty pre-run snapshot.
+template <typename World>
+void finish_live_plane(World& world) {
+  if (world.timeline) {
+    world.timeline->sample_counters(obs::metrics(), "booterscope_exec",
+                                    util::monotonic_nanos());
+  }
+  if (world.sampler) world.sampler->sample_now();
+  if (world.watchdog) world.watchdog->disarm();
+  if (world.server) {
+    world.server->publish_stages(obs::stages_json(world.tracer));
+  }
+}
+
+/// Exit protocol shared by both worlds: the heartbeat atomic lives in the
+/// watchdog, which dies before the pool (reverse declaration order), so
+/// detach first; then honor --serve-hold-ms so an external scraper
+/// reliably catches the finished run.
+template <typename World>
+void shutdown_live_plane(World& world) {
+  world.pool.attach_heartbeat(nullptr);
+  if (world.server && world.server->running() && world.serve_hold_ms > 0) {
+    std::cerr << "live: holding " << world.serve_hold_ms
+              << " ms for external scrapers\n";
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(world.serve_hold_ms));
+  }
+}
+
+}  // namespace
+
+sim::LandscapeResult LandscapeWorld::run_timed(LandscapeWorld& world,
+                                               const RunOptions& options) {
+  engage_live_plane(world, options);
 
   const std::int64_t t0 = util::monotonic_nanos();
   sim::LandscapeResult result = sim::run_landscape_parallel(
@@ -172,32 +224,62 @@ sim::LandscapeResult LandscapeWorld::run_timed(LandscapeWorld& world,
       world.pool, &world.tracer);
   world.run_wall_nanos =
       static_cast<std::uint64_t>(util::monotonic_nanos() - t0);
-  if (world.timeline) {
-    // Snapshot the exec counters as a final counter-track sample; the pool
-    // has quiesced, so this is on the sequential surface.
-    world.timeline->sample_counters(obs::metrics(), "booterscope_exec",
-                                    util::monotonic_nanos());
-  }
 
-  // Post-run live bookkeeping: pin a final sample so even sub-interval runs
-  // end with a current point, then disarm the watchdog — nothing beats
-  // during the serve-hold window by design, and that silence is not a
-  // stall. The final stage tree replaces the empty pre-run snapshot.
-  if (world.sampler) world.sampler->sample_now();
-  if (world.watchdog) world.watchdog->disarm();
-  if (world.server) world.server->publish_stages(obs::stages_json(world.tracer));
+  finish_live_plane(world);
   return result;
 }
 
-LandscapeWorld::~LandscapeWorld() {
-  // The heartbeat atomic lives in the watchdog, which dies before the pool
-  // (reverse declaration order); detach so no late beat can dangle.
-  pool.attach_heartbeat(nullptr);
-  if (server && server->running() && serve_hold_ms > 0) {
-    std::cerr << "live: holding " << serve_hold_ms
-              << " ms for external scrapers\n";
-    std::this_thread::sleep_for(std::chrono::milliseconds(serve_hold_ms));
+LandscapeWorld::~LandscapeWorld() { shutdown_live_plane(*this); }
+
+StreamWorld::StreamWorld(const RunOptions& options)
+    : internet(sim::InternetConfig{}),
+      pool(options.threads),
+      config(apply_run_options(sim::paper_landscape_config(), options)),
+      stream_batch(options.stream_batch != 0
+                       ? options.stream_batch
+                       : flow::FlowBatch::kDefaultCapacity) {
+  engage_live_plane(*this, options);
+
+  // The fault plan is a pure function of its seed, profile and window, so
+  // building it before the run (the sink needs it in-stream) yields the
+  // exact plan the materialized engine builds afterwards.
+  fault_profile_name = options.fault_profile;
+  fault_seed = options.fault_seed;
+  const std::optional<fault::FaultProfile> profile =
+      fault::FaultProfile::parse(options.fault_profile);
+  if (profile && profile->enabled()) {
+    fault_plan.emplace(options.fault_seed, *profile, config.start,
+                       config.days, 3);
   }
+}
+
+StreamWorld::~StreamWorld() { shutdown_live_plane(*this); }
+
+void StreamWorld::run(flow::FlowBatchSink& sink, sim::GroundTruthSink* truth) {
+  sim::StreamOptions stream_options;
+  stream_options.batch_flows = stream_batch;
+  const std::int64_t t0 = util::monotonic_nanos();
+  summary = sim::run_landscape_stream(internet, config, pool, sink,
+                                      stream_options, &tracer, truth);
+  run_wall_nanos =
+      static_cast<std::uint64_t>(util::monotonic_nanos() - t0);
+  finish_live_plane(*this);
+}
+
+void StreamWorld::write_observability(const std::string& experiment_id,
+                                      std::uint64_t items) const {
+  bench::write_observability(experiment_id, config, &tracer, pool.size(),
+                             &integrity, fault_profile_name, fault_seed);
+  bench::write_perf_ledger(experiment_id, config, &tracer, &pool,
+                           run_wall_nanos, items, fault_profile_name,
+                           fault_seed, sampler.get(),
+                           {{"stream", "true"},
+                            {"stream_batch", std::to_string(stream_batch)}});
+  // Fold the live series into the trace as counter tracks before it is
+  // written (sequential surface; the run has quiesced).
+  if (timeline && sampler) sampler->export_to_timeline(*timeline);
+  if (timeline && watchdog) watchdog->export_to_timeline(*timeline);
+  bench::write_timeline(experiment_id, timeline.get());
 }
 
 void LandscapeWorld::apply_faults(const RunOptions& options) {
@@ -324,14 +406,13 @@ void write_observability(const std::string& experiment_id,
   }
 }
 
-void write_perf_ledger(const std::string& experiment_id,
-                       const sim::LandscapeConfig& config,
-                       const obs::StageTracer* tracer,
-                       const exec::ThreadPool* pool,
-                       std::uint64_t run_wall_nanos, std::uint64_t items,
-                       const std::string& fault_profile,
-                       std::uint64_t fault_seed,
-                       const obs::live::ResourceSampler* sampler) {
+void write_perf_ledger(
+    const std::string& experiment_id, const sim::LandscapeConfig& config,
+    const obs::StageTracer* tracer, const exec::ThreadPool* pool,
+    std::uint64_t run_wall_nanos, std::uint64_t items,
+    const std::string& fault_profile, std::uint64_t fault_seed,
+    const obs::live::ResourceSampler* sampler,
+    const std::vector<std::pair<std::string, std::string>>& extra_config) {
 #ifndef BOOTERSCOPE_NO_METRICS
   obs::PerfLedger ledger("bench");
   ledger.set_experiment(experiment_id);
@@ -347,6 +428,9 @@ void write_perf_ledger(const std::string& experiment_id,
                     obs::json_number(config.attacks_per_day));
   ledger.add_config("fault_profile", fault_profile);
   ledger.add_config("fault_seed", fault_seed);
+  for (const auto& [key, value] : extra_config) {
+    ledger.add_config(key, value);
+  }
   ledger.set_wall_nanos(run_wall_nanos);
   ledger.set_items(items);
   if (tracer != nullptr) ledger.set_stages(*tracer);
@@ -394,6 +478,7 @@ void write_perf_ledger(const std::string& experiment_id,
   (void)fault_profile;
   (void)fault_seed;
   (void)sampler;
+  (void)extra_config;
 #endif
 }
 

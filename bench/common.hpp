@@ -11,6 +11,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <memory>
@@ -27,6 +28,7 @@
 #include "sim/internet.hpp"
 #include "sim/landscape.hpp"
 #include "sim/landscape_parallel.hpp"
+#include "sim/landscape_stream.hpp"
 #include "sim/selfattack.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -54,6 +56,11 @@ void print_header(const std::string& experiment_id, const std::string& title);
 ///   --serve-hold-ms N    keep the process (and the scrape endpoint) alive
 ///                        N ms after the outputs are written, so an external
 ///                        scraper reliably catches the run (CI smoke)
+///   --stream             run the streaming one-pass engine (DESIGN.md §14)
+///                        instead of materializing the run: peak RSS stays
+///                        flat in run length, output bytes are identical
+///   --stream-batch N     rows per columnar batch in --stream mode
+///                        (default 8192; any value produces the same bytes)
 /// Defaults reproduce the paper figures; any --threads value produces the
 /// same bytes (DESIGN.md §9), so the flags only trade wall-clock and scale.
 /// Faulted runs are equally deterministic: the fault schedule is a pure
@@ -73,6 +80,8 @@ struct RunOptions {
   int sample_interval_ms = 25;   // 0 = sampler off
   int serve_port = -1;           // -1 = no scrape endpoint, 0 = ephemeral
   int serve_hold_ms = 0;         // post-run scrape window
+  bool stream = false;           // streaming one-pass engine
+  std::size_t stream_batch = 0;  // 0 = FlowBatch::kDefaultCapacity
 };
 
 /// Parses the flags above; exits with a usage message on anything unknown.
@@ -143,14 +152,17 @@ void write_observability(const std::string& experiment_id,
 /// comparable across machines whenever the config identity matches.
 /// No-op under BOOTERSCOPE_NO_METRICS (so a metrics-free build never
 /// emits half-empty ledgers that would trip the differ).
-void write_perf_ledger(const std::string& experiment_id,
-                       const sim::LandscapeConfig& config,
-                       const obs::StageTracer* tracer,
-                       const exec::ThreadPool* pool,
-                       std::uint64_t run_wall_nanos, std::uint64_t items,
-                       const std::string& fault_profile = "none",
-                       std::uint64_t fault_seed = 0,
-                       const obs::live::ResourceSampler* sampler = nullptr);
+/// `extra_config` appends additional identity pairs after the standard
+/// ones (the streaming harness records {"stream","true"} and its batch
+/// size; benchdiff excludes both from identity since they do not change
+/// the output bytes).
+void write_perf_ledger(
+    const std::string& experiment_id, const sim::LandscapeConfig& config,
+    const obs::StageTracer* tracer, const exec::ThreadPool* pool,
+    std::uint64_t run_wall_nanos, std::uint64_t items,
+    const std::string& fault_profile = "none", std::uint64_t fault_seed = 0,
+    const obs::live::ResourceSampler* sampler = nullptr,
+    const std::vector<std::pair<std::string, std::string>>& extra_config = {});
 
 /// Writes OBS_<id>.trace.json (Chrome trace-event JSON; open in Perfetto
 /// or chrome://tracing). No-op for a null recorder or under
@@ -246,6 +258,72 @@ struct LandscapeWorld {
   /// apply_faults.
   static sim::LandscapeResult run_timed(LandscapeWorld& world,
                                         const RunOptions& options);
+};
+
+/// The landscape world of the streaming one-pass engine (DESIGN.md §14):
+/// the same Internet, pool and live telemetry plane as LandscapeWorld, but
+/// the run never materializes — run() drains day-ordered columnar batches
+/// into the caller's sink (typically a core::StreamAnalysis) and retains
+/// only a bounded StreamSummary, so peak RSS stays flat as --days and
+/// --attacks-per-day grow. Output bytes are identical to the materialized
+/// engine for any pool size and batch capacity.
+struct StreamWorld {
+  sim::Internet internet;
+  obs::StageTracer tracer;
+  /// Members mirror LandscapeWorld's declaration-order discipline: the
+  /// timeline before the pool, the live plane after the pool (probes read
+  /// it; reverse destruction stops them first).
+  std::unique_ptr<obs::TimelineRecorder> timeline;
+  std::uint64_t run_wall_nanos = 0;
+  exec::ThreadPool pool;
+  std::unique_ptr<obs::live::Watchdog> watchdog;
+  std::unique_ptr<obs::live::ResourceSampler> sampler;
+  std::unique_ptr<obs::live::ScrapeServer> server;
+  int serve_hold_ms = 0;
+
+  /// The run's config (RunOptions already applied) — unlike LandscapeWorld
+  /// there is no LandscapeResult to carry it, so it lives here.
+  sim::LandscapeConfig config;
+  std::size_t stream_batch = flow::FlowBatch::kDefaultCapacity;
+
+  std::string fault_profile_name = "none";
+  std::uint64_t fault_seed = 0;
+  /// Built before the run (a pure function of --fault-seed/--fault-profile
+  /// and the window, so identical to the materialized plan). The analysis
+  /// sink applies it in-stream: wire it via StreamAnalysis::set_fault_plan
+  /// together with `integrity` before calling run().
+  std::optional<fault::FaultPlan> fault_plan;
+  fault::IntegrityTally integrity;
+
+  /// Valid after run().
+  sim::StreamSummary summary;
+
+  explicit StreamWorld(const RunOptions& options = {});
+
+  /// Same exit protocol as ~LandscapeWorld: detach the pool heartbeat and
+  /// honor --serve-hold-ms before members stop in reverse order.
+  ~StreamWorld();
+
+  /// Runs the streaming landscape into `sink`, timing it for the ledger
+  /// and closing out the live plane.
+  void run(flow::FlowBatchSink& sink, sim::GroundTruthSink* truth = nullptr);
+
+  void stamp_coverage(stats::BinnedSeries& daily, std::size_t vantage) const {
+    if (fault_plan) fault_plan->apply_coverage(daily, vantage);
+  }
+
+  /// Attacks plus kept (post-outage) flows: equals the materialized
+  /// LandscapeWorld::result_items() when `kept_flows` comes from the
+  /// analysis sink — the exact-match gate that proves the engines agree.
+  [[nodiscard]] std::uint64_t result_items(
+      std::uint64_t kept_flows) const noexcept {
+    return summary.attack_count + kept_flows;
+  }
+
+  /// Streaming analogue of LandscapeWorld::write_observability; `items`
+  /// is result_items(kept) since the world cannot see inside the sink.
+  void write_observability(const std::string& experiment_id,
+                           std::uint64_t items) const;
 };
 
 }  // namespace booterscope::bench

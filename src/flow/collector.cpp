@@ -31,15 +31,20 @@ FlowCollector::FlowCollector(CollectorConfig config) : config_(config) {
   cache_entries_metric_ = &registry.gauge("booterscope_collector_cache_entries");
 }
 
-void FlowCollector::export_entry(const Entry& entry, ExportReason reason,
-                                 FlowList& out) {
-  out.push_back(entry.flow);
+void FlowCollector::account_export(const Entry& entry,
+                                   ExportReason reason) noexcept {
   const auto index = static_cast<std::size_t>(reason);
   stats_.exported_flows[index] += 1;
   stats_.exported_packets[index] += entry.flow.packets;
   stats_.cached_packets -= entry.flow.packets;
   exported_flows_metric_[index]->inc();
   exported_packets_metric_[index]->add(entry.flow.packets);
+}
+
+void FlowCollector::export_entry(const Entry& entry, ExportReason reason,
+                                 FlowList& out) {
+  out.push_back(entry.flow);
+  account_export(entry, reason);
 }
 
 void FlowCollector::update_cache_gauge() noexcept {
@@ -160,6 +165,56 @@ void FlowCollector::drain(FlowList& out) {
   for (const auto& [key, entry] : remaining) {
     export_entry(*entry, ExportReason::kDrain, out);
   }
+  cache_.clear();
+  update_cache_gauge();
+}
+
+void FlowCollector::expire(util::Timestamp now, FlowBatchSink& sink,
+                           std::size_t vantage, std::size_t batch_flows) {
+  const util::ConcurrencyGuard::Scope scope(guard_,
+                                            "FlowCollector::expire_stream");
+  std::vector<const net::FiveTuple*> expired;
+  // bslint:allow(BS004 collected then sorted by five-tuple below)
+  for (const auto& [key, entry] : cache_) {
+    const FlowRecord& f = entry.flow;
+    if (now - f.last >= config_.inactive_timeout ||
+        now - f.first >= config_.active_timeout) {
+      expired.push_back(&key);
+    }
+  }
+  std::sort(expired.begin(), expired.end(),
+            [](const net::FiveTuple* a, const net::FiveTuple* b) {
+              return *a < *b;
+            });
+  FlowBatcher batcher(sink, vantage, batch_flows);
+  for (const net::FiveTuple* key : expired) {
+    const auto it = cache_.find(*key);
+    const bool inactive = now - it->second.flow.last >= config_.inactive_timeout;
+    batcher.push(it->second.flow);
+    account_export(it->second, inactive ? ExportReason::kInactiveTimeout
+                                        : ExportReason::kActiveTimeout);
+    cache_.erase(it);
+  }
+  batcher.flush();
+  update_cache_gauge();
+}
+
+void FlowCollector::drain(FlowBatchSink& sink, std::size_t vantage,
+                          std::size_t batch_flows) {
+  const util::ConcurrencyGuard::Scope scope(guard_,
+                                            "FlowCollector::drain_stream");
+  std::vector<std::pair<const net::FiveTuple*, const Entry*>> remaining;
+  remaining.reserve(cache_.size());
+  // bslint:allow(BS004 collected then sorted by five-tuple below)
+  for (const auto& [key, entry] : cache_) remaining.emplace_back(&key, &entry);
+  std::sort(remaining.begin(), remaining.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  FlowBatcher batcher(sink, vantage, batch_flows);
+  for (const auto& [key, entry] : remaining) {
+    batcher.push(entry->flow);
+    account_export(*entry, ExportReason::kDrain);
+  }
+  batcher.flush();
   cache_.clear();
   update_cache_gauge();
 }

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "flow/batch.hpp"
 #include "flow/record.hpp"
 #include "net/five_tuple.hpp"
 #include "obs/metrics.hpp"
@@ -114,6 +115,15 @@ class FlowCollector {
   /// order — never in hash-map iteration order.
   void drain(FlowList& out);
 
+  /// Streaming variants: identical export order and accounting, but flows
+  /// are delivered to `sink` as fixed-size columnar batches (tagged with
+  /// `vantage`) instead of appended to a FlowList, so the caller's resident
+  /// set stays bounded by the cache, not the run.
+  void expire(util::Timestamp now, FlowBatchSink& sink, std::size_t vantage,
+              std::size_t batch_flows = FlowBatch::kDefaultCapacity);
+  void drain(FlowBatchSink& sink, std::size_t vantage,
+             std::size_t batch_flows = FlowBatch::kDefaultCapacity);
+
   [[nodiscard]] std::size_t active_flows() const noexcept { return cache_.size(); }
   [[nodiscard]] const CollectorStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::uint64_t exported_flows() const noexcept {
@@ -128,6 +138,7 @@ class FlowCollector {
     FlowRecord flow;
   };
 
+  void account_export(const Entry& entry, ExportReason reason) noexcept;
   void export_entry(const Entry& entry, ExportReason reason, FlowList& out);
   void update_cache_gauge() noexcept;
 

@@ -7,25 +7,12 @@
 
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
-#include "sim/landscape_detail.hpp"
+#include "sim/landscape_shard.hpp"
 #include "util/time.hpp"
 
 namespace booterscope::sim {
 
 namespace {
-
-/// Everything one day shard produces, written into an index-addressed slot
-/// so the merge below never depends on completion order.
-struct ShardOutput {
-  flow::FlowList ixp;
-  flow::FlowList tier1;
-  flow::FlowList tier2;
-  std::vector<AttackRecord> attacks;
-  std::vector<HoneypotObservation> honeypot_log;
-  int worker = -1;               // attribution only
-  std::int64_t begin_nanos = 0;  // monotonic begin/end, for the timeline
-  std::int64_t end_nanos = 0;
-};
 
 void append(flow::FlowList& out, flow::FlowList&& in) {
   out.insert(out.end(), std::make_move_iterator(in.begin()),
@@ -42,93 +29,35 @@ LandscapeResult run_landscape_parallel(const Internet& internet,
   LandscapeResult result;
   result.config = config;
 
-  // Shared, read-only shard inputs. Pools and the honeypot deployment are
-  // const after construction; each shard builds its own mutable market
-  // replica (below) from the same fork sequence the serial driver uses, so
-  // the replica is identical in every shard.
-  const detail::ReflectorPools pools = detail::build_pools(config);
-  {
-    util::Rng rng(config.seed);
-    util::Rng market_rng = rng.fork("market");
-    const detail::MarketRuntime market =
-        detail::build_market(internet, config, pools, market_rng);
-    result.market = market.profiles;
-  }
-  const HoneypotDeployment honeypots = [&] {
-    util::Rng rng(config.seed);
-    (void)rng.fork("market");
-    return config.honeypots_per_vector > 0
-               ? HoneypotDeployment(pools, config.honeypots_per_vector,
-                                    config.honeypot_public_share,
-                                    rng.fork("honeypots"))
-               : HoneypotDeployment();
-  }();
+  // Shared, read-only shard inputs; each shard builds its own mutable
+  // market replica from the same fork sequence the serial driver uses
+  // (see detail::run_day_shard).
+  const detail::SharedShardState shared =
+      detail::build_shared_state(internet, config);
+  result.market = shared.market_profiles;
 
   const auto days = static_cast<std::size_t>(config.days);
-  const util::Timestamp horizon =
-      config.start + util::Duration::days(config.days);
-  std::vector<ShardOutput> shards(days);
+  std::vector<detail::DayShardOutput> shards(days);
 
   {
     obs::StageTimer timer(tracer, "day_shards");
     timer.add_items_in(days);
     pool.parallel_for(days, [&](std::size_t d) {
-      ShardOutput& out = shards[d];
-      out.begin_nanos = util::monotonic_nanos();
-      const util::Timestamp day =
-          config.start + util::Duration::days(static_cast<std::int64_t>(d));
-      const util::Timestamp next = day + util::Duration::days(1);
-
-      // Market replica: same fork sequence as the serial driver, so every
-      // shard sees the same profiles and per-service list seeds. Advancing
-      // start -> day applies exactly d churn days (plus booter B's one-off
-      // list switch), making list state a pure function of the day index.
-      util::Rng seed_rng(config.seed);
-      util::Rng market_rng = seed_rng.fork("market");
-      detail::MarketRuntime market =
-          detail::build_market(internet, config, pools, market_rng);
-      for (BooterService& service : market.services) {
-        service.advance_to(config.start);
-        service.advance_to(day);
-      }
-
-      detail::Context ctx(internet, config,
-                          util::Rng::split(config.seed, "context", d));
-      detail::generate_attack_traffic(
-          ctx, market, pools, honeypots, day, next, horizon,
-          util::Rng::split(config.seed, "attacks", d), out.attacks,
-          out.honeypot_log);
-      for (std::size_t b = 0; b < market.services.size(); ++b) {
-        // Per-(day, booter) stream: the cell index packs both so adding a
-        // booter never shifts another cell's stream.
-        util::Rng cell = util::Rng::split(
-            config.seed, "maintenance",
-            (static_cast<std::uint64_t>(d) << 16) | b);
-        detail::generate_maintenance_booter_day(ctx, market, b, day,
-                                                config.takedown, cell);
-      }
-      detail::generate_benign_traffic(
-          ctx, pools, day, next, util::Rng::split(config.seed, "benign", d));
-
-      out.ixp = std::move(ctx.ixp_flows);
-      out.tier1 = std::move(ctx.tier1_flows);
-      out.tier2 = std::move(ctx.tier2_flows);
-      out.worker = exec::ThreadPool::current_worker();
-      out.end_nanos = util::monotonic_nanos();
+      detail::run_day_shard(internet, config, shared.pools, shared.honeypots,
+                            d, shards[d]);
     });
     // The pool is quiet again: merge per-worker attribution into the
     // (single-threaded) stage tree.
-    for (const ShardOutput& shard : shards) {
-      timer.add_items_out(shard.ixp.size() + shard.tier1.size() +
-                          shard.tier2.size());
+    for (const detail::DayShardOutput& shard : shards) {
+      timer.add_items_out(shard.flow_count());
     }
     if (tracer != nullptr) {
       obs::TimelineRecorder* timeline = tracer->timeline();
-      for (const ShardOutput& shard : shards) {
+      for (const detail::DayShardOutput& shard : shards) {
         tracer->add_completed(
             "day_shard", shard.worker,
             static_cast<std::uint64_t>(shard.end_nanos - shard.begin_nanos), 1,
-            1, shard.ixp.size() + shard.tier1.size() + shard.tier2.size(), 0);
+            1, shard.flow_count(), 0);
         if (timeline != nullptr && shard.worker >= 0) {
           // Mirror the shard into the executing worker's timeline lane —
           // the sequential post-quiesce hand-off (see TimelineRecorder).
@@ -146,7 +75,7 @@ LandscapeResult run_landscape_parallel(const Internet& internet,
     flow::FlowList tier1;
     flow::FlowList tier2;
     std::size_t totals[3] = {0, 0, 0};
-    for (const ShardOutput& shard : shards) {
+    for (const detail::DayShardOutput& shard : shards) {
       totals[0] += shard.ixp.size();
       totals[1] += shard.tier1.size();
       totals[2] += shard.tier2.size();
@@ -155,7 +84,7 @@ LandscapeResult run_landscape_parallel(const Internet& internet,
     tier1.reserve(totals[1]);
     tier2.reserve(totals[2]);
     // Day order, regardless of which worker finished when.
-    for (ShardOutput& shard : shards) {
+    for (detail::DayShardOutput& shard : shards) {
       append(ixp, std::move(shard.ixp));
       append(tier1, std::move(shard.tier1));
       append(tier2, std::move(shard.tier2));

@@ -1,0 +1,80 @@
+#include "sim/landscape_shard.hpp"
+
+#include <utility>
+
+#include "util/thread_pool.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::sim::detail {
+
+SharedShardState build_shared_state(const Internet& internet,
+                                    const LandscapeConfig& config) {
+  SharedShardState state;
+  state.pools = build_pools(config);
+  {
+    util::Rng rng(config.seed);
+    util::Rng market_rng = rng.fork("market");
+    const MarketRuntime market =
+        build_market(internet, config, state.pools, market_rng);
+    state.market_profiles = market.profiles;
+  }
+  {
+    util::Rng rng(config.seed);
+    (void)rng.fork("market");
+    if (config.honeypots_per_vector > 0) {
+      state.honeypots =
+          HoneypotDeployment(state.pools, config.honeypots_per_vector,
+                             config.honeypot_public_share,
+                             rng.fork("honeypots"));
+    }
+  }
+  return state;
+}
+
+void run_day_shard(const Internet& internet, const LandscapeConfig& config,
+                   const ReflectorPools& pools,
+                   const HoneypotDeployment& honeypots, std::size_t d,
+                   DayShardOutput& out) {
+  out.begin_nanos = util::monotonic_nanos();
+  const util::Timestamp day =
+      config.start + util::Duration::days(static_cast<std::int64_t>(d));
+  const util::Timestamp next = day + util::Duration::days(1);
+  const util::Timestamp horizon =
+      config.start + util::Duration::days(config.days);
+
+  // Market replica: same fork sequence as the serial driver, so every
+  // shard sees the same profiles and per-service list seeds. Advancing
+  // start -> day applies exactly d churn days (plus booter B's one-off
+  // list switch), making list state a pure function of the day index.
+  util::Rng seed_rng(config.seed);
+  util::Rng market_rng = seed_rng.fork("market");
+  MarketRuntime market = build_market(internet, config, pools, market_rng);
+  for (BooterService& service : market.services) {
+    service.advance_to(config.start);
+    service.advance_to(day);
+  }
+
+  Context ctx(internet, config, util::Rng::split(config.seed, "context", d));
+  generate_attack_traffic(ctx, market, pools, honeypots, day, next, horizon,
+                          util::Rng::split(config.seed, "attacks", d),
+                          out.attacks, out.honeypot_log);
+  for (std::size_t b = 0; b < market.services.size(); ++b) {
+    // Per-(day, booter) stream: the cell index packs both so adding a
+    // booter never shifts another cell's stream.
+    util::Rng cell =
+        util::Rng::split(config.seed, "maintenance",
+                         (static_cast<std::uint64_t>(d) << 16) | b);
+    generate_maintenance_booter_day(ctx, market, b, day, config.takedown,
+                                    cell);
+  }
+  generate_benign_traffic(ctx, pools, day, next,
+                          util::Rng::split(config.seed, "benign", d));
+
+  out.ixp = std::move(ctx.ixp_flows);
+  out.tier1 = std::move(ctx.tier1_flows);
+  out.tier2 = std::move(ctx.tier2_flows);
+  out.worker = exec::ThreadPool::current_worker();
+  out.end_nanos = util::monotonic_nanos();
+}
+
+}  // namespace booterscope::sim::detail

@@ -1,0 +1,60 @@
+// The day-shard computation shared by the materialized parallel driver
+// (landscape_parallel.cpp) and the streaming driver (landscape_stream.cpp).
+//
+// Both drivers schedule the same pure function over day indices; only what
+// happens to a finished shard differs (merge into FlowStores vs drain into
+// a FlowBatchSink and free). Keeping the shard body in one place is the
+// byte-identity argument between the two engines: identical inputs, one
+// implementation, identical flows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/landscape.hpp"
+#include "sim/landscape_detail.hpp"
+
+namespace booterscope::sim::detail {
+
+/// Read-only state shared by every shard of a run: reflector pools, the
+/// booter market profiles (for the result), and the honeypot deployment.
+/// Built once per run from the same fork sequence the serial driver uses.
+struct SharedShardState {
+  ReflectorPools pools;
+  std::vector<BooterProfile> market_profiles;
+  HoneypotDeployment honeypots;
+};
+
+[[nodiscard]] SharedShardState build_shared_state(const Internet& internet,
+                                                  const LandscapeConfig& config);
+
+/// Everything one day shard produces, written into an index-addressed slot
+/// so downstream merging never depends on completion order.
+struct DayShardOutput {
+  flow::FlowList ixp;
+  flow::FlowList tier1;
+  flow::FlowList tier2;
+  std::vector<AttackRecord> attacks;
+  std::vector<HoneypotObservation> honeypot_log;
+  int worker = -1;               // attribution only
+  std::int64_t begin_nanos = 0;  // monotonic begin/end, for the timeline
+  std::int64_t end_nanos = 0;
+
+  [[nodiscard]] std::size_t flow_count() const noexcept {
+    return ixp.size() + tier1.size() + tier2.size();
+  }
+};
+
+/// Runs day shard `d`: replicates the market at day `d`, then generates
+/// attack, maintenance, and benign traffic into a fresh context. Pure in
+/// (internet, config, pools, honeypots, d) — every flow's `first` timestamp
+/// is >= config.start + d days (attacks launch within their day; the 1 h
+/// duration cap only spills *forward*), which is the invariant streaming
+/// sinks rely on to finalize earlier bins at day_complete barriers.
+/// Thread-safe: called concurrently for distinct `d` by both drivers.
+void run_day_shard(const Internet& internet, const LandscapeConfig& config,
+                   const ReflectorPools& pools,
+                   const HoneypotDeployment& honeypots, std::size_t d,
+                   DayShardOutput& out);
+
+}  // namespace booterscope::sim::detail

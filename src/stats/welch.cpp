@@ -92,11 +92,16 @@ double student_t_cdf(double t, double df) noexcept {
 
 WelchResult welch_t_test(std::span<const double> before,
                          std::span<const double> after) noexcept {
-  WelchResult result;
   RunningStats stats_before;
   RunningStats stats_after;
   for (const double v : before) stats_before.add(v);
   for (const double v : after) stats_after.add(v);
+  return welch_t_test_from_stats(stats_before, stats_after);
+}
+
+WelchResult welch_t_test_from_stats(const RunningStats& stats_before,
+                                    const RunningStats& stats_after) noexcept {
+  WelchResult result;
   result.mean_before = stats_before.mean();
   result.mean_after = stats_after.mean();
   if (stats_before.count() < 2 || stats_after.count() < 2) return result;

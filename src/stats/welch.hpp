@@ -5,6 +5,8 @@
 
 #include <span>
 
+#include "stats/descriptive.hpp"
+
 namespace booterscope::stats {
 
 /// Regularized incomplete beta function I_x(a, b), computed with the
@@ -40,5 +42,12 @@ struct WelchResult {
 /// either sample has fewer than two observations or both variances are zero.
 [[nodiscard]] WelchResult welch_t_test(std::span<const double> before,
                                        std::span<const double> after) noexcept;
+
+/// Welch's t-test from online (Welford) moments. `welch_t_test` is a thin
+/// wrapper over this — it already reduced its spans to RunningStats — so the
+/// streaming takedown accumulators that never materialize the window samples
+/// produce byte-identical verdicts by construction.
+[[nodiscard]] WelchResult welch_t_test_from_stats(
+    const RunningStats& before, const RunningStats& after) noexcept;
 
 }  // namespace booterscope::stats

@@ -175,5 +175,57 @@ TEST(FlowCollector, ExpireExportsInKeyOrder) {
   }
 }
 
+TEST(FlowCollector, BatchedDrainMatchesMaterializedDrain) {
+  const Timestamp t0 = Timestamp::parse("2018-12-01").value();
+  // Two identically-fed collectors: one drains into a FlowList, the other
+  // into a batch sink with a capacity that forces a partial final batch.
+  FlowCollector materialized(config());
+  FlowCollector streamed(config());
+  for (int i = 0; i < 50; ++i) {
+    FlowList out;
+    const PacketObservation p =
+        packet(t0 + Duration::seconds(i), static_cast<std::uint16_t>(i % 7));
+    materialized.observe(p, out);
+    FlowList ignored;
+    streamed.observe(p, ignored);
+    EXPECT_EQ(out, ignored);
+  }
+
+  FlowList expected;
+  materialized.drain(expected);
+  ASSERT_FALSE(expected.empty());
+
+  CollectingSink sink;
+  streamed.drain(sink, kVantageTier2, 3);
+  EXPECT_EQ(sink.flows(kVantageTier2), expected);
+  EXPECT_EQ(streamed.exported_flows(), materialized.exported_flows());
+  EXPECT_EQ(streamed.stats().observed_packets,
+            streamed.stats().total_exported_packets() +
+                streamed.stats().cached_packets);
+}
+
+TEST(FlowCollector, BatchedExpireMatchesMaterializedExpire) {
+  const Timestamp t0 = Timestamp::parse("2018-12-01").value();
+  FlowCollector materialized(config());
+  FlowCollector streamed(config());
+  for (int i = 0; i < 20; ++i) {
+    FlowList out;
+    const PacketObservation p =
+        packet(t0 + Duration::millis(i), static_cast<std::uint16_t>(i % 5));
+    materialized.observe(p, out);
+    streamed.observe(p, out);
+  }
+
+  const Timestamp later = t0 + Duration::hours(1);
+  FlowList expected;
+  materialized.expire(later, expected);
+  ASSERT_FALSE(expected.empty());
+
+  CollectingSink sink;
+  streamed.expire(later, sink, kVantageIxp, 4);
+  EXPECT_EQ(sink.flows(kVantageIxp), expected);
+  EXPECT_EQ(streamed.active_flows(), materialized.active_flows());
+}
+
 }  // namespace
 }  // namespace booterscope::flow

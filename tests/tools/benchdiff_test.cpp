@@ -243,12 +243,24 @@ TEST(BenchdiffGate, DetectsRssRegressionAtMatchingThreads) {
   EXPECT_EQ(result.findings[0].metric, "peak_rss_bytes");
 }
 
-TEST(BenchdiffGate, NullRssMutesTheRssGateInsteadOfComparingZero) {
-  // Candidate could not read its own RSS: comparing against a fake 0 would
-  // either always pass (cand 0 vs base N) or always fail (base 0 treated as
-  // "unavailable"). The gate must mute, visibly.
+TEST(BenchdiffGate, CandidateLosingTheRssMeasurementIsStructural) {
+  // The baseline measured its peak RSS; a candidate that records null would
+  // silently un-gate the RSS check forever — the same rule as a lost
+  // resource_series, so the two cannot drift apart in strictness.
   const DiffResult result = diff_ledgers(
       parse_fixture({}), parse_fixture_v2({}, true), DiffOptions{});
+  ASSERT_FALSE(result.ok()) << render_report(result);
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kStructural);
+  EXPECT_EQ(result.findings[0].metric, "peak_rss_bytes");
+}
+
+TEST(BenchdiffGate, NullBaselineRssMutesTheRssGateInsteadOfComparingZero) {
+  // The baseline itself has no measurement (getrusage failed at capture
+  // time): there is nothing to compare against, so the gate mutes with a
+  // note — comparing against a fake 0 would either always pass or always
+  // fail. A later candidate that does measure is progress, not drift.
+  const DiffResult result = diff_ledgers(
+      parse_fixture_v2({}, true), parse_fixture({}), DiffOptions{});
   EXPECT_TRUE(result.ok()) << render_report(result);
   bool muted = false;
   for (const std::string& note : result.notes) {
@@ -307,6 +319,78 @@ TEST(BenchdiffGate, SlopeGateRespectsNoiseFloorAndThreadIdentity) {
                    wide, DiffOptions{})
           .ok())
       << "a different pool shape legitimately changes memory behaviour";
+}
+
+TEST(BenchdiffGate, DegenerateSeriesMutesTheSlopeGate) {
+  // A single-sample series carries a 0.0 slope placeholder, not a fit;
+  // comparing it against a real slope in either direction is meaningless.
+  const std::string degenerate =
+      "\"resource_series\":{\"interval_seconds\":0.025,\"samples\":1,"
+      "\"dropped\":0,\"t_seconds\":[0],\"rss_bytes\":[1000],"
+      "\"cpu_seconds\":[0.1],\"rss_slope_bytes_per_second\":0}";
+  const Ledger base = parse_fixture_v2({}, false, series_block(1'000'000.0));
+  const Ledger short_run = parse_fixture_v2({}, false, degenerate);
+  const DiffResult result = diff_ledgers(base, short_run, DiffOptions{});
+  EXPECT_TRUE(result.ok()) << render_report(result);
+  bool muted = false;
+  for (const std::string& note : result.notes) {
+    if (note.find("RSS slope gate muted") != std::string::npos) muted = true;
+  }
+  EXPECT_TRUE(muted) << render_report(result);
+
+  // The mute is symmetric: a degenerate *baseline* must not let a real
+  // candidate slope be compared against the 0.0 placeholder either.
+  const Ledger leaky =
+      parse_fixture_v2({}, false, series_block(50'000'000.0));
+  EXPECT_TRUE(diff_ledgers(short_run, leaky, DiffOptions{}).ok());
+}
+
+TEST(BenchdiffGate, StreamEngineKeysAreNotIdentity) {
+  // `stream` / `stream_batch` pick the engine, whose output is pinned
+  // byte-identical by the equivalence suite — a streaming candidate must
+  // diff cleanly against a materialized baseline.
+  FixtureSpec spec;
+  std::string json = ledger_json(spec);
+  const std::string anchor = "\"fault_profile\":\"none\"";
+  json.replace(json.find(anchor), anchor.size(),
+               anchor + ",\"stream\":\"true\",\"stream_batch\":\"8192\"");
+  std::string error;
+  const std::optional<Ledger> streaming = parse_ledger(json, &error);
+  ASSERT_TRUE(streaming) << error;
+  const DiffResult result =
+      diff_ledgers(parse_fixture(spec), *streaming, DiffOptions{});
+  EXPECT_TRUE(result.ok()) << render_report(result);
+}
+
+TEST(BenchdiffFlatRss, GatesAnAbsoluteSlopeBudget) {
+  const Ledger flat = parse_fixture_v2({}, false, series_block(500'000.0));
+  const DiffResult pass = flat_rss_check(flat, 1024.0 * 1024.0);
+  EXPECT_TRUE(pass.ok()) << render_report(pass);
+  EXPECT_EQ(pass.compared, 1);
+
+  const Ledger leaky =
+      parse_fixture_v2({}, false, series_block(2'000'000.0));
+  const DiffResult fail = flat_rss_check(leaky, 1024.0 * 1024.0);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.findings[0].kind, Finding::Kind::kTiming);
+  EXPECT_EQ(fail.findings[0].metric, "resource_series.rss_slope");
+}
+
+TEST(BenchdiffFlatRss, MissingOrDegenerateSeriesIsStructural) {
+  // The flatness gate exists to catch leaks on scaled-up runs; a run that
+  // never sampled (or sampled once) silently passing would defeat it.
+  const DiffResult no_series = flat_rss_check(parse_fixture({}), 1024.0);
+  ASSERT_FALSE(no_series.ok());
+  EXPECT_EQ(no_series.findings[0].kind, Finding::Kind::kStructural);
+
+  const std::string one_sample =
+      "\"resource_series\":{\"interval_seconds\":0.025,\"samples\":1,"
+      "\"dropped\":0,\"t_seconds\":[0],\"rss_bytes\":[1000],"
+      "\"cpu_seconds\":[0.1],\"rss_slope_bytes_per_second\":0}";
+  const DiffResult degenerate =
+      flat_rss_check(parse_fixture_v2({}, false, one_sample), 1024.0);
+  ASSERT_FALSE(degenerate.ok());
+  EXPECT_EQ(degenerate.findings[0].kind, Finding::Kind::kStructural);
 }
 
 TEST(BenchdiffGate, CandidateLosingTheSeriesIsStructuralDrift) {

@@ -41,9 +41,11 @@ void add_finding(DiffResult& result, Finding::Kind kind,
 
 /// The identity an experiment must share with its baseline to be
 /// comparable. `threads` trades wall clock for parallelism without
-/// changing output bytes, so it is not identity.
+/// changing output bytes, so it is not identity; neither are `stream` /
+/// `stream_batch` — the streaming engine produces byte-identical output
+/// (DESIGN.md §14), so the engine choice only trades memory and wall.
 [[nodiscard]] bool identity_key(const std::string& key) {
-  return key != "threads";
+  return key != "threads" && key != "stream" && key != "stream_batch";
 }
 
 [[nodiscard]] const Ledger::Stage* find_stage(const Ledger& ledger,
@@ -347,11 +349,19 @@ DiffResult diff_ledgers(const Ledger& baseline, const Ledger& candidate,
       candidate.config_value("threads");
   const bool threads_match =
       base_threads && cand_threads && *base_threads == *cand_threads;
-  if (!baseline.peak_rss_bytes.has_value() ||
+  if (baseline.peak_rss_bytes.has_value() &&
       !candidate.peak_rss_bytes.has_value()) {
+    // Mirror of the lost-resource-series rule above: the baseline measured
+    // its RSS, so a null candidate silently un-gates the RSS check — that
+    // is drift, not noise. (A null baseline still mutes with a note: there
+    // is nothing to compare against.)
+    add_finding(result, Finding::Kind::kStructural, id, "peak_rss_bytes",
+                "baseline measured peak RSS but candidate recorded null — "
+                "losing the measurement would un-gate the RSS check");
+  } else if (!baseline.peak_rss_bytes.has_value()) {
     result.notes.push_back(
-        id + ": RSS gate muted (peak_rss_bytes null — getrusage failed at "
-             "capture time)");
+        id + ": RSS gate muted (baseline peak_rss_bytes null — getrusage "
+             "failed at capture time)");
   } else if (*baseline.peak_rss_bytes > 0 && *candidate.peak_rss_bytes > 0 &&
              threads_match) {
     const double ratio = static_cast<double>(*candidate.peak_rss_bytes) /
@@ -372,7 +382,16 @@ DiffResult diff_ledgers(const Ledger& baseline, const Ledger& candidate,
   // high-water mark crosses rss_ratio. The 1 MiB/s allowance keeps a flat
   // baseline (slope ~0) from flagging allocator jitter.
   if (baseline.resource_series && candidate.resource_series &&
-      threads_match) {
+      threads_match &&
+      (baseline.resource_series->rss_bytes.size() < 2 ||
+       candidate.resource_series->rss_bytes.size() < 2)) {
+    // A slope fit needs two points; comparing a degenerate series' 0.0
+    // placeholder against a real slope (or vice versa) is meaningless.
+    result.notes.push_back(
+        id + ": RSS slope gate muted (a resource series has < 2 samples — "
+             "slope undefined; sample faster or run longer)");
+  } else if (baseline.resource_series && candidate.resource_series &&
+             threads_match) {
     constexpr double kSlopeAllowance = 1024.0 * 1024.0;  // 1 MiB/s
     const double base_slope =
         std::max(baseline.resource_series->rss_slope_bytes_per_second, 0.0);
@@ -470,6 +489,49 @@ DiffResult diff_directories(const std::string& baseline_dir,
                              ": candidate has no baseline (add one under the "
                              "baselines directory to gate it)");
     }
+  }
+  return result;
+}
+
+DiffResult flat_rss_check(const Ledger& ledger,
+                          double max_slope_bytes_per_second) {
+  DiffResult result;
+  result.compared = 1;
+  const std::string id =
+      !ledger.experiment.empty() ? ledger.experiment : ledger.path;
+  if (!ledger.resource_series) {
+    add_finding(result, Finding::Kind::kStructural, id, "resource_series",
+                "no resource series to gate (run the bench with "
+                "--sample-interval-ms > 0)");
+    return result;
+  }
+  const Ledger::ResourceSeries& series = *ledger.resource_series;
+  if (series.rss_bytes.size() < 2) {
+    add_finding(result, Finding::Kind::kStructural, id, "resource_series",
+                "only " + std::to_string(series.rss_bytes.size()) +
+                    " sample(s) — a slope fit needs two; sample faster or "
+                    "run longer");
+    return result;
+  }
+  char slope_text[32];
+  std::snprintf(slope_text, sizeof slope_text, "%.0f",
+                series.rss_slope_bytes_per_second);
+  char budget_text[32];
+  std::snprintf(budget_text, sizeof budget_text, "%.0f",
+                max_slope_bytes_per_second);
+  if (series.rss_slope_bytes_per_second > max_slope_bytes_per_second) {
+    add_finding(result, Finding::Kind::kTiming, id,
+                "resource_series.rss_slope",
+                "RSS slope " + std::string(slope_text) +
+                    " bytes/s exceeds the flatness budget " +
+                    std::string(budget_text) + " bytes/s over " +
+                    std::to_string(series.rss_bytes.size()) + " samples");
+  } else {
+    result.notes.push_back(id + ": RSS slope " + std::string(slope_text) +
+                           " bytes/s within the flatness budget " +
+                           std::string(budget_text) + " bytes/s (" +
+                           std::to_string(series.rss_bytes.size()) +
+                           " samples)");
   }
   return result;
 }

@@ -142,6 +142,15 @@ struct DiffResult {
 /// check_ledger.
 [[nodiscard]] DiffResult check_directory(const std::string& dir);
 
+/// Standalone absolute memory-flatness gate for one candidate ledger: its
+/// resource series must exist, carry at least two samples (a slope fit
+/// needs two points), and show an RSS growth slope at or below
+/// `max_slope_bytes_per_second`. This is CI's scale-smoke gate, where the
+/// run uses a scaled-up config no committed baseline pairs with — the
+/// budget is absolute, not relative.
+[[nodiscard]] DiffResult flat_rss_check(const Ledger& ledger,
+                                        double max_slope_bytes_per_second);
+
 [[nodiscard]] std::string_view to_string(Finding::Kind kind) noexcept;
 
 /// Human report: one line per finding/note plus a PASS/FAIL trailer.

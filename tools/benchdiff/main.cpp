@@ -4,13 +4,17 @@
 //             [--min-runtime S] [--wall-ratio X] [--stage-ratio X]
 //             [--rss-ratio X] [--rss-slope-ratio X] [--require-all]
 //             [--quiet]
+//   benchdiff --flat-rss LEDGER [--max-rss-slope BYTES_PER_S] [--quiet]
 //
 // Default mode diffs every BENCH_*.json baseline under --baselines against
 // the same-named ledger under --candidates (default: current directory)
 // and exits 1 on any finding. --check validates the baselines themselves
 // (parse + internal consistency) without needing candidates — that is the
-// `benchdiff_tree` ctest entry guarding the committed baselines. Exit 2 on
-// usage errors.
+// `benchdiff_tree` ctest entry guarding the committed baselines.
+// --flat-rss gates one ledger's sampled RSS growth slope against an
+// absolute budget (default 1 MiB/s) with no baseline involved — CI's
+// memory-flatness gate for scaled-up runs no baseline pairs with. Exit 2
+// on usage errors.
 #include <cstdio>
 #include <string>
 
@@ -26,9 +30,29 @@ int main(int argc, char** argv) {
         "usage: %s --baselines DIR [--candidates DIR] [--check]\n"
         "          [--min-runtime S] [--wall-ratio X] [--stage-ratio X]\n"
         "          [--rss-ratio X] [--rss-slope-ratio X] [--require-all]\n"
-        "          [--quiet]\n",
-        args.program().c_str());
+        "          [--quiet]\n"
+        "       %s --flat-rss LEDGER [--max-rss-slope BYTES_PER_S] [--quiet]\n",
+        args.program().c_str(), args.program().c_str());
     return 0;
+  }
+
+  const std::string flat_rss = args.value_or("flat-rss", "");
+  if (!flat_rss.empty()) {
+    std::string error;
+    const auto ledger = booterscope::benchdiff::load_ledger(flat_rss, &error);
+    if (!ledger) {
+      std::fprintf(stderr, "%s: %s\n", args.program().c_str(), error.c_str());
+      return 2;
+    }
+    const double max_slope =
+        args.double_or("max-rss-slope", 1024.0 * 1024.0);  // 1 MiB/s
+    const booterscope::benchdiff::DiffResult result =
+        booterscope::benchdiff::flat_rss_check(*ledger, max_slope);
+    if (!args.has_flag("quiet")) {
+      const std::string report = booterscope::benchdiff::render_report(result);
+      std::fputs(report.c_str(), stdout);
+    }
+    return result.ok() ? 0 : 1;
   }
 
   const std::string baselines = args.value_or("baselines", "");
