@@ -10,6 +10,7 @@
 
 #include "obs/exposition.hpp"
 #include "obs/json.hpp"
+#include "svc/shutdown.hpp"
 #include "util/time.hpp"
 
 namespace booterscope::bench {
@@ -200,15 +201,26 @@ void finish_live_plane(World& world) {
 /// Exit protocol shared by both worlds: the heartbeat atomic lives in the
 /// watchdog, which dies before the pool (reverse declaration order), so
 /// detach first; then honor --serve-hold-ms so an external scraper
-/// reliably catches the finished run.
+/// reliably catches the finished run. The hold is interruptible: SIGTERM
+/// or SIGINT during the window ends it early and the bench exits cleanly
+/// (its results are already written by this point).
 template <typename World>
 void shutdown_live_plane(World& world) {
   world.pool.attach_heartbeat(nullptr);
   if (world.server && world.server->running() && world.serve_hold_ms > 0) {
     std::cerr << "live: holding " << world.serve_hold_ms
-              << " ms for external scrapers\n";
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(world.serve_hold_ms));
+              << " ms for external scrapers (SIGTERM ends the hold)\n";
+    svc::ShutdownSignal::install();
+    constexpr int kSliceMs = 50;
+    for (int held = 0;
+         held < world.serve_hold_ms && !svc::ShutdownSignal::requested();
+         held += kSliceMs) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min(kSliceMs, world.serve_hold_ms - held)));
+    }
+    if (svc::ShutdownSignal::requested()) {
+      std::cerr << "live: hold interrupted, exiting\n";
+    }
   }
 }
 

@@ -268,6 +268,7 @@ void IntegrityTally::merge(const IntegrityTally& other) noexcept {
   recovered += other.recovered;
   failed += other.failed;
   quarantined += other.quarantined;
+  shed += other.shed;
   records_skipped += other.records_skipped;
   for (std::size_t i = 0; i < failed_by_error.size(); ++i) {
     failed_by_error[i] += other.failed_by_error[i];
@@ -282,6 +283,7 @@ void IntegrityTally::add_to_manifest(obs::RunManifest& manifest) const {
   manifest.add_integrity("packets_recovered", recovered);
   manifest.add_integrity("packets_failed", failed);
   manifest.add_integrity("packets_quarantined", quarantined);
+  manifest.add_integrity("packets_shed", shed);
   manifest.add_integrity("records_skipped", records_skipped);
   for (util::DecodeError error : util::all_decode_errors()) {
     const std::uint64_t count =

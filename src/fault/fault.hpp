@@ -161,9 +161,13 @@ class PacketChannel {
 /// Run-level degraded-operation ledger, rolled into the manifest's
 /// integrity block. The conservation identity is
 ///   offered + duplicated ==
-///       decoded clean + recovered + failed + dropped by fault + quarantined
-/// where "recovered" are packets decoded with non-clean DecodeDamage and
-/// "failed" are fatal decode results, bucketed by DecodeError.
+///       decoded clean + recovered + failed + dropped by fault
+///       + quarantined + shed
+/// where "recovered" are packets decoded with non-clean DecodeDamage,
+/// "failed" are fatal decode results bucketed by DecodeError, and "shed"
+/// are packets deliberately discarded under overload (bounded ingest
+/// queues full — DESIGN.md §15). Shedding is load management, not loss:
+/// it is always counted here, never silent.
 struct IntegrityTally {
   std::uint64_t offered = 0;
   std::uint64_t duplicated = 0;
@@ -172,6 +176,7 @@ struct IntegrityTally {
   std::uint64_t recovered = 0;
   std::uint64_t failed = 0;
   std::uint64_t quarantined = 0;
+  std::uint64_t shed = 0;
   std::uint64_t records_skipped = 0;
   std::array<std::uint64_t, util::kDecodeErrorCount> failed_by_error{};
 
@@ -183,7 +188,8 @@ struct IntegrityTally {
     return offered + duplicated;
   }
   [[nodiscard]] std::uint64_t rhs() const noexcept {
-    return decoded_clean + recovered + failed + dropped_by_fault + quarantined;
+    return decoded_clean + recovered + failed + dropped_by_fault +
+           quarantined + shed;
   }
   [[nodiscard]] bool balanced() const noexcept { return lhs() == rhs(); }
 

@@ -9,6 +9,7 @@
 
 #include "net/protocol.hpp"
 #include "obs/metrics.hpp"
+#include "util/backoff.hpp"
 #include "util/byteio.hpp"
 #include "util/decode_metrics.hpp"
 
@@ -93,11 +94,19 @@ constexpr int kIoAttempts = 3;
   return std::nullopt;
 }
 
-/// Sleeps 1ms << attempt between retries; counted so a run manifest shows
-/// how often storage flaked.
+/// Sleeps the util::Backoff schedule between retries; counted so a run
+/// manifest shows how often storage flaked. The seed is a fixed constant:
+/// store I/O has no run seed in scope, and a stable schedule is exactly
+/// what a replayed run wants.
 void backoff(int attempt) {
+  static const util::Backoff schedule(
+      0x5105ull, "store-io",
+      {.base = util::Duration::millis(1),
+       .cap = util::Duration::millis(250),
+       .multiplier = 2.0});
   obs::metrics().counter("booterscope_store_io_retries_total").inc();
-  std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+  std::this_thread::sleep_for(std::chrono::nanoseconds(
+      schedule.delay(static_cast<std::uint64_t>(attempt)).total_nanos()));
 }
 
 }  // namespace

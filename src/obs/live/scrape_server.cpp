@@ -36,6 +36,14 @@ namespace {
 constexpr std::string_view kPromContentType =
     "text/plain; version=0.0.4; charset=utf-8";
 
+#if defined(BOOTERSCOPE_LIVE_HAVE_SOCKETS)
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;  // platform without MSG_NOSIGNAL
+#endif
+#endif
+
 }  // namespace
 
 ScrapeServer::ScrapeServer(Config config, MetricsRegistry* registry,
@@ -98,6 +106,11 @@ void ScrapeServer::publish_stages(std::string json) {
   stages_json_ = std::move(json);
 }
 
+void ScrapeServer::publish_status(std::string json) {
+  const util::MutexLock lock(stages_mutex_);
+  status_json_ = std::move(json);
+}
+
 #if defined(BOOTERSCOPE_LIVE_HAVE_SOCKETS)
 
 void ScrapeServer::serve_loop() {
@@ -118,30 +131,45 @@ void ScrapeServer::serve_loop() {
 
 void ScrapeServer::handle_connection(int client_fd) {
   // Read until the header terminator, a small bound, or a quiet socket; a
-  // scrape request fits one segment, so this is one read in practice.
+  // scrape request fits one segment in practice, but a trickling client
+  // (one byte per segment) is still served as long as each byte arrives
+  // within a poll round — the per-round timeout bounds a *silent* peer,
+  // not a slow one.
   std::string request;
   char buffer[2048];
-  for (int rounds = 0; rounds < 8; ++rounds) {
+  // 64 rounds of up-to-250 ms: enough for a pathological trickler to
+  // finish a real request line, still bounded below ~16 s for a stuck one.
+  for (int rounds = 0; rounds < 64; ++rounds) {
     pollfd pfd{};
     pfd.fd = client_fd;
     pfd.events = POLLIN;
     if (::poll(&pfd, 1, 250) <= 0) break;
     const ssize_t got = ::recv(client_fd, buffer, sizeof buffer, 0);
-    if (got <= 0) break;
+    if (got <= 0) break;  // disconnect mid-request lands here
     request.append(buffer, static_cast<std::size_t>(got));
     if (request.find("\r\n\r\n") != std::string::npos ||
         request.size() > 8192) {
       break;
     }
   }
-  const std::size_t line_end = request.find("\r\n");
-  const std::string request_line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
-  const std::string response = response_for(request_line);
+  if (request.empty()) return;  // connected and left: nothing to answer
+  std::string response;
+  if (request.find("\r\n") == std::string::npos) {
+    // The client never completed its request line (mid-request
+    // disconnect, or a trickler that timed out): answer 400, not a guess.
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    response = http_response(400, "Bad Request", "text/plain",
+                             "incomplete request\n");
+  } else {
+    response = response_for(request.substr(0, request.find("\r\n")));
+  }
   std::size_t sent = 0;
   while (sent < response.size()) {
+    // kSendFlags suppresses SIGPIPE: a peer that disconnected between
+    // request and response must surface as a send error, not kill the
+    // process this server is embedded in.
     const ssize_t wrote = ::send(client_fd, response.data() + sent,
-                                 response.size() - sent, 0);
+                                 response.size() - sent, kSendFlags);
     if (wrote <= 0) break;
     sent += static_cast<std::size_t>(wrote);
   }
@@ -201,6 +229,15 @@ std::string ScrapeServer::response_for(const std::string& request_line) {
     {
       const util::MutexLock lock(stages_mutex_);
       body = stages_json_;
+    }
+    return http_response(200, "OK", "application/json", body);
+  }
+  if (path == "/status") {
+    count("status");
+    std::string body;
+    {
+      const util::MutexLock lock(stages_mutex_);
+      body = status_json_;
     }
     return http_response(200, "OK", "application/json", body);
   }

@@ -16,6 +16,15 @@
 //             single-owner (ConcurrencyGuard), so the server never touches
 //             it: the driver publishes a rendered snapshot at safe points
 //             (run start/end) and the server serves that copy under a lock.
+//   /status   last *published* service status document (booterscoped's
+//             live state), same publish-a-copy discipline as /stages.
+//
+// Client hardening: requests are read with a bounded poll loop, so a
+// byte-at-a-time client still gets served while a silent one times out; a
+// connection that never completes its request line gets 400 (or, when it
+// sent nothing at all, just a close); responses are sent with SIGPIPE
+// suppressed so a client disconnecting mid-response never kills the
+// process hosting the server.
 //
 // Serving is an observer: every handler reads atomics, the registry's
 // locked snapshot views, or published strings — never simulation state —
@@ -75,6 +84,9 @@ class ScrapeServer {
   /// server only ever serves this copy.
   void publish_stages(std::string json);
 
+  /// Publishes the /status body (the booterscoped live status document).
+  void publish_status(std::string json);
+
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return requests_.load(std::memory_order_relaxed);
   }
@@ -96,6 +108,7 @@ class ScrapeServer {
 
   mutable util::Mutex stages_mutex_;
   std::string stages_json_ BS_GUARDED_BY(stages_mutex_) = "[]";
+  std::string status_json_ BS_GUARDED_BY(stages_mutex_) = "null";
 
   // Listener thread: accepts and answers scrapes, never executes pipeline
   // work — the serving substrate booterscoped will mount.

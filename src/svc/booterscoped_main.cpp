@@ -1,0 +1,189 @@
+// booterscoped — the long-running NetFlow/IPFIX ingest daemon.
+//
+// Accepts export datagrams over UDP from many concurrent exporters, drives
+// the streaming analysis over them, and serves live state:
+//   /metrics   Prometheus exposition (ingest, shed, quarantine counters)
+//   /healthz   503 while the decode worker is stalled
+//   /status    live service document (sessions, shed, verdict after drain)
+// SIGTERM/SIGINT starts a graceful drain: stop accepting, flush the queue,
+// finalize the analysis, write the final manifest with a balanced
+// integrity block, exit 0.
+//
+// Quickstart (README "booterscoped" section):
+//   booterscoped --port 9995 --serve 9102 --days 122 &
+//   bench/bench_soak --target 9995 --fault-profile heavy
+//   curl -s localhost:9102/status | python3 -m json.tool
+//   kill -TERM %1   # drain + manifest + exit 0
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "obs/live/resource_sampler.hpp"
+#include "obs/live/scrape_server.hpp"
+#include "obs/live/watchdog.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "svc/daemon.hpp"
+#include "svc/shutdown.hpp"
+#include "util/cli.hpp"
+#include "util/time.hpp"
+
+namespace {
+
+using namespace booterscope;
+
+/// "YYYY-MM-DD" → timestamp at midnight UTC; nullopt on malformed input.
+[[nodiscard]] std::optional<util::Timestamp> parse_date(
+    const std::string& text) {
+  int year = 0;
+  unsigned month = 0;
+  unsigned day = 0;
+  if (std::sscanf(text.c_str(), "%d-%u-%u", &year, &month, &day) != 3) {
+    return std::nullopt;
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31) return std::nullopt;
+  return util::Timestamp::from_date({year, month, day});
+}
+
+void usage(const char* program) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--serve N] [--days N] [--seed N]\n"
+      "          [--start-date YYYY-MM-DD] [--takedown-date YYYY-MM-DD]\n"
+      "          [--queue-capacity N] [--batch N] [--manifest PATH]\n"
+      "  --port            UDP ingest port (default 9995; 0 = ephemeral)\n"
+      "  --serve           scrape endpoint port (default 9102; 0 = "
+      "ephemeral)\n"
+      "  --days            analysis window length (default 122)\n"
+      "  --start-date      window start (default 2018-09-30)\n"
+      "  --takedown-date   verdict event; omit for no verdict\n"
+      "  --queue-capacity  ingest ring slots (default 4096)\n"
+      "  --batch           flow batch capacity (default 8192)\n"
+      "  --seed            quarantine jitter seed (default 42)\n"
+      "  --manifest        final manifest path (default "
+      "OBS_booterscoped.manifest.json)\n",
+      program);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  if (args.has_flag("help") || args.has_flag("h")) {
+    usage(argv[0]);
+    return 0;
+  }
+  const auto unknown = args.unknown(
+      {"port", "serve", "days", "seed", "start-date", "takedown-date",
+       "queue-capacity", "batch", "manifest", "help", "h"});
+
+  svc::DaemonConfig config;
+  const std::string start_text = args.value_or("start-date", "2018-09-30");
+  const auto start = parse_date(start_text);
+  if (!start) {
+    std::fprintf(stderr, "booterscoped: bad --start-date %s\n",
+                 start_text.c_str());
+    return 1;
+  }
+  config.start = *start;
+  config.days = static_cast<int>(args.int_or("days", 122));
+  config.seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
+  config.session.seed = config.seed;
+  config.session.v5_boot_time = config.start;
+  config.queue_capacity =
+      static_cast<std::size_t>(args.int_or("queue-capacity", 4096));
+  config.batch_capacity = static_cast<std::size_t>(args.int_or("batch", 8192));
+  if (const auto takedown_text = args.value("takedown-date")) {
+    const auto takedown = parse_date(*takedown_text);
+    if (!takedown) {
+      std::fprintf(stderr, "booterscoped: bad --takedown-date %s\n",
+                   takedown_text->c_str());
+      return 1;
+    }
+    config.takedown = takedown;
+  }
+  const auto udp_port = static_cast<std::uint16_t>(args.int_or("port", 9995));
+  const auto serve_port =
+      static_cast<std::uint16_t>(args.int_or("serve", 9102));
+  const std::string manifest_path =
+      args.value_or("manifest", "OBS_booterscoped.manifest.json");
+  for (const std::string& flag : unknown) {
+    std::fprintf(stderr, "booterscoped: unknown flag --%s\n", flag.c_str());
+    usage(argv[0]);
+    return 1;
+  }
+
+  svc::ShutdownSignal::install();
+
+  obs::live::Watchdog watchdog(obs::live::Watchdog::Config{},
+                               &obs::metrics());
+  obs::live::ResourceSampler sampler(obs::live::ResourceSampler::Config{},
+                                     &obs::metrics(), {}, &watchdog);
+  svc::Daemon daemon(config, &watchdog);
+  if (!daemon.start(udp_port)) {
+    std::fprintf(stderr, "booterscoped: UDP bind on port %u failed\n",
+                 udp_port);
+    return 1;
+  }
+  obs::live::ScrapeServer server({.port = serve_port}, &obs::metrics(),
+                                 &watchdog);
+  if (!server.start()) {
+    std::fprintf(stderr, "booterscoped: scrape bind on port %u failed\n",
+                 serve_port);
+    return 1;
+  }
+  sampler.start();
+  std::printf("booterscoped: ingest udp://127.0.0.1:%u  scrape http://127.0.0.1:%u\n",
+              daemon.udp_port(), server.port());
+  std::printf("booterscoped: window %s + %d days; SIGTERM drains\n",
+              start_text.c_str(), config.days);
+  std::fflush(stdout);
+
+  // Main loop: wait for the signal, refreshing /status twice a second.
+  int ticks = 0;
+  server.publish_status(daemon.status_json());
+  while (!svc::ShutdownSignal::requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (++ticks % 10 == 0) server.publish_status(daemon.status_json());
+  }
+
+  // Graceful drain: the daemon goes quiet by design, so the watchdog is
+  // disarmed first — a drain is not a stall.
+  std::printf("booterscoped: drain requested\n");
+  std::fflush(stdout);
+  watchdog.disarm();
+  daemon.drain(util::monotonic_nanos());
+  server.publish_status(daemon.status_json());
+
+  obs::RunManifest manifest("booterscoped");
+  manifest.set_experiment("booterscoped");
+  manifest.set_seed(config.seed);
+  manifest.add_config("days", static_cast<std::uint64_t>(config.days));
+  manifest.add_config("start_date", start_text);
+  manifest.add_config("queue_capacity",
+                      static_cast<std::uint64_t>(config.queue_capacity));
+  manifest.add_config("udp_port",
+                      static_cast<std::uint64_t>(daemon.udp_port()));
+  daemon.add_to_manifest(manifest);
+  if (!manifest.write(manifest_path, nullptr, &obs::metrics())) {
+    std::fprintf(stderr, "booterscoped: manifest write to %s failed\n",
+                 manifest_path.c_str());
+    return 1;
+  }
+
+  const fault::IntegrityTally tally = daemon.merged_tally();
+  std::printf(
+      "booterscoped: drained. received=%llu shed=%llu sessions=%zu "
+      "quarantine_events=%llu readmissions=%llu integrity=%s\n",
+      static_cast<unsigned long long>(daemon.received()),
+      static_cast<unsigned long long>(daemon.shed()),
+      daemon.session_count(),
+      static_cast<unsigned long long>(daemon.quarantine_events()),
+      static_cast<unsigned long long>(daemon.readmissions()),
+      tally.balanced() ? "balanced" : "IMBALANCED");
+  sampler.stop();
+  server.stop();
+  return tally.balanced() ? 0 : 2;
+}

@@ -1,0 +1,387 @@
+#include "svc/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "core/classify.hpp"
+#include "net/protocol.hpp"
+#include "obs/json.hpp"
+#include "obs/live/watchdog.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "svc/udp.hpp"
+#include "util/time.hpp"
+
+namespace booterscope::svc {
+
+namespace {
+
+/// Default series when the config names none: the Fig. 4 style NTP
+/// to-port selector at each vantage slot.
+[[nodiscard]] std::vector<core::SeriesSpec> default_specs() {
+  std::vector<core::SeriesSpec> specs;
+  static constexpr const char* kNames[flow::kVantageCount] = {
+      "ixp_ntp", "tier1_ntp", "tier2_ntp"};
+  for (std::size_t v = 0; v < flow::kVantageCount; ++v) {
+    core::SeriesSpec spec;
+    spec.name = kNames[v];
+    spec.vantage = v;
+    spec.kind = core::SeriesSpec::Kind::kToPort;
+    spec.port = net::ports::kNtp;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+void count_received(std::uint64_t n = 1) noexcept {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_svc_datagrams_received_total");
+  counter.add(n);
+}
+
+void count_shed() noexcept {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_svc_datagrams_shed_total");
+  counter.inc();
+}
+
+void count_quarantine_event() noexcept {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_svc_quarantine_events_total");
+  counter.inc();
+}
+
+void count_readmission() noexcept {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_svc_readmissions_total");
+  counter.inc();
+}
+
+void count_rows(std::uint64_t n) noexcept {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_svc_rows_total");
+  counter.add(n);
+}
+
+void count_late_rows(std::uint64_t n) noexcept {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_svc_late_rows_total");
+  counter.add(n);
+}
+
+void count_wild_rows(std::uint64_t n) noexcept {
+  static obs::Counter& counter =
+      obs::metrics().counter("booterscope_svc_wild_rows_total");
+  counter.add(n);
+}
+
+[[nodiscard]] std::string window_json(const core::WindowMetrics& w) {
+  std::string out = "{";
+  out += "\"window_days\": " + std::to_string(w.window_days);
+  out += ", \"significant\": ";
+  out += w.significant ? "true" : "false";
+  out += ", \"reduction\": " + obs::json_number(w.reduction);
+  out += ", \"effective_before_days\": " +
+         std::to_string(w.effective_before_days);
+  out += ", \"effective_after_days\": " +
+         std::to_string(w.effective_after_days);
+  out += ", \"excluded_days\": " + std::to_string(w.excluded_days);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config, obs::live::Watchdog* watchdog)
+    : config_(std::move(config)),
+      watchdog_(watchdog),
+      queue_(config_.queue_capacity),
+      analysis_(config_.start, config_.days,
+                config_.specs.empty() ? default_specs() : config_.specs),
+      watermark_(config_.start) {
+  for (std::size_t v = 0; v < flow::kVantageCount; ++v) {
+    batchers_.push_back(std::make_unique<flow::FlowBatcher>(
+        analysis_, v, config_.batch_capacity));
+  }
+}
+
+Daemon::~Daemon() {
+  // Tear down threads without the drain semantics: a destructed daemon
+  // that was never drained just stops.
+  accepting_.store(false, std::memory_order_release);
+  if (udp_) udp_->stop();
+  worker_stop_.store(true, std::memory_order_release);
+  if (worker_.joinable()) worker_.join();
+}
+
+bool Daemon::offer(std::uint64_t exporter, std::vector<std::uint8_t> bytes,
+                   std::int64_t now_nanos) {
+  if (!accepting_.load(std::memory_order_acquire)) return false;
+  received_.fetch_add(1, std::memory_order_relaxed);
+  count_received();
+  Datagram datagram;
+  datagram.exporter = exporter;
+  datagram.bytes = std::move(bytes);
+  datagram.received_nanos = now_nanos;
+  if (!queue_.try_push(std::move(datagram))) {
+    // Deterministic load shedding: the ring is the only buffer, so a full
+    // ring at this offer IS the shed decision — ledgered, never silent.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    count_shed();
+    return false;
+  }
+  return true;
+}
+
+std::size_t Daemon::pump(std::size_t max_datagrams, std::int64_t now_nanos) {
+  std::size_t processed = 0;
+  Datagram datagram;
+  while (processed < max_datagrams && queue_.try_pop(datagram)) {
+    process(std::move(datagram), now_nanos);
+    ++processed;
+  }
+  return processed;
+}
+
+void Daemon::process(Datagram&& datagram, std::int64_t /*now_nanos*/) {
+  auto [it, inserted] =
+      sessions_.try_emplace(datagram.exporter, datagram.exporter,
+                            config_.session);
+  if (inserted) {
+    session_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ExporterSession& session = it->second;
+  // The session clock is the *receive* instant, not the pump instant, so
+  // quarantine spans are a pure function of the ingest schedule even when
+  // the worker lags the receiver.
+  IngestResult result =
+      session.ingest(datagram.bytes, datagram.received_nanos);
+  if (result.quarantined_now) {
+    quarantine_events_.fetch_add(1, std::memory_order_relaxed);
+    quarantined_sessions_.fetch_add(1, std::memory_order_relaxed);
+    count_quarantine_event();
+  }
+  if (result.readmitted) {
+    readmissions_.fetch_add(1, std::memory_order_relaxed);
+    quarantined_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    count_readmission();
+  }
+  if (result.records.empty()) return;
+
+  const util::Timestamp finalized_bound =
+      config_.start + util::Duration::days(finalized_days_);
+  const util::Timestamp window_end =
+      config_.start + util::Duration::days(config_.days);
+  std::uint64_t pushed = 0;
+  std::uint64_t late = 0;
+  std::uint64_t wild = 0;
+  util::Timestamp packet_high = config_.start;
+  bool saw_row = false;
+  for (const flow::FlowRecord& record : result.records) {
+    if (record.first < config_.start || record.first >= window_end) {
+      // A timestamp outside the configured analysis window is corrupt
+      // (bit-flipped in flight) or misconfigured — either way it must not
+      // advance any watermark: one wild future timestamp would finalize
+      // every remaining day at once and turn the rest of the run "late".
+      ++wild;
+      continue;
+    }
+    if (record.first > packet_high) packet_high = record.first;
+    saw_row = true;
+    if (record.first < finalized_bound) {
+      // The hour this row belongs to has been finalized and freed;
+      // re-feeding it would double-count (DESIGN.md §14's barrier
+      // contract). Ledgered and dropped.
+      ++late;
+      continue;
+    }
+    batchers_[result.vantage]->push(record);
+    ++pushed;
+  }
+  if (saw_row) {
+    // Per-exporter high-water mark, then the global low-watermark as the
+    // min across exporters: barriers advance only once EVERY exporter that
+    // has delivered rows is past the bound, so a single corrupt in-window
+    // jump (still possible below `window_end`) is held back by its peers.
+    auto [mark, first_rows] =
+        session_watermarks_.try_emplace(datagram.exporter, packet_high);
+    if (!first_rows && packet_high > mark->second) mark->second = packet_high;
+    util::Timestamp low = util::Timestamp::from_nanos(
+        std::numeric_limits<std::int64_t>::max());
+    for (const auto& [id, high] : session_watermarks_) {
+      if (high < low) low = high;
+    }
+    if (low > watermark_) watermark_ = low;
+  }
+  if (pushed > 0) {
+    rows_.fetch_add(pushed, std::memory_order_relaxed);
+    count_rows(pushed);
+  }
+  if (late > 0) {
+    late_rows_.fetch_add(late, std::memory_order_relaxed);
+    count_late_rows(late);
+  }
+  if (wild > 0) {
+    wild_rows_.fetch_add(wild, std::memory_order_relaxed);
+    count_wild_rows(wild);
+  }
+  emit_due_day_barriers();
+}
+
+void Daemon::emit_due_day_barriers() {
+  while (finalized_days_ < config_.days) {
+    const util::Timestamp day_start =
+        config_.start + util::Duration::days(finalized_days_);
+    const util::Timestamp due =
+        day_start + util::Duration::days(1) + config_.day_grace;
+    if (watermark_ < due) break;
+    // Barrier contract: the last row of the day must be delivered before
+    // the barrier, so pending partial batches flush first.
+    flush_batchers();
+    analysis_.day_complete(finalized_days_, day_start);
+    ++finalized_days_;
+    finalized_days_published_.store(finalized_days_,
+                                    std::memory_order_relaxed);
+    publish_day_snapshot(finalized_days_ - 1);
+  }
+}
+
+void Daemon::flush_batchers() {
+  for (auto& batcher : batchers_) batcher->flush();
+}
+
+void Daemon::publish_day_snapshot(int day) {
+  std::string json = "{";
+  json += "\"day\": " + std::to_string(day);
+  json += ", \"kept_flows\": [";
+  for (std::size_t v = 0; v < flow::kVantageCount; ++v) {
+    if (v > 0) json += ", ";
+    json += std::to_string(analysis_.kept_flows(v));
+  }
+  json += "]}";
+  const util::MutexLock lock(snapshot_mutex_);
+  day_snapshot_json_ = std::move(json);
+}
+
+bool Daemon::start(std::uint16_t port) {
+  if (udp_) return udp_->running();
+  udp_ = std::make_unique<UdpIngest>();
+  if (!udp_->start(port, [this](std::uint64_t exporter,
+                                std::vector<std::uint8_t> bytes,
+                                std::int64_t now) {
+        offer(exporter, std::move(bytes), now);
+      })) {
+    udp_.reset();
+    return false;
+  }
+  if (watchdog_ != nullptr) {
+    heartbeat_ =
+        watchdog_->register_heartbeat("svc-worker", util::monotonic_nanos());
+  }
+  worker_stop_.store(false, std::memory_order_release);
+  // bslint:allow(BS005 svc worker beats a watchdog heartbeat by design)
+  worker_ = std::thread([this] { worker_loop(); });
+  return true;
+}
+
+std::uint16_t Daemon::udp_port() const noexcept {
+  return udp_ ? udp_->port() : 0;
+}
+
+void Daemon::worker_loop() {
+  while (!worker_stop_.load(std::memory_order_acquire)) {
+    const std::int64_t now = util::monotonic_nanos();
+    // The beat is per *iteration*, not per datagram: an idle daemon is
+    // healthy; a wedged decode loop is not.
+    if (heartbeat_ != nullptr) {
+      heartbeat_->store(now, std::memory_order_relaxed);
+    }
+    if (pump(256, now) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void Daemon::drain(std::int64_t now_nanos) {
+  if (drained_.load(std::memory_order_acquire)) return;
+  // 1. Stop accepting: the UDP socket closes, offers return false.
+  accepting_.store(false, std::memory_order_release);
+  if (udp_) udp_->stop();
+  // 2. Quiesce the worker; from here this thread is the sole consumer.
+  worker_stop_.store(true, std::memory_order_release);
+  if (worker_.joinable()) worker_.join();
+  // 3. Flush the residue deterministically.
+  while (pump(1024, now_nanos) > 0) {
+  }
+  flush_batchers();
+  // 4. Finalize the analysis and the verdict surface.
+  analysis_.finish();
+  if (config_.takedown.has_value() && analysis_.series_count() > 0) {
+    core::TakedownAccumulator accumulator(*config_.takedown);
+    accumulator.add_series(analysis_.series(0));
+    verdict_ = accumulator.finish();
+    std::string json = "{\"wt30\": " + window_json(verdict_->wt30) +
+                       ", \"wt40\": " + window_json(verdict_->wt40) + "}";
+    const util::MutexLock lock(snapshot_mutex_);
+    verdict_json_ = std::move(json);
+  }
+  drained_.store(true, std::memory_order_release);
+}
+
+fault::IntegrityTally Daemon::merged_tally() const {
+  fault::IntegrityTally tally;
+  for (const auto& [id, session] : sessions_) {
+    tally.merge(session.tally());
+  }
+  // Shed datagrams were received but never reached a session: they are
+  // offered on the daemon's ledger and absorbed by the shed bucket, which
+  // is exactly what keeps the identity balanced under overload.
+  const std::uint64_t shed_count = shed_.load(std::memory_order_relaxed);
+  tally.offered += shed_count;
+  tally.shed = shed_count;
+  return tally;
+}
+
+std::string Daemon::status_json() const {
+  std::string json = "{";
+  json += "\"service\": \"booterscoped\"";
+  json += ", \"drained\": ";
+  json += drained() ? "true" : "false";
+  json += ", \"datagrams_received\": " + std::to_string(received());
+  json += ", \"datagrams_shed\": " + std::to_string(shed());
+  json += ", \"sessions\": " + std::to_string(session_count());
+  json +=
+      ", \"sessions_quarantined\": " + std::to_string(quarantined_sessions());
+  json += ", \"quarantine_events\": " + std::to_string(quarantine_events());
+  json += ", \"readmissions\": " + std::to_string(readmissions());
+  json += ", \"rows\": " + std::to_string(rows());
+  json += ", \"late_rows\": " + std::to_string(late_rows());
+  json += ", \"wild_rows\": " + std::to_string(wild_rows());
+  json += ", \"days_finalized\": " +
+          std::to_string(
+              finalized_days_published_.load(std::memory_order_relaxed));
+  {
+    const util::MutexLock lock(snapshot_mutex_);
+    json += ", \"last_day\": " + day_snapshot_json_;
+    json += ", \"verdict\": " + verdict_json_;
+  }
+  json += "}";
+  return json;
+}
+
+void Daemon::add_to_manifest(obs::RunManifest& manifest) const {
+  merged_tally().add_to_manifest(manifest);
+  manifest.add_accounting("svc_datagrams_received", received());
+  manifest.add_accounting("svc_datagrams_shed", shed());
+  manifest.add_accounting("svc_sessions", session_count());
+  manifest.add_accounting("svc_quarantine_events", quarantine_events());
+  manifest.add_accounting("svc_readmissions", readmissions());
+  manifest.add_accounting("svc_rows", rows());
+  manifest.add_accounting("svc_late_rows", late_rows());
+  manifest.add_accounting("svc_wild_rows", wild_rows());
+}
+
+}  // namespace booterscope::svc

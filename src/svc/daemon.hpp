@@ -1,0 +1,207 @@
+// booterscope::svc — the long-running ingest daemon core (DESIGN.md §15).
+//
+// Daemon composes everything the roadmap's service item names: per-exporter
+// ExporterSessions behind a bounded SPSC ingest ring, per-vantage
+// FlowBatchers driving a core::StreamAnalysis, day barriers derived from a
+// per-exporter low-watermark (min across sessions, so one corrupt
+// timestamp cannot finalize days early), and a merged IntegrityTally whose
+//   offered + duplicated ==
+//       clean + recovered + failed + dropped + quarantined + shed
+// identity stays balanced through overload, quarantine and drain.
+//
+// Two ingestion modes share every code path after the queue:
+//   - direct mode: offer()/pump() called by one thread with a caller-fed
+//     clock. Deterministic — shed decisions are a pure function of the
+//     offer/pump interleaving — so tests and bench_soak replay exactly.
+//   - UDP mode: start() spawns a receiver thread (poll + recvfrom +
+//     try_push, shedding when the ring is full) and a worker thread
+//     (pump + watchdog heartbeat). Shedding is then load-dependent, but
+//     every shed packet still lands in the ledger.
+//
+// Thread contract: offer() is the single producer, pump() the single
+// consumer. status_json() reads only atomics and a mutex-guarded snapshot
+// published at day barriers, so any thread may call it while ingest runs.
+// analysis()/merged_tally() read worker-owned state: quiesced callers only
+// (after drain(), or between pump() calls in direct mode).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/stream_analysis.hpp"
+#include "fault/fault.hpp"
+#include "flow/batch.hpp"
+#include "svc/queue.hpp"
+#include "svc/session.hpp"
+#include "util/annotations.hpp"
+
+namespace booterscope::obs {
+class RunManifest;
+}  // namespace booterscope::obs
+
+namespace booterscope::obs::live {
+class Watchdog;
+}  // namespace booterscope::obs::live
+
+namespace booterscope::svc {
+
+class UdpIngest;
+
+struct DaemonConfig {
+  /// Analysis timeline: [start, start + days).
+  util::Timestamp start;
+  int days = 30;
+  std::uint64_t seed = 42;
+  /// Ingest ring capacity; the knob that trades latency for shed rate.
+  std::size_t queue_capacity = 4096;
+  std::size_t batch_capacity = flow::FlowBatch::kDefaultCapacity;
+  SessionConfig session;
+  /// A day is finalized once the watermark clears day end + grace: late
+  /// rows inside the grace window still land, later ones are ledgered and
+  /// dropped (re-feeding a finalized hour would double-count).
+  util::Duration day_grace = util::Duration::hours(1);
+  /// Takedown event for the verdict surface; unset = no verdict.
+  std::optional<util::Timestamp> takedown;
+  /// Daily series to build; empty = one NTP to-port series per vantage.
+  std::vector<core::SeriesSpec> specs;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config,
+                  obs::live::Watchdog* watchdog = nullptr);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // --- direct (deterministic) mode -----------------------------------
+  /// Enqueues one datagram as received at `now_nanos`. False = the ring
+  /// was full (or the daemon stopped accepting) and the datagram was shed.
+  bool offer(std::uint64_t exporter, std::vector<std::uint8_t> bytes,
+             std::int64_t now_nanos);
+  /// Decodes up to `max_datagrams` queued datagrams; returns how many it
+  /// processed. Single consumer.
+  std::size_t pump(std::size_t max_datagrams, std::int64_t now_nanos);
+
+  // --- UDP mode -------------------------------------------------------
+  /// Binds 127.0.0.1:`udp_port` (0 = ephemeral) and spawns the receiver
+  /// and worker threads. False when sockets are unavailable.
+  [[nodiscard]] bool start(std::uint16_t udp_port);
+  /// Bound UDP port; 0 before start().
+  [[nodiscard]] std::uint16_t udp_port() const noexcept;
+
+  /// Graceful drain: stop accepting, join threads, pump the residue,
+  /// flush batchers, finish the analysis, compute the verdict. Idempotent.
+  void drain(std::int64_t now_nanos);
+  [[nodiscard]] bool drained() const noexcept {
+    return drained_.load(std::memory_order_acquire);
+  }
+
+  // --- observation ----------------------------------------------------
+  [[nodiscard]] std::uint64_t received() const noexcept {
+    return received_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t quarantine_events() const noexcept {
+    return quarantine_events_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t readmissions() const noexcept {
+    return readmissions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rows() const noexcept {
+    return rows_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t late_rows() const noexcept {
+    return late_rows_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t wild_rows() const noexcept {
+    return wild_rows_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return session_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t quarantined_sessions() const noexcept {
+    return quarantined_sessions_.load(std::memory_order_relaxed);
+  }
+
+  /// Live status document for the /status route. Safe from any thread.
+  [[nodiscard]] std::string status_json() const;
+
+  /// Quiesced-only surfaces (see thread contract above).
+  [[nodiscard]] core::StreamAnalysis& analysis() noexcept { return analysis_; }
+  [[nodiscard]] const core::StreamAnalysis& analysis() const noexcept {
+    return analysis_;
+  }
+  /// Sessions' tallies merged, with shed folded in. Balanced by
+  /// construction once drained.
+  [[nodiscard]] fault::IntegrityTally merged_tally() const;
+  [[nodiscard]] const std::optional<core::TakedownMetrics>& verdict()
+      const noexcept {
+    return verdict_;
+  }
+  /// Writes the integrity block + service accounting into `manifest`.
+  void add_to_manifest(obs::RunManifest& manifest) const;
+
+ private:
+  void process(Datagram&& datagram, std::int64_t now_nanos);
+  void emit_due_day_barriers();
+  void flush_batchers();
+  void publish_day_snapshot(int day);
+  void worker_loop();
+
+  DaemonConfig config_;
+  obs::live::Watchdog* watchdog_;
+  SpscQueue<Datagram> queue_;
+  core::StreamAnalysis analysis_;
+  std::vector<std::unique_ptr<flow::FlowBatcher>> batchers_;
+  std::map<std::uint64_t, ExporterSession> sessions_;  // worker-owned
+
+  // Low-watermark machinery (all worker-owned): each exporter session
+  // carries its own high-water `first`; the global watermark that drives
+  // day barriers is the MINIMUM across sessions that have delivered rows.
+  // One exporter with a corrupt (bit-flipped) in-window timestamp can only
+  // advance its own mark — the others hold the line, so a single bad
+  // packet cannot finalize days early and turn the rest of the run late.
+  std::map<std::uint64_t, util::Timestamp> session_watermarks_;
+  util::Timestamp watermark_;
+  int finalized_days_ = 0;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> drained_{false};
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> quarantine_events_{0};
+  std::atomic<std::uint64_t> readmissions_{0};
+  std::atomic<std::uint64_t> rows_{0};
+  std::atomic<std::uint64_t> late_rows_{0};
+  std::atomic<std::uint64_t> wild_rows_{0};
+  std::atomic<std::size_t> session_count_{0};
+  std::atomic<std::size_t> quarantined_sessions_{0};
+  std::atomic<int> finalized_days_published_{0};
+
+  mutable util::Mutex snapshot_mutex_;
+  std::string day_snapshot_json_ BS_GUARDED_BY(snapshot_mutex_) = "null";
+  std::string verdict_json_ BS_GUARDED_BY(snapshot_mutex_) = "null";
+
+  std::optional<core::TakedownMetrics> verdict_;
+
+  // UDP mode machinery.
+  std::unique_ptr<UdpIngest> udp_;
+  std::atomic<bool> worker_stop_{false};
+  std::atomic<std::int64_t>* heartbeat_ = nullptr;
+  // Single decode worker; pairs with the UdpIngest receiver thread.
+  // bslint:allow(BS005 svc worker beats a watchdog heartbeat by design)
+  std::thread worker_;
+};
+
+}  // namespace booterscope::svc

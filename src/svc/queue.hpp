@@ -1,0 +1,82 @@
+// Bounded single-producer/single-consumer ingest ring (DESIGN.md §15).
+//
+// The daemon's backpressure story starts here: the UDP receiver thread is
+// the producer, the decode worker is the consumer, and the ring between
+// them is the ONLY buffering. When the worker falls behind, try_push fails
+// and the receiver sheds the datagram — counted, never silent — instead of
+// letting an unbounded queue turn overload into an OOM kill minutes later.
+// Lock-free (one atomic load + one store per op) so the receiver keeps
+// draining the kernel socket buffer even while the worker is mid-decode.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace booterscope::svc {
+
+/// One received export datagram, tagged with the exporter it came from and
+/// the receive instant (caller-fed, so tests replay with synthetic clocks).
+struct Datagram {
+  std::uint64_t exporter = 0;
+  std::vector<std::uint8_t> bytes;
+  std::int64_t received_nanos = 0;
+};
+
+/// Fixed-capacity SPSC ring. Exactly one thread may call try_push and
+/// exactly one thread may call try_pop; size() is approximate from either.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : slots_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. False when the ring is full — the caller owns the shed
+  /// decision (and its ledger entry); the queue never drops silently.
+  [[nodiscard]] bool try_push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  [[nodiscard]] static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_;
+  std::atomic<std::size_t> head_{0};  // consumer cursor
+  std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace booterscope::svc

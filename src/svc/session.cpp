@@ -1,0 +1,143 @@
+#include "svc/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "flow/batch.hpp"
+#include "flow/netflow_v5.hpp"
+#include "util/rng.hpp"
+
+namespace booterscope::svc {
+
+namespace {
+
+/// Mixes the exporter id into the service seed so each session draws an
+/// independent jitter stream from the same configured seed.
+[[nodiscard]] std::uint64_t session_seed(std::uint64_t seed,
+                                         std::uint64_t exporter) noexcept {
+  std::uint64_t state = seed ^ (exporter * 0x9e3779b97f4a7c15ULL);
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+ExporterSession::ExporterSession(std::uint64_t exporter_id,
+                                 const SessionConfig& config)
+    : id_(exporter_id),
+      config_(config),
+      backoff_(session_seed(config.seed, exporter_id), "svc-readmit",
+               config.readmit_backoff),
+      ipfix_(config.decoder) {}
+
+double ExporterSession::health() const noexcept {
+  if (window_.empty()) return 1.0;
+  return 1.0 - static_cast<double>(window_failures_) /
+                   static_cast<double>(window_.size());
+}
+
+IngestResult ExporterSession::ingest(std::span<const std::uint8_t> bytes,
+                                     std::int64_t now_nanos) {
+  ++tally_.offered;
+  bool readmitted_now = false;
+  if (quarantined_) {
+    if (now_nanos < readmit_at_nanos_) {
+      ++tally_.quarantined;
+      IngestResult result;
+      result.outcome = PacketOutcome::kQuarantined;
+      return result;
+    }
+    // Probation: the exporter is examined again with a clean window, so
+    // one good packet is not immediately outvoted by pre-quarantine junk.
+    quarantined_ = false;
+    ++readmissions_;
+    readmitted_now = true;
+    window_.clear();
+    window_failures_ = 0;
+  }
+
+  IngestResult result = decode(bytes);
+  result.readmitted = readmitted_now;
+  const bool failed = result.outcome == PacketOutcome::kFailed;
+  if (failed) {
+    tally_.note_decode_failure(result.error);
+  } else if (result.outcome == PacketOutcome::kClean) {
+    ++tally_.decoded_clean;
+  } else {
+    ++tally_.recovered;
+  }
+  note_outcome(failed, now_nanos, result);
+  return result;
+}
+
+IngestResult ExporterSession::decode(std::span<const std::uint8_t> bytes) {
+  IngestResult result;
+  const std::uint16_t version =
+      bytes.size() >= 2
+          ? static_cast<std::uint16_t>((bytes[0] << 8) | bytes[1])
+          : 0;
+  if (version == 5) {
+    // NetFlow v5 has no decoder-side dedup; the session keeps its own
+    // recent-sequence window, mirroring the IPFIX decoder's semantics.
+    if (config_.decoder.dedup_sequences && bytes.size() >= 20) {
+      const std::uint32_t sequence =
+          (static_cast<std::uint32_t>(bytes[16]) << 24) |
+          (static_cast<std::uint32_t>(bytes[17]) << 16) |
+          (static_cast<std::uint32_t>(bytes[18]) << 8) |
+          static_cast<std::uint32_t>(bytes[19]);
+      if (std::find(v5_recent_sequences_.begin(), v5_recent_sequences_.end(),
+                    sequence) != v5_recent_sequences_.end()) {
+        result.outcome = PacketOutcome::kFailed;
+        result.error = util::DecodeError::kDuplicateSequence;
+        return result;
+      }
+      v5_recent_sequences_.push_back(sequence);
+      while (v5_recent_sequences_.size() > config_.decoder.dedup_window) {
+        v5_recent_sequences_.pop_front();
+      }
+    }
+    auto packet = flow::decode_netflow_v5(bytes, config_.v5_boot_time);
+    if (!packet) {
+      result.outcome = PacketOutcome::kFailed;
+      result.error = packet.error();
+      return result;
+    }
+    result.outcome = packet->damage.clean() ? PacketOutcome::kClean
+                                            : PacketOutcome::kRecovered;
+    result.records = std::move(packet->records);
+    result.vantage = packet->engine_id % flow::kVantageCount;
+    tally_.records_skipped += packet->damage.records_skipped;
+    return result;
+  }
+
+  auto message = ipfix_.decode(bytes);
+  if (!message) {
+    result.outcome = PacketOutcome::kFailed;
+    result.error = message.error();
+    return result;
+  }
+  result.outcome = message->damage.clean() ? PacketOutcome::kClean
+                                           : PacketOutcome::kRecovered;
+  result.records = std::move(message->records);
+  result.vantage = message->observation_domain % flow::kVantageCount;
+  tally_.records_skipped += message->damage.records_skipped;
+  return result;
+}
+
+void ExporterSession::note_outcome(bool failed, std::int64_t now_nanos,
+                                   IngestResult& result) {
+  window_.push_back(failed);
+  if (failed) ++window_failures_;
+  while (window_.size() > config_.health_window) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+  if (!quarantined_ && window_failures_ >= config_.quarantine_threshold) {
+    quarantined_ = true;
+    result.quarantined_now = true;
+    const util::Duration delay = backoff_.delay(quarantine_events_);
+    ++quarantine_events_;
+    readmit_at_nanos_ = now_nanos + delay.total_nanos();
+  }
+}
+
+}  // namespace booterscope::svc

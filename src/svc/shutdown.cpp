@@ -1,0 +1,38 @@
+#include "svc/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace booterscope::svc {
+
+namespace {
+
+// sig_atomic_t-compatible flag; handlers may only touch lock-free atomics.
+std::atomic<bool> g_requested{false};
+std::atomic<bool> g_installed{false};
+
+extern "C" void booterscope_svc_on_signal(int) {
+  g_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void ShutdownSignal::install() noexcept {
+  if (g_installed.exchange(true, std::memory_order_acq_rel)) return;
+  std::signal(SIGTERM, booterscope_svc_on_signal);
+  std::signal(SIGINT, booterscope_svc_on_signal);
+}
+
+bool ShutdownSignal::requested() noexcept {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+void ShutdownSignal::request() noexcept {
+  g_requested.store(true, std::memory_order_relaxed);
+}
+
+void ShutdownSignal::reset() noexcept {
+  g_requested.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace booterscope::svc

@@ -1,0 +1,29 @@
+// Process shutdown flag shared by booterscoped and the bench --serve mode.
+//
+// SIGTERM/SIGINT must start a *graceful* drain, not a teardown race: the
+// handler does the only async-signal-safe thing — set an atomic flag — and
+// the main loop polls requested() at its own cadence. install() is
+// idempotent and the flag is process-global because signal dispositions
+// are; tests drive the same path with request() instead of raising.
+#pragma once
+
+namespace booterscope::svc {
+
+class ShutdownSignal {
+ public:
+  /// Installs SIGTERM + SIGINT handlers that set the flag. Idempotent;
+  /// no-op on platforms without csignal support for these signals.
+  static void install() noexcept;
+
+  /// True once a signal arrived (or request() was called).
+  [[nodiscard]] static bool requested() noexcept;
+
+  /// Sets the flag without a signal — tests and embedded drivers.
+  static void request() noexcept;
+
+  /// Clears the flag so consecutive runs in one process (tests) start
+  /// fresh. Not called from handlers.
+  static void reset() noexcept;
+};
+
+}  // namespace booterscope::svc

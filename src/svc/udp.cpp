@@ -1,0 +1,137 @@
+#include "svc/udp.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "util/time.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BOOTERSCOPE_SVC_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace booterscope::svc {
+
+UdpIngest::~UdpIngest() { stop(); }
+
+#if defined(BOOTERSCOPE_SVC_HAVE_SOCKETS)
+
+bool UdpIngest::start(std::uint16_t port, DeliverFn deliver) {
+  if (thread_.joinable()) return running();
+  deliver_ = std::move(deliver);
+  stop_requested_.store(false, std::memory_order_release);
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return false;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  // bslint:allow(BS005 svc receiver is the ingest event loop)
+  thread_ = std::thread([this] { receive_loop(); });
+  return true;
+}
+
+void UdpIngest::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void UdpIngest::receive_loop() {
+  // An IPFIX/NetFlow export datagram fits well under the 64 KiB UDP
+  // ceiling; one reusable buffer, copied out per datagram.
+  std::vector<std::uint8_t> buffer(65536);
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    sockaddr_in from{};
+    socklen_t from_len = sizeof from;
+    const ssize_t got =
+        ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (got <= 0) continue;
+    // Exporter identity: (source IPv4 << 16) | source port — stable for
+    // the lifetime of the sending socket, distinct across senders.
+    const std::uint64_t exporter =
+        (static_cast<std::uint64_t>(ntohl(from.sin_addr.s_addr)) << 16) |
+        ntohs(from.sin_port);
+    deliver_(exporter,
+             std::vector<std::uint8_t>(
+                 buffer.begin(), buffer.begin() + static_cast<long>(got)),
+             util::monotonic_nanos());
+  }
+}
+
+UdpSender::~UdpSender() { close(); }
+
+bool UdpSender::open(std::uint16_t port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool UdpSender::send(const std::vector<std::uint8_t>& bytes) {
+  if (fd_ < 0) return false;
+  return ::send(fd_, bytes.data(), bytes.size(), 0) ==
+         static_cast<ssize_t>(bytes.size());
+}
+
+void UdpSender::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+#else  // !BOOTERSCOPE_SVC_HAVE_SOCKETS
+
+bool UdpIngest::start(std::uint16_t, DeliverFn) { return false; }
+void UdpIngest::stop() {}
+void UdpIngest::receive_loop() {}
+
+UdpSender::~UdpSender() = default;
+bool UdpSender::open(std::uint16_t) { return false; }
+bool UdpSender::send(const std::vector<std::uint8_t>&) { return false; }
+void UdpSender::close() {}
+
+#endif  // BOOTERSCOPE_SVC_HAVE_SOCKETS
+
+}  // namespace booterscope::svc

@@ -1,0 +1,75 @@
+// UDP ingest socket + replay sender — the svc event-loop surface.
+//
+// The same poll-gated idiom as ScrapeServer: a receiver thread polls the
+// bound datagram socket with a short timeout so stop() needs no signals or
+// self-pipes, and every received datagram is handed to a callback with the
+// sender's identity folded into a 64-bit exporter id. bslint BS007 keeps
+// raw socket(2)/bind(2) inside src/svc and src/obs/live; the bench replay
+// path therefore lives here too (UdpSender), not in bench/.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace booterscope::svc {
+
+class UdpIngest {
+ public:
+  /// (exporter id, datagram bytes, util::monotonic_nanos() at receive).
+  using DeliverFn = std::function<void(
+      std::uint64_t, std::vector<std::uint8_t>, std::int64_t)>;
+
+  UdpIngest() = default;
+  ~UdpIngest();
+
+  UdpIngest(const UdpIngest&) = delete;
+  UdpIngest& operator=(const UdpIngest&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the receiver
+  /// thread. False when the bind fails or the platform has no sockets.
+  [[nodiscard]] bool start(std::uint16_t port, DeliverFn deliver);
+  /// Stops the receiver and joins; idempotent, called by the destructor.
+  void stop();
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return port_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void receive_loop();
+
+  DeliverFn deliver_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> port_{0};
+  int fd_ = -1;
+  // Receiver thread: drains the kernel socket buffer into the ingest ring.
+  // bslint:allow(BS005 svc receiver is the ingest event loop)
+  std::thread thread_;
+};
+
+/// Connected UDP sender for the soak replay path (bench_soak --target).
+class UdpSender {
+ public:
+  UdpSender() = default;
+  ~UdpSender();
+
+  UdpSender(const UdpSender&) = delete;
+  UdpSender& operator=(const UdpSender&) = delete;
+
+  /// Opens a socket aimed at 127.0.0.1:`port`. False without sockets.
+  [[nodiscard]] bool open(std::uint16_t port);
+  /// Sends one datagram; false on send failure.
+  [[nodiscard]] bool send(const std::vector<std::uint8_t>& bytes);
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace booterscope::svc

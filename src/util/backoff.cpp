@@ -1,0 +1,39 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace booterscope::util {
+
+Backoff::Backoff(std::uint64_t seed, std::string_view label,
+                 Config config) noexcept
+    : seed_(seed), label_(label), config_(config) {
+  if (config_.multiplier < 1.0) config_.multiplier = 1.0;
+  if (config_.base.total_nanos() < 0) config_.base = Duration::nanos(0);
+  if (config_.cap < config_.base) config_.cap = config_.base;
+}
+
+Duration Backoff::ceiling(std::uint64_t attempt) const noexcept {
+  // base * multiplier^(attempt+1) in double space: the growth overflows
+  // int64 nanos after ~60 doublings, and the cap clamp below makes the
+  // lost precision irrelevant long before then.
+  const double grown =
+      static_cast<double>(config_.base.total_nanos()) *
+      std::pow(config_.multiplier, static_cast<double>(attempt) + 1.0);
+  const double capped =
+      std::min(grown, static_cast<double>(config_.cap.total_nanos()));
+  return std::max(config_.base,
+                  Duration::nanos(static_cast<std::int64_t>(capped)));
+}
+
+Duration Backoff::delay(std::uint64_t attempt) const noexcept {
+  const std::int64_t lo = config_.base.total_nanos();
+  const std::int64_t hi = ceiling(attempt).total_nanos();
+  if (hi <= lo) return config_.base;
+  Rng rng = Rng::split(seed_, label_, attempt);
+  return Duration::nanos(rng.range(lo, hi));
+}
+
+}  // namespace booterscope::util

@@ -1,0 +1,57 @@
+// Deterministic retry backoff (DESIGN.md §15).
+//
+// Every retry loop in booterscope — storage I/O flakes, quarantined
+// exporter readmission — needs the same three properties: exponential
+// growth so repeated failures stop hammering the resource, jitter so a
+// fleet of independent retriers does not synchronize into thundering
+// herds, and determinism so a replayed run schedules byte-identical
+// delays. Backoff provides all three: the delay for attempt `n` is a
+// pure function of (seed, label, n) via util::Rng::split, using the
+// decorrelated-jitter shape from the AWS Architecture blog ("Exponential
+// Backoff And Jitter") rephrased statelessly — the jitter window for
+// attempt n spans [base, min(cap, base * multiplier^n)], so early
+// retries stay tight while later ones spread over the whole ceiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace booterscope::util {
+
+/// Stateless, seeded backoff schedule. Copyable; safe to share across
+/// threads because delay() mutates nothing.
+class Backoff {
+ public:
+  struct Config {
+    /// Floor of every jitter window; delay(0)'s ceiling is base * multiplier.
+    Duration base = Duration::millis(1);
+    /// Hard ceiling on any delay.
+    Duration cap = Duration::seconds(30);
+    /// Exponential growth factor per attempt; must be >= 1.
+    double multiplier = 2.0;
+  };
+
+  Backoff(std::uint64_t seed, std::string_view label, Config config) noexcept;
+  Backoff(std::uint64_t seed, std::string_view label) noexcept
+      : Backoff(seed, label, Config{}) {}
+
+  /// Delay before retry `attempt` (0-based). Pure function of
+  /// (seed, label, attempt): uniform in [base, ceiling(attempt)] where
+  /// ceiling grows as base * multiplier^(attempt+1), clamped to cap.
+  [[nodiscard]] Duration delay(std::uint64_t attempt) const noexcept;
+
+  /// The jitter window ceiling for `attempt` — delay() never exceeds it.
+  [[nodiscard]] Duration ceiling(std::uint64_t attempt) const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  std::uint64_t seed_;
+  std::string label_;
+  Config config_;
+};
+
+}  // namespace booterscope::util

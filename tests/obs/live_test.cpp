@@ -117,6 +117,37 @@ TEST(Watchdog, DisarmedWatchdogFlagsNothingAndReArmResumes) {
   EXPECT_TRUE(watchdog.healthy());
 }
 
+TEST(Watchdog, DisarmDuringOpenStallRecoversAndRearmCatchesTheNextStall) {
+  // The booterscoped drain lifecycle: a live stall opens, the operator
+  // (or the drain path) disarms — the open stall closes, /healthz goes
+  // green — and a later re-arm detects a fresh stall which then recovers
+  // on its own heartbeat. Two distinct, closed events must remain.
+  Watchdog watchdog(tight_deadline());
+  std::atomic<std::int64_t>* beat = watchdog.register_heartbeat("svc", 0);
+
+  watchdog.check(5 * kSecond);  // 5s of silence against a 2s deadline
+  EXPECT_FALSE(watchdog.healthy());
+  EXPECT_EQ(watchdog.stalls_detected(), 1u);
+
+  watchdog.disarm();  // drain: the worker goes quiet by design
+  watchdog.check(6 * kSecond);
+  EXPECT_TRUE(watchdog.healthy());
+
+  watchdog.arm();
+  watchdog.check(10 * kSecond);  // still no beat since t=0
+  EXPECT_FALSE(watchdog.healthy());
+  EXPECT_EQ(watchdog.stalls_detected(), 2u);
+
+  beat->store(10 * kSecond);
+  watchdog.check(11 * kSecond);
+  EXPECT_TRUE(watchdog.healthy());
+
+  const std::vector<StallEvent> events = watchdog.stall_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_GT(events[0].recovered_nanos, 0);
+  EXPECT_GT(events[1].recovered_nanos, 0);
+}
+
 TEST(Watchdog, StallIncrementsLabelledRegistryCounter) {
   MetricsRegistry registry;
   Watchdog watchdog(tight_deadline(), &registry);

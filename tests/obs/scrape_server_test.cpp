@@ -182,6 +182,85 @@ TEST(ScrapeServer, UnknownRouteIs404AndNonGetIs405) {
   server.stop();
 }
 
+TEST(ScrapeServer, StatusServesThePublishedDocument) {
+  ScrapeServer server(ScrapeServer::Config{0, 16});
+  ASSERT_TRUE(server.start());
+
+  // Nothing published yet: the documented JSON null default.
+  std::string response = http_get(server.port(), "/status");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_EQ(body_of(response), "null");
+
+  server.publish_status("{\"service\": \"booterscoped\", \"drained\": false}");
+  response = http_get(server.port(), "/status");
+  EXPECT_EQ(body_of(response),
+            "{\"service\": \"booterscoped\", \"drained\": false}");
+  server.stop();
+}
+
+TEST(ScrapeServer, ByteAtATimeClientStillGetsServed) {
+  // A pathologically slow client trickles the request one byte per send;
+  // the server's bounded poll loop must still assemble and answer it.
+  ScrapeServer server(ScrapeServer::Config{0, 16});
+  ASSERT_TRUE(server.start());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  const std::string request =
+      "GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  for (char byte : request) {
+    ASSERT_EQ(::send(fd, &byte, 1, 0), 1);
+  }
+  std::string response;
+  char buffer[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  server.stop();
+}
+
+TEST(ScrapeServer, PartialRequestThenDisconnectDoesNotWedgeTheServer) {
+  // A client that sends half a request line and hangs up must not crash,
+  // stall, or poison the listener: the next well-formed client is served.
+  ScrapeServer server(ScrapeServer::Config{0, 16});
+  ASSERT_TRUE(server.start());
+
+  for (int round = 0; round < 3; ++round) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+    if (round > 0) {
+      // Half a request, then an abrupt close.
+      const char partial[] = "GET /metr";
+      ::send(fd, partial, sizeof partial - 1, 0);
+    }
+    ::close(fd);  // round 0 closes without sending anything at all
+  }
+
+  const std::string response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  server.stop();
+}
+
 TEST(ScrapeServer, StopIsIdempotentAndJoinsTheListener) {
   ScrapeServer server(ScrapeServer::Config{0, 16});
   EXPECT_FALSE(server.running());

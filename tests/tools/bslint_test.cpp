@@ -29,9 +29,9 @@ std::vector<Finding> lint_fixture(const std::string& fixture,
   return lint_file({lint_path, read_fixture(fixture), ""});
 }
 
-TEST(BslintRules, TableHasSixRulesOrderedById) {
+TEST(BslintRules, TableHasSevenRulesOrderedById) {
   const std::vector<RuleInfo>& table = rules();
-  ASSERT_EQ(table.size(), 6u);
+  ASSERT_EQ(table.size(), 7u);
   for (std::size_t i = 0; i < table.size(); ++i) {
     EXPECT_EQ(table[i].id, "BS00" + std::to_string(i + 1));
     EXPECT_FALSE(table[i].summary.empty());
@@ -94,6 +94,29 @@ TEST(BslintGolden, Bs006FiresOnceOnSuffixlessCounter) {
   EXPECT_NE(findings[0].message.find("booterscope_fixture_events"),
             std::string::npos);
   EXPECT_NE(findings[0].message.find("unit suffix"), std::string::npos);
+}
+
+TEST(BslintGolden, Bs007FiresOnSocketAndBindOutsideSanctionedDirs) {
+  const auto findings =
+      lint_fixture("bs007_raw_socket.cpp", "src/core/fixture.cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "BS007");
+  EXPECT_EQ(findings[0].line, 15u);
+  EXPECT_NE(findings[0].message.find("socket"), std::string::npos);
+  EXPECT_EQ(findings[1].rule, "BS007");
+  EXPECT_EQ(findings[1].line, 16u);
+  EXPECT_NE(findings[1].message.find("bind"), std::string::npos);
+  EXPECT_NE(findings[0].suggestion.find("ScrapeServer"), std::string::npos);
+}
+
+TEST(BslintScope, Bs007SanctionedDirsMayOpenSockets) {
+  const std::string fixture = read_fixture("bs007_raw_socket.cpp");
+  EXPECT_TRUE(lint_file({"src/svc/udp.cpp", fixture, ""}).empty());
+  EXPECT_TRUE(
+      lint_file({"src/obs/live/scrape_server.cpp", fixture, ""}).empty());
+  // bench code is NOT sanctioned: a bench that opens its own socket should
+  // go through svc::UdpSender.
+  EXPECT_EQ(lint_file({"bench/fixture.cpp", fixture, ""}).size(), 2u);
 }
 
 TEST(BslintScope, Bs006MetricNamesOutsideSrcAreNotLinted) {

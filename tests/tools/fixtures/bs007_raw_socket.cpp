@@ -1,0 +1,20 @@
+// Fixture: BS007 must fire exactly twice — once on ::socket, once on
+// ::bind. Linted as if it lived outside src/svc and src/obs/live.
+// std::bind-style qualified calls must NOT fire.
+#include <functional>
+
+int socket_like(int, int, int);
+namespace fake {
+int bind(int, const void*, unsigned);
+}  // namespace fake
+
+extern "C" int socket(int, int, int);
+extern "C" int bind(int, const void*, unsigned);
+
+int open_channel() {
+  const int fd = ::socket(2, 2, 0);        // line 15: raw socket(2)
+  const int rc = ::bind(fd, nullptr, 0);   // line 16: raw bind(2)
+  auto bound = std::bind(socket_like, 1, 2, 3);  // legal: not the syscall
+  const int other = fake::bind(0, nullptr, 0);   // legal: namespaced
+  return fd + rc + other + bound();
+}

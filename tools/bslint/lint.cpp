@@ -47,6 +47,12 @@ const std::vector<RuleInfo> kRules = {
      "or _bytes",
      "rename the series to a lowercase snake_case name; counters take a "
      "_total/_seconds/_bytes unit suffix so scrapers can infer the unit"},
+    {"BS007", Severity::kError,
+     "raw ::socket(2)/::bind(2) outside the sanctioned network layers "
+     "(src/svc and src/obs/live)",
+     "route UDP ingest through svc::UdpIngest/UdpSender and HTTP serving "
+     "through obs::live::ScrapeServer; everything else stays socket-free so "
+     "runs replay without a network"},
 };
 
 // ---------------------------------------------------------------------------
@@ -83,6 +89,13 @@ const std::vector<RuleInfo> kRules = {
 
 [[nodiscard]] bool bs006_in_scope(std::string_view path) {
   return starts_with(path, "src/");
+}
+
+[[nodiscard]] bool bs007_exempt(std::string_view path) {
+  // The two sanctioned network layers: the ingest daemon's UDP plumbing
+  // and the live scrape endpoint. Everywhere else a socket would let the
+  // outside world feed a run, breaking replayability.
+  return starts_with(path, "src/svc/") || starts_with(path, "src/obs/live/");
 }
 
 // ---------------------------------------------------------------------------
@@ -408,6 +421,10 @@ void match_line(std::string_view path, const std::string& line,
   static const std::regex kReinterpret(R"(\breinterpret_cast\b)");
   static const std::regex kThrow(R"(\bthrow\b)");
   static const std::regex kThread(R"(std\s*::\s*j?thread\b)");
+  // Global-namespace-qualified POSIX calls, the form this tree uses for
+  // system sockets. The leading `::` must not itself be qualified
+  // (`net::bind`, `std::bind` stay legal).
+  static const std::regex kRawSocket(R"((^|[^\w:])::\s*(socket|bind)\s*\()");
 
   if (!bs001_exempt(path)) {
     if (std::regex_search(line, kRandomDevice)) {
@@ -451,6 +468,14 @@ void match_line(std::string_view path, const std::string& line,
                           "'; iteration order must never reach serialized or "
                           "merged output"});
       }
+    }
+  }
+  if (!bs007_exempt(path)) {
+    std::smatch socket_match;
+    if (std::regex_search(line, socket_match, kRawSocket)) {
+      out.push_back({"BS007", "raw ::" + socket_match[2].str() +
+                                  "(2) call; sockets live only in src/svc "
+                                  "and src/obs/live"});
     }
   }
   if (!bs005_exempt(path)) {
