@@ -16,7 +16,7 @@
 #include "sim/landscape_parallel.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace {
 

@@ -31,7 +31,7 @@
 #include "sim/landscape_stream.hpp"
 #include "sim/selfattack.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace booterscope::bench {
 

@@ -16,7 +16,7 @@
 #include "flow/record.hpp"
 #include "stats/timeseries.hpp"
 #include "stats/welch.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/time.hpp"
 
 namespace booterscope::core {

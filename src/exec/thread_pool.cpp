@@ -1,4 +1,4 @@
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 
 #include <chrono>
 #include <memory>

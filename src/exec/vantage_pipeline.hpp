@@ -18,7 +18,7 @@
 #include "flow/collector.hpp"
 #include "flow/record.hpp"
 #include "obs/trace.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/time.hpp"
 
 namespace booterscope::exec {

@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "util/byteio.hpp"
-#include "util/decode_metrics.hpp"
+#include "obs/decode_metrics.hpp"
 
 namespace booterscope::flow::ipfix {
 
@@ -202,18 +202,18 @@ util::Result<MessageDecoder::Message> MessageDecoder::decode(
     std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
   if (!r.has(kMessageHeaderBytes)) {
-    util::count_decode_failure("ipfix", util::DecodeError::kTruncatedHeader);
+    obs::count_decode_failure("ipfix", util::DecodeError::kTruncatedHeader);
     return util::DecodeError::kTruncatedHeader;
   }
   const std::uint16_t version = r.u16();
   const std::uint16_t message_length = r.u16();
   if (version != kIpfixVersion) {
-    util::count_decode_failure("ipfix", util::DecodeError::kBadVersion);
+    obs::count_decode_failure("ipfix", util::DecodeError::kBadVersion);
     return util::DecodeError::kBadVersion;
   }
   if (message_length < kMessageHeaderBytes) {
     // A length smaller than the header it was read from: unusable framing.
-    util::count_decode_failure("ipfix", util::DecodeError::kLengthOverflow);
+    obs::count_decode_failure("ipfix", util::DecodeError::kLengthOverflow);
     return util::DecodeError::kLengthOverflow;
   }
 
@@ -223,7 +223,7 @@ util::Result<MessageDecoder::Message> MessageDecoder::decode(
   result.observation_domain = r.u32();
   if (options_.dedup_sequences &&
       is_duplicate(result.observation_domain, result.sequence)) {
-    util::count_decode_failure("ipfix", util::DecodeError::kDuplicateSequence);
+    obs::count_decode_failure("ipfix", util::DecodeError::kDuplicateSequence);
     return util::DecodeError::kDuplicateSequence;
   }
 
@@ -349,7 +349,7 @@ util::Result<MessageDecoder::Message> MessageDecoder::decode(
     }
   }
   (void)stopped_early;
-  util::count_decode_damage("ipfix", result.damage);
+  obs::count_decode_damage("ipfix", result.damage);
   return result;
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "util/byteio.hpp"
-#include "util/decode_metrics.hpp"
+#include "obs/decode_metrics.hpp"
 
 namespace booterscope::flow {
 
@@ -73,13 +73,13 @@ util::Result<NetflowV5Packet> decode_netflow_v5(
     std::span<const std::uint8_t> data, util::Timestamp boot_time) {
   util::ByteReader r(data);
   if (!r.has(kNetflowV5HeaderBytes)) {
-    util::count_decode_failure("netflow_v5", util::DecodeError::kTruncatedHeader);
+    obs::count_decode_failure("netflow_v5", util::DecodeError::kTruncatedHeader);
     return util::DecodeError::kTruncatedHeader;
   }
   const std::uint16_t version = r.u16();
   const std::uint16_t count = r.u16();
   if (version != kVersion) {
-    util::count_decode_failure("netflow_v5", util::DecodeError::kBadVersion);
+    obs::count_decode_failure("netflow_v5", util::DecodeError::kBadVersion);
     return util::DecodeError::kBadVersion;
   }
 
@@ -142,7 +142,7 @@ util::Result<NetflowV5Packet> decode_netflow_v5(
     }
     packet.records.push_back(f);
   }
-  util::count_decode_damage("netflow_v5", packet.damage);
+  obs::count_decode_damage("netflow_v5", packet.damage);
   return packet;
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "util/byteio.hpp"
-#include "util/decode_metrics.hpp"
+#include "obs/decode_metrics.hpp"
 
 namespace booterscope::flow::v9 {
 
@@ -135,11 +135,11 @@ bool Decoder::is_duplicate(std::uint32_t source_id, std::uint32_t sequence) {
 util::Result<Packet> Decoder::decode(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
   if (!r.has(kHeaderBytes)) {
-    util::count_decode_failure("netflow_v9", util::DecodeError::kTruncatedHeader);
+    obs::count_decode_failure("netflow_v9", util::DecodeError::kTruncatedHeader);
     return util::DecodeError::kTruncatedHeader;
   }
   if (r.u16() != kVersion) {
-    util::count_decode_failure("netflow_v9", util::DecodeError::kBadVersion);
+    obs::count_decode_failure("netflow_v9", util::DecodeError::kBadVersion);
     return util::DecodeError::kBadVersion;
   }
   const std::uint16_t count = r.u16();
@@ -150,7 +150,7 @@ util::Result<Packet> Decoder::decode(std::span<const std::uint8_t> data) {
   packet.source_id = r.u32();
   if (options_.dedup_sequences &&
       is_duplicate(packet.source_id, packet.sequence)) {
-    util::count_decode_failure("netflow_v9",
+    obs::count_decode_failure("netflow_v9",
                                util::DecodeError::kDuplicateSequence);
     return util::DecodeError::kDuplicateSequence;
   }
@@ -305,7 +305,7 @@ util::Result<Packet> Decoder::decode(std::span<const std::uint8_t> data) {
       packet.damage.note(util::DecodeError::kCountMismatch);
     }
   }
-  util::count_decode_damage("netflow_v9", packet.damage);
+  obs::count_decode_damage("netflow_v9", packet.damage);
   return packet;
 }
 

@@ -11,7 +11,7 @@
 #include "obs/metrics.hpp"
 #include "util/backoff.hpp"
 #include "util/byteio.hpp"
-#include "util/decode_metrics.hpp"
+#include "obs/decode_metrics.hpp"
 
 namespace booterscope::flow {
 
@@ -68,18 +68,18 @@ constexpr int kIoAttempts = 3;
       obs::metrics().counter("booterscope_store_deserialize_failures_total");
   if (!r.has(4)) {
     bad_input.inc();
-    util::count_decode_failure("store", util::DecodeError::kTruncatedHeader);
+    obs::count_decode_failure("store", util::DecodeError::kTruncatedHeader);
     return util::DecodeError::kTruncatedHeader;
   }
   if (r.u32() != kMagic) {
     bad_input.inc();
-    util::count_decode_failure("store", util::DecodeError::kBadMagic);
+    obs::count_decode_failure("store", util::DecodeError::kBadMagic);
     return util::DecodeError::kBadMagic;
   }
   const std::uint64_t count = r.u64();
   if (!r.ok()) {
     bad_input.inc();
-    util::count_decode_failure("store", util::DecodeError::kTruncatedHeader);
+    obs::count_decode_failure("store", util::DecodeError::kTruncatedHeader);
     return util::DecodeError::kTruncatedHeader;
   }
   // The declared count is attacker-controlled 64-bit input: comparing
@@ -202,7 +202,7 @@ util::Result<FlowList> deserialize_flows(std::span<const std::uint8_t> data,
   obs::metrics()
       .counter("booterscope_store_deserialized_flows_total")
       .add(flows.size());
-  util::count_decode_damage("store", local_damage);
+  obs::count_decode_damage("store", local_damage);
   if (damage != nullptr) damage->merge(local_damage);
   return flows;
 }
@@ -229,7 +229,7 @@ util::Result<std::uint64_t> deserialize_flows_stream(
   obs::metrics()
       .counter("booterscope_store_deserialized_flows_total")
       .add(batcher.delivered());
-  util::count_decode_damage("store", local_damage);
+  obs::count_decode_damage("store", local_damage);
   if (damage != nullptr) damage->merge(local_damage);
   return batcher.delivered();
 }
@@ -267,7 +267,7 @@ util::Result<FlowList> read_flow_file(const std::string& path,
     return deserialize_flows(bytes, damage);
   }
   obs::metrics().counter("booterscope_store_io_failures_total").inc();
-  util::count_decode_failure("store", util::DecodeError::kIo);
+  obs::count_decode_failure("store", util::DecodeError::kIo);
   return util::DecodeError::kIo;
 }
 
@@ -292,7 +292,7 @@ util::Result<std::uint64_t> read_flow_file_stream(const std::string& path,
     return deserialize_flows_stream(bytes, sink, batch_flows, damage);
   }
   obs::metrics().counter("booterscope_store_io_failures_total").inc();
-  util::count_decode_failure("store", util::DecodeError::kIo);
+  obs::count_decode_failure("store", util::DecodeError::kIo);
   return util::DecodeError::kIo;
 }
 

@@ -10,24 +10,24 @@
 #include "obs/metrics.hpp"
 #include "util/result.hpp"
 
-namespace booterscope::util {
+namespace booterscope::obs {
 
 /// Counts one fatal decode failure (the whole buffer was rejected).
-inline void count_decode_failure(std::string_view codec, DecodeError e) {
-  obs::metrics()
+inline void count_decode_failure(std::string_view codec, util::DecodeError e) {
+  metrics()
       .counter("booterscope_decode_failures_total",
                {{"codec", std::string(codec)},
-                {"error", std::string(to_string(e))}})
+                {"error", std::string(util::to_string(e))}})
       .inc();
 }
 
 /// Counts the recoverable damage of one successfully decoded message.
 /// Clean messages cost one branch and no registry lookup.
 inline void count_decode_damage(std::string_view codec,
-                                const DecodeDamage& damage) {
+                                const util::DecodeDamage& damage) {
   if (damage.clean()) return;
-  obs::MetricsRegistry& registry = obs::metrics();
-  const obs::Labels codec_label{{"codec", std::string(codec)}};
+  obs::MetricsRegistry& registry = metrics();
+  const Labels codec_label{{"codec", std::string(codec)}};
   registry.counter("booterscope_decode_degraded_messages_total", codec_label)
       .inc();
   if (damage.records_skipped > 0) {
@@ -38,15 +38,15 @@ inline void count_decode_damage(std::string_view codec,
     registry.counter("booterscope_decode_resyncs_total", codec_label)
         .add(damage.resyncs);
   }
-  for (const DecodeError e : all_decode_errors()) {
+  for (const util::DecodeError e : util::all_decode_errors()) {
     const std::uint64_t n = damage.count(e);
     if (n == 0) continue;
     registry
         .counter("booterscope_decode_errors_total",
                  {{"codec", std::string(codec)},
-                  {"error", std::string(to_string(e))}})
+                  {"error", std::string(util::to_string(e))}})
         .add(n);
   }
 }
 
-}  // namespace booterscope::util
+}  // namespace booterscope::obs

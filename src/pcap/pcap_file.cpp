@@ -5,7 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/byteio.hpp"
-#include "util/decode_metrics.hpp"
+#include "obs/decode_metrics.hpp"
 
 namespace booterscope::pcap {
 
@@ -78,12 +78,12 @@ util::Result<PcapParseResult> decode_pcap(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
   if (!r.has(kPcapFileHeaderBytes)) {
     truncated_streams_metric().inc();
-    util::count_decode_failure("pcap", util::DecodeError::kTruncatedHeader);
+    obs::count_decode_failure("pcap", util::DecodeError::kTruncatedHeader);
     return util::DecodeError::kTruncatedHeader;
   }
   if (r.u32() != kPcapMagic) {
     truncated_streams_metric().inc();
-    util::count_decode_failure("pcap", util::DecodeError::kBadMagic);
+    obs::count_decode_failure("pcap", util::DecodeError::kBadMagic);
     return util::DecodeError::kBadMagic;
   }
   (void)r.u16();  // version major
@@ -93,7 +93,7 @@ util::Result<PcapParseResult> decode_pcap(std::span<const std::uint8_t> data) {
   (void)r.u32();  // snaplen
   if (r.u32() != kLinkTypeEthernet) {
     truncated_streams_metric().inc();
-    util::count_decode_failure("pcap", util::DecodeError::kBadVersion);
+    obs::count_decode_failure("pcap", util::DecodeError::kBadVersion);
     return util::DecodeError::kBadVersion;
   }
 
@@ -129,7 +129,7 @@ util::Result<PcapParseResult> decode_pcap(std::span<const std::uint8_t> data) {
     result.damage.note(util::DecodeError::kTruncatedRecord, 1);
   }
   decoded_packets_metric().add(result.packets.size());
-  util::count_decode_damage("pcap", result.damage);
+  obs::count_decode_damage("pcap", result.damage);
   return result;
 }
 
@@ -143,7 +143,7 @@ bool write_pcap_file(const std::string& path, std::span<const Packet> packets) {
 util::Result<PcapParseResult> read_pcap_file(const std::string& path) {
   const FilePtr file{std::fopen(path.c_str(), "rb")};
   if (!file) {
-    util::count_decode_failure("pcap", util::DecodeError::kIo);
+    obs::count_decode_failure("pcap", util::DecodeError::kIo);
     return util::DecodeError::kIo;
   }
   std::vector<std::uint8_t> bytes;

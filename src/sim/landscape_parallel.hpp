@@ -14,7 +14,7 @@
 #include "obs/trace.hpp"
 #include "sim/internet.hpp"
 #include "sim/landscape.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace booterscope::sim {
 

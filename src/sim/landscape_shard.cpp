@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/time.hpp"
 
 namespace booterscope::sim::detail {

@@ -24,7 +24,7 @@
 #include "flow/batch.hpp"
 #include "obs/trace.hpp"
 #include "sim/landscape.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace booterscope::sim {
 

@@ -13,7 +13,7 @@
 #include "obs/manifest.hpp"
 #include "sim/landscape.hpp"
 #include "sim/landscape_parallel.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace booterscope {
 namespace {

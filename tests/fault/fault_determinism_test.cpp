@@ -11,7 +11,7 @@
 #include "fault/fault.hpp"
 #include "flow/store.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace booterscope {
 namespace {

@@ -18,7 +18,7 @@
 #include "sim/landscape_parallel.hpp"
 #include "sim/landscape_stream.hpp"
 #include "stats/welch.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace booterscope {
 namespace {

@@ -18,7 +18,7 @@
 #include "obs/metrics.hpp"
 #include "sim/landscape.hpp"
 #include "sim/landscape_parallel.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/time.hpp"
 
 namespace booterscope {

@@ -1,5 +1,5 @@
 // Fixture: BS005 must fire exactly once, on the std::thread line. Linted as
-// if it lived under src/ (outside util/thread_pool).
+// if it lived under src/ (outside exec/thread_pool).
 #include <thread>
 
 void fire_and_forget() {

@@ -1,0 +1,13 @@
+// SEEDED BS008 (include cycle): ring_a -> ring_b -> ring_a. Reported once,
+// at this file (the lexicographically smallest member of the SCC).
+#pragma once
+
+#include "flow/ring_b.hpp"
+
+namespace fixture {
+
+struct RingA {
+  int a = 0;
+};
+
+}  // namespace fixture

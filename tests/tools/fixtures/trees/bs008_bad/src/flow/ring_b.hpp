@@ -1,0 +1,12 @@
+// Second half of the seeded include cycle (see ring_a.hpp).
+#pragma once
+
+#include "flow/ring_a.hpp"
+
+namespace fixture {
+
+struct RingB {
+  int b = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Layer-1 fixture header: a target an util/ file must not include.
+#pragma once
+
+namespace fixture {
+
+struct GaugeBoard {
+  int level = 0;
+};
+
+}  // namespace fixture

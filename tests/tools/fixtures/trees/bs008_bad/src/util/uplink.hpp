@@ -1,0 +1,10 @@
+// SEEDED BS008 (upward edge): util (layer 0) includes obs (layer 1).
+#pragma once
+
+#include "obs/gauge_board.hpp"
+
+namespace fixture {
+
+inline int read_level(const GaugeBoard& board) { return board.level; }
+
+}  // namespace fixture

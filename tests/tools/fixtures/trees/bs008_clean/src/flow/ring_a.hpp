@@ -1,0 +1,12 @@
+// Clean twin: ring_a -> ring_b with no back edge.
+#pragma once
+
+#include "flow/ring_b.hpp"
+
+namespace fixture {
+
+struct RingA {
+  RingB b;
+};
+
+}  // namespace fixture

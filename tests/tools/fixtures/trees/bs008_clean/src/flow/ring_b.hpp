@@ -1,0 +1,10 @@
+// Clean twin: leaf header, no includes.
+#pragma once
+
+namespace fixture {
+
+struct RingB {
+  int b = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Clean twin of bs008_bad: the edge points down (obs -> util) and the ring
+// is broken.
+#pragma once
+
+#include "util/uplink.hpp"
+
+namespace fixture {
+
+struct GaugeBoard {
+  int level = 0;
+};
+
+inline int board_level(const GaugeBoard& board) {
+  return read_level(board.level);
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Clean twin: layer-0 header with no upward includes.
+#pragma once
+
+namespace fixture {
+
+inline int read_level(int level) { return level; }
+
+}  // namespace fixture

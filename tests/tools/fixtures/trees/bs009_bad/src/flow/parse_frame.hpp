@@ -1,0 +1,19 @@
+// SEEDED BS009: a Result-returning entry point in src/flow whose callee
+// (src/util/unwrap.hpp) throws. The entry body itself is throw-free, so
+// BS003 stays silent — only the call-graph walk can see the reachability.
+#pragma once
+
+#include "util/unwrap.hpp"
+
+namespace fixture {
+
+template <typename T>
+struct Result {
+  T value;
+};
+
+inline Result<int> parse_frame(int raw) {
+  return Result<int>{unwrap_or_die(raw)};
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Helper with a throw, OUTSIDE the BS003 decoder scope (src/util) — only
+// the interprocedural BS009 pass can connect it to a decoder entry point.
+#pragma once
+
+namespace fixture {
+
+inline int unwrap_or_die(int value) {
+  if (value < 0) {
+    throw value;
+  }
+  return value;
+}
+
+}  // namespace fixture

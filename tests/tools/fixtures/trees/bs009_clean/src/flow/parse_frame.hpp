@@ -1,0 +1,17 @@
+// Clean twin of bs009_bad: same entry point, throw-free helper.
+#pragma once
+
+#include "util/unwrap.hpp"
+
+namespace fixture {
+
+template <typename T>
+struct Result {
+  T value;
+};
+
+inline Result<int> parse_frame(int raw) {
+  return Result<int>{unwrap_or_die(raw)};
+}
+
+}  // namespace fixture

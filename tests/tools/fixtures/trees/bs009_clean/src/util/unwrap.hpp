@@ -1,0 +1,8 @@
+// Clean twin: the helper reports failure by value instead of throwing.
+#pragma once
+
+namespace fixture {
+
+inline int unwrap_or_die(int value) { return value < 0 ? 0 : value; }
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// SEEDED BS010: the same two util::Mutex instances taken in opposite
+// orders by two member functions — the canonical AB/BA deadlock shape.
+#pragma once
+
+namespace fixture {
+
+struct LedgerPair {
+  util::Mutex ingest_mutex_;
+  util::Mutex publish_mutex_;
+
+  void forward() {
+    const util::MutexLock a(ingest_mutex_);
+    const util::MutexLock b(publish_mutex_);
+  }
+
+  void backward() {
+    const util::MutexLock b(publish_mutex_);
+    const util::MutexLock a(ingest_mutex_);
+  }
+};
+
+}  // namespace fixture

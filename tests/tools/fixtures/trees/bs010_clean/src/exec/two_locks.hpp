@@ -1,0 +1,21 @@
+// Clean twin of bs010_bad: both paths honour the same acquisition order.
+#pragma once
+
+namespace fixture {
+
+struct LedgerPair {
+  util::Mutex ingest_mutex_;
+  util::Mutex publish_mutex_;
+
+  void forward() {
+    const util::MutexLock a(ingest_mutex_);
+    const util::MutexLock b(publish_mutex_);
+  }
+
+  void also_forward() {
+    const util::MutexLock a(ingest_mutex_);
+    const util::MutexLock b(publish_mutex_);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// SEEDED BS011: a statement-expression call to a Result-returning function
+// whose value — and the error it may carry — is silently dropped.
+#pragma once
+
+namespace fixture {
+
+template <typename T>
+struct Result {
+  T value;
+};
+
+inline Result<int> publish_batch(int batch) { return Result<int>{batch}; }
+
+inline void flush(int batch) {
+  publish_batch(batch);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Clean twin of bs011_bad: the Result is bound and inspected.
+#pragma once
+
+namespace fixture {
+
+template <typename T>
+struct Result {
+  T value;
+};
+
+inline Result<int> publish_batch(int batch) { return Result<int>{batch}; }
+
+inline int flush(int batch) {
+  const Result<int> outcome = publish_batch(batch);
+  return outcome.value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,117 @@
+#include "cli.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/cli.hpp"
+
+#include "lint.hpp"
+
+namespace booterscope::lint {
+
+namespace {
+
+constexpr std::string_view kUsage =
+    "usage: bslint [--root DIR] [PATH...] [--report FILE] [--sarif FILE]\n"
+    "              [--threads N] [--cache FILE] [--fix-dry-run] [--quiet]\n"
+    "              [--stats] [--list-rules] [--help]\n"
+    "\n"
+    "PATHs (default: src) are files or directories relative to --root\n"
+    "(default: current directory). Exit status: 0 clean, 1 findings,\n"
+    "2 usage/IO error. --fix-dry-run prints remediations and exits 0.\n"
+    "--cache keys entries by content hash; any edit re-indexes only the\n"
+    "edited file and the report stays byte-identical.\n";
+
+void print_rules(std::ostream& out) {
+  for (const RuleInfo& rule : rules()) {
+    out << rule.id << " [" << to_string(rule.severity) << "]\n  "
+        << rule.summary << "\n  fix: " << rule.suggestion << "\n";
+  }
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  std::vector<std::string> argv_storage;
+  argv_storage.reserve(args.size() + 1);
+  argv_storage.emplace_back("bslint");
+  argv_storage.insert(argv_storage.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  argv.reserve(argv_storage.size());
+  for (std::string& arg : argv_storage) argv.push_back(arg.data());
+  const util::CliArgs cli(static_cast<int>(argv.size()), argv.data());
+
+  const std::vector<std::string> unknown = cli.unknown(
+      {"help", "list-rules", "root", "report", "sarif", "threads", "cache",
+       "fix-dry-run", "quiet", "stats"});
+  if (!unknown.empty()) {
+    err << "bslint: unknown option --" << unknown.front() << "\n" << kUsage;
+    return 2;
+  }
+  if (cli.has_flag("help")) {
+    out << kUsage;
+    return 0;
+  }
+  if (cli.has_flag("list-rules")) {
+    print_rules(out);
+    return 0;
+  }
+
+  const std::string root = cli.value_or("root", ".");
+  const bool fix_dry_run = cli.has_flag("fix-dry-run");
+  const bool quiet = cli.has_flag("quiet");
+  const std::string report_path = cli.value_or("report", "");
+  const std::string sarif_path = cli.value_or("sarif", "");
+
+  TreeOptions options;
+  const std::int64_t threads = cli.int_or("threads", 0);
+  options.threads = threads > 0 ? static_cast<std::size_t>(threads) : 0;
+  options.cache_path = cli.value_or("cache", "");
+
+  std::vector<std::string> paths = cli.positional();
+  // CliArgs binds the token after any --option as its value, so a boolean
+  // flag written before a path ("--stats src") swallows the path. Hand the
+  // captured token back; path order is irrelevant (the walk sorts).
+  for (const char* flag : {"stats", "quiet", "fix-dry-run"}) {
+    const std::string eaten = cli.value_or(flag, "");
+    if (!eaten.empty()) paths.push_back(eaten);
+  }
+  if (paths.empty()) paths.emplace_back("src");
+
+  const TreeRun run = lint_tree_full(root, paths, options);
+  if (!run.error.empty()) {
+    err << "bslint: " << run.error << "\n";
+    return 2;
+  }
+
+  const std::string report = render_report(run.findings, fix_dry_run);
+  if (!quiet) out << report;
+  if (cli.has_flag("stats")) {
+    out << "bslint: indexed " << run.stats.files << " files ("
+        << run.stats.lexed << " lexed, " << run.stats.cache_hits
+        << " cache hits)\n";
+  }
+
+  if (!report_path.empty()) {
+    std::ofstream file(report_path, std::ios::binary);
+    file << report;
+    if (!file) {
+      err << "bslint: cannot write report to " << report_path << "\n";
+      return 2;
+    }
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream file(sarif_path, std::ios::binary);
+    file << render_sarif(run.findings);
+    if (!file) {
+      err << "bslint: cannot write SARIF to " << sarif_path << "\n";
+      return 2;
+    }
+  }
+
+  if (fix_dry_run) return 0;
+  return run.findings.empty() ? 0 : 1;
+}
+
+}  // namespace booterscope::lint

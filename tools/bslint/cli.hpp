@@ -1,0 +1,23 @@
+// The bslint command line, separated from main() so the golden suite can
+// drive the full driver in-process and assert on exit codes and streams.
+//
+// Exit codes (covered by tests/tools/bslint_engine_test.cpp):
+//   0  clean tree, or an informational mode (--help, --list-rules,
+//      --fix-dry-run)
+//   1  findings
+//   2  usage or IO error: unknown flag, nonexistent path, unwritable
+//      --report/--sarif target
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace booterscope::lint {
+
+/// Runs the driver over `args` (argv without the program name), writing
+/// the report to `out` and diagnostics to `err`. Returns the exit code.
+[[nodiscard]] int run_cli(const std::vector<std::string>& args,
+                          std::ostream& out, std::ostream& err);
+
+}  // namespace booterscope::lint

@@ -1,0 +1,112 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace booterscope::lint::graph {
+
+void Digraph::add_node(std::string_view node) {
+  adjacency_.try_emplace(std::string(node));
+}
+
+void Digraph::add_edge(std::string_view from, std::string_view to) {
+  adjacency_[std::string(from)].insert(std::string(to));
+  adjacency_.try_emplace(std::string(to));
+}
+
+bool Digraph::has_node(std::string_view node) const {
+  return adjacency_.find(node) != adjacency_.end();
+}
+
+const std::set<std::string>& Digraph::successors(std::string_view node) const {
+  static const std::set<std::string> kEmpty;
+  const auto it = adjacency_.find(node);
+  return it == adjacency_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> Digraph::nodes() const {
+  std::vector<std::string> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [node, succs] : adjacency_) out.push_back(node);
+  return out;
+}
+
+std::vector<std::vector<std::string>> Digraph::cycles() const {
+  // Iterative Tarjan over the sorted node map. Indices are assigned in
+  // sorted-node order, so component discovery order is deterministic.
+  struct NodeState {
+    std::size_t index = 0;
+    std::size_t lowlink = 0;
+    bool visited = false;
+    bool on_stack = false;
+  };
+  std::map<std::string, NodeState, std::less<>> state;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> components;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    std::string node;
+    std::set<std::string>::const_iterator next;
+    std::set<std::string>::const_iterator end;
+  };
+
+  for (const auto& [root, root_succs] : adjacency_) {
+    if (state[root].visited) continue;
+    std::vector<Frame> frames;
+    const auto open = [&](const std::string& node) {
+      NodeState& ns = state[node];
+      ns.visited = true;
+      ns.index = ns.lowlink = next_index++;
+      ns.on_stack = true;
+      stack.push_back(node);
+      const std::set<std::string>& succs = successors(node);
+      frames.push_back({node, succs.begin(), succs.end()});
+    };
+    open(root);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next != frame.end) {
+        const std::string& succ = *frame.next;
+        ++frame.next;
+        if (adjacency_.find(succ) == adjacency_.end()) continue;
+        NodeState& succ_state = state[succ];
+        if (!succ_state.visited) {
+          open(succ);
+        } else if (succ_state.on_stack) {
+          NodeState& ns = state[frame.node];
+          ns.lowlink = std::min(ns.lowlink, succ_state.index);
+        }
+        continue;
+      }
+      // Frame exhausted: close the node, propagate lowlink to the parent.
+      const std::string node = frame.node;
+      frames.pop_back();
+      NodeState& ns = state[node];
+      if (!frames.empty()) {
+        NodeState& parent = state[frames.back().node];
+        parent.lowlink = std::min(parent.lowlink, ns.lowlink);
+      }
+      if (ns.lowlink == ns.index) {
+        std::vector<std::string> component;
+        while (true) {
+          const std::string member = stack.back();
+          stack.pop_back();
+          state[member].on_stack = false;
+          component.push_back(member);
+          if (member == node) break;
+        }
+        const bool self_loop = component.size() == 1 &&
+                               successors(component.front())
+                                   .count(component.front()) > 0;
+        if (component.size() > 1 || self_loop) {
+          std::sort(component.begin(), component.end());
+          components.push_back(std::move(component));
+        }
+      }
+    }
+  }
+  std::sort(components.begin(), components.end());
+  return components;
+}
+
+}  // namespace booterscope::lint::graph

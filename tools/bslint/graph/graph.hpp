@@ -1,0 +1,39 @@
+// A small deterministic string digraph for the project rules: the include
+// DAG (BS008), the name-matched call graph (BS009) and the lock-order
+// graph (BS010) are all instances. Nodes and successor lists are kept
+// sorted, so traversal order — and therefore every finding derived from a
+// traversal — is a pure function of the edge set, independent of insertion
+// order or thread count.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace booterscope::lint::graph {
+
+class Digraph {
+ public:
+  void add_node(std::string_view node);
+  void add_edge(std::string_view from, std::string_view to);
+
+  [[nodiscard]] bool has_node(std::string_view node) const;
+  /// Sorted successor set (empty set for unknown nodes).
+  [[nodiscard]] const std::set<std::string>& successors(
+      std::string_view node) const;
+  /// All nodes, sorted.
+  [[nodiscard]] std::vector<std::string> nodes() const;
+
+  /// Strongly connected components with more than one node, or a single
+  /// node with a self-edge — i.e. every node set that lies on a cycle.
+  /// Each component is sorted; the component list is sorted by its first
+  /// element. (Iterative Tarjan, deterministic by construction.)
+  [[nodiscard]] std::vector<std::vector<std::string>> cycles() const;
+
+ private:
+  std::map<std::string, std::set<std::string>, std::less<>> adjacency_;
+};
+
+}  // namespace booterscope::lint::graph

@@ -1,0 +1,77 @@
+#include "index/cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace booterscope::lint::index {
+
+namespace {
+
+constexpr std::string_view kMagic = "bslint-cache ";
+
+}  // namespace
+
+Cache load_cache(const std::string& path) {
+  Cache cache;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return cache;
+  std::string header;
+  if (!std::getline(in, header)) return cache;
+  if (header != std::string(kMagic) + std::string(kRuleSetVersion)) {
+    return cache;  // stale rule set: discard wholesale
+  }
+  std::string line;
+  std::string key;
+  CacheEntry entry;
+  std::ostringstream payload;
+  const auto flush = [&] {
+    if (key.empty()) return;
+    entry.payload = payload.str();
+    cache.entries.emplace(key, std::move(entry));
+    key.clear();
+    entry = CacheEntry{};
+    payload.str({});
+  };
+  while (std::getline(in, line)) {
+    if (line.rfind("= ", 0) == 0) {
+      flush();
+      // "= <path>\t<content_hash>\t<companion_hash>"
+      const std::size_t tab1 = line.find('\t', 2);
+      const std::size_t tab2 =
+          tab1 == std::string::npos ? tab1 : line.find('\t', tab1 + 1);
+      if (tab2 == std::string::npos) continue;  // garbled header: skip entry
+      key = line.substr(2, tab1 - 2);
+      entry.content_hash = line.substr(tab1 + 1, tab2 - tab1 - 1);
+      entry.companion_hash = line.substr(tab2 + 1);
+      continue;
+    }
+    if (!key.empty()) payload << line << '\n';
+  }
+  flush();
+  return cache;
+}
+
+bool save_cache(const std::string& path, const Cache& cache) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << kMagic << kRuleSetVersion << '\n';
+    for (const auto& [key, entry] : cache.entries) {
+      out << "= " << key << '\t' << entry.content_hash << '\t'
+          << entry.companion_hash << '\n';
+      out << entry.payload;  // serialize() output is newline-terminated
+    }
+    if (!out.good()) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace booterscope::lint::index

@@ -1,0 +1,36 @@
+// The fact cache (.bslint-cache): a single text file holding serialized
+// FileFacts keyed by (path, content hash, companion-header hash), stamped
+// with lint.hpp's kRuleSetVersion. Facts are a pure function of those
+// inputs, so a hash match replays the stored facts — including the
+// pre-evaluated BS001–BS007 findings — without lexing, and the merged
+// report is byte-identical to a cold run. A version mismatch (any rule or
+// schema change) discards the whole file; a garbled entry is simply a
+// miss. The cache is written wholesale after every run, in sorted path
+// order, so the file itself is deterministic too.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace booterscope::lint::index {
+
+struct CacheEntry {
+  std::string content_hash;
+  std::string companion_hash;  // hash of "" when there is no companion
+  std::string payload;         // serialize()d FileFacts
+};
+
+struct Cache {
+  std::map<std::string, CacheEntry> entries;  // keyed by root-relative path
+};
+
+/// Loads `path` into `cache`. Returns an empty cache (not an error) when
+/// the file is missing, unreadable, or stamped with a different rule-set
+/// version.
+[[nodiscard]] Cache load_cache(const std::string& path);
+
+/// Writes `cache` to `path` atomically enough for a lint tool (tmp file +
+/// rename). Returns false on IO failure; callers treat that as advisory.
+bool save_cache(const std::string& path, const Cache& cache);
+
+}  // namespace booterscope::lint::index

@@ -1,0 +1,188 @@
+// Cache serialization for FileFacts: a line-oriented, tab-separated text
+// format. Every variable-width field goes through escape()/unescape() so
+// tabs and newlines in source excerpts cannot corrupt the framing. The
+// format carries no version of its own — the cache layer stamps
+// kRuleSetVersion on the whole file and discards mismatches wholesale.
+#include "index/facts.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/hash.hpp"
+
+namespace booterscope::lint::index {
+
+namespace {
+
+[[nodiscard]] std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\t': out += "%09"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const std::string_view hex = text.substr(i + 1, 2);
+      unsigned value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(hex.data(), hex.data() + 2, value, 16);
+      if (ec == std::errc() && ptr == hex.data() + 2) {
+        out.push_back(static_cast<char>(value));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(text[i]);
+  }
+  return out;
+}
+
+[[nodiscard]] std::vector<std::string> split_tabs(std::string_view line) {
+  std::vector<std::string> fields;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', begin);
+    if (tab == std::string_view::npos) {
+      fields.emplace_back(line.substr(begin));
+      return fields;
+    }
+    fields.emplace_back(line.substr(begin, tab - begin));
+    begin = tab + 1;
+  }
+}
+
+[[nodiscard]] bool parse_size(const std::string& field, std::size_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), out);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+}  // namespace
+
+std::string content_hash(std::string_view content) {
+  // Fixed-key SipHash over the bytes: stable across runs and platforms,
+  // which is all a cache key needs (this is not a security boundary).
+  const util::SipKey key{0x62736c696e743200ULL, 0x666163747363616bULL};
+  const std::uint64_t h = util::siphash24(
+      key, {reinterpret_cast<const std::uint8_t*>(content.data()),
+            content.size()});
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buffer;
+}
+
+std::string serialize(const FileFacts& facts) {
+  std::ostringstream out;
+  out << "P\t" << escape(facts.path) << '\n';
+  for (const IncludeSite& inc : facts.includes) {
+    out << "I\t" << inc.line << '\t' << escape(inc.target) << '\n';
+  }
+  for (const FunctionFacts& fn : facts.functions) {
+    out << "F\t" << fn.line << '\t' << (fn.is_definition ? 1 : 0) << '\t'
+        << (fn.returns_result ? 1 : 0) << '\t' << escape(fn.name) << '\t'
+        << escape(fn.qualified) << '\n';
+    for (const CallSite& call : fn.calls) {
+      out << "C\t" << call.line << '\t' << escape(call.callee) << '\n';
+    }
+    for (const std::size_t line : fn.throw_lines) {
+      out << "T\t" << line << '\n';
+    }
+    for (const LockSite& lock : fn.locks) {
+      out << "L\t" << lock.line << '\t' << escape(lock.mutex_name) << '\n';
+    }
+  }
+  for (const std::string& name : facts.mutex_decls) {
+    out << "M\t" << escape(name) << '\n';
+  }
+  for (const CallSite& call : facts.discard_candidates) {
+    out << "D\t" << call.line << '\t' << escape(call.callee) << '\n';
+  }
+  for (const Finding& f : facts.local_findings) {
+    out << "G\t" << f.rule << '\t'
+        << (f.severity == Severity::kError ? 'E' : 'W') << '\t' << f.line
+        << '\t' << escape(f.message) << '\t' << escape(f.excerpt) << '\t'
+        << escape(f.suggestion) << '\n';
+  }
+  for (const auto& [line, rules_set] : facts.suppressions.by_line) {
+    for (const std::string& rule : rules_set) {
+      out << "A\t" << line << '\t' << rule << '\n';
+    }
+  }
+  for (const std::string& rule : facts.suppressions.file_wide) {
+    out << "W\t" << rule << '\n';
+  }
+  return out.str();
+}
+
+bool deserialize(std::string_view text, FileFacts& facts) {
+  facts = FileFacts{};
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_tabs(line);
+    const std::string& tag = f[0];
+    std::size_t n = 0;
+    if (tag == "P" && f.size() == 2) {
+      facts.path = unescape(f[1]);
+    } else if (tag == "I" && f.size() == 3 && parse_size(f[1], n)) {
+      facts.includes.push_back({unescape(f[2]), n});
+    } else if (tag == "F" && f.size() == 6 && parse_size(f[1], n)) {
+      FunctionFacts fn;
+      fn.line = n;
+      fn.is_definition = f[2] == "1";
+      fn.returns_result = f[3] == "1";
+      fn.name = unescape(f[4]);
+      fn.qualified = unescape(f[5]);
+      facts.functions.push_back(std::move(fn));
+    } else if (tag == "C" && f.size() == 3 && parse_size(f[1], n)) {
+      if (facts.functions.empty()) return false;
+      facts.functions.back().calls.push_back({unescape(f[2]), n});
+    } else if (tag == "T" && f.size() == 2 && parse_size(f[1], n)) {
+      if (facts.functions.empty()) return false;
+      facts.functions.back().throw_lines.push_back(n);
+    } else if (tag == "L" && f.size() == 3 && parse_size(f[1], n)) {
+      if (facts.functions.empty()) return false;
+      facts.functions.back().locks.push_back({unescape(f[2]), n});
+    } else if (tag == "M" && f.size() == 2) {
+      facts.mutex_decls.push_back(unescape(f[1]));
+    } else if (tag == "D" && f.size() == 3 && parse_size(f[1], n)) {
+      facts.discard_candidates.push_back({unescape(f[2]), n});
+    } else if (tag == "G" && f.size() == 7 && parse_size(f[3], n)) {
+      Finding finding;
+      finding.rule = f[1];
+      finding.severity = f[2] == "E" ? Severity::kError : Severity::kWarning;
+      finding.path = facts.path;
+      finding.line = n;
+      finding.message = unescape(f[4]);
+      finding.excerpt = unescape(f[5]);
+      finding.suggestion = unescape(f[6]);
+      facts.local_findings.push_back(std::move(finding));
+    } else if (tag == "A" && f.size() == 3 && parse_size(f[1], n)) {
+      facts.suppressions.by_line[n].insert(f[2]);
+    } else if (tag == "W" && f.size() == 2) {
+      facts.suppressions.file_wide.insert(f[1]);
+    } else {
+      return false;  // unknown/garbled line: treat the entry as a miss
+    }
+  }
+  return !facts.path.empty();
+}
+
+}  // namespace booterscope::lint::index

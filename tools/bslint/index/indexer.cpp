@@ -1,0 +1,410 @@
+// The fact indexer: walks the token stream of one stripped file and
+// recognizes function definitions/declarations, call sites, throw sites,
+// lock acquisitions, util::Mutex declarations and discarded-call
+// statements. This is a heuristic scanner, not a parser — it tracks brace
+// depth and namespace/class scopes, validates `name(...)` heads against
+// the tokens around them, and attributes body tokens to the enclosing
+// function. The approximations (name-matched calls, instance-blind
+// mutexes) are documented in DESIGN.md §16; rules built on them are tuned
+// so a false edge needs a justified bslint:allow rather than silently
+// hiding a real one.
+#include "index/facts.hpp"
+
+#include "lex/lexer.hpp"
+
+namespace booterscope::lint::index {
+
+namespace {
+
+using lex::TokKind;
+using lex::Token;
+
+struct Scanner {
+  const std::vector<Token>& t;
+  FileFacts& facts;
+
+  [[nodiscard]] std::size_t size() const { return t.size(); }
+  [[nodiscard]] const std::string& text(std::size_t i) const {
+    static const std::string kEmpty;
+    return i < t.size() ? t[i].text : kEmpty;
+  }
+  [[nodiscard]] bool is_ident(std::size_t i) const {
+    return i < t.size() && t[i].kind == TokKind::kIdent;
+  }
+  [[nodiscard]] std::size_t line1(std::size_t i) const {
+    return i < t.size() ? t[i].line + 1 : 0;
+  }
+
+  /// Index of the token after the group that opens at `open` (whose text
+  /// is "(" or "{"), or size() when unbalanced.
+  [[nodiscard]] std::size_t skip_group(std::size_t open) const {
+    const std::string& opener = text(open);
+    const std::string closer = opener == "(" ? ")" : "}";
+    int depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+      if (t[i].text == opener) ++depth;
+      if (t[i].text == closer && --depth == 0) return i + 1;
+    }
+    return t.size();
+  }
+
+  /// True when the tokens in [begin, end) form a pure access chain
+  /// (identifier, "::", ".", "->") — the shape of a statement whose only
+  /// expression is the call that follows.
+  [[nodiscard]] bool pure_chain(std::size_t begin, std::size_t end) const {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Token& tok = t[i];
+      if (tok.kind == TokKind::kIdent) {
+        if (lex::is_keyword(tok.text)) return false;
+        continue;
+      }
+      if (tok.text == "::" || tok.text == "." || tok.text == "->") continue;
+      return false;
+    }
+    return true;
+  }
+};
+
+// Harvests `util::Mutex name;` declarations (members, globals, locals).
+// References and pointers are skipped on purpose: `Mutex& mutex_;` inside
+// MutexLock would alias every lock in the tree into one node.
+void harvest_mutex_decls(Scanner& s) {
+  for (std::size_t i = 0; i + 2 < s.size(); ++i) {
+    if (s.text(i) != "Mutex" || !s.is_ident(i + 1)) continue;
+    const std::string& prev = i > 0 ? s.text(i - 1) : std::string();
+    if (prev == "class" || prev == "struct" || prev == "friend") continue;
+    const std::string& after = s.text(i + 2);
+    if (after == ";" || after == "=" || after == "{") {
+      s.facts.mutex_decls.push_back(s.text(i + 1));
+    }
+  }
+}
+
+// Parses the body of a function definition starting at the token after its
+// opening '{'. Returns the index after the closing '}'. Records calls,
+// throws, lock acquisitions and discarded-call statements into `fn` /
+// `facts`.
+std::size_t parse_body(Scanner& s, std::size_t i, FunctionFacts& fn) {
+  int depth = 1;
+  std::size_t stmt_start = i;
+  while (i < s.size() && depth > 0) {
+    const Token& tok = s.t[i];
+    if (tok.text == "{") {
+      ++depth;
+      stmt_start = i + 1;
+    } else if (tok.text == "}") {
+      --depth;
+      stmt_start = i + 1;
+    } else if (tok.text == ";" || tok.text == ":") {
+      // ':' resets for labels/case arms; harmless for access chains.
+      stmt_start = i + 1;
+    } else if (tok.kind == TokKind::kIdent) {
+      if (tok.text == "throw") {
+        fn.throw_lines.push_back(s.line1(i));
+      } else if (tok.text == "MutexLock" && s.is_ident(i + 1) &&
+                 s.text(i + 2) == "(") {
+        // `MutexLock lock(expr);` — the mutex is the last identifier of
+        // the expression (`queue.mutex` -> "mutex", `mutex_` -> "mutex_").
+        const std::size_t after = s.skip_group(i + 2);
+        std::string mutex_name;
+        for (std::size_t j = i + 3; j + 1 < after; ++j) {
+          if (s.is_ident(j)) mutex_name = s.text(j);
+        }
+        if (!mutex_name.empty()) {
+          fn.locks.push_back({mutex_name, s.line1(i)});
+        }
+        i = after;
+        stmt_start = i;
+        continue;
+      } else if (tok.text == "lock" && i > 0 &&
+                 (s.text(i - 1) == "." || s.text(i - 1) == "->") &&
+                 s.text(i + 1) == "(" && s.text(i + 2) == ")" && i >= 2 &&
+                 s.is_ident(i - 2)) {
+        // `name.lock()` / `name->lock()` on a util::Mutex.
+        fn.locks.push_back({s.text(i - 2), s.line1(i)});
+      } else if (s.text(i + 1) == "(" && !lex::is_keyword(tok.text)) {
+        // A call — unless the identifier directly follows another
+        // identifier, which is a declaration (`Type name(...)`).
+        const bool declaration =
+            i > 0 && s.is_ident(i - 1) && !lex::is_keyword(s.text(i - 1));
+        if (!declaration) {
+          fn.calls.push_back({tok.text, s.line1(i)});
+          // Discarded-call statement: the whole statement is
+          // `chain.call(args);` with nothing consuming the value.
+          const std::size_t after = s.skip_group(i + 1);
+          if (s.text(after) == ";" && s.pure_chain(stmt_start, i)) {
+            s.facts.discard_candidates.push_back({tok.text, s.line1(i)});
+          }
+        }
+      }
+    }
+    ++i;
+  }
+  return i;
+}
+
+// Tries to parse a function definition/declaration whose name starts at
+// token `i` (a non-keyword identifier). On success appends to
+// facts.functions and returns the index after the construct; otherwise
+// returns i (caller advances by one).
+std::size_t try_function(Scanner& s, std::size_t i,
+                         const std::vector<std::string>& class_stack) {
+  // --- name chain: ident (:: [~] ident)* directly followed by '(' ---
+  std::size_t j = i;
+  std::string last = s.text(j);
+  std::string qualified = last;
+  ++j;
+  while (s.text(j) == "::" &&
+         (s.is_ident(j + 1) ||
+          (s.text(j + 1) == "~" && s.is_ident(j + 2)))) {
+    if (s.text(j + 1) == "~") {
+      last = "~" + s.text(j + 2);
+      j += 3;
+    } else {
+      last = s.text(j + 1);
+      j += 2;
+    }
+    qualified += "::" + last;
+  }
+  if (s.text(j) != "(") return i;
+
+  // --- reject initializer contexts: '=' between the previous terminator
+  // and the name means `int x = f();`, not a declaration of f ---
+  bool returns_result = false;
+  for (std::size_t k = i; k-- > 0;) {
+    const std::string& text = s.text(k);
+    if (text == ";" || text == "{" || text == "}") break;
+    if (text == "=" || text == "return" || text == "throw" ||
+        text == "new" || text == ",") {
+      return i;
+    }
+    if (text == "Result" && k + 1 < s.size() && s.text(k + 1) == "<") {
+      returns_result = true;
+    }
+  }
+
+  const std::size_t params_end = s.skip_group(j);  // after ')'
+  if (params_end >= s.size()) return i;
+
+  // --- trailer: cv/ref qualifiers, noexcept(...), trailing return ---
+  std::size_t m = params_end;
+  while (m < s.size()) {
+    const std::string& text = s.text(m);
+    if (text == "const" || text == "override" || text == "final" ||
+        text == "mutable" || text == "&" || text == "&&" ||
+        text == "volatile" || text == "try") {
+      ++m;
+      continue;
+    }
+    if (text == "noexcept") {
+      ++m;
+      if (s.text(m) == "(") m = s.skip_group(m);
+      continue;
+    }
+    if (text == "->") {
+      // Trailing return type: consume until the body/terminator.
+      ++m;
+      while (m < s.size() && s.text(m) != "{" && s.text(m) != ";") {
+        if (s.text(m) == "Result" && s.text(m + 1) == "<") {
+          returns_result = true;
+        }
+        ++m;
+      }
+      continue;
+    }
+    break;
+  }
+
+  FunctionFacts fn;
+  fn.name = last;
+  if (!class_stack.empty() && qualified.find("::") == std::string::npos) {
+    qualified = class_stack.back() + "::" + qualified;
+  }
+  fn.qualified = qualified;
+  fn.line = s.line1(i);
+  fn.returns_result = returns_result;
+
+  if (s.text(m) == ";") {
+    // Declaration (prototype). Records the Result-returning name for
+    // BS011 resolution; no body facts.
+    s.facts.functions.push_back(std::move(fn));
+    return m + 1;
+  }
+  if (s.text(m) == "=") {
+    // `= default;` / `= delete;` / `= 0;` — a declaration.
+    while (m < s.size() && s.text(m) != ";") ++m;
+    s.facts.functions.push_back(std::move(fn));
+    return m + 1;
+  }
+  if (s.text(m) == ":") {
+    // Constructor initializer list: `ident (...)` or `ident {...}` groups
+    // separated by commas, then the body brace.
+    ++m;
+    while (m < s.size()) {
+      while (m < s.size() && s.text(m) != "(" && s.text(m) != "{" &&
+             s.text(m) != ";") {
+        ++m;
+      }
+      if (m >= s.size() || s.text(m) == ";") return i;  // not a ctor after all
+      const bool brace_group = s.text(m) == "{";
+      const std::size_t after = s.skip_group(m);
+      if (brace_group && s.text(after) != "," ) {
+        // The '{' opened the body, not a brace-init group — only when the
+        // group is not followed by another initializer.
+        if (s.text(after) == "{" || after >= s.size() ||
+            s.text(m - 1) == ")" || !s.is_ident(m - 1)) {
+          // `...) : a_(x) {` — body brace directly after ')' or ','-less.
+        }
+        // Heuristic: a brace group directly preceded by an identifier is a
+        // member brace-init; anything else is the body.
+        if (s.is_ident(m - 1)) {
+          m = after;
+          if (s.text(m) == ",") { ++m; continue; }
+          // next non-',' token should be the body '{'
+          continue;
+        }
+        fn.is_definition = true;
+        const std::size_t body_end = parse_body(s, m + 1, fn);
+        s.facts.functions.push_back(std::move(fn));
+        return body_end;
+      }
+      m = after;
+      if (s.text(m) == ",") { ++m; continue; }
+      // After the last init group the body must open.
+      if (s.text(m) == "{") {
+        fn.is_definition = true;
+        const std::size_t body_end = parse_body(s, m + 1, fn);
+        s.facts.functions.push_back(std::move(fn));
+        return body_end;
+      }
+      return i;
+    }
+    return i;
+  }
+  if (s.text(m) == "{") {
+    fn.is_definition = true;
+    const std::size_t body_end = parse_body(s, m + 1, fn);
+    s.facts.functions.push_back(std::move(fn));
+    return body_end;
+  }
+  return i;
+}
+
+void scan(Scanner& s) {
+  struct Scope {
+    std::string name;
+    int depth = 0;  // brace depth inside the scope
+    bool is_class = false;
+  };
+  std::vector<Scope> scopes;
+  std::vector<std::string> class_stack;
+  int depth = 0;
+
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const Token& tok = s.t[i];
+    if (tok.text == "{") {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (tok.text == "}") {
+      --depth;
+      while (!scopes.empty() && scopes.back().depth > depth) {
+        if (scopes.back().is_class && !class_stack.empty()) {
+          class_stack.pop_back();
+        }
+        scopes.pop_back();
+      }
+      ++i;
+      continue;
+    }
+    if (tok.kind != TokKind::kIdent) {
+      ++i;
+      continue;
+    }
+    if (tok.text == "namespace") {
+      std::size_t j = i + 1;
+      while (s.is_ident(j) || s.text(j) == "::") ++j;
+      if (s.text(j) == "{") {
+        scopes.push_back({"", depth + 1, false});
+        ++depth;
+        i = j + 1;
+        continue;
+      }
+      i = j;  // alias / using-directive tail
+      continue;
+    }
+    if (tok.text == "class" || tok.text == "struct" || tok.text == "union" ||
+        tok.text == "enum") {
+      // Find the head's '{' or ';' (forward declarations, base lists).
+      std::string name;
+      std::size_t j = i + 1;
+      int paren = 0;
+      while (j < s.size()) {
+        const std::string& text = s.text(j);
+        if (text == "(") ++paren;
+        if (text == ")") --paren;
+        if (paren == 0 && (text == "{" || text == ";")) break;
+        if (name.empty() && s.is_ident(j) && !lex::is_keyword(text)) {
+          name = text;
+        }
+        ++j;
+      }
+      if (s.text(j) == "{") {
+        const bool is_class =
+            (tok.text == "class" || tok.text == "struct") && !name.empty();
+        scopes.push_back({name, depth + 1, is_class});
+        if (is_class) class_stack.push_back(name);
+        ++depth;
+        i = j + 1;
+        continue;
+      }
+      i = j;
+      continue;
+    }
+    if (tok.text == "using" || tok.text == "typedef" ||
+        tok.text == "static_assert" || tok.text == "friend") {
+      while (i < s.size() && s.text(i) != ";") ++i;
+      continue;
+    }
+    if (!lex::is_keyword(tok.text)) {
+      const std::size_t advanced = try_function(s, i, class_stack);
+      if (advanced != i) {
+        i = advanced;
+        continue;
+      }
+    }
+    ++i;
+  }
+}
+
+}  // namespace
+
+FileFacts index_file(const FileInput& input) {
+  FileFacts facts;
+  facts.path = input.path;
+
+  const std::vector<std::string> raw = lex::raw_lines(input.content);
+  const std::vector<std::string> stripped = lex::strip_to_lines(input.content);
+  const std::vector<std::string> companion_stripped =
+      input.companion_header.empty()
+          ? std::vector<std::string>{}
+          : lex::strip_to_lines(input.companion_header);
+
+  facts.suppressions = checks::parse_suppressions(raw);
+  facts.local_findings = checks::local_findings(
+      input.path, raw, stripped, companion_stripped, facts.suppressions);
+
+  for (const lex::IncludeSite& inc : lex::harvest_includes(raw)) {
+    if (!inc.angled) facts.includes.push_back({inc.target, inc.line});
+  }
+
+  const std::vector<Token> tokens = lex::tokenize(stripped);
+  Scanner scanner{tokens, facts};
+  harvest_mutex_decls(scanner);
+  scan(scanner);
+  return facts;
+}
+
+}  // namespace booterscope::lint::index

@@ -1,0 +1,233 @@
+#include "lex/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+
+namespace booterscope::lint::lex {
+
+namespace {
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<std::string> strip_to_lines(std::string_view src) {
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  std::vector<std::string> lines;
+  std::string current;
+
+  const auto flush_line = [&] {
+    lines.push_back(current);
+    current.clear();
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLine) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          current += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          current += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !ident_char(src[i - 1]))) {
+          // Raw string: collect the delimiter up to '('.
+          raw_delim.clear();
+          std::size_t j = i + 2;
+          while (j < src.size() && src[j] != '(' && src[j] != '\n') {
+            raw_delim += src[j];
+            ++j;
+          }
+          state = State::kRaw;
+          current.append(j - i + 1, ' ');
+          i = j;  // at '(' (or newline, handled next iteration)
+        } else if (c == '"') {
+          state = State::kString;
+          current += ' ';
+        } else if (c == '\'' && !(i > 0 && ident_char(src[i - 1]))) {
+          // Leading identifier char means a digit separator (1'000'000),
+          // not a char literal.
+          state = State::kChar;
+          current += ' ';
+        } else {
+          current += c;
+        }
+        break;
+      case State::kLine:
+        current += ' ';
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          current += "  ";
+          ++i;
+        } else {
+          current += ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          current += "  ";
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+          current += ' ';
+        } else {
+          current += ' ';
+        }
+        break;
+      }
+      case State::kRaw: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c == ')' && src.substr(i, closer.size()) == closer) {
+          current.append(closer.size(), ' ');
+          i += closer.size() - 1;
+          state = State::kCode;
+        } else {
+          current += ' ';
+        }
+        break;
+      }
+    }
+  }
+  flush_line();
+  return lines;
+}
+
+std::vector<std::string> raw_lines(std::string_view src) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : src) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+bool is_keyword(std::string_view word) {
+  static const std::set<std::string_view> kKeywords = {
+      "alignas",   "alignof",  "asm",          "auto",      "bool",
+      "break",     "case",     "catch",        "char",      "class",
+      "co_await",  "co_return","co_yield",     "const",     "consteval",
+      "constexpr", "constinit","const_cast",   "continue",  "decltype",
+      "default",   "delete",   "do",           "double",    "dynamic_cast",
+      "else",      "enum",     "explicit",     "export",    "extern",
+      "false",     "final",    "float",        "for",       "friend",
+      "goto",      "if",       "inline",       "int",       "long",
+      "mutable",   "namespace","new",          "noexcept",  "nullptr",
+      "operator",  "override", "private",      "protected", "public",
+      "register",  "reinterpret_cast",         "requires",  "return",
+      "short",     "signed",   "sizeof",       "static",    "static_assert",
+      "static_cast",           "struct",       "switch",    "template",
+      "this",      "thread_local",             "throw",     "true",
+      "try",       "typedef",  "typeid",       "typename",  "union",
+      "unsigned",  "using",    "virtual",      "void",      "volatile",
+      "wchar_t",   "while"};
+  return kKeywords.count(word) != 0;
+}
+
+std::vector<Token> tokenize(const std::vector<std::string>& stripped) {
+  // Longest-first so "->" beats "-", "::" beats ":".
+  static const std::vector<std::string_view> kMulti = {
+      "->*", "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=",
+      "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "|=",
+      "&=",  "^=",  "++",  "--",  ".*"};
+
+  std::vector<Token> tokens;
+  bool continuation = false;  // previous line was a directive ending in '\'
+  for (std::size_t line = 0; line < stripped.size(); ++line) {
+    const std::string& text = stripped[line];
+    std::size_t first = text.find_first_not_of(" \t");
+    const bool directive =
+        continuation || (first != std::string::npos && text[first] == '#');
+    if (directive) {
+      // Preprocessor-lite: the directive body never reaches the token
+      // stream (macro bodies would otherwise fake function definitions).
+      std::size_t last = text.find_last_not_of(" \t");
+      continuation = last != std::string::npos && text[last] == '\\';
+      continue;
+    }
+    continuation = false;
+    for (std::size_t i = 0; i < text.size();) {
+      const char c = text[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        std::size_t j = i + 1;
+        while (j < text.size() && ident_char(text[j])) ++j;
+        tokens.push_back({TokKind::kIdent, text.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        // Swallow the whole preprocessing-number (hex, suffixes, exponents)
+        // so "0x1p-3f" is one token the indexer can ignore.
+        std::size_t j = i + 1;
+        while (j < text.size() &&
+               (ident_char(text[j]) || text[j] == '.' ||
+                ((text[j] == '+' || text[j] == '-') &&
+                 (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                  text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+          ++j;
+        }
+        tokens.push_back({TokKind::kNumber, text.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      bool matched = false;
+      for (const std::string_view op : kMulti) {
+        if (text.compare(i, op.size(), op) == 0) {
+          tokens.push_back({TokKind::kPunct, std::string(op), line});
+          i += op.size();
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+        ++i;
+      }
+    }
+  }
+  return tokens;
+}
+
+std::vector<IncludeSite> harvest_includes(const std::vector<std::string>& raw) {
+  static const std::regex kInclude(
+      R"(^\s*#\s*include\s*(["<])([^">]+)[">])");
+  std::vector<IncludeSite> includes;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(raw[i], m, kInclude)) {
+      includes.push_back({m[2].str(), i + 1, m[1].str() == "<"});
+    }
+  }
+  return includes;
+}
+
+}  // namespace booterscope::lint::lex

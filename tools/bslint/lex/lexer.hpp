@@ -1,0 +1,62 @@
+// bslint front end: comment/string stripping and a preprocessor-lite
+// tokenizer.
+//
+// The rule engine never sees raw source. Stripping replaces comments,
+// string literals and char literals with spaces *column-preservingly*, so
+// line/column positions survive and prose can never trip a rule. The
+// tokenizer then walks the stripped lines and emits identifier/number/
+// punctuator tokens tagged with their 0-based line — enough structure for
+// the fact indexer (tools/bslint/index) to recognize function definitions,
+// call sites, lock acquisitions and discarded-call statements without a
+// real C++ parser. Preprocessor directives (and their backslash
+// continuations) are dropped from the token stream; #include targets are
+// harvested separately from the raw lines because the quoted form is
+// blanked by stripping.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace booterscope::lint::lex {
+
+/// Replaces comments, string literals and char literals with spaces while
+/// preserving line structure and column positions. Handles //, /* */,
+/// "...", '...' (with escapes) and R"delim(...)delim".
+[[nodiscard]] std::vector<std::string> strip_to_lines(std::string_view src);
+
+/// Splits source into raw lines (no transformation).
+[[nodiscard]] std::vector<std::string> raw_lines(std::string_view src);
+
+enum class TokKind : std::uint8_t { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 0-based
+};
+
+/// Tokenizes stripped lines. Preprocessor directive lines (leading '#',
+/// plus backslash-continuation lines) contribute no tokens. Multi-char
+/// punctuators ("::", "->", "<<", ...) come out as single tokens.
+[[nodiscard]] std::vector<Token> tokenize(
+    const std::vector<std::string>& stripped);
+
+/// C++ keywords and contextual keywords the indexer must not mistake for
+/// call targets or declaration names.
+[[nodiscard]] bool is_keyword(std::string_view word);
+
+/// One `#include` directive with its 1-based line.
+struct IncludeSite {
+  std::string target;  // as written between the quotes/brackets
+  std::size_t line = 0;
+  bool angled = false;
+};
+
+/// Harvests #include directives from *raw* lines (quoted targets are
+/// erased by stripping, so this must run pre-strip).
+[[nodiscard]] std::vector<IncludeSite> harvest_includes(
+    const std::vector<std::string>& raw);
+
+}  // namespace booterscope::lint::lex

@@ -1,13 +1,26 @@
+// Engine driver: the rule table, the per-file compatibility entry points,
+// the parallel tree walk with fact caching, and the report/SARIF renderers.
+// The determinism contract lives here: files are walked in sorted order,
+// facts land in slots addressed by that order regardless of which pool
+// worker produced them, the merge is sequential, and findings get a final
+// global sort — so the report is byte-identical at any --threads value and
+// across cold/warm cache runs.
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <regex>
-#include <set>
 #include <sstream>
+
+#include "exec/thread_pool.hpp"
+#include "obs/json.hpp"
+
+#include "index/cache.hpp"
+#include "index/facts.hpp"
+#include "lex/lexer.hpp"
+#include "rules/file_rules.hpp"
+#include "rules/project_rules.hpp"
 
 namespace booterscope::lint {
 
@@ -38,7 +51,7 @@ const std::vector<RuleInfo> kRules = {
      "iterate an ordered container, collect-and-sort before emitting, or "
      "justify order-independence with bslint:allow(BS004 ...)"},
     {"BS005", Severity::kError,
-     "naked std::thread outside util/thread_pool",
+     "naked std::thread outside exec/thread_pool",
      "submit work to exec::ThreadPool so tasks get metrics, stealing and "
      "deterministic merge slots"},
     {"BS006", Severity::kError,
@@ -53,520 +66,73 @@ const std::vector<RuleInfo> kRules = {
      "route UDP ingest through svc::UdpIngest/UdpSender and HTTP serving "
      "through obs::live::ScrapeServer; everything else stays socket-free so "
      "runs replay without a network"},
+    {"BS008", Severity::kError,
+     "layering violation in the include DAG: edges must point down the "
+     "stack util -> stats/obs -> flow/pcap/net/sim/exec -> core -> svc, and "
+     "include cycles are never legal",
+     "move the shared declaration down to the layer both sides may see, or "
+     "invert the dependency (callback/interface) so the edge points down"},
+    {"BS009", Severity::kError,
+     "`throw` transitively reachable from a Result-returning entry point in "
+     "src/flow or src/pcap — the interprocedural closure of BS003",
+     "make the helper return util::Result and propagate the error, or "
+     "quarantine the throw with bslint:allow(BS003 ...) at the throw site"},
+    {"BS010", Severity::kError,
+     "lock-order cycle in the util::Mutex acquisition graph — two code "
+     "paths take the same mutexes in opposite orders (potential deadlock)",
+     "pick one global acquisition order for the mutexes involved and "
+     "restructure the second path (or drop to a single lock) to follow it"},
+    {"BS011", Severity::kWarning,
+     "statement-expression call discards a Result<...> return value; the "
+     "error and its damage-ledger entry are silently lost",
+     "assign the Result and branch on it (or std::ignore = ... with a "
+     "bslint:allow(BS011 ...) justifying why the error cannot matter)"},
 };
 
 // ---------------------------------------------------------------------------
-// Path scoping
+// Tree walk + parallel indexing
 // ---------------------------------------------------------------------------
 
-[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
+[[nodiscard]] std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
-[[nodiscard]] bool bs001_exempt(std::string_view path) {
-  // util/time owns the wall-clock abstraction; obs/manifest stamps run
-  // metadata (git describe, wall time) that is *supposed* to differ per run.
-  return starts_with(path, "src/util/time") ||
-         starts_with(path, "src/obs/manifest");
-}
-
-[[nodiscard]] bool bs002_in_scope(std::string_view path) {
-  return starts_with(path, "src/flow/") || starts_with(path, "src/pcap/");
-}
-
-[[nodiscard]] bool bs003_in_scope(std::string_view path) {
-  return starts_with(path, "src/flow/") || starts_with(path, "src/pcap/") ||
-         starts_with(path, "src/exec/");
-}
-
-[[nodiscard]] bool bs004_in_scope(std::string_view path) {
-  return starts_with(path, "src/");
-}
-
-[[nodiscard]] bool bs005_exempt(std::string_view path) {
-  return starts_with(path, "src/util/thread_pool");
-}
-
-[[nodiscard]] bool bs006_in_scope(std::string_view path) {
-  return starts_with(path, "src/");
-}
-
-[[nodiscard]] bool bs007_exempt(std::string_view path) {
-  // The two sanctioned network layers: the ingest daemon's UDP plumbing
-  // and the live scrape endpoint. Everywhere else a socket would let the
-  // outside world feed a run, breaking replayability.
-  return starts_with(path, "src/svc/") || starts_with(path, "src/obs/live/");
-}
-
-// ---------------------------------------------------------------------------
-// Comment / string stripping
-// ---------------------------------------------------------------------------
-
-// Replaces comments, string literals and char literals with spaces while
-// preserving line structure, so rule regexes only ever see code. Handles
-// //, /* */, "...", '...' (with escapes) and R"delim(...)delim".
-[[nodiscard]] std::vector<std::string> strip_to_lines(std::string_view src) {
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  std::vector<std::string> lines;
-  std::string current;
-
-  const auto flush_line = [&] {
-    lines.push_back(current);
-    current.clear();
-  };
-
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLine) state = State::kCode;
-      flush_line();
+/// Expands `paths` to the sorted, unique list of source files. Returns an
+/// error string (for exit code 2) when an explicitly named path does not
+/// exist — a typo in a CI invocation must not silently lint nothing.
+[[nodiscard]] std::string collect_files(const std::filesystem::path& base,
+                                        const std::vector<std::string>& paths,
+                                        std::vector<std::filesystem::path>& out) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(base, ec)) {
+    return "root is not a directory: " + base.string();
+  }
+  for (const std::string& entry : paths) {
+    const fs::path full = base / entry;
+    if (fs::is_regular_file(full, ec)) {
+      out.push_back(full);
       continue;
     }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          current += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          current += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (std::isalnum(static_cast<unsigned char>(
-                                   src[i - 1])) == 0 &&
-                               src[i - 1] != '_'))) {
-          // Raw string: collect the delimiter up to '('.
-          raw_delim.clear();
-          std::size_t j = i + 2;
-          while (j < src.size() && src[j] != '(' && src[j] != '\n') {
-            raw_delim += src[j];
-            ++j;
-          }
-          state = State::kRaw;
-          current.append(j - i + 1, ' ');
-          i = j;  // at '(' (or newline, handled next iteration)
-        } else if (c == '"') {
-          state = State::kString;
-          current += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          current += ' ';
-        } else {
-          current += c;
-        }
-        break;
-      case State::kLine:
-        current += ' ';
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          current += "  ";
-          ++i;
-        } else {
-          current += ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        const char quote = state == State::kString ? '"' : '\'';
-        if (c == '\\') {
-          current += "  ";
-          ++i;
-        } else if (c == quote) {
-          state = State::kCode;
-          current += ' ';
-        } else {
-          current += ' ';
-        }
-        break;
-      }
-      case State::kRaw: {
-        const std::string closer = ")" + raw_delim + "\"";
-        if (c == ')' && src.substr(i, closer.size()) == closer) {
-          current.append(closer.size(), ' ');
-          i += closer.size() - 1;
-          state = State::kCode;
-        } else {
-          current += ' ';
-        }
-        break;
+    if (!fs::is_directory(full, ec)) {
+      return "no such file or directory: " + entry;
+    }
+    for (const auto& item : fs::recursive_directory_iterator(full)) {
+      if (!item.is_regular_file()) continue;
+      const std::string ext = item.path().extension().string();
+      if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc") {
+        out.push_back(item.path());
       }
     }
   }
-  flush_line();
-  return lines;
-}
-
-[[nodiscard]] std::vector<std::string> raw_lines(std::string_view src) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (const char c : src) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  lines.push_back(current);
-  return lines;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions
-// ---------------------------------------------------------------------------
-
-struct Suppressions {
-  std::map<std::size_t, std::set<std::string>> by_line;  // 0-based line
-  std::set<std::string> file_wide;
-
-  [[nodiscard]] bool allows(std::string_view rule, std::size_t line) const {
-    if (file_wide.count(std::string(rule)) != 0) return true;
-    const auto covers = [&](std::size_t l) {
-      const auto it = by_line.find(l);
-      return it != by_line.end() && it->second.count(std::string(rule)) != 0;
-    };
-    // An allow covers its own line and the line directly below it, so a
-    // comment-only line can annotate the statement it precedes.
-    return covers(line) || (line > 0 && covers(line - 1));
-  };
-};
-
-[[nodiscard]] Suppressions parse_suppressions(
-    const std::vector<std::string>& raw) {
-  static const std::regex kAllow(
-      R"(bslint:allow(-file)?\(\s*(BS\d{3})\b[^)]*\))");
-  Suppressions result;
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    auto begin = std::sregex_iterator(raw[i].begin(), raw[i].end(), kAllow);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      if ((*it)[1].matched) {
-        result.file_wide.insert((*it)[2].str());
-      } else {
-        result.by_line[i].insert((*it)[2].str());
-      }
-    }
-  }
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// BS004 helpers: unordered declarations and range-for targets
-// ---------------------------------------------------------------------------
-
-[[nodiscard]] std::string last_identifier(std::string_view text) {
-  std::size_t end = text.size();
-  while (end > 0 &&
-         (std::isspace(static_cast<unsigned char>(text[end - 1])) != 0)) {
-    --end;
-  }
-  std::size_t begin = end;
-  while (begin > 0) {
-    const char c = text[begin - 1];
-    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
-      --begin;
-    } else {
-      break;
-    }
-  }
-  if (begin == end) return {};
-  std::string id(text.substr(begin, end - begin));
-  if (std::isdigit(static_cast<unsigned char>(id[0])) != 0) return {};
-  return id;
-}
-
-// Names declared (variables, members, parameters, `using` aliases) with an
-// unordered container type on one stripped line.
-void collect_unordered_names(const std::vector<std::string>& stripped,
-                             std::set<std::string>& names) {
-  static const std::regex kUsing(R"(^\s*using\s+(\w+)\s*=)");
-  for (const std::string& line : stripped) {
-    if (line.find("unordered_map<") == std::string::npos &&
-        line.find("unordered_set<") == std::string::npos) {
-      continue;
-    }
-    std::smatch m;
-    if (std::regex_search(line, m, kUsing)) {
-      names.insert(m[1].str());
-      continue;
-    }
-    // Cut at the first assignment '=' (not ==, <=, >=, !=) so initializer
-    // expressions do not contribute the name; then take the last
-    // identifier before a terminator.
-    std::string_view view = line;
-    for (std::size_t i = 0; i + 1 < view.size(); ++i) {
-      if (view[i] != '=') continue;
-      const char prev = i > 0 ? view[i - 1] : '\0';
-      if (view[i + 1] == '=' || prev == '=' || prev == '<' || prev == '>' ||
-          prev == '!') {
-        continue;
-      }
-      view = view.substr(0, i);
-      break;
-    }
-    // Trim trailing terminators: `;`, `,`, `{`, `(` — a trailing `(` means
-    // a function returning the container; iterating its result is still
-    // unordered iteration, so keep the name.
-    std::size_t end = view.size();
-    while (end > 0) {
-      const char c = view[end - 1];
-      if (std::isspace(static_cast<unsigned char>(c)) != 0 || c == ';' ||
-          c == ',' || c == '{' || c == '(' || c == ')' || c == '&' ||
-          c == '*') {
-        --end;
-      } else {
-        break;
-      }
-    }
-    const std::string id = last_identifier(view.substr(0, end));
-    // A closing '>' right before the name means we grabbed a template arg;
-    // names must follow the full type. last_identifier already enforces
-    // identifier chars, so just reject empties and keywords.
-    if (!id.empty() && id != "const" && id != "override" && id != "noexcept") {
-      names.insert(id);
-    }
-  }
-}
-
-// If `line` holds a range-for, returns the iterated expression.
-[[nodiscard]] std::string range_for_expr(const std::string& line) {
-  const std::size_t pos = line.find("for");
-  if (pos == std::string::npos) return {};
-  // Require `for` as a whole word followed by '('.
-  if (pos > 0 && (std::isalnum(static_cast<unsigned char>(line[pos - 1])) !=
-                      0 ||
-                  line[pos - 1] == '_')) {
-    return {};
-  }
-  std::size_t open = line.find_first_not_of(' ', pos + 3);
-  if (open == std::string::npos || line[open] != '(') return {};
-  int depth = 0;
-  std::size_t close = std::string::npos;
-  for (std::size_t i = open; i < line.size(); ++i) {
-    if (line[i] == '(') ++depth;
-    if (line[i] == ')' && --depth == 0) {
-      close = i;
-      break;
-    }
-  }
-  // Unterminated on this line: treat the rest of the line as the chunk so
-  // single-line `for (x : container` splits still resolve.
-  const std::string chunk = close == std::string::npos
-                                ? line.substr(open + 1)
-                                : line.substr(open + 1, close - open - 1);
-  if (chunk.find(';') != std::string::npos) return {};  // classic for
-  // The separator is a ':' with no ':' neighbor (to skip `::`).
-  for (std::size_t i = 0; i < chunk.size(); ++i) {
-    if (chunk[i] != ':') continue;
-    const bool left = i > 0 && chunk[i - 1] == ':';
-    const bool right = i + 1 < chunk.size() && chunk[i + 1] == ':';
-    if (left || right) continue;
-    return chunk.substr(i + 1);
-  }
+  // Directory iteration order is unspecified; sort so reports (and the
+  // ctest gate's output) are byte-stable. bslint practices BS004.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return {};
-}
-
-// Resolves the final identifier of an iterated expression: strips one
-// trailing call/index group so `ids_[v]` and `f.observed()` resolve to
-// `ids_` / `observed`.
-[[nodiscard]] std::string iterated_name(std::string expr) {
-  while (!expr.empty() &&
-         (std::isspace(static_cast<unsigned char>(expr.back())) != 0)) {
-    expr.pop_back();
-  }
-  while (!expr.empty() && (expr.back() == ')' || expr.back() == ']')) {
-    const char closer = expr.back();
-    const char opener = closer == ')' ? '(' : '[';
-    int depth = 0;
-    std::size_t cut = std::string::npos;
-    for (std::size_t i = expr.size(); i-- > 0;) {
-      if (expr[i] == closer) ++depth;
-      if (expr[i] == opener && --depth == 0) {
-        cut = i;
-        break;
-      }
-    }
-    if (cut == std::string::npos) return {};
-    expr.resize(cut);
-  }
-  return last_identifier(expr);
-}
-
-// ---------------------------------------------------------------------------
-// Per-line matchers
-// ---------------------------------------------------------------------------
-
-struct Match {
-  std::string_view rule;
-  std::string message;
-};
-
-void match_line(std::string_view path, const std::string& line,
-                const std::set<std::string>& unordered_names,
-                std::vector<Match>& out) {
-  static const std::regex kRandomDevice(R"(std\s*::\s*random_device)");
-  static const std::regex kRand(R"(\b(srand|rand)\s*\()");
-  static const std::regex kSystemClock(
-      R"(std\s*::\s*chrono\s*::\s*system_clock)");
-  // Bare or qualified C time(): the preceding character must not be part of
-  // an identifier (`wall_time(`), a member access (`.time(`, `->time(`).
-  // `std::time(` and `::time(` still match because ':' is allowed.
-  static const std::regex kCTime(R"((^|[^\w.>])time\s*\()");
-  static const std::regex kMemcpy(R"(\b(std\s*::\s*)?memcpy\s*\()");
-  static const std::regex kReinterpret(R"(\breinterpret_cast\b)");
-  static const std::regex kThrow(R"(\bthrow\b)");
-  static const std::regex kThread(R"(std\s*::\s*j?thread\b)");
-  // Global-namespace-qualified POSIX calls, the form this tree uses for
-  // system sockets. The leading `::` must not itself be qualified
-  // (`net::bind`, `std::bind` stay legal).
-  static const std::regex kRawSocket(R"((^|[^\w:])::\s*(socket|bind)\s*\()");
-
-  if (!bs001_exempt(path)) {
-    if (std::regex_search(line, kRandomDevice)) {
-      out.push_back({"BS001", "std::random_device is nondeterministic; all "
-                              "randomness must flow through util::Rng::split"});
-    }
-    if (std::regex_search(line, kRand)) {
-      out.push_back({"BS001", "rand()/srand() is nondeterministic global "
-                              "state; use util::Rng::split streams"});
-    }
-    if (std::regex_search(line, kSystemClock)) {
-      out.push_back({"BS001", "std::chrono::system_clock reads wall time; "
-                              "only util/time and obs/manifest may"});
-    }
-    if (std::regex_search(line, kCTime)) {
-      out.push_back({"BS001", "C time() reads wall time; only util/time and "
-                              "obs/manifest may"});
-    }
-  }
-  if (bs002_in_scope(path)) {
-    if (std::regex_search(line, kMemcpy)) {
-      out.push_back({"BS002", "memcpy in decoder code bypasses the "
-                              "bounds-checked util::ByteReader"});
-    }
-    if (std::regex_search(line, kReinterpret)) {
-      out.push_back({"BS002", "reinterpret_cast in decoder code bypasses the "
-                              "bounds-checked util::ByteReader"});
-    }
-  }
-  if (bs003_in_scope(path) && std::regex_search(line, kThrow)) {
-    out.push_back({"BS003", "decoder/chain code is contracted to return "
-                            "Result<T, DecodeError>, never to throw"});
-  }
-  if (bs004_in_scope(path)) {
-    const std::string expr = range_for_expr(line);
-    if (!expr.empty()) {
-      const std::string name = iterated_name(expr);
-      if (!name.empty() && unordered_names.count(name) != 0) {
-        out.push_back(
-            {"BS004", "range-for over unordered container '" + name +
-                          "'; iteration order must never reach serialized or "
-                          "merged output"});
-      }
-    }
-  }
-  if (!bs007_exempt(path)) {
-    std::smatch socket_match;
-    if (std::regex_search(line, socket_match, kRawSocket)) {
-      out.push_back({"BS007", "raw ::" + socket_match[2].str() +
-                                  "(2) call; sockets live only in src/svc "
-                                  "and src/obs/live"});
-    }
-  }
-  if (!bs005_exempt(path)) {
-    std::smatch m;
-    std::string::const_iterator searched = line.begin();
-    while (std::regex_search(searched, line.cend(), m, kThread)) {
-      const auto after = m[0].second;
-      // `std::thread::id` / `std::thread::hardware_concurrency()` are
-      // attribution helpers, not thread construction.
-      const bool qualifier =
-          std::distance(after, line.cend()) >= 2 && *after == ':' &&
-          *(after + 1) == ':';
-      if (!qualifier) {
-        out.push_back({"BS005", "naked std::thread; workers belong to "
-                                "exec::ThreadPool (util/thread_pool)"});
-        break;
-      }
-      searched = after;
-    }
-  }
-}
-
-// BS006: Prometheus metric-name conformance at registration sites.
-// Stripping is column-preserving (chars become spaces 1:1), so the call
-// shape `counter(` / `gauge(` / `histogram(` is located on the *stripped*
-// line — where string and comment contents can't fake a call — and the
-// name literal is read from the *raw* line at the same columns. Calls whose
-// first argument is not a string literal on the same line (declarations,
-// variables, wrapped lines) are out of reach by design; registration sites
-// in this tree pass the name inline.
-void match_metric_names(std::string_view path, const std::string& stripped,
-                        const std::string& raw, std::vector<Match>& out) {
-  if (!bs006_in_scope(path)) return;
-  static const std::regex kRegisterCall(R"(\b(counter|gauge|histogram)\s*\()");
-  static const std::regex kValidName(R"(^[a-z_:][a-z0-9_:]*$)");
-  const auto begin =
-      std::sregex_iterator(stripped.begin(), stripped.end(), kRegisterCall);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::string kind = (*it)[1].str();
-    // Whitespace after '(' must be skipped on the RAW line: on the stripped
-    // line the literal itself is spaces, so a greedy skip there would run
-    // straight over the name.
-    std::size_t after = static_cast<std::size_t>(it->position(0)) +
-                        static_cast<std::size_t>(it->length(0));
-    while (after < raw.size() && (raw[after] == ' ' || raw[after] == '\t')) {
-      ++after;
-    }
-    if (after >= raw.size() || raw[after] != '"') continue;
-    const std::size_t name_begin = after + 1;
-    const std::size_t name_end = raw.find('"', name_begin);
-    if (name_end == std::string::npos) continue;
-    const std::string name = raw.substr(name_begin, name_end - name_begin);
-    if (!std::regex_match(name, kValidName)) {
-      out.push_back({"BS006", "metric name '" + name +
-                                  "' violates [a-z_:][a-z0-9_:]*; the "
-                                  "exposition serves names verbatim"});
-      continue;
-    }
-    const auto ends_with = [&](std::string_view suffix) {
-      return name.size() >= suffix.size() &&
-             name.compare(name.size() - suffix.size(), suffix.size(),
-                          suffix) == 0;
-    };
-    if (kind == "counter" && !ends_with("_total") && !ends_with("_seconds") &&
-        !ends_with("_bytes")) {
-      out.push_back({"BS006", "counter '" + name +
-                                  "' lacks a unit suffix; counters end in "
-                                  "_total, _seconds or _bytes"});
-    }
-  }
-}
-
-[[nodiscard]] const RuleInfo& rule_info(std::string_view id) {
-  for (const RuleInfo& rule : kRules) {
-    if (rule.id == id) return rule;
-  }
-  return kRules.front();
-}
-
-[[nodiscard]] std::string trim(const std::string& s) {
-  std::size_t begin = 0;
-  std::size_t end = s.size();
-  while (begin < end &&
-         std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
-    ++begin;
-  }
-  while (end > begin &&
-         std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
-    --end;
-  }
-  return s.substr(begin, end - begin);
 }
 
 }  // namespace
@@ -578,84 +144,131 @@ std::string_view to_string(Severity severity) noexcept {
 const std::vector<RuleInfo>& rules() { return kRules; }
 
 std::vector<Finding> lint_file(const FileInput& input) {
-  const std::vector<std::string> raw = raw_lines(input.content);
-  const std::vector<std::string> stripped = strip_to_lines(input.content);
-  const Suppressions allowed = parse_suppressions(raw);
+  const std::vector<std::string> raw = lex::raw_lines(input.content);
+  const std::vector<std::string> stripped = lex::strip_to_lines(input.content);
+  const std::vector<std::string> companion_stripped =
+      input.companion_header.empty()
+          ? std::vector<std::string>{}
+          : lex::strip_to_lines(input.companion_header);
+  return checks::local_findings(input.path, raw, stripped, companion_stripped,
+                               checks::parse_suppressions(raw));
+}
 
-  std::set<std::string> unordered_names;
-  collect_unordered_names(stripped, unordered_names);
-  if (!input.companion_header.empty()) {
-    const std::vector<std::string> header_stripped =
-        strip_to_lines(input.companion_header);
-    collect_unordered_names(header_stripped, unordered_names);
+TreeRun lint_tree_full(const std::string& root,
+                       const std::vector<std::string>& paths,
+                       const TreeOptions& options) {
+  namespace fs = std::filesystem;
+  TreeRun run;
+  const fs::path base(root);
+
+  std::vector<fs::path> files;
+  run.error = collect_files(base, paths, files);
+  if (!run.error.empty()) return run;
+
+  // Root-relative forward-slash paths, computed up front so the parallel
+  // phase touches the filesystem only to read file contents.
+  std::vector<std::string> rel;
+  rel.reserve(files.size());
+  for (const fs::path& file : files) {
+    rel.push_back(fs::relative(file, base).generic_string());
   }
 
-  std::vector<Finding> findings;
-  for (std::size_t i = 0; i < stripped.size(); ++i) {
-    std::vector<Match> matches;
-    match_line(input.path, stripped[i], unordered_names, matches);
-    match_metric_names(input.path, stripped[i],
-                       i < raw.size() ? raw[i] : std::string(), matches);
-    for (const Match& match : matches) {
-      if (allowed.allows(match.rule, i)) continue;
-      const RuleInfo& info = rule_info(match.rule);
-      findings.push_back({std::string(match.rule), info.severity, input.path,
-                          i + 1, match.message,
-                          i < raw.size() ? trim(raw[i]) : "",
-                          std::string(info.suggestion)});
+  const index::Cache cache = options.cache_path.empty()
+                                 ? index::Cache{}
+                                 : index::load_cache(options.cache_path);
+
+  struct Slot {
+    index::FileFacts facts;
+    std::string payload;  // serialized facts (reused for the cache write)
+    std::string content_hash;
+    std::string companion_hash;
+    bool hit = false;
+  };
+  std::vector<Slot> slots(files.size());
+
+  // Indexing is embarrassingly parallel; results land in slots addressed
+  // by the sorted file order, so worker scheduling cannot reorder them.
+  exec::ThreadPool pool(options.threads);
+  pool.parallel_for(files.size(), [&](std::size_t i) {
+    Slot& slot = slots[i];
+    FileInput input;
+    input.path = rel[i];
+    input.content = slurp(files[i]);
+    if (files[i].extension() == ".cpp" || files[i].extension() == ".cc") {
+      fs::path header = files[i];
+      header.replace_extension(".hpp");
+      std::error_code ec;
+      if (fs::is_regular_file(header, ec)) {
+        input.companion_header = slurp(header);
+      }
     }
+    slot.content_hash = index::content_hash(input.content);
+    slot.companion_hash = index::content_hash(input.companion_header);
+
+    const auto cached = cache.entries.find(input.path);
+    if (cached != cache.entries.end() &&
+        cached->second.content_hash == slot.content_hash &&
+        cached->second.companion_hash == slot.companion_hash &&
+        index::deserialize(cached->second.payload, slot.facts) &&
+        slot.facts.path == input.path) {
+      slot.payload = cached->second.payload;
+      slot.hit = true;
+      return;
+    }
+    slot.facts = index::index_file(input);
+    slot.payload = index::serialize(slot.facts);
+    slot.hit = false;
+  });
+
+  // Sequential merge in slot order: stats, local findings, the fact list
+  // the project rules see, and the refreshed cache.
+  run.stats.files = files.size();
+  std::vector<index::FileFacts> all;
+  all.reserve(slots.size());
+  index::Cache refreshed;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& slot = slots[i];
+    if (slot.hit) {
+      ++run.stats.cache_hits;
+    } else {
+      ++run.stats.lexed;
+    }
+    if (!options.cache_path.empty()) {
+      refreshed.entries.emplace(
+          rel[i], index::CacheEntry{slot.content_hash, slot.companion_hash,
+                                    slot.payload});
+    }
+    run.findings.insert(run.findings.end(), slot.facts.local_findings.begin(),
+                        slot.facts.local_findings.end());
+    all.push_back(std::move(slot.facts));
   }
-  return findings;
+  std::sort(all.begin(), all.end(),
+            [](const index::FileFacts& a, const index::FileFacts& b) {
+              return a.path < b.path;
+            });
+
+  std::vector<Finding> project = checks::project_findings(all);
+  run.findings.insert(run.findings.end(),
+                      std::make_move_iterator(project.begin()),
+                      std::make_move_iterator(project.end()));
+  std::sort(run.findings.begin(), run.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+
+  if (!options.cache_path.empty()) {
+    // Advisory: a read-only checkout still lints, it just never warms up.
+    (void)index::save_cache(options.cache_path, refreshed);
+  }
+  return run;
 }
 
 std::vector<Finding> lint_tree(const std::string& root,
                                const std::vector<std::string>& paths) {
-  namespace fs = std::filesystem;
-  const fs::path base(root);
-
-  std::vector<fs::path> files;
-  for (const std::string& entry : paths) {
-    const fs::path full = base / entry;
-    if (fs::is_regular_file(full)) {
-      files.push_back(full);
-      continue;
-    }
-    if (!fs::is_directory(full)) continue;
-    for (const auto& item : fs::recursive_directory_iterator(full)) {
-      if (!item.is_regular_file()) continue;
-      const std::string ext = item.path().extension().string();
-      if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc") {
-        files.push_back(item.path());
-      }
-    }
-  }
-  // Directory iteration order is unspecified; sort so reports (and the
-  // ctest gate's output) are byte-stable. bslint practices BS004.
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-
-  const auto slurp = [](const fs::path& p) -> std::string {
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-  };
-
-  std::vector<Finding> findings;
-  for (const fs::path& file : files) {
-    FileInput input;
-    input.path = fs::relative(file, base).generic_string();
-    input.content = slurp(file);
-    if (file.extension() == ".cpp" || file.extension() == ".cc") {
-      fs::path header = file;
-      header.replace_extension(".hpp");
-      if (fs::is_regular_file(header)) input.companion_header = slurp(header);
-    }
-    std::vector<Finding> file_findings = lint_file(input);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
-  }
-  return findings;
+  TreeOptions options;
+  options.threads = 1;
+  return lint_tree_full(root, paths, options).findings;
 }
 
 std::string render_report(const std::vector<Finding>& findings,
@@ -683,6 +296,72 @@ std::string render_report(const std::vector<Finding>& findings,
     }
     out << ")\n";
   }
+  return out.str();
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  // SARIF 2.1.0, one run, the full rule table under tool.driver.rules so
+  // code-scanning UIs can show summaries and remediations for every rule,
+  // fired or not. obs::json_string handles escaping.
+  using obs::json_string;
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"bslint\",\n"
+      << "          \"version\": " << json_string(kRuleSetVersion) << ",\n"
+      << "          \"rules\": [\n";
+  std::map<std::string_view, std::size_t> rule_index;
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    const RuleInfo& rule = kRules[i];
+    rule_index.emplace(rule.id, i);
+    out << "            {\n"
+        << "              \"id\": " << json_string(rule.id) << ",\n"
+        << "              \"shortDescription\": { \"text\": "
+        << json_string(rule.summary) << " },\n"
+        << "              \"help\": { \"text\": "
+        << json_string(rule.suggestion) << " },\n"
+        << "              \"defaultConfiguration\": { \"level\": "
+        << json_string(to_string(rule.severity)) << " }\n"
+        << "            }" << (i + 1 < kRules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const auto idx = rule_index.find(f.rule);
+    out << "        {\n"
+        << "          \"ruleId\": " << json_string(f.rule) << ",\n";
+    if (idx != rule_index.end()) {
+      out << "          \"ruleIndex\": " << idx->second << ",\n";
+    }
+    out << "          \"level\": " << json_string(to_string(f.severity))
+        << ",\n"
+        << "          \"message\": { \"text\": " << json_string(f.message)
+        << " },\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": { \"uri\": "
+        << json_string(f.path) << " },\n"
+        << "                \"region\": { \"startLine\": " << f.line
+        << " }\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
   return out.str();
 }
 

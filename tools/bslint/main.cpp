@@ -1,76 +1,14 @@
-// bslint driver. Usage:
-//
-//   bslint [--root DIR] [PATH...] [--report FILE] [--fix-dry-run]
-//          [--quiet] [--list-rules]
-//
-// PATHs (default: src) are files or directories relative to --root
-// (default: current directory). Exit status is 1 when findings exist,
-// except under --fix-dry-run, which is a report mode: it prints each
-// finding with its suggested remediation and always exits 0.
-//
-// Registered as a ctest entry (`bslint_tree`), so a rule violation anywhere
-// in src/, bench/ or examples/ fails tier-1.
-#include <cstdio>
-#include <fstream>
+// bslint driver: a thin shell over run_cli (tools/bslint/cli.hpp), which
+// owns flag parsing, exit codes and rendering. Registered as the ctest
+// entry `bslint_tree`, so a rule violation anywhere in src/, bench/ or
+// examples/ fails tier-1.
+#include <iostream>
 #include <string>
 #include <vector>
 
-#include "util/cli.hpp"
-
-#include "lint.hpp"
-
-namespace {
-
-void print_rules() {
-  for (const booterscope::lint::RuleInfo& rule : booterscope::lint::rules()) {
-    std::printf("%s [%s]\n  %s\n  fix: %s\n", std::string(rule.id).c_str(),
-                std::string(to_string(rule.severity)).c_str(),
-                std::string(rule.summary).c_str(),
-                std::string(rule.suggestion).c_str());
-  }
-}
-
-}  // namespace
+#include "cli.hpp"
 
 int main(int argc, char** argv) {
-  const booterscope::util::CliArgs args(argc, argv);
-
-  if (args.has_flag("help")) {
-    std::printf(
-        "usage: %s [--root DIR] [PATH...] [--report FILE] [--fix-dry-run] "
-        "[--quiet] [--list-rules]\n",
-        args.program().c_str());
-    return 0;
-  }
-  if (args.has_flag("list-rules")) {
-    print_rules();
-    return 0;
-  }
-
-  const std::string root = args.value_or("root", ".");
-  const bool fix_dry_run = args.has_flag("fix-dry-run");
-  const bool quiet = args.has_flag("quiet");
-  const std::string report_path = args.value_or("report", "");
-
-  std::vector<std::string> paths = args.positional();
-  if (paths.empty()) paths.push_back("src");
-
-  const std::vector<booterscope::lint::Finding> findings =
-      booterscope::lint::lint_tree(root, paths);
-  const std::string report =
-      booterscope::lint::render_report(findings, fix_dry_run);
-
-  if (!quiet) std::fputs(report.c_str(), stdout);
-  if (!report_path.empty()) {
-    std::ofstream out(report_path, std::ios::binary);
-    out << report;
-    if (!out) {
-      std::fprintf(stderr, "bslint: cannot write report to %s\n",
-                   report_path.c_str());
-      return 2;
-    }
-  }
-
-  if (fix_dry_run) return 0;
-  return findings.empty() ? 0 : 1;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return booterscope::lint::run_cli(args, std::cout, std::cerr);
 }

@@ -1,0 +1,49 @@
+// Per-file rules (BS001–BS007) and the shared suppression machinery.
+//
+// These are the v1 line-local matchers: each works on one stripped line
+// (plus, for BS004, the set of unordered-container names declared in the
+// file and its companion header). The indexer runs them while it has the
+// stripped lines in hand and stores the resulting findings in the file's
+// fact entry, so a cache hit replays them without re-matching.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace booterscope::lint::checks {
+
+/// Parsed `bslint:allow` / `bslint:allow-file` annotations of one file.
+/// Lines are 0-based. An allow covers its own line and the line directly
+/// below it, so a comment-only line can annotate the statement it
+/// precedes.
+struct Suppressions {
+  std::map<std::size_t, std::set<std::string>> by_line;
+  std::set<std::string> file_wide;
+
+  [[nodiscard]] bool allows(std::string_view rule, std::size_t line) const;
+};
+
+[[nodiscard]] Suppressions parse_suppressions(
+    const std::vector<std::string>& raw);
+
+/// Runs BS001–BS007 over the stripped/raw line pairs of one file and
+/// returns findings with `suppressions` already applied, ordered by line.
+[[nodiscard]] std::vector<Finding> local_findings(
+    std::string_view path, const std::vector<std::string>& raw,
+    const std::vector<std::string>& stripped,
+    const std::vector<std::string>& companion_stripped,
+    const Suppressions& suppressions);
+
+/// Looks up a rule's table entry by id (defaults to the first entry).
+[[nodiscard]] const RuleInfo& rule_info(std::string_view id);
+
+/// Trims leading/trailing whitespace (finding excerpts).
+[[nodiscard]] std::string trim(const std::string& s);
+
+}  // namespace booterscope::lint::checks
