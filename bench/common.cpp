@@ -21,7 +21,7 @@ RunOptions parse_run_options(int argc, char** argv) {
     std::cerr << argv[0] << ": " << why << "\nusage: " << argv[0]
               << " [--threads N] [--days N] [--attacks-per-day X]"
                  " [--seed N] [--fault-profile none|light|heavy]"
-                 " [--fault-seed N] [--timeline]"
+                 " [--fault-seed N] [--timeline] [--prof]"
                  " [--sample-interval-ms N] [--serve PORT]"
                  " [--serve-hold-ms N] [--stream] [--stream-batch N]\n";
     std::exit(2);
@@ -30,6 +30,10 @@ RunOptions parse_run_options(int argc, char** argv) {
     const std::string flag = argv[i];
     if (flag == "--timeline") {  // boolean flag, no value
       options.timeline = true;
+      continue;
+    }
+    if (flag == "--prof") {  // boolean flag, no value
+      options.prof = true;
       continue;
     }
     if (flag == "--stream") {  // boolean flag, no value
@@ -132,6 +136,30 @@ void engage_live_plane(World& world, const RunOptions& options) {
     world.pool.attach_timeline(world.timeline.get());
   }
 
+  if (options.prof) {
+    obs::prof::Profiler::Options prof_options;
+    prof_options.lanes = world.pool.size() + 1;
+    if (const char* force = std::getenv("BOOTERSCOPE_PROF_FORCE")) {
+      prof_options.force = force;
+    }
+    world.profiler =
+        std::make_unique<obs::prof::Profiler>(std::move(prof_options));
+    // Stderr only: stdout is the figure reproduction CI diffs byte-for-
+    // byte, and --prof must not change a single byte of it.
+    if (world.profiler->available()) {
+      std::cerr << "prof: counting on the "
+                << obs::prof::tier_name(world.profiler->tier())
+                << " tier across " << world.pool.size() + 1 << " lane(s)\n";
+    } else {
+      std::cerr << "prof: counters unavailable ("
+                << world.profiler->unavailable_reason()
+                << "); ledger records prof_unavailable, folded stacks fall "
+                   "back to wall clock\n";
+    }
+    world.tracer.set_profiler(world.profiler.get());
+    world.pool.attach_profiler(world.profiler.get());
+  }
+
   world.serve_hold_ms = options.serve_hold_ms;
   const bool live = options.sample_interval_ms > 0 || options.serve_port >= 0;
   if (live) {
@@ -193,6 +221,13 @@ void finish_live_plane(World& world) {
   }
   if (world.sampler) world.sampler->sample_now();
   if (world.watchdog) world.watchdog->disarm();
+  if (world.profiler) {
+    // The run has quiesced: detach the hot-path feeds so the profiler's
+    // sequential read surface (stages/folded, consumed by the ledger and
+    // /profilez) cannot race a stray late section.
+    world.pool.attach_profiler(nullptr);
+    world.tracer.set_profiler(nullptr);
+  }
   if (world.server) {
     world.server->publish_stages(obs::stages_json(world.tracer));
   }
@@ -284,9 +319,11 @@ void StreamWorld::write_observability(const std::string& experiment_id,
                              &integrity, fault_profile_name, fault_seed);
   bench::write_perf_ledger(experiment_id, config, &tracer, &pool,
                            run_wall_nanos, items, fault_profile_name,
-                           fault_seed, sampler.get(),
+                           fault_seed, sampler.get(), profiler.get(),
                            {{"stream", "true"},
                             {"stream_batch", std::to_string(stream_batch)}});
+  bench::write_folded_profile(experiment_id, profiler.get(), &tracer,
+                              server.get());
   // Fold the live series into the trace as counter tracks before it is
   // written (sequential surface; the run has quiesced).
   if (timeline && sampler) sampler->export_to_timeline(*timeline);
@@ -424,6 +461,7 @@ void write_perf_ledger(
     std::uint64_t run_wall_nanos, std::uint64_t items,
     const std::string& fault_profile, std::uint64_t fault_seed,
     const obs::live::ResourceSampler* sampler,
+    const obs::prof::Profiler* profiler,
     const std::vector<std::pair<std::string, std::string>>& extra_config) {
 #ifndef BOOTERSCOPE_NO_METRICS
   obs::PerfLedger ledger("bench");
@@ -475,6 +513,69 @@ void write_perf_ledger(
         obs::live::ResourceSampler::fit_rss_slope(samples).bytes_per_second;
     ledger.set_resource_series(std::move(series));
   }
+  if (profiler != nullptr) {
+    obs::PerfLedger::HwCounters hw;
+    if (!profiler->available()) {
+      hw.unavailable_reason = profiler->unavailable_reason();
+    } else {
+      hw.source = std::string(obs::prof::tier_name(profiler->tier()));
+      const auto to_values = [](const obs::prof::CounterSample& sample) {
+        obs::PerfLedger::HwValues v;
+        v.cycles = sample.cycles;
+        v.instructions = sample.instructions;
+        v.cache_references = sample.cache_references;
+        v.cache_misses = sample.cache_misses;
+        v.branches = sample.branches;
+        v.branch_misses = sample.branch_misses;
+        v.task_clock_nanos = sample.task_clock_nanos;
+        v.page_faults = sample.page_faults;
+        v.context_switches = sample.context_switches;
+        return v;
+      };
+      for (const obs::prof::Profiler::StageCounters& stage :
+           profiler->stages()) {
+        obs::PerfLedger::HwCounters::Stage out;
+        out.path = stage.path;
+        out.lane = stage.lane;
+        out.sections = stage.sections;
+        out.v = to_values(stage.self);
+        hw.stages.push_back(std::move(out));
+      }
+      hw.total = to_values(profiler->total());
+      hw.lanes_failed = profiler->lanes_failed();
+      hw.dropped_events = profiler->dropped();
+    }
+    ledger.set_hw_counters(std::move(hw));
+  }
+  {
+    // FlowCollector hot-path micro-metrics, harvested from the registry
+    // (the collectors themselves died with the run). Independent of --prof
+    // by design: the before-picture for the five-tuple table rewrite must
+    // exist even where perf_event_open does not. A bench that never ran a
+    // collector (bucket gauge and drain counter both zero) omits the
+    // block — absence of flows is not a measurement of them.
+    obs::MetricsRegistry& registry = obs::metrics();
+    obs::PerfLedger::FlowMicro micro;
+    micro.map_load_factor =
+        registry.gauge("booterscope_flow_map_load_factor").value();
+    micro.map_bucket_count = static_cast<std::uint64_t>(
+        registry.gauge("booterscope_flow_map_bucket_count").value());
+    micro.map_occupied_buckets = static_cast<std::uint64_t>(
+        registry.gauge("booterscope_flow_map_occupied_buckets").value());
+    micro.map_max_bucket_entries = static_cast<std::uint64_t>(
+        registry.gauge("booterscope_flow_map_max_bucket_entries").value());
+    micro.map_rehashes =
+        registry.counter_total("booterscope_flow_map_rehashes_total");
+    micro.drain_batches =
+        registry.counter_total("booterscope_flow_drain_batches_total");
+    micro.drain_rows =
+        registry.counter_total("booterscope_flow_drain_rows_total");
+    micro.drain_capacity_rows =
+        registry.counter_total("booterscope_flow_drain_capacity_rows_total");
+    if (micro.map_bucket_count > 0 || micro.drain_rows > 0) {
+      ledger.set_flow_micro(micro);
+    }
+  }
   ledger.capture_peak_rss();
   const std::string path = "BENCH_" + experiment_id + ".json";
   if (!ledger.write(path)) {
@@ -490,7 +591,43 @@ void write_perf_ledger(
   (void)fault_profile;
   (void)fault_seed;
   (void)sampler;
+  (void)profiler;
   (void)extra_config;
+#endif
+}
+
+void write_folded_profile(const std::string& experiment_id,
+                          const obs::prof::Profiler* profiler,
+                          const obs::StageTracer* tracer,
+                          obs::live::ScrapeServer* server) {
+#ifndef BOOTERSCOPE_NO_METRICS
+  if (profiler == nullptr) return;  // --prof off: no artifact at all
+  std::string folded;
+  if (profiler->available()) {
+    folded = profiler->folded(experiment_id);
+  } else if (tracer != nullptr) {
+    // Counters unavailable: fall back to the tracer's measured wall nanos
+    // (real numbers, differently weighted) rather than emitting nothing —
+    // the ledger's prof_unavailable reason already says why.
+    folded = obs::prof::folded_from_tracer(experiment_id, *tracer);
+  }
+  const std::string path = "OBS_" + experiment_id + ".folded.txt";
+  if (std::FILE* file = std::fopen(path.c_str(), "wb")) {
+    std::fwrite(folded.data(), 1, folded.size(), file);
+    std::fclose(file);
+    std::cerr << "prof: wrote " << path
+              << " (flamegraph.pl input, see README)\n";
+  } else {
+    std::cerr << "warning: could not write " << path << "\n";
+  }
+  if (server != nullptr && !folded.empty()) {
+    server->publish_profile(std::move(folded));
+  }
+#else
+  (void)experiment_id;
+  (void)profiler;
+  (void)tracer;
+  (void)server;
 #endif
 }
 

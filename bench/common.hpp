@@ -22,6 +22,7 @@
 #include "obs/live/watchdog.hpp"
 #include "obs/manifest.hpp"
 #include "obs/perf_ledger.hpp"
+#include "obs/prof/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/booter.hpp"
@@ -48,6 +49,15 @@ void print_header(const std::string& experiment_id, const std::string& title);
 ///   --timeline           record a begin/end execution timeline and write it
 ///                        as OBS_<id>.trace.json (Chrome trace-event format,
 ///                        open in Perfetto) next to the bench output
+///   --prof               profile the run with hardware counters
+///                        (obs::prof): per-stage cycles/instructions/cache/
+///                        branch counters in the perf ledger's hw_counters
+///                        block and folded stacks in OBS_<id>.folded.txt
+///                        (flamegraph.pl input). Degrades tier by tier when
+///                        the PMU or perf_event_paranoid says no, bottoming
+///                        out at an explicit prof_unavailable reason —
+///                        never fake zeros. BOOTERSCOPE_PROF_FORCE pins or
+///                        fails the ladder for tests/CI.
 ///   --sample-interval-ms N  resource sampling cadence for the live plane
 ///                        (default 25; 0 disables sampling entirely)
 ///   --serve PORT         serve /metrics, /healthz and /stages on
@@ -64,11 +74,11 @@ void print_header(const std::string& experiment_id, const std::string& title);
 /// Defaults reproduce the paper figures; any --threads value produces the
 /// same bytes (DESIGN.md §9), so the flags only trade wall-clock and scale.
 /// Faulted runs are equally deterministic: the fault schedule is a pure
-/// function of --fault-seed, never of thread timing. --timeline changes
-/// what is *recorded*, never what is computed, and the live plane
+/// function of --fault-seed, never of thread timing. --timeline and --prof
+/// change what is *recorded*, never what is computed, and the live plane
 /// (sampler, watchdog, scrape server) is an observer with the same
-/// guarantee: simulation output is byte-identical with it on or off
-/// (DESIGN.md §13, pinned by tests/obs/live_determinism_test.cpp).
+/// guarantee: simulation output is byte-identical with any of them on or
+/// off (DESIGN.md §13, pinned by tests/obs/live_determinism_test.cpp).
 struct RunOptions {
   std::size_t threads = 1;
   int days = 0;                  // 0 = paper window (122 days)
@@ -77,6 +87,7 @@ struct RunOptions {
   std::string fault_profile = "none";
   std::uint64_t fault_seed = 1;
   bool timeline = false;
+  bool prof = false;  // hardware-counter profiling (obs::prof)
   int sample_interval_ms = 25;   // 0 = sampler off
   int serve_port = -1;           // -1 = no scrape endpoint, 0 = ephemeral
   int serve_hold_ms = 0;         // post-run scrape window
@@ -155,14 +166,33 @@ void write_observability(const std::string& experiment_id,
 /// `extra_config` appends additional identity pairs after the standard
 /// ones (the streaming harness records {"stream","true"} and its batch
 /// size; benchdiff excludes both from identity since they do not change
-/// the output bytes).
+/// the output bytes). A non-null `profiler` fills the schema-/3
+/// hw_counters block (per-stage counters, or the explicit prof_unavailable
+/// reason when the degradation ladder bottomed out); --prof itself is NOT
+/// recorded as a config key — like --threads, it changes what is measured,
+/// not what is computed, so profiled candidates stay comparable to
+/// unprofiled baselines. The flow_micro block is harvested from the
+/// booterscope_flow_* registry series whenever a collector ran,
+/// independent of profiling.
 void write_perf_ledger(
     const std::string& experiment_id, const sim::LandscapeConfig& config,
     const obs::StageTracer* tracer, const exec::ThreadPool* pool,
     std::uint64_t run_wall_nanos, std::uint64_t items,
     const std::string& fault_profile = "none", std::uint64_t fault_seed = 0,
     const obs::live::ResourceSampler* sampler = nullptr,
+    const obs::prof::Profiler* profiler = nullptr,
     const std::vector<std::pair<std::string, std::string>>& extra_config = {});
+
+/// Writes OBS_<id>.folded.txt — flamegraph.pl-compatible folded stacks —
+/// and publishes the same text at the scrape server's /profilez route when
+/// one is serving. Counter-weighted (cycles, or task-clock nanos on the
+/// software tier) when the profiler measured; honest wall-clock fallback
+/// rendered from the quiesced tracer when it could not. No-op without
+/// --prof (null profiler) or under BOOTERSCOPE_NO_METRICS.
+void write_folded_profile(const std::string& experiment_id,
+                          const obs::prof::Profiler* profiler,
+                          const obs::StageTracer* tracer,
+                          obs::live::ScrapeServer* server);
 
 /// Writes OBS_<id>.trace.json (Chrome trace-event JSON; open in Perfetto
 /// or chrome://tracing). No-op for a null recorder or under
@@ -179,6 +209,10 @@ struct LandscapeWorld {
   /// feed. Declared before pool/result so the run (which assigns it) never
   /// races a later default initializer.
   std::unique_ptr<obs::TimelineRecorder> timeline;
+  /// Engaged by --prof: per-lane hardware counter groups the tracer and
+  /// pool feed. Declared before pool for the same outliving reason as the
+  /// timeline (workers read it until they detach).
+  std::unique_ptr<obs::prof::Profiler> profiler;
   /// Wall nanos of the landscape run alone (not process lifetime) — the
   /// headline number of the perf ledger.
   std::uint64_t run_wall_nanos = 0;
@@ -243,7 +277,10 @@ struct LandscapeWorld {
                                fault_seed);
     bench::write_perf_ledger(experiment_id, result.config, &tracer, &pool,
                              run_wall_nanos, result_items(),
-                             fault_profile_name, fault_seed, sampler.get());
+                             fault_profile_name, fault_seed, sampler.get(),
+                             profiler.get());
+    bench::write_folded_profile(experiment_id, profiler.get(), &tracer,
+                                server.get());
     // Fold the live series into the trace as counter tracks before it is
     // written (sequential surface; the run has quiesced).
     if (timeline && sampler) sampler->export_to_timeline(*timeline);
@@ -271,9 +308,10 @@ struct StreamWorld {
   sim::Internet internet;
   obs::StageTracer tracer;
   /// Members mirror LandscapeWorld's declaration-order discipline: the
-  /// timeline before the pool, the live plane after the pool (probes read
-  /// it; reverse destruction stops them first).
+  /// timeline and profiler before the pool, the live plane after the pool
+  /// (probes read it; reverse destruction stops them first).
   std::unique_ptr<obs::TimelineRecorder> timeline;
+  std::unique_ptr<obs::prof::Profiler> profiler;
   std::uint64_t run_wall_nanos = 0;
   exec::ThreadPool pool;
   std::unique_ptr<obs::live::Watchdog> watchdog;

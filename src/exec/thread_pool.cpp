@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/prof/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "util/time.hpp"
 
@@ -115,10 +116,14 @@ void ThreadPool::worker_loop(std::size_t index) {
       // recorder is attached) an append into this worker's own lane.
       obs::TimelineRecorder* timeline =
           timeline_.load(std::memory_order_acquire);
+      obs::prof::Profiler* profiler =
+          profiler_.load(std::memory_order_acquire);
       const std::int64_t t0 = util::monotonic_nanos();
       if (stole && timeline != nullptr) timeline->record_instant("steal", t0);
       stats_[index]->active.store(true, std::memory_order_relaxed);
+      if (profiler != nullptr) profiler->enter("task");
       task();
+      if (profiler != nullptr) profiler->leave();
       stats_[index]->active.store(false, std::memory_order_relaxed);
       const std::int64_t t1 = util::monotonic_nanos();
       task = nullptr;

@@ -32,6 +32,9 @@
 
 namespace booterscope::obs {
 class TimelineRecorder;
+namespace prof {
+class Profiler;
+}  // namespace prof
 }  // namespace booterscope::obs
 
 namespace booterscope::exec {
@@ -100,6 +103,17 @@ class ThreadPool {
     timeline_.store(timeline, std::memory_order_release);
   }
 
+  /// Attaches a hardware-counter profiler (obs::prof): every executed task
+  /// becomes a "task" section on the worker's own prof lane (lane w+1,
+  /// mirroring attach_timeline), so counter deltas attribute per worker.
+  /// The worker's perf event group opens lazily on its first profiled task
+  /// — a perf group counts only the thread that opened it. Same lifetime
+  /// contract as attach_timeline; detach with nullptr before destroying
+  /// the profiler.
+  void attach_profiler(obs::prof::Profiler* profiler) noexcept {
+    profiler_.store(profiler, std::memory_order_release);
+  }
+
   /// Attaches a liveness heartbeat (obs::live::Watchdog::register_heartbeat
   /// hands one out): every worker stores the task-completion timestamp into
   /// it, so a watchdog can tell a draining pool from a wedged one. Same
@@ -132,6 +146,7 @@ class ThreadPool {
   std::vector<obs::Counter*> steal_metrics_;  // per worker
   std::vector<obs::Gauge*> busy_metrics_;     // per worker, busy seconds
   std::atomic<obs::TimelineRecorder*> timeline_{nullptr};
+  std::atomic<obs::prof::Profiler*> profiler_{nullptr};
   std::atomic<std::atomic<std::int64_t>*> heartbeat_{nullptr};
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<std::size_t> pending_{0};

@@ -29,6 +29,23 @@ FlowCollector::FlowCollector(CollectorConfig config) : config_(config) {
         "booterscope_collector_exported_packets_total", labels);
   }
   cache_entries_metric_ = &registry.gauge("booterscope_collector_cache_entries");
+  map_rehashes_metric_ =
+      &registry.counter("booterscope_flow_map_rehashes_total");
+  map_load_factor_metric_ = &registry.gauge("booterscope_flow_map_load_factor");
+  map_bucket_count_metric_ =
+      &registry.gauge("booterscope_flow_map_bucket_count");
+  map_occupied_buckets_metric_ =
+      &registry.gauge("booterscope_flow_map_occupied_buckets");
+  map_max_bucket_entries_metric_ =
+      &registry.gauge("booterscope_flow_map_max_bucket_entries");
+  drain_batches_metric_ =
+      &registry.counter("booterscope_flow_drain_batches_total");
+  drain_rows_metric_ = &registry.counter("booterscope_flow_drain_rows_total");
+  drain_capacity_rows_metric_ =
+      &registry.counter("booterscope_flow_drain_capacity_rows_total");
+  drain_batch_fill_metric_ =
+      &registry.gauge("booterscope_flow_drain_batch_fill_ratio");
+  last_bucket_count_ = cache_.bucket_count();
 }
 
 void FlowCollector::account_export(const Entry& entry,
@@ -49,11 +66,71 @@ void FlowCollector::export_entry(const Entry& entry, ExportReason reason,
 
 void FlowCollector::update_cache_gauge() noexcept {
   cache_entries_metric_->set(static_cast<double>(cache_.size()));
+  map_load_factor_metric_->set(static_cast<double>(cache_.load_factor()));
+}
+
+void FlowCollector::note_rehash_if_grown() noexcept {
+  // A bucket_count change means the table rehashed — the stall the flat
+  // table rewrite (ROADMAP item 2) is meant to eliminate. One size_t
+  // compare per packet; the branch is taken O(log n) times per run.
+  const std::size_t buckets = cache_.bucket_count();
+  if (buckets != last_bucket_count_) {
+    last_bucket_count_ = buckets;
+    ++rehashes_;
+    map_rehashes_metric_->inc();
+    map_load_factor_metric_->set(static_cast<double>(cache_.load_factor()));
+  }
+}
+
+void FlowCollector::account_drain_batches(std::uint64_t rows,
+                                          std::size_t batch_flows) noexcept {
+  if (rows == 0 || batch_flows == 0) return;
+  const std::uint64_t batches =
+      (rows + batch_flows - 1) / static_cast<std::uint64_t>(batch_flows);
+  const std::uint64_t capacity = batches * batch_flows;
+  drain_batches_ += batches;
+  drain_rows_ += rows;
+  drain_capacity_rows_ += capacity;
+  drain_batches_metric_->add(batches);
+  drain_rows_metric_->add(rows);
+  drain_capacity_rows_metric_->add(capacity);
+  drain_batch_fill_metric_->set(static_cast<double>(rows) /
+                                static_cast<double>(capacity));
+}
+
+void FlowCollector::publish_bucket_shape() noexcept {
+  // O(bucket_count) scan; runs once per collector at drain time, so the
+  // registry carries the end-of-measurement shape of the last-drained
+  // cache without any per-packet cost.
+  const MapStats shape = map_stats();
+  map_bucket_count_metric_->set(static_cast<double>(shape.bucket_count));
+  map_occupied_buckets_metric_->set(
+      static_cast<double>(shape.occupied_buckets));
+  map_max_bucket_entries_metric_->set(
+      static_cast<double>(shape.max_bucket_entries));
+}
+
+MapStats FlowCollector::map_stats() const {
+  MapStats out;
+  out.entries = cache_.size();
+  out.bucket_count = cache_.bucket_count();
+  out.load_factor = static_cast<double>(cache_.load_factor());
+  for (std::size_t b = 0; b < cache_.bucket_count(); ++b) {
+    const std::size_t chain = cache_.bucket_size(b);
+    if (chain > 0) ++out.occupied_buckets;
+    if (chain > out.max_bucket_entries) out.max_bucket_entries = chain;
+  }
+  out.rehashes = rehashes_;
+  out.drain_batches = drain_batches_;
+  out.drain_rows = drain_rows_;
+  out.drain_capacity_rows = drain_capacity_rows_;
+  return out;
 }
 
 void FlowCollector::observe(const PacketObservation& packet, FlowList& out) {
   const util::ConcurrencyGuard::Scope scope(guard_, "FlowCollector::observe");
   auto [it, inserted] = cache_.try_emplace(packet.tuple);
+  if (inserted) note_rehash_if_grown();
   Entry& entry = it->second;
   if (inserted) {
     FlowRecord& f = entry.flow;
@@ -156,6 +233,7 @@ void FlowCollector::expire(util::Timestamp now, FlowList& out) {
 
 void FlowCollector::drain(FlowList& out) {
   const util::ConcurrencyGuard::Scope scope(guard_, "FlowCollector::drain");
+  publish_bucket_shape();
   std::vector<std::pair<const net::FiveTuple*, const Entry*>> remaining;
   remaining.reserve(cache_.size());
   // bslint:allow(BS004 collected then sorted by five-tuple below)
@@ -203,6 +281,7 @@ void FlowCollector::drain(FlowBatchSink& sink, std::size_t vantage,
                           std::size_t batch_flows) {
   const util::ConcurrencyGuard::Scope scope(guard_,
                                             "FlowCollector::drain_stream");
+  publish_bucket_shape();
   std::vector<std::pair<const net::FiveTuple*, const Entry*>> remaining;
   remaining.reserve(cache_.size());
   // bslint:allow(BS004 collected then sorted by five-tuple below)
@@ -215,6 +294,7 @@ void FlowCollector::drain(FlowBatchSink& sink, std::size_t vantage,
     account_export(*entry, ExportReason::kDrain);
   }
   batcher.flush();
+  account_drain_batches(remaining.size(), batch_flows);
   cache_.clear();
   update_cache_gauge();
 }

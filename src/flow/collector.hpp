@@ -89,6 +89,25 @@ struct CollectorStats {
   }
 };
 
+/// Hot-path shape of the five-tuple cache, the committed before-picture
+/// for the flat-table rewrite (ROADMAP item 2): how loaded the map is, how
+/// long its worst chain got, how often the bucket array grew, and how full
+/// the streaming drain batches ran. Bucket numbers are an on-demand scan
+/// (observer cadence); the counters accumulate per collector instance.
+struct MapStats {
+  std::size_t entries = 0;
+  std::size_t bucket_count = 0;
+  double load_factor = 0.0;
+  std::size_t occupied_buckets = 0;
+  std::size_t max_bucket_entries = 0;
+  /// Bucket-array growth events observed since construction.
+  std::uint64_t rehashes = 0;
+  /// Streaming drain delivery: fill = drain_rows / drain_capacity_rows.
+  std::uint64_t drain_batches = 0;
+  std::uint64_t drain_rows = 0;
+  std::uint64_t drain_capacity_rows = 0;
+};
+
 /// Aggregates packets into flow records.
 ///
 /// Usage: call observe() in non-decreasing time order, periodically call
@@ -126,6 +145,10 @@ class FlowCollector {
 
   [[nodiscard]] std::size_t active_flows() const noexcept { return cache_.size(); }
   [[nodiscard]] const CollectorStats& stats() const noexcept { return stats_; }
+
+  /// Current cache shape + accumulated rehash/drain counters. The bucket
+  /// scan is O(bucket_count) — observer cadence, not per packet.
+  [[nodiscard]] MapStats map_stats() const;
   [[nodiscard]] std::uint64_t exported_flows() const noexcept {
     return stats_.total_exported_flows();
   }
@@ -141,10 +164,20 @@ class FlowCollector {
   void account_export(const Entry& entry, ExportReason reason) noexcept;
   void export_entry(const Entry& entry, ExportReason reason, FlowList& out);
   void update_cache_gauge() noexcept;
+  void note_rehash_if_grown() noexcept;
+  void account_drain_batches(std::uint64_t rows,
+                             std::size_t batch_flows) noexcept;
+  void publish_bucket_shape() noexcept;
 
   CollectorConfig config_;
   std::unordered_map<net::FiveTuple, Entry> cache_;
   CollectorStats stats_;
+  // Micro-metric accumulators behind map_stats(); see MapStats.
+  std::size_t last_bucket_count_ = 0;
+  std::uint64_t rehashes_ = 0;
+  std::uint64_t drain_batches_ = 0;
+  std::uint64_t drain_rows_ = 0;
+  std::uint64_t drain_capacity_rows_ = 0;
   util::ConcurrencyGuard guard_;
   // Global registry series shared by all collector instances; resolved once
   // at construction so the per-packet cost is one relaxed atomic add.
@@ -153,6 +186,17 @@ class FlowCollector {
   std::array<obs::Counter*, kExportReasonCount> exported_flows_metric_;
   std::array<obs::Counter*, kExportReasonCount> exported_packets_metric_;
   obs::Gauge* cache_entries_metric_;
+  // booterscope_flow_* micro-metric series (shared across instances like
+  // the rest; counters aggregate, gauges reflect the last writer).
+  obs::Counter* map_rehashes_metric_;
+  obs::Gauge* map_load_factor_metric_;
+  obs::Gauge* map_bucket_count_metric_;
+  obs::Gauge* map_occupied_buckets_metric_;
+  obs::Gauge* map_max_bucket_entries_metric_;
+  obs::Counter* drain_batches_metric_;
+  obs::Counter* drain_rows_metric_;
+  obs::Counter* drain_capacity_rows_metric_;
+  obs::Gauge* drain_batch_fill_metric_;
 };
 
 }  // namespace booterscope::flow

@@ -111,6 +111,11 @@ void ScrapeServer::publish_status(std::string json) {
   status_json_ = std::move(json);
 }
 
+void ScrapeServer::publish_profile(std::string folded) {
+  const util::MutexLock lock(stages_mutex_);
+  profile_folded_ = std::move(folded);
+}
+
 #if defined(BOOTERSCOPE_LIVE_HAVE_SOCKETS)
 
 void ScrapeServer::serve_loop() {
@@ -240,6 +245,20 @@ std::string ScrapeServer::response_for(const std::string& request_line) {
       body = status_json_;
     }
     return http_response(200, "OK", "application/json", body);
+  }
+  if (path == "/profilez") {
+    count("profilez");
+    std::string body;
+    {
+      const util::MutexLock lock(stages_mutex_);
+      body = profile_folded_;
+    }
+    if (body.empty()) {
+      // Nothing published: profiling is off or no harvest has happened.
+      // 204 carries no body by definition, so no Content-Length either.
+      return "HTTP/1.1 204 No Content\r\nConnection: close\r\n\r\n";
+    }
+    return http_response(200, "OK", "text/plain; charset=utf-8", body);
   }
   count("other");
   return http_response(404, "Not Found", "text/plain", "unknown route\n");

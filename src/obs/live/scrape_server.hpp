@@ -18,6 +18,10 @@
 //             (run start/end) and the server serves that copy under a lock.
 //   /status   last *published* service status document (booterscoped's
 //             live state), same publish-a-copy discipline as /stages.
+//   /profilez last *published* folded-stack profile (flamegraph.pl input,
+//             text/plain) from obs::prof, same publish-a-copy discipline;
+//             204 No Content while nothing has been published (profiling
+//             off or not yet harvested).
 //
 // Client hardening: requests are read with a bounded poll loop, so a
 // byte-at-a-time client still gets served while a silent one times out; a
@@ -87,6 +91,12 @@ class ScrapeServer {
   /// Publishes the /status body (the booterscoped live status document).
   void publish_status(std::string json);
 
+  /// Publishes the /profilez body: folded stacks ("path;leaf count\n"
+  /// lines) rendered by obs::prof. Empty (the default) serves 204 — the
+  /// route distinguishes "profiling off" from an empty-but-real profile by
+  /// never publishing the former.
+  void publish_profile(std::string folded);
+
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return requests_.load(std::memory_order_relaxed);
   }
@@ -109,6 +119,7 @@ class ScrapeServer {
   mutable util::Mutex stages_mutex_;
   std::string stages_json_ BS_GUARDED_BY(stages_mutex_) = "[]";
   std::string status_json_ BS_GUARDED_BY(stages_mutex_) = "null";
+  std::string profile_folded_ BS_GUARDED_BY(stages_mutex_);
 
   // Listener thread: accepts and answers scrapes, never executes pipeline
   // work — the serving substrate booterscoped will mount.

@@ -75,7 +75,7 @@ std::string PerfLedger::to_json() const {
     return json_number(static_cast<double>(nanos) / 1e9);
   };
 
-  std::string out = "{\"schema\":\"booterscope-bench-ledger/2\"";
+  std::string out = "{\"schema\":\"booterscope-bench-ledger/3\"";
   out += ",\"bench\":" + json_string(bench_);
   if (!experiment_.empty()) {
     out += ",\"experiment\":" + json_string(experiment_);
@@ -126,6 +126,94 @@ std::string PerfLedger::to_json() const {
               ? json_number(static_cast<double>(busy_total) / 1e9 / capacity)
               : std::string("0"));
   out.push_back('}');
+  if (has_hw_counters_) {
+    const HwCounters& hw = hw_counters_;
+    if (!hw.unavailable_reason.empty()) {
+      // The honesty contract: no counters means an explicit reason, never
+      // zero-filled fields a reader could mistake for measurements.
+      out += ",\"hw_counters\":{\"prof_unavailable\":" +
+             json_string(hw.unavailable_reason) + "}";
+    } else {
+      const bool has_cycles = hw.source == "hardware" || hw.source == "reduced";
+      const bool has_cache = hw.source == "hardware";
+      const bool has_software_extras = hw.source == "software";
+      const auto values = [&](const HwValues& v) {
+        std::string block;
+        if (has_cycles) {
+          block += "\"cycles\":" + json_number(v.cycles);
+          block += ",\"instructions\":" + json_number(v.instructions);
+          if (v.cycles > 0) {
+            block += ",\"ipc\":" +
+                     json_number(static_cast<double>(v.instructions) /
+                                 static_cast<double>(v.cycles));
+          }
+        }
+        if (has_cache) {
+          block += ",\"cache_references\":" + json_number(v.cache_references);
+          block += ",\"cache_misses\":" + json_number(v.cache_misses);
+          if (v.cache_references > 0) {
+            block += ",\"cache_miss_rate\":" +
+                     json_number(static_cast<double>(v.cache_misses) /
+                                 static_cast<double>(v.cache_references));
+          }
+          block += ",\"branches\":" + json_number(v.branches);
+          block += ",\"branch_misses\":" + json_number(v.branch_misses);
+          if (v.branches > 0) {
+            block += ",\"branch_miss_rate\":" +
+                     json_number(static_cast<double>(v.branch_misses) /
+                                 static_cast<double>(v.branches));
+          }
+        }
+        if (!block.empty()) block.push_back(',');
+        block += "\"task_clock_seconds\":" +
+                 json_number(static_cast<double>(v.task_clock_nanos) / 1e9);
+        if (has_software_extras) {
+          block += ",\"page_faults\":" + json_number(v.page_faults);
+          block += ",\"context_switches\":" + json_number(v.context_switches);
+        }
+        return block;
+      };
+      out += ",\"hw_counters\":{\"source\":" + json_string(hw.source);
+      out += ",\"stages\":[";
+      for (std::size_t i = 0; i < hw.stages.size(); ++i) {
+        const HwCounters::Stage& stage = hw.stages[i];
+        if (i > 0) out.push_back(',');
+        out += "{\"path\":" + json_string(stage.path);
+        out += ",\"lane\":" + std::to_string(stage.lane);
+        out += ",\"sections\":" + json_number(stage.sections);
+        out.push_back(',');
+        out += values(stage.v);
+        out.push_back('}');
+      }
+      out += "],\"total\":{" + values(hw.total) + "}";
+      out += ",\"lanes_failed\":" + json_number(hw.lanes_failed);
+      out += ",\"dropped_events\":" + json_number(hw.dropped_events);
+      out.push_back('}');
+    }
+  }
+  if (has_flow_micro_) {
+    const FlowMicro& micro = flow_micro_;
+    out += ",\"flow_micro\":{\"map_load_factor\":" +
+           json_number(micro.map_load_factor);
+    out += ",\"map_bucket_count\":" + json_number(micro.map_bucket_count);
+    out += ",\"map_occupied_buckets\":" +
+           json_number(micro.map_occupied_buckets);
+    out += ",\"map_max_bucket_entries\":" +
+           json_number(micro.map_max_bucket_entries);
+    out += ",\"map_rehashes\":" + json_number(micro.map_rehashes);
+    out += ",\"drain_batches\":" + json_number(micro.drain_batches);
+    out += ",\"drain_rows\":" + json_number(micro.drain_rows);
+    out += ",\"drain_capacity_rows\":" +
+           json_number(micro.drain_capacity_rows);
+    // null, not 1.0 or 0.0, when nothing batch-drained: an unmeasured fill
+    // must stay distinguishable from a real one.
+    out += ",\"drain_batch_fill\":" +
+           (micro.drain_capacity_rows > 0
+                ? json_number(static_cast<double>(micro.drain_rows) /
+                              static_cast<double>(micro.drain_capacity_rows))
+                : std::string("null"));
+    out.push_back('}');
+  }
   if (has_resource_series_) {
     const ResourceSeries& series = resource_series_;
     out += ",\"resource_series\":{\"interval_seconds\":" +

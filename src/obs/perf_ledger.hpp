@@ -9,11 +9,16 @@
 // baseline a run is comparable to. Every bench writes one `BENCH_<id>.json`
 // next to its results.
 //
-// Schema "booterscope-bench-ledger/2"; additions must stay
+// Schema "booterscope-bench-ledger/3"; additions must stay
 // backward-readable (benchdiff ignores unknown keys). Rev 2 over rev 1:
 // `peak_rss_bytes` is null when the measurement failed (a 0 there used to
 // masquerade as a real reading), and the optional `resource_series` block
-// carries the obs::live::ResourceSampler trajectory.
+// carries the obs::live::ResourceSampler trajectory. Rev 3 over rev 2: the
+// optional `hw_counters` block carries per-stage hardware counters from
+// obs::prof (or an explicit `prof_unavailable` reason — fields a tier did
+// not measure are omitted, never zero-filled), and the optional
+// `flow_micro` block carries FlowCollector hot-path micro-metrics (map
+// load factor, bucket stats, rehashes, drain batch fill).
 #pragma once
 
 #include <cstdint>
@@ -94,7 +99,74 @@ class PerfLedger {
     return has_resource_series_;
   }
 
-  /// Full JSON document (schema booterscope-bench-ledger/2).
+  /// One stage's (or the whole run's) counter values from obs::prof.
+  /// Which fields get serialized is decided by HwCounters::source — a
+  /// field the landed tier did not open is omitted from the JSON rather
+  /// than emitted as a fake zero.
+  struct HwValues {
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cache_references = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branch_misses = 0;
+    std::uint64_t task_clock_nanos = 0;
+    std::uint64_t page_faults = 0;
+    std::uint64_t context_switches = 0;
+  };
+
+  /// The `hw_counters` block. Exactly one of the two shapes serializes:
+  /// `unavailable_reason` non-empty emits {"prof_unavailable": "<why>"};
+  /// otherwise `source` ("hardware" | "reduced" | "software") gates which
+  /// value fields appear, with ipc / cache_miss_rate / branch_miss_rate
+  /// derived at emission (ipc is exactly instructions/cycles in double
+  /// arithmetic — benchdiff --check re-verifies the identity).
+  struct HwCounters {
+    std::string source;
+    std::string unavailable_reason;
+    struct Stage {
+      std::string path;  // ';'-joined nesting, e.g. "sim;day_shards"
+      int lane = 0;      // 0 = driver, w+1 = pool worker w
+      std::uint64_t sections = 0;
+      HwValues v;
+    };
+    std::vector<Stage> stages;
+    HwValues total;
+    std::uint64_t lanes_failed = 0;
+    std::uint64_t dropped_events = 0;
+  };
+  void set_hw_counters(HwCounters hw) {
+    hw_counters_ = std::move(hw);
+    has_hw_counters_ = true;
+  }
+  [[nodiscard]] bool has_hw_counters() const noexcept {
+    return has_hw_counters_;
+  }
+
+  /// FlowCollector hot-path micro-metrics (the before-picture for the
+  /// five-tuple table rewrite). Bucket-shape numbers describe the most
+  /// recently drained collector; counters aggregate across collectors.
+  /// `drain_batch_fill` serializes as rows/capacity, or null when nothing
+  /// batch-drained (0 capacity is "no measurement", not a perfect fill).
+  struct FlowMicro {
+    double map_load_factor = 0.0;
+    std::uint64_t map_bucket_count = 0;
+    std::uint64_t map_occupied_buckets = 0;
+    std::uint64_t map_max_bucket_entries = 0;
+    std::uint64_t map_rehashes = 0;
+    std::uint64_t drain_batches = 0;
+    std::uint64_t drain_rows = 0;
+    std::uint64_t drain_capacity_rows = 0;
+  };
+  void set_flow_micro(FlowMicro micro) noexcept {
+    flow_micro_ = micro;
+    has_flow_micro_ = true;
+  }
+  [[nodiscard]] bool has_flow_micro() const noexcept {
+    return has_flow_micro_;
+  }
+
+  /// Full JSON document (schema booterscope-bench-ledger/3).
   [[nodiscard]] std::string to_json() const;
 
   /// Writes to_json() to `path`; false on I/O failure.
@@ -126,6 +198,10 @@ class PerfLedger {
   std::optional<std::uint64_t> peak_rss_;
   ResourceSeries resource_series_;
   bool has_resource_series_ = false;
+  HwCounters hw_counters_;
+  bool has_hw_counters_ = false;
+  FlowMicro flow_micro_;
+  bool has_flow_micro_ = false;
 };
 
 }  // namespace booterscope::obs

@@ -1,0 +1,337 @@
+#include "obs/prof/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace booterscope::obs::prof {
+
+namespace {
+
+// Index into CounterSample; doubles as the wire order of fds_/fields_.
+enum CounterField : std::uint8_t {
+  kFieldCycles = 0,
+  kFieldInstructions,
+  kFieldCacheReferences,
+  kFieldCacheMisses,
+  kFieldBranches,
+  kFieldBranchMisses,
+  kFieldTaskClock,
+  kFieldPageFaults,
+  kFieldContextSwitches,
+};
+
+constexpr std::size_t kMaxGroupEvents = 8;
+
+[[nodiscard]] std::string_view errno_name(int err) noexcept {
+  switch (err) {
+    case EACCES: return "EACCES";
+    case EPERM: return "EPERM";
+    case ENOSYS: return "ENOSYS";
+    case ENOENT: return "ENOENT";
+    case ENODEV: return "ENODEV";
+    case EINVAL: return "EINVAL";
+    case EMFILE: return "EMFILE";
+    case EBUSY: return "EBUSY";
+    default: return "errno";
+  }
+}
+
+[[nodiscard]] std::string describe_errno(int err) {
+  std::string out(errno_name(err));
+  if (out == "errno") out += " " + std::to_string(err);
+  out += " (";
+  out += std::strerror(err);
+  out += ")";
+  return out;
+}
+
+struct EventSpec {
+  std::uint32_t type = 0;
+  std::uint64_t config = 0;
+  CounterField field = kFieldCycles;
+  const char* label = "";
+};
+
+#if defined(__linux__)
+
+constexpr EventSpec kFullTier[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, kFieldCycles, "cycles"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, kFieldInstructions,
+     "instructions"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES, kFieldCacheReferences,
+     "cache-references"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, kFieldCacheMisses,
+     "cache-misses"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS, kFieldBranches,
+     "branches"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, kFieldBranchMisses,
+     "branch-misses"},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, kFieldTaskClock,
+     "task-clock"},
+};
+
+constexpr EventSpec kReducedTier[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, kFieldCycles, "cycles"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, kFieldInstructions,
+     "instructions"},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, kFieldTaskClock,
+     "task-clock"},
+};
+
+constexpr EventSpec kSoftwareTier[] = {
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, kFieldTaskClock,
+     "task-clock"},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS, kFieldPageFaults,
+     "page-faults"},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES, kFieldContextSwitches,
+     "context-switches"},
+};
+
+[[nodiscard]] int real_open(std::uint32_t type, std::uint64_t config,
+                            int group_fd) noexcept {
+  struct perf_event_attr attr {};
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  // The leader starts disabled; the whole group is enabled with one ioctl
+  // once every member opened, so members cover identical time slices.
+  attr.disabled = (group_fd == -1) ? 1 : 0;
+  // User-space only: keeps the group openable at perf_event_paranoid=2,
+  // the common container default.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = ::syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                            group_fd, PERF_FLAG_FD_CLOEXEC);
+  return fd >= 0 ? static_cast<int>(fd) : -errno;
+}
+
+#endif  // defined(__linux__)
+
+[[nodiscard]] std::uint64_t& sample_field(CounterSample& sample,
+                                          std::uint8_t field) noexcept {
+  switch (static_cast<CounterField>(field)) {
+    case kFieldCycles: return sample.cycles;
+    case kFieldInstructions: return sample.instructions;
+    case kFieldCacheReferences: return sample.cache_references;
+    case kFieldCacheMisses: return sample.cache_misses;
+    case kFieldBranches: return sample.branches;
+    case kFieldBranchMisses: return sample.branch_misses;
+    case kFieldTaskClock: return sample.task_clock_nanos;
+    case kFieldPageFaults: return sample.page_faults;
+    case kFieldContextSwitches: break;
+  }
+  return sample.context_switches;
+}
+
+[[nodiscard]] std::uint64_t saturating_sub(std::uint64_t a,
+                                           std::uint64_t b) noexcept {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+std::string_view tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kFull: return "hardware";
+    case Tier::kReduced: return "reduced";
+    case Tier::kSoftware: return "software";
+    case Tier::kDisabled: break;
+  }
+  return "disabled";
+}
+
+void CounterSample::accumulate(const CounterSample& delta) noexcept {
+  cycles += delta.cycles;
+  instructions += delta.instructions;
+  cache_references += delta.cache_references;
+  cache_misses += delta.cache_misses;
+  branches += delta.branches;
+  branch_misses += delta.branch_misses;
+  task_clock_nanos += delta.task_clock_nanos;
+  page_faults += delta.page_faults;
+  context_switches += delta.context_switches;
+}
+
+CounterSample CounterSample::delta_since(const CounterSample& earlier)
+    const noexcept {
+  CounterSample out;
+  out.cycles = saturating_sub(cycles, earlier.cycles);
+  out.instructions = saturating_sub(instructions, earlier.instructions);
+  out.cache_references =
+      saturating_sub(cache_references, earlier.cache_references);
+  out.cache_misses = saturating_sub(cache_misses, earlier.cache_misses);
+  out.branches = saturating_sub(branches, earlier.branches);
+  out.branch_misses = saturating_sub(branch_misses, earlier.branch_misses);
+  out.task_clock_nanos =
+      saturating_sub(task_clock_nanos, earlier.task_clock_nanos);
+  out.page_faults = saturating_sub(page_faults, earlier.page_faults);
+  out.context_switches =
+      saturating_sub(context_switches, earlier.context_switches);
+  return out;
+}
+
+CounterGroup::~CounterGroup() { close_all(); }
+
+CounterGroup::CounterGroup(CounterGroup&& other) noexcept
+    : tier_(other.tier_),
+      reason_(std::move(other.reason_)),
+      fds_(std::move(other.fds_)),
+      fields_(std::move(other.fields_)) {
+  other.tier_ = Tier::kDisabled;
+  other.fds_.clear();
+  other.fields_.clear();
+  other.reason_ = "moved-from counter group";
+}
+
+CounterGroup& CounterGroup::operator=(CounterGroup&& other) noexcept {
+  if (this != &other) {
+    close_all();
+    tier_ = other.tier_;
+    reason_ = std::move(other.reason_);
+    fds_ = std::move(other.fds_);
+    fields_ = std::move(other.fields_);
+    other.tier_ = Tier::kDisabled;
+    other.fds_.clear();
+    other.fields_.clear();
+    other.reason_ = "moved-from counter group";
+  }
+  return *this;
+}
+
+void CounterGroup::close_all() noexcept {
+#if defined(__linux__)
+  for (const int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+#endif
+  fds_.clear();
+  fields_.clear();
+}
+
+bool CounterGroup::read(CounterSample& out) noexcept {
+#if defined(__linux__)
+  if (!enabled() || fds_.empty()) return false;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[nr].
+  std::uint64_t buffer[3 + kMaxGroupEvents] = {};
+  const std::size_t want = sizeof(std::uint64_t) * (3 + fds_.size());
+  const ssize_t got = ::read(fds_[0], buffer, want);
+  if (got < 0 || static_cast<std::size_t>(got) < want ||
+      buffer[0] != fds_.size()) {
+    tier_ = Tier::kDisabled;
+    reason_ = "perf group read failed mid-run; prior samples are final";
+    close_all();
+    return false;
+  }
+  const std::uint64_t enabled_nanos = buffer[1];
+  const std::uint64_t running_nanos = buffer[2];
+  // Multiplex correction: when the PMU time-sliced this group, extrapolate
+  // raw counts by enabled/running. The whole group scales together, so
+  // intra-group ratios (IPC, miss rates) stay consistent.
+  const double scale =
+      (running_nanos > 0 && enabled_nanos > running_nanos)
+          ? static_cast<double>(enabled_nanos) /
+                static_cast<double>(running_nanos)
+          : 1.0;
+  out = CounterSample{};
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    const double scaled = static_cast<double>(buffer[3 + i]) * scale;
+    sample_field(out, fields_[i]) = static_cast<std::uint64_t>(scaled + 0.5);
+  }
+  return true;
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+CounterGroup open_thread_counters(std::string_view force,
+                                  const CounterGroup::Opener& opener) {
+  CounterGroup group;
+#if defined(__linux__)
+  CounterGroup::Opener open_event = opener ? opener : real_open;
+  Tier start = Tier::kFull;
+  if (force == "off" || force == "disabled") {
+    group.reason_ =
+        "profiling disabled by request (BOOTERSCOPE_PROF_FORCE=off)";
+    return group;
+  }
+  if (force.rfind("fail:", 0) == 0) {
+    const std::string_view name = force.substr(5);
+    int err = EACCES;
+    if (name == "ENOSYS") err = ENOSYS;
+    else if (name == "ENOENT") err = ENOENT;
+    else if (name == "EPERM") err = EPERM;
+    else if (name == "EACCES") err = EACCES;
+    else err = EINVAL;
+    open_event = [err](std::uint32_t, std::uint64_t, int) { return -err; };
+  } else if (force == "full") {
+    start = Tier::kFull;
+  } else if (force == "reduced") {
+    start = Tier::kReduced;
+  } else if (force == "software") {
+    start = Tier::kSoftware;
+  } else if (!force.empty()) {
+    group.reason_ = "unrecognized BOOTERSCOPE_PROF_FORCE value \"" +
+                    std::string(force) + "\"; profiling disabled";
+    return group;
+  }
+
+  std::string attempts;
+  const auto try_tier = [&](Tier tier, const EventSpec* specs,
+                            std::size_t count) -> bool {
+    std::vector<int> fds;
+    std::vector<std::uint8_t> fields;
+    for (std::size_t i = 0; i < count; ++i) {
+      const int group_fd = fds.empty() ? -1 : fds[0];
+      const int fd = open_event(specs[i].type, specs[i].config, group_fd);
+      if (fd < 0) {
+        if (!attempts.empty()) attempts += "; ";
+        attempts += std::string(tier_name(tier)) + " tier, " + specs[i].label +
+                    ": " + describe_errno(-fd);
+        for (const int opened : fds) ::close(opened);
+        return false;
+      }
+      fds.push_back(fd);
+      fields.push_back(static_cast<std::uint8_t>(specs[i].field));
+    }
+    ::ioctl(fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    group.tier_ = tier;
+    group.reason_.clear();
+    group.fds_ = std::move(fds);
+    group.fields_ = std::move(fields);
+    return true;
+  };
+
+  if (start <= Tier::kFull &&
+      try_tier(Tier::kFull, kFullTier, std::size(kFullTier))) {
+    return group;
+  }
+  if (start <= Tier::kReduced &&
+      try_tier(Tier::kReduced, kReducedTier, std::size(kReducedTier))) {
+    return group;
+  }
+  if (start <= Tier::kSoftware &&
+      try_tier(Tier::kSoftware, kSoftwareTier, std::size(kSoftwareTier))) {
+    return group;
+  }
+  group.reason_ = "perf_event_open unavailable: " + attempts;
+  return group;
+#else
+  (void)force;
+  (void)opener;
+  group.reason_ = "perf_event_open is Linux-only; profiling disabled";
+  return group;
+#endif
+}
+
+}  // namespace booterscope::obs::prof

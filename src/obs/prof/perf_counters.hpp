@@ -1,0 +1,113 @@
+// perf_event_open counter groups with a graceful degradation ladder.
+//
+// A CounterGroup is a set of perf events opened as one kernel scheduling
+// group on the *calling thread* (pid=0, cpu=-1): all members count the same
+// slices of CPU time, so ratios between them (IPC, cache-miss rate) are
+// internally consistent even when the PMU multiplexes. Reads use
+// PERF_FORMAT_GROUP + TOTAL_TIME_ENABLED/RUNNING and scale raw values by
+// enabled/running, the standard multiplex correction.
+//
+// Containers and CI rarely grant the full menu (perf_event_paranoid,
+// missing PMU in VMs), so open_thread_counters() walks a ladder instead of
+// failing:
+//
+//   full      cycles + instructions + cache-refs/misses + branches/misses
+//             (+ task-clock as a software rider)
+//   reduced   cycles + instructions + task-clock
+//   software  task-clock + page-faults + context-switches (always
+//             schedulable where perf exists at all)
+//   disabled  nothing opened; unavailable_reason() says why
+//
+// The ladder never fabricates numbers: a disabled group reads nothing, and
+// ledger emission only serializes fields the landed tier actually measured
+// — the same honesty contract as PerfLedger's nullable peak_rss_bytes.
+//
+// `force` (from BOOTERSCOPE_PROF_FORCE or test options) pins the ladder:
+// "full" / "reduced" / "software" start at that rung, "off" skips straight
+// to disabled, and "fail:EACCES" / "fail:ENOSYS" / "fail:ENOENT" simulate
+// the syscall failing with that errno — how tests and CI exercise the
+// paranoid-container path without needing a paranoid container.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace booterscope::obs::prof {
+
+/// Which rung of the ladder a group landed on.
+enum class Tier : std::uint8_t { kFull, kReduced, kSoftware, kDisabled };
+
+/// Ledger-facing name: "hardware", "reduced", "software", "disabled".
+[[nodiscard]] std::string_view tier_name(Tier tier) noexcept;
+
+/// Cumulative (or delta) counter values. Fields a tier did not open stay 0
+/// and MUST NOT be serialized for that tier — emission is tier-gated.
+struct CounterSample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t task_clock_nanos = 0;
+  std::uint64_t page_faults = 0;
+  std::uint64_t context_switches = 0;
+
+  void accumulate(const CounterSample& delta) noexcept;
+  /// Per-field saturating subtraction (counters are monotonic; clamping
+  /// guards against multiplex-scaling jitter ever producing a negative).
+  [[nodiscard]] CounterSample delta_since(const CounterSample& earlier)
+      const noexcept;
+};
+
+/// One thread's perf event group. Move-only; closes its fds on destruction.
+class CounterGroup {
+ public:
+  /// Injection seam for the raw event open: returns an fd, or -errno.
+  /// `group_fd` is -1 for the leader. The default opener performs the real
+  /// perf_event_open syscall; tests substitute failures.
+  using Opener =
+      std::function<int(std::uint32_t type, std::uint64_t config, int group_fd)>;
+
+  CounterGroup() = default;
+  ~CounterGroup();
+  CounterGroup(CounterGroup&& other) noexcept;
+  CounterGroup& operator=(CounterGroup&& other) noexcept;
+  CounterGroup(const CounterGroup&) = delete;
+  CounterGroup& operator=(const CounterGroup&) = delete;
+
+  [[nodiscard]] Tier tier() const noexcept { return tier_; }
+  [[nodiscard]] bool enabled() const noexcept { return tier_ != Tier::kDisabled; }
+  /// Why the ladder landed on disabled (empty while enabled).
+  [[nodiscard]] const std::string& unavailable_reason() const noexcept {
+    return reason_;
+  }
+
+  /// Current cumulative, multiplex-scaled values. Only meaningful on the
+  /// thread that opened the group. False (and group self-disables) when the
+  /// kernel read fails — callers must treat prior data as the final word,
+  /// never invent a tail.
+  [[nodiscard]] bool read(CounterSample& out) noexcept;
+
+ private:
+  friend CounterGroup open_thread_counters(std::string_view force,
+                                           const Opener& opener);
+
+  void close_all() noexcept;
+
+  Tier tier_ = Tier::kDisabled;
+  std::string reason_ = "profiler not engaged";
+  std::vector<int> fds_;                 // [0] is the group leader
+  std::vector<std::uint8_t> fields_;     // CounterField per fd, read order
+};
+
+/// Walks the degradation ladder for the calling thread. Never throws and
+/// never fails: the worst outcome is a disabled group carrying the reason.
+/// Pass a custom `opener` to simulate kernel refusals in tests.
+[[nodiscard]] CounterGroup open_thread_counters(
+    std::string_view force = {}, const CounterGroup::Opener& opener = {});
+
+}  // namespace booterscope::obs::prof

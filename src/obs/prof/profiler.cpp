@@ -1,0 +1,233 @@
+#include "obs/prof/profiler.hpp"
+
+#include <algorithm>
+
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace booterscope::obs::prof {
+
+namespace {
+
+/// The force token that reopens a group at exactly `tier` (worker lanes
+/// must land where the driver's probe landed, not re-run the ladder).
+[[nodiscard]] std::string_view pin_token(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kFull: return "full";
+    case Tier::kReduced: return "reduced";
+    case Tier::kSoftware: return "software";
+    case Tier::kDisabled: break;
+  }
+  return "off";
+}
+
+[[nodiscard]] std::uint64_t folded_value(const CounterSample& sample,
+                                         Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kFull:
+    case Tier::kReduced:
+      return sample.cycles;
+    case Tier::kSoftware:
+    case Tier::kDisabled:
+      break;
+  }
+  return sample.task_clock_nanos;
+}
+
+void folded_from_node(const StageNode& node, const std::string& prefix,
+                      std::vector<Profiler::StageCounters>& out) {
+  for (const auto& child : node.children) {
+    std::string path = prefix.empty() ? child->name : prefix + ";" + child->name;
+    std::uint64_t children_nanos = 0;
+    for (const auto& grand : child->children) {
+      children_nanos += grand->wall_nanos;
+    }
+    Profiler::StageCounters entry;
+    entry.path = path;
+    entry.lane = child->worker >= 0 ? child->worker + 1 : 0;
+    entry.sections = child->calls;
+    // Self wall time stands in for the missing counters; clamped the same
+    // way PerfLedger clamps self_seconds (attributed children can overlap).
+    entry.self.task_clock_nanos = children_nanos < child->wall_nanos
+                                      ? child->wall_nanos - children_nanos
+                                      : 0;
+    out.push_back(std::move(entry));
+    folded_from_node(*child, path, out);
+  }
+}
+
+}  // namespace
+
+Profiler::Profiler(Options options)
+    : force_(std::move(options.force)), opener_(std::move(options.opener)) {
+  const std::size_t lanes = options.lanes == 0 ? 1 : options.lanes;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  // Probe the ladder once, on the constructing (driver) thread; the probe
+  // group becomes lane 0's group so the driver's sections count from here.
+  CounterGroup probe = open_thread_counters(force_, opener_);
+  tier_ = probe.tier();
+  if (tier_ == Tier::kDisabled) {
+    unavailable_reason_ = probe.unavailable_reason();
+    return;
+  }
+  Lane& driver = *lanes_[0];
+  driver.group = std::move(probe);
+  driver.open_attempted = true;
+  CounterSample now;
+  if (driver.group.read(now)) driver.last = now;
+}
+
+Profiler::~Profiler() = default;
+
+Profiler::Lane* Profiler::lane_for_caller() noexcept {
+  const int lane = obs::timeline_lane();
+  if (lane < 0 || static_cast<std::size_t>(lane) >= lanes_.size()) {
+    return nullptr;
+  }
+  return lanes_[static_cast<std::size_t>(lane)].get();
+}
+
+bool Profiler::settle(Lane& lane) noexcept {
+  CounterSample now;
+  if (!lane.group.read(now)) {
+    // The group self-disabled (kernel read failure); whatever was
+    // accumulated stands as the final word for this lane.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!lane.stack.empty()) {
+    lane.accum[lane.stack.back()].self.accumulate(now.delta_since(lane.last));
+  }
+  lane.last = now;
+  return true;
+}
+
+void Profiler::enter(std::string_view name) noexcept {
+  if (tier_ == Tier::kDisabled) return;
+  Lane* slot = lane_for_caller();
+  if (slot == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Lane& lane = *slot;
+  if (!lane.open_attempted) {
+    // First section on this lane's thread: open its group here, because a
+    // perf group counts only the thread that opened it.
+    lane.open_attempted = true;
+    lane.group = open_thread_counters(pin_token(tier_), opener_);
+    if (!lane.group.enabled()) {
+      lanes_failed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      CounterSample now;
+      if (lane.group.read(now)) lane.last = now;
+    }
+  }
+  if (!lane.group.enabled()) return;
+  if (!settle(lane)) return;
+  std::string& path = lane.path_scratch;
+  path.clear();
+  if (!lane.stack.empty()) {
+    path += lane.accum[lane.stack.back()].path;
+    path.push_back(';');
+  }
+  path.append(name.data(), name.size());
+  std::uint32_t index = static_cast<std::uint32_t>(lane.accum.size());
+  for (std::uint32_t i = 0; i < lane.accum.size(); ++i) {
+    if (lane.accum[i].path == path) {
+      index = i;
+      break;
+    }
+  }
+  if (index == lane.accum.size()) {
+    StageAccum accum;
+    accum.path = path;
+    lane.accum.push_back(std::move(accum));
+  }
+  ++lane.accum[index].sections;
+  lane.stack.push_back(index);
+}
+
+void Profiler::leave() noexcept {
+  if (tier_ == Tier::kDisabled) return;
+  Lane* slot = lane_for_caller();
+  if (slot == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Lane& lane = *slot;
+  if (!lane.group.enabled()) return;
+  if (lane.stack.empty()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  settle(lane);  // even on a failed read the stack must stay balanced
+  lane.stack.pop_back();
+}
+
+std::vector<Profiler::StageCounters> Profiler::stages() const {
+  const util::ConcurrencyGuard::Scope scope(read_guard_, "Profiler::stages");
+  std::vector<StageCounters> out;
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    for (const StageAccum& accum : lanes_[lane]->accum) {
+      StageCounters entry;
+      entry.path = accum.path;
+      entry.lane = static_cast<int>(lane);
+      entry.sections = accum.sections;
+      entry.self = accum.self;
+      out.push_back(std::move(entry));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StageCounters& a, const StageCounters& b) {
+              if (a.path != b.path) return a.path < b.path;
+              return a.lane < b.lane;
+            });
+  return out;
+}
+
+CounterSample Profiler::total() const {
+  CounterSample sum;
+  for (const StageCounters& stage : stages()) {
+    sum.accumulate(stage.self);
+  }
+  return sum;
+}
+
+std::string Profiler::folded(std::string_view root) const {
+  return render_folded(root, stages(), tier_);
+}
+
+std::string render_folded(std::string_view root,
+                          const std::vector<Profiler::StageCounters>& stages,
+                          Tier tier) {
+  std::vector<std::string> lines;
+  lines.reserve(stages.size());
+  for (const Profiler::StageCounters& stage : stages) {
+    std::string line(root);
+    if (stage.lane > 0) {
+      line += ";w" + std::to_string(stage.lane - 1);
+    }
+    line.push_back(';');
+    line += stage.path;
+    line.push_back(' ');
+    line += std::to_string(folded_value(stage.self, tier));
+    line.push_back('\n');
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) out += line;
+  return out;
+}
+
+std::string folded_from_tracer(std::string_view root,
+                               const StageTracer& tracer) {
+  std::vector<Profiler::StageCounters> stages;
+  folded_from_node(tracer.root(), std::string(), stages);
+  return render_folded(root, stages, Tier::kDisabled);
+}
+
+}  // namespace booterscope::obs::prof

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/prof/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "util/time.hpp"
 
@@ -113,12 +114,14 @@ StageTimer::StageTimer(StageTracer* tracer, std::string_view name)
     : tracer_(tracer) {
   if (tracer_ == nullptr) return;
   node_ = tracer_->enter(name);
+  if (tracer_->profiler_ != nullptr) tracer_->profiler_->enter(name);
   start_nanos_ = util::monotonic_nanos();
 }
 
 StageTimer::~StageTimer() {
   if (tracer_ == nullptr || node_ == nullptr) return;
   const std::int64_t end_nanos = util::monotonic_nanos();
+  if (tracer_->profiler_ != nullptr) tracer_->profiler_->leave();
   tracer_->leave(node_, static_cast<std::uint64_t>(end_nanos - start_nanos_));
   if (tracer_->timeline_ != nullptr) {
     tracer_->timeline_->record_span(node_->name, "stage", start_nanos_,

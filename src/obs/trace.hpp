@@ -22,6 +22,10 @@ namespace booterscope::obs {
 
 class TimelineRecorder;
 
+namespace prof {
+class Profiler;
+}  // namespace prof
+
 /// Aggregated numbers for one stage in the tree. Re-entering a stage with
 /// the same name under the same parent accumulates into one node.
 struct StageNode {
@@ -84,6 +88,15 @@ class StageTracer {
     return timeline_;
   }
 
+  /// Optional hardware-counter profiler riding along the same way: when
+  /// set, every StageTimer span becomes a prof section (enter at timer
+  /// construction, leave at destruction), so counter deltas attribute to
+  /// the same tree the wall clock sees. Not owned; single-owner contract.
+  void set_profiler(prof::Profiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+  [[nodiscard]] prof::Profiler* profiler() const noexcept { return profiler_; }
+
  private:
   friend class StageTimer;
 
@@ -93,6 +106,7 @@ class StageTracer {
   std::unique_ptr<StageNode> root_;
   StageNode* current_ = nullptr;
   TimelineRecorder* timeline_ = nullptr;
+  prof::Profiler* profiler_ = nullptr;
   // Enforces the single-owner contract above: concurrent enter()s or
   // add_completed()s corrupt the tree silently; the tripwire aborts instead.
   util::ConcurrencyGuard guard_;

@@ -227,5 +227,78 @@ TEST(FlowCollector, BatchedExpireMatchesMaterializedExpire) {
   EXPECT_EQ(streamed.active_flows(), materialized.active_flows());
 }
 
+TEST(FlowCollector, MapStatsDescribeTheCacheShape) {
+  FlowCollector collector(config());
+  const Timestamp t0 = Timestamp::parse("2018-12-01").value();
+  FlowList out;
+  for (int i = 0; i < 100; ++i) {
+    collector.observe(packet(t0, static_cast<std::uint16_t>(i)), out);
+  }
+  const MapStats stats = collector.map_stats();
+  EXPECT_EQ(stats.entries, 100u);
+  EXPECT_GE(stats.bucket_count, stats.occupied_buckets);
+  EXPECT_GT(stats.occupied_buckets, 0u);
+  EXPECT_GE(stats.max_bucket_entries, 1u);
+  // load_factor is entries/buckets by definition.
+  EXPECT_NEAR(stats.load_factor,
+              static_cast<double>(stats.entries) /
+                  static_cast<double>(stats.bucket_count),
+              1e-6);
+  // 100 distinct tuples force the default-constructed table to grow at
+  // least once; the counter proves the hot path noticed.
+  EXPECT_GE(stats.rehashes, 1u);
+  // Nothing drained yet: the fill numbers must read unmeasured, not full.
+  EXPECT_EQ(stats.drain_batches, 0u);
+  EXPECT_EQ(stats.drain_rows, 0u);
+  EXPECT_EQ(stats.drain_capacity_rows, 0u);
+}
+
+TEST(FlowCollector, DrainBatchFillAccountsPartialFinalBatch) {
+  FlowCollector collector(config());
+  const Timestamp t0 = Timestamp::parse("2018-12-01").value();
+  FlowList out;
+  for (int i = 0; i < 10; ++i) {
+    collector.observe(packet(t0, static_cast<std::uint16_t>(i)), out);
+  }
+  CollectingSink sink;
+  collector.drain(sink, kVantageIxp, 4);  // 10 rows, capacity 4
+  const MapStats stats = collector.map_stats();
+  // 10 rows at batch capacity 4: three batches (4+4+2) with room for 12.
+  EXPECT_EQ(stats.drain_batches, 3u);
+  EXPECT_EQ(stats.drain_rows, 10u);
+  EXPECT_EQ(stats.drain_capacity_rows, 12u);
+}
+
+TEST(FlowCollector, MicroMetricsReachTheRegistry) {
+  // Satellite contract: the booterscope_flow_* series exist independently
+  // of --prof — any collector-running process exports them. Counters are
+  // global (shared across collector instances), so assert deltas.
+  obs::MetricsRegistry& registry = obs::metrics();
+  const std::uint64_t rehashes_before =
+      registry.counter_total("booterscope_flow_map_rehashes_total");
+  const std::uint64_t rows_before =
+      registry.counter_total("booterscope_flow_drain_rows_total");
+
+  FlowCollector collector(config());
+  const Timestamp t0 = Timestamp::parse("2018-12-01").value();
+  FlowList out;
+  for (int i = 0; i < 200; ++i) {
+    collector.observe(packet(t0, static_cast<std::uint16_t>(i)), out);
+  }
+  CollectingSink sink;
+  collector.drain(sink, kVantageIxp, 64);
+
+  EXPECT_GT(registry.counter_total("booterscope_flow_map_rehashes_total"),
+            rehashes_before);
+  EXPECT_EQ(registry.counter_total("booterscope_flow_drain_rows_total"),
+            rows_before + 200);
+  // drain() published the end-of-measurement bucket shape of this cache.
+  EXPECT_GT(registry.gauge("booterscope_flow_map_bucket_count").value(), 0.0);
+  // 200 rows / capacity 256 (4 batches of 64): the fill gauge carries the
+  // last drain's ratio.
+  EXPECT_NEAR(registry.gauge("booterscope_flow_drain_batch_fill_ratio").value(),
+              200.0 / 256.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace booterscope::flow

@@ -1,11 +1,13 @@
 // Unit tests for PerfLedger: the BENCH_<id>.json schema contract that
 // tools/benchdiff parses on the other side — headline numbers, per-stage
-// self/total breakdown, pool utilization, nullable peak RSS and the live
-// sampler's resource_series block (schema /2).
+// self/total breakdown, pool utilization, nullable peak RSS, the live
+// sampler's resource_series block (schema /2), and the schema-/3
+// hw_counters / flow_micro blocks with their tier-gated field emission.
 #include "obs/perf_ledger.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -24,7 +26,7 @@ TEST(PerfLedger, EmitsTheLedgerSchemaWithIdentityAndHeadlines) {
   ledger.set_items(1024);
 
   const std::string json = ledger.to_json();
-  EXPECT_NE(json.find("\"schema\":\"booterscope-bench-ledger/2\""),
+  EXPECT_NE(json.find("\"schema\":\"booterscope-bench-ledger/3\""),
             std::string::npos);
   EXPECT_NE(json.find("\"bench\":\"bench_unit\""), std::string::npos);
   EXPECT_NE(json.find("\"experiment\":\"unit\""), std::string::npos);
@@ -136,6 +138,155 @@ TEST(PerfLedger, ResourceSeriesBlockSerializesParallelArrays) {
   PerfLedger bare("bench_unit");
   EXPECT_FALSE(bare.has_resource_series());
   EXPECT_EQ(bare.to_json().find("resource_series"), std::string::npos);
+}
+
+TEST(PerfLedger, HwCountersHardwareTierEmitsDerivedRatesAndIpcIdentity) {
+  PerfLedger ledger("bench_unit");
+  PerfLedger::HwCounters hw;
+  hw.source = "hardware";
+  PerfLedger::HwCounters::Stage stage;
+  stage.path = "sim;day_shards";
+  stage.lane = 2;
+  stage.sections = 7;
+  stage.v.cycles = 3'000'000;
+  stage.v.instructions = 7'000'000;
+  stage.v.cache_references = 1000;
+  stage.v.cache_misses = 250;
+  stage.v.branches = 500;
+  stage.v.branch_misses = 25;
+  stage.v.task_clock_nanos = 1'500'000;
+  hw.stages.push_back(stage);
+  hw.total = stage.v;
+  hw.lanes_failed = 1;
+  hw.dropped_events = 3;
+  ledger.set_hw_counters(hw);
+  ASSERT_TRUE(ledger.has_hw_counters());
+
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"hw_counters\":{\"source\":\"hardware\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"path\":\"sim;day_shards\",\"lane\":2,"
+                      "\"sections\":7"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cycles\":3000000,\"instructions\":7000000"),
+            std::string::npos)
+      << json;
+  // IPC is exactly instructions/cycles in double arithmetic; json_number's
+  // shortest-round-trip rule means the parsed-back value matches to the
+  // bit, which benchdiff --check re-verifies at ±1e-9.
+  const double ipc = 7'000'000.0 / 3'000'000.0;
+  char expect[64];
+  std::snprintf(expect, sizeof expect, "\"ipc\":%.17g", ipc);
+  EXPECT_TRUE(json.find("\"ipc\":2.3333333333333335") != std::string::npos ||
+              json.find(expect) != std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cache_miss_rate\":0.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"branch_miss_rate\":0.05"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"task_clock_seconds\":0.0015"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"lanes_failed\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped_events\":3"), std::string::npos) << json;
+  // Software-tier extras must not leak into a hardware-tier block.
+  EXPECT_EQ(json.find("page_faults"), std::string::npos) << json;
+}
+
+TEST(PerfLedger, HwCountersSoftwareTierOmitsUnmeasuredFields) {
+  PerfLedger ledger("bench_unit");
+  PerfLedger::HwCounters hw;
+  hw.source = "software";
+  hw.total.task_clock_nanos = 2'000'000'000;
+  hw.total.page_faults = 42;
+  hw.total.context_switches = 5;
+  ledger.set_hw_counters(hw);
+
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"hw_counters\":{\"source\":\"software\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"total\":{\"task_clock_seconds\":2,"
+                      "\"page_faults\":42,\"context_switches\":5}"),
+            std::string::npos)
+      << json;
+  // The software tier never opened the PMU: cycles/cache/branch fields must
+  // be absent, not zero — a reader cannot distinguish a fake 0 from a
+  // perfectly cache-resident run.
+  EXPECT_EQ(json.find("cycles"), std::string::npos) << json;
+  EXPECT_EQ(json.find("cache_misses"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"ipc\""), std::string::npos) << json;
+}
+
+TEST(PerfLedger, HwCountersZeroCyclesOmitsIpcRatherThanDividing) {
+  PerfLedger ledger("bench_unit");
+  PerfLedger::HwCounters hw;
+  hw.source = "reduced";
+  hw.total.cycles = 0;  // multiplexed out entirely
+  hw.total.instructions = 100;
+  ledger.set_hw_counters(hw);
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"cycles\":0,\"instructions\":100"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"ipc\""), std::string::npos) << json;
+}
+
+TEST(PerfLedger, HwCountersUnavailableEmitsReasonOnly) {
+  PerfLedger ledger("bench_unit");
+  PerfLedger::HwCounters hw;
+  hw.unavailable_reason = "perf_event_open unavailable: EACCES";
+  // Values accidentally left in the struct must not serialize alongside the
+  // reason — the two shapes are mutually exclusive.
+  hw.total.cycles = 123;
+  ledger.set_hw_counters(hw);
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"hw_counters\":{\"prof_unavailable\":"
+                      "\"perf_event_open unavailable: EACCES\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"cycles\""), std::string::npos) << json;
+}
+
+TEST(PerfLedger, NoHwCountersBlockWhenNeverSet) {
+  PerfLedger ledger("bench_unit");
+  EXPECT_FALSE(ledger.has_hw_counters());
+  EXPECT_EQ(ledger.to_json().find("hw_counters"), std::string::npos);
+}
+
+TEST(PerfLedger, FlowMicroSerializesFillRatioOrNull) {
+  PerfLedger ledger("bench_unit");
+  PerfLedger::FlowMicro micro;
+  micro.map_load_factor = 0.75;
+  micro.map_bucket_count = 64;
+  micro.map_occupied_buckets = 40;
+  micro.map_max_bucket_entries = 3;
+  micro.map_rehashes = 2;
+  micro.drain_batches = 3;
+  micro.drain_rows = 10;
+  micro.drain_capacity_rows = 12;
+  ledger.set_flow_micro(micro);
+  ASSERT_TRUE(ledger.has_flow_micro());
+
+  std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"flow_micro\":{\"map_load_factor\":0.75"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"map_rehashes\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"drain_batch_fill\":0.8333333333333334"),
+            std::string::npos)
+      << json;
+
+  // Nothing batch-drained: fill is null (unmeasured), never 0.0 or 1.0.
+  PerfLedger empty_drain("bench_unit");
+  micro.drain_batches = 0;
+  micro.drain_rows = 0;
+  micro.drain_capacity_rows = 0;
+  empty_drain.set_flow_micro(micro);
+  json = empty_drain.to_json();
+  EXPECT_NE(json.find("\"drain_batch_fill\":null"), std::string::npos) << json;
+
+  PerfLedger bare("bench_unit");
+  EXPECT_FALSE(bare.has_flow_micro());
+  EXPECT_EQ(bare.to_json().find("flow_micro"), std::string::npos);
 }
 
 TEST(PerfLedger, WriteRoundTripsToDisk) {

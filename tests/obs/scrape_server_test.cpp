@@ -200,10 +200,100 @@ TEST(ScrapeServer, StatusServesThePublishedDocument) {
   server.stop();
 }
 
-TEST(ScrapeServer, ByteAtATimeClientStillGetsServed) {
-  // A pathologically slow client trickles the request one byte per send;
-  // the server's bounded poll loop must still assemble and answer it.
+TEST(ScrapeServer, ProfilezIs204UntilAProfileIsPublished) {
   ScrapeServer server(ScrapeServer::Config{0, 16});
+  ASSERT_TRUE(server.start());
+
+  // Profiling off (nothing published): 204, and a 204 carries no body —
+  // no Content-Length header at all, per RFC 9110.
+  std::string response = http_get(server.port(), "/profilez");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 204 No Content");
+  EXPECT_EQ(response.find("Content-Length"), std::string::npos) << response;
+  EXPECT_EQ(body_of(response), "");
+
+  // Once a folded profile lands, the route serves it verbatim as
+  // flamegraph.pl input.
+  server.publish_profile("fig4;sim;day_shards 123\nfig4;w1;task 456\n");
+  response = http_get(server.port(), "/profilez");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  EXPECT_NE(response.find("Content-Type: text/plain; charset=utf-8"),
+            std::string::npos)
+      << response;
+  const std::string body = body_of(response);
+  EXPECT_EQ(body, "fig4;sim;day_shards 123\nfig4;w1;task 456\n");
+  EXPECT_EQ(content_length_of(response), body.size());
+
+  // Re-publishing replaces the snapshot rather than appending.
+  server.publish_profile("fig4;sim 789\n");
+  response = http_get(server.port(), "/profilez");
+  EXPECT_EQ(body_of(response), "fig4;sim 789\n");
+  server.stop();
+}
+
+/// Trickles `request` one byte per send and returns the full response —
+/// the server's bounded poll loop must still assemble and answer it.
+[[nodiscard]] std::string http_exchange_slowly(std::uint16_t port,
+                                               const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ADD_FAILURE() << "connect to 127.0.0.1:" << port << " failed";
+    ::close(fd);
+    return {};
+  }
+  for (char byte : request) {
+    EXPECT_EQ(::send(fd, &byte, 1, 0), 1);
+  }
+  std::string response;
+  char buffer[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ScrapeServer, ByteAtATimeClientStillGetsServed) {
+  ScrapeServer server(ScrapeServer::Config{0, 16});
+  ASSERT_TRUE(server.start());
+
+  const std::string response = http_exchange_slowly(
+      server.port(), "GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  server.stop();
+}
+
+TEST(ScrapeServer, ByteAtATimeClientGetsTheProfileToo) {
+  // /profilez under the same trickle: both the 204 (profiling off) and the
+  // 200-with-body arms must survive a pathologically slow requester.
+  ScrapeServer server(ScrapeServer::Config{0, 16});
+  ASSERT_TRUE(server.start());
+  const std::string request =
+      "GET /profilez HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+
+  std::string response = http_exchange_slowly(server.port(), request);
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 204 No Content");
+
+  server.publish_profile("fig4;sim 42\n");
+  response = http_exchange_slowly(server.port(), request);
+  EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(body_of(response), "fig4;sim 42\n");
+  server.stop();
+}
+
+TEST(ScrapeServer, PartialProfilezRequestThenDisconnectIsHarmless) {
+  // Half a /profilez request line, then a hangup — the next well-formed
+  // client still gets the published profile.
+  ScrapeServer server(ScrapeServer::Config{0, 16});
+  server.publish_profile("fig4;sim 7\n");
   ASSERT_TRUE(server.start());
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -215,20 +305,13 @@ TEST(ScrapeServer, ByteAtATimeClientStillGetsServed) {
   ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                       sizeof addr),
             0);
-  const std::string request =
-      "GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
-  for (char byte : request) {
-    ASSERT_EQ(::send(fd, &byte, 1, 0), 1);
-  }
-  std::string response;
-  char buffer[512];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
-    if (n <= 0) break;
-    response.append(buffer, static_cast<std::size_t>(n));
-  }
+  const char partial[] = "GET /prof";
+  ::send(fd, partial, sizeof partial - 1, 0);
   ::close(fd);
+
+  const std::string response = http_get(server.port(), "/profilez");
   EXPECT_EQ(status_line_of(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(body_of(response), "fig4;sim 7\n");
   server.stop();
 }
 

@@ -102,6 +102,59 @@ struct FixtureSpec {
   return *ledger;
 }
 
+/// A schema-/3 hw_counters block measured on the hardware tier. The derived
+/// ratios are computed in the same double arithmetic the emitter uses and
+/// printed at %.17g (round-trip exact), so check_ledger's identity
+/// re-derivation accepts the fixture bit-for-bit.
+[[nodiscard]] std::string hw_block(std::uint64_t cycles,
+                                   std::uint64_t instructions,
+                                   std::uint64_t cache_references,
+                                   std::uint64_t cache_misses) {
+  const double ipc =
+      static_cast<double>(instructions) / static_cast<double>(cycles);
+  const double rate = static_cast<double>(cache_misses) /
+                      static_cast<double>(cache_references);
+  char buffer[768];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "\"hw_counters\":{\"source\":\"hardware\",\"lanes_failed\":0,"
+      "\"dropped_events\":0,"
+      "\"stages\":[{\"path\":\"landscape_parallel\",\"lane\":0,"
+      "\"sections\":1,\"cycles\":%llu,\"instructions\":%llu,\"ipc\":%.17g,"
+      "\"task_clock_seconds\":1.25}],"
+      "\"total\":{\"cycles\":%llu,\"instructions\":%llu,\"ipc\":%.17g,"
+      "\"cache_references\":%llu,\"cache_misses\":%llu,"
+      "\"cache_miss_rate\":%.17g,\"task_clock_seconds\":1.5}}",
+      static_cast<unsigned long long>(cycles),
+      static_cast<unsigned long long>(instructions), ipc,
+      static_cast<unsigned long long>(cycles),
+      static_cast<unsigned long long>(instructions), ipc,
+      static_cast<unsigned long long>(cache_references),
+      static_cast<unsigned long long>(cache_misses), rate);
+  return buffer;
+}
+
+/// Upgrades a v1 fixture document to schema /3, splicing in an optional
+/// hw_counters block (pass "" for a /3 ledger without one).
+[[nodiscard]] std::string ledger_json_v3(const FixtureSpec& spec,
+                                         const std::string& hw) {
+  std::string json = ledger_json(spec);
+  json.replace(json.find("ledger/1"), 8, "ledger/3");
+  if (!hw.empty()) {
+    json.insert(json.find("\"peak_rss_bytes\""), hw + ",");
+  }
+  return json;
+}
+
+[[nodiscard]] Ledger parse_fixture_v3(const FixtureSpec& spec,
+                                      const std::string& hw) {
+  std::string error;
+  const std::optional<Ledger> ledger =
+      parse_ledger(ledger_json_v3(spec, hw), &error);
+  EXPECT_TRUE(ledger) << error;
+  return *ledger;
+}
+
 TEST(BenchdiffParse, RoundTripsEveryLedgerField) {
   FixtureSpec spec;
   const Ledger ledger = parse_fixture(spec);
@@ -134,6 +187,39 @@ TEST(BenchdiffParse, SchemaTwoParsesNullRssAndResourceSeries) {
   const Ledger plain = parse_fixture_v2({}, false);
   EXPECT_EQ(plain.peak_rss_bytes, 400'000'000u);
   EXPECT_FALSE(plain.resource_series.has_value());
+}
+
+TEST(BenchdiffParse, SchemaThreeParsesHwCountersAndProfUnavailable) {
+  const Ledger measured = parse_fixture_v3(
+      {}, hw_block(10'000'000'000ull, 20'000'000'000ull, 1'000'000'000ull,
+                   50'000'000ull));
+  ASSERT_TRUE(measured.hw_counters.has_value());
+  EXPECT_TRUE(measured.hw_counters->available());
+  EXPECT_EQ(measured.hw_counters->source, "hardware");
+  EXPECT_EQ(measured.hw_counters->total.cycles, 10'000'000'000ull);
+  EXPECT_EQ(measured.hw_counters->total.instructions, 20'000'000'000ull);
+  ASSERT_TRUE(measured.hw_counters->total.ipc.has_value());
+  EXPECT_DOUBLE_EQ(*measured.hw_counters->total.ipc, 2.0);
+  ASSERT_TRUE(measured.hw_counters->total.cache_miss_rate.has_value());
+  EXPECT_DOUBLE_EQ(*measured.hw_counters->total.cache_miss_rate, 0.05);
+  ASSERT_EQ(measured.hw_counters->stages.size(), 1u);
+  EXPECT_EQ(measured.hw_counters->stages[0].path, "landscape_parallel");
+  EXPECT_EQ(measured.hw_counters->stages[0].lane, 0);
+  // Keys the tier never measured stay disengaged, not defaulted to 0.
+  EXPECT_FALSE(measured.hw_counters->stages[0].v.cache_misses.has_value());
+
+  const Ledger refused = parse_fixture_v3(
+      {},
+      "\"hw_counters\":{\"prof_unavailable\":\"perf_event_open unavailable: "
+      "hardware tier, cycles: EACCES (Permission denied)\"}");
+  ASSERT_TRUE(refused.hw_counters.has_value());
+  EXPECT_FALSE(refused.hw_counters->available());
+  EXPECT_NE(refused.hw_counters->prof_unavailable.find("EACCES"),
+            std::string::npos);
+
+  // A /3 ledger that never ran --prof simply has no block.
+  const Ledger plain = parse_fixture_v3({}, "");
+  EXPECT_FALSE(plain.hw_counters.has_value());
 }
 
 TEST(BenchdiffParse, RejectsMalformedJsonAndWrongSchema) {
@@ -362,6 +448,150 @@ TEST(BenchdiffGate, StreamEngineKeysAreNotIdentity) {
   EXPECT_TRUE(result.ok()) << render_report(result);
 }
 
+TEST(BenchdiffGate, DetectsIpcRegressionBeyondTheRatio) {
+  // Baseline retires 2.0 IPC; a candidate at 1.5 is a 1.33x drop, past the
+  // default 1.25x threshold. Cache rates are identical, so the one finding
+  // is the IPC gate.
+  const Ledger base = parse_fixture_v3(
+      {}, hw_block(10'000'000'000ull, 20'000'000'000ull, 1'000'000'000ull,
+                   50'000'000ull));
+  const Ledger slow = parse_fixture_v3(
+      {}, hw_block(10'000'000'000ull, 15'000'000'000ull, 1'000'000'000ull,
+                   50'000'000ull));
+  const DiffResult bad = diff_ledgers(base, slow, DiffOptions{});
+  ASSERT_FALSE(bad.ok()) << render_report(bad);
+  EXPECT_EQ(bad.findings[0].kind, Finding::Kind::kTiming);
+  EXPECT_EQ(bad.findings[0].metric, "hw.ipc");
+  EXPECT_NE(bad.findings[0].detail.find("IPC regression"), std::string::npos);
+
+  // 2.0 -> 1.7 is a 1.18x drop: within threshold, no finding.
+  const Ledger near = parse_fixture_v3(
+      {}, hw_block(10'000'000'000ull, 17'000'000'000ull, 1'000'000'000ull,
+                   50'000'000ull));
+  EXPECT_TRUE(diff_ledgers(base, near, DiffOptions{}).ok());
+}
+
+TEST(BenchdiffGate, DetectsDoubledCacheMissRate) {
+  // Baseline misses 5% of references; a candidate missing 10% crosses the
+  // 1.5x + 0.02 allowance threshold (0.095). IPC is held identical.
+  const Ledger base = parse_fixture_v3(
+      {}, hw_block(10'000'000'000ull, 20'000'000'000ull, 1'000'000'000ull,
+                   50'000'000ull));
+  const Ledger thrashy = parse_fixture_v3(
+      {}, hw_block(10'000'000'000ull, 20'000'000'000ull, 1'000'000'000ull,
+                   100'000'000ull));
+  const DiffResult bad = diff_ledgers(base, thrashy, DiffOptions{});
+  ASSERT_FALSE(bad.ok()) << render_report(bad);
+  EXPECT_EQ(bad.findings[0].kind, Finding::Kind::kTiming);
+  EXPECT_EQ(bad.findings[0].metric, "hw.cache_miss_rate");
+
+  // 5% -> 9% stays under the threshold: allowance absorbs it.
+  const Ledger warm = parse_fixture_v3(
+      {}, hw_block(10'000'000'000ull, 20'000'000'000ull, 1'000'000'000ull,
+                   90'000'000ull));
+  EXPECT_TRUE(diff_ledgers(base, warm, DiffOptions{}).ok());
+}
+
+TEST(BenchdiffGate, ProfUnavailableMutesTheHwGatesWithTheReason) {
+  // A candidate whose degradation ladder bottomed out carries an explicit
+  // reason; the gates mute with it instead of failing (or comparing
+  // phantom zeros). Counters that were never measured must never gate.
+  const Ledger base = parse_fixture_v3(
+      {}, hw_block(10'000'000'000ull, 20'000'000'000ull, 1'000'000'000ull,
+                   50'000'000ull));
+  const Ledger refused = parse_fixture_v3(
+      {},
+      "\"hw_counters\":{\"prof_unavailable\":\"perf_event_open unavailable: "
+      "software tier, task-clock: EACCES (Permission denied)\"}");
+  const DiffResult result = diff_ledgers(base, refused, DiffOptions{});
+  EXPECT_TRUE(result.ok()) << render_report(result);
+  bool muted = false;
+  for (const std::string& note : result.notes) {
+    if (note.find("IPC/cache gates muted") != std::string::npos &&
+        note.find("EACCES") != std::string::npos) {
+      muted = true;
+    }
+  }
+  EXPECT_TRUE(muted) << render_report(result);
+
+  // One side simply never ran --prof: same mute, different why.
+  const DiffResult no_block =
+      diff_ledgers(base, parse_fixture_v3({}, ""), DiffOptions{});
+  EXPECT_TRUE(no_block.ok()) << render_report(no_block);
+  bool noted = false;
+  for (const std::string& note : no_block.notes) {
+    if (note.find("candidate has no hw_counters block") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted) << render_report(no_block);
+}
+
+TEST(BenchdiffGate, HwGatesMuteAcrossThreadCountsAndOnTheSoftwareTier) {
+  // Different pool shapes change per-lane counter totals legitimately.
+  const std::string hw = hw_block(10'000'000'000ull, 20'000'000'000ull,
+                                  1'000'000'000ull, 50'000'000ull);
+  FixtureSpec wide;
+  wide.threads = "16";
+  const DiffResult threads =
+      diff_ledgers(parse_fixture_v3({}, hw), parse_fixture_v3(wide, hw),
+                   DiffOptions{});
+  EXPECT_TRUE(threads.ok()) << render_report(threads);
+  bool thread_note = false;
+  for (const std::string& note : threads.notes) {
+    if (note.find("thread counts differ") != std::string::npos &&
+        note.find("IPC/cache") != std::string::npos) {
+      thread_note = true;
+    }
+  }
+  EXPECT_TRUE(thread_note) << render_report(threads);
+
+  // The software tier measured task-clock only: no cycles, no cache events
+  // — both per-counter gates mute rather than inventing a 0-IPC failure.
+  const std::string software =
+      "\"hw_counters\":{\"source\":\"software\",\"lanes_failed\":0,"
+      "\"dropped_events\":0,\"stages\":[],"
+      "\"total\":{\"task_clock_seconds\":1.5,\"page_faults\":42,"
+      "\"context_switches\":5}}";
+  const DiffResult soft = diff_ledgers(parse_fixture_v3({}, software),
+                                       parse_fixture_v3({}, software),
+                                       DiffOptions{});
+  EXPECT_TRUE(soft.ok()) << render_report(soft);
+  bool ipc_muted = false;
+  bool cache_muted = false;
+  for (const std::string& note : soft.notes) {
+    if (note.find("IPC gate muted") != std::string::npos) ipc_muted = true;
+    if (note.find("cache-miss-rate gate muted") != std::string::npos) {
+      cache_muted = true;
+    }
+  }
+  EXPECT_TRUE(ipc_muted && cache_muted) << render_report(soft);
+}
+
+TEST(BenchdiffCheck, FlagsDoctoredIpcAndOutOfRangeCacheRate) {
+  // The emitter derives ipc from the raw counts; a hand-edited ledger whose
+  // ratio disagrees past representation noise is corrupt, not noisy.
+  Ledger doctored = parse_fixture_v3(
+      {}, hw_block(10'000'000'000ull, 20'000'000'000ull, 1'000'000'000ull,
+                   50'000'000ull));
+  EXPECT_TRUE(check_ledger(doctored).empty());
+  doctored.hw_counters->total.ipc = 2.5;  // counts still say 2.0
+  std::vector<Finding> findings = check_ledger(doctored);
+  ASSERT_EQ(findings.size(), 1u) << render_report({findings, {}, 1});
+  EXPECT_NE(findings[0].detail.find("instructions/cycles identity"),
+            std::string::npos);
+
+  Ledger out_of_range = parse_fixture_v3(
+      {}, hw_block(10'000'000'000ull, 20'000'000'000ull, 1'000'000'000ull,
+                   50'000'000ull));
+  out_of_range.hw_counters->total.cache_miss_rate = 1.5;
+  findings = check_ledger(out_of_range);
+  // The doctored rate breaks both the misses/references identity and the
+  // [0, 1] range — both flagged.
+  ASSERT_EQ(findings.size(), 2u) << render_report({findings, {}, 1});
+  EXPECT_NE(findings[1].detail.find("outside [0, 1]"), std::string::npos);
+}
+
 TEST(BenchdiffFlatRss, GatesAnAbsoluteSlopeBudget) {
   const Ledger flat = parse_fixture_v2({}, false, series_block(500'000.0));
   const DiffResult pass = flat_rss_check(flat, 1024.0 * 1024.0);
@@ -494,6 +724,51 @@ TEST_F(BenchdiffDirs, CheckDirectoryValidatesEveryBaseline) {
   write_file(base_dir_ + "/BENCH_broken.json", "[]");
   const DiffResult bad = check_directory(base_dir_);
   EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(BenchdiffDirs, UnpairedCandidateIsStructuralDrift) {
+  // A candidate with no committed baseline is a bench that runs ungated —
+  // loud structural drift, not a polite note.
+  FixtureSpec fig4;
+  FixtureSpec fig5;
+  fig5.experiment = "fig5";
+  write_file(base_dir_ + "/BENCH_fig4.json", ledger_json(fig4));
+  write_file(cand_dir_ + "/BENCH_fig4.json", ledger_json(fig4));
+  write_file(cand_dir_ + "/BENCH_fig5.json", ledger_json(fig5));
+
+  const DiffResult result =
+      diff_directories(base_dir_, cand_dir_, DiffOptions{});
+  ASSERT_FALSE(result.ok()) << render_report(result);
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kStructural);
+  EXPECT_EQ(result.findings[0].experiment, "BENCH_fig5.json");
+  EXPECT_NE(result.findings[0].detail.find("no committed baseline pair"),
+            std::string::npos);
+  // The finding tells CI exactly which file to commit.
+  EXPECT_NE(result.findings[0].detail.find("BENCH_fig5.json"),
+            std::string::npos);
+}
+
+TEST_F(BenchdiffDirs, EmptyAndMissingBaselineDirsAreDistinctFindings) {
+  // Both shapes mean zero gating would happen — a loud failure either way,
+  // but with distinct messages so the fix (commit baselines vs fix the
+  // path) is obvious from the report alone.
+  write_file(cand_dir_ + "/BENCH_fig4.json", ledger_json({}));
+
+  const DiffResult empty =
+      diff_directories(base_dir_, cand_dir_, DiffOptions{});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.findings[0].kind, Finding::Kind::kStructural);
+  EXPECT_NE(empty.findings[0].detail.find("contains no BENCH_*.json"),
+            std::string::npos)
+      << render_report(empty);
+
+  const DiffResult missing = diff_directories(
+      base_dir_ + "/no_such_subdir", cand_dir_, DiffOptions{});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.findings[0].kind, Finding::Kind::kStructural);
+  EXPECT_NE(missing.findings[0].detail.find("does not exist"),
+            std::string::npos)
+      << render_report(missing);
 }
 
 TEST(BenchdiffReport, RendersPassAndFailTrailers) {

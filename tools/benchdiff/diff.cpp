@@ -15,10 +15,13 @@ namespace booterscope::benchdiff {
 namespace {
 
 // /1 ledgers predate the live telemetry plane: no resource_series, RSS
-// always a number. /2 adds the optional series and nullable RSS. Both stay
-// accepted so committed /1 baselines keep gating until regenerated.
+// always a number. /2 adds the optional series and nullable RSS. /3 adds
+// the optional hw_counters block (obs::prof) and flow_micro. All three
+// stay accepted so committed older baselines keep gating until
+// regenerated.
 constexpr std::string_view kSchemaV1 = "booterscope-bench-ledger/1";
 constexpr std::string_view kSchemaV2 = "booterscope-bench-ledger/2";
+constexpr std::string_view kSchemaV3 = "booterscope-bench-ledger/3";
 
 [[nodiscard]] std::string format_seconds(double seconds) {
   char buffer[32];
@@ -78,11 +81,11 @@ std::optional<Ledger> parse_ledger(const std::string& text,
     return std::nullopt;
   }
   const std::string schema = doc->string_or("schema", "");
-  if (schema != kSchemaV1 && schema != kSchemaV2) {
+  if (schema != kSchemaV1 && schema != kSchemaV2 && schema != kSchemaV3) {
     if (error != nullptr) {
       *error = "unsupported schema '" + schema + "' (want '" +
-               std::string(kSchemaV1) + "' or '" + std::string(kSchemaV2) +
-               "')";
+               std::string(kSchemaV1) + "', '" + std::string(kSchemaV2) +
+               "' or '" + std::string(kSchemaV3) + "')";
     }
     return std::nullopt;
   }
@@ -160,6 +163,58 @@ std::optional<Ledger> parse_ledger(const std::string& text,
         series->number_or("rss_slope_bytes_per_second", 0.0);
     ledger.resource_series = std::move(parsed);
   }
+  if (const JsonValue* hw = doc->find("hw_counters");
+      hw != nullptr && hw->kind == JsonValue::Kind::kObject) {
+    Ledger::HwCounters parsed;
+    parsed.prof_unavailable = hw->string_or("prof_unavailable", "");
+    if (parsed.prof_unavailable.empty()) {
+      parsed.source = hw->string_or("source", "");
+      // Optionals engage only on present keys: a tier that never measured
+      // cycles must stay distinguishable from one that measured zero.
+      const auto values = [](const JsonValue& node, Ledger::HwValues& out) {
+        const auto opt_u64 = [&](std::string_view key,
+                                 std::optional<std::uint64_t>& slot) {
+          if (const JsonValue* v = node.find(key);
+              v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+            slot = static_cast<std::uint64_t>(v->number);
+          }
+        };
+        const auto opt_double = [&](std::string_view key,
+                                    std::optional<double>& slot) {
+          if (const JsonValue* v = node.find(key);
+              v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+            slot = v->number;
+          }
+        };
+        opt_u64("cycles", out.cycles);
+        opt_u64("instructions", out.instructions);
+        opt_double("ipc", out.ipc);
+        opt_u64("cache_references", out.cache_references);
+        opt_u64("cache_misses", out.cache_misses);
+        opt_double("cache_miss_rate", out.cache_miss_rate);
+        opt_u64("branches", out.branches);
+        opt_u64("branch_misses", out.branch_misses);
+        opt_double("branch_miss_rate", out.branch_miss_rate);
+        out.task_clock_seconds = node.number_or("task_clock_seconds", 0.0);
+      };
+      if (const JsonValue* stages = hw->find("stages");
+          stages != nullptr && stages->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& entry : stages->array) {
+          if (entry.kind != JsonValue::Kind::kObject) continue;
+          Ledger::HwCounters::Stage stage;
+          stage.path = entry.string_or("path", "");
+          stage.lane = static_cast<int>(entry.number_or("lane", 0.0));
+          values(entry, stage.v);
+          parsed.stages.push_back(std::move(stage));
+        }
+      }
+      if (const JsonValue* total = hw->find("total");
+          total != nullptr && total->kind == JsonValue::Kind::kObject) {
+        values(*total, parsed.total);
+      }
+    }
+    ledger.hw_counters = std::move(parsed);
+  }
   return ledger;
 }
 
@@ -236,6 +291,54 @@ std::vector<Finding> check_ledger(const Ledger& ledger) {
     }
     if (!(series.interval_seconds >= 0.0)) {
       flag("resource_series", "negative or NaN interval_seconds");
+    }
+  }
+  if (ledger.hw_counters && ledger.hw_counters->available()) {
+    const Ledger::HwCounters& hw = *ledger.hw_counters;
+    if (hw.source != "hardware" && hw.source != "reduced" &&
+        hw.source != "software") {
+      flag("hw_counters", "unknown counter source '" + hw.source +
+                              "' (want hardware, reduced or software)");
+    }
+    // The emitter derives the ratios from the raw counts in the same
+    // double arithmetic; re-deriving them here catches hand-edited or
+    // corrupted ledgers. ±1e-9 absorbs nothing but representation noise.
+    const auto check_values = [&](const Ledger::HwValues& v,
+                                  const std::string& where) {
+      if (v.cycles && v.instructions && v.ipc && *v.cycles > 0) {
+        const double expect = static_cast<double>(*v.instructions) /
+                              static_cast<double>(*v.cycles);
+        if (std::fabs(*v.ipc - expect) > 1e-9) {
+          flag("hw_counters", where + ": ipc " + std::to_string(*v.ipc) +
+                                  " violates instructions/cycles identity (" +
+                                  std::to_string(expect) + ")");
+        }
+      }
+      if (v.cache_references && v.cache_misses && v.cache_miss_rate &&
+          *v.cache_references > 0) {
+        const double expect = static_cast<double>(*v.cache_misses) /
+                              static_cast<double>(*v.cache_references);
+        if (std::fabs(*v.cache_miss_rate - expect) > 1e-9) {
+          flag("hw_counters",
+               where + ": cache_miss_rate violates misses/references "
+                       "identity");
+        }
+      }
+      if (v.cache_miss_rate &&
+          (*v.cache_miss_rate < 0.0 || *v.cache_miss_rate > 1.0)) {
+        flag("hw_counters", where + ": cache_miss_rate outside [0, 1]");
+      }
+      if (!(v.task_clock_seconds >= 0.0)) {
+        flag("hw_counters", where + ": negative or NaN task_clock_seconds");
+      }
+    };
+    check_values(hw.total, "total");
+    for (const Ledger::HwCounters::Stage& stage : hw.stages) {
+      if (stage.path.empty()) {
+        flag("hw_counters", "stage with empty path");
+        continue;
+      }
+      check_values(stage.v, "stage '" + stage.path + "'");
     }
   }
   return findings;
@@ -413,6 +516,84 @@ DiffResult diff_ledgers(const Ledger& baseline, const Ledger& candidate,
                       " + 1 MiB/s allowance)");
     }
   }
+  // Hardware-counter gates (schema /3): timing-class, and muted — never
+  // failed — when counters are unavailable on either side. A ladder that
+  // bottomed out, a software-tier run with no cycles, or a thread-count
+  // mismatch all leave nothing comparable; the notes say which.
+  if (baseline.hw_counters || candidate.hw_counters) {
+    const bool base_hw =
+        baseline.hw_counters && baseline.hw_counters->available();
+    const bool cand_hw =
+        candidate.hw_counters && candidate.hw_counters->available();
+    if (!base_hw || !cand_hw) {
+      std::string why;
+      if (baseline.hw_counters && !base_hw) {
+        why = "baseline prof_unavailable: " +
+              baseline.hw_counters->prof_unavailable;
+      } else if (candidate.hw_counters && !cand_hw) {
+        why = "candidate prof_unavailable: " +
+              candidate.hw_counters->prof_unavailable;
+      } else {
+        why = !baseline.hw_counters ? "baseline has no hw_counters block"
+                                    : "candidate has no hw_counters block";
+      }
+      result.notes.push_back(id + ": IPC/cache gates muted (" + why + ")");
+    } else if (!threads_match) {
+      result.notes.push_back(
+          id + ": IPC/cache gates muted (thread counts differ — per-lane "
+               "counter totals are not comparable)");
+    } else {
+      const Ledger::HwValues& base_v = baseline.hw_counters->total;
+      const Ledger::HwValues& cand_v = candidate.hw_counters->total;
+      if (base_v.ipc && cand_v.ipc && *cand_v.ipc > 0.0) {
+        const double ratio = *base_v.ipc / *cand_v.ipc;
+        if (ratio > options.ipc_ratio) {
+          char base_text[32];
+          char cand_text[32];
+          std::snprintf(base_text, sizeof base_text, "%.3f", *base_v.ipc);
+          std::snprintf(cand_text, sizeof cand_text, "%.3f", *cand_v.ipc);
+          add_finding(result, Finding::Kind::kTiming, id, "hw.ipc",
+                      "IPC regression: " + std::string(base_text) + " -> " +
+                          std::string(cand_text) + " (" +
+                          format_ratio(ratio) + ", threshold " +
+                          format_ratio(options.ipc_ratio) + ")");
+        }
+      } else {
+        result.notes.push_back(
+            id + ": IPC gate muted (a side's counter tier measured no "
+                 "cycles — source " +
+            baseline.hw_counters->source + " vs " +
+            candidate.hw_counters->source + ")");
+      }
+      if (base_v.cache_miss_rate && cand_v.cache_miss_rate) {
+        constexpr double kRateAllowance = 0.02;
+        const double threshold =
+            *base_v.cache_miss_rate * options.cache_miss_ratio +
+            kRateAllowance;
+        if (*cand_v.cache_miss_rate > threshold) {
+          char base_text[32];
+          char cand_text[32];
+          std::snprintf(base_text, sizeof base_text, "%.4f",
+                        *base_v.cache_miss_rate);
+          std::snprintf(cand_text, sizeof cand_text, "%.4f",
+                        *cand_v.cache_miss_rate);
+          add_finding(result, Finding::Kind::kTiming, id,
+                      "hw.cache_miss_rate",
+                      "cache-miss-rate regression: " +
+                          std::string(base_text) + " -> " +
+                          std::string(cand_text) + " (threshold " +
+                          format_ratio(options.cache_miss_ratio) +
+                          " + 0.02 allowance)");
+        }
+      } else {
+        result.notes.push_back(
+            id + ": cache-miss-rate gate muted (a side's counter tier "
+                 "measured no cache events — source " +
+            baseline.hw_counters->source + " vs " +
+            candidate.hw_counters->source + ")");
+      }
+    }
+  }
   return result;
 }
 
@@ -442,8 +623,16 @@ DiffResult diff_directories(const std::string& baseline_dir,
   DiffResult result;
   const std::vector<std::string> baselines = ledger_files(baseline_dir);
   if (baselines.empty()) {
+    // Distinct messages for "wrong path" vs "nothing committed": both mean
+    // zero gating would happen, which must be a loud failure, not a pass
+    // over an empty set.
+    std::error_code ec;
+    const bool exists = std::filesystem::is_directory(baseline_dir, ec);
     add_finding(result, Finding::Kind::kStructural, baseline_dir, "baselines",
-                "no BENCH_*.json baselines found");
+                exists ? "baseline directory contains no BENCH_*.json "
+                         "ledgers — nothing would be gated; commit baselines "
+                         "or point --baselines at the right directory"
+                       : "baseline directory does not exist");
     return result;
   }
   for (const std::string& name : baselines) {
@@ -485,9 +674,12 @@ DiffResult diff_directories(const std::string& baseline_dir,
   for (const std::string& name : ledger_files(candidate_dir)) {
     if (std::find(baselines.begin(), baselines.end(), name) ==
         baselines.end()) {
-      result.notes.push_back(name +
-                             ": candidate has no baseline (add one under the "
-                             "baselines directory to gate it)");
+      // An unpaired candidate means a bench that runs but is never gated —
+      // structural drift that used to hide in the notes.
+      add_finding(result, Finding::Kind::kStructural, name, "baseline",
+                  "candidate has no committed baseline pair — the bench "
+                  "runs ungated; commit " +
+                      baseline_dir + "/" + name);
     }
   }
   return result;

@@ -1,6 +1,6 @@
 // benchdiff: compares perf ledgers (BENCH_<id>.json, schema
-// booterscope-bench-ledger/1 or /2) against committed baselines and fails
-// on regression. The differ runs three classes of gate:
+// booterscope-bench-ledger/1, /2 or /3) against committed baselines and
+// fails on regression. The differ runs three classes of gate:
 //
 //   structural — schema/shape problems and config drift (a candidate whose
 //     identity config differs from the baseline is not comparable; that is
@@ -19,6 +19,15 @@
 // CPU time series. When both sides ran the sampler long enough, the RSS
 // growth slope is gated like the other timing metrics — a leak shows up as
 // a slope regression long before the high-water mark doubles.
+//
+// Schema /3 additions: an optional `hw_counters` block from obs::prof —
+// either per-stage/total hardware counters tagged with the degradation
+// tier that measured them ("hardware" / "reduced" / "software"), or an
+// explicit `prof_unavailable` reason. Two more timing-class gates ride on
+// it: IPC regression and cache-miss-rate regression, muted with a note
+// whenever either side lacks the counters (unavailable profiling, a tier
+// that measured no cycles, or mismatched thread counts) — counters that
+// were never measured must never gate.
 //
 // Library + thin driver split like tools/bslint, so the golden suite in
 // tests/tools exercises the engine in-process.
@@ -75,12 +84,46 @@ struct Ledger {
   };
   std::optional<ResourceSeries> resource_series;
 
+  /// Counter values a tier may or may not have measured; each optional is
+  /// engaged only when the ledger carried the key (never defaulted to 0).
+  struct HwValues {
+    std::optional<std::uint64_t> cycles;
+    std::optional<std::uint64_t> instructions;
+    std::optional<double> ipc;
+    std::optional<std::uint64_t> cache_references;
+    std::optional<std::uint64_t> cache_misses;
+    std::optional<double> cache_miss_rate;
+    std::optional<std::uint64_t> branches;
+    std::optional<std::uint64_t> branch_misses;
+    std::optional<double> branch_miss_rate;
+    double task_clock_seconds = 0.0;
+  };
+
+  /// The schema-/3 `hw_counters` block. `prof_unavailable` non-empty means
+  /// profiling was requested but the degradation ladder bottomed out — the
+  /// IPC/cache gates mute with that reason instead of comparing phantoms.
+  struct HwCounters {
+    std::string source;  // "hardware" | "reduced" | "software"
+    std::string prof_unavailable;
+    struct Stage {
+      std::string path;
+      int lane = 0;
+      HwValues v;
+    };
+    std::vector<Stage> stages;
+    HwValues total;
+    [[nodiscard]] bool available() const noexcept {
+      return prof_unavailable.empty();
+    }
+  };
+  std::optional<HwCounters> hw_counters;
+
   [[nodiscard]] std::optional<std::string> config_value(
       const std::string& key) const;
 };
 
 /// Parses ledger JSON; nullopt + reason on malformed documents or a schema
-/// other than booterscope-bench-ledger/1 or /2.
+/// other than booterscope-bench-ledger/1, /2 or /3.
 [[nodiscard]] std::optional<Ledger> parse_ledger(const std::string& text,
                                                  std::string* error);
 
@@ -100,6 +143,16 @@ struct DiffOptions {
   /// + a 1 MiB/s allowance. The allowance keeps near-zero baselines from
   /// turning allocator jitter into a failure.
   double rss_slope_ratio = 3.0;
+  /// IPC regression gate (schema /3): fail when baseline IPC divided by
+  /// candidate IPC exceeds this — the candidate retires noticeably fewer
+  /// instructions per cycle. Applies only when both sides measured cycles
+  /// (hardware/reduced tiers) with matching thread counts; muted with a
+  /// note otherwise.
+  double ipc_ratio = 1.25;
+  /// Cache-miss-rate gate (schema /3): fail when the candidate's rate
+  /// exceeds baseline rate * this + a 0.02 absolute allowance (the
+  /// allowance keeps near-zero baseline rates from flagging jitter).
+  double cache_miss_ratio = 1.5;
   /// Fail when a baseline has no candidate ledger (CI: every gated bench
   /// must actually have run).
   bool require_all = false;
@@ -133,7 +186,10 @@ struct DiffResult {
 
 /// Pairs every BENCH_*.json under `baseline_dir` with the same-named file
 /// under `candidate_dir` and diffs each pair. Missing candidates are
-/// findings under require_all, notes otherwise; extra candidates are notes.
+/// findings under require_all, notes otherwise. A candidate with no
+/// committed baseline pair is a structural finding (an ungated bench is
+/// drift, not decoration), as is an empty or missing baseline directory —
+/// each with a distinct message so the fix is obvious.
 [[nodiscard]] DiffResult diff_directories(const std::string& baseline_dir,
                                           const std::string& candidate_dir,
                                           const DiffOptions& options);

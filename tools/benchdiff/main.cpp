@@ -2,8 +2,8 @@
 //
 //   benchdiff --baselines DIR [--candidates DIR] [--check]
 //             [--min-runtime S] [--wall-ratio X] [--stage-ratio X]
-//             [--rss-ratio X] [--rss-slope-ratio X] [--require-all]
-//             [--quiet]
+//             [--rss-ratio X] [--rss-slope-ratio X] [--ipc-ratio X]
+//             [--cache-miss-ratio X] [--require-all] [--quiet]
 //   benchdiff --flat-rss LEDGER [--max-rss-slope BYTES_PER_S] [--quiet]
 //
 // Default mode diffs every BENCH_*.json baseline under --baselines against
@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: %s --baselines DIR [--candidates DIR] [--check]\n"
         "          [--min-runtime S] [--wall-ratio X] [--stage-ratio X]\n"
-        "          [--rss-ratio X] [--rss-slope-ratio X] [--require-all]\n"
-        "          [--quiet]\n"
+        "          [--rss-ratio X] [--rss-slope-ratio X] [--ipc-ratio X]\n"
+        "          [--cache-miss-ratio X] [--require-all] [--quiet]\n"
         "       %s --flat-rss LEDGER [--max-rss-slope BYTES_PER_S] [--quiet]\n",
         args.program().c_str(), args.program().c_str());
     return 0;
@@ -74,6 +74,9 @@ int main(int argc, char** argv) {
     options.rss_ratio = args.double_or("rss-ratio", options.rss_ratio);
     options.rss_slope_ratio =
         args.double_or("rss-slope-ratio", options.rss_slope_ratio);
+    options.ipc_ratio = args.double_or("ipc-ratio", options.ipc_ratio);
+    options.cache_miss_ratio =
+        args.double_or("cache-miss-ratio", options.cache_miss_ratio);
     options.require_all = args.has_flag("require-all");
     const std::string candidates = args.value_or("candidates", ".");
     result =
